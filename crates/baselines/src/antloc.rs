@@ -1,0 +1,215 @@
+//! AntLoc-style antenna localization via variable RF attenuation.
+//!
+//! Luo et al. (IECON 2007) — one of the very few prior systems that locates
+//! the *antenna* — sweeps the reader's transmit attenuation and records, for
+//! each passive reference tag, the largest attenuation at which the tag
+//! still answers. Because the forward link budget is monotone in distance,
+//! that threshold maps to a range estimate; ranges from several tags are
+//! trilaterated.
+
+use crate::common::{gauss_newton_2d, BaselineError};
+use tagspin_geom::{Vec2, Vec3};
+
+/// Convert a threshold attenuation into a range estimate.
+///
+/// At the response threshold the tag receives exactly its sensitivity, so
+/// (in dB):
+///
+/// ```text
+/// tx − atten + gains − PL(d) = sensitivity
+/// PL(d) = PL(1m) + 10·n·log10(d)
+/// ```
+///
+/// `link_margin_at_1m` bundles `tx + gains − PL(1m) − sensitivity`: the
+/// attenuation that would silence a tag at exactly 1 m.
+///
+/// # Panics
+///
+/// Panics when `path_loss_exponent` is not strictly positive.
+pub fn range_from_threshold(
+    threshold_atten_db: f64,
+    link_margin_at_1m: f64,
+    path_loss_exponent: f64,
+) -> f64 {
+    assert!(path_loss_exponent > 0.0, "exponent must be positive");
+    10f64.powf((link_margin_at_1m - threshold_atten_db) / (10.0 * path_loss_exponent))
+}
+
+/// AntLoc localizer: reference tags at known positions plus link constants.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AntLoc {
+    /// Reference tag positions, meters.
+    pub references: Vec<Vec3>,
+    /// Attenuation silencing a 1 m tag, dB (calibration constant).
+    pub link_margin_at_1m: f64,
+    /// Forward path-loss exponent.
+    pub path_loss_exponent: f64,
+    /// Reader height assumed for the 2D solve, meters.
+    pub reader_height: f64,
+}
+
+impl AntLoc {
+    /// Build a localizer; `link_margin_at_1m` comes from a one-time bench
+    /// calibration in the original system.
+    pub fn new(references: Vec<Vec3>, link_margin_at_1m: f64, path_loss_exponent: f64) -> Self {
+        AntLoc {
+            references,
+            link_margin_at_1m,
+            path_loss_exponent,
+            reader_height: 0.0,
+        }
+    }
+
+    /// Locate the reader from per-reference threshold attenuations (dB).
+    ///
+    /// # Errors
+    ///
+    /// * [`BaselineError::DimensionMismatch`] — threshold count differs
+    ///   from reference count.
+    /// * [`BaselineError::TooFewReferences`] — fewer than 3 references.
+    /// * [`BaselineError::Solver`] — trilateration failed.
+    pub fn locate(&self, thresholds_db: &[f64]) -> Result<Vec2, BaselineError> {
+        if thresholds_db.len() != self.references.len() {
+            return Err(BaselineError::DimensionMismatch);
+        }
+        if self.references.len() < 3 {
+            return Err(BaselineError::TooFewReferences {
+                got: self.references.len(),
+                need: 3,
+            });
+        }
+        let ranges: Vec<f64> = thresholds_db
+            .iter()
+            .map(|&t| range_from_threshold(t, self.link_margin_at_1m, self.path_loss_exponent))
+            .collect();
+        self.locate_with_ranges(&ranges)
+    }
+
+    /// Trilaterate from explicit range estimates (meters). Used directly
+    /// when the caller performs its own gain-corrected range inversion.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`AntLoc::locate`].
+    pub fn locate_with_ranges(&self, ranges: &[f64]) -> Result<Vec2, BaselineError> {
+        if ranges.len() != self.references.len() {
+            return Err(BaselineError::DimensionMismatch);
+        }
+        if self.references.len() < 3 {
+            return Err(BaselineError::TooFewReferences {
+                got: self.references.len(),
+                need: 3,
+            });
+        }
+        // Initialize at the range-weighted centroid (closer tags pull
+        // harder), then Gauss-Newton on the range residuals.
+        let mut wsum = 0.0;
+        let mut init = Vec2::ZERO;
+        for (r, t) in ranges.iter().zip(&self.references) {
+            let w = 1.0 / r.max(0.1);
+            init += t.xy() * w;
+            wsum += w;
+        }
+        init = init / wsum;
+        let h = self.reader_height;
+        let refs = &self.references;
+        let residuals = |p: Vec2| -> Vec<f64> {
+            refs.iter()
+                .zip(ranges)
+                .map(|(t, &r)| {
+                    // Down-weight far (unreliable, dB-exponentiated) ranges.
+                    (t.distance(p.with_z(h)) - r) / r.max(0.3).sqrt()
+                })
+                .collect()
+        };
+        gauss_newton_2d(residuals, init, 50)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MARGIN_1M: f64 = 30.0;
+    const EXPONENT: f64 = 2.0;
+
+    /// The forward model: the threshold attenuation a tag at distance d
+    /// experiences (inverse of `range_from_threshold`).
+    fn threshold_for(d: f64) -> f64 {
+        MARGIN_1M - 10.0 * EXPONENT * d.log10()
+    }
+
+    fn references() -> Vec<Vec3> {
+        vec![
+            Vec3::new(-1.5, -1.0, 0.0),
+            Vec3::new(1.5, -1.0, 0.0),
+            Vec3::new(0.0, 1.8, 0.0),
+            Vec3::new(-1.0, 1.0, 0.0),
+        ]
+    }
+
+    #[test]
+    fn range_inversion_roundtrip() {
+        for d in [0.5, 1.0, 2.0, 3.5] {
+            let t = threshold_for(d);
+            let r = range_from_threshold(t, MARGIN_1M, EXPONENT);
+            assert!((r - d).abs() < 1e-9, "d={d} r={r}");
+        }
+        // At 1 m the threshold equals the margin.
+        assert!((range_from_threshold(MARGIN_1M, MARGIN_1M, EXPONENT) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exact_thresholds_localize_exactly() {
+        let al = AntLoc::new(references(), MARGIN_1M, EXPONENT);
+        let truth = Vec2::new(0.4, 0.2);
+        let thresholds: Vec<f64> = al
+            .references
+            .iter()
+            .map(|t| threshold_for(t.distance(truth.with_z(0.0))))
+            .collect();
+        let est = al.locate(&thresholds).unwrap();
+        assert!((est - truth).norm() < 1e-6, "est = {est}");
+    }
+
+    #[test]
+    fn quantized_thresholds_give_decimeter_error() {
+        // Real attenuators step in 0.25–1 dB; quantize to 1 dB.
+        let al = AntLoc::new(references(), MARGIN_1M, EXPONENT);
+        let truth = Vec2::new(-0.6, 0.5);
+        let thresholds: Vec<f64> = al
+            .references
+            .iter()
+            .map(|t| threshold_for(t.distance(truth.with_z(0.0))).round())
+            .collect();
+        let est = al.locate(&thresholds).unwrap();
+        let err = (est - truth).norm();
+        // 1 dB at n=2 is ~12% range error → tens of centimeters.
+        assert!(err < 0.6, "err = {err}");
+        assert!(err > 1e-6);
+    }
+
+    #[test]
+    fn dimension_mismatch_rejected() {
+        let al = AntLoc::new(references(), MARGIN_1M, EXPONENT);
+        assert_eq!(
+            al.locate(&[10.0]),
+            Err(BaselineError::DimensionMismatch)
+        );
+    }
+
+    #[test]
+    fn too_few_references_rejected() {
+        let al = AntLoc::new(vec![Vec3::ZERO, Vec3::new(1.0, 0.0, 0.0)], MARGIN_1M, EXPONENT);
+        assert_eq!(
+            al.locate(&[10.0, 12.0]),
+            Err(BaselineError::TooFewReferences { got: 2, need: 3 })
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "exponent")]
+    fn bad_exponent_panics() {
+        let _ = range_from_threshold(10.0, 30.0, 0.0);
+    }
+}

@@ -1,0 +1,210 @@
+//! Shared machinery for the baseline localizers.
+
+use std::fmt;
+use tagspin_dsp::lstsq::{self, Matrix};
+use tagspin_geom::Vec2;
+
+/// Errors common to the baseline systems.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BaselineError {
+    /// Not enough references/anchors for the method.
+    TooFewReferences {
+        /// Provided count.
+        got: usize,
+        /// Minimum required.
+        need: usize,
+    },
+    /// Input slices disagree in length.
+    DimensionMismatch,
+    /// The solver failed to converge or the system was degenerate.
+    Solver(String),
+}
+
+impl fmt::Display for BaselineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BaselineError::TooFewReferences { got, need } => {
+                write!(f, "too few references: got {got}, need {need}")
+            }
+            BaselineError::DimensionMismatch => write!(f, "input length mismatch"),
+            BaselineError::Solver(s) => write!(f, "solver failed: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for BaselineError {}
+
+/// A rectangular search region in the horizontal plane.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Bounds2D {
+    /// Minimum corner, meters.
+    pub min: Vec2,
+    /// Maximum corner, meters.
+    pub max: Vec2,
+}
+
+impl Bounds2D {
+    /// Create bounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics when any max component is below the matching min.
+    pub fn new(min: Vec2, max: Vec2) -> Self {
+        assert!(max.x >= min.x && max.y >= min.y, "bounds must be ordered");
+        Bounds2D { min, max }
+    }
+
+    /// The paper's office room, centered on the origin: 6 m × 9 m.
+    pub fn paper_room() -> Self {
+        Bounds2D::new(Vec2::new(-3.0, -4.5), Vec2::new(3.0, 4.5))
+    }
+
+    /// Uniform grid points with the given `step` (meters), inclusive of the
+    /// min corner.
+    pub fn grid(&self, step: f64) -> Vec<Vec2> {
+        assert!(step > 0.0, "grid step must be positive");
+        let nx = ((self.max.x - self.min.x) / step).floor() as usize + 1;
+        let ny = ((self.max.y - self.min.y) / step).floor() as usize + 1;
+        let mut pts = Vec::with_capacity(nx * ny);
+        for iy in 0..ny {
+            for ix in 0..nx {
+                pts.push(Vec2::new(
+                    self.min.x + ix as f64 * step,
+                    self.min.y + iy as f64 * step,
+                ));
+            }
+        }
+        pts
+    }
+
+    /// True when the point lies inside (inclusive).
+    pub fn contains(&self, p: Vec2) -> bool {
+        (self.min.x..=self.max.x).contains(&p.x) && (self.min.y..=self.max.y).contains(&p.y)
+    }
+
+    /// Clamp a point into the bounds.
+    pub fn clamp(&self, p: Vec2) -> Vec2 {
+        Vec2::new(
+            p.x.clamp(self.min.x, self.max.x),
+            p.y.clamp(self.min.y, self.max.y),
+        )
+    }
+}
+
+/// Generic 2D Gauss-Newton with numeric Jacobian.
+///
+/// Minimizes `Σ residuals(p)ᵢ²` starting from `init`. Used by the AntLoc
+/// trilateration and the BackPos hyperbolic refinement.
+///
+/// # Errors
+///
+/// [`BaselineError::Solver`] when the normal system degenerates; otherwise
+/// returns the best iterate after at most `max_iter` steps.
+pub fn gauss_newton_2d(
+    residuals: impl Fn(Vec2) -> Vec<f64>,
+    init: Vec2,
+    max_iter: usize,
+) -> Result<Vec2, BaselineError> {
+    let mut p = init;
+    let eps = 1e-6;
+    for _ in 0..max_iter {
+        let r0 = residuals(p);
+        let m = r0.len();
+        if m < 2 {
+            return Err(BaselineError::Solver("fewer than 2 residuals".into()));
+        }
+        let rx = residuals(p + Vec2::new(eps, 0.0));
+        let ry = residuals(p + Vec2::new(0.0, eps));
+        if rx.len() != m || ry.len() != m {
+            return Err(BaselineError::Solver("residual count changed".into()));
+        }
+        let jac = Matrix::from_fn(m, 2, |i, j| {
+            if j == 0 {
+                (rx[i] - r0[i]) / eps
+            } else {
+                (ry[i] - r0[i]) / eps
+            }
+        });
+        let neg_r: Vec<f64> = r0.iter().map(|v| -v).collect();
+        let step = lstsq::solve(&jac, &neg_r)
+            .map_err(|e| BaselineError::Solver(format!("lstsq: {e}")))?;
+        let delta = Vec2::new(step[0], step[1]);
+        p += delta;
+        if delta.norm() < 1e-9 {
+            break;
+        }
+    }
+    if p.is_finite() {
+        Ok(p)
+    } else {
+        Err(BaselineError::Solver("diverged to non-finite".into()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounds_grid_covers_region() {
+        let b = Bounds2D::new(Vec2::new(0.0, 0.0), Vec2::new(1.0, 2.0));
+        let g = b.grid(0.5);
+        assert_eq!(g.len(), 3 * 5);
+        assert!(g.iter().all(|&p| b.contains(p)));
+        assert_eq!(g[0], Vec2::new(0.0, 0.0));
+        assert_eq!(*g.last().unwrap(), Vec2::new(1.0, 2.0));
+    }
+
+    #[test]
+    fn bounds_clamp() {
+        let b = Bounds2D::paper_room();
+        assert_eq!(b.clamp(Vec2::new(10.0, -10.0)), Vec2::new(3.0, -4.5));
+        let inside = Vec2::new(0.5, 0.5);
+        assert_eq!(b.clamp(inside), inside);
+        assert!(b.contains(inside));
+        assert!(!b.contains(Vec2::new(4.0, 0.0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "ordered")]
+    fn unordered_bounds_panic() {
+        let _ = Bounds2D::new(Vec2::new(1.0, 0.0), Vec2::new(0.0, 1.0));
+    }
+
+    #[test]
+    fn gauss_newton_solves_trilateration() {
+        // True point (1, 2); three anchors with exact ranges.
+        let truth = Vec2::new(1.0, 2.0);
+        let anchors = [Vec2::new(0.0, 0.0), Vec2::new(3.0, 0.0), Vec2::new(0.0, 4.0)];
+        let ranges: Vec<f64> = anchors.iter().map(|a| a.distance(truth)).collect();
+        let res = |p: Vec2| -> Vec<f64> {
+            anchors
+                .iter()
+                .zip(&ranges)
+                .map(|(a, r)| a.distance(p) - r)
+                .collect()
+        };
+        let sol = gauss_newton_2d(res, Vec2::new(0.5, 0.5), 50).unwrap();
+        assert!((sol - truth).norm() < 1e-6, "{sol}");
+    }
+
+    #[test]
+    fn gauss_newton_rejects_underdetermined() {
+        let res = |_p: Vec2| vec![1.0];
+        assert!(matches!(
+            gauss_newton_2d(res, Vec2::ZERO, 10),
+            Err(BaselineError::Solver(_))
+        ));
+    }
+
+    #[test]
+    fn error_display_nonempty() {
+        for e in [
+            BaselineError::TooFewReferences { got: 1, need: 3 },
+            BaselineError::DimensionMismatch,
+            BaselineError::Solver("x".into()),
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,201 @@
+//! LandMarc-style RSSI k-nearest-neighbor localization.
+//!
+//! LANDMARC (Ni et al., 2004) locates a target tag by comparing its RSSI
+//! signature (as seen by several readers) with those of reference tags at
+//! known positions, averaging the k nearest references in signal space with
+//! `1/E²` weights.
+//!
+//! Flipped to *reader* localization: the single target reader measures the
+//! RSSI of every reference tag, giving a signature vector indexed by tag.
+//! Candidate reader positions (a grid over the room) get model-predicted
+//! signatures; the k nearest candidates in signal space are averaged with
+//! the same `1/E²` weighting. This preserves LANDMARC's essence — nearest
+//! neighbors in RSSI space with inverse-square-error weights — while
+//! exercising the reader-side observables our scenario actually has.
+
+use crate::common::{BaselineError, Bounds2D};
+use tagspin_geom::{Vec2, Vec3};
+
+/// LandMarc-style localizer configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Landmarc {
+    /// Reference tag positions, meters.
+    pub references: Vec<Vec3>,
+    /// Number of nearest candidates to average (LANDMARC found k = 4 best).
+    pub k: usize,
+    /// Candidate grid bounds.
+    pub bounds: Bounds2D,
+    /// Candidate grid step, meters.
+    pub grid_step: f64,
+    /// Height assumed for candidate reader positions, meters.
+    pub reader_height: f64,
+}
+
+impl Landmarc {
+    /// Standard configuration: k = 4, 10 cm grid.
+    pub fn new(references: Vec<Vec3>, bounds: Bounds2D) -> Self {
+        Landmarc {
+            references,
+            k: 4,
+            bounds,
+            grid_step: 0.10,
+            reader_height: 0.0,
+        }
+    }
+
+    /// Locate the reader from its measured per-reference RSSI signature.
+    ///
+    /// `measured[i]` is the observed RSSI (dBm) of `references[i]`;
+    /// `predict(reader_pos, tag_pos)` is the propagation model used to build
+    /// candidate signatures (the harness passes the same link budget the
+    /// simulator uses, minus the noise).
+    ///
+    /// # Errors
+    ///
+    /// * [`BaselineError::DimensionMismatch`] — signature length differs
+    ///   from the reference count.
+    /// * [`BaselineError::TooFewReferences`] — fewer references than 3 or
+    ///   fewer candidates than `k`.
+    pub fn locate(
+        &self,
+        measured: &[f64],
+        predict: impl Fn(Vec3, Vec3) -> f64,
+    ) -> Result<Vec2, BaselineError> {
+        if measured.len() != self.references.len() {
+            return Err(BaselineError::DimensionMismatch);
+        }
+        if self.references.len() < 3 {
+            return Err(BaselineError::TooFewReferences {
+                got: self.references.len(),
+                need: 3,
+            });
+        }
+        let candidates = self.bounds.grid(self.grid_step);
+        if candidates.len() < self.k {
+            return Err(BaselineError::TooFewReferences {
+                got: candidates.len(),
+                need: self.k,
+            });
+        }
+        // Signal-space distance E for every candidate.
+        let mut scored: Vec<(f64, Vec2)> = candidates
+            .into_iter()
+            .map(|c| {
+                let cpos = c.with_z(self.reader_height);
+                let e: f64 = self
+                    .references
+                    .iter()
+                    .zip(measured)
+                    .map(|(&tag, &m)| {
+                        let p = predict(cpos, tag);
+                        (p - m) * (p - m)
+                    })
+                    .sum::<f64>()
+                    .sqrt();
+                (e, c)
+            })
+            .collect();
+        scored.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite distances"));
+        // LANDMARC weighting: wᵢ = (1/Eᵢ²) / Σ(1/Eⱼ²).
+        let nearest = &scored[..self.k];
+        let mut wsum = 0.0;
+        let mut acc = Vec2::ZERO;
+        for &(e, c) in nearest {
+            let w = 1.0 / (e * e).max(1e-12);
+            wsum += w;
+            acc += c * w;
+        }
+        Ok(acc / wsum)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A deterministic toy propagation model: RSSI falls off with log
+    /// distance, no noise.
+    fn toy_model(reader: Vec3, tag: Vec3) -> f64 {
+        -40.0 - 20.0 * reader.distance(tag).max(0.05).log10()
+    }
+
+    fn references() -> Vec<Vec3> {
+        // A 3×3 grid of reference tags, 1 m pitch, at z = 0.
+        let mut v = Vec::new();
+        for ix in -1..=1 {
+            for iy in -1..=1 {
+                v.push(Vec3::new(ix as f64, iy as f64, 0.0));
+            }
+        }
+        v
+    }
+
+    fn room() -> Bounds2D {
+        Bounds2D::new(Vec2::new(-2.0, -2.0), Vec2::new(2.0, 2.0))
+    }
+
+    #[test]
+    fn noise_free_localization_is_grid_accurate() {
+        let lm = Landmarc::new(references(), room());
+        let truth = Vec3::new(0.42, -0.73, 0.0);
+        let measured: Vec<f64> = lm.references.iter().map(|&t| toy_model(truth, t)).collect();
+        let est = lm.locate(&measured, toy_model).unwrap();
+        // LANDMARC's resolution is grid/reference-density bound: within a
+        // couple of grid cells here.
+        assert!((est - truth.xy()).norm() < 0.2, "est = {est}");
+    }
+
+    #[test]
+    fn noisy_localization_degrades_gracefully() {
+        let lm = Landmarc::new(references(), room());
+        let truth = Vec3::new(-0.8, 1.1, 0.0);
+        // ±2 dB deterministic perturbation.
+        let measured: Vec<f64> = lm
+            .references
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| toy_model(truth, t) + 2.0 * ((i as f64 * 1.7).sin()))
+            .collect();
+        let est = lm.locate(&measured, toy_model).unwrap();
+        // Dozens of centimeters, as the paper reports for LandMarc.
+        assert!((est - truth.xy()).norm() < 1.0, "est = {est}");
+    }
+
+    #[test]
+    fn dimension_mismatch_rejected() {
+        let lm = Landmarc::new(references(), room());
+        assert_eq!(
+            lm.locate(&[1.0, 2.0], toy_model),
+            Err(BaselineError::DimensionMismatch)
+        );
+    }
+
+    #[test]
+    fn too_few_references_rejected() {
+        let lm = Landmarc::new(vec![Vec3::ZERO, Vec3::new(1.0, 0.0, 0.0)], room());
+        assert_eq!(
+            lm.locate(&[-50.0, -52.0], toy_model),
+            Err(BaselineError::TooFewReferences { got: 2, need: 3 })
+        );
+    }
+
+    #[test]
+    fn k_larger_than_grid_rejected() {
+        let mut lm = Landmarc::new(references(), room());
+        lm.grid_step = 10.0; // single candidate
+        lm.k = 4;
+        let measured: Vec<f64> = lm.references.iter().map(|_| -50.0).collect();
+        assert!(matches!(
+            lm.locate(&measured, toy_model),
+            Err(BaselineError::TooFewReferences { .. })
+        ));
+    }
+
+    #[test]
+    fn estimate_stays_in_bounds() {
+        let lm = Landmarc::new(references(), room());
+        let measured: Vec<f64> = lm.references.iter().map(|_| -45.0).collect();
+        let est = lm.locate(&measured, toy_model).unwrap();
+        assert!(lm.bounds.contains(est));
+    }
+}

@@ -1,0 +1,29 @@
+//! Baseline localization systems the paper compares against (Section VII-A).
+//!
+//! All four baselines locate *tags* given known reader positions; the paper
+//! flips the problem, so each is reimplemented here in its natural dual
+//! form for reader localization (the adaptations are documented per module
+//! and in DESIGN.md §4):
+//!
+//! * [`landmarc`] — RSSI k-nearest-neighbor fingerprinting (Ni et al.).
+//! * [`antloc`] — variable RF-attenuation threshold ranging +
+//!   trilateration (Luo et al., the only prior *antenna*-localization
+//!   system).
+//! * [`pinit`] — synthetic-aperture spatial profiles compared by dynamic
+//!   time warping (Wang & Katabi).
+//! * [`backpos`] — hyperbolic positioning from backscatter phase
+//!   differences (Liu et al.).
+
+#![warn(missing_docs)]
+
+pub mod antloc;
+pub mod backpos;
+pub mod common;
+pub mod landmarc;
+pub mod pinit;
+
+pub use antloc::AntLoc;
+pub use backpos::BackPos;
+pub use common::{BaselineError, Bounds2D};
+pub use landmarc::Landmarc;
+pub use pinit::{dtw, PinIt, ReferenceProfile};

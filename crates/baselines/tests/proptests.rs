@@ -1,0 +1,68 @@
+//! Property-based tests for the baseline localizers.
+
+use proptest::prelude::*;
+use tagspin_baselines::pinit::{dtw, dtw_banded};
+use tagspin_baselines::{AntLoc, Bounds2D};
+use tagspin_geom::{Vec2, Vec3};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// DTW is a symmetric, non-negative dissimilarity with identity zero.
+    #[test]
+    fn dtw_dissimilarity_axioms(
+        a in proptest::collection::vec(-5.0f64..5.0, 1..40),
+        b in proptest::collection::vec(-5.0f64..5.0, 1..40),
+    ) {
+        let dab = dtw(&a, &b);
+        prop_assert!(dab >= 0.0);
+        prop_assert!((dab - dtw(&b, &a)).abs() < 1e-9);
+        prop_assert_eq!(dtw(&a, &a), 0.0);
+    }
+
+    /// DTW never exceeds the lockstep (equal-length) distance and banded
+    /// DTW never undercuts the unbanded optimum.
+    #[test]
+    fn dtw_bounds(
+        a in proptest::collection::vec(-5.0f64..5.0, 2..30),
+        shift in -1.0f64..1.0,
+        band in 1usize..8,
+    ) {
+        let b: Vec<f64> = a.iter().map(|x| x + shift).collect();
+        let lockstep: f64 = a.iter().zip(&b).map(|(x, y)| (x - y).abs()).sum();
+        let full = dtw(&a, &b);
+        prop_assert!(full <= lockstep + 1e-9);
+        let banded = dtw_banded(&a, &b, band);
+        prop_assert!(banded >= full - 1e-9);
+    }
+
+    /// AntLoc trilateration with exact ranges recovers the position for
+    /// any target inside the anchor hull.
+    #[test]
+    fn antloc_exact_ranges(tx in -0.9f64..0.9, ty in -0.6f64..1.4) {
+        let refs = vec![
+            Vec3::new(-1.5, -1.0, 0.0),
+            Vec3::new(1.5, -1.0, 0.0),
+            Vec3::new(0.0, 1.8, 0.0),
+            Vec3::new(-1.0, 1.2, 0.0),
+        ];
+        let truth = Vec2::new(tx, ty);
+        let ranges: Vec<f64> = refs.iter().map(|r| r.distance(truth.with_z(0.0))).collect();
+        let al = AntLoc::new(refs, 30.0, 2.0);
+        let est = al.locate_with_ranges(&ranges).expect("solves");
+        prop_assert!((est - truth).norm() < 1e-4, "est {est} truth {truth}");
+    }
+
+    /// Bounds2D::grid points all lie inside; clamp is idempotent and maps
+    /// into the bounds.
+    #[test]
+    fn bounds_contract(px in -20.0f64..20.0, py in -20.0f64..20.0, step in 0.1f64..2.0) {
+        let b = Bounds2D::paper_room();
+        for p in b.grid(step) {
+            prop_assert!(b.contains(p));
+        }
+        let c = b.clamp(Vec2::new(px, py));
+        prop_assert!(b.contains(c));
+        prop_assert_eq!(b.clamp(c), c);
+    }
+}

@@ -1,0 +1,133 @@
+//! Criterion benchmarks for the baseline localizers (Table 2 comparators).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use tagspin_baselines::{dtw, AntLoc, BackPos, Bounds2D, Landmarc, PinIt, ReferenceProfile};
+use tagspin_geom::{Vec2, Vec3};
+
+fn refs_grid() -> Vec<Vec3> {
+    let mut v = Vec::new();
+    for ix in -1..=1 {
+        for iy in 0..3 {
+            v.push(Vec3::new(ix as f64, 0.5 + iy as f64, 0.0));
+        }
+    }
+    v
+}
+
+fn bench_landmarc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("baseline_landmarc");
+    let predict = |reader: Vec3, tag: Vec3| -> f64 {
+        -40.0 - 20.0 * reader.distance(tag).max(0.05).log10()
+    };
+    let truth = Vec3::new(0.4, 1.5, 0.0);
+    let measured: Vec<f64> = refs_grid().iter().map(|&t| predict(truth, t)).collect();
+    for &step in &[0.2f64, 0.1, 0.05] {
+        let lm = Landmarc {
+            grid_step: step,
+            ..Landmarc::new(refs_grid(), Bounds2D::paper_room())
+        };
+        group.bench_with_input(
+            BenchmarkId::from_parameter((step * 100.0) as u32),
+            &lm,
+            |b, lm| b.iter(|| lm.locate(black_box(&measured), predict).expect("fix")),
+        );
+    }
+    group.finish();
+}
+
+fn bench_antloc(c: &mut Criterion) {
+    let al = AntLoc::new(refs_grid(), 30.0, 2.0);
+    let truth = Vec2::new(0.3, 1.2);
+    let thresholds: Vec<f64> = al
+        .references
+        .iter()
+        .map(|t| 30.0 - 20.0 * t.distance(truth.with_z(0.0)).log10())
+        .collect();
+    c.bench_function("baseline_antloc_locate", |b| {
+        b.iter(|| al.locate(black_box(&thresholds)).expect("fix"))
+    });
+}
+
+fn bench_dtw(c: &mut Criterion) {
+    let mut group = c.benchmark_group("baseline_dtw");
+    for &n in &[90usize, 180, 360] {
+        let a: Vec<f64> = (0..n).map(|i| (i as f64 * 0.1).sin()).collect();
+        let bv: Vec<f64> = (0..n).map(|i| (i as f64 * 0.1 + 0.4).sin()).collect();
+        group.bench_with_input(BenchmarkId::new("full", n), &n, |bch, _| {
+            bch.iter(|| dtw(black_box(&a), black_box(&bv)))
+        });
+        group.bench_with_input(BenchmarkId::new("banded", n), &n, |bch, _| {
+            bch.iter(|| tagspin_baselines::pinit::dtw_banded(black_box(&a), black_box(&bv), n / 8))
+        });
+    }
+    group.finish();
+}
+
+fn bench_pinit(c: &mut Criterion) {
+    let bins = 180;
+    let profile_for = |pos: Vec2| -> Vec<f64> {
+        let bearing = pos.bearing();
+        (0..bins)
+            .map(|i| {
+                let phi = i as f64 * std::f64::consts::TAU / bins as f64;
+                let mut d = (phi - bearing).abs();
+                if d > std::f64::consts::PI {
+                    d = std::f64::consts::TAU - d;
+                }
+                (1.0 / (1.0 + pos.norm())) * (-(d / 0.3).powi(2)).exp()
+            })
+            .collect()
+    };
+    let refs: Vec<ReferenceProfile> = (0..24)
+        .map(|i| {
+            let p = Vec2::new((i % 6) as f64 * 0.5 - 1.25, 0.5 + (i / 6) as f64 * 0.5);
+            ReferenceProfile {
+                position: p,
+                profile: profile_for(p),
+            }
+        })
+        .collect();
+    let pinit = PinIt::new(refs, 3);
+    let target = profile_for(Vec2::new(0.3, 1.3));
+    c.bench_function("baseline_pinit_locate_24refs", |b| {
+        b.iter(|| pinit.locate(black_box(&target)).expect("fix"))
+    });
+}
+
+fn bench_backpos(c: &mut Criterion) {
+    let mut group = c.benchmark_group("baseline_backpos");
+    group.sample_size(10);
+    let lambda = 0.325;
+    let refs = vec![
+        Vec3::new(-1.2, -0.8, 0.0),
+        Vec3::new(1.2, -0.8, 0.0),
+        Vec3::new(1.2, 1.2, 0.0),
+        Vec3::new(-1.2, 1.2, 0.0),
+        Vec3::new(0.0, 0.3, 0.0),
+    ];
+    let truth = Vec2::new(0.35, -0.4);
+    let k = 4.0 * std::f64::consts::PI / lambda;
+    let phases: Vec<f64> = refs
+        .iter()
+        .map(|t| (k * t.distance(truth.with_z(0.0))).rem_euclid(std::f64::consts::TAU))
+        .collect();
+    let bp = BackPos::new(
+        refs,
+        lambda,
+        Bounds2D::new(Vec2::new(-2.0, -2.0), Vec2::new(2.0, 2.0)),
+    );
+    group.bench_function("locate", |b| {
+        b.iter(|| bp.locate(black_box(&phases)).expect("fix"))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_landmarc,
+    bench_antloc,
+    bench_dtw,
+    bench_pinit,
+    bench_backpos
+);
+criterion_main!(benches);

@@ -1,0 +1,98 @@
+//! Criterion benchmarks for the calibration stages (Figs. 3–5, 11):
+//! smoothing, Fourier fitting and offset application.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use tagspin_bench::synthetic_snapshots;
+use tagspin_core::calib::diversity::{relative_phases, smooth};
+use tagspin_core::calib::orientation::OrientationCalibration;
+use tagspin_core::snapshot::{Snapshot, SnapshotSet};
+use tagspin_core::spinning::DiskConfig;
+use tagspin_dsp::fourier::FourierSeries;
+use tagspin_geom::Vec3;
+use tagspin_rf::OrientationPhase;
+
+/// A center-spin capture carrying a hidden ψ — the Fourier-fit workload.
+fn center_capture(n: usize) -> SnapshotSet {
+    let disk = DiskConfig::paper_default(Vec3::ZERO);
+    let psi = OrientationPhase::template(0.7);
+    SnapshotSet::from_snapshots(
+        (0..n)
+            .map(|i| {
+                let t = i as f64 * disk.period_s() * 1.3 / n as f64;
+                Snapshot {
+                    t_s: t,
+                    phase: (2.0 + psi.eval(disk.disk_angle(t)))
+                        .rem_euclid(std::f64::consts::TAU),
+                    disk_angle: disk.disk_angle(t),
+                    lambda: 0.325,
+                    rssi_dbm: -60.0,
+                }
+            })
+            .collect(),
+    )
+}
+
+fn bench_smoothing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("calibration_smooth");
+    for &n in &[100usize, 1000, 10_000] {
+        let set = synthetic_snapshots(Vec3::new(0.0, 2.0, 0.0), n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &set, |b, set| {
+            b.iter(|| smooth(black_box(set)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_relative_phases(c: &mut Criterion) {
+    let set = synthetic_snapshots(Vec3::new(0.0, 2.0, 0.0), 1000);
+    c.bench_function("calibration_relative_phases_1000", |b| {
+        b.iter(|| relative_phases(black_box(&set), 0))
+    });
+}
+
+fn bench_orientation_fit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("calibration_orientation_fit");
+    for &n in &[200usize, 800, 3200] {
+        let set = center_capture(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &set, |b, set| {
+            b.iter(|| OrientationCalibration::fit(black_box(set)).expect("fits"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_orientation_apply(c: &mut Criterion) {
+    let cal = OrientationCalibration::fit(&center_capture(800)).expect("fits");
+    let set = synthetic_snapshots(Vec3::new(0.0, 2.0, 0.0), 800);
+    c.bench_function("calibration_orientation_apply_800", |b| {
+        b.iter(|| cal.apply(black_box(&set)))
+    });
+}
+
+fn bench_fourier_orders(c: &mut Criterion) {
+    // Cost of the least-squares fit vs series order (the ablation knob of
+    // Section III-B).
+    let mut group = c.benchmark_group("calibration_fourier_order");
+    let samples: Vec<(f64, f64)> = (0..720)
+        .map(|i| {
+            let rho = i as f64 * std::f64::consts::TAU / 720.0;
+            (rho, 0.35 * rho.cos() + 0.1 * (2.0 * rho).sin())
+        })
+        .collect();
+    for &order in &[1usize, 3, 6, 10] {
+        group.bench_with_input(BenchmarkId::from_parameter(order), &order, |b, &order| {
+            b.iter(|| FourierSeries::fit(black_box(&samples), order).expect("fits"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_smoothing,
+    bench_relative_phases,
+    bench_orientation_fit,
+    bench_orientation_apply,
+    bench_fourier_orders
+);
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! Criterion benchmarks for the localization stages (Fig. 10): bearing
+//! intersection and the full server pipeline.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use tagspin_core::locate::plane::{locate_2d, Bearing2D};
+use tagspin_core::locate::space::{locate_3d, Bearing3D};
+use tagspin_geom::vec3::Direction3;
+use tagspin_geom::{Vec2, Vec3};
+use tagspin_sim::scenario::Scenario;
+use tagspin_sim::trial::{observe, setup_trial};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_intersection_2d(c: &mut Criterion) {
+    let mut group = c.benchmark_group("locate_2d");
+    let target = Vec2::new(0.5, 2.0);
+    for &n in &[2usize, 4, 16, 64] {
+        let bearings: Vec<Bearing2D> = (0..n)
+            .map(|i| {
+                let origin = Vec2::new(i as f64 * 0.2 - 1.0, 0.0);
+                Bearing2D::new(origin, (target - origin).bearing())
+            })
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &bearings, |b, bs| {
+            b.iter(|| locate_2d(black_box(bs)).expect("intersects"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_intersection_3d(c: &mut Criterion) {
+    let target = Vec3::new(0.5, 2.0, 1.2);
+    let bearings: Vec<Bearing3D> = (0..4)
+        .map(|i| {
+            let origin = Vec3::new(i as f64 * 0.3 - 0.45, 0.0, 0.9);
+            let rel = target - origin;
+            Bearing3D::new(origin, Direction3::new(rel.azimuth(), rel.polar()))
+        })
+        .collect();
+    c.bench_function("locate_3d_4_bearings", |b| {
+        b.iter(|| locate_3d(black_box(&bearings)).expect("intersects"))
+    });
+}
+
+fn bench_full_pipeline(c: &mut Criterion) {
+    // The complete server-side computation on a realistic log (inventory
+    // excluded — that is the world, not the algorithm).
+    let mut group = c.benchmark_group("pipeline");
+    group.sample_size(10);
+    let scenario = Scenario::paper_2d(Vec2::new(0.4, 1.8)).quick();
+    let mut rng = StdRng::seed_from_u64(42);
+    let setup = setup_trial(&scenario, &mut rng).expect("setup succeeds");
+    let log = observe(&scenario, &setup, &mut rng);
+    group.bench_function("locate_2d_end_to_end", |b| {
+        b.iter(|| setup.server.locate_2d(black_box(&log)).expect("fix"))
+    });
+
+    let scenario3 = Scenario::paper_3d(Vec3::new(0.3, 1.6, 1.5)).quick();
+    let mut rng = StdRng::seed_from_u64(43);
+    let setup3 = setup_trial(&scenario3, &mut rng).expect("setup succeeds");
+    let log3 = observe(&scenario3, &setup3, &mut rng);
+    group.bench_function("locate_3d_end_to_end", |b| {
+        b.iter(|| setup3.server.locate_3d(black_box(&log3)).expect("fix"))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_intersection_2d,
+    bench_intersection_3d,
+    bench_full_pipeline
+);
+criterion_main!(benches);

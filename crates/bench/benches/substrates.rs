@@ -1,0 +1,116 @@
+//! Criterion benchmarks for the substrate layers: RF channel evaluation,
+//! EPC inventory simulation, LLRP encode/decode, DSP kernels.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tagspin_bench::bench_inventory;
+use tagspin_dsp::lstsq::{self, Matrix};
+use tagspin_dsp::unwrap;
+use tagspin_epc::llrp::{decode_report, encode_report};
+use tagspin_geom::{Pose, Vec3};
+use tagspin_rf::channel::{measure, Environment};
+use tagspin_rf::constants::DEFAULT_CARRIER_HZ;
+use tagspin_rf::multipath::room_walls;
+use tagspin_rf::{ReaderAntenna, TagInstance, TagModel};
+use tagspin_geom::Vec2;
+
+fn bench_channel_measure(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rf_measure");
+    let reader = Pose::facing_toward(Vec3::new(2.0, 0.0, 0.0), Vec3::ZERO);
+    let antenna = ReaderAntenna::typical(1);
+    let tag = TagInstance::ideal(TagModel::DEFAULT, 1);
+    let anechoic = Environment::paper_default();
+    let office = Environment::office(room_walls(Vec2::new(-3.0, -4.5), 6.0, 9.0, 0.3));
+    group.bench_function("anechoic", |b| {
+        let mut rng = StdRng::seed_from_u64(1);
+        b.iter(|| {
+            measure(
+                black_box(&anechoic),
+                reader,
+                &antenna,
+                &tag,
+                Vec3::ZERO,
+                0.3,
+                DEFAULT_CARRIER_HZ,
+                &mut rng,
+            )
+        })
+    });
+    group.bench_function("office_4_walls", |b| {
+        let mut rng = StdRng::seed_from_u64(1);
+        b.iter(|| {
+            measure(
+                black_box(&office),
+                reader,
+                &antenna,
+                &tag,
+                Vec3::ZERO,
+                0.3,
+                DEFAULT_CARRIER_HZ,
+                &mut rng,
+            )
+        })
+    });
+    group.finish();
+}
+
+fn bench_inventory_sim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("epc_inventory");
+    group.sample_size(10);
+    for &rot in &[0.25f64, 1.0] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{rot}rot")),
+            &rot,
+            |b, &rot| b.iter(|| bench_inventory(black_box(rot), 7)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_llrp(c: &mut Criterion) {
+    let (log, _) = bench_inventory(1.0, 3);
+    let bytes = encode_report(&log, 1);
+    let mut group = c.benchmark_group("epc_llrp");
+    group.bench_function(format!("encode_{}_reads", log.len()), |b| {
+        b.iter(|| encode_report(black_box(&log), 1))
+    });
+    group.bench_function(format!("decode_{}_reads", log.len()), |b| {
+        b.iter(|| decode_report(black_box(bytes.clone())).expect("valid"))
+    });
+    group.finish();
+}
+
+fn bench_dsp_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dsp");
+    let phases: Vec<f64> = (0..10_000)
+        .map(|i| (0.03 * i as f64).rem_euclid(std::f64::consts::TAU))
+        .collect();
+    group.bench_function("unwrap_10k", |b| {
+        b.iter(|| unwrap::unwrap(black_box(&phases)))
+    });
+    // A 360×7 Fourier-design least squares, the calibration fit's shape.
+    let a = Matrix::from_fn(360, 7, |r, col| {
+        let rho = r as f64 * std::f64::consts::TAU / 360.0;
+        match col {
+            0 => 1.0,
+            c if c % 2 == 1 => (c.div_ceil(2) as f64 * rho).cos(),
+            c => ((c / 2) as f64 * rho).sin(),
+        }
+    });
+    let x_true = [0.1, 0.3, -0.2, 0.05, 0.02, -0.01, 0.0];
+    let b_vec = a.mul_vec(&x_true);
+    group.bench_function("lstsq_360x7", |bch| {
+        bch.iter(|| lstsq::solve(black_box(&a), black_box(&b_vec)).expect("solves"))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_channel_measure,
+    bench_inventory_sim,
+    bench_llrp,
+    bench_dsp_kernels
+);
+criterion_main!(benches);

@@ -1,0 +1,97 @@
+//! Regenerate every figure and table of the paper's evaluation.
+//!
+//! ```text
+//! reproduce               # all experiments at full (paper) fidelity
+//! reproduce --quick       # all experiments at CI fidelity
+//! reproduce fig10a fig6   # a subset
+//! reproduce --csv out/    # also write each report as CSV under out/
+//! reproduce --trials 25   # override the per-configuration trial count
+//! reproduce --list        # show the registry
+//! ```
+//!
+//! Output goes to stdout in the `Report` text format; EXPERIMENTS.md records
+//! a full run.
+
+use std::time::Instant;
+use tagspin_sim::experiments::{registry, run, Fidelity};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let list = args.iter().any(|a| a == "--list");
+    let csv_dir = args
+        .iter()
+        .position(|a| a == "--csv")
+        .and_then(|i| args.get(i + 1))
+        .map(std::path::PathBuf::from);
+    let trials_override: Option<usize> = args
+        .iter()
+        .position(|a| a == "--trials")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok());
+    let mut skip_next = false;
+    let ids: Vec<&String> = args
+        .iter()
+        .filter(|a| {
+            if skip_next {
+                skip_next = false;
+                return false;
+            }
+            if *a == "--csv" || *a == "--trials" {
+                skip_next = true;
+            }
+            !a.starts_with("--")
+        })
+        .collect();
+
+    if list {
+        println!("available experiments:");
+        for (id, _) in registry() {
+            println!("  {id}");
+        }
+        return;
+    }
+
+    let mut fidelity = if quick {
+        Fidelity::quick()
+    } else {
+        Fidelity::full()
+    };
+    if let Some(trials) = trials_override {
+        fidelity.trials = trials;
+    }
+    println!(
+        "# Tagspin reproduction — fidelity: {} ({} trials/config, seed {:#x})\n",
+        if quick { "quick" } else { "full" },
+        fidelity.trials,
+        fidelity.seed
+    );
+
+    let selected: Vec<&'static str> = if ids.is_empty() {
+        registry().iter().map(|(id, _)| *id).collect()
+    } else {
+        registry()
+            .iter()
+            .map(|(id, _)| *id)
+            .filter(|id| ids.iter().any(|want| want == id))
+            .collect()
+    };
+    if selected.is_empty() {
+        eprintln!("no matching experiments; try --list");
+        std::process::exit(1);
+    }
+
+    let total = Instant::now();
+    for id in selected {
+        let t0 = Instant::now();
+        let report = run(id, &fidelity).expect("id from registry");
+        println!("{report}");
+        if let Some(dir) = &csv_dir {
+            if let Err(e) = report.write_csv(dir) {
+                eprintln!("warning: csv export for {id} failed: {e}");
+            }
+        }
+        println!("  [{} took {:.1} s]\n", id, t0.elapsed().as_secs_f64());
+    }
+    println!("total: {:.1} s", total.elapsed().as_secs_f64());
+}

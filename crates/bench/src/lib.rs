@@ -1,0 +1,74 @@
+//! Shared fixtures for the Tagspin benchmarks and the `reproduce` binary.
+
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tagspin_core::snapshot::{Snapshot, SnapshotSet};
+use tagspin_core::spinning::{DiskConfig, SpinningTag};
+use tagspin_epc::inventory::{run_inventory, ReaderConfig, Transponder};
+use tagspin_epc::InventoryLog;
+use tagspin_geom::{Pose, Vec3};
+use tagspin_rf::channel::Environment;
+use tagspin_rf::phase::round_trip_phase;
+use tagspin_rf::{TagInstance, TagModel};
+
+/// A deterministic noise-free snapshot set: one disk rotation observed from
+/// `reader`, `n` uniform samples. Used by the spectrum kernels' benches so
+/// timings do not depend on the EPC layer.
+pub fn synthetic_snapshots(reader: Vec3, n: usize) -> SnapshotSet {
+    let disk = DiskConfig::paper_default(Vec3::ZERO);
+    SnapshotSet::from_snapshots(
+        (0..n)
+            .map(|i| {
+                let t = i as f64 * disk.period_s() / n as f64;
+                let d = disk.tag_position(t).distance(reader);
+                Snapshot {
+                    t_s: t,
+                    phase: round_trip_phase(d, 922.5e6, 1.0),
+                    disk_angle: disk.disk_angle(t),
+                    lambda: 0.325,
+                    rssi_dbm: -60.0,
+                }
+            })
+            .collect(),
+    )
+}
+
+/// The paper-default disk at the origin (radius 10 cm, ω = 0.5 rad/s).
+pub fn bench_disk() -> DiskConfig {
+    DiskConfig::paper_default(Vec3::ZERO)
+}
+
+/// A realistic inventory log: one spinning tag observed for `rotations`
+/// disk turns under the paper-default environment.
+pub fn bench_inventory(rotations: f64, seed: u64) -> (InventoryLog, DiskConfig) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let disk = bench_disk();
+    let tag = SpinningTag::new(
+        disk,
+        TagInstance::manufacture(TagModel::DEFAULT, 1, &mut rng),
+    );
+    let reader = ReaderConfig::at(Pose::facing_toward(Vec3::new(0.0, 2.0, 0.0), disk.center));
+    let log = run_inventory(
+        &Environment::paper_default(),
+        &reader,
+        &[&tag as &dyn Transponder],
+        disk.period_s() * rotations,
+        &mut rng,
+    );
+    (log, disk)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_are_usable() {
+        let set = synthetic_snapshots(Vec3::new(1.0, 1.0, 0.0), 100);
+        assert_eq!(set.len(), 100);
+        let (log, _) = bench_inventory(0.2, 1);
+        assert!(!log.is_empty());
+    }
+}

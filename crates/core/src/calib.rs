@@ -1,0 +1,15 @@
+//! Phase calibration (paper Section III).
+//!
+//! Two distinct effects corrupt raw phase sequences, each with its own
+//! submodule:
+//!
+//! * [`diversity`] — the constant hardware offset `θ_div`, eliminated by
+//!   referencing every snapshot to the first (Eqn 7);
+//! * [`orientation`] — the tag-orientation effect ψ(ρ) (Observation 3.1),
+//!   fitted from a center-spin run with a Fourier series and subtracted.
+
+pub mod diversity;
+pub mod orientation;
+
+pub use diversity::{relative_phases, smooth, theoretical_phase_exact, theoretical_phase_model};
+pub use orientation::{OrientationCalibration, OrientationCalibrationError};

@@ -1,0 +1,212 @@
+//! Device-diversity calibration (Section III-B / Section IV).
+//!
+//! The misalignment between measured and theoretical phase comes from the
+//! diversity term `θ_div` (Eqn 1), constant "under the same macro
+//! environment". The paper removes it — together with the unknown
+//! center-to-reader distance `D` — by dividing every channel sample by the
+//! first one (Eqn 7), i.e. working with *relative* phases `θᵢ − θ₁`.
+//!
+//! This module also provides the paper's theoretical phase expressions
+//! (Eqn 3 with the far-field approximation, and the exact form) used by the
+//! Fig. 3/4 reproductions to display ground truth.
+
+use crate::snapshot::SnapshotSet;
+use crate::spinning::DiskConfig;
+use std::f64::consts::TAU;
+use tagspin_dsp::unwrap;
+use tagspin_geom::Vec3;
+
+/// Smooth a wrapped phase sequence (the paper's Eqn-4 step), returning a new
+/// snapshot set with unwrapped phases.
+///
+/// ```
+/// # use tagspin_core::snapshot::{Snapshot, SnapshotSet};
+/// # use tagspin_core::calib::smooth;
+/// let set = SnapshotSet::from_snapshots(vec![
+///     Snapshot { t_s: 0.0, phase: 6.0, disk_angle: 0.0, lambda: 0.325, rssi_dbm: -60.0 },
+///     Snapshot { t_s: 0.1, phase: 0.2, disk_angle: 0.05, lambda: 0.325, rssi_dbm: -60.0 },
+/// ]);
+/// let smoothed = smooth(&set);
+/// // The wrap at 2π is removed: the second phase continues past 2π.
+/// assert!((smoothed.snapshots()[1].phase - (0.2 + std::f64::consts::TAU)).abs() < 1e-9);
+/// ```
+pub fn smooth(set: &SnapshotSet) -> SnapshotSet {
+    set.with_phases(&unwrap::unwrap(&set.phases()))
+}
+
+/// Relative phases `θᵢ − θ_ref`, the quantity entering `Q(φ)`/`R(φ)`.
+///
+/// Computed on the *wrapped* inputs and reduced mod 2π to `[0, 2π)`; the
+/// spectra only ever use `e^{jΔ}`, so any 2π ambiguity is immaterial.
+///
+/// # Panics
+///
+/// Panics when `reference` is out of bounds.
+pub fn relative_phases(set: &SnapshotSet, reference: usize) -> Vec<f64> {
+    let phases = set.phases();
+    let theta_ref = phases[reference];
+    phases
+        .iter()
+        .map(|&p| (p - theta_ref).rem_euclid(TAU))
+        .collect()
+}
+
+/// The paper's Eqn 3: theoretical phase of a spinning tag under the
+/// far-field approximation `d(t) ≈ D − r·cos(ωt − φ)`, with `θ_div = 0`,
+/// wrapped to `[0, 2π)`.
+///
+/// `reader` may be off-plane; the paper's 3D extension (Eqn 10) multiplies
+/// the radius term by `cos γ`, which this implements.
+pub fn theoretical_phase_model(
+    disk: &DiskConfig,
+    reader: Vec3,
+    t_s: f64,
+    lambda: f64,
+) -> f64 {
+    let rel = reader - disk.center;
+    let dist = rel.norm();
+    let phi = rel.azimuth();
+    let gamma = rel.polar();
+    let d = dist - disk.radius * (disk.disk_angle(t_s) - phi).cos() * gamma.cos();
+    (2.0 * TAU / lambda * d).rem_euclid(TAU)
+}
+
+/// Exact theoretical phase: uses the true tag position on the track (no
+/// far-field approximation), `θ_div = 0`, wrapped to `[0, 2π)`.
+pub fn theoretical_phase_exact(
+    disk: &DiskConfig,
+    reader: Vec3,
+    t_s: f64,
+    lambda: f64,
+) -> f64 {
+    let d = disk.tag_position(t_s).distance(reader);
+    (2.0 * TAU / lambda * d).rem_euclid(TAU)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snapshot::Snapshot;
+
+    fn disk() -> DiskConfig {
+        DiskConfig::paper_default(Vec3::new(1.0, 0.0, 0.0))
+    }
+
+    fn synthetic_set(n: usize, f: impl Fn(f64) -> f64) -> SnapshotSet {
+        let d = disk();
+        SnapshotSet::from_snapshots(
+            (0..n)
+                .map(|i| {
+                    let t = i as f64 * 0.05;
+                    Snapshot {
+                        t_s: t,
+                        phase: f(t).rem_euclid(TAU),
+                        disk_angle: d.disk_angle(t),
+                        lambda: 0.325,
+                        rssi_dbm: -60.0,
+                    }
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn smooth_removes_wraps() {
+        let set = synthetic_set(200, |t| 3.0 * t);
+        let smoothed = smooth(&set);
+        // After smoothing, consecutive steps are all < π.
+        for w in smoothed.phases().windows(2) {
+            assert!((w[1] - w[0]).abs() < std::f64::consts::PI);
+        }
+    }
+
+    #[test]
+    fn relative_phase_of_reference_is_zero() {
+        let set = synthetic_set(10, |t| 1.0 + t);
+        let rel = relative_phases(&set, 0);
+        assert_eq!(rel[0], 0.0);
+        for r in &rel {
+            assert!((0.0..TAU).contains(r));
+        }
+    }
+
+    #[test]
+    fn relative_phase_cancels_constant_offset() {
+        // Two sequences differing by a constant θ_div produce identical
+        // relative phases.
+        let a = synthetic_set(30, |t| 0.7 * (2.0 * t).sin());
+        let b = synthetic_set(30, |t| 0.7 * (2.0 * t).sin() + 1.234);
+        let ra = relative_phases(&a, 0);
+        let rb = relative_phases(&b, 0);
+        for (x, y) in ra.iter().zip(&rb) {
+            let d = (x - y).rem_euclid(TAU);
+            assert!(d < 1e-9 || TAU - d < 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn relative_phases_bad_reference_panics() {
+        let set = synthetic_set(3, |t| t);
+        let _ = relative_phases(&set, 5);
+    }
+
+    #[test]
+    fn model_matches_exact_in_far_field() {
+        // Reader 3 m away, r = 10 cm: the approximation error is ≈ r²/(2D)
+        // in distance → small phase error.
+        let d = disk();
+        let reader = Vec3::new(-2.0, 0.0, 0.0);
+        for i in 0..50 {
+            let t = i as f64 * 0.2;
+            let a = theoretical_phase_model(&d, reader, t, 0.325);
+            let b = theoretical_phase_exact(&d, reader, t, 0.325);
+            let diff = {
+                let x = (a - b).rem_euclid(TAU);
+                x.min(TAU - x)
+            };
+            // 4π/λ · r²/(2D) ≈ 38.7 · 0.01/6 ≈ 0.065 rad bound.
+            assert!(diff < 0.07, "t={t} diff={diff}");
+        }
+    }
+
+    #[test]
+    fn model_diverges_from_exact_in_near_field() {
+        // Reader only 25 cm from a 10 cm disk: approximation must break.
+        let d = disk();
+        let reader = Vec3::new(1.25, 0.0, 0.0);
+        let mut max_diff: f64 = 0.0;
+        for i in 0..100 {
+            let t = i as f64 * 0.2;
+            let a = theoretical_phase_model(&d, reader, t, 0.325);
+            let b = theoretical_phase_exact(&d, reader, t, 0.325);
+            let x = (a - b).rem_euclid(TAU);
+            max_diff = max_diff.max(x.min(TAU - x));
+        }
+        assert!(max_diff > 0.3, "max_diff = {max_diff}");
+    }
+
+    #[test]
+    fn model_3d_uses_cos_gamma() {
+        // Reader straight above the disk center: γ = π/2, so the radius term
+        // vanishes and the phase is constant over time.
+        let d = disk();
+        let reader = d.center + Vec3::new(0.0, 0.0, 2.0);
+        let p0 = theoretical_phase_model(&d, reader, 0.0, 0.325);
+        for i in 1..20 {
+            let p = theoretical_phase_model(&d, reader, i as f64 * 0.3, 0.325);
+            assert!((p - p0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn phase_period_matches_rotation() {
+        // The theoretical sequence repeats every disk period.
+        let d = disk();
+        let reader = Vec3::new(-1.0, 0.5, 0.0);
+        let t0 = 0.73;
+        let a = theoretical_phase_exact(&d, reader, t0, 0.325);
+        let b = theoretical_phase_exact(&d, reader, t0 + d.period_s(), 0.325);
+        assert!((a - b).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,46 @@
+//! Reader localization from spinning-tag bearings (paper Section V).
+
+pub mod aided;
+pub mod plane;
+pub mod space;
+
+pub use aided::{locate_3d_resolved, AmbiguousBearing, ResolvedFix};
+pub use plane::{locate_2d, Bearing2D, Fix2D};
+pub use space::{locate_3d, Bearing3D, Fix3D};
+
+use std::fmt;
+use tagspin_geom::line2::IntersectLinesError;
+
+/// Errors from the localization stage.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LocateError {
+    /// Fewer than two bearings were supplied.
+    TooFewBearings {
+        /// How many were supplied.
+        got: usize,
+    },
+    /// The bearing geometry is degenerate (parallel/singular).
+    Degenerate(IntersectLinesError),
+}
+
+impl fmt::Display for LocateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LocateError::TooFewBearings { got } => {
+                write!(f, "need at least two bearings, got {got}")
+            }
+            LocateError::Degenerate(e) => write!(f, "degenerate bearing geometry: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for LocateError {}
+
+impl From<IntersectLinesError> for LocateError {
+    fn from(e: IntersectLinesError) -> Self {
+        match e {
+            IntersectLinesError::TooFewLines => LocateError::TooFewBearings { got: 1 },
+            other => LocateError::Degenerate(other),
+        }
+    }
+}

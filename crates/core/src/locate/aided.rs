@@ -1,0 +1,274 @@
+//! Ambiguity-free 3D localization with mixed disk orientations — the
+//! implementation of the paper's future-work remark: "the third spinning
+//! tag, which rotates along the vertical direction to provide more aperture
+//! diversity in z-axis, can be introduced."
+//!
+//! Every planar-aperture tag produces *two* candidate directions (mirror
+//! images across its own disk plane). With all disks horizontal the two
+//! candidates share the mirror plane, so the ambiguity survives into the
+//! fix (Section V-B). With at least one disk in a different plane the
+//! mirror planes disagree: only the *true* combination of candidates makes
+//! the rays meet. [`locate_3d_resolved`] searches candidate combinations
+//! for the minimal ray-intersection residual — no dead-space prior needed.
+
+use crate::locate::LocateError;
+use serde::{Deserialize, Serialize};
+use tagspin_geom::line3::{nearest_point_to_lines, Line3};
+use tagspin_geom::vec3::Direction3;
+use tagspin_geom::Vec3;
+
+/// A bearing whose direction is known only up to a two-fold ambiguity.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AmbiguousBearing {
+    /// Disk center.
+    pub origin: Vec3,
+    /// The two mirror-image candidates (for a horizontal disk: `(φ, ±γ)`;
+    /// for a vertical disk: reflections across its plane).
+    pub candidates: [Direction3; 2],
+    /// Fusion weight (spectrum peak power). Must be ≥ 0.
+    pub weight: f64,
+}
+
+impl AmbiguousBearing {
+    /// A horizontal-disk bearing: candidates `(φ, ±γ)`.
+    pub fn horizontal(origin: Vec3, direction: Direction3) -> Self {
+        AmbiguousBearing {
+            origin,
+            candidates: [direction, direction.mirror()],
+            weight: 1.0,
+        }
+    }
+
+    /// A vertical-disk bearing with the plane's `normal_azimuth`: the second
+    /// candidate reflects the direction across the disk plane.
+    pub fn vertical(origin: Vec3, direction: Direction3, normal_azimuth: f64) -> Self {
+        let n = Vec3::new(normal_azimuth.cos(), normal_azimuth.sin(), 0.0);
+        let u = direction.unit();
+        let reflected = u - n * (2.0 * u.dot(n));
+        AmbiguousBearing {
+            origin,
+            candidates: [
+                direction,
+                Direction3::new(reflected.azimuth(), reflected.polar()),
+            ],
+            weight: 1.0,
+        }
+    }
+}
+
+/// A fix with its ambiguity resolved by geometric consistency.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ResolvedFix {
+    /// The estimated reader position.
+    pub position: Vec3,
+    /// RMS perpendicular distance from the fix to the chosen rays, meters.
+    pub residual_m: f64,
+    /// Which candidate (0 or 1) was chosen per bearing.
+    pub chosen: Vec<u8>,
+    /// Residual of the best *rejected* combination — the resolution margin;
+    /// a value close to `residual_m` means the geometry barely
+    /// disambiguates (e.g. all disks coplanar).
+    pub runner_up_residual_m: f64,
+}
+
+/// Maximum number of bearings for the exhaustive combination search.
+pub const MAX_BEARINGS: usize = 12;
+
+/// Locate the reader by choosing, per tag, the candidate direction that
+/// makes all rays meet best.
+///
+/// # Errors
+///
+/// * [`LocateError::TooFewBearings`] — fewer than two usable bearings, or
+///   more than [`MAX_BEARINGS`].
+/// * [`LocateError::Degenerate`] — every combination is geometrically
+///   singular.
+pub fn locate_3d_resolved(bearings: &[AmbiguousBearing]) -> Result<ResolvedFix, LocateError> {
+    let usable: Vec<&AmbiguousBearing> = bearings.iter().filter(|b| b.weight > 0.0).collect();
+    let n = usable.len();
+    if !(2..=MAX_BEARINGS).contains(&n) {
+        return Err(LocateError::TooFewBearings { got: n });
+    }
+    let weights: Vec<f64> = usable.iter().map(|b| b.weight).collect();
+    let mut best: Option<(f64, Vec3, u32)> = None;
+    let mut runner_up = f64::INFINITY;
+    for combo in 0u32..(1 << n) {
+        let lines: Vec<Line3> = usable
+            .iter()
+            .enumerate()
+            .map(|(i, b)| {
+                let c = ((combo >> i) & 1) as usize;
+                Line3::from_direction(b.origin, b.candidates[c])
+            })
+            .collect();
+        let Ok(point) = nearest_point_to_lines(&lines, Some(&weights)) else {
+            continue;
+        };
+        let ss: f64 = lines
+            .iter()
+            .map(|l| {
+                let d = l.distance(point);
+                d * d
+            })
+            .sum();
+        let rms = (ss / n as f64).sqrt();
+        match &mut best {
+            Some((b_rms, b_pos, b_combo)) => {
+                if rms < *b_rms {
+                    runner_up = *b_rms;
+                    *b_rms = rms;
+                    *b_pos = point;
+                    *b_combo = combo;
+                } else if rms < runner_up {
+                    runner_up = rms;
+                }
+            }
+            None => best = Some((rms, point, combo)),
+        }
+    }
+    let (residual_m, position, combo) =
+        best.ok_or(LocateError::Degenerate(
+            tagspin_geom::line2::IntersectLinesError::Singular,
+        ))?;
+    Ok(ResolvedFix {
+        position,
+        residual_m,
+        chosen: (0..n).map(|i| ((combo >> i) & 1) as u8).collect(),
+        runner_up_residual_m: runner_up,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::FRAC_PI_2;
+
+    fn toward(origin: Vec3, target: Vec3) -> Direction3 {
+        let rel = target - origin;
+        Direction3::new(rel.azimuth(), rel.polar())
+    }
+
+    #[test]
+    fn two_horizontal_plus_vertical_breaks_ambiguity() {
+        // Horizontal disks alone cannot tell +z from −z; adding a vertical
+        // disk must select the true candidate.
+        let target = Vec3::new(0.4, 1.8, 1.2);
+        let h1 = AmbiguousBearing::horizontal(Vec3::new(-0.3, 0.0, 0.0), toward(Vec3::new(-0.3, 0.0, 0.0), target));
+        let h2 = AmbiguousBearing::horizontal(Vec3::new(0.3, 0.0, 0.0), toward(Vec3::new(0.3, 0.0, 0.0), target));
+        let v_origin = Vec3::new(0.0, 0.5, 0.0);
+        let v = AmbiguousBearing::vertical(v_origin, toward(v_origin, target), FRAC_PI_2);
+        let fix = locate_3d_resolved(&[h1, h2, v]).unwrap();
+        assert!(
+            (fix.position - target).norm() < 1e-6,
+            "fix {} vs target {}",
+            fix.position,
+            target
+        );
+        assert!(fix.residual_m < 1e-9);
+        // True candidates (index 0) everywhere.
+        assert_eq!(fix.chosen, vec![0, 0, 0]);
+        // And the disambiguation margin is clear.
+        assert!(fix.runner_up_residual_m > 10.0 * (fix.residual_m + 1e-9));
+    }
+
+    #[test]
+    fn horizontal_only_has_weak_margin() {
+        // All mirror planes coincide ⇒ flipping all γ signs gives an equally
+        // consistent (mirror) solution: the runner-up residual is ~equal.
+        let target = Vec3::new(0.2, 1.5, 0.8);
+        let o1 = Vec3::new(-0.3, 0.0, 0.0);
+        let o2 = Vec3::new(0.3, 0.0, 0.0);
+        let o3 = Vec3::new(0.0, 0.6, 0.0);
+        let bearings = [
+            AmbiguousBearing::horizontal(o1, toward(o1, target)),
+            AmbiguousBearing::horizontal(o2, toward(o2, target)),
+            AmbiguousBearing::horizontal(o3, toward(o3, target)),
+        ];
+        let fix = locate_3d_resolved(&bearings).unwrap();
+        // Either the target or its z-mirror is found...
+        let hit = (fix.position - target).norm() < 1e-6
+            || (fix.position - target.mirror_z()).norm() < 1e-6;
+        assert!(hit, "fix {}", fix.position);
+        // ...and the margin is (numerically) nil.
+        assert!(fix.runner_up_residual_m < 1e-6);
+    }
+
+    #[test]
+    fn noisy_candidates_still_resolve() {
+        let target = Vec3::new(-0.5, 2.0, 1.4);
+        let mk = |o: Vec3, jitter: f64, vertical: Option<f64>| {
+            let d = toward(o, target);
+            let d = Direction3::new(d.azimuth + jitter, d.polar - jitter);
+            match vertical {
+                Some(na) => AmbiguousBearing::vertical(o, d, na),
+                None => AmbiguousBearing::horizontal(o, d),
+            }
+        };
+        let bearings = [
+            mk(Vec3::new(-0.3, 0.0, 0.0), 0.01, None),
+            mk(Vec3::new(0.3, 0.0, 0.0), -0.008, None),
+            mk(Vec3::new(0.0, 0.5, 0.0), 0.012, Some(FRAC_PI_2)),
+        ];
+        let fix = locate_3d_resolved(&bearings).unwrap();
+        assert!(
+            (fix.position - target).norm() < 0.15,
+            "fix {} err {:.3} m",
+            fix.position,
+            (fix.position - target).norm()
+        );
+        assert_eq!(fix.chosen, vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn vertical_reflection_geometry() {
+        // Normal +x: reflection flips the x-component of the direction.
+        let d = Direction3::new(0.3, 0.4);
+        let b = AmbiguousBearing::vertical(Vec3::ZERO, d, 0.0);
+        let u0 = b.candidates[0].unit();
+        let u1 = b.candidates[1].unit();
+        assert!((u0.x + u1.x).abs() < 1e-12);
+        assert!((u0.y - u1.y).abs() < 1e-12);
+        assert!((u0.z - u1.z).abs() < 1e-12);
+    }
+
+    #[test]
+    fn input_validation() {
+        let b = AmbiguousBearing::horizontal(Vec3::ZERO, Direction3::new(0.0, 0.3));
+        assert!(matches!(
+            locate_3d_resolved(&[b]),
+            Err(LocateError::TooFewBearings { got: 1 })
+        ));
+        let many: Vec<AmbiguousBearing> = (0..13)
+            .map(|i| {
+                AmbiguousBearing::horizontal(
+                    Vec3::new(i as f64, 0.0, 0.0),
+                    Direction3::new(0.1, 0.2),
+                )
+            })
+            .collect();
+        assert!(matches!(
+            locate_3d_resolved(&many),
+            Err(LocateError::TooFewBearings { got: 13 })
+        ));
+    }
+
+    #[test]
+    fn zero_weight_ignored() {
+        let target = Vec3::new(0.3, 1.2, 0.6);
+        let o1 = Vec3::new(-0.3, 0.0, 0.0);
+        let o2 = Vec3::new(0.3, 0.0, 0.0);
+        let mut junk =
+            AmbiguousBearing::horizontal(Vec3::new(5.0, 5.0, 0.0), Direction3::new(1.0, 0.1));
+        junk.weight = 0.0;
+        let bearings = [
+            AmbiguousBearing::horizontal(o1, toward(o1, target)),
+            AmbiguousBearing::horizontal(o2, toward(o2, target)),
+            junk,
+        ];
+        let fix = locate_3d_resolved(&bearings).unwrap();
+        let hit = (fix.position - target).norm() < 1e-6
+            || (fix.position - target.mirror_z()).norm() < 1e-6;
+        assert!(hit);
+        assert_eq!(fix.chosen.len(), 2);
+    }
+}

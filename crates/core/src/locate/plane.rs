@@ -1,0 +1,190 @@
+//! 2D localization (paper Section V-A).
+//!
+//! Each spinning tag contributes a bearing line from its disk center toward
+//! the spectrum peak; the reader sits at the intersection. Two tags give the
+//! paper's closed form (Eqn 9); more tags are fused by weighted least
+//! squares over perpendicular distances.
+
+use crate::locate::LocateError;
+use serde::{Deserialize, Serialize};
+use tagspin_geom::line2::{intersect_eqn9, least_squares_intersection, Line2};
+use tagspin_geom::Vec2;
+
+/// One tag's bearing estimate in the plane.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Bearing2D {
+    /// Disk center (known infrastructure position).
+    pub origin: Vec2,
+    /// Estimated azimuth toward the reader, radians.
+    pub azimuth: f64,
+    /// Fusion weight (e.g. spectrum peak power). Must be ≥ 0.
+    pub weight: f64,
+}
+
+impl Bearing2D {
+    /// Unit-weight bearing.
+    pub fn new(origin: Vec2, azimuth: f64) -> Self {
+        Bearing2D {
+            origin,
+            azimuth,
+            weight: 1.0,
+        }
+    }
+
+    /// The bearing as a geometric ray.
+    pub fn ray(&self) -> Line2 {
+        Line2::from_bearing(self.origin, self.azimuth)
+    }
+}
+
+/// A 2D reader fix.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Fix2D {
+    /// Estimated reader position, meters.
+    pub position: Vec2,
+    /// RMS perpendicular distance from the fix to the bearing lines — a
+    /// self-consistency figure (0 for two lines, which always intersect).
+    pub residual_m: f64,
+}
+
+/// Locate the reader from two or more bearings.
+///
+/// Two bearings intersect exactly; three or more are fused by weighted
+/// least squares. Bearings with non-positive weight are ignored.
+///
+/// # Errors
+///
+/// * [`LocateError::TooFewBearings`] — fewer than two usable bearings.
+/// * [`LocateError::Degenerate`] — (anti-)parallel bearing geometry.
+pub fn locate_2d(bearings: &[Bearing2D]) -> Result<Fix2D, LocateError> {
+    let usable: Vec<&Bearing2D> = bearings.iter().filter(|b| b.weight > 0.0).collect();
+    if usable.len() < 2 {
+        return Err(LocateError::TooFewBearings { got: usable.len() });
+    }
+    let lines: Vec<Line2> = usable.iter().map(|b| b.ray()).collect();
+    let weights: Vec<f64> = usable.iter().map(|b| b.weight).collect();
+    let position = least_squares_intersection(&lines, Some(&weights))?;
+    let ss: f64 = lines
+        .iter()
+        .map(|l| {
+            let d = l.distance(position);
+            d * d
+        })
+        .sum();
+    Ok(Fix2D {
+        position,
+        residual_m: (ss / lines.len() as f64).sqrt(),
+    })
+}
+
+/// The paper's closed-form two-tag solution (Eqn 9), kept for fidelity.
+///
+/// # Errors
+///
+/// [`LocateError::Degenerate`] when the bearings share a tangent (including
+/// the ±90° singularity of the closed form — production code should call
+/// [`locate_2d`]).
+pub fn locate_2d_eqn9(b1: &Bearing2D, b2: &Bearing2D) -> Result<Vec2, LocateError> {
+    Ok(intersect_eqn9(b1.origin, b1.azimuth, b2.origin, b2.azimuth)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::FRAC_PI_4;
+    use tagspin_geom::angle;
+
+    fn bearing_toward(origin: Vec2, target: Vec2) -> Bearing2D {
+        Bearing2D::new(origin, (target - origin).bearing())
+    }
+
+    #[test]
+    fn two_bearings_exact() {
+        // The paper's 2D layout: disks at (±30, 0) cm.
+        let target = Vec2::from_cm(40.0, 170.0);
+        let b1 = bearing_toward(Vec2::from_cm(-30.0, 0.0), target);
+        let b2 = bearing_toward(Vec2::from_cm(30.0, 0.0), target);
+        let fix = locate_2d(&[b1, b2]).unwrap();
+        assert!((fix.position - target).norm() < 1e-9);
+        assert!(fix.residual_m < 1e-9);
+    }
+
+    #[test]
+    fn matches_eqn9_where_defined() {
+        let target = Vec2::from_cm(55.0, 120.0);
+        let b1 = bearing_toward(Vec2::from_cm(-30.0, 0.0), target);
+        let b2 = bearing_toward(Vec2::from_cm(30.0, 0.0), target);
+        let p9 = locate_2d_eqn9(&b1, &b2).unwrap();
+        let pls = locate_2d(&[b1, b2]).unwrap().position;
+        assert!((p9 - pls).norm() < 1e-6);
+    }
+
+    #[test]
+    fn three_bearings_with_noise() {
+        let target = Vec2::new(0.5, 1.6);
+        let origins = [
+            Vec2::new(-0.3, 0.0),
+            Vec2::new(0.3, 0.0),
+            Vec2::new(0.0, -0.4),
+        ];
+        // Perturb azimuths by ±0.5°.
+        let noise = [0.00873, -0.00873, 0.00436];
+        let bearings: Vec<Bearing2D> = origins
+            .iter()
+            .zip(&noise)
+            .map(|(&o, &n)| Bearing2D::new(o, (target - o).bearing() + n))
+            .collect();
+        let fix = locate_2d(&bearings).unwrap();
+        // ±0.5° bearing noise at ~1.7 m range with a 60 cm baseline dilutes
+        // to several centimeters of position error.
+        assert!((fix.position - target).norm() < 0.12, "{}", fix.position);
+        assert!(fix.residual_m > 0.0);
+    }
+
+    #[test]
+    fn weights_zero_are_ignored() {
+        let target = Vec2::new(0.0, 1.0);
+        let good1 = bearing_toward(Vec2::new(-0.3, 0.0), target);
+        let good2 = bearing_toward(Vec2::new(0.3, 0.0), target);
+        let mut junk = Bearing2D::new(Vec2::new(1.0, 1.0), 0.3);
+        junk.weight = 0.0;
+        let fix = locate_2d(&[good1, good2, junk]).unwrap();
+        assert!((fix.position - target).norm() < 1e-9);
+    }
+
+    #[test]
+    fn too_few_bearings() {
+        let b = Bearing2D::new(Vec2::ZERO, FRAC_PI_4);
+        assert_eq!(locate_2d(&[b]), Err(LocateError::TooFewBearings { got: 1 }));
+        assert_eq!(locate_2d(&[]), Err(LocateError::TooFewBearings { got: 0 }));
+    }
+
+    #[test]
+    fn parallel_bearings_degenerate() {
+        let b1 = Bearing2D::new(Vec2::ZERO, 0.3);
+        let b2 = Bearing2D::new(Vec2::new(0.0, 1.0), 0.3);
+        assert!(matches!(
+            locate_2d(&[b1, b2]),
+            Err(LocateError::Degenerate(_))
+        ));
+    }
+
+    #[test]
+    fn vertical_bearing_no_singularity() {
+        // Eqn 9 would blow up here; the production path must not.
+        let target = Vec2::new(-0.3, 2.0);
+        let b1 = bearing_toward(Vec2::new(-0.3, 0.0), target); // φ = 90°
+        let b2 = bearing_toward(Vec2::new(0.3, 0.0), target);
+        assert!(angle::separation(b1.azimuth, std::f64::consts::FRAC_PI_2) < 1e-12);
+        let fix = locate_2d(&[b1, b2]).unwrap();
+        assert!((fix.position - target).norm() < 1e-9);
+    }
+
+    #[test]
+    fn ray_accessor() {
+        let b = Bearing2D::new(Vec2::new(1.0, 2.0), 0.5);
+        let r = b.ray();
+        assert_eq!(r.origin, b.origin);
+        assert!(angle::separation(r.bearing(), 0.5) < 1e-12);
+    }
+}

@@ -1,0 +1,237 @@
+//! 3D localization (paper Section V-B).
+//!
+//! Each spinning tag yields a spatial direction `(φ, γ)`. The paper first
+//! solves the horizontal fix `(x_R, y_R)` from the azimuths exactly as in
+//! 2D (Eqn 9), then recovers the height from either tag's polar angle
+//! (Eqn 13a/13b):
+//!
+//! ```text
+//! z_R = √((xᵢ − x_R)² + (yᵢ − y_R)²) · tan γᵢ
+//! ```
+//!
+//! and "the final estimate of z_R is often obtained by comparing and
+//! balancing the results" — implemented here as a weighted average. Because
+//! any point and its mirror across the tag plane produce identical
+//! distances, the spectrum cannot distinguish `±z`; the fix carries both
+//! candidates and a helper resolves the ambiguity with a dead-space
+//! predicate ("there always exists dead space, causing some spatial
+//! locations impossible").
+
+use crate::locate::plane::{locate_2d, Bearing2D};
+use crate::locate::LocateError;
+use serde::{Deserialize, Serialize};
+use tagspin_geom::vec3::Direction3;
+use tagspin_geom::{Vec2, Vec3};
+
+/// One tag's spatial bearing estimate.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Bearing3D {
+    /// Disk center (tags sit on the horizontal plane in the paper's setup,
+    /// but any height is handled: z is estimated relative to the disk
+    /// plane).
+    pub origin: Vec3,
+    /// Estimated direction toward the reader. The polar component is
+    /// sign-ambiguous; by convention store it non-negative.
+    pub direction: Direction3,
+    /// Fusion weight (e.g. 3D spectrum peak power). Must be ≥ 0.
+    pub weight: f64,
+}
+
+impl Bearing3D {
+    /// Unit-weight bearing; the polar angle is folded to be non-negative.
+    pub fn new(origin: Vec3, direction: Direction3) -> Self {
+        Bearing3D {
+            origin,
+            direction: Direction3::new(direction.azimuth, direction.polar.abs()),
+            weight: 1.0,
+        }
+    }
+}
+
+/// A 3D reader fix with its mirror candidate.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Fix3D {
+    /// The candidate with non-negative height offset (relative to the disk
+    /// plane).
+    pub position: Vec3,
+    /// The symmetric candidate (negated height offset).
+    pub mirror: Vec3,
+    /// RMS residual of the horizontal intersection, meters.
+    pub residual_m: f64,
+    /// Spread between the per-tag height estimates, meters (a consistency
+    /// diagnostic; large values indicate bearing disagreement).
+    pub z_spread_m: f64,
+}
+
+impl Fix3D {
+    /// Resolve the ±z ambiguity with a feasibility predicate: returns the
+    /// feasible candidate, preferring `position` when both pass, or `None`
+    /// when neither does.
+    pub fn resolve(&self, feasible: impl Fn(Vec3) -> bool) -> Option<Vec3> {
+        if feasible(self.position) {
+            Some(self.position)
+        } else if feasible(self.mirror) {
+            Some(self.mirror)
+        } else {
+            None
+        }
+    }
+}
+
+/// Locate the reader in 3D from two or more spatial bearings.
+///
+/// Horizontal position comes from the azimuth intersection (Section V-A
+/// machinery); height from the weighted average of the per-tag Eqn-13
+/// estimates, referenced to the (weighted) mean disk height.
+///
+/// # Errors
+///
+/// Same conditions as [`locate_2d`].
+pub fn locate_3d(bearings: &[Bearing3D]) -> Result<Fix3D, LocateError> {
+    let planar: Vec<Bearing2D> = bearings
+        .iter()
+        .map(|b| Bearing2D {
+            origin: b.origin.xy(),
+            azimuth: b.direction.azimuth,
+            weight: b.weight,
+        })
+        .collect();
+    let fix2 = locate_2d(&planar)?;
+    let xy: Vec2 = fix2.position;
+
+    // Eqn 13 per tag, then balance.
+    let mut z_num = 0.0;
+    let mut w_sum = 0.0;
+    let mut z_each: Vec<f64> = Vec::with_capacity(bearings.len());
+    for b in bearings.iter().filter(|b| b.weight > 0.0) {
+        let horiz = (xy - b.origin.xy()).norm();
+        let dz = horiz * b.direction.polar.abs().tan();
+        let z = b.origin.z + dz;
+        z_each.push(z);
+        z_num += b.weight * z;
+        w_sum += b.weight;
+    }
+    let z = z_num / w_sum;
+    let z_spread = z_each
+        .iter()
+        .map(|zi| (zi - z).abs())
+        .fold(0.0f64, f64::max);
+
+    // Mirror across the (weighted mean) disk plane.
+    let plane_z = bearings
+        .iter()
+        .filter(|b| b.weight > 0.0)
+        .map(|b| b.weight * b.origin.z)
+        .sum::<f64>()
+        / w_sum;
+    Ok(Fix3D {
+        position: xy.with_z(z),
+        mirror: xy.with_z(2.0 * plane_z - z),
+        residual_m: fix2.residual_m,
+        z_spread_m: z_spread,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bearing_toward(origin: Vec3, target: Vec3) -> Bearing3D {
+        let rel = target - origin;
+        Bearing3D::new(origin, Direction3::new(rel.azimuth(), rel.polar()))
+    }
+
+    #[test]
+    fn exact_3d_fix() {
+        // The paper's 3D layout: disks at (±30, 0, 91.4) cm.
+        let o1 = Vec3::from_cm(-30.0, 0.0, 91.4);
+        let o2 = Vec3::from_cm(30.0, 0.0, 91.4);
+        let target = Vec3::from_cm(50.0, 180.0, 141.4);
+        let fix = locate_3d(&[bearing_toward(o1, target), bearing_toward(o2, target)]).unwrap();
+        assert!((fix.position - target).norm() < 1e-9, "{}", fix.position);
+        // Mirror is the reflection across the disk plane z = 0.914.
+        assert!((fix.mirror - Vec3::from_cm(50.0, 180.0, 41.4)).norm() < 1e-9);
+        assert!(fix.z_spread_m < 1e-9);
+    }
+
+    #[test]
+    fn below_plane_target_yields_mirror_candidate() {
+        let o1 = Vec3::new(-0.3, 0.0, 1.0);
+        let o2 = Vec3::new(0.3, 0.0, 1.0);
+        let target = Vec3::new(0.2, 1.5, 0.4); // below the disk plane
+        let fix = locate_3d(&[bearing_toward(o1, target), bearing_toward(o2, target)]).unwrap();
+        // The sign-folded solve puts the + candidate above the plane; the
+        // true target is the mirror.
+        assert!((fix.mirror - target).norm() < 1e-9, "{}", fix.mirror);
+        // Resolution by feasibility (room: 0 ≤ z ≤ 0.9) picks the truth.
+        let resolved = fix.resolve(|p| (0.0..=0.9).contains(&p.z)).unwrap();
+        assert!((resolved - target).norm() < 1e-9);
+    }
+
+    #[test]
+    fn resolve_prefers_primary_then_mirror_then_none() {
+        let fix = Fix3D {
+            position: Vec3::new(0.0, 0.0, 1.0),
+            mirror: Vec3::new(0.0, 0.0, -1.0),
+            residual_m: 0.0,
+            z_spread_m: 0.0,
+        };
+        assert_eq!(fix.resolve(|_| true), Some(fix.position));
+        assert_eq!(fix.resolve(|p| p.z < 0.0), Some(fix.mirror));
+        assert_eq!(fix.resolve(|_| false), None);
+    }
+
+    #[test]
+    fn planar_target_reduces_to_2d() {
+        let o1 = Vec3::new(-0.3, 0.0, 0.0);
+        let o2 = Vec3::new(0.3, 0.0, 0.0);
+        let target = Vec3::new(0.1, 2.0, 0.0);
+        let fix = locate_3d(&[bearing_toward(o1, target), bearing_toward(o2, target)]).unwrap();
+        assert!((fix.position - target).norm() < 1e-9);
+        assert!((fix.mirror - target).norm() < 1e-9); // its own mirror
+    }
+
+    #[test]
+    fn noisy_bearings_spread_reported() {
+        let o1 = Vec3::new(-0.3, 0.0, 0.0);
+        let o2 = Vec3::new(0.3, 0.0, 0.0);
+        let target = Vec3::new(0.0, 1.8, 0.5);
+        let mut b1 = bearing_toward(o1, target);
+        let b2 = bearing_toward(o2, target);
+        // Bias one polar angle by 2°.
+        b1.direction = Direction3::new(b1.direction.azimuth, b1.direction.polar + 0.035);
+        let fix = locate_3d(&[b1, b2]).unwrap();
+        assert!(fix.z_spread_m > 0.01);
+        assert!((fix.position - target).norm() < 0.1);
+    }
+
+    #[test]
+    fn weights_bias_height() {
+        let o1 = Vec3::new(-0.5, 0.0, 0.0);
+        let o2 = Vec3::new(0.5, 0.0, 0.0);
+        let target = Vec3::new(0.0, 2.0, 0.6);
+        let mut b1 = bearing_toward(o1, target);
+        let mut b2 = bearing_toward(o2, target);
+        // Corrupt tag 1's polar angle badly but give it negligible weight.
+        b1.direction = Direction3::new(b1.direction.azimuth, 0.0);
+        b1.weight = 1e-9;
+        b2.weight = 1.0;
+        let fix = locate_3d(&[b1, b2]).unwrap();
+        assert!((fix.position.z - 0.6).abs() < 1e-3, "z = {}", fix.position.z);
+    }
+
+    #[test]
+    fn errors_propagate() {
+        let b = bearing_toward(Vec3::ZERO, Vec3::new(1.0, 1.0, 0.5));
+        assert!(matches!(
+            locate_3d(&[b]),
+            Err(LocateError::TooFewBearings { .. })
+        ));
+    }
+
+    #[test]
+    fn polar_sign_folded_on_construction() {
+        let b = Bearing3D::new(Vec3::ZERO, Direction3::new(1.0, -0.4));
+        assert!(b.direction.polar >= 0.0);
+    }
+}

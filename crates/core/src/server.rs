@@ -1,0 +1,500 @@
+//! The central localization server (paper Section II).
+//!
+//! "Tagspin deploys a set of spinning tags in the environment. Its
+//! infrastructure also includes a central localization server which stores
+//! the spinning tags' locations, moving speeds and other system settings."
+//!
+//! [`LocalizationServer`] is that component: a registry of spinning tags
+//! (disk geometry + per-tag orientation calibration) plus the pipeline
+//! configuration, with end-to-end entry points that take a raw
+//! [`InventoryLog`] and return a reader fix:
+//!
+//! 1. extract each registered tag's snapshots ([`SnapshotSet`]),
+//! 2. apply the orientation calibration (Section III),
+//! 3. compute the angle spectrum (Section IV),
+//! 4. intersect the bearings (Section V).
+
+use crate::calib::orientation::OrientationCalibration;
+use crate::locate::aided::{locate_3d_resolved, AmbiguousBearing, ResolvedFix};
+use crate::locate::plane::{locate_2d, Bearing2D, Fix2D};
+use crate::locate::space::{locate_3d, Bearing3D, Fix3D};
+use crate::locate::LocateError;
+use crate::spinning::DiskPlane;
+use crate::snapshot::{SnapshotError, SnapshotSet};
+use crate::spectrum::{
+    spectrum_2d, spectrum_3d, spectrum_3d_for_disk, ProfileKind, Spectrum2D, SpectrumConfig,
+};
+use crate::spinning::DiskConfig;
+use std::fmt;
+use tagspin_epc::InventoryLog;
+use tagspin_geom::vec3::Direction3;
+
+/// A spinning tag known to the server.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegisteredTag {
+    /// The tag's EPC.
+    pub epc: u128,
+    /// Disk geometry and motion.
+    pub disk: DiskConfig,
+    /// Orientation calibration from a center-spin run, if performed.
+    pub orientation: Option<OrientationCalibration>,
+}
+
+/// Pipeline configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PipelineConfig {
+    /// Which power profile drives bearing estimation. The default is
+    /// [`ProfileKind::Hybrid`]: the paper's enhanced `R` detects the lobe
+    /// (false-candidate immunity), the traditional `Q` refines the bearing
+    /// (matched-filter precision).
+    pub profile: ProfileKind,
+    /// Spectrum grid/σ settings.
+    pub spectrum: SpectrumConfig,
+    /// Apply per-tag orientation calibration when available.
+    pub orientation_calibration: bool,
+    /// Minimum snapshots per tag for a usable spectrum.
+    pub min_snapshots: usize,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig {
+            profile: ProfileKind::Hybrid,
+            spectrum: SpectrumConfig::default(),
+            orientation_calibration: true,
+            min_snapshots: 30,
+        }
+    }
+}
+
+/// Errors from the server pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServerError {
+    /// The EPC is not registered.
+    UnknownTag(u128),
+    /// Registering the same EPC twice.
+    DuplicateTag(u128),
+    /// Fewer than two registered tags produced usable bearings.
+    NotEnoughBearings {
+        /// Usable bearings obtained.
+        usable: usize,
+    },
+    /// A tag had too few reads in the log.
+    TooFewSnapshots {
+        /// Which tag.
+        epc: u128,
+        /// Reads present.
+        got: usize,
+        /// Configured minimum.
+        need: usize,
+    },
+    /// Snapshot extraction failed.
+    Snapshot(SnapshotError),
+    /// Geometric localization failed.
+    Locate(LocateError),
+}
+
+impl fmt::Display for ServerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServerError::UnknownTag(epc) => write!(f, "unknown tag epc {epc:x}"),
+            ServerError::DuplicateTag(epc) => write!(f, "tag epc {epc:x} already registered"),
+            ServerError::NotEnoughBearings { usable } => {
+                write!(f, "only {usable} usable bearings; need at least 2")
+            }
+            ServerError::TooFewSnapshots { epc, got, need } => {
+                write!(f, "tag {epc:x} produced {got} reads, need {need}")
+            }
+            ServerError::Snapshot(e) => write!(f, "snapshot extraction failed: {e}"),
+            ServerError::Locate(e) => write!(f, "localization failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServerError {}
+
+impl From<LocateError> for ServerError {
+    fn from(e: LocateError) -> Self {
+        ServerError::Locate(e)
+    }
+}
+
+/// The central localization server.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct LocalizationServer {
+    tags: Vec<RegisteredTag>,
+    /// Pipeline settings (public: experiments flip profile/calibration).
+    pub config: PipelineConfig,
+}
+
+impl LocalizationServer {
+    /// An empty server with the given configuration.
+    pub fn new(config: PipelineConfig) -> Self {
+        LocalizationServer {
+            tags: Vec::new(),
+            config,
+        }
+    }
+
+    /// Register a spinning tag.
+    ///
+    /// # Errors
+    ///
+    /// [`ServerError::DuplicateTag`] when the EPC is already registered.
+    pub fn register(&mut self, epc: u128, disk: DiskConfig) -> Result<(), ServerError> {
+        if self.tags.iter().any(|t| t.epc == epc) {
+            return Err(ServerError::DuplicateTag(epc));
+        }
+        self.tags.push(RegisteredTag {
+            epc,
+            disk,
+            orientation: None,
+        });
+        Ok(())
+    }
+
+    /// Attach an orientation calibration (Step 1 output) to a tag.
+    ///
+    /// # Errors
+    ///
+    /// [`ServerError::UnknownTag`] when the EPC is not registered.
+    pub fn set_orientation_calibration(
+        &mut self,
+        epc: u128,
+        cal: OrientationCalibration,
+    ) -> Result<(), ServerError> {
+        let tag = self
+            .tags
+            .iter_mut()
+            .find(|t| t.epc == epc)
+            .ok_or(ServerError::UnknownTag(epc))?;
+        tag.orientation = Some(cal);
+        Ok(())
+    }
+
+    /// The registered tags.
+    pub fn tags(&self) -> &[RegisteredTag] {
+        &self.tags
+    }
+
+    /// Extract and calibrate the snapshots of one registered tag.
+    ///
+    /// # Errors
+    ///
+    /// [`ServerError::Snapshot`] / [`ServerError::TooFewSnapshots`].
+    pub fn calibrated_snapshots(
+        &self,
+        log: &InventoryLog,
+        tag: &RegisteredTag,
+    ) -> Result<SnapshotSet, ServerError> {
+        let set =
+            SnapshotSet::from_log(log, tag.epc, &tag.disk).map_err(ServerError::Snapshot)?;
+        if set.len() < self.config.min_snapshots {
+            return Err(ServerError::TooFewSnapshots {
+                epc: tag.epc,
+                got: set.len(),
+                need: self.config.min_snapshots,
+            });
+        }
+        Ok(match (&tag.orientation, self.config.orientation_calibration) {
+            (Some(cal), true) => cal.apply(&set),
+            _ => set,
+        })
+    }
+
+    /// Compute the 2D bearing (and its spectrum) for one registered tag.
+    ///
+    /// # Errors
+    ///
+    /// [`ServerError::UnknownTag`] plus the snapshot-stage errors.
+    pub fn bearing_2d(
+        &self,
+        log: &InventoryLog,
+        epc: u128,
+    ) -> Result<(Bearing2D, Spectrum2D), ServerError> {
+        let tag = self
+            .tags
+            .iter()
+            .find(|t| t.epc == epc)
+            .ok_or(ServerError::UnknownTag(epc))?;
+        let set = self.calibrated_snapshots(log, tag)?;
+        let spec = spectrum_2d(&set, tag.disk.radius, self.config.profile, &self.config.spectrum);
+        let peak = match self.config.profile {
+            ProfileKind::Hybrid => {
+                // Detect the lobe on the enhanced spectrum, refine on the
+                // traditional one (matched-filter precision) within ±10°.
+                let coarse = spec.peak().expect("non-empty spectrum has a peak");
+                let q = spectrum_2d(
+                    &set,
+                    tag.disk.radius,
+                    ProfileKind::Traditional,
+                    &self.config.spectrum,
+                );
+                q.constrained_peak(coarse.position, 10f64.to_radians())
+                    .unwrap_or(coarse)
+            }
+            _ => spec.peak().expect("non-empty spectrum has a peak"),
+        };
+        Ok((
+            Bearing2D {
+                origin: tag.disk.center.xy(),
+                azimuth: peak.position,
+                weight: peak.value.max(0.0),
+            },
+            spec,
+        ))
+    }
+
+    /// End-to-end 2D localization of the reader that produced `log`.
+    ///
+    /// Tags missing from the log (or with too few reads) are skipped; at
+    /// least two usable bearings are required.
+    ///
+    /// # Errors
+    ///
+    /// [`ServerError::NotEnoughBearings`] / [`ServerError::Locate`].
+    pub fn locate_2d(&self, log: &InventoryLog) -> Result<Fix2D, ServerError> {
+        let mut bearings = Vec::new();
+        for tag in &self.tags {
+            match self.bearing_2d(log, tag.epc) {
+                Ok((b, _)) => bearings.push(b),
+                Err(
+                    ServerError::Snapshot(SnapshotError::NoReads)
+                    | ServerError::TooFewSnapshots { .. },
+                ) => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        if bearings.len() < 2 {
+            return Err(ServerError::NotEnoughBearings {
+                usable: bearings.len(),
+            });
+        }
+        Ok(locate_2d(&bearings)?)
+    }
+
+    /// Compute the 3D bearing for one registered tag.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`LocalizationServer::bearing_2d`].
+    pub fn bearing_3d(&self, log: &InventoryLog, epc: u128) -> Result<Bearing3D, ServerError> {
+        let tag = self
+            .tags
+            .iter()
+            .find(|t| t.epc == epc)
+            .ok_or(ServerError::UnknownTag(epc))?;
+        let set = self.calibrated_snapshots(log, tag)?;
+        let spec = spectrum_3d(&set, tag.disk.radius, self.config.profile, &self.config.spectrum);
+        let (dir, power) = match self.config.profile {
+            ProfileKind::Hybrid => {
+                let (coarse, power) = spec.peak().expect("non-empty spectrum has a peak");
+                let q = spectrum_3d(
+                    &set,
+                    tag.disk.radius,
+                    ProfileKind::Traditional,
+                    &self.config.spectrum,
+                );
+                q.constrained_peak(coarse, 10f64.to_radians())
+                    .map(|(d, _)| (d, power))
+                    .unwrap_or((coarse, power))
+            }
+            _ => spec.peak().expect("non-empty spectrum has a peak"),
+        };
+        Ok(Bearing3D {
+            origin: tag.disk.center,
+            direction: Direction3::new(dir.azimuth, dir.polar.abs()),
+            weight: power.max(0.0),
+        })
+    }
+
+    /// End-to-end 3D localization.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`LocalizationServer::locate_2d`].
+    pub fn locate_3d(&self, log: &InventoryLog) -> Result<Fix3D, ServerError> {
+        let mut bearings = Vec::new();
+        for tag in &self.tags {
+            match self.bearing_3d(log, tag.epc) {
+                Ok(b) => bearings.push(b),
+                Err(
+                    ServerError::Snapshot(SnapshotError::NoReads)
+                    | ServerError::TooFewSnapshots { .. },
+                ) => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        if bearings.len() < 2 {
+            return Err(ServerError::NotEnoughBearings {
+                usable: bearings.len(),
+            });
+        }
+        Ok(locate_3d(&bearings)?)
+    }
+
+    /// Ambiguity-resolving 3D localization using each disk's *own*
+    /// orientation (the paper's future-work vertical-disk aid).
+    ///
+    /// With at least one non-horizontal disk registered, the per-tag mirror
+    /// planes disagree and [`locate_3d_resolved`] selects the consistent
+    /// candidate combination — no dead-space prior required. With only
+    /// horizontal disks this still works but the returned fix's
+    /// `runner_up_residual_m` will reveal the unresolved ±z ambiguity.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`LocalizationServer::locate_3d`].
+    pub fn locate_3d_aided(&self, log: &InventoryLog) -> Result<ResolvedFix, ServerError> {
+        let mut bearings = Vec::new();
+        for tag in &self.tags {
+            let set = match self.calibrated_snapshots(log, tag) {
+                Ok(set) => set,
+                Err(
+                    ServerError::Snapshot(SnapshotError::NoReads)
+                    | ServerError::TooFewSnapshots { .. },
+                ) => continue,
+                Err(e) => return Err(e),
+            };
+            let spec =
+                spectrum_3d_for_disk(&set, &tag.disk, self.config.profile, &self.config.spectrum);
+            let (dir, power) = match self.config.profile {
+                ProfileKind::Hybrid => {
+                    let (coarse, power) = spec.peak().expect("non-empty spectrum has a peak");
+                    let q = spectrum_3d_for_disk(
+                        &set,
+                        &tag.disk,
+                        ProfileKind::Traditional,
+                        &self.config.spectrum,
+                    );
+                    q.constrained_peak(coarse, 10f64.to_radians())
+                        .map(|(d, _)| (d, power))
+                        .unwrap_or((coarse, power))
+                }
+                _ => spec.peak().expect("non-empty spectrum has a peak"),
+            };
+            let mut bearing = match tag.disk.plane {
+                DiskPlane::Horizontal => AmbiguousBearing::horizontal(tag.disk.center, dir),
+                DiskPlane::Vertical { normal_azimuth } => {
+                    AmbiguousBearing::vertical(tag.disk.center, dir, normal_azimuth)
+                }
+            };
+            bearing.weight = power.max(0.0);
+            bearings.push(bearing);
+        }
+        if bearings.len() < 2 {
+            return Err(ServerError::NotEnoughBearings {
+                usable: bearings.len(),
+            });
+        }
+        Ok(locate_3d_resolved(&bearings)?)
+    }
+
+    /// Localize every reader antenna present in the log simultaneously
+    /// (2D): the paper's multi-antenna claim — "simultaneously locate even
+    /// multiple target antennas".
+    ///
+    /// Returns `(antenna_id, fix)` for each antenna with enough data;
+    /// antennas whose sub-log is unusable are reported with the error.
+    pub fn locate_all_2d(
+        &self,
+        log: &InventoryLog,
+    ) -> Vec<(u8, Result<Fix2D, ServerError>)> {
+        log.antennas()
+            .into_iter()
+            .map(|ant| (ant, self.locate_2d(&log.for_antenna(ant))))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tagspin_geom::Vec3;
+
+    fn server_with_two_tags() -> LocalizationServer {
+        let mut s = LocalizationServer::new(PipelineConfig::default());
+        s.register(1, DiskConfig::paper_default(Vec3::new(-0.3, 0.0, 0.0)))
+            .unwrap();
+        s.register(2, DiskConfig::paper_default(Vec3::new(0.3, 0.0, 0.0)))
+            .unwrap();
+        s
+    }
+
+    #[test]
+    fn registration_rules() {
+        let mut s = server_with_two_tags();
+        assert_eq!(s.tags().len(), 2);
+        assert_eq!(
+            s.register(1, DiskConfig::paper_default(Vec3::ZERO)),
+            Err(ServerError::DuplicateTag(1))
+        );
+    }
+
+    #[test]
+    fn unknown_tag_errors() {
+        let s = server_with_two_tags();
+        let log = InventoryLog::new();
+        assert!(matches!(
+            s.bearing_2d(&log, 99),
+            Err(ServerError::UnknownTag(99))
+        ));
+    }
+
+    #[test]
+    fn empty_log_not_enough_bearings() {
+        let s = server_with_two_tags();
+        let log = InventoryLog::new();
+        assert_eq!(
+            s.locate_2d(&log),
+            Err(ServerError::NotEnoughBearings { usable: 0 })
+        );
+    }
+
+    #[test]
+    fn orientation_calibration_requires_known_tag() {
+        use crate::snapshot::Snapshot;
+        // Build a minimal valid calibration.
+        let disk = DiskConfig::paper_default(Vec3::ZERO);
+        let set = SnapshotSet::from_snapshots(
+            (0..100)
+                .map(|i| {
+                    let t = i as f64 * disk.period_s() * 1.2 / 100.0;
+                    Snapshot {
+                        t_s: t,
+                        phase: 1.0,
+                        disk_angle: disk.disk_angle(t),
+                        lambda: 0.325,
+                        rssi_dbm: -60.0,
+                    }
+                })
+                .collect(),
+        );
+        let cal = OrientationCalibration::fit(&set).unwrap();
+        let mut s = server_with_two_tags();
+        assert!(s.set_orientation_calibration(1, cal.clone()).is_ok());
+        assert_eq!(
+            s.set_orientation_calibration(42, cal),
+            Err(ServerError::UnknownTag(42))
+        );
+        assert!(s.tags()[0].orientation.is_some());
+    }
+
+    #[test]
+    fn error_display_nonempty() {
+        for e in [
+            ServerError::UnknownTag(1),
+            ServerError::DuplicateTag(1),
+            ServerError::NotEnoughBearings { usable: 1 },
+            ServerError::TooFewSnapshots {
+                epc: 1,
+                got: 2,
+                need: 30,
+            },
+            ServerError::Snapshot(SnapshotError::NoReads),
+            ServerError::Locate(LocateError::TooFewBearings { got: 0 }),
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

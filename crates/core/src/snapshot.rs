@@ -1,0 +1,286 @@
+//! Signal snapshots: the per-read tuples the spectrum consumes.
+//!
+//! The reader "takes n signal snapshots of every spinning tag with each
+//! snapshot taken at time tᵢ" (Section IV). A [`Snapshot`] joins the raw
+//! LLRP report with the server-side knowledge of the disk: the disk angle
+//! `β(tᵢ)` (which encodes where on the circle the virtual array element
+//! sits) and the carrier wavelength of the read.
+
+use crate::spinning::DiskConfig;
+use serde::{Deserialize, Serialize};
+use tagspin_epc::{InventoryLog, TagReport};
+use tagspin_rf::constants::{channel_frequency, wavelength, CHANNEL_COUNT};
+
+/// One snapshot of a spinning tag's signal.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Snapshot {
+    /// Read time, seconds (reader clock).
+    pub t_s: f64,
+    /// Reported phase, `[0, 2π)`.
+    pub phase: f64,
+    /// Disk angle `β(tᵢ)` at the read instant, radians (unwrapped).
+    pub disk_angle: f64,
+    /// Carrier wavelength of the read, meters.
+    pub lambda: f64,
+    /// Reported RSSI, dBm (used by diagnostics, not by the spectra).
+    pub rssi_dbm: f64,
+}
+
+/// A time-ordered snapshot collection for one spinning tag.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct SnapshotSet {
+    snapshots: Vec<Snapshot>,
+}
+
+/// Error from snapshot extraction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// No reads for the requested EPC in the log.
+    NoReads,
+    /// The disk configuration is invalid.
+    BadDisk(String),
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotError::NoReads => write!(f, "no reads for the requested epc"),
+            SnapshotError::BadDisk(s) => write!(f, "bad disk config: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+impl SnapshotSet {
+    /// Extract the snapshots of `epc` from an inventory log, annotating each
+    /// read with the disk state implied by `disk` at the reader timestamp.
+    ///
+    /// # Errors
+    ///
+    /// * [`SnapshotError::BadDisk`] — invalid disk config.
+    /// * [`SnapshotError::NoReads`] — the log has no reads for `epc`.
+    pub fn from_log(
+        log: &InventoryLog,
+        epc: u128,
+        disk: &DiskConfig,
+    ) -> Result<SnapshotSet, SnapshotError> {
+        disk.validate().map_err(SnapshotError::BadDisk)?;
+        let snapshots: Vec<Snapshot> = log
+            .for_epc(epc)
+            .map(|r: &TagReport| Snapshot {
+                t_s: r.time_s(),
+                phase: r.phase,
+                disk_angle: disk.disk_angle(r.time_s()),
+                lambda: wavelength(channel_frequency(
+                    r.channel_index as usize % CHANNEL_COUNT,
+                )),
+                rssi_dbm: r.rssi_dbm,
+            })
+            .collect();
+        if snapshots.is_empty() {
+            return Err(SnapshotError::NoReads);
+        }
+        Ok(SnapshotSet { snapshots })
+    }
+
+    /// Build directly from snapshots (testing / synthetic data).
+    ///
+    /// # Panics
+    ///
+    /// Panics when snapshots are not in non-decreasing time order.
+    pub fn from_snapshots(snapshots: Vec<Snapshot>) -> SnapshotSet {
+        assert!(
+            snapshots.windows(2).all(|w| w[1].t_s >= w[0].t_s),
+            "snapshots must be time-ordered"
+        );
+        SnapshotSet { snapshots }
+    }
+
+    /// The snapshots, time-ordered.
+    pub fn snapshots(&self) -> &[Snapshot] {
+        &self.snapshots
+    }
+
+    /// Number of snapshots.
+    pub fn len(&self) -> usize {
+        self.snapshots.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.snapshots.is_empty()
+    }
+
+    /// The raw phase sequence.
+    pub fn phases(&self) -> Vec<f64> {
+        self.snapshots.iter().map(|s| s.phase).collect()
+    }
+
+    /// Replace the phase sequence (used by the calibration stages), keeping
+    /// the other annotations.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the length differs.
+    pub fn with_phases(&self, phases: &[f64]) -> SnapshotSet {
+        assert_eq!(phases.len(), self.snapshots.len(), "length mismatch");
+        let snapshots = self
+            .snapshots
+            .iter()
+            .zip(phases)
+            .map(|(s, &p)| Snapshot { phase: p, ..*s })
+            .collect();
+        SnapshotSet { snapshots }
+    }
+
+    /// Keep at most every `stride`-th snapshot (decimation for sweeps).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `stride == 0`.
+    pub fn decimate(&self, stride: usize) -> SnapshotSet {
+        assert!(stride > 0, "stride must be positive");
+        SnapshotSet {
+            snapshots: self
+                .snapshots
+                .iter()
+                .step_by(stride)
+                .copied()
+                .collect(),
+        }
+    }
+
+    /// Keep only snapshots within `[t0, t1)` seconds.
+    pub fn window(&self, t0: f64, t1: f64) -> SnapshotSet {
+        SnapshotSet {
+            snapshots: self
+                .snapshots
+                .iter()
+                .filter(|s| s.t_s >= t0 && s.t_s < t1)
+                .copied()
+                .collect(),
+        }
+    }
+
+    /// Observation span, seconds.
+    pub fn span_s(&self) -> f64 {
+        match (self.snapshots.first(), self.snapshots.last()) {
+            (Some(a), Some(b)) => b.t_s - a.t_s,
+            _ => 0.0,
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a SnapshotSet {
+    type Item = &'a Snapshot;
+    type IntoIter = std::slice::Iter<'a, Snapshot>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.snapshots.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tagspin_geom::Vec3;
+
+    fn disk() -> DiskConfig {
+        DiskConfig::paper_default(Vec3::ZERO)
+    }
+
+    fn log_with(epc: u128, n: u64) -> InventoryLog {
+        (0..n)
+            .map(|i| TagReport {
+                epc,
+                timestamp_us: i * 100_000,
+                phase: (i as f64 * 0.3).rem_euclid(std::f64::consts::TAU),
+                rssi_dbm: -60.0,
+                channel_index: 8,
+                antenna_id: 1,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn extraction_annotates_disk_state() {
+        let log = log_with(5, 10);
+        let set = SnapshotSet::from_log(&log, 5, &disk()).unwrap();
+        assert_eq!(set.len(), 10);
+        let s = &set.snapshots()[3];
+        assert!((s.t_s - 0.3).abs() < 1e-12);
+        assert!((s.disk_angle - disk().disk_angle(0.3)).abs() < 1e-12);
+        assert!(s.lambda > 0.32 && s.lambda < 0.33);
+    }
+
+    #[test]
+    fn missing_epc_is_error() {
+        let log = log_with(5, 10);
+        assert_eq!(
+            SnapshotSet::from_log(&log, 99, &disk()),
+            Err(SnapshotError::NoReads)
+        );
+    }
+
+    #[test]
+    fn bad_disk_is_error() {
+        let log = log_with(5, 10);
+        let mut d = disk();
+        d.radius = -1.0;
+        assert!(matches!(
+            SnapshotSet::from_log(&log, 5, &d),
+            Err(SnapshotError::BadDisk(_))
+        ));
+    }
+
+    #[test]
+    fn with_phases_replaces_only_phases() {
+        let log = log_with(5, 4);
+        let set = SnapshotSet::from_log(&log, 5, &disk()).unwrap();
+        let new = set.with_phases(&[0.0, 0.1, 0.2, 0.3]);
+        assert_eq!(new.snapshots()[2].phase, 0.2);
+        assert_eq!(new.snapshots()[2].t_s, set.snapshots()[2].t_s);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn with_phases_length_checked() {
+        let log = log_with(5, 4);
+        let set = SnapshotSet::from_log(&log, 5, &disk()).unwrap();
+        let _ = set.with_phases(&[0.0]);
+    }
+
+    #[test]
+    fn decimate_and_window() {
+        let log = log_with(5, 10);
+        let set = SnapshotSet::from_log(&log, 5, &disk()).unwrap();
+        assert_eq!(set.decimate(3).len(), 4); // 0,3,6,9
+        let w = set.window(0.25, 0.65);
+        assert_eq!(w.len(), 4); // t = 0.3,0.4,0.5,0.6
+        assert!((set.span_s() - 0.9).abs() < 1e-12);
+        assert_eq!(SnapshotSet::default().span_s(), 0.0);
+    }
+
+    #[test]
+    fn iterator_and_phases() {
+        let log = log_with(5, 3);
+        let set = SnapshotSet::from_log(&log, 5, &disk()).unwrap();
+        assert_eq!((&set).into_iter().count(), 3);
+        assert_eq!(set.phases().len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "time-ordered")]
+    fn from_snapshots_rejects_unordered() {
+        let s = Snapshot {
+            t_s: 1.0,
+            phase: 0.0,
+            disk_angle: 0.0,
+            lambda: 0.325,
+            rssi_dbm: -60.0,
+        };
+        let mut s2 = s;
+        s2.t_s = 0.5;
+        let _ = SnapshotSet::from_snapshots(vec![s, s2]);
+    }
+}

@@ -1,0 +1,340 @@
+//! Spinning-tag kinematics.
+//!
+//! Tagspin's infrastructure element: a COTS tag attached to the edge of a
+//! disk rotating at a slow, stable angular velocity (the paper uses a 10 cm
+//! radius and ω = 0.5 rad/s). The tag's circular motion mimics a circular
+//! antenna array; the localization server knows each disk's center, radius,
+//! speed and initial angle (Section II: the server "stores the spinning
+//! tags' locations, moving speeds and other system settings").
+
+use serde::{Deserialize, Serialize};
+use std::f64::consts::FRAC_PI_2;
+use tagspin_epc::inventory::Transponder;
+use tagspin_geom::{Vec2, Vec3};
+use tagspin_rf::TagInstance;
+
+/// Orientation of the disk's rotation plane.
+///
+/// The paper mounts every disk horizontally (the virtual array lies in the
+/// x–y plane), which is why z-aperture is poor and the 3D fix carries a ±z
+/// ambiguity. Its future-work remedy — "the third spinning tag, which
+/// rotates along the vertical direction to provide more aperture diversity
+/// in z-axis" — is the `Vertical` variant.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Default)]
+pub enum DiskPlane {
+    /// Rotation in the horizontal (x–y) plane.
+    #[default]
+    Horizontal,
+    /// Rotation in a vertical plane; `normal_azimuth` is the azimuth of the
+    /// plane's horizontal normal. The tag moves along directions
+    /// `(cos(normal_azimuth+π/2), sin(normal_azimuth+π/2), 0)` and `+z`.
+    Vertical {
+        /// Azimuth of the disk plane's normal, radians.
+        normal_azimuth: f64,
+    },
+}
+
+
+/// Geometry and motion of one spinning-tag disk — the part the server knows.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DiskConfig {
+    /// Disk center, meters. The paper's 2D experiments put disks at
+    /// `(±30 cm, 0)` on the desktop plane.
+    pub center: Vec3,
+    /// Track radius, meters (paper default 10 cm; accuracy stable for
+    /// 8–20 cm per Fig. 12b).
+    pub radius: f64,
+    /// Angular velocity, rad/s (paper: 0.5 rad/s).
+    pub omega: f64,
+    /// Tag angle on the disk at `t = 0`, radians.
+    pub initial_angle: f64,
+    /// Rotation-plane orientation (the paper always uses `Horizontal`).
+    #[serde(default)]
+    pub plane: DiskPlane,
+}
+
+impl DiskConfig {
+    /// The paper's default disk at a given center: r = 10 cm, ω = 0.5 rad/s.
+    pub fn paper_default(center: Vec3) -> Self {
+        DiskConfig {
+            center,
+            radius: 0.10,
+            omega: 0.5,
+            initial_angle: 0.0,
+            plane: DiskPlane::Horizontal,
+        }
+    }
+
+    /// A vertically mounted disk (the paper's future-work aperture aid),
+    /// with the plane's normal at `normal_azimuth`.
+    pub fn vertical(center: Vec3, normal_azimuth: f64) -> Self {
+        DiskConfig {
+            plane: DiskPlane::Vertical { normal_azimuth },
+            ..DiskConfig::paper_default(center)
+        }
+    }
+
+    /// Validate physical sanity.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the radius or speed is non-positive /
+    /// non-finite.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(self.radius.is_finite() && self.radius > 0.0) {
+            return Err(format!("radius {} must be positive", self.radius));
+        }
+        if !(self.omega.is_finite() && self.omega != 0.0) {
+            return Err(format!("omega {} must be nonzero", self.omega));
+        }
+        Ok(())
+    }
+
+    /// Disk angle `β(t) = ωt + β₀` of the tag at time `t`, radians
+    /// (unwrapped).
+    #[inline]
+    pub fn disk_angle(&self, t_s: f64) -> f64 {
+        self.omega * t_s + self.initial_angle
+    }
+
+    /// Unit radial direction of the tag at disk angle `beta` — the virtual
+    /// array element's offset direction from the center.
+    #[inline]
+    pub fn radial(&self, beta: f64) -> Vec3 {
+        match self.plane {
+            DiskPlane::Horizontal => Vec2::from_bearing(beta).with_z(0.0),
+            DiskPlane::Vertical { normal_azimuth } => {
+                let in_plane = Vec2::from_bearing(normal_azimuth + FRAC_PI_2);
+                (in_plane * beta.cos()).with_z(beta.sin())
+            }
+        }
+    }
+
+    /// Tag position on the track at time `t`.
+    #[inline]
+    pub fn tag_position(&self, t_s: f64) -> Vec3 {
+        self.center + self.radial(self.disk_angle(t_s)) * self.radius
+    }
+
+    /// Tag plane azimuth at time `t`: tangential mount, so the plane is
+    /// perpendicular to the radius — azimuth `β(t) + π/2` for a horizontal
+    /// disk. For a vertical disk the tag plane stays in the disk plane, so
+    /// its azimuth is constant.
+    #[inline]
+    pub fn plane_azimuth(&self, t_s: f64) -> f64 {
+        match self.plane {
+            DiskPlane::Horizontal => self.disk_angle(t_s) + FRAC_PI_2,
+            DiskPlane::Vertical { normal_azimuth } => normal_azimuth + FRAC_PI_2,
+        }
+    }
+
+    /// Rotation period, seconds.
+    #[inline]
+    pub fn period_s(&self) -> f64 {
+        std::f64::consts::TAU / self.omega.abs()
+    }
+}
+
+/// A physical spinning tag: the disk plus the tag mounted on its edge.
+///
+/// Implements [`Transponder`], so the EPC inventory driver can interrogate
+/// it directly. `speed_wobble` injects sinusoidal speed error (fractional,
+/// e.g. 0.02 = ±2%) for failure-mode experiments; the server still assumes
+/// the nominal speed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpinningTag {
+    /// Disk geometry and motion (what the server believes).
+    pub disk: DiskConfig,
+    /// The physical tag on the edge.
+    pub tag: TagInstance,
+    /// Fractional speed wobble amplitude (0 = perfect motor).
+    pub speed_wobble: f64,
+    /// Wobble angular frequency, rad/s.
+    pub wobble_freq: f64,
+}
+
+impl SpinningTag {
+    /// A tag on a paper-default disk, no wobble.
+    pub fn new(disk: DiskConfig, tag: TagInstance) -> Self {
+        SpinningTag {
+            disk,
+            tag,
+            speed_wobble: 0.0,
+            wobble_freq: 1.0,
+        }
+    }
+
+    /// Inject motor speed wobble (builder-style).
+    pub fn with_wobble(mut self, amplitude: f64, freq: f64) -> Self {
+        self.speed_wobble = amplitude;
+        self.wobble_freq = freq;
+        self
+    }
+
+    /// *True* disk angle including wobble: the integral of
+    /// `ω·(1 + a·sin(ω_w·t))`.
+    pub fn true_disk_angle(&self, t_s: f64) -> f64 {
+        let nominal = self.disk.disk_angle(t_s);
+        if self.speed_wobble == 0.0 {
+            nominal
+        } else {
+            let a = self.speed_wobble;
+            nominal + self.disk.omega * a / self.wobble_freq * (1.0 - (self.wobble_freq * t_s).cos())
+        }
+    }
+}
+
+impl Transponder for SpinningTag {
+    fn instance(&self) -> &TagInstance {
+        &self.tag
+    }
+
+    fn kinematics(&self, t_s: f64) -> (Vec3, f64) {
+        let beta = self.true_disk_angle(t_s);
+        let pos = self.disk.center + self.disk.radial(beta) * self.disk.radius;
+        let plane = match self.disk.plane {
+            DiskPlane::Horizontal => beta + FRAC_PI_2,
+            DiskPlane::Vertical { normal_azimuth } => normal_azimuth + FRAC_PI_2,
+        };
+        (pos, plane)
+    }
+}
+
+/// A tag fixed at the disk *center* that still rotates in place — the
+/// paper's Fig. 5 control experiment isolating the orientation effect
+/// (distance to the reader constant, orientation sweeping).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CenterSpinTag {
+    /// Disk motion (only the angle matters; radius is ignored).
+    pub disk: DiskConfig,
+    /// The physical tag at the center.
+    pub tag: TagInstance,
+}
+
+impl Transponder for CenterSpinTag {
+    fn instance(&self) -> &TagInstance {
+        &self.tag
+    }
+
+    fn kinematics(&self, t_s: f64) -> (Vec3, f64) {
+        (self.disk.center, self.disk.plane_azimuth(t_s))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tagspin_rf::TagModel;
+
+    fn disk() -> DiskConfig {
+        DiskConfig::paper_default(Vec3::new(1.0, 0.0, 0.0))
+    }
+
+    #[test]
+    fn validates() {
+        assert!(disk().validate().is_ok());
+        let mut d = disk();
+        d.radius = 0.0;
+        assert!(d.validate().is_err());
+        let mut d = disk();
+        d.omega = 0.0;
+        assert!(d.validate().is_err());
+    }
+
+    #[test]
+    fn period_and_angle() {
+        let d = disk();
+        assert!((d.period_s() - std::f64::consts::TAU / 0.5).abs() < 1e-12);
+        assert_eq!(d.disk_angle(0.0), 0.0);
+        assert!((d.disk_angle(1.0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tag_position_on_circle() {
+        let d = disk();
+        for i in 0..20 {
+            let t = i as f64 * 0.7;
+            let p = d.tag_position(t);
+            assert!((p.distance(d.center) - d.radius).abs() < 1e-12);
+            assert_eq!(p.z, d.center.z);
+        }
+        // At t=0 the tag sits at center + (r, 0).
+        assert!((d.tag_position(0.0) - Vec3::new(1.1, 0.0, 0.0)).norm() < 1e-12);
+    }
+
+    #[test]
+    fn plane_is_tangential() {
+        let d = disk();
+        for i in 0..10 {
+            let t = i as f64 * 0.3;
+            // Tangent direction must be perpendicular to the radial direction.
+            let radial = Vec2::from_bearing(d.disk_angle(t));
+            let plane = Vec2::from_bearing(d.plane_azimuth(t));
+            assert!(radial.dot(plane).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn transponder_consistency() {
+        let st = SpinningTag::new(disk(), TagInstance::ideal(TagModel::DEFAULT, 1));
+        let (pos, plane) = st.kinematics(2.0);
+        assert!((pos - st.disk.tag_position(2.0)).norm() < 1e-12);
+        assert!((plane - st.disk.plane_azimuth(2.0)).abs() < 1e-12);
+        assert_eq!(st.instance().epc, 1);
+    }
+
+    #[test]
+    fn wobble_perturbs_angle_but_averages_out() {
+        let st = SpinningTag::new(disk(), TagInstance::ideal(TagModel::DEFAULT, 1))
+            .with_wobble(0.05, 2.0);
+        let nominal = st.disk.disk_angle(3.21);
+        let actual = st.true_disk_angle(3.21);
+        assert!((nominal - actual).abs() > 1e-6);
+        // The wobble term is bounded by 2·ω·a/ω_w.
+        let bound = 2.0 * 0.5 * 0.05 / 2.0 + 1e-12;
+        for i in 0..100 {
+            let t = i as f64 * 0.37;
+            assert!((st.true_disk_angle(t) - st.disk.disk_angle(t)).abs() <= bound);
+        }
+    }
+
+    #[test]
+    fn vertical_disk_traces_vertical_circle() {
+        let d = DiskConfig::vertical(Vec3::new(0.0, 0.0, 1.0), 0.0);
+        // Normal +x → the disk plane spans y and z.
+        for i in 0..16 {
+            let t = i as f64 * 0.9;
+            let p = d.tag_position(t);
+            assert!((p.distance(d.center) - d.radius).abs() < 1e-12);
+            assert!(p.x.abs() < 1e-12, "x must stay 0, got {}", p.x);
+        }
+        // β = 0 → along +y; β = π/2 → straight up.
+        assert!((d.radial(0.0) - Vec3::new(0.0, 1.0, 0.0)).norm() < 1e-12);
+        assert!((d.radial(FRAC_PI_2) - Vec3::new(0.0, 0.0, 1.0)).norm() < 1e-12);
+        // Constant plane azimuth.
+        assert_eq!(d.plane_azimuth(0.0), d.plane_azimuth(5.0));
+    }
+
+    #[test]
+    fn horizontal_radial_matches_bearing() {
+        let d = DiskConfig::paper_default(Vec3::ZERO);
+        for i in 0..12 {
+            let beta = i as f64 * 0.5;
+            let r = d.radial(beta);
+            assert!((r - Vec3::new(beta.cos(), beta.sin(), 0.0)).norm() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn center_spin_holds_position() {
+        let cs = CenterSpinTag {
+            disk: disk(),
+            tag: TagInstance::ideal(TagModel::DEFAULT, 2),
+        };
+        let (p0, a0) = cs.kinematics(0.0);
+        let (p1, a1) = cs.kinematics(5.0);
+        assert_eq!(p0, p1);
+        assert!((a1 - a0 - 2.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,292 @@
+//! A minimal complex-number type.
+//!
+//! The channel model (`h = a·e^{−jθ}`) and the power profiles of Section IV
+//! accumulate complex phasors. The approved dependency set has no `num`
+//! crate, so this module owns the ~dozen operations the workspace needs.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub};
+
+/// A complex number `re + j·im` over `f64`.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// Zero.
+    pub const ZERO: Complex = Complex { re: 0.0, im: 0.0 };
+    /// One.
+    pub const ONE: Complex = Complex { re: 1.0, im: 0.0 };
+    /// The imaginary unit `j`.
+    pub const J: Complex = Complex { re: 0.0, im: 1.0 };
+
+    /// Create from rectangular parts.
+    #[inline]
+    pub const fn new(re: f64, im: f64) -> Self {
+        Complex { re, im }
+    }
+
+    /// `r·e^{jθ}` — from polar form.
+    ///
+    /// ```
+    /// use tagspin_dsp::complex::Complex;
+    /// let z = Complex::from_polar(2.0, std::f64::consts::FRAC_PI_2);
+    /// assert!(z.re.abs() < 1e-12 && (z.im - 2.0).abs() < 1e-12);
+    /// ```
+    #[inline]
+    pub fn from_polar(r: f64, theta: f64) -> Self {
+        let (s, c) = theta.sin_cos();
+        Complex::new(r * c, r * s)
+    }
+
+    /// `e^{jθ}` — a unit phasor.
+    #[inline]
+    pub fn cis(theta: f64) -> Self {
+        Complex::from_polar(1.0, theta)
+    }
+
+    /// Magnitude `|z|`.
+    #[inline]
+    pub fn abs(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    /// Squared magnitude `|z|²` (cheaper than [`Complex::abs`]).
+    #[inline]
+    pub fn norm_sq(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Argument in `(-π, π]`.
+    #[inline]
+    pub fn arg(self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    /// Complex conjugate.
+    #[inline]
+    pub fn conj(self) -> Self {
+        Complex::new(self.re, -self.im)
+    }
+
+    /// Multiplicative inverse; infinite components for zero input.
+    #[inline]
+    pub fn recip(self) -> Self {
+        let n = self.norm_sq();
+        Complex::new(self.re / n, -self.im / n)
+    }
+
+    /// Scale by a real factor.
+    #[inline]
+    pub fn scale(self, s: f64) -> Self {
+        Complex::new(self.re * s, self.im * s)
+    }
+
+    /// True when both parts are finite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.re.is_finite() && self.im.is_finite()
+    }
+}
+
+impl Add for Complex {
+    type Output = Complex;
+    #[inline]
+    fn add(self, rhs: Complex) -> Complex {
+        Complex::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl AddAssign for Complex {
+    #[inline]
+    fn add_assign(&mut self, rhs: Complex) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Complex {
+    type Output = Complex;
+    #[inline]
+    fn sub(self, rhs: Complex) -> Complex {
+        Complex::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl Mul for Complex {
+    type Output = Complex;
+    #[inline]
+    fn mul(self, rhs: Complex) -> Complex {
+        Complex::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl MulAssign for Complex {
+    #[inline]
+    fn mul_assign(&mut self, rhs: Complex) {
+        *self = *self * rhs;
+    }
+}
+
+impl Mul<f64> for Complex {
+    type Output = Complex;
+    #[inline]
+    fn mul(self, s: f64) -> Complex {
+        self.scale(s)
+    }
+}
+
+impl Mul<Complex> for f64 {
+    type Output = Complex;
+    #[inline]
+    fn mul(self, z: Complex) -> Complex {
+        z.scale(self)
+    }
+}
+
+impl Div for Complex {
+    type Output = Complex;
+    #[inline]
+    #[allow(clippy::suspicious_arithmetic_impl)] // division IS multiplication by the reciprocal
+    fn div(self, rhs: Complex) -> Complex {
+        self * rhs.recip()
+    }
+}
+
+impl Div<f64> for Complex {
+    type Output = Complex;
+    #[inline]
+    fn div(self, s: f64) -> Complex {
+        Complex::new(self.re / s, self.im / s)
+    }
+}
+
+impl Neg for Complex {
+    type Output = Complex;
+    #[inline]
+    fn neg(self) -> Complex {
+        Complex::new(-self.re, -self.im)
+    }
+}
+
+impl Sum for Complex {
+    fn sum<I: Iterator<Item = Complex>>(iter: I) -> Complex {
+        iter.fold(Complex::ZERO, |acc, z| acc + z)
+    }
+}
+
+impl From<f64> for Complex {
+    #[inline]
+    fn from(re: f64) -> Complex {
+        Complex::new(re, 0.0)
+    }
+}
+
+impl fmt::Display for Complex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.im >= 0.0 {
+            write!(f, "{:.6}+{:.6}j", self.re, self.im)
+        } else {
+            write!(f, "{:.6}{:.6}j", self.re, self.im)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::{FRAC_PI_2, PI};
+
+    #[test]
+    fn arithmetic_identities() {
+        let z = Complex::new(3.0, -4.0);
+        assert_eq!(z + Complex::ZERO, z);
+        assert_eq!(z * Complex::ONE, z);
+        assert_eq!(z - z, Complex::ZERO);
+        assert_eq!(-z, Complex::new(-3.0, 4.0));
+        assert_eq!(z.abs(), 5.0);
+        assert_eq!(z.norm_sq(), 25.0);
+    }
+
+    #[test]
+    fn j_squared_is_minus_one() {
+        assert_eq!(Complex::J * Complex::J, Complex::new(-1.0, 0.0));
+    }
+
+    #[test]
+    fn polar_roundtrip() {
+        for i in 0..12 {
+            let theta = i as f64 * PI / 6.0 - PI + 0.01;
+            let z = Complex::from_polar(2.5, theta);
+            assert!((z.abs() - 2.5).abs() < 1e-12);
+            assert!((z.arg() - theta).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn cis_multiplication_adds_angles() {
+        let a = Complex::cis(0.7);
+        let b = Complex::cis(1.1);
+        let c = a * b;
+        assert!((c.arg() - 1.8).abs() < 1e-12);
+        assert!((c.abs() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn division_inverts_multiplication() {
+        let a = Complex::new(1.0, 2.0);
+        let b = Complex::new(-0.5, 3.0);
+        let q = (a * b) / b;
+        assert!((q - a).abs() < 1e-12);
+        assert!((a / 2.0 - Complex::new(0.5, 1.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn conjugate_properties() {
+        let z = Complex::new(2.0, 5.0);
+        assert_eq!(z.conj().conj(), z);
+        let p = z * z.conj();
+        assert!((p.im).abs() < 1e-12);
+        assert!((p.re - z.norm_sq()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sum_of_phasors() {
+        // n coherent unit phasors sum to magnitude n.
+        let n = 10;
+        let s: Complex = (0..n).map(|_| Complex::cis(0.4)).sum();
+        assert!((s.abs() - n as f64).abs() < 1e-12);
+        // Phasors spread uniformly around the circle cancel.
+        let c: Complex = (0..n)
+            .map(|k| Complex::cis(k as f64 * std::f64::consts::TAU / n as f64))
+            .sum();
+        assert!(c.abs() < 1e-12);
+    }
+
+    #[test]
+    fn rotation_by_j() {
+        let z = Complex::ONE;
+        let r = z * Complex::J;
+        assert!((r.arg() - FRAC_PI_2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert!(Complex::new(1.0, 2.0).to_string().contains('+'));
+        assert!(Complex::new(1.0, -2.0).to_string().contains('-'));
+    }
+
+    #[test]
+    fn scalar_ops_commute() {
+        let z = Complex::new(1.0, 1.0);
+        assert_eq!(2.0 * z, z * 2.0);
+        assert_eq!(Complex::from(3.0), Complex::new(3.0, 0.0));
+    }
+}

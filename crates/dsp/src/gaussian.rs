@@ -1,0 +1,196 @@
+//! Gaussian distribution utilities.
+//!
+//! Definition 4.1 of the paper weights each snapshot by
+//! `wᵢ = f(θᵢ − θ₁; cᵢ, √2·0.1)` where `f` is the Gaussian PDF: the paper
+//! models per-read phase error as `N(0, 0.1²)` rad (citing Tagoram), so the
+//! *difference* of two reads has standard deviation `√2·0.1`.
+
+use std::f64::consts::{PI, TAU};
+
+/// A univariate Gaussian distribution `N(μ, σ²)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Gaussian {
+    mean: f64,
+    std_dev: f64,
+}
+
+impl Gaussian {
+    /// Create a Gaussian.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `std_dev` is not finite and strictly positive.
+    pub fn new(mean: f64, std_dev: f64) -> Self {
+        assert!(
+            std_dev.is_finite() && std_dev > 0.0,
+            "standard deviation must be finite and positive"
+        );
+        Gaussian { mean, std_dev }
+    }
+
+    /// The mean `μ`.
+    #[inline]
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// The standard deviation `σ`.
+    #[inline]
+    pub fn std_dev(&self) -> f64 {
+        self.std_dev
+    }
+
+    /// Probability density at `x`.
+    ///
+    /// ```
+    /// use tagspin_dsp::Gaussian;
+    /// let g = Gaussian::new(0.0, 1.0);
+    /// assert!((g.pdf(0.0) - 0.398942).abs() < 1e-5);
+    /// ```
+    #[inline]
+    pub fn pdf(&self, x: f64) -> f64 {
+        let z = (x - self.mean) / self.std_dev;
+        (-0.5 * z * z).exp() / (self.std_dev * (2.0 * PI).sqrt())
+    }
+
+    /// Density of the *wrapped* Gaussian on the circle, evaluated with the
+    /// nearest-wrap approximation.
+    ///
+    /// Phase differences live on the circle: a measured difference of
+    /// `μ + 2π` is the same observation as `μ`. For the small σ used here
+    /// (≈0.14 rad), summing the single nearest wrap term is exact to ~1e-87,
+    /// so we wrap `x − μ` into `(−π, π]` and evaluate one PDF term.
+    #[inline]
+    pub fn pdf_wrapped(&self, x: f64) -> f64 {
+        let mut d = (x - self.mean).rem_euclid(TAU);
+        if d > PI {
+            d -= TAU;
+        }
+        let z = d / self.std_dev;
+        (-0.5 * z * z).exp() / (self.std_dev * (2.0 * PI).sqrt())
+    }
+
+    /// Cumulative distribution function via `erf` (Abramowitz–Stegun 7.1.26
+    /// approximation, |error| < 1.5e-7 — ample for weighting and tests).
+    pub fn cdf(&self, x: f64) -> f64 {
+        let z = (x - self.mean) / (self.std_dev * std::f64::consts::SQRT_2);
+        0.5 * (1.0 + erf(z))
+    }
+}
+
+/// Error function approximation (Abramowitz & Stegun 7.1.26).
+///
+/// Max absolute error ≈ 1.5e-7 over the real line.
+pub fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.3275911 * x);
+    let y = 1.0
+        - (((((1.061405429 * t - 1.453152027) * t) + 1.421413741) * t - 0.284496736) * t
+            + 0.254829592)
+            * t
+            * (-x * x).exp();
+    sign * y
+}
+
+/// Fit a Gaussian to samples by moments (sample mean, *population* std).
+///
+/// Returns `None` when fewer than two samples are supplied or the variance
+/// is zero.
+pub fn fit_moments(samples: &[f64]) -> Option<Gaussian> {
+    if samples.len() < 2 {
+        return None;
+    }
+    let n = samples.len() as f64;
+    let mean = samples.iter().sum::<f64>() / n;
+    let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+    if var <= 0.0 {
+        return None;
+    }
+    Some(Gaussian::new(mean, var.sqrt()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pdf_symmetry_and_peak() {
+        let g = Gaussian::new(2.0, 0.5);
+        assert!((g.pdf(1.0) - g.pdf(3.0)).abs() < 1e-12);
+        assert!(g.pdf(2.0) > g.pdf(2.4));
+        // Peak value is 1/(σ√(2π)).
+        assert!((g.pdf(2.0) - 1.0 / (0.5 * (2.0 * PI).sqrt())).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pdf_integrates_to_one() {
+        let g = Gaussian::new(-1.0, 0.7);
+        let (a, b, n) = (-8.0, 6.0, 20_000);
+        let h = (b - a) / n as f64;
+        let mut sum = 0.0;
+        for i in 0..=n {
+            let w = if i == 0 || i == n { 0.5 } else { 1.0 };
+            sum += w * g.pdf(a + i as f64 * h);
+        }
+        assert!((sum * h - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cdf_basics() {
+        let g = Gaussian::new(0.0, 1.0);
+        assert!((g.cdf(0.0) - 0.5).abs() < 1e-7);
+        assert!(g.cdf(3.0) > 0.998);
+        assert!(g.cdf(-3.0) < 0.002);
+        // Monotone.
+        assert!(g.cdf(0.5) > g.cdf(0.4));
+    }
+
+    #[test]
+    fn erf_reference_values() {
+        // The A&S 7.1.26 polynomial has ~1e-9 residual at the origin.
+        assert!(erf(0.0).abs() < 1e-6);
+        assert!((erf(1.0) - 0.8427007).abs() < 1e-5);
+        assert!((erf(-1.0) + 0.8427007).abs() < 1e-5);
+        assert!((erf(2.0) - 0.9953223).abs() < 1e-5);
+    }
+
+    #[test]
+    fn wrapped_pdf_periodicity() {
+        let g = Gaussian::new(0.3, 0.14);
+        for k in -3..=3 {
+            let x = 0.5 + k as f64 * TAU;
+            assert!((g.pdf_wrapped(x) - g.pdf_wrapped(0.5)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn wrapped_pdf_matches_linear_near_mean() {
+        let g = Gaussian::new(0.0, 0.14);
+        for &x in &[0.0, 0.1, -0.2, 0.3] {
+            assert!((g.pdf_wrapped(x) - g.pdf(x)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn fit_moments_recovers() {
+        // Symmetric 4-point sample with known moments.
+        let s = [-1.0, 1.0, -1.0, 1.0];
+        let g = fit_moments(&s).unwrap();
+        assert!(g.mean().abs() < 1e-12);
+        assert!((g.std_dev() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fit_moments_degenerate() {
+        assert!(fit_moments(&[1.0]).is_none());
+        assert!(fit_moments(&[2.0, 2.0, 2.0]).is_none());
+        assert!(fit_moments(&[]).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "standard deviation")]
+    fn zero_sigma_panics() {
+        let _ = Gaussian::new(0.0, 0.0);
+    }
+}

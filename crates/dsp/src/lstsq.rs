@@ -1,0 +1,391 @@
+//! Small dense linear least squares.
+//!
+//! Solves `min ‖A·x − b‖₂` for tall matrices via QR factorization with
+//! Householder reflections — numerically stable where the normal equations
+//! are not. The matrices in this workspace are tiny (Fourier fits with ≤ 20
+//! columns, Gauss-Newton Jacobians with 2–3 columns), so a simple dense
+//! implementation is the right tool; no external linalg crate is needed.
+
+use std::fmt;
+
+/// A dense row-major matrix of `f64`.
+///
+/// ```
+/// use tagspin_dsp::lstsq::Matrix;
+/// let m = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+/// assert_eq!(m.get(1, 0), 3.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+/// Error from least-squares solving.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LstsqError {
+    /// The system has fewer rows than columns (underdetermined).
+    Underdetermined,
+    /// A is (numerically) rank-deficient.
+    RankDeficient,
+    /// The right-hand side length does not match the row count.
+    DimensionMismatch,
+}
+
+impl fmt::Display for LstsqError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LstsqError::Underdetermined => write!(f, "system is underdetermined (rows < cols)"),
+            LstsqError::RankDeficient => write!(f, "matrix is rank-deficient"),
+            LstsqError::DimensionMismatch => write!(f, "rhs length does not match matrix rows"),
+        }
+    }
+}
+
+impl std::error::Error for LstsqError {}
+
+impl Matrix {
+    /// All-zeros matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics when either dimension is zero.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be positive");
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Build from row slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics on empty input or ragged rows.
+    pub fn from_rows(rows: &[&[f64]]) -> Self {
+        assert!(!rows.is_empty(), "matrix must have at least one row");
+        let cols = rows[0].len();
+        assert!(cols > 0, "matrix must have at least one column");
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for r in rows {
+            assert_eq!(r.len(), cols, "all rows must have equal length");
+            data.extend_from_slice(r);
+        }
+        Matrix {
+            rows: rows.len(),
+            cols,
+            data,
+        }
+    }
+
+    /// Build row-by-row with a closure: `f(row, col)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut m = Matrix::zeros(rows, cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                m.set(r, c, f(r, c));
+            }
+        }
+        m
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element accessor.
+    ///
+    /// # Panics
+    ///
+    /// Panics when indices are out of bounds.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        assert!(r < self.rows && c < self.cols, "index out of bounds");
+        self.data[r * self.cols + c]
+    }
+
+    /// Element mutator.
+    ///
+    /// # Panics
+    ///
+    /// Panics when indices are out of bounds.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f64) {
+        assert!(r < self.rows && c < self.cols, "index out of bounds");
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Matrix–vector product `A·x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `x.len() != cols`.
+    pub fn mul_vec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.cols, "vector length must equal column count");
+        self.data
+            .chunks_exact(self.cols)
+            .map(|row| row.iter().zip(x).map(|(a, b)| a * b).sum())
+            .collect()
+    }
+}
+
+/// Solve `min ‖A·x − b‖₂` by Householder QR.
+///
+/// # Errors
+///
+/// * [`LstsqError::DimensionMismatch`] — `b.len() != A.rows()`.
+/// * [`LstsqError::Underdetermined`] — `A.rows() < A.cols()`.
+/// * [`LstsqError::RankDeficient`] — a diagonal of R is ~0.
+pub fn solve(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, LstsqError> {
+    if b.len() != a.rows {
+        return Err(LstsqError::DimensionMismatch);
+    }
+    if a.rows < a.cols {
+        return Err(LstsqError::Underdetermined);
+    }
+    let (m, n) = (a.rows, a.cols);
+    let mut r = a.data.clone(); // working copy, row-major m×n
+    let mut qtb = b.to_vec();
+
+    // Scale tolerance by the largest column norm so rank detection is
+    // invariant to the overall magnitude of A.
+    let mut max_col_norm: f64 = 0.0;
+    for c in 0..n {
+        let norm: f64 = (0..m).map(|i| r[i * n + c] * r[i * n + c]).sum::<f64>().sqrt();
+        max_col_norm = max_col_norm.max(norm);
+    }
+    if max_col_norm == 0.0 {
+        return Err(LstsqError::RankDeficient);
+    }
+    let tol = 1e-12 * max_col_norm;
+
+    for k in 0..n {
+        // Householder vector for column k, rows k..m.
+        let mut norm_x: f64 = 0.0;
+        for i in k..m {
+            norm_x += r[i * n + k] * r[i * n + k];
+        }
+        let norm_x = norm_x.sqrt();
+        if norm_x < tol {
+            return Err(LstsqError::RankDeficient);
+        }
+        let alpha = if r[k * n + k] >= 0.0 { -norm_x } else { norm_x };
+        // v = x - alpha*e1 (stored in a scratch vec)
+        let mut v = vec![0.0; m - k];
+        v[0] = r[k * n + k] - alpha;
+        for (slot, row) in v.iter_mut().zip(k..m).skip(1) {
+            *slot = r[row * n + k];
+        }
+        let vtv: f64 = v.iter().map(|x| x * x).sum();
+        if vtv < tol * tol {
+            // Column already triangular; record alpha and continue.
+            r[k * n + k] = alpha;
+            for i in (k + 1)..m {
+                r[i * n + k] = 0.0;
+            }
+            continue;
+        }
+        // Apply H = I - 2 v v^T / (v^T v) to the trailing submatrix and qtb.
+        for c in k..n {
+            let mut dot = 0.0;
+            for i in k..m {
+                dot += v[i - k] * r[i * n + c];
+            }
+            let f = 2.0 * dot / vtv;
+            for i in k..m {
+                r[i * n + c] -= f * v[i - k];
+            }
+        }
+        let mut dot = 0.0;
+        for i in k..m {
+            dot += v[i - k] * qtb[i];
+        }
+        let f = 2.0 * dot / vtv;
+        for i in k..m {
+            qtb[i] -= f * v[i - k];
+        }
+    }
+
+    // Back-substitute R x = (Q^T b)[0..n].
+    let mut x = vec![0.0; n];
+    for k in (0..n).rev() {
+        let diag = r[k * n + k];
+        if diag.abs() < tol {
+            return Err(LstsqError::RankDeficient);
+        }
+        let mut s = qtb[k];
+        for c in (k + 1)..n {
+            s -= r[k * n + c] * x[c];
+        }
+        x[k] = s / diag;
+    }
+    Ok(x)
+}
+
+/// Solve a weighted least squares `min Σ wᵢ (Aᵢ·x − bᵢ)²` by row scaling.
+///
+/// # Errors
+///
+/// Same as [`solve`], plus [`LstsqError::DimensionMismatch`] when the weight
+/// length differs. Negative weights are rejected as `DimensionMismatch`
+/// misuse? No — they panic, since they indicate a programming error.
+///
+/// # Panics
+///
+/// Panics when any weight is negative or non-finite.
+pub fn solve_weighted(a: &Matrix, b: &[f64], weights: &[f64]) -> Result<Vec<f64>, LstsqError> {
+    if weights.len() != a.rows {
+        return Err(LstsqError::DimensionMismatch);
+    }
+    for &w in weights {
+        assert!(w.is_finite() && w >= 0.0, "weights must be finite and non-negative");
+    }
+    let mut aw = a.clone();
+    let mut bw = b.to_vec();
+    if bw.len() != a.rows {
+        return Err(LstsqError::DimensionMismatch);
+    }
+    for r in 0..a.rows {
+        let s = weights[r].sqrt();
+        for c in 0..a.cols {
+            aw.set(r, c, a.get(r, c) * s);
+        }
+        bw[r] *= s;
+    }
+    solve(&aw, &bw)
+}
+
+/// Residual 2-norm `‖A·x − b‖₂` for a candidate solution.
+///
+/// # Panics
+///
+/// Panics on dimension mismatch.
+pub fn residual_norm(a: &Matrix, x: &[f64], b: &[f64]) -> f64 {
+    let ax = a.mul_vec(x);
+    assert_eq!(ax.len(), b.len(), "rhs length mismatch");
+    ax.iter()
+        .zip(b)
+        .map(|(p, q)| (p - q) * (p - q))
+        .sum::<f64>()
+        .sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn square_exact_system() {
+        let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]]);
+        let x = solve(&a, &[5.0, 10.0]).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-10);
+        assert!((x[1] - 3.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn overdetermined_consistent() {
+        // y = 2 + 3t sampled without noise at 5 points.
+        let ts = [0.0, 1.0, 2.0, 3.0, 4.0];
+        let a = Matrix::from_fn(5, 2, |r, c| if c == 0 { 1.0 } else { ts[r] });
+        let b: Vec<f64> = ts.iter().map(|t| 2.0 + 3.0 * t).collect();
+        let x = solve(&a, &b).unwrap();
+        assert!((x[0] - 2.0).abs() < 1e-10);
+        assert!((x[1] - 3.0).abs() < 1e-10);
+        assert!(residual_norm(&a, &x, &b) < 1e-10);
+    }
+
+    #[test]
+    fn overdetermined_minimizes_residual() {
+        // Inconsistent system: best fit of a constant to [0, 1] is 0.5.
+        let a = Matrix::from_rows(&[&[1.0], &[1.0]]);
+        let x = solve(&a, &[0.0, 1.0]).unwrap();
+        assert!((x[0] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn underdetermined_rejected() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0]]);
+        assert_eq!(solve(&a, &[1.0]), Err(LstsqError::Underdetermined));
+    }
+
+    #[test]
+    fn rank_deficient_rejected() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0], &[3.0, 6.0]]);
+        assert_eq!(solve(&a, &[1.0, 2.0, 3.0]), Err(LstsqError::RankDeficient));
+    }
+
+    #[test]
+    fn zero_matrix_rejected() {
+        let a = Matrix::zeros(3, 2);
+        assert_eq!(solve(&a, &[0.0; 3]), Err(LstsqError::RankDeficient));
+    }
+
+    #[test]
+    fn dimension_mismatch() {
+        let a = Matrix::zeros(3, 2);
+        assert_eq!(solve(&a, &[0.0; 2]), Err(LstsqError::DimensionMismatch));
+    }
+
+    #[test]
+    fn weighted_pulls_solution() {
+        // Fit a constant to [0, 1] with weights [3, 1] → 0.25.
+        let a = Matrix::from_rows(&[&[1.0], &[1.0]]);
+        let x = solve_weighted(&a, &[0.0, 1.0], &[3.0, 1.0]).unwrap();
+        assert!((x[0] - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "weights must be finite")]
+    fn weighted_negative_panics() {
+        let a = Matrix::from_rows(&[&[1.0], &[1.0]]);
+        let _ = solve_weighted(&a, &[0.0, 1.0], &[-1.0, 1.0]);
+    }
+
+    #[test]
+    fn mul_vec_basic() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        assert_eq!(a.mul_vec(&[1.0, 1.0]), vec![3.0, 7.0]);
+    }
+
+    #[test]
+    fn larger_random_like_system() {
+        // Deterministic pseudo-random A (LCG), known x, consistent b.
+        let mut state = 42u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        };
+        let (m, n) = (40, 7);
+        let a = Matrix::from_fn(m, n, |_, _| next());
+        let x_true: Vec<f64> = (0..n).map(|i| i as f64 - 3.0).collect();
+        let b = a.mul_vec(&x_true);
+        let x = solve(&a, &b).unwrap();
+        for (xi, ti) in x.iter().zip(&x_true) {
+            assert!((xi - ti).abs() < 1e-8, "xi={xi} ti={ti}");
+        }
+    }
+
+    #[test]
+    fn error_display_nonempty() {
+        assert!(!LstsqError::Underdetermined.to_string().is_empty());
+        assert!(!LstsqError::RankDeficient.to_string().is_empty());
+        assert!(!LstsqError::DimensionMismatch.to_string().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensions must be positive")]
+    fn zero_dims_panic() {
+        let _ = Matrix::zeros(0, 1);
+    }
+}

@@ -1,0 +1,288 @@
+//! Peak extraction from sampled spectra.
+//!
+//! The angle spectra of Section IV are evaluated on a grid; the reader
+//! bearing is the argmax. Grid-only argmax quantizes the bearing to the grid
+//! step, so [`refine_parabolic`] interpolates the true peak between grid
+//! points using the classic three-point parabola — one of the oldest tricks
+//! in spectral estimation. A circular variant handles spectra on `[0, 2π)`
+//! whose peak may straddle the seam.
+
+use std::fmt;
+
+/// A located spectrum peak.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PeakEstimate {
+    /// Index of the grid maximum.
+    pub index: usize,
+    /// Interpolated abscissa of the peak (same units as the grid).
+    pub position: f64,
+    /// Interpolated peak height.
+    pub value: f64,
+}
+
+impl fmt::Display for PeakEstimate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "peak at {:.6} (grid index {}, value {:.4})",
+            self.position, self.index, self.value
+        )
+    }
+}
+
+/// Index of the maximum value; ties break to the first occurrence.
+///
+/// Returns `None` for empty input or when every value is NaN.
+pub fn argmax(values: &[f64]) -> Option<usize> {
+    let mut best: Option<(usize, f64)> = None;
+    for (i, &v) in values.iter().enumerate() {
+        if v.is_nan() {
+            continue;
+        }
+        match best {
+            Some((_, bv)) if v <= bv => {}
+            _ => best = Some((i, v)),
+        }
+    }
+    best.map(|(i, _)| i)
+}
+
+/// Parabolic refinement of a grid peak on a *linear* axis.
+///
+/// `grid_start` and `grid_step` describe the abscissa: sample `i` sits at
+/// `grid_start + i·grid_step`. Edge peaks (index 0 or n−1) are returned
+/// unrefined.
+///
+/// Returns `None` when `values` is empty or all-NaN.
+pub fn refine_parabolic(values: &[f64], grid_start: f64, grid_step: f64) -> Option<PeakEstimate> {
+    let i = argmax(values)?;
+    let x_i = grid_start + i as f64 * grid_step;
+    if i == 0 || i + 1 >= values.len() {
+        return Some(PeakEstimate {
+            index: i,
+            position: x_i,
+            value: values[i],
+        });
+    }
+    let (ym, y0, yp) = (values[i - 1], values[i], values[i + 1]);
+    let denom = ym - 2.0 * y0 + yp;
+    if !denom.is_finite() || denom.abs() < 1e-300 {
+        return Some(PeakEstimate {
+            index: i,
+            position: x_i,
+            value: y0,
+        });
+    }
+    // Vertex offset in grid units, clamped to the cell.
+    let delta = (0.5 * (ym - yp) / denom).clamp(-0.5, 0.5);
+    let value = y0 - 0.25 * (ym - yp) * delta;
+    Some(PeakEstimate {
+        index: i,
+        position: x_i + delta * grid_step,
+        value,
+    })
+}
+
+/// Parabolic refinement on a *circular* axis covering `[0, period)`.
+///
+/// The grid is assumed uniform with `n` samples, sample `i` at
+/// `i·period/n`; neighbor indices wrap, so a peak at the seam refines
+/// correctly. The returned position is wrapped to `[0, period)`.
+///
+/// Returns `None` for fewer than 3 samples or all-NaN input.
+pub fn refine_circular(values: &[f64], period: f64) -> Option<PeakEstimate> {
+    let n = values.len();
+    if n < 3 {
+        return None;
+    }
+    let i = argmax(values)?;
+    let step = period / n as f64;
+    let ym = values[(i + n - 1) % n];
+    let y0 = values[i];
+    let yp = values[(i + 1) % n];
+    let denom = ym - 2.0 * y0 + yp;
+    let delta = if !denom.is_finite() || denom.abs() < 1e-300 {
+        0.0
+    } else {
+        (0.5 * (ym - yp) / denom).clamp(-0.5, 0.5)
+    };
+    let value = y0 - 0.25 * (ym - yp) * delta;
+    let position = (i as f64 + delta) * step;
+    Some(PeakEstimate {
+        index: i,
+        position: position.rem_euclid(period),
+        value,
+    })
+}
+
+/// Peak-to-sidelobe ratio: peak height divided by the largest value outside
+/// an exclusion window of `guard` samples around the peak (circularly).
+///
+/// A sharpness metric for comparing the paper's `Q(φ)` and `R(φ)` profiles
+/// (Fig. 6): a sharper profile has a larger ratio. Returns `None` when the
+/// exclusion window swallows the whole spectrum or input is degenerate.
+pub fn peak_to_sidelobe(values: &[f64], guard: usize) -> Option<f64> {
+    let n = values.len();
+    if n == 0 || 2 * guard + 1 >= n {
+        return None;
+    }
+    let i = argmax(values)?;
+    let peak = values[i];
+    let mut side = f64::NEG_INFINITY;
+    for (j, &v) in values.iter().enumerate() {
+        let dist = {
+            let d = (j as isize - i as isize).unsigned_abs();
+            d.min(n - d)
+        };
+        if dist > guard && v.is_finite() {
+            side = side.max(v);
+        }
+    }
+    if side <= 0.0 || !side.is_finite() {
+        None
+    } else {
+        Some(peak / side)
+    }
+}
+
+/// Half-power (−3 dB) width of the main lobe in samples, measured circularly
+/// around the argmax. Another Fig. 6 sharpness metric: narrower is sharper.
+///
+/// Returns `None` on degenerate input; returns `n` when the spectrum never
+/// falls below half power.
+pub fn half_power_width(values: &[f64]) -> Option<usize> {
+    let n = values.len();
+    if n == 0 {
+        return None;
+    }
+    let i = argmax(values)?;
+    let half = values[i] / 2.0;
+    let mut width = 1usize;
+    // Walk right.
+    let mut j = (i + 1) % n;
+    while j != i && values[j] >= half {
+        width += 1;
+        j = (j + 1) % n;
+    }
+    if j == i {
+        return Some(n);
+    }
+    // Walk left.
+    let mut j = (i + n - 1) % n;
+    while j != i && values[j] >= half {
+        width += 1;
+        j = (j + n - 1) % n;
+    }
+    Some(width)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::TAU;
+
+    #[test]
+    fn argmax_basic() {
+        assert_eq!(argmax(&[1.0, 3.0, 2.0]), Some(1));
+        assert_eq!(argmax(&[]), None);
+        assert_eq!(argmax(&[f64::NAN, 2.0, f64::NAN]), Some(1));
+        assert_eq!(argmax(&[f64::NAN]), None);
+        // Ties break to first.
+        assert_eq!(argmax(&[5.0, 5.0]), Some(0));
+    }
+
+    #[test]
+    fn parabolic_recovers_quadratic_vertex() {
+        // y = -(x - 1.3)^2 sampled on integers: vertex at 1.3 exactly
+        // recoverable because the model is exactly quadratic.
+        let xs = [0.0, 1.0, 2.0, 3.0];
+        let ys: Vec<f64> = xs.iter().map(|x| -(x - 1.3) * (x - 1.3)).collect();
+        let p = refine_parabolic(&ys, 0.0, 1.0).unwrap();
+        assert_eq!(p.index, 1);
+        assert!((p.position - 1.3).abs() < 1e-12);
+        assert!(p.value.abs() < 1e-12);
+    }
+
+    #[test]
+    fn parabolic_edge_peak_unrefined() {
+        let ys = [5.0, 1.0, 0.0];
+        let p = refine_parabolic(&ys, 10.0, 0.5).unwrap();
+        assert_eq!(p.index, 0);
+        assert_eq!(p.position, 10.0);
+        assert_eq!(p.value, 5.0);
+    }
+
+    #[test]
+    fn circular_peak_at_seam() {
+        // Peak between the last and first samples of a circular grid.
+        let n = 360;
+        let true_pos = 0.02; // radians, just past the seam
+        let ys: Vec<f64> = (0..n)
+            .map(|i| {
+                let x = i as f64 * TAU / n as f64;
+                // cos distance to the true position — smooth circular bump.
+                (x - true_pos).cos()
+            })
+            .collect();
+        let p = refine_circular(&ys, TAU).unwrap();
+        assert!(
+            (p.position - true_pos).abs() < 1e-3,
+            "got {} want {}",
+            p.position,
+            true_pos
+        );
+    }
+
+    #[test]
+    fn circular_small_input() {
+        assert!(refine_circular(&[1.0, 2.0], TAU).is_none());
+        assert!(refine_circular(&[], TAU).is_none());
+    }
+
+    #[test]
+    fn psr_flat_vs_peaked() {
+        let flat = [1.0; 16];
+        let psr_flat = peak_to_sidelobe(&flat, 2).unwrap();
+        assert!((psr_flat - 1.0).abs() < 1e-12);
+
+        let mut peaked = [0.1; 16];
+        peaked[7] = 2.0;
+        let psr = peak_to_sidelobe(&peaked, 2).unwrap();
+        assert!((psr - 20.0).abs() < 1e-12);
+        assert!(psr > psr_flat);
+    }
+
+    #[test]
+    fn psr_guard_too_wide() {
+        assert!(peak_to_sidelobe(&[1.0, 2.0, 3.0], 1).is_none());
+        assert!(peak_to_sidelobe(&[], 0).is_none());
+    }
+
+    #[test]
+    fn half_power_width_shapes() {
+        // Delta-like spectrum: width 1.
+        let mut delta = [0.0; 32];
+        delta[5] = 1.0;
+        assert_eq!(half_power_width(&delta), Some(1));
+        // Flat spectrum never drops: width n.
+        assert_eq!(half_power_width(&[1.0; 8]), Some(8));
+        assert_eq!(half_power_width(&[]), None);
+    }
+
+    #[test]
+    fn half_power_width_triangle() {
+        let ys = [0.0, 0.2, 0.6, 1.0, 0.6, 0.2, 0.0, 0.0];
+        // Samples ≥ 0.5: indices 2, 3, 4 → width 3.
+        assert_eq!(half_power_width(&ys), Some(3));
+    }
+
+    #[test]
+    fn display_nonempty() {
+        let p = PeakEstimate {
+            index: 1,
+            position: 0.5,
+            value: 2.0,
+        };
+        assert!(!p.to_string().is_empty());
+    }
+}

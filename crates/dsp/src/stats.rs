@@ -1,0 +1,259 @@
+//! Scalar summary statistics and empirical CDFs.
+//!
+//! The paper's evaluation reports mean error, standard deviation, the 90th
+//! percentile, min/max, and CDF plots (Figs. 10–12). This module provides
+//! those summaries over error samples.
+
+use std::fmt;
+
+/// Summary statistics of a sample set.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Summary {
+    /// Number of (finite) samples.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std_dev: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Median (50th percentile).
+    pub median: f64,
+    /// 90th percentile.
+    pub p90: f64,
+}
+
+impl Summary {
+    /// Compute a summary; non-finite samples are skipped.
+    ///
+    /// Returns `None` when no finite samples remain.
+    pub fn of(samples: &[f64]) -> Option<Summary> {
+        let mut xs: Vec<f64> = samples.iter().copied().filter(|x| x.is_finite()).collect();
+        if xs.is_empty() {
+            return None;
+        }
+        xs.sort_by(|a, b| a.partial_cmp(b).expect("finite values compare"));
+        let n = xs.len() as f64;
+        let mean = xs.iter().sum::<f64>() / n;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+        Some(Summary {
+            count: xs.len(),
+            mean,
+            std_dev: var.sqrt(),
+            min: xs[0],
+            max: *xs.last().expect("nonempty"),
+            median: percentile_sorted(&xs, 50.0),
+            p90: percentile_sorted(&xs, 90.0),
+        })
+    }
+}
+
+impl fmt::Display for Summary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.4} std={:.4} min={:.4} median={:.4} p90={:.4} max={:.4}",
+            self.count, self.mean, self.std_dev, self.min, self.median, self.p90, self.max
+        )
+    }
+}
+
+/// Linear-interpolated percentile of a **sorted** slice, `p ∈ [0, 100]`.
+///
+/// # Panics
+///
+/// Panics on empty input or `p` outside `[0, 100]`.
+pub fn percentile_sorted(sorted: &[f64], p: f64) -> f64 {
+    assert!(!sorted.is_empty(), "percentile of empty slice");
+    assert!((0.0..=100.0).contains(&p), "percentile must be in [0, 100]");
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    sorted[lo] + (sorted[hi] - sorted[lo]) * frac
+}
+
+/// Percentile of an unsorted slice (copies and sorts).
+///
+/// # Panics
+///
+/// Panics on empty input or out-of-range `p`.
+pub fn percentile(samples: &[f64], p: f64) -> f64 {
+    let mut xs = samples.to_vec();
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("finite values compare"));
+    percentile_sorted(&xs, p)
+}
+
+/// An empirical cumulative distribution function.
+///
+/// ```
+/// use tagspin_dsp::stats::Ecdf;
+/// let cdf = Ecdf::new(&[1.0, 2.0, 3.0, 4.0]);
+/// assert_eq!(cdf.eval(2.5), 0.5);
+/// assert_eq!(cdf.eval(0.0), 0.0);
+/// assert_eq!(cdf.eval(10.0), 1.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ecdf {
+    sorted: Vec<f64>,
+}
+
+impl Ecdf {
+    /// Build an ECDF; non-finite samples are dropped.
+    pub fn new(samples: &[f64]) -> Self {
+        let mut sorted: Vec<f64> = samples.iter().copied().filter(|x| x.is_finite()).collect();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values compare"));
+        Ecdf { sorted }
+    }
+
+    /// Number of samples retained.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// True when no samples were retained.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// Fraction of samples ≤ `x` (right-continuous step function).
+    pub fn eval(&self, x: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return f64::NAN;
+        }
+        let k = self.sorted.partition_point(|&v| v <= x);
+        k as f64 / self.sorted.len() as f64
+    }
+
+    /// Smallest sample value at which the CDF reaches `q ∈ (0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the ECDF is empty or `q` outside `(0, 1]`.
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!(!self.sorted.is_empty(), "quantile of empty ECDF");
+        assert!(q > 0.0 && q <= 1.0, "quantile must be in (0, 1]");
+        let idx = ((q * self.sorted.len() as f64).ceil() as usize).max(1) - 1;
+        self.sorted[idx.min(self.sorted.len() - 1)]
+    }
+
+    /// Iterate `(value, cdf)` step points, one per sample.
+    pub fn points(&self) -> impl Iterator<Item = (f64, f64)> + '_ {
+        let n = self.sorted.len() as f64;
+        self.sorted
+            .iter()
+            .enumerate()
+            .map(move |(i, &v)| (v, (i + 1) as f64 / n))
+    }
+}
+
+/// Root mean square of a sample set (0.0 for empty input).
+pub fn rms(samples: &[f64]) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    (samples.iter().map(|x| x * x).sum::<f64>() / samples.len() as f64).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_known_values() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0, 5.0]).unwrap();
+        assert_eq!(s.count, 5);
+        assert!((s.mean - 3.0).abs() < 1e-12);
+        assert!((s.std_dev - 2.0_f64.sqrt()).abs() < 1e-12);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 5.0);
+        assert_eq!(s.median, 3.0);
+        assert!((s.p90 - 4.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_skips_non_finite() {
+        let s = Summary::of(&[1.0, f64::NAN, 3.0, f64::INFINITY]).unwrap();
+        assert_eq!(s.count, 2);
+        assert_eq!(s.mean, 2.0);
+        assert!(Summary::of(&[f64::NAN]).is_none());
+        assert!(Summary::of(&[]).is_none());
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let xs = [10.0, 20.0, 30.0, 40.0];
+        assert_eq!(percentile(&xs, 0.0), 10.0);
+        assert_eq!(percentile(&xs, 100.0), 40.0);
+        assert!((percentile(&xs, 50.0) - 25.0).abs() < 1e-12);
+        assert_eq!(percentile(&[7.0], 50.0), 7.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn percentile_empty_panics() {
+        let _ = percentile(&[], 50.0);
+    }
+
+    #[test]
+    fn ecdf_step_behaviour() {
+        let c = Ecdf::new(&[1.0, 1.0, 2.0]);
+        assert_eq!(c.eval(0.999), 0.0);
+        assert!((c.eval(1.0) - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(c.eval(2.0), 1.0);
+        assert_eq!(c.len(), 3);
+        assert!(!c.is_empty());
+    }
+
+    #[test]
+    fn ecdf_monotone() {
+        let c = Ecdf::new(&[3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0]);
+        let mut prev = 0.0;
+        for i in 0..100 {
+            let v = c.eval(i as f64 / 10.0);
+            assert!(v >= prev);
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn ecdf_quantile_matches_eval() {
+        let c = Ecdf::new(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(c.quantile(0.2), 1.0);
+        assert_eq!(c.quantile(0.9), 5.0);
+        assert_eq!(c.quantile(1.0), 5.0);
+        // 90% of errors below quantile(0.9) + eps.
+        assert!(c.eval(c.quantile(0.9)) >= 0.9);
+    }
+
+    #[test]
+    fn ecdf_points_cover_unit_interval() {
+        let c = Ecdf::new(&[2.0, 1.0]);
+        let pts: Vec<(f64, f64)> = c.points().collect();
+        assert_eq!(pts, vec![(1.0, 0.5), (2.0, 1.0)]);
+    }
+
+    #[test]
+    fn ecdf_empty() {
+        let c = Ecdf::new(&[]);
+        assert!(c.is_empty());
+        assert!(c.eval(1.0).is_nan());
+    }
+
+    #[test]
+    fn rms_known() {
+        assert_eq!(rms(&[]), 0.0);
+        assert!((rms(&[3.0, 4.0]) - (12.5_f64).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_display_nonempty() {
+        let s = Summary::of(&[1.0, 2.0]).unwrap();
+        assert!(s.to_string().contains("mean"));
+    }
+}

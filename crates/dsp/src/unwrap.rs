@@ -1,0 +1,194 @@
+//! Phase unwrapping and the paper's Eqn-4 smoothing.
+//!
+//! RFID readers report phase modulo 2π, so a smoothly varying physical phase
+//! appears as a sawtooth with jumps near ±2π (paper Fig. 3). Section III-B
+//! smooths the sequence by adding/subtracting 2π whenever consecutive samples
+//! jump by more than π:
+//!
+//! ```text
+//! θ(t) = θ(t) − 2π   if θ(t) − θ(t−1) >  π
+//! θ(t) = θ(t) + 2π   if θ(t) − θ(t−1) < −π
+//! θ(t) = θ(t)        otherwise
+//! ```
+//!
+//! The paper applies the correction once per sample; the general
+//! [`unwrap`] here accumulates the correction so arbitrarily many wraps are
+//! removed — equivalent for well-sampled data and strictly better otherwise.
+
+use std::f64::consts::{PI, TAU};
+
+/// Unwrap a mod-2π phase sequence in place semantics, returning a new vector.
+///
+/// The first sample is kept as-is; every subsequent sample is shifted by a
+/// multiple of 2π so that consecutive differences fall in `(-π, π]`. This is
+/// the accumulating generalization of the paper's Eqn-4 smoothing.
+///
+/// Returns an empty vector for empty input. NaN samples poison the remainder
+/// of the sequence (propagated, not patched).
+///
+/// ```
+/// use tagspin_dsp::unwrap::unwrap;
+/// let wrapped = [0.0, 3.0, 6.0_f64.rem_euclid(std::f64::consts::TAU)];
+/// let un = unwrap(&wrapped);
+/// assert!((un[2] - 6.0).abs() < 1e-9 || (un[2] - (6.0 - std::f64::consts::TAU)).abs() < 1e-9);
+/// ```
+pub fn unwrap(phases: &[f64]) -> Vec<f64> {
+    let mut out = Vec::with_capacity(phases.len());
+    let mut offset = 0.0;
+    let mut prev_raw: Option<f64> = None;
+    for &p in phases {
+        if let Some(prev) = prev_raw {
+            let mut d = p - prev;
+            while d > PI {
+                offset -= TAU;
+                d -= TAU;
+            }
+            while d <= -PI {
+                offset += TAU;
+                d += TAU;
+            }
+        }
+        out.push(p + offset);
+        prev_raw = Some(p);
+    }
+    out
+}
+
+/// The paper's literal single-step smoothing (Eqn 4): each sample is adjusted
+/// by at most ±2π relative to its predecessor's *smoothed* value.
+///
+/// Kept for fidelity with Section III-B; [`unwrap`] is the robust variant.
+pub fn smooth_eqn4(phases: &[f64]) -> Vec<f64> {
+    let mut out: Vec<f64> = Vec::with_capacity(phases.len());
+    for (i, &p) in phases.iter().enumerate() {
+        if i == 0 {
+            out.push(p);
+            continue;
+        }
+        let prev = out[i - 1];
+        // The paper states a single ±2π correction, but because θ(t) is
+        // compared against the already-smoothed θ(t−1), the gap grows by 2π
+        // per completed wrap; applying the rule to a fixed point (repeating
+        // while the condition holds) is the only reading that matches the
+        // smooth curves of Fig. 4.
+        let mut adjusted = p;
+        while adjusted - prev > PI {
+            adjusted -= TAU;
+        }
+        while adjusted - prev < -PI {
+            adjusted += TAU;
+        }
+        out.push(adjusted);
+    }
+    out
+}
+
+/// Wrap an unwrapped sequence back to `[0, 2π)` (inverse of unwrapping up to
+/// the 2π ambiguity). Provided for round-trip testing and report rendering.
+pub fn rewrap(phases: &[f64]) -> Vec<f64> {
+    phases.iter().map(|&p| p.rem_euclid(TAU)).collect()
+}
+
+/// Count the wrap discontinuities (jumps > π between consecutive samples) in
+/// a raw phase sequence — a quick diagnostic for spin-rate/sample-rate
+/// mismatch.
+pub fn count_wraps(phases: &[f64]) -> usize {
+    phases
+        .windows(2)
+        .filter(|w| (w[1] - w[0]).abs() > PI)
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A smooth physical phase ramp, wrapped, must unwrap to within a global
+    /// 2π-multiple of the original.
+    #[test]
+    fn unwrap_inverts_wrapping() {
+        let truth: Vec<f64> = (0..500).map(|i| 0.07 * i as f64).collect();
+        let wrapped: Vec<f64> = truth.iter().map(|&x| x.rem_euclid(TAU)).collect();
+        let un = unwrap(&wrapped);
+        let delta = un[0] - truth[0];
+        for (u, t) in un.iter().zip(&truth) {
+            assert!((u - t - delta).abs() < 1e-9, "u={u} t={t}");
+        }
+    }
+
+    #[test]
+    fn unwrap_handles_decreasing() {
+        let truth: Vec<f64> = (0..200).map(|i| -0.11 * i as f64 + 3.0).collect();
+        let wrapped: Vec<f64> = truth.iter().map(|&x| x.rem_euclid(TAU)).collect();
+        let un = unwrap(&wrapped);
+        let delta = un[0] - truth[0];
+        for (u, t) in un.iter().zip(&truth) {
+            assert!((u - t - delta).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn unwrap_sinusoid() {
+        // The Tagspin phase model: θ(t) = (4π/λ)(D − r·cos(ωt)), wrapped.
+        let lambda = 0.3243;
+        let (d, r) = (2.0, 0.1);
+        let truth: Vec<f64> = (0..1000)
+            .map(|i| {
+                let t = i as f64 * 0.01;
+                4.0 * PI / lambda * (d - r * (0.5 * t).cos())
+            })
+            .collect();
+        let wrapped: Vec<f64> = truth.iter().map(|&x| x.rem_euclid(TAU)).collect();
+        let un = unwrap(&wrapped);
+        let delta = un[0] - truth[0];
+        for (u, t) in un.iter().zip(&truth) {
+            assert!((u - t - delta).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn empty_and_single() {
+        assert!(unwrap(&[]).is_empty());
+        assert_eq!(unwrap(&[1.5]), vec![1.5]);
+        assert!(smooth_eqn4(&[]).is_empty());
+        assert_eq!(smooth_eqn4(&[1.5]), vec![1.5]);
+    }
+
+    #[test]
+    fn eqn4_matches_unwrap_for_slow_sequences() {
+        // When inter-sample steps are < π the two agree exactly.
+        let truth: Vec<f64> = (0..300).map(|i| 0.05 * i as f64).collect();
+        let wrapped: Vec<f64> = truth.iter().map(|&x| x.rem_euclid(TAU)).collect();
+        let a = unwrap(&wrapped);
+        let b = smooth_eqn4(&wrapped);
+        // Eqn 4 adjusts only relative to the previous *smoothed* sample, so it
+        // tracks one accumulated offset; compare shapes.
+        for w in a.windows(2).zip(b.windows(2)) {
+            let (da, db) = (w.0[1] - w.0[0], w.1[1] - w.1[0]);
+            assert!((da - db).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn rewrap_round_trip() {
+        let raw = [0.1, 2.0, 4.5, 6.1, 1.2, 3.3];
+        let rt = rewrap(&unwrap(&raw));
+        for (a, b) in rt.iter().zip(&raw) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn wrap_count() {
+        let seq = [0.1, 6.2, 0.3, 6.1]; // two jumps across the seam
+        assert_eq!(count_wraps(&seq), 3);
+        assert_eq!(count_wraps(&[0.0, 0.1, 0.2]), 0);
+        assert_eq!(count_wraps(&[]), 0);
+    }
+
+    #[test]
+    fn nan_propagates() {
+        let un = unwrap(&[0.0, f64::NAN, 1.0]);
+        assert!(un[1].is_nan());
+    }
+}

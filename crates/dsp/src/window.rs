@@ -1,0 +1,160 @@
+//! Sliding-window filters for report smoothing.
+//!
+//! Raw LLRP phase reports occasionally contain outlier reads (weak-power
+//! decodes near the orientation nulls — the paper's segment-B reads). The
+//! trial harness can pre-filter reports with a moving median before
+//! calibration; a moving average is provided for completeness.
+
+/// Centered moving average with window `2·half + 1`, truncated at the ends.
+///
+/// `half = 0` returns the input unchanged.
+///
+/// ```
+/// use tagspin_dsp::window::moving_average;
+/// let y = moving_average(&[0.0, 3.0, 0.0], 1);
+/// assert_eq!(y[1], 1.0);
+/// ```
+pub fn moving_average(xs: &[f64], half: usize) -> Vec<f64> {
+    if xs.is_empty() || half == 0 {
+        return xs.to_vec();
+    }
+    let n = xs.len();
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        let lo = i.saturating_sub(half);
+        let hi = (i + half + 1).min(n);
+        let w = &xs[lo..hi];
+        out.push(w.iter().sum::<f64>() / w.len() as f64);
+    }
+    out
+}
+
+/// Centered moving median with window `2·half + 1`, truncated at the ends.
+///
+/// Robust to isolated outliers: a single corrupted read inside the window
+/// does not move the output (for window ≥ 3).
+pub fn moving_median(xs: &[f64], half: usize) -> Vec<f64> {
+    if xs.is_empty() || half == 0 {
+        return xs.to_vec();
+    }
+    let n = xs.len();
+    let mut out = Vec::with_capacity(n);
+    let mut buf: Vec<f64> = Vec::with_capacity(2 * half + 1);
+    for i in 0..n {
+        let lo = i.saturating_sub(half);
+        let hi = (i + half + 1).min(n);
+        buf.clear();
+        buf.extend_from_slice(&xs[lo..hi]);
+        buf.sort_by(|a, b| a.partial_cmp(b).expect("finite values compare"));
+        let m = buf.len();
+        out.push(if m % 2 == 1 {
+            buf[m / 2]
+        } else {
+            0.5 * (buf[m / 2 - 1] + buf[m / 2])
+        });
+    }
+    out
+}
+
+/// Hampel-style outlier rejection: replace samples deviating from the moving
+/// median by more than `k` times the window's median absolute deviation.
+///
+/// Returns the filtered sequence and the indices that were replaced.
+pub fn hampel(xs: &[f64], half: usize, k: f64) -> (Vec<f64>, Vec<usize>) {
+    if xs.is_empty() || half == 0 {
+        return (xs.to_vec(), Vec::new());
+    }
+    let med = moving_median(xs, half);
+    let n = xs.len();
+    let mut out = xs.to_vec();
+    let mut replaced = Vec::new();
+    let mut buf: Vec<f64> = Vec::with_capacity(2 * half + 1);
+    for i in 0..n {
+        let lo = i.saturating_sub(half);
+        let hi = (i + half + 1).min(n);
+        buf.clear();
+        buf.extend(xs[lo..hi].iter().map(|&x| (x - med[i]).abs()));
+        buf.sort_by(|a, b| a.partial_cmp(b).expect("finite values compare"));
+        let m = buf.len();
+        let mad = if m % 2 == 1 {
+            buf[m / 2]
+        } else {
+            0.5 * (buf[m / 2 - 1] + buf[m / 2])
+        };
+        // 1.4826 scales MAD to a Gaussian sigma estimate.
+        let sigma = 1.4826 * mad;
+        if (xs[i] - med[i]).abs() > k * sigma.max(1e-12) {
+            out[i] = med[i];
+            replaced.push(i);
+        }
+    }
+    (out, replaced)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn average_identity_cases() {
+        assert_eq!(moving_average(&[], 3), Vec::<f64>::new());
+        assert_eq!(moving_average(&[1.0, 2.0], 0), vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn average_constant_invariant() {
+        let xs = [5.0; 10];
+        assert_eq!(moving_average(&xs, 2), xs.to_vec());
+    }
+
+    #[test]
+    fn average_truncates_at_ends() {
+        let y = moving_average(&[0.0, 6.0, 0.0], 1);
+        assert_eq!(y, vec![3.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn median_rejects_spike() {
+        let mut xs = vec![1.0; 9];
+        xs[4] = 100.0;
+        let y = moving_median(&xs, 2);
+        assert_eq!(y[4], 1.0);
+    }
+
+    #[test]
+    fn median_even_window_at_edge() {
+        // First sample with half=1 sees window [x0, x1] → mean of the two.
+        let y = moving_median(&[1.0, 3.0, 5.0], 1);
+        assert_eq!(y[0], 2.0);
+        assert_eq!(y[1], 3.0);
+        assert_eq!(y[2], 4.0);
+    }
+
+    #[test]
+    fn hampel_flags_only_outliers() {
+        let mut xs: Vec<f64> = (0..20).map(|i| (i as f64) * 0.1).collect();
+        xs[10] = 50.0;
+        let (filtered, replaced) = hampel(&xs, 3, 3.0);
+        assert_eq!(replaced, vec![10]);
+        assert!(filtered[10] < 2.0);
+        // Non-outliers untouched.
+        assert_eq!(filtered[3], xs[3]);
+    }
+
+    #[test]
+    fn hampel_noop_for_clean_data() {
+        let xs: Vec<f64> = (0..15).map(|i| (i as f64 * 0.7).sin()).collect();
+        let (filtered, replaced) = hampel(&xs, 2, 6.0);
+        assert!(replaced.is_empty());
+        assert_eq!(filtered, xs);
+    }
+
+    #[test]
+    fn hampel_degenerate() {
+        let (f, r) = hampel(&[], 2, 3.0);
+        assert!(f.is_empty() && r.is_empty());
+        let (f, r) = hampel(&[1.0, 2.0], 0, 3.0);
+        assert_eq!(f, vec![1.0, 2.0]);
+        assert!(r.is_empty());
+    }
+}

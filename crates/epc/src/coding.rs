@@ -1,0 +1,256 @@
+//! Gen2 backscatter line coding: FM0 and Miller-modulated subcarrier.
+//!
+//! The tag's reply is baseband-encoded before it modulates the reflection:
+//! FM0 inverts phase at every symbol boundary (plus mid-symbol for data-0);
+//! Miller-M spreads each symbol over `M` subcarrier cycles with a phase
+//! inversion mid-symbol for data-1 (and between consecutive data-0s). The
+//! reader profile's choice (the `miller` factor of
+//! [`LinkProfile`](crate::timing::LinkProfile)) trades reply rate for
+//! interference tolerance — dense-reader modes use Miller-4/8.
+//!
+//! This module encodes/decodes bit streams to/from chip streams (half-symbol
+//! booleans), letting tests exercise exactly what the reader's decoder sees.
+
+/// Encode a bit stream with FM0 baseband.
+///
+/// Each symbol occupies 2 chips. The line level inverts at every symbol
+/// boundary; data-0 additionally inverts mid-symbol. Starts from level
+/// `true` (the Gen2 preamble fixes the actual initial state; relative
+/// transitions carry the data).
+///
+/// # Panics
+///
+/// Panics when any input element is not 0 or 1.
+pub fn fm0_encode(bits: &[u8]) -> Vec<bool> {
+    let mut chips = Vec::with_capacity(bits.len() * 2);
+    let mut level = true;
+    for &bit in bits {
+        assert!(bit <= 1, "bits must be 0 or 1");
+        // Invert at the symbol boundary.
+        level = !level;
+        chips.push(level);
+        if bit == 0 {
+            // Mid-symbol inversion for data-0.
+            level = !level;
+        }
+        chips.push(level);
+    }
+    chips
+}
+
+/// Decode an FM0 chip stream produced by [`fm0_encode`].
+///
+/// Returns `None` when the chip count is odd or a boundary transition is
+/// missing (an invalid FM0 waveform).
+pub fn fm0_decode(chips: &[bool]) -> Option<Vec<u8>> {
+    if !chips.len().is_multiple_of(2) {
+        return None;
+    }
+    let mut bits = Vec::with_capacity(chips.len() / 2);
+    let mut prev_level = true;
+    for pair in chips.chunks_exact(2) {
+        // FM0 guarantees an inversion at each symbol boundary.
+        if pair[0] == prev_level {
+            return None;
+        }
+        bits.push(if pair[0] == pair[1] { 1 } else { 0 });
+        prev_level = pair[1];
+    }
+    Some(bits)
+}
+
+/// Encode a bit stream with Miller-M subcarrier baseband.
+///
+/// Each symbol spans `2·m` chips (m subcarrier half-cycles ... concretely:
+/// the subcarrier square wave at 2 chips/cycle, `m` cycles per symbol).
+/// Data-1 inverts phase mid-symbol; a data-0 following a data-0 inverts at
+/// the boundary (Miller's memory rule).
+///
+/// # Panics
+///
+/// Panics when `m` is not 2, 4 or 8, or a bit is not 0/1.
+pub fn miller_encode(bits: &[u8], m: u8) -> Vec<bool> {
+    assert!(matches!(m, 2 | 4 | 8), "miller factor must be 2, 4 or 8");
+    let half_cycles = 2 * m as usize;
+    let mut chips = Vec::with_capacity(bits.len() * half_cycles);
+    let mut phase = false;
+    let mut prev_bit: Option<u8> = None;
+    for &bit in bits {
+        assert!(bit <= 1, "bits must be 0 or 1");
+        // Boundary inversion between consecutive zeros.
+        if prev_bit == Some(0) && bit == 0 {
+            phase = !phase;
+        }
+        for k in 0..half_cycles {
+            // Mid-symbol inversion for data-1.
+            if bit == 1 && k == half_cycles / 2 {
+                phase = !phase;
+            }
+            // Subcarrier square wave: toggles every chip.
+            chips.push(phase ^ (k % 2 == 1));
+        }
+        prev_bit = Some(bit);
+    }
+    chips
+}
+
+/// Decode a Miller-M chip stream produced by [`miller_encode`].
+///
+/// Returns `None` on length mismatch or an invalid subcarrier pattern.
+pub fn miller_decode(chips: &[bool], m: u8) -> Option<Vec<u8>> {
+    assert!(matches!(m, 2 | 4 | 8), "miller factor must be 2, 4 or 8");
+    let half_cycles = 2 * m as usize;
+    if !chips.len().is_multiple_of(half_cycles) {
+        return None;
+    }
+    let mut bits = Vec::with_capacity(chips.len() / half_cycles);
+    for sym in chips.chunks_exact(half_cycles) {
+        // Recover the base phase of each half: chip k should equal
+        // phase ^ (k odd). Check both halves for consistency.
+        let first = sym[0];
+        let mid = sym[half_cycles / 2];
+        for (k, &c) in sym.iter().enumerate() {
+            let expected_phase = if k < half_cycles / 2 { first } else { mid };
+            if c != expected_phase ^ (k % 2 == 1) {
+                return None;
+            }
+        }
+        // The mid-symbol half keeps the subcarrier parity; a data-1 flips
+        // the phase relative to the continuing square wave.
+        let continuing = first ^ (half_cycles / 2 % 2 == 1);
+        bits.push(if mid == continuing { 0 } else { 1 });
+    }
+    Some(bits)
+}
+
+/// Bits → bytes helper (MSB first); pads the last byte with zeros.
+pub fn bits_to_bytes(bits: &[u8]) -> Vec<u8> {
+    bits.chunks(8)
+        .map(|chunk| {
+            chunk
+                .iter()
+                .enumerate()
+                .fold(0u8, |acc, (i, &b)| acc | (b << (7 - i)))
+        })
+        .collect()
+}
+
+/// Bytes → bits helper (MSB first).
+pub fn bytes_to_bits(bytes: &[u8]) -> Vec<u8> {
+    bytes
+        .iter()
+        .flat_map(|&byte| (0..8).map(move |i| (byte >> (7 - i)) & 1))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn patterns() -> Vec<Vec<u8>> {
+        vec![
+            vec![0],
+            vec![1],
+            vec![0, 0],
+            vec![1, 1],
+            vec![0, 1, 0, 1],
+            vec![1, 0, 0, 1, 1, 0],
+            vec![0; 16],
+            vec![1; 16],
+            (0..64).map(|i| ((i * 7 + 3) % 5 % 2) as u8).collect(),
+        ]
+    }
+
+    #[test]
+    fn fm0_round_trip() {
+        for bits in patterns() {
+            let chips = fm0_encode(&bits);
+            assert_eq!(chips.len(), bits.len() * 2);
+            assert_eq!(fm0_decode(&chips).as_deref(), Some(&bits[..]), "{bits:?}");
+        }
+    }
+
+    #[test]
+    fn fm0_has_boundary_transitions() {
+        // The defining FM0 property: level always inverts between symbols.
+        let bits = [1u8, 1, 0, 1, 0, 0, 1];
+        let chips = fm0_encode(&bits);
+        for i in (2..chips.len()).step_by(2) {
+            assert_ne!(chips[i], chips[i - 1], "missing transition at {i}");
+        }
+    }
+
+    #[test]
+    fn fm0_decode_rejects_invalid() {
+        assert!(fm0_decode(&[true]).is_none()); // odd length
+        // A flat waveform has no boundary transitions.
+        assert!(fm0_decode(&[true, true, true, true]).is_none());
+    }
+
+    #[test]
+    fn miller_round_trip_all_factors() {
+        for m in [2u8, 4, 8] {
+            for bits in patterns() {
+                let chips = miller_encode(&bits, m);
+                assert_eq!(chips.len(), bits.len() * 2 * m as usize);
+                assert_eq!(
+                    miller_decode(&chips, m).as_deref(),
+                    Some(&bits[..]),
+                    "m={m} bits={bits:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn miller_subcarrier_toggles_every_chip_within_halves() {
+        let chips = miller_encode(&[0, 0, 1, 0], 4);
+        // Within each half-symbol the wave must alternate strictly.
+        for sym in chips.chunks_exact(8) {
+            for half in sym.chunks_exact(4) {
+                for k in 1..4 {
+                    assert_ne!(half[k], half[k - 1]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn miller_decode_rejects_corruption() {
+        let mut chips = miller_encode(&[1, 0, 1, 1], 4);
+        chips[5] = !chips[5];
+        assert!(miller_decode(&chips, 4).is_none());
+        assert!(miller_decode(&chips[..7], 4).is_none()); // bad length
+    }
+
+    #[test]
+    #[should_panic(expected = "miller factor")]
+    fn miller_rejects_bad_factor() {
+        let _ = miller_encode(&[1], 3);
+    }
+
+    #[test]
+    fn bit_byte_helpers() {
+        let bytes = [0xE2, 0x00, 0x34, 0x12];
+        let bits = bytes_to_bits(&bytes);
+        assert_eq!(bits.len(), 32);
+        assert_eq!(bits_to_bytes(&bits), bytes);
+        // Padding: 3 bits -> one byte, MSB-aligned.
+        assert_eq!(bits_to_bytes(&[1, 0, 1]), vec![0b1010_0000]);
+    }
+
+    #[test]
+    fn epc_frame_with_crc_survives_the_air() {
+        // A full tag reply: PC + EPC-96 + CRC-16, FM0 on the wire.
+        use crate::crc::{append16, check16};
+        let mut payload = vec![0x30, 0x00]; // PC word
+        payload.extend((0..12).map(|i| (i * 11 + 5) as u8)); // EPC-96
+        let framed = append16(payload);
+        let bits = bytes_to_bits(&framed);
+        let chips = fm0_encode(&bits);
+        let rx_bits = fm0_decode(&chips).expect("clean channel decodes");
+        let rx_bytes = bits_to_bytes(&rx_bits);
+        assert!(check16(&rx_bytes));
+        assert_eq!(rx_bytes, framed);
+    }
+}

@@ -1,0 +1,113 @@
+//! Gen2 CRC-5 and CRC-16.
+//!
+//! The air protocol protects Query commands with CRC-5 and tag replies
+//! (PC + EPC) with CRC-16/CCITT (poly `0x1021`, init `0xFFFF`, output
+//! complemented). These are the checksums a real reader uses to accept the
+//! backscattered EPC that ends up in a [`TagReport`](crate::TagReport).
+
+/// CRC-16/CCITT as specified by Gen2 (poly 0x1021, init 0xFFFF, final XOR
+/// 0xFFFF, MSB-first).
+///
+/// ```
+/// // The classic check value for "123456789" under CRC-16/GENIBUS
+/// // (which is the Gen2 parameterization).
+/// assert_eq!(tagspin_epc::crc::crc16(b"123456789"), 0xD64E);
+/// ```
+pub fn crc16(data: &[u8]) -> u16 {
+    let mut crc: u16 = 0xFFFF;
+    for &byte in data {
+        crc ^= (byte as u16) << 8;
+        for _ in 0..8 {
+            crc = if crc & 0x8000 != 0 {
+                (crc << 1) ^ 0x1021
+            } else {
+                crc << 1
+            };
+        }
+    }
+    !crc
+}
+
+/// Verify a buffer whose last two bytes are its big-endian CRC-16.
+pub fn check16(data_with_crc: &[u8]) -> bool {
+    if data_with_crc.len() < 2 {
+        return false;
+    }
+    let (payload, tail) = data_with_crc.split_at(data_with_crc.len() - 2);
+    crc16(payload) == u16::from_be_bytes([tail[0], tail[1]])
+}
+
+/// Append the big-endian CRC-16 to a payload.
+pub fn append16(mut payload: Vec<u8>) -> Vec<u8> {
+    let crc = crc16(&payload);
+    payload.extend_from_slice(&crc.to_be_bytes());
+    payload
+}
+
+/// Gen2 CRC-5 over a bit slice (poly x⁵+x³+1 → 0x09, init 0b01001),
+/// MSB-first, as used on Query commands. Returns the 5-bit remainder.
+///
+/// # Panics
+///
+/// Panics when any input element is not 0 or 1.
+pub fn crc5(bits: &[u8]) -> u8 {
+    let mut crc: u8 = 0b01001;
+    for &bit in bits {
+        assert!(bit <= 1, "bits must be 0 or 1");
+        let msb = (crc >> 4) & 1;
+        crc = ((crc << 1) | bit) & 0x1F;
+        if msb == 1 {
+            crc ^= 0x09;
+        }
+    }
+    crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc16_reference_vectors() {
+        // CRC-16/GENIBUS check value.
+        assert_eq!(crc16(b"123456789"), 0xD64E);
+        // Empty payload: !0xFFFF = 0.
+        assert_eq!(crc16(b""), 0x0000);
+    }
+
+    #[test]
+    fn crc16_detects_single_bit_flips() {
+        let epc: Vec<u8> = (0..12).map(|i| i * 17).collect();
+        let framed = append16(epc.clone());
+        assert!(check16(&framed));
+        for byte in 0..framed.len() {
+            for bit in 0..8 {
+                let mut corrupted = framed.clone();
+                corrupted[byte] ^= 1 << bit;
+                assert!(!check16(&corrupted), "missed flip at {byte}:{bit}");
+            }
+        }
+    }
+
+    #[test]
+    fn check16_rejects_short_input() {
+        assert!(!check16(&[]));
+        assert!(!check16(&[0xAB]));
+    }
+
+    #[test]
+    fn crc5_is_5_bits_and_input_sensitive() {
+        let q4 = [1u8, 0, 0, 0, 0, 1, 1, 0, 1, 0, 0, 0, 1, 0, 0, 1, 0];
+        let a = crc5(&q4);
+        assert!(a < 32);
+        let mut flipped = q4;
+        flipped[3] ^= 1;
+        assert_ne!(a, crc5(&flipped));
+    }
+
+    #[test]
+    #[should_panic(expected = "bits must be")]
+    fn crc5_rejects_non_bits() {
+        let _ = crc5(&[0, 1, 2]);
+    }
+}

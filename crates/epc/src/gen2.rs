@@ -1,0 +1,179 @@
+//! Gen2 inventory-round mechanics.
+//!
+//! One round: the reader issues `Query(Q)`, each participating tag draws a
+//! slot counter uniformly from `[0, 2^Q)`, and the reader steps through the
+//! slots with `QueryRep`. A slot with exactly one tag singulates it
+//! (RN16 → ACK → EPC); zero tags is an empty slot; two or more collide.
+//!
+//! The functions here are deterministic given the RNG, which keeps the
+//! higher-level inventory driver testable.
+
+use crate::qalgo::SlotOutcome;
+use crate::timing::LinkProfile;
+use rand::Rng;
+
+/// The outcome of a single slot, with the singulated participant (an index
+/// into the round's participant list) on success.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SlotResult {
+    /// What happened in the slot.
+    pub outcome: SlotOutcome,
+    /// Index of the singulated participant (into the round's participant
+    /// slice) for successful slots.
+    pub singulated: Option<usize>,
+}
+
+/// The outcome of a full inventory round.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoundResult {
+    /// Per-slot results, in slot order. Each successful slot carries the
+    /// participant index it singulated.
+    pub slots: Vec<SlotResult>,
+    /// Total air time of the round including the opening Query, µs.
+    pub duration_us: f64,
+}
+
+impl RoundResult {
+    /// Indices of participants singulated this round, in slot order.
+    pub fn singulated(&self) -> impl Iterator<Item = usize> + '_ {
+        self.slots.iter().filter_map(|s| s.singulated)
+    }
+
+    /// Count of each outcome kind: `(empty, success, collision)`.
+    pub fn tally(&self) -> (usize, usize, usize) {
+        let mut t = (0, 0, 0);
+        for s in &self.slots {
+            match s.outcome {
+                SlotOutcome::Empty => t.0 += 1,
+                SlotOutcome::Success => t.1 += 1,
+                SlotOutcome::Collision => t.2 += 1,
+            }
+        }
+        t
+    }
+}
+
+/// Simulate one round with `2^q` slots and `participants` energized tags.
+///
+/// Returns per-slot results plus the air time. Tags that collide stay
+/// un-inventoried this round (Gen2 session flags are not modeled: the paper's
+/// deployment re-reads the same tag continuously in session S0, where the
+/// inventoried flag resets immediately, so every round re-admits every tag).
+pub fn simulate_round<R: Rng + ?Sized>(
+    q: u8,
+    participants: usize,
+    profile: &LinkProfile,
+    rng: &mut R,
+) -> RoundResult {
+    let n_slots = 1usize << q.min(15);
+    // Each participant draws a slot.
+    let mut slot_of: Vec<usize> = Vec::with_capacity(participants);
+    for _ in 0..participants {
+        slot_of.push(rng.gen_range(0..n_slots));
+    }
+    let mut duration_us = profile.query_us();
+    let mut slots = Vec::with_capacity(n_slots);
+    for slot in 0..n_slots {
+        let in_slot: Vec<usize> = slot_of
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &s)| (s == slot).then_some(i))
+            .collect();
+        let result = match in_slot.len() {
+            0 => {
+                duration_us += profile.empty_slot_us();
+                SlotResult {
+                    outcome: SlotOutcome::Empty,
+                    singulated: None,
+                }
+            }
+            1 => {
+                duration_us += profile.successful_slot_us();
+                SlotResult {
+                    outcome: SlotOutcome::Success,
+                    singulated: Some(in_slot[0]),
+                }
+            }
+            _ => {
+                duration_us += profile.collision_slot_us();
+                SlotResult {
+                    outcome: SlotOutcome::Collision,
+                    singulated: None,
+                }
+            }
+        };
+        slots.push(result);
+    }
+    RoundResult { slots, duration_us }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn empty_field_round() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let r = simulate_round(2, 0, &LinkProfile::default(), &mut rng);
+        assert_eq!(r.slots.len(), 4);
+        assert_eq!(r.tally(), (4, 0, 0));
+        assert_eq!(r.singulated().count(), 0);
+    }
+
+    #[test]
+    fn single_tag_always_singulated() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for q in 0..4 {
+            let r = simulate_round(q, 1, &LinkProfile::default(), &mut rng);
+            assert_eq!(r.tally().1, 1, "q={q}");
+            assert_eq!(r.singulated().next(), Some(0));
+        }
+    }
+
+    #[test]
+    fn q0_two_tags_always_collide() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let r = simulate_round(0, 2, &LinkProfile::default(), &mut rng);
+        assert_eq!(r.tally(), (0, 0, 1));
+    }
+
+    #[test]
+    fn conservation_of_tags() {
+        // successes + tags-in-collisions == participants; successes are
+        // distinct indices.
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..50 {
+            let n = 6;
+            let r = simulate_round(3, n, &LinkProfile::default(), &mut rng);
+            let mut seen: Vec<usize> = r.singulated().collect();
+            let unique = {
+                seen.sort_unstable();
+                seen.dedup();
+                seen.len()
+            };
+            assert_eq!(unique, r.tally().1);
+            assert!(unique <= n);
+        }
+    }
+
+    #[test]
+    fn duration_accumulates() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let p = LinkProfile::default();
+        let r = simulate_round(1, 0, &p, &mut rng);
+        let expect = p.query_us() + 2.0 * p.empty_slot_us();
+        assert!((r.duration_us - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn large_q_mostly_empty() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let r = simulate_round(8, 3, &LinkProfile::default(), &mut rng);
+        assert_eq!(r.slots.len(), 256);
+        let (e, s, c) = r.tally();
+        assert_eq!(e + s + c, 256);
+        assert!(e >= 250);
+    }
+}

@@ -1,0 +1,52 @@
+//! EPC Gen2 / LLRP inventory simulator.
+//!
+//! The substitute for the paper's Impinj Speedway Revolution reader: runs
+//! Q-adapted slotted-ALOHA inventory rounds over the RF channel simulator
+//! and emits timestamped per-read phase/RSSI reports, optionally serialized
+//! through an LLRP wire-format subset with Impinj-style phase extensions.
+//!
+//! The protocol layer matters to Tagspin for two reasons:
+//!
+//! 1. **Timing** — snapshots arrive at link-protocol cadence, not on a
+//!    uniform grid; the SAR formulation must handle arbitrary `tᵢ`.
+//! 2. **Density** — read success depends on the tag's orientation-dependent
+//!    harvested power, producing the paper's observation that sampling is
+//!    dense near phase peaks/valleys and sparse in between.
+//!
+//! # Example
+//!
+//! ```
+//! use rand::SeedableRng;
+//! use tagspin_epc::inventory::{run_inventory, ReaderConfig, StaticTag, Transponder};
+//! use tagspin_geom::{Pose, Vec3};
+//! use tagspin_rf::channel::Environment;
+//! use tagspin_rf::tags::{TagInstance, TagModel};
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let tag = StaticTag {
+//!     tag: TagInstance::ideal(TagModel::DEFAULT, 0xE2001),
+//!     position: Vec3::ZERO,
+//!     plane_azimuth: std::f64::consts::FRAC_PI_2,
+//! };
+//! let reader = ReaderConfig::at(Pose::facing_toward(Vec3::new(2.0, 0.0, 0.0), Vec3::ZERO));
+//! let log = run_inventory(&Environment::paper_default(), &reader, &[&tag], 1.0, &mut rng);
+//! assert!(!log.is_empty());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod coding;
+pub mod crc;
+pub mod gen2;
+pub mod inventory;
+pub mod llrp;
+pub mod qalgo;
+pub mod report;
+pub mod select;
+pub mod timing;
+
+pub use inventory::{run_inventory, HopSchedule, ReaderConfig, StaticTag, Transponder};
+pub use qalgo::{QAlgorithm, SlotOutcome};
+pub use report::{InventoryLog, TagReport};
+pub use select::{SelectCommand, Selection};
+pub use timing::LinkProfile;

@@ -1,0 +1,149 @@
+//! Slotted-ALOHA Q adaptation.
+//!
+//! Gen2 inventories tags in rounds of `2^Q` slots. The reader adapts `Q` to
+//! the (unknown) responding population using the standard floating-point
+//! "Q-algorithm" from the Gen2 spec's Annex: increase `Qfp` on collisions,
+//! decrease it on empty slots, leave it on successes.
+
+use serde::{Deserialize, Serialize};
+
+/// Outcome of one inventory slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SlotOutcome {
+    /// No tag replied.
+    Empty,
+    /// Exactly one tag replied and was singulated.
+    Success,
+    /// Two or more tags replied; RN16s collided.
+    Collision,
+}
+
+/// The floating-point Q-adaptation state.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QAlgorithm {
+    /// Floating-point Q value, clamped to `[0, 15]`.
+    qfp: f64,
+    /// Adjustment step `C ∈ [0.1, 0.5]` (spec recommendation).
+    c: f64,
+}
+
+impl QAlgorithm {
+    /// Start with an initial `Q` and step `C`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `q0 > 15` or `c` outside `[0.1, 0.5]`.
+    pub fn new(q0: u8, c: f64) -> Self {
+        assert!(q0 <= 15, "Q must be <= 15");
+        assert!((0.1..=0.5).contains(&c), "C must be in [0.1, 0.5]");
+        QAlgorithm { qfp: q0 as f64, c }
+    }
+
+    /// Spec-typical defaults: Q₀ = 4, C = 0.3.
+    pub fn gen2_default() -> Self {
+        QAlgorithm::new(4, 0.3)
+    }
+
+    /// The integer Q to use for the next round.
+    pub fn q(&self) -> u8 {
+        self.qfp.round().clamp(0.0, 15.0) as u8
+    }
+
+    /// Slots in the next round: `2^Q`.
+    pub fn slots(&self) -> u32 {
+        1u32 << self.q()
+    }
+
+    /// Update from a slot outcome.
+    pub fn observe(&mut self, outcome: SlotOutcome) {
+        match outcome {
+            SlotOutcome::Empty => self.qfp = (self.qfp - self.c).max(0.0),
+            SlotOutcome::Success => {}
+            SlotOutcome::Collision => self.qfp = (self.qfp + self.c).min(15.0),
+        }
+    }
+}
+
+impl Default for QAlgorithm {
+    fn default() -> Self {
+        QAlgorithm::gen2_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults() {
+        let q = QAlgorithm::gen2_default();
+        assert_eq!(q.q(), 4);
+        assert_eq!(q.slots(), 16);
+    }
+
+    #[test]
+    fn collisions_raise_q() {
+        let mut q = QAlgorithm::new(0, 0.5);
+        for _ in 0..10 {
+            q.observe(SlotOutcome::Collision);
+        }
+        assert!(q.q() >= 4);
+    }
+
+    #[test]
+    fn empties_lower_q() {
+        let mut q = QAlgorithm::new(8, 0.5);
+        for _ in 0..40 {
+            q.observe(SlotOutcome::Empty);
+        }
+        assert_eq!(q.q(), 0);
+        assert_eq!(q.slots(), 1);
+    }
+
+    #[test]
+    fn success_leaves_q() {
+        let mut q = QAlgorithm::new(5, 0.3);
+        let before = q.q();
+        q.observe(SlotOutcome::Success);
+        assert_eq!(q.q(), before);
+    }
+
+    #[test]
+    fn q_saturates_at_bounds() {
+        let mut q = QAlgorithm::new(15, 0.5);
+        q.observe(SlotOutcome::Collision);
+        assert_eq!(q.q(), 15);
+        let mut q = QAlgorithm::new(0, 0.5);
+        q.observe(SlotOutcome::Empty);
+        assert_eq!(q.q(), 0);
+    }
+
+    /// Convergence: with a single responding tag, Q drifts to 0 so nearly
+    /// every slot becomes a read — this is what gives Tagspin its dense
+    /// snapshot stream.
+    #[test]
+    fn single_tag_convergence() {
+        let mut q = QAlgorithm::gen2_default();
+        // With 1 tag, a round of 2^Q slots has 1 success and 2^Q − 1 empties.
+        for _ in 0..6 {
+            let slots = q.slots();
+            q.observe(SlotOutcome::Success);
+            for _ in 1..slots {
+                q.observe(SlotOutcome::Empty);
+            }
+        }
+        assert_eq!(q.q(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "C must be")]
+    fn bad_c_panics() {
+        let _ = QAlgorithm::new(4, 0.9);
+    }
+
+    #[test]
+    #[should_panic(expected = "Q must be")]
+    fn bad_q_panics() {
+        let _ = QAlgorithm::new(16, 0.3);
+    }
+}

@@ -1,0 +1,200 @@
+//! Gen2 Select: population filtering before inventory.
+//!
+//! A reader can broadcast `Select` commands that assert or deassert tags'
+//! selected (SL) flag based on a bit mask compared against a memory bank.
+//! Tagspin's deployment uses this to inventory *only* the registered
+//! spinning tags, keeping ambient tags (the warehouse is full of them) out
+//! of the slotted-ALOHA contention — which matters because every extra
+//! participant costs collision slots and thus snapshot rate.
+//!
+//! The subset modeled here: masks against the EPC bank (the 96-bit code,
+//! MSB first), assert/deassert actions, and an all-match default.
+
+use crate::coding::bytes_to_bits;
+use serde::{Deserialize, Serialize};
+
+/// What a matching tag should do with its SL flag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SelectAction {
+    /// Matching tags assert SL; non-matching deassert.
+    AssertMatching,
+    /// Matching tags deassert SL; non-matching assert.
+    DeassertMatching,
+}
+
+/// A Select command over the EPC memory bank.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SelectCommand {
+    /// Bit offset into the 96-bit EPC (0 = MSB).
+    pub pointer: u16,
+    /// Mask bits (each 0/1), compared at `pointer`.
+    pub mask: Vec<u8>,
+    /// Flag action.
+    pub action: SelectAction,
+}
+
+impl SelectCommand {
+    /// Select tags whose EPC starts with the given byte prefix.
+    pub fn epc_prefix(prefix: &[u8]) -> Self {
+        SelectCommand {
+            pointer: 0,
+            mask: bytes_to_bits(prefix),
+            action: SelectAction::AssertMatching,
+        }
+    }
+
+    /// Select exactly one EPC (full 96-bit match).
+    pub fn single_epc(epc: u128) -> Self {
+        let bytes = &epc.to_be_bytes()[4..16];
+        SelectCommand {
+            pointer: 0,
+            mask: bytes_to_bits(bytes),
+            action: SelectAction::AssertMatching,
+        }
+    }
+
+    /// Does this command's mask match the EPC?
+    ///
+    /// A mask running past the end of the 96-bit EPC never matches (per the
+    /// Gen2 spec's out-of-range rule).
+    pub fn matches(&self, epc: u128) -> bool {
+        let epc_bits = bytes_to_bits(&epc.to_be_bytes()[4..16]);
+        let start = self.pointer as usize;
+        let end = start + self.mask.len();
+        if end > epc_bits.len() {
+            return false;
+        }
+        epc_bits[start..end] == self.mask[..]
+    }
+
+    /// The SL flag a tag with `epc` holds after this command, given its
+    /// previous flag.
+    pub fn apply(&self, epc: u128, _previous: bool) -> bool {
+        match (self.matches(epc), self.action) {
+            (true, SelectAction::AssertMatching) => true,
+            (false, SelectAction::AssertMatching) => false,
+            (true, SelectAction::DeassertMatching) => false,
+            (false, SelectAction::DeassertMatching) => true,
+        }
+    }
+}
+
+/// The tag population filter an inventory runs under: a sequence of Select
+/// commands applied in order (later commands override earlier ones).
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Selection {
+    commands: Vec<SelectCommand>,
+}
+
+impl Selection {
+    /// No filtering: every tag participates (SL ignored).
+    pub fn all() -> Self {
+        Selection::default()
+    }
+
+    /// Filter to tags matching any of the given EPCs.
+    ///
+    /// (Real readers issue one Select per round-robin target; the net
+    /// effect for disjoint EPC masks is this union.)
+    pub fn epcs(epcs: &[u128]) -> Self {
+        Selection {
+            commands: epcs.iter().map(|&e| SelectCommand::single_epc(e)).collect(),
+        }
+    }
+
+    /// Add a command (builder-style).
+    pub fn with(mut self, cmd: SelectCommand) -> Self {
+        self.commands.push(cmd);
+        self
+    }
+
+    /// Does a tag with `epc` participate in inventory under this selection?
+    pub fn admits(&self, epc: u128) -> bool {
+        if self.commands.is_empty() {
+            return true;
+        }
+        // Union semantics over assert-matching commands; a deassert that
+        // matches evicts the tag even if an earlier assert admitted it.
+        let mut admitted = false;
+        for cmd in &self.commands {
+            match (cmd.matches(epc), cmd.action) {
+                (true, SelectAction::AssertMatching) => admitted = true,
+                (true, SelectAction::DeassertMatching) => admitted = false,
+                _ => {}
+            }
+        }
+        admitted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_epc_matches_only_itself() {
+        let cmd = SelectCommand::single_epc(0xE200_1234);
+        assert!(cmd.matches(0xE200_1234));
+        assert!(!cmd.matches(0xE200_1235));
+        assert!(cmd.apply(0xE200_1234, false));
+        assert!(!cmd.apply(0xE200_1235, true));
+    }
+
+    #[test]
+    fn prefix_select() {
+        // EPCs whose first byte is 0xE2 (the EPC gid prefix region).
+        let cmd = SelectCommand::epc_prefix(&[0xE2]);
+        assert!(cmd.matches(0xE2u128 << 88)); // 0xE2 in the top byte of 96
+        assert!(!cmd.matches(0xA5u128 << 88));
+    }
+
+    #[test]
+    fn pointer_offsets_the_mask() {
+        // Match bits 8..16 == 0x34 in an EPC with byte layout [0x12, 0x34, ...].
+        let epc: u128 = 0x1234u128 << 80;
+        let cmd = SelectCommand {
+            pointer: 8,
+            mask: bytes_to_bits(&[0x34]),
+            action: SelectAction::AssertMatching,
+        };
+        assert!(cmd.matches(epc));
+        let miss = SelectCommand {
+            pointer: 7,
+            mask: bytes_to_bits(&[0x34]),
+            action: SelectAction::AssertMatching,
+        };
+        assert!(!miss.matches(epc));
+    }
+
+    #[test]
+    fn out_of_range_mask_never_matches() {
+        let cmd = SelectCommand {
+            pointer: 90,
+            mask: vec![0; 10],
+            action: SelectAction::AssertMatching,
+        };
+        assert!(!cmd.matches(0));
+    }
+
+    #[test]
+    fn selection_union_and_eviction() {
+        let sel = Selection::epcs(&[1, 2, 3]);
+        assert!(sel.admits(1));
+        assert!(sel.admits(3));
+        assert!(!sel.admits(4));
+        // Deassert evicts a previously admitted tag.
+        let sel = sel.with(SelectCommand {
+            action: SelectAction::DeassertMatching,
+            ..SelectCommand::single_epc(2)
+        });
+        assert!(sel.admits(1));
+        assert!(!sel.admits(2));
+    }
+
+    #[test]
+    fn empty_selection_admits_everything() {
+        let sel = Selection::all();
+        assert!(sel.admits(0));
+        assert!(sel.admits(u128::MAX & ((1 << 96) - 1)));
+    }
+}

@@ -1,0 +1,180 @@
+//! EPC Gen2 link timing.
+//!
+//! The reader's interrogation rate — and therefore the timestamps `tᵢ` of the
+//! paper's signal snapshots — is set by the Gen2 air protocol: reader
+//! commands at the Tari-derived forward rate, tag replies at the backscatter
+//! link frequency (BLF) divided by the Miller factor, plus the T1–T3
+//! turnaround gaps. This module computes slot and exchange durations for a
+//! reader profile, reproducing realistic non-uniform read timing.
+
+use serde::{Deserialize, Serialize};
+
+/// Reader modulation / link profile (an Impinj "mode" analogue).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinkProfile {
+    /// Reader data-0 symbol duration (Tari), µs. Gen2 allows 6.25–25 µs.
+    pub tari_us: f64,
+    /// Backscatter link frequency, Hz.
+    pub blf_hz: f64,
+    /// Miller subcarrier factor: 1 (FM0), 2, 4 or 8.
+    pub miller: u8,
+}
+
+impl LinkProfile {
+    /// Impinj "Mode 2"-like profile: dense-reader Miller-4, 250 kHz BLF —
+    /// the default autoset mode in office deployments.
+    pub fn dense_reader_m4() -> Self {
+        LinkProfile {
+            tari_us: 20.0,
+            blf_hz: 250e3,
+            miller: 4,
+        }
+    }
+
+    /// Fast FM0 profile (max throughput, for stress tests).
+    pub fn fast_fm0() -> Self {
+        LinkProfile {
+            tari_us: 6.25,
+            blf_hz: 640e3,
+            miller: 1,
+        }
+    }
+
+    /// Validate field ranges per the Gen2 spec.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(6.25..=25.0).contains(&self.tari_us) {
+            return Err(format!("tari {} µs outside Gen2 range 6.25–25", self.tari_us));
+        }
+        if !(40e3..=640e3).contains(&self.blf_hz) {
+            return Err(format!("BLF {} Hz outside Gen2 range 40k–640k", self.blf_hz));
+        }
+        if ![1, 2, 4, 8].contains(&self.miller) {
+            return Err(format!("miller factor {} not in {{1,2,4,8}}", self.miller));
+        }
+        Ok(())
+    }
+
+    /// Reader→tag bit duration, µs (average of data-0 = Tari and
+    /// data-1 ≈ 1.75·Tari under PIE).
+    pub fn forward_bit_us(&self) -> f64 {
+        1.375 * self.tari_us
+    }
+
+    /// Tag→reader bit duration, µs.
+    pub fn reverse_bit_us(&self) -> f64 {
+        self.miller as f64 / self.blf_hz * 1e6
+    }
+
+    /// T1: tag reply latency after a reader command, µs (≈ 10/BLF nominal).
+    pub fn t1_us(&self) -> f64 {
+        10.0 / self.blf_hz * 1e6
+    }
+
+    /// T2: reader latency after a tag reply, µs (≈ 10/BLF, spec 3–20/BLF).
+    pub fn t2_us(&self) -> f64 {
+        10.0 / self.blf_hz * 1e6
+    }
+
+    /// Duration of a full successful singulation: Query/QueryRep → RN16 →
+    /// ACK → {PC, EPC-96, CRC}, µs.
+    pub fn successful_slot_us(&self) -> f64 {
+        // QueryRep: 4 bits; RN16: preamble (~18 sym) + 16 bits;
+        // ACK: 18 bits; EPC reply: preamble + PC(16) + EPC(96) + CRC(16).
+        let queryrep = 4.0 * self.forward_bit_us();
+        let rn16 = (18.0 + 16.0) * self.reverse_bit_us();
+        let ack = 18.0 * self.forward_bit_us();
+        let epc = (18.0 + 128.0) * self.reverse_bit_us();
+        queryrep + self.t1_us() + rn16 + self.t2_us() + ack + self.t1_us() + epc + self.t2_us()
+    }
+
+    /// Duration of a collided slot (RN16s overlap, reader gives up), µs.
+    pub fn collision_slot_us(&self) -> f64 {
+        let queryrep = 4.0 * self.forward_bit_us();
+        let rn16 = (18.0 + 16.0) * self.reverse_bit_us();
+        queryrep + self.t1_us() + rn16 + self.t2_us()
+    }
+
+    /// Duration of an empty slot (no reply within T1 + T3), µs.
+    pub fn empty_slot_us(&self) -> f64 {
+        let queryrep = 4.0 * self.forward_bit_us();
+        // T3 ≈ a few symbol times of extra listening.
+        queryrep + self.t1_us() + 30.0
+    }
+
+    /// Duration of the full Query command opening a round, µs (22 bits).
+    pub fn query_us(&self) -> f64 {
+        22.0 * self.forward_bit_us()
+    }
+}
+
+impl Default for LinkProfile {
+    fn default() -> Self {
+        LinkProfile::dense_reader_m4()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_profile_is_valid() {
+        assert!(LinkProfile::default().validate().is_ok());
+        assert!(LinkProfile::fast_fm0().validate().is_ok());
+    }
+
+    #[test]
+    fn validation_catches_bad_fields() {
+        let p = LinkProfile {
+            tari_us: 5.0,
+            ..LinkProfile::default()
+        };
+        assert!(p.validate().is_err());
+        let p = LinkProfile {
+            blf_hz: 1e6,
+            ..LinkProfile::default()
+        };
+        assert!(p.validate().is_err());
+        let p = LinkProfile {
+            miller: 3,
+            ..LinkProfile::default()
+        };
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn slot_duration_ordering() {
+        let p = LinkProfile::default();
+        assert!(p.empty_slot_us() < p.collision_slot_us());
+        assert!(p.collision_slot_us() < p.successful_slot_us());
+    }
+
+    #[test]
+    fn read_rate_in_realistic_band() {
+        // A single tag alone in the field, Q=0: one successful slot per
+        // round. Dense-reader M4 should deliver ~50–300 reads/s.
+        let p = LinkProfile::dense_reader_m4();
+        let per_read_us = p.query_us() + p.successful_slot_us();
+        let rate = 1e6 / per_read_us;
+        assert!(rate > 50.0 && rate < 300.0, "rate = {rate}/s");
+    }
+
+    #[test]
+    fn fm0_is_faster_than_m4() {
+        let m4 = LinkProfile::dense_reader_m4().successful_slot_us();
+        let fm0 = LinkProfile::fast_fm0().successful_slot_us();
+        assert!(fm0 < m4);
+    }
+
+    #[test]
+    fn reverse_bit_scales_with_miller() {
+        let mut p = LinkProfile::default();
+        let b4 = p.reverse_bit_us();
+        p.miller = 8;
+        assert!((p.reverse_bit_us() - 2.0 * b4).abs() < 1e-12);
+    }
+}

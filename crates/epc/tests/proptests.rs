@@ -1,0 +1,130 @@
+//! Property-based tests for the EPC substrate: wire-format and line-coding
+//! round trips, CRC error detection, inventory-round conservation.
+
+use proptest::prelude::*;
+use tagspin_epc::coding::{
+    bits_to_bytes, bytes_to_bits, fm0_decode, fm0_encode, miller_decode, miller_encode,
+};
+use tagspin_epc::crc::{append16, check16};
+use tagspin_epc::gen2::simulate_round;
+use tagspin_epc::llrp::{decode_report, encode_report};
+use tagspin_epc::timing::LinkProfile;
+use tagspin_epc::{InventoryLog, TagReport};
+
+fn arb_report() -> impl Strategy<Value = TagReport> {
+    (
+        0u128..(1u128 << 96),
+        0u64..10_000_000,
+        0.0f64..std::f64::consts::TAU,
+        -90.0f64..-30.0,
+        0u8..16,
+        1u8..5,
+    )
+        .prop_map(|(epc, timestamp_us, phase, rssi_dbm, channel_index, antenna_id)| TagReport {
+            epc,
+            timestamp_us,
+            phase,
+            rssi_dbm,
+            channel_index,
+            antenna_id,
+        })
+}
+
+fn arb_log() -> impl Strategy<Value = InventoryLog> {
+    proptest::collection::vec(arb_report(), 0..40).prop_map(|mut reports| {
+        reports.sort_by_key(|r| r.timestamp_us);
+        reports.into_iter().collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// LLRP round trip preserves every field up to documented quantization.
+    #[test]
+    fn llrp_roundtrip(log in arb_log(), id in proptest::num::u32::ANY) {
+        let bytes = encode_report(&log, id);
+        let (decoded, rid) = decode_report(bytes).expect("own encoding decodes");
+        prop_assert_eq!(rid, id);
+        prop_assert_eq!(decoded.len(), log.len());
+        for (a, b) in decoded.reports().iter().zip(log.reports()) {
+            prop_assert_eq!(a.epc, b.epc & ((1u128 << 96) - 1));
+            prop_assert_eq!(a.timestamp_us, b.timestamp_us);
+            prop_assert_eq!(a.channel_index, b.channel_index);
+            prop_assert_eq!(a.antenna_id, b.antenna_id);
+            // Circular distance: a phase just below 2π correctly snaps
+            // to step 0.
+            let dq = {
+                let d = (a.phase - b.phase).rem_euclid(std::f64::consts::TAU);
+                d.min(std::f64::consts::TAU - d)
+            };
+            prop_assert!(dq <= std::f64::consts::TAU / 4096.0 / 2.0 + 1e-12);
+            prop_assert!((a.rssi_dbm - b.rssi_dbm).abs() <= 0.005 + 1e-9);
+        }
+    }
+
+    /// Truncating an encoded message anywhere never panics and never
+    /// yields Ok with a different length... (decode is total).
+    #[test]
+    fn llrp_truncation_is_safe(log in arb_log(), cut in 0usize..64) {
+        let bytes = encode_report(&log, 1);
+        let cut = cut.min(bytes.len());
+        let sliced = bytes.slice(0..bytes.len() - cut);
+        // Either an error, or (cut == 0) the full log.
+        match decode_report(sliced) {
+            Ok((decoded, _)) => prop_assert_eq!(decoded.len(), log.len()),
+            Err(_) => prop_assert!(cut > 0),
+        }
+    }
+
+    /// FM0 and Miller round-trip arbitrary bit strings.
+    #[test]
+    fn coding_roundtrips(bits in proptest::collection::vec(0u8..2, 1..128)) {
+        let fm0 = fm0_decode(&fm0_encode(&bits));
+        prop_assert_eq!(fm0.as_deref(), Some(&bits[..]));
+        for m in [2u8, 4, 8] {
+            let rt = miller_decode(&miller_encode(&bits, m), m);
+            prop_assert_eq!(rt.as_deref(), Some(&bits[..]));
+        }
+    }
+
+    /// Bit/byte helpers round-trip on byte boundaries.
+    #[test]
+    fn bit_byte_roundtrip(bytes in proptest::collection::vec(proptest::num::u8::ANY, 0..64)) {
+        prop_assert_eq!(bits_to_bytes(&bytes_to_bits(&bytes)), bytes);
+    }
+
+    /// CRC-16 detects every single-bit error (it's a CRC; this is its job).
+    #[test]
+    fn crc_detects_bit_flips(
+        payload in proptest::collection::vec(proptest::num::u8::ANY, 1..32),
+        flip_byte in 0usize..34,
+        flip_bit in 0u8..8,
+    ) {
+        let framed = append16(payload);
+        prop_assert!(check16(&framed));
+        let mut corrupted = framed.clone();
+        let idx = flip_byte % corrupted.len();
+        corrupted[idx] ^= 1 << flip_bit;
+        prop_assert!(!check16(&corrupted));
+    }
+
+    /// An inventory round conserves tags: every singulated index is a
+    /// distinct participant; counts add up to the slot count.
+    #[test]
+    fn round_conservation(q in 0u8..8, participants in 0usize..20, seed in proptest::num::u64::ANY) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let r = simulate_round(q, participants, &LinkProfile::default(), &mut rng);
+        prop_assert_eq!(r.slots.len(), 1usize << q);
+        let (e, s, c) = r.tally();
+        prop_assert_eq!(e + s + c, 1usize << q);
+        let mut seen: Vec<usize> = r.singulated().collect();
+        let before = seen.len();
+        seen.sort_unstable();
+        seen.dedup();
+        prop_assert_eq!(seen.len(), before, "duplicate singulations");
+        prop_assert!(seen.iter().all(|&i| i < participants));
+        prop_assert!(r.duration_us > 0.0);
+    }
+}

@@ -1,0 +1,195 @@
+//! Circular (directional) statistics.
+//!
+//! Phase measurements and bearing estimates live on the circle, where the
+//! arithmetic mean is meaningless (the average of 1° and 359° is 0°, not
+//! 180°). These helpers compute means, variances and dispersions using the
+//! standard resultant-vector formulation (Mardia & Jupp).
+
+use crate::angle;
+
+/// The resultant vector of a set of angles: `(Σcosθ, Σsinθ) / n`.
+///
+/// Returns `(0.0, 0.0)` for an empty input.
+fn resultant(angles: &[f64]) -> (f64, f64) {
+    if angles.is_empty() {
+        return (0.0, 0.0);
+    }
+    let (mut c, mut s) = (0.0, 0.0);
+    for &a in angles {
+        c += a.cos();
+        s += a.sin();
+    }
+    let n = angles.len() as f64;
+    (c / n, s / n)
+}
+
+/// Circular mean of a set of angles, wrapped to `[0, 2π)`.
+///
+/// Returns `None` for an empty slice or when the resultant vector is
+/// (near-)zero, i.e. the angles are uniformly spread and no mean direction
+/// exists.
+///
+/// ```
+/// use tagspin_geom::circular::mean;
+/// let m = mean(&[0.1, std::f64::consts::TAU - 0.1]).unwrap();
+/// assert!(m < 1e-9 || (std::f64::consts::TAU - m) < 1e-9);
+/// ```
+pub fn mean(angles: &[f64]) -> Option<f64> {
+    let (c, s) = resultant(angles);
+    let r = c.hypot(s);
+    if r < 1e-12 {
+        None
+    } else {
+        Some(angle::wrap_tau(s.atan2(c)))
+    }
+}
+
+/// Mean resultant length `R ∈ [0, 1]`: 1 for perfectly concentrated angles,
+/// 0 for uniformly dispersed ones.
+///
+/// ```
+/// use tagspin_geom::circular::resultant_length;
+/// assert!((resultant_length(&[1.0, 1.0, 1.0]) - 1.0).abs() < 1e-12);
+/// ```
+pub fn resultant_length(angles: &[f64]) -> f64 {
+    let (c, s) = resultant(angles);
+    c.hypot(s)
+}
+
+/// Circular variance `1 - R ∈ [0, 1]`.
+pub fn variance(angles: &[f64]) -> f64 {
+    1.0 - resultant_length(angles)
+}
+
+/// Circular standard deviation `sqrt(-2 ln R)`, in radians.
+///
+/// For tightly concentrated data this approaches the linear standard
+/// deviation; it diverges as the data spreads toward uniformity. Returns
+/// `f64::INFINITY` when `R == 0` and `None` on empty input.
+pub fn std_dev(angles: &[f64]) -> Option<f64> {
+    if angles.is_empty() {
+        return None;
+    }
+    let r = resultant_length(angles);
+    if r <= 0.0 {
+        Some(f64::INFINITY)
+    } else {
+        Some((-2.0 * r.ln()).sqrt())
+    }
+}
+
+/// Weighted circular mean.
+///
+/// Used when fusing bearing estimates whose reliability differs (e.g. the
+/// spectrum peak powers of multiple spinning tags). Returns `None` when the
+/// inputs are empty, lengths mismatch, total weight is non-positive, or the
+/// resultant vanishes.
+pub fn weighted_mean(angles: &[f64], weights: &[f64]) -> Option<f64> {
+    if angles.is_empty() || angles.len() != weights.len() {
+        return None;
+    }
+    let (mut c, mut s, mut w_total) = (0.0, 0.0, 0.0);
+    for (&a, &w) in angles.iter().zip(weights) {
+        if w < 0.0 {
+            return None;
+        }
+        c += w * a.cos();
+        s += w * a.sin();
+        w_total += w;
+    }
+    if w_total <= 0.0 || c.hypot(s) < 1e-12 {
+        None
+    } else {
+        Some(angle::wrap_tau(s.atan2(c)))
+    }
+}
+
+/// Mean absolute angular deviation of `angles` from a reference angle, in
+/// radians. Useful as a scalar error metric for bearing estimates.
+pub fn mean_abs_deviation(angles: &[f64], reference: f64) -> f64 {
+    if angles.is_empty() {
+        return 0.0;
+    }
+    angles
+        .iter()
+        .map(|&a| angle::separation(a, reference))
+        .sum::<f64>()
+        / angles.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::{FRAC_PI_2, PI, TAU};
+
+    #[test]
+    fn mean_wraps_correctly() {
+        // Angles straddling the 0/2π seam.
+        let m = mean(&[0.2, TAU - 0.2]).unwrap();
+        assert!(m < 1e-9 || TAU - m < 1e-9, "mean = {m}");
+    }
+
+    #[test]
+    fn mean_of_concentrated() {
+        let m = mean(&[1.0, 1.1, 0.9]).unwrap();
+        assert!((m - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mean_of_uniform_is_none() {
+        let quad = [0.0, FRAC_PI_2, PI, 3.0 * FRAC_PI_2];
+        assert!(mean(&quad).is_none());
+        assert!(mean(&[]).is_none());
+    }
+
+    #[test]
+    fn variance_bounds() {
+        assert!(variance(&[0.5; 10]) < 1e-12);
+        let v = variance(&[0.0, PI]);
+        assert!((v - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn std_dev_small_angle_matches_linear() {
+        // Tight cluster: circular std ≈ linear std.
+        let xs = [0.00, 0.01, -0.01, 0.02, -0.02];
+        let circ = std_dev(&xs).unwrap();
+        let mean_lin = xs.iter().sum::<f64>() / xs.len() as f64;
+        let lin = (xs.iter().map(|x| (x - mean_lin).powi(2)).sum::<f64>() / xs.len() as f64).sqrt();
+        assert!((circ - lin).abs() < 1e-4, "circ={circ} lin={lin}");
+    }
+
+    #[test]
+    fn std_dev_empty_is_none() {
+        assert!(std_dev(&[]).is_none());
+    }
+
+    #[test]
+    fn weighted_mean_degenerates_to_mean() {
+        let xs = [0.3, 0.5, 0.4];
+        let w = [1.0, 1.0, 1.0];
+        let wm = weighted_mean(&xs, &w).unwrap();
+        let m = mean(&xs).unwrap();
+        assert!((wm - m).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_mean_respects_weights() {
+        let wm = weighted_mean(&[0.0, PI / 2.0], &[1.0, 0.0]).unwrap();
+        assert!(wm.abs() < 1e-12 || (TAU - wm) < 1e-12);
+    }
+
+    #[test]
+    fn weighted_mean_rejects_bad_input() {
+        assert!(weighted_mean(&[0.0], &[]).is_none());
+        assert!(weighted_mean(&[0.0], &[-1.0]).is_none());
+        assert!(weighted_mean(&[], &[]).is_none());
+    }
+
+    #[test]
+    fn mad_is_zero_on_reference() {
+        assert_eq!(mean_abs_deviation(&[1.0, 1.0], 1.0), 0.0);
+        assert_eq!(mean_abs_deviation(&[], 1.0), 0.0);
+        assert!((mean_abs_deviation(&[0.9, 1.1], 1.0) - 0.1).abs() < 1e-12);
+    }
+}

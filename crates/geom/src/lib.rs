@@ -1,0 +1,78 @@
+//! Geometry primitives for the Tagspin reproduction.
+//!
+//! This crate is the lowest layer of the workspace: small, dependency-free
+//! vector/angle types used by every other crate. It deliberately avoids
+//! external linear-algebra crates — the project owns its small numeric
+//! substrates because the Rust DSP/linalg ecosystem needed here is thin.
+//!
+//! # Conventions
+//!
+//! * All distances are **meters**, all angles **radians**, unless a function
+//!   name says otherwise (`_cm`, `_deg`).
+//! * Azimuth angles follow the paper: measured counter-clockwise from the
+//!   +x axis in the horizontal (x–y) plane, wrapped to `[0, 2π)`.
+//! * Polar angles `γ` (3D elevation above the horizontal plane) live in
+//!   `[-π/2, π/2]` as in the paper's Section V-B.
+//!
+//! # Example
+//!
+//! ```
+//! use tagspin_geom::{Vec2, angle};
+//!
+//! let tag = Vec2::new(1.0, 0.0);
+//! let reader = Vec2::new(-0.8, 0.0);
+//! let bearing = (reader - tag).bearing();
+//! assert!((bearing - std::f64::consts::PI).abs() < 1e-12);
+//! assert_eq!(angle::to_degrees(bearing).round(), 180.0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod angle;
+pub mod circular;
+pub mod line2;
+pub mod line3;
+pub mod pose;
+pub mod vec2;
+pub mod vec3;
+
+pub use line2::Line2;
+pub use line3::Line3;
+pub use pose::Pose;
+pub use vec2::Vec2;
+pub use vec3::Vec3;
+
+/// Convert centimeters to meters.
+///
+/// The paper reports every distance in centimeters; the library works in
+/// meters. Keeping the conversion explicit avoids silent unit bugs.
+///
+/// ```
+/// assert_eq!(tagspin_geom::cm(150.0), 1.5);
+/// ```
+#[inline]
+pub fn cm(centimeters: f64) -> f64 {
+    centimeters / 100.0
+}
+
+/// Convert meters to centimeters (for report printing).
+///
+/// ```
+/// assert_eq!(tagspin_geom::to_cm(1.5), 150.0);
+/// ```
+#[inline]
+pub fn to_cm(meters: f64) -> f64 {
+    meters * 100.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cm_roundtrip() {
+        assert_eq!(to_cm(cm(73.0)), 73.0);
+        assert_eq!(cm(0.0), 0.0);
+        assert_eq!(cm(-50.0), -0.5);
+    }
+}

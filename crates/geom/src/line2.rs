@@ -1,0 +1,357 @@
+//! 2D rays / lines and their intersections.
+//!
+//! Tagspin turns each spinning tag's angle spectrum into a bearing line that
+//! starts at the disk center and points toward the reader (paper Section V-A,
+//! Eqn 9). This module provides the intersection machinery, including a
+//! tan-free parametric form that has no singularity at φ = ±90° (the paper's
+//! closed form divides by `tanφ₁ − tanφ₂`, which blows up for vertical
+//! bearings), plus a least-squares fix for three or more lines.
+
+use crate::Vec2;
+use std::fmt;
+
+/// A directed line (ray direction retained) in the plane.
+///
+/// ```
+/// use tagspin_geom::{Line2, Vec2};
+/// let l1 = Line2::from_bearing(Vec2::new(-0.3, 0.0), std::f64::consts::FRAC_PI_4);
+/// let l2 = Line2::from_bearing(Vec2::new(0.3, 0.0), 3.0 * std::f64::consts::FRAC_PI_4);
+/// let p = l1.intersect(&l2).unwrap();
+/// assert!((p - Vec2::new(0.0, 0.3)).norm() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Line2 {
+    /// A point on the line (the spinning-tag disk center in Tagspin).
+    pub origin: Vec2,
+    /// Unit direction of the ray.
+    pub direction: Vec2,
+}
+
+/// Error produced by degenerate line-intersection inputs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IntersectLinesError {
+    /// The lines are parallel (or anti-parallel) within tolerance.
+    Parallel,
+    /// Fewer than two lines were supplied.
+    TooFewLines,
+    /// The least-squares normal system is singular (all lines parallel).
+    Singular,
+}
+
+impl fmt::Display for IntersectLinesError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IntersectLinesError::Parallel => write!(f, "lines are parallel"),
+            IntersectLinesError::TooFewLines => write!(f, "need at least two lines"),
+            IntersectLinesError::Singular => {
+                write!(f, "line system is singular (all lines parallel)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for IntersectLinesError {}
+
+impl Line2 {
+    /// Construct from an origin and a bearing angle (CCW from +x).
+    #[inline]
+    pub fn from_bearing(origin: Vec2, bearing: f64) -> Self {
+        Line2 {
+            origin,
+            direction: Vec2::from_bearing(bearing),
+        }
+    }
+
+    /// Construct from two distinct points. Returns `None` if they coincide.
+    #[inline]
+    pub fn through(a: Vec2, b: Vec2) -> Option<Self> {
+        (b - a).normalized().map(|direction| Line2 {
+            origin: a,
+            direction,
+        })
+    }
+
+    /// The bearing of this line's direction in `[0, 2π)`.
+    #[inline]
+    pub fn bearing(&self) -> f64 {
+        self.direction.bearing()
+    }
+
+    /// Point at parameter `t` (meters along the ray from the origin).
+    #[inline]
+    pub fn point_at(&self, t: f64) -> Vec2 {
+        self.origin + self.direction * t
+    }
+
+    /// Signed perpendicular distance from a point to the line.
+    ///
+    /// Positive when the point lies to the left of the ray direction.
+    #[inline]
+    pub fn signed_distance(&self, p: Vec2) -> f64 {
+        self.direction.cross(p - self.origin)
+    }
+
+    /// Unsigned perpendicular distance from a point to the line.
+    #[inline]
+    pub fn distance(&self, p: Vec2) -> f64 {
+        self.signed_distance(p).abs()
+    }
+
+    /// Ray parameter of the orthogonal projection of `p` onto the line.
+    ///
+    /// Negative values mean the projection lies *behind* the ray origin —
+    /// useful for rejecting intersections in the anti-bearing direction.
+    #[inline]
+    pub fn project(&self, p: Vec2) -> f64 {
+        self.direction.dot(p - self.origin)
+    }
+
+    /// Intersect two lines using the parametric (tan-free) formulation.
+    ///
+    /// Solves `o₁ + t·d₁ = o₂ + s·d₂` via the 2D cross product. Unlike the
+    /// paper's Eqn 9 this has no singularity for vertical bearings; for
+    /// non-degenerate inputs the two agree (verified in tests).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IntersectLinesError::Parallel`] when `|d₁ × d₂|` is below
+    /// `1e-12` (parallel or coincident lines have no unique intersection).
+    pub fn intersect(&self, other: &Line2) -> Result<Vec2, IntersectLinesError> {
+        let denom = self.direction.cross(other.direction);
+        if denom.abs() < 1e-12 {
+            return Err(IntersectLinesError::Parallel);
+        }
+        let t = (other.origin - self.origin).cross(other.direction) / denom;
+        Ok(self.point_at(t))
+    }
+}
+
+impl fmt::Display for Line2 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ray {} @ {:.2}°", self.origin, self.bearing().to_degrees())
+    }
+}
+
+/// The paper's closed-form intersection (Eqn 9), kept for fidelity and tested
+/// against [`Line2::intersect`].
+///
+/// Given tag centers `o1`, `o2` and spectrum bearings `phi1`, `phi2`, returns
+/// the reader position:
+///
+/// ```text
+/// x_R = (y₂ − y₁ + x₁·tanφ₁ − x₂·tanφ₂) / (tanφ₁ − tanφ₂)
+/// y_R = ((x₁ − x₂)·tanφ₁·tanφ₂ + y₂·tanφ₁ − y₁·tanφ₂) / (tanφ₁ − tanφ₂)
+/// ```
+///
+/// # Errors
+///
+/// Returns [`IntersectLinesError::Parallel`] when `tanφ₁ ≈ tanφ₂` or either
+/// tangent is non-finite (bearing at ±90°, where the closed form is
+/// undefined — use [`Line2::intersect`] in production code).
+pub fn intersect_eqn9(
+    o1: Vec2,
+    phi1: f64,
+    o2: Vec2,
+    phi2: f64,
+) -> Result<Vec2, IntersectLinesError> {
+    let t1 = phi1.tan();
+    let t2 = phi2.tan();
+    if !t1.is_finite() || !t2.is_finite() {
+        return Err(IntersectLinesError::Parallel);
+    }
+    let denom = t1 - t2;
+    if denom.abs() < 1e-9 {
+        return Err(IntersectLinesError::Parallel);
+    }
+    let x = (o2.y - o1.y + o1.x * t1 - o2.x * t2) / denom;
+    let y = ((o1.x - o2.x) * t1 * t2 + o2.y * t1 - o1.y * t2) / denom;
+    Ok(Vec2::new(x, y))
+}
+
+/// Least-squares intersection of two or more lines.
+///
+/// Minimizes the sum of squared perpendicular distances to all lines — the
+/// natural fusion when more than two spinning tags produce bearings. With
+/// optional per-line `weights` (e.g. spectrum peak power), the objective
+/// becomes a weighted sum.
+///
+/// For each line with unit direction `d`, the projector onto the normal space
+/// is `P = I − d·dᵀ`; the optimum solves `(Σ wᵢ Pᵢ) x = Σ wᵢ Pᵢ oᵢ`.
+///
+/// # Errors
+///
+/// * [`IntersectLinesError::TooFewLines`] — fewer than two lines.
+/// * [`IntersectLinesError::Singular`] — all lines parallel.
+pub fn least_squares_intersection(
+    lines: &[Line2],
+    weights: Option<&[f64]>,
+) -> Result<Vec2, IntersectLinesError> {
+    if lines.len() < 2 {
+        return Err(IntersectLinesError::TooFewLines);
+    }
+    if let Some(w) = weights {
+        assert_eq!(
+            w.len(),
+            lines.len(),
+            "weights length must match lines length"
+        );
+    }
+    // Accumulate the 2x2 normal matrix A and rhs b.
+    let (mut a11, mut a12, mut a22) = (0.0, 0.0, 0.0);
+    let (mut b1, mut b2) = (0.0, 0.0);
+    for (i, line) in lines.iter().enumerate() {
+        let w = weights.map_or(1.0, |ws| ws[i]);
+        let d = line.direction;
+        // P = I - d d^T
+        let p11 = 1.0 - d.x * d.x;
+        let p12 = -d.x * d.y;
+        let p22 = 1.0 - d.y * d.y;
+        a11 += w * p11;
+        a12 += w * p12;
+        a22 += w * p22;
+        let o = line.origin;
+        b1 += w * (p11 * o.x + p12 * o.y);
+        b2 += w * (p12 * o.x + p22 * o.y);
+    }
+    let det = a11 * a22 - a12 * a12;
+    if det.abs() < 1e-12 {
+        return Err(IntersectLinesError::Singular);
+    }
+    Ok(Vec2::new(
+        (a22 * b1 - a12 * b2) / det,
+        (a11 * b2 - a12 * b1) / det,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::{FRAC_PI_2, FRAC_PI_4, PI};
+
+    #[test]
+    fn basic_intersection() {
+        let l1 = Line2::from_bearing(Vec2::new(0.0, 0.0), FRAC_PI_4);
+        let l2 = Line2::from_bearing(Vec2::new(2.0, 0.0), 3.0 * FRAC_PI_4);
+        let p = l1.intersect(&l2).unwrap();
+        assert!((p - Vec2::new(1.0, 1.0)).norm() < 1e-12);
+    }
+
+    #[test]
+    fn parallel_is_error() {
+        let l1 = Line2::from_bearing(Vec2::ZERO, 0.3);
+        let l2 = Line2::from_bearing(Vec2::new(0.0, 1.0), 0.3);
+        assert_eq!(l1.intersect(&l2), Err(IntersectLinesError::Parallel));
+        // Anti-parallel too.
+        let l3 = Line2::from_bearing(Vec2::new(0.0, 1.0), 0.3 + PI);
+        assert_eq!(l1.intersect(&l3), Err(IntersectLinesError::Parallel));
+    }
+
+    #[test]
+    fn vertical_bearing_is_fine_parametrically() {
+        // Eqn 9 fails at φ = 90°, the parametric form must not.
+        let l1 = Line2::from_bearing(Vec2::new(1.0, 0.0), FRAC_PI_2);
+        let l2 = Line2::from_bearing(Vec2::new(0.0, 2.0), 0.0);
+        let p = l1.intersect(&l2).unwrap();
+        assert!((p - Vec2::new(1.0, 2.0)).norm() < 1e-12);
+        // Eqn 9 is ill-conditioned at φ = 90°: tan(π/2) in floating point is a
+        // huge finite number, so the closed form survives only by luck of
+        // cancellation. It must at least error on equal bearings (parallel).
+        assert!(intersect_eqn9(Vec2::new(1.0, 0.0), 0.7, Vec2::new(0.0, 2.0), 0.7).is_err());
+    }
+
+    #[test]
+    fn eqn9_matches_parametric_when_defined() {
+        let cases = [
+            (Vec2::new(-0.3, 0.0), 1.2, Vec2::new(0.3, 0.0), 2.0),
+            (Vec2::new(-0.3, 0.1), 0.4, Vec2::new(0.4, -0.2), 2.8),
+            (Vec2::new(0.0, 0.0), 5.5, Vec2::new(1.0, 1.0), 4.0),
+        ];
+        for (o1, p1, o2, p2) in cases {
+            let a = intersect_eqn9(o1, p1, o2, p2).unwrap();
+            let b = Line2::from_bearing(o1, p1)
+                .intersect(&Line2::from_bearing(o2, p2))
+                .unwrap();
+            assert!((a - b).norm() < 1e-9, "mismatch: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn signed_distance_sign() {
+        let l = Line2::from_bearing(Vec2::ZERO, 0.0); // +x axis
+        assert!(l.signed_distance(Vec2::new(5.0, 1.0)) > 0.0); // left = +y
+        assert!(l.signed_distance(Vec2::new(5.0, -1.0)) < 0.0);
+        assert_eq!(l.distance(Vec2::new(7.0, 0.0)), 0.0);
+    }
+
+    #[test]
+    fn projection_parameter() {
+        let l = Line2::from_bearing(Vec2::new(1.0, 0.0), 0.0);
+        assert_eq!(l.project(Vec2::new(4.0, 9.0)), 3.0);
+        assert!(l.project(Vec2::new(0.0, 0.0)) < 0.0); // behind the origin
+    }
+
+    #[test]
+    fn least_squares_two_lines_matches_exact() {
+        let l1 = Line2::from_bearing(Vec2::new(0.0, 0.0), FRAC_PI_4);
+        let l2 = Line2::from_bearing(Vec2::new(2.0, 0.0), 3.0 * FRAC_PI_4);
+        let exact = l1.intersect(&l2).unwrap();
+        let ls = least_squares_intersection(&[l1, l2], None).unwrap();
+        assert!((exact - ls).norm() < 1e-9);
+    }
+
+    #[test]
+    fn least_squares_three_lines() {
+        // Three lines through (1, 1) with perturbation-free bearings.
+        let target = Vec2::new(1.0, 1.0);
+        let origins = [
+            Vec2::new(0.0, 0.0),
+            Vec2::new(2.0, 0.0),
+            Vec2::new(0.0, 2.5),
+        ];
+        let lines: Vec<Line2> = origins
+            .iter()
+            .map(|&o| Line2::from_bearing(o, (target - o).bearing()))
+            .collect();
+        let p = least_squares_intersection(&lines, None).unwrap();
+        assert!((p - target).norm() < 1e-9);
+    }
+
+    #[test]
+    fn least_squares_weighting_pulls_toward_heavy_line() {
+        // Two crossing pairs; third line is off, with tiny weight it should
+        // barely move the solution.
+        let l1 = Line2::from_bearing(Vec2::new(0.0, 0.0), FRAC_PI_4);
+        let l2 = Line2::from_bearing(Vec2::new(2.0, 0.0), 3.0 * FRAC_PI_4);
+        let bad = Line2::from_bearing(Vec2::new(0.0, 5.0), 0.0);
+        let p = least_squares_intersection(&[l1, l2, bad], Some(&[1.0, 1.0, 1e-9])).unwrap();
+        assert!((p - Vec2::new(1.0, 1.0)).norm() < 1e-6);
+    }
+
+    #[test]
+    fn least_squares_degenerate_errors() {
+        let l = Line2::from_bearing(Vec2::ZERO, 0.0);
+        assert_eq!(
+            least_squares_intersection(&[l], None),
+            Err(IntersectLinesError::TooFewLines)
+        );
+        let l2 = Line2::from_bearing(Vec2::new(0.0, 1.0), 0.0);
+        assert_eq!(
+            least_squares_intersection(&[l, l2], None),
+            Err(IntersectLinesError::Singular)
+        );
+    }
+
+    #[test]
+    fn through_points() {
+        let l = Line2::through(Vec2::ZERO, Vec2::new(0.0, 3.0)).unwrap();
+        assert!((l.bearing() - FRAC_PI_2).abs() < 1e-12);
+        assert!(Line2::through(Vec2::ZERO, Vec2::ZERO).is_none());
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(!IntersectLinesError::Parallel.to_string().is_empty());
+        assert!(!IntersectLinesError::TooFewLines.to_string().is_empty());
+        assert!(!IntersectLinesError::Singular.to_string().is_empty());
+    }
+}

@@ -1,0 +1,244 @@
+//! 3D lines and multi-line least-squares intersection.
+//!
+//! In the 3D scenario each spinning tag yields a spatial direction `(φ, γ)`;
+//! the resulting rays almost never intersect exactly (noise, model error), so
+//! the reader fix is the point minimizing the sum of squared distances to all
+//! rays — the classic "nearest point to a set of lines" problem, solved here
+//! in closed form via a 3×3 normal system.
+
+use crate::line2::IntersectLinesError;
+use crate::vec3::Direction3;
+use crate::Vec3;
+use std::fmt;
+
+/// A directed line in 3D space.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Line3 {
+    /// A point on the line.
+    pub origin: Vec3,
+    /// Unit direction.
+    pub direction: Vec3,
+}
+
+impl Line3 {
+    /// Construct from an origin and a spherical direction.
+    #[inline]
+    pub fn from_direction(origin: Vec3, dir: Direction3) -> Self {
+        Line3 {
+            origin,
+            direction: dir.unit(),
+        }
+    }
+
+    /// Construct from two distinct points; `None` if they coincide.
+    #[inline]
+    pub fn through(a: Vec3, b: Vec3) -> Option<Self> {
+        (b - a).normalized().map(|direction| Line3 {
+            origin: a,
+            direction,
+        })
+    }
+
+    /// Point at ray parameter `t` meters.
+    #[inline]
+    pub fn point_at(&self, t: f64) -> Vec3 {
+        self.origin + self.direction * t
+    }
+
+    /// Perpendicular distance from a point to the line.
+    #[inline]
+    pub fn distance(&self, p: Vec3) -> f64 {
+        (p - self.origin).cross(self.direction).norm()
+    }
+
+    /// Ray parameter of the orthogonal projection of `p`.
+    #[inline]
+    pub fn project(&self, p: Vec3) -> f64 {
+        self.direction.dot(p - self.origin)
+    }
+}
+
+impl fmt::Display for Line3 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ray {} -> {}", self.origin, self.direction)
+    }
+}
+
+/// Solve a symmetric 3×3 linear system `A x = b` by Gaussian elimination
+/// with partial pivoting. Returns `None` when (numerically) singular.
+fn solve3(mut a: [[f64; 3]; 3], mut b: [f64; 3]) -> Option<Vec3> {
+    for col in 0..3 {
+        // Partial pivot.
+        let mut pivot = col;
+        for row in (col + 1)..3 {
+            if a[row][col].abs() > a[pivot][col].abs() {
+                pivot = row;
+            }
+        }
+        if a[pivot][col].abs() < 1e-12 {
+            return None;
+        }
+        a.swap(col, pivot);
+        b.swap(col, pivot);
+        for row in (col + 1)..3 {
+            let f = a[row][col] / a[col][col];
+            let (above, below) = a.split_at_mut(row);
+            for (x, &pivot_x) in below[0][col..].iter_mut().zip(&above[col][col..]) {
+                *x -= f * pivot_x;
+            }
+            b[row] -= f * b[col];
+        }
+    }
+    let mut x = [0.0; 3];
+    for col in (0..3).rev() {
+        let mut s = b[col];
+        for (k, &xk) in x.iter().enumerate().take(3).skip(col + 1) {
+            s -= a[col][k] * xk;
+        }
+        x[col] = s / a[col][col];
+    }
+    Some(Vec3::new(x[0], x[1], x[2]))
+}
+
+/// Point minimizing the (optionally weighted) sum of squared perpendicular
+/// distances to the given lines.
+///
+/// For each line with unit direction `d`, the distance-squared Hessian is the
+/// projector `P = I − d·dᵀ`; the optimum solves `(Σ wᵢ Pᵢ) x = Σ wᵢ Pᵢ oᵢ`.
+///
+/// # Errors
+///
+/// * [`IntersectLinesError::TooFewLines`] — fewer than two lines.
+/// * [`IntersectLinesError::Singular`] — the normal system is singular
+///   (all lines parallel; the optimum is a line, not a point).
+///
+/// # Panics
+///
+/// Panics when `weights` is `Some` with a length different from `lines`.
+pub fn nearest_point_to_lines(
+    lines: &[Line3],
+    weights: Option<&[f64]>,
+) -> Result<Vec3, IntersectLinesError> {
+    if lines.len() < 2 {
+        return Err(IntersectLinesError::TooFewLines);
+    }
+    if let Some(w) = weights {
+        assert_eq!(
+            w.len(),
+            lines.len(),
+            "weights length must match lines length"
+        );
+    }
+    let mut a = [[0.0f64; 3]; 3];
+    let mut b = [0.0f64; 3];
+    for (i, line) in lines.iter().enumerate() {
+        let w = weights.map_or(1.0, |ws| ws[i]);
+        let d = line.direction;
+        let o = line.origin;
+        let dv = [d.x, d.y, d.z];
+        let ov = [o.x, o.y, o.z];
+        for r in 0..3 {
+            for c in 0..3 {
+                let p = if r == c { 1.0 } else { 0.0 } - dv[r] * dv[c];
+                a[r][c] += w * p;
+                b[r] += w * p * ov[c];
+            }
+        }
+    }
+    solve3(a, b).ok_or(IntersectLinesError::Singular)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_intersection_recovered() {
+        let target = Vec3::new(1.0, 2.0, 3.0);
+        let origins = [
+            Vec3::new(0.0, 0.0, 0.0),
+            Vec3::new(5.0, 0.0, 0.0),
+            Vec3::new(0.0, 5.0, 1.0),
+        ];
+        let lines: Vec<Line3> = origins
+            .iter()
+            .map(|&o| Line3::through(o, target).unwrap())
+            .collect();
+        let p = nearest_point_to_lines(&lines, None).unwrap();
+        assert!((p - target).norm() < 1e-9, "got {p}");
+    }
+
+    #[test]
+    fn skew_lines_midpoint() {
+        // Two skew lines: x-axis and the line (0,1,t). Closest points are
+        // (0,0,0) and (0,1,0); optimum is the midpoint (0, 0.5, 0).
+        let l1 = Line3::through(Vec3::ZERO, Vec3::new(1.0, 0.0, 0.0)).unwrap();
+        let l2 = Line3::through(Vec3::new(0.0, 1.0, 0.0), Vec3::new(0.0, 1.0, 1.0)).unwrap();
+        let p = nearest_point_to_lines(&[l1, l2], None).unwrap();
+        assert!((p - Vec3::new(0.0, 0.5, 0.0)).norm() < 1e-9, "got {p}");
+    }
+
+    #[test]
+    fn weights_bias_toward_heavier_line() {
+        let l1 = Line3::through(Vec3::ZERO, Vec3::new(1.0, 0.0, 0.0)).unwrap();
+        let l2 = Line3::through(Vec3::new(0.0, 1.0, 0.0), Vec3::new(0.0, 1.0, 1.0)).unwrap();
+        let p = nearest_point_to_lines(&[l1, l2], Some(&[9.0, 1.0])).unwrap();
+        // 90% weight on the x-axis → solution pulled to y = 0.1.
+        assert!((p.y - 0.1).abs() < 1e-9, "got {p}");
+    }
+
+    #[test]
+    fn parallel_lines_singular() {
+        let d = Vec3::new(0.0, 0.0, 1.0);
+        let l1 = Line3 {
+            origin: Vec3::ZERO,
+            direction: d,
+        };
+        let l2 = Line3 {
+            origin: Vec3::new(1.0, 0.0, 0.0),
+            direction: d,
+        };
+        assert_eq!(
+            nearest_point_to_lines(&[l1, l2], None),
+            Err(IntersectLinesError::Singular)
+        );
+    }
+
+    #[test]
+    fn too_few_lines() {
+        let l = Line3::through(Vec3::ZERO, Vec3::new(1.0, 0.0, 0.0)).unwrap();
+        assert_eq!(
+            nearest_point_to_lines(&[l], None),
+            Err(IntersectLinesError::TooFewLines)
+        );
+    }
+
+    #[test]
+    fn distance_and_projection() {
+        let l = Line3::through(Vec3::ZERO, Vec3::new(1.0, 0.0, 0.0)).unwrap();
+        assert!((l.distance(Vec3::new(5.0, 3.0, 4.0)) - 5.0).abs() < 1e-12);
+        assert_eq!(l.project(Vec3::new(5.0, 3.0, 4.0)), 5.0);
+        assert_eq!(l.point_at(2.0), Vec3::new(2.0, 0.0, 0.0));
+    }
+
+    #[test]
+    fn from_direction_matches_unit() {
+        let d = Direction3::new(1.0, 0.3);
+        let l = Line3::from_direction(Vec3::ZERO, d);
+        assert!((l.direction - d.unit()).norm() < 1e-12);
+    }
+
+    #[test]
+    fn solve3_regular_system() {
+        // A = diag(2, 3, 4), b = (2, 6, 12) → x = (1, 2, 3).
+        let a = [[2.0, 0.0, 0.0], [0.0, 3.0, 0.0], [0.0, 0.0, 4.0]];
+        let x = solve3(a, [2.0, 6.0, 12.0]).unwrap();
+        assert!((x - Vec3::new(1.0, 2.0, 3.0)).norm() < 1e-12);
+    }
+
+    #[test]
+    fn solve3_singular_none() {
+        let a = [[1.0, 0.0, 0.0], [0.0, 1.0, 0.0], [1.0, 1.0, 0.0]];
+        assert!(solve3(a, [1.0, 1.0, 2.0]).is_none());
+    }
+}

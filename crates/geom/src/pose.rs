@@ -1,0 +1,82 @@
+//! Poses: position plus facing, for readers and antennas.
+
+use crate::{angle, Vec3};
+use std::fmt;
+
+/// A rigid pose in 3D: a position and a facing azimuth.
+///
+/// Reader antennas are directional (the paper uses Yeon circular-polarized
+/// patch antennas); the facing azimuth feeds the antenna gain pattern in the
+/// RF substrate. Elevation facing is not modeled — the paper mounts antennas
+/// facing the surveillance region horizontally.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Pose {
+    /// Position in meters.
+    pub position: Vec3,
+    /// Facing azimuth (boresight direction) in `[0, 2π)`.
+    pub facing: f64,
+}
+
+impl Pose {
+    /// Create a pose, wrapping the facing angle.
+    #[inline]
+    pub fn new(position: Vec3, facing: f64) -> Self {
+        Pose {
+            position,
+            facing: angle::wrap_tau(facing),
+        }
+    }
+
+    /// Pose at a position, facing toward a target point.
+    ///
+    /// ```
+    /// use tagspin_geom::{Pose, Vec3};
+    /// let p = Pose::facing_toward(Vec3::new(1.0, 0.0, 0.0), Vec3::ZERO);
+    /// assert!((p.facing - std::f64::consts::PI).abs() < 1e-12);
+    /// ```
+    #[inline]
+    pub fn facing_toward(position: Vec3, target: Vec3) -> Self {
+        Pose::new(position, (target - position).azimuth())
+    }
+
+    /// Off-boresight azimuth of a target as seen from this pose, in
+    /// `(-π, π]`. Zero means the target sits exactly on boresight.
+    #[inline]
+    pub fn off_boresight(&self, target: Vec3) -> f64 {
+        angle::diff((target - self.position).azimuth(), self.facing)
+    }
+}
+
+impl fmt::Display for Pose {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} facing {:.1}°", self.position, self.facing.to_degrees())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::{FRAC_PI_2, PI, TAU};
+
+    #[test]
+    fn facing_is_wrapped() {
+        let p = Pose::new(Vec3::ZERO, TAU + 1.0);
+        assert!((p.facing - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn facing_toward_cardinal() {
+        let p = Pose::facing_toward(Vec3::ZERO, Vec3::new(0.0, 5.0, 2.0));
+        assert!((p.facing - FRAC_PI_2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn off_boresight_signs() {
+        let p = Pose::new(Vec3::ZERO, 0.0);
+        assert!(p.off_boresight(Vec3::new(1.0, 0.1, 0.0)) > 0.0);
+        assert!(p.off_boresight(Vec3::new(1.0, -0.1, 0.0)) < 0.0);
+        assert_eq!(p.off_boresight(Vec3::new(3.0, 0.0, 0.0)), 0.0);
+        assert!((p.off_boresight(Vec3::new(-1.0, 0.0, 0.0)).abs() - PI).abs() < 1e-12);
+    }
+}

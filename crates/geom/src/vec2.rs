@@ -1,0 +1,292 @@
+//! Two-dimensional vectors / points in the horizontal plane.
+
+use crate::angle;
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+/// A point or displacement in the horizontal (x–y) plane, in meters.
+///
+/// The paper's 2D experiments (Section V-A) place spinning-tag disk centers
+/// and the reader on a shared desktop plane; `Vec2` models positions on that
+/// plane.
+///
+/// ```
+/// use tagspin_geom::Vec2;
+/// let o1 = Vec2::new(-0.3, 0.0);
+/// let o2 = Vec2::new(0.3, 0.0);
+/// assert_eq!(o1.distance(o2), 0.6);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Vec2 {
+    /// x-coordinate in meters.
+    pub x: f64,
+    /// y-coordinate in meters.
+    pub y: f64,
+}
+
+impl Vec2 {
+    /// The origin / zero vector.
+    pub const ZERO: Vec2 = Vec2 { x: 0.0, y: 0.0 };
+
+    /// Create a vector from components in meters.
+    #[inline]
+    pub const fn new(x: f64, y: f64) -> Self {
+        Vec2 { x, y }
+    }
+
+    /// Create a vector from components in centimeters (paper units).
+    ///
+    /// ```
+    /// use tagspin_geom::Vec2;
+    /// assert_eq!(Vec2::from_cm(100.0, -80.0), Vec2::new(1.0, -0.8));
+    /// ```
+    #[inline]
+    pub fn from_cm(x_cm: f64, y_cm: f64) -> Self {
+        Vec2::new(x_cm / 100.0, y_cm / 100.0)
+    }
+
+    /// Unit vector at the given bearing (counter-clockwise from +x).
+    ///
+    /// ```
+    /// use tagspin_geom::Vec2;
+    /// let v = Vec2::from_bearing(std::f64::consts::FRAC_PI_2);
+    /// assert!(v.x.abs() < 1e-12 && (v.y - 1.0).abs() < 1e-12);
+    /// ```
+    #[inline]
+    pub fn from_bearing(bearing: f64) -> Self {
+        Vec2::new(bearing.cos(), bearing.sin())
+    }
+
+    /// Dot product.
+    #[inline]
+    pub fn dot(self, other: Vec2) -> f64 {
+        self.x * other.x + self.y * other.y
+    }
+
+    /// The z-component of the 3D cross product (signed parallelogram area).
+    ///
+    /// Positive when `other` is counter-clockwise from `self`.
+    #[inline]
+    pub fn cross(self, other: Vec2) -> f64 {
+        self.x * other.y - self.y * other.x
+    }
+
+    /// Euclidean norm in meters.
+    #[inline]
+    pub fn norm(self) -> f64 {
+        self.x.hypot(self.y)
+    }
+
+    /// Squared norm (cheaper than [`Vec2::norm`] when comparing distances).
+    #[inline]
+    pub fn norm_sq(self) -> f64 {
+        self.dot(self)
+    }
+
+    /// Euclidean distance to another point in meters.
+    #[inline]
+    pub fn distance(self, other: Vec2) -> f64 {
+        (self - other).norm()
+    }
+
+    /// Bearing of this displacement, wrapped to `[0, 2π)`.
+    ///
+    /// Returns `0.0` for the zero vector.
+    #[inline]
+    pub fn bearing(self) -> f64 {
+        if self.x == 0.0 && self.y == 0.0 {
+            0.0
+        } else {
+            angle::wrap_tau(self.y.atan2(self.x))
+        }
+    }
+
+    /// Unit vector in the same direction, or `None` for (near-)zero vectors.
+    #[inline]
+    pub fn normalized(self) -> Option<Vec2> {
+        let n = self.norm();
+        if n < 1e-300 {
+            None
+        } else {
+            Some(self / n)
+        }
+    }
+
+    /// Perpendicular vector (rotated +90°).
+    #[inline]
+    pub fn perp(self) -> Vec2 {
+        Vec2::new(-self.y, self.x)
+    }
+
+    /// Rotate counter-clockwise by `theta` radians.
+    ///
+    /// ```
+    /// use tagspin_geom::Vec2;
+    /// let r = Vec2::new(1.0, 0.0).rotated(std::f64::consts::PI);
+    /// assert!((r.x + 1.0).abs() < 1e-12 && r.y.abs() < 1e-12);
+    /// ```
+    #[inline]
+    pub fn rotated(self, theta: f64) -> Vec2 {
+        let (s, c) = theta.sin_cos();
+        Vec2::new(self.x * c - self.y * s, self.x * s + self.y * c)
+    }
+
+    /// Lift into 3D at the given height `z`.
+    #[inline]
+    pub fn with_z(self, z: f64) -> crate::Vec3 {
+        crate::Vec3::new(self.x, self.y, z)
+    }
+
+    /// True when every component is finite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.x.is_finite() && self.y.is_finite()
+    }
+}
+
+impl Add for Vec2 {
+    type Output = Vec2;
+    #[inline]
+    fn add(self, rhs: Vec2) -> Vec2 {
+        Vec2::new(self.x + rhs.x, self.y + rhs.y)
+    }
+}
+
+impl AddAssign for Vec2 {
+    #[inline]
+    fn add_assign(&mut self, rhs: Vec2) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Vec2 {
+    type Output = Vec2;
+    #[inline]
+    fn sub(self, rhs: Vec2) -> Vec2 {
+        Vec2::new(self.x - rhs.x, self.y - rhs.y)
+    }
+}
+
+impl SubAssign for Vec2 {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Vec2) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<f64> for Vec2 {
+    type Output = Vec2;
+    #[inline]
+    fn mul(self, s: f64) -> Vec2 {
+        Vec2::new(self.x * s, self.y * s)
+    }
+}
+
+impl Mul<Vec2> for f64 {
+    type Output = Vec2;
+    #[inline]
+    fn mul(self, v: Vec2) -> Vec2 {
+        v * self
+    }
+}
+
+impl Div<f64> for Vec2 {
+    type Output = Vec2;
+    #[inline]
+    fn div(self, s: f64) -> Vec2 {
+        Vec2::new(self.x / s, self.y / s)
+    }
+}
+
+impl Neg for Vec2 {
+    type Output = Vec2;
+    #[inline]
+    fn neg(self) -> Vec2 {
+        Vec2::new(-self.x, -self.y)
+    }
+}
+
+impl fmt::Display for Vec2 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.4}, {:.4}) m", self.x, self.y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::{FRAC_PI_2, PI};
+
+    #[test]
+    fn arithmetic() {
+        let a = Vec2::new(1.0, 2.0);
+        let b = Vec2::new(-3.0, 0.5);
+        assert_eq!(a + b, Vec2::new(-2.0, 2.5));
+        assert_eq!(a - b, Vec2::new(4.0, 1.5));
+        assert_eq!(a * 2.0, Vec2::new(2.0, 4.0));
+        assert_eq!(2.0 * a, a * 2.0);
+        assert_eq!(a / 2.0, Vec2::new(0.5, 1.0));
+        assert_eq!(-a, Vec2::new(-1.0, -2.0));
+    }
+
+    #[test]
+    fn bearing_cardinals() {
+        assert_eq!(Vec2::new(1.0, 0.0).bearing(), 0.0);
+        assert!((Vec2::new(0.0, 1.0).bearing() - FRAC_PI_2).abs() < 1e-12);
+        assert!((Vec2::new(-1.0, 0.0).bearing() - PI).abs() < 1e-12);
+        assert!((Vec2::new(0.0, -1.0).bearing() - 3.0 * FRAC_PI_2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bearing_of_zero_is_zero() {
+        assert_eq!(Vec2::ZERO.bearing(), 0.0);
+    }
+
+    #[test]
+    fn from_bearing_roundtrip() {
+        for i in 0..36 {
+            let b = i as f64 * PI / 18.0;
+            let v = Vec2::from_bearing(b);
+            assert!(crate::angle::separation(v.bearing(), b) < 1e-12);
+            assert!((v.norm() - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn cross_sign_convention() {
+        let x = Vec2::new(1.0, 0.0);
+        let y = Vec2::new(0.0, 1.0);
+        assert_eq!(x.cross(y), 1.0);
+        assert_eq!(y.cross(x), -1.0);
+    }
+
+    #[test]
+    fn perp_is_ccw_quarter_turn() {
+        let v = Vec2::new(3.0, 4.0);
+        let p = v.perp();
+        assert_eq!(v.dot(p), 0.0);
+        assert!(v.cross(p) > 0.0);
+        assert_eq!(p.norm(), v.norm());
+    }
+
+    #[test]
+    fn normalized_zero_is_none() {
+        assert!(Vec2::ZERO.normalized().is_none());
+        let n = Vec2::new(0.0, -2.0).normalized().unwrap();
+        assert!((n.norm() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rotation_composes() {
+        let v = Vec2::new(1.0, 1.0);
+        let r = v.rotated(0.4).rotated(0.6);
+        let d = v.rotated(1.0);
+        assert!((r - d).norm() < 1e-12);
+    }
+
+    #[test]
+    fn display_nonempty() {
+        assert!(!format!("{}", Vec2::ZERO).is_empty());
+    }
+}

@@ -1,0 +1,356 @@
+//! Three-dimensional vectors / points.
+
+use crate::{angle, Vec2};
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+/// A point or displacement in 3D space, in meters.
+///
+/// The paper's 3D experiments (Section V-B) keep the two spinning tags on the
+/// horizontal plane and let the reader sit at a different height; `Vec3`
+/// models those positions. The z-axis points up.
+///
+/// ```
+/// use tagspin_geom::Vec3;
+/// let reader = Vec3::from_cm(-86.6, 0.0, 50.0);
+/// assert!((reader.norm() - 1.0).abs() < 1e-3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Vec3 {
+    /// x-coordinate in meters.
+    pub x: f64,
+    /// y-coordinate in meters.
+    pub y: f64,
+    /// z-coordinate (height) in meters.
+    pub z: f64,
+}
+
+impl Vec3 {
+    /// The origin / zero vector.
+    pub const ZERO: Vec3 = Vec3 {
+        x: 0.0,
+        y: 0.0,
+        z: 0.0,
+    };
+
+    /// Create a vector from components in meters.
+    #[inline]
+    pub const fn new(x: f64, y: f64, z: f64) -> Self {
+        Vec3 { x, y, z }
+    }
+
+    /// Create a vector from components in centimeters (paper units).
+    #[inline]
+    pub fn from_cm(x_cm: f64, y_cm: f64, z_cm: f64) -> Self {
+        Vec3::new(x_cm / 100.0, y_cm / 100.0, z_cm / 100.0)
+    }
+
+    /// Unit vector from azimuth `φ` and polar (elevation) angle `γ`.
+    ///
+    /// Matches the paper's spherical convention: the horizontal component has
+    /// bearing `φ`, and `γ ∈ [-π/2, π/2]` is the elevation above the
+    /// horizontal plane, so `z = sin γ`.
+    ///
+    /// ```
+    /// use tagspin_geom::Vec3;
+    /// let up = Vec3::from_spherical(0.0, std::f64::consts::FRAC_PI_2);
+    /// assert!((up.z - 1.0).abs() < 1e-12);
+    /// ```
+    #[inline]
+    pub fn from_spherical(azimuth: f64, polar: f64) -> Self {
+        let (sg, cg) = polar.sin_cos();
+        let (sa, ca) = azimuth.sin_cos();
+        Vec3::new(cg * ca, cg * sa, sg)
+    }
+
+    /// Dot product.
+    #[inline]
+    pub fn dot(self, other: Vec3) -> f64 {
+        self.x * other.x + self.y * other.y + self.z * other.z
+    }
+
+    /// Cross product.
+    #[inline]
+    pub fn cross(self, other: Vec3) -> Vec3 {
+        Vec3::new(
+            self.y * other.z - self.z * other.y,
+            self.z * other.x - self.x * other.z,
+            self.x * other.y - self.y * other.x,
+        )
+    }
+
+    /// Euclidean norm in meters.
+    #[inline]
+    pub fn norm(self) -> f64 {
+        self.dot(self).sqrt()
+    }
+
+    /// Squared norm.
+    #[inline]
+    pub fn norm_sq(self) -> f64 {
+        self.dot(self)
+    }
+
+    /// Euclidean distance to another point in meters.
+    #[inline]
+    pub fn distance(self, other: Vec3) -> f64 {
+        (self - other).norm()
+    }
+
+    /// Horizontal (x–y) projection.
+    #[inline]
+    pub fn xy(self) -> Vec2 {
+        Vec2::new(self.x, self.y)
+    }
+
+    /// Azimuth of the horizontal projection, wrapped to `[0, 2π)`.
+    #[inline]
+    pub fn azimuth(self) -> f64 {
+        self.xy().bearing()
+    }
+
+    /// Polar (elevation) angle above the horizontal plane, in `[-π/2, π/2]`.
+    ///
+    /// This is the paper's `γ`: the angle between the displacement and its
+    /// projection on the horizontal plane. Returns `0.0` for the zero vector.
+    #[inline]
+    pub fn polar(self) -> f64 {
+        let h = self.xy().norm();
+        if h == 0.0 && self.z == 0.0 {
+            0.0
+        } else {
+            self.z.atan2(h)
+        }
+    }
+
+    /// Unit vector in the same direction, or `None` for (near-)zero vectors.
+    #[inline]
+    pub fn normalized(self) -> Option<Vec3> {
+        let n = self.norm();
+        if n < 1e-300 {
+            None
+        } else {
+            Some(self / n)
+        }
+    }
+
+    /// True when every component is finite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.x.is_finite() && self.y.is_finite() && self.z.is_finite()
+    }
+
+    /// Reflect through the horizontal plane (negate z).
+    ///
+    /// Used for the paper's ±z localization ambiguity: any point and its
+    /// mirror image produce identical distances to points on the plane.
+    #[inline]
+    pub fn mirror_z(self) -> Vec3 {
+        Vec3::new(self.x, self.y, -self.z)
+    }
+}
+
+impl From<Vec2> for Vec3 {
+    /// Embed a horizontal point at height zero.
+    #[inline]
+    fn from(v: Vec2) -> Vec3 {
+        v.with_z(0.0)
+    }
+}
+
+impl Add for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn add(self, rhs: Vec3) -> Vec3 {
+        Vec3::new(self.x + rhs.x, self.y + rhs.y, self.z + rhs.z)
+    }
+}
+
+impl AddAssign for Vec3 {
+    #[inline]
+    fn add_assign(&mut self, rhs: Vec3) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn sub(self, rhs: Vec3) -> Vec3 {
+        Vec3::new(self.x - rhs.x, self.y - rhs.y, self.z - rhs.z)
+    }
+}
+
+impl SubAssign for Vec3 {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Vec3) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<f64> for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn mul(self, s: f64) -> Vec3 {
+        Vec3::new(self.x * s, self.y * s, self.z * s)
+    }
+}
+
+impl Mul<Vec3> for f64 {
+    type Output = Vec3;
+    #[inline]
+    fn mul(self, v: Vec3) -> Vec3 {
+        v * self
+    }
+}
+
+impl Div<f64> for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn div(self, s: f64) -> Vec3 {
+        Vec3::new(self.x / s, self.y / s, self.z / s)
+    }
+}
+
+impl Neg for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn neg(self) -> Vec3 {
+        Vec3::new(-self.x, -self.y, -self.z)
+    }
+}
+
+impl fmt::Display for Vec3 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.4}, {:.4}, {:.4}) m", self.x, self.y, self.z)
+    }
+}
+
+/// Spherical direction `(azimuth φ, polar γ)` pair, as searched by the 3D
+/// angle spectrum in the paper's Eqn 12.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Direction3 {
+    /// Azimuth in `[0, 2π)`.
+    pub azimuth: f64,
+    /// Polar (elevation) angle in `[-π/2, π/2]`.
+    pub polar: f64,
+}
+
+impl Direction3 {
+    /// Create a direction, wrapping the azimuth and clamping the polar angle.
+    #[inline]
+    pub fn new(azimuth: f64, polar: f64) -> Self {
+        Direction3 {
+            azimuth: angle::wrap_tau(azimuth),
+            polar: polar.clamp(-std::f64::consts::FRAC_PI_2, std::f64::consts::FRAC_PI_2),
+        }
+    }
+
+    /// Unit vector for this direction.
+    #[inline]
+    pub fn unit(self) -> Vec3 {
+        Vec3::from_spherical(self.azimuth, self.polar)
+    }
+
+    /// The mirror direction with negated polar angle (the paper's symmetric
+    /// z-candidate).
+    #[inline]
+    pub fn mirror(self) -> Direction3 {
+        Direction3 {
+            azimuth: self.azimuth,
+            polar: -self.polar,
+        }
+    }
+}
+
+impl fmt::Display for Direction3 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "(φ={:.2}°, γ={:.2}°)",
+            self.azimuth.to_degrees(),
+            self.polar.to_degrees()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::{FRAC_PI_2, FRAC_PI_4, PI};
+
+    #[test]
+    fn arithmetic() {
+        let a = Vec3::new(1.0, 2.0, 3.0);
+        let b = Vec3::new(0.5, -1.0, 2.0);
+        assert_eq!(a + b, Vec3::new(1.5, 1.0, 5.0));
+        assert_eq!(a - b, Vec3::new(0.5, 3.0, 1.0));
+        assert_eq!(a * 2.0, Vec3::new(2.0, 4.0, 6.0));
+        assert_eq!(a / 2.0, Vec3::new(0.5, 1.0, 1.5));
+        assert_eq!(-a, Vec3::new(-1.0, -2.0, -3.0));
+    }
+
+    #[test]
+    fn cross_right_handed() {
+        let x = Vec3::new(1.0, 0.0, 0.0);
+        let y = Vec3::new(0.0, 1.0, 0.0);
+        let z = Vec3::new(0.0, 0.0, 1.0);
+        assert_eq!(x.cross(y), z);
+        assert_eq!(y.cross(z), x);
+        assert_eq!(z.cross(x), y);
+    }
+
+    #[test]
+    fn spherical_roundtrip() {
+        for ia in 0..12 {
+            for ip in -4..=4 {
+                let az = ia as f64 * PI / 6.0;
+                let po = ip as f64 * FRAC_PI_2 / 5.0;
+                let v = Vec3::from_spherical(az, po);
+                assert!((v.norm() - 1.0).abs() < 1e-12);
+                assert!((v.polar() - po).abs() < 1e-12);
+                if po.abs() < FRAC_PI_2 - 1e-9 {
+                    assert!(angle::separation(v.azimuth(), az) < 1e-9);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn polar_signs() {
+        assert!((Vec3::new(1.0, 0.0, 1.0).polar() - FRAC_PI_4).abs() < 1e-12);
+        assert!((Vec3::new(1.0, 0.0, -1.0).polar() + FRAC_PI_4).abs() < 1e-12);
+        assert_eq!(Vec3::ZERO.polar(), 0.0);
+        assert!((Vec3::new(0.0, 0.0, 2.0).polar() - FRAC_PI_2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mirror_z_preserves_planar_distance() {
+        let p = Vec3::new(0.4, -0.7, 0.9);
+        let q = Vec3::new(1.0, 2.0, 0.0); // on the horizontal plane
+        assert!((p.distance(q) - p.mirror_z().distance(q)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn direction3_mirror() {
+        let d = Direction3::new(1.0, 0.5);
+        let m = d.mirror();
+        assert_eq!(m.azimuth, d.azimuth);
+        assert_eq!(m.polar, -d.polar);
+        assert!((d.unit().mirror_z() - m.unit()).norm() < 1e-12);
+    }
+
+    #[test]
+    fn direction3_clamps_polar() {
+        let d = Direction3::new(0.0, 2.0);
+        assert_eq!(d.polar, FRAC_PI_2);
+    }
+
+    #[test]
+    fn from_vec2_is_planar() {
+        let v: Vec3 = Vec2::new(1.0, 2.0).into();
+        assert_eq!(v, Vec3::new(1.0, 2.0, 0.0));
+    }
+}

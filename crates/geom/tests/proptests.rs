@@ -1,0 +1,123 @@
+//! Property-based tests for the geometry substrate.
+
+use proptest::prelude::*;
+use tagspin_geom::line3::{nearest_point_to_lines, Line3};
+use tagspin_geom::vec3::Direction3;
+use tagspin_geom::{angle, circular, Line2, Vec2, Vec3};
+
+fn arb_vec2() -> impl Strategy<Value = Vec2> {
+    (-10.0f64..10.0, -10.0f64..10.0).prop_map(|(x, y)| Vec2::new(x, y))
+}
+
+fn arb_vec3() -> impl Strategy<Value = Vec3> {
+    (-10.0f64..10.0, -10.0f64..10.0, -10.0f64..10.0).prop_map(|(x, y, z)| Vec3::new(x, y, z))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Vector space axioms (the subset that floating point honors).
+    #[test]
+    fn vec_axioms(a in arb_vec3(), b in arb_vec3(), s in -5.0f64..5.0) {
+        prop_assert!(((a + b) - (b + a)).norm() < 1e-12);
+        prop_assert!(((a + b) * s - (a * s + b * s)).norm() < 1e-9);
+        prop_assert!((a - a).norm() < 1e-12);
+        // Cauchy–Schwarz.
+        prop_assert!(a.dot(b).abs() <= a.norm() * b.norm() + 1e-9);
+        // Cross product orthogonality.
+        let c = a.cross(b);
+        prop_assert!(c.dot(a).abs() < 1e-6);
+        prop_assert!(c.dot(b).abs() < 1e-6);
+    }
+
+    /// Triangle inequality for both metric types.
+    #[test]
+    fn triangle_inequality(a in arb_vec3(), b in arb_vec3(), c in arb_vec3()) {
+        prop_assert!(a.distance(c) <= a.distance(b) + b.distance(c) + 1e-9);
+        let (p, q, r) = (a.xy(), b.xy(), c.xy());
+        prop_assert!(p.distance(r) <= p.distance(q) + q.distance(r) + 1e-9);
+    }
+
+    /// Rotation preserves norms and composes additively.
+    #[test]
+    fn rotation_isometry(v in arb_vec2(), t1 in -7.0f64..7.0, t2 in -7.0f64..7.0) {
+        prop_assert!((v.rotated(t1).norm() - v.norm()).abs() < 1e-9);
+        prop_assert!((v.rotated(t1).rotated(t2) - v.rotated(t1 + t2)).norm() < 1e-9);
+    }
+
+    /// Spherical round trip: unit vector → (azimuth, polar) → unit vector.
+    #[test]
+    fn spherical_roundtrip(v in arb_vec3()) {
+        prop_assume!(v.norm() > 1e-6);
+        let u = v.normalized().expect("nonzero");
+        let d = Direction3::new(u.azimuth(), u.polar());
+        prop_assert!((d.unit() - u).norm() < 1e-9);
+    }
+
+    /// A point constructed on a line has zero distance to it; shifting it
+    /// perpendicular by `d` yields distance `d`.
+    #[test]
+    fn line2_distance_semantics(o in arb_vec2(), bearing in 0.0f64..std::f64::consts::TAU,
+                                t in -5.0f64..5.0, d in 0.0f64..5.0) {
+        let l = Line2::from_bearing(o, bearing);
+        let on = l.point_at(t);
+        prop_assert!(l.distance(on) < 1e-9);
+        let off = on + l.direction.perp() * d;
+        prop_assert!((l.distance(off) - d).abs() < 1e-9);
+        prop_assert!((l.project(on) - t).abs() < 1e-9);
+    }
+
+    /// Two lines through a common point intersect at it (when not
+    /// near-parallel).
+    #[test]
+    fn line2_common_point(p in arb_vec2(), b1 in 0.0f64..std::f64::consts::TAU,
+                          db in 0.3f64..2.8) {
+        let b2 = b1 + db;
+        let l1 = Line2::from_bearing(p - Vec2::from_bearing(b1) * 3.0, b1);
+        let l2 = Line2::from_bearing(p - Vec2::from_bearing(b2) * 2.0, b2);
+        let x = l1.intersect(&l2).expect("bearings differ by >0.3 rad");
+        prop_assert!((x - p).norm() < 1e-6, "got {x}, want {p}");
+    }
+
+    /// nearest_point_to_lines on lines through a common point returns it.
+    #[test]
+    fn line3_common_point(p in arb_vec3(), o1 in arb_vec3(), o2 in arb_vec3(), o3 in arb_vec3()) {
+        prop_assume!((p - o1).norm() > 0.5);
+        prop_assume!((p - o2).norm() > 0.5);
+        prop_assume!((p - o3).norm() > 0.5);
+        // Require genuinely distinct directions (not near-parallel).
+        let d1 = (p - o1).normalized().expect("checked");
+        let d2 = (p - o2).normalized().expect("checked");
+        let d3 = (p - o3).normalized().expect("checked");
+        prop_assume!(d1.cross(d2).norm() > 0.2);
+        prop_assume!(d1.cross(d3).norm() > 0.2);
+        let lines = [
+            Line3::through(o1, p).expect("distinct"),
+            Line3::through(o2, p).expect("distinct"),
+            Line3::through(o3, p).expect("distinct"),
+        ];
+        let x = nearest_point_to_lines(&lines, None).expect("non-degenerate");
+        prop_assert!((x - p).norm() < 1e-6, "got {x}, want {p}");
+    }
+
+    /// Circular mean is rotation-equivariant: mean(θ + c) = mean(θ) + c.
+    #[test]
+    fn circular_mean_equivariant(
+        base in proptest::collection::vec(0.0f64..1.0, 2..20),
+        shift in 0.0f64..std::f64::consts::TAU,
+    ) {
+        // Concentrated cluster so the mean exists.
+        let m0 = circular::mean(&base).expect("concentrated");
+        let shifted: Vec<f64> = base.iter().map(|a| a + shift).collect();
+        let m1 = circular::mean(&shifted).expect("concentrated");
+        prop_assert!(angle::separation(m1, m0 + shift) < 1e-9);
+    }
+
+    /// Pose off-boresight is zero exactly toward the facing direction.
+    #[test]
+    fn pose_boresight(pos in arb_vec3(), facing in 0.0f64..std::f64::consts::TAU, r in 0.5f64..5.0) {
+        let pose = tagspin_geom::Pose::new(pos, facing);
+        let target = pos + Vec2::from_bearing(facing).with_z(0.0) * r;
+        prop_assert!(pose.off_boresight(target).abs() < 1e-9);
+    }
+}

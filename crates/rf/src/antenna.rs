@@ -1,0 +1,315 @@
+//! Reader and tag antenna models.
+//!
+//! Two antenna behaviours matter to Tagspin:
+//!
+//! 1. **Reader antenna** — a directional circular-polarized patch (the paper
+//!    uses Yeon antennas, ~23 cm square). Its gain pattern shapes read range
+//!    and RSSI but, being fixed during a trial, contributes only a constant
+//!    `θ_div` component to phase.
+//! 2. **Tag antenna** — the paper's key empirical finding (Observation 3.1):
+//!    the tag's *orientation* `ρ` relative to the reader both modulates its
+//!    received power (read-rate variation: dense sampling near ρ = π/2 + kπ)
+//!    and shifts its measured *phase* by a repeatable, Fourier-fittable
+//!    function ψ(ρ) of ≈ 0.7 rad peak-to-peak. The simulator embeds a hidden
+//!    ψ(ρ) ground truth that the calibration stage must recover blind.
+
+use crate::polarization::Polarization;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::f64::consts::TAU;
+
+/// A directional reader antenna.
+///
+/// The gain pattern is a raised-cosine main lobe with a back-lobe floor —
+/// an adequate stand-in for a patch antenna's azimuth cut.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ReaderAntenna {
+    /// Identifier (the paper evaluates 4 antennas, "Antenna 1..4").
+    pub id: u8,
+    /// Boresight gain, dBi.
+    pub boresight_gain_dbi: f64,
+    /// Half-power beamwidth, radians.
+    pub beamwidth: f64,
+    /// Back-lobe gain floor, dBi.
+    pub backlobe_dbi: f64,
+    /// This antenna's contribution to the diversity term θ_div, radians.
+    pub phase_offset: f64,
+    /// Polarization (the paper's Yeon antennas are circular).
+    pub polarization: Polarization,
+}
+
+impl ReaderAntenna {
+    /// A typical 8 dBi UHF RFID patch antenna.
+    pub fn typical(id: u8) -> Self {
+        ReaderAntenna {
+            id,
+            boresight_gain_dbi: 8.0,
+            beamwidth: 70f64.to_radians(),
+            backlobe_dbi: -10.0,
+            phase_offset: 0.0,
+            polarization: Polarization::Circular,
+        }
+    }
+
+    /// The paper's four Yeon antennas: same model, so nearly identical
+    /// patterns, but distinct cable/port phase offsets and tiny gain spread —
+    /// the "antenna diversity" of Fig. 12(d).
+    pub fn yeon_set() -> [ReaderAntenna; 4] {
+        let mut out = [ReaderAntenna::typical(1); 4];
+        // Deterministic, hardware-like spread.
+        let offsets = [0.87, 2.31, 4.02, 5.55];
+        let gains = [8.0, 7.9, 8.1, 8.0];
+        for (i, a) in out.iter_mut().enumerate() {
+            a.id = (i + 1) as u8;
+            a.phase_offset = offsets[i];
+            a.boresight_gain_dbi = gains[i];
+        }
+        out
+    }
+
+    /// Gain in dBi toward a direction `off_boresight` radians from boresight.
+    ///
+    /// Raised-cosine lobe: `G(Δ) = G₀ + 3·(cos(π·Δ/BW·(1/2)) ... ` — concretely
+    /// the lobe loses 3 dB at `Δ = ±BW/2` and floors at the back-lobe level.
+    pub fn gain_dbi(&self, off_boresight: f64) -> f64 {
+        let d = off_boresight.rem_euclid(TAU);
+        let d = if d > TAU / 2.0 { TAU - d } else { d };
+        // Quadratic-in-angle rolloff calibrated to -3 dB at BW/2.
+        let rolloff = 3.0 * (2.0 * d / self.beamwidth).powi(2);
+        (self.boresight_gain_dbi - rolloff).max(self.backlobe_dbi)
+    }
+
+    /// Linear gain toward a direction.
+    pub fn gain_linear(&self, off_boresight: f64) -> f64 {
+        10f64.powf(self.gain_dbi(off_boresight) / 10.0)
+    }
+}
+
+/// Hidden ground-truth orientation-phase function ψ(ρ).
+///
+/// A low-order Fourier series: the paper finds the orientation/phase
+/// correlation "can be fitted by a Fourier transform function", and that
+/// across tags and positions the *shape* is stable while the *amplitude*
+/// varies. `OrientationPhase` encodes one concrete instance (for one tag
+/// individual at one location).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OrientationPhase {
+    /// Harmonic coefficients `(aₖ, bₖ)` for k = 1..; ψ has zero mean by
+    /// construction (a DC offset is indistinguishable from θ_div).
+    harmonics: Vec<(f64, f64)>,
+}
+
+impl OrientationPhase {
+    /// The canonical shape template shared by all tag models: a dominant
+    /// first harmonic (antenna feed offset displaced toward/away from the
+    /// reader once per revolution) plus a second harmonic (pattern
+    /// asymmetry). `amplitude_pp` sets the peak-to-peak span in radians.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `amplitude_pp` is negative or non-finite.
+    pub fn template(amplitude_pp: f64) -> Self {
+        assert!(
+            amplitude_pp.is_finite() && amplitude_pp >= 0.0,
+            "amplitude must be finite and >= 0"
+        );
+        // Base shape; numerically normalized to unit peak-to-peak below.
+        let base = [(0.92f64, 0.18f64), (0.28f64, -0.11f64)];
+        let raw = OrientationPhase {
+            harmonics: base.to_vec(),
+        };
+        let pp = raw.peak_to_peak();
+        let scale = if pp > 0.0 { amplitude_pp / pp } else { 0.0 };
+        OrientationPhase {
+            harmonics: base.iter().map(|&(a, b)| (a * scale, b * scale)).collect(),
+        }
+    }
+
+    /// A disabled (identically zero) orientation effect.
+    pub fn disabled() -> Self {
+        OrientationPhase {
+            harmonics: Vec::new(),
+        }
+    }
+
+    /// Instance for a specific tag individual at a specific location:
+    /// same shape, randomly perturbed amplitude (±`jitter` relative) and a
+    /// small random rotation of the pattern.
+    pub fn instance<R: Rng + ?Sized>(base_pp: f64, jitter: f64, rng: &mut R) -> Self {
+        let amp = base_pp * (1.0 + jitter * (rng.gen::<f64>() * 2.0 - 1.0));
+        let rot: f64 = 0.15 * (rng.gen::<f64>() * 2.0 - 1.0);
+        let t = OrientationPhase::template(amp.max(0.0));
+        // Rotate the pattern: ψ(ρ - δ) re-expressed in the same basis.
+        let harmonics = t
+            .harmonics
+            .iter()
+            .enumerate()
+            .map(|(i, &(a, b))| {
+                let k = (i + 1) as f64;
+                let (s, c) = (k * rot).sin_cos();
+                (a * c - b * s, a * s + b * c)
+            })
+            .collect();
+        OrientationPhase { harmonics }
+    }
+
+    /// Evaluate ψ at orientation `rho` (radians, 2π-periodic).
+    pub fn eval(&self, rho: f64) -> f64 {
+        let mut y = 0.0;
+        for (i, &(a, b)) in self.harmonics.iter().enumerate() {
+            let k = (i + 1) as f64;
+            let (s, c) = (k * rho).sin_cos();
+            y += a * c + b * s;
+        }
+        y
+    }
+
+    /// Peak-to-peak span over a dense grid.
+    pub fn peak_to_peak(&self) -> f64 {
+        let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+        for i in 0..720 {
+            let v = self.eval(i as f64 * TAU / 720.0);
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        if lo.is_finite() {
+            hi - lo
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Tag antenna gain versus orientation.
+///
+/// Peaks when the tag plane is perpendicular to the incident E-field
+/// (ρ = π/2 + kπ, per the paper's Section III-B discussion) and floors at
+/// `min_fraction` of the peak in the nulls — passive tags still answer
+/// occasionally edge-on thanks to scattering, so the floor is nonzero.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TagGainPattern {
+    /// Peak gain, dBi (dipole-like ≈ 2 dBi).
+    pub peak_dbi: f64,
+    /// Linear gain floor as a fraction of peak, in (0, 1].
+    pub min_fraction: f64,
+}
+
+impl TagGainPattern {
+    /// Typical UHF inlay pattern.
+    pub fn typical() -> Self {
+        TagGainPattern {
+            peak_dbi: 2.0,
+            min_fraction: 0.04,
+        }
+    }
+
+    /// Linear gain at orientation `rho`.
+    pub fn gain_linear(&self, rho: f64) -> f64 {
+        let peak = 10f64.powf(self.peak_dbi / 10.0);
+        let s = rho.sin();
+        peak * (self.min_fraction + (1.0 - self.min_fraction) * s * s)
+    }
+
+    /// Gain in dBi at orientation `rho`.
+    pub fn gain_dbi(&self, rho: f64) -> f64 {
+        10.0 * self.gain_linear(rho).log10()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::f64::consts::{FRAC_PI_2, PI};
+
+    #[test]
+    fn reader_gain_peaks_on_boresight() {
+        let a = ReaderAntenna::typical(1);
+        assert_eq!(a.gain_dbi(0.0), 8.0);
+        assert!(a.gain_dbi(0.3) < 8.0);
+        // -3 dB at half the beamwidth.
+        assert!((a.gain_dbi(a.beamwidth / 2.0) - 5.0).abs() < 1e-9);
+        // Symmetric (up to fp rounding in the wrap).
+        assert!((a.gain_dbi(0.4) - a.gain_dbi(-0.4)).abs() < 1e-12);
+        // Floors at the back lobe.
+        assert_eq!(a.gain_dbi(PI), -10.0);
+    }
+
+    #[test]
+    fn yeon_set_ids_and_spread() {
+        let set = ReaderAntenna::yeon_set();
+        for (i, a) in set.iter().enumerate() {
+            assert_eq!(a.id as usize, i + 1);
+        }
+        // Distinct phase offsets (that's the diversity the paper calibrates).
+        for i in 0..4 {
+            for j in (i + 1)..4 {
+                assert!((set[i].phase_offset - set[j].phase_offset).abs() > 0.1);
+            }
+        }
+    }
+
+    #[test]
+    fn orientation_template_peak_to_peak() {
+        let p = OrientationPhase::template(0.7);
+        assert!((p.peak_to_peak() - 0.7).abs() < 1e-6);
+        assert_eq!(OrientationPhase::template(0.0).peak_to_peak(), 0.0);
+    }
+
+    #[test]
+    fn orientation_disabled_is_zero() {
+        let p = OrientationPhase::disabled();
+        for i in 0..10 {
+            assert_eq!(p.eval(i as f64), 0.0);
+        }
+    }
+
+    #[test]
+    fn orientation_is_periodic() {
+        let p = OrientationPhase::template(0.7);
+        for i in 0..16 {
+            let rho = i as f64 * 0.41;
+            assert!((p.eval(rho) - p.eval(rho + TAU)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn orientation_instances_share_shape() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let a = OrientationPhase::instance(0.7, 0.15, &mut rng);
+        let b = OrientationPhase::instance(0.7, 0.15, &mut rng);
+        // Amplitudes differ but stay within the jitter band.
+        assert!((a.peak_to_peak() - 0.7).abs() < 0.15);
+        assert!((b.peak_to_peak() - 0.7).abs() < 0.15);
+        // Shapes correlate strongly: normalized cross-correlation > 0.9.
+        let n = 360;
+        let (mut saa, mut sbb, mut sab) = (0.0, 0.0, 0.0);
+        for i in 0..n {
+            let rho = i as f64 * TAU / n as f64;
+            let (va, vb) = (a.eval(rho), b.eval(rho));
+            saa += va * va;
+            sbb += vb * vb;
+            sab += va * vb;
+        }
+        let corr = sab / (saa.sqrt() * sbb.sqrt());
+        assert!(corr > 0.9, "corr = {corr}");
+    }
+
+    #[test]
+    fn tag_gain_maxima_and_floor() {
+        let g = TagGainPattern::typical();
+        let peak = g.gain_linear(FRAC_PI_2);
+        assert!((g.gain_linear(3.0 * FRAC_PI_2) - peak).abs() < 1e-12);
+        let null = g.gain_linear(0.0);
+        assert!((null / peak - 0.04).abs() < 1e-12);
+        assert!(g.gain_dbi(FRAC_PI_2) > g.gain_dbi(0.2));
+        assert!((g.gain_dbi(FRAC_PI_2) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "amplitude")]
+    fn template_rejects_negative() {
+        let _ = OrientationPhase::template(-1.0);
+    }
+}

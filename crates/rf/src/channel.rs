@@ -1,0 +1,478 @@
+//! End-to-end backscatter channel: geometry in, measurement out.
+//!
+//! This is the simulator's substitute for the paper's COTS testbed. Given
+//! reader pose + antenna, tag instance + position + plane orientation, a
+//! carrier frequency and an [`Environment`], [`measure`] produces exactly
+//! what an LLRP-extended reader reports: a phase (noisy, quantized, offset
+//! by `θ_div` and the orientation effect ψ(ρ)), an RSSI, and the tag-side
+//! power that drives read success.
+//!
+//! Ground truth uses the *exact* distance `d = |reader − tag|`; the paper's
+//! processing approximates `d(t) ≈ D − r·cos(ωt − φ)`, so the model error a
+//! real deployment suffers is present here too.
+
+use crate::antenna::ReaderAntenna;
+use crate::medium::LinkBudget;
+use crate::multipath::{one_way_paths, Reflector};
+use crate::noise::{quantize_phase, quantize_rssi, PhaseNoise, RssiNoise, IMPINJ_PHASE_STEPS};
+use crate::tags::TagInstance;
+use rand::Rng;
+use std::f64::consts::TAU;
+use tagspin_dsp::Complex;
+use tagspin_geom::{angle, Pose, Vec3};
+
+/// Everything about the world that is not the reader or the tag.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Environment {
+    /// Link-budget parameters.
+    pub link: LinkBudget,
+    /// Planar reflectors (empty = anechoic).
+    pub reflectors: Vec<Reflector>,
+    /// Per-read phase noise.
+    pub phase_noise: PhaseNoise,
+    /// Per-read RSSI noise.
+    pub rssi_noise: RssiNoise,
+    /// Apply Impinj-style 12-bit phase / 0.5 dB RSSI quantization.
+    pub quantized: bool,
+    /// Logistic slope of read success vs link margin, dB. Smaller = sharper
+    /// activation threshold.
+    pub read_margin_slope_db: f64,
+}
+
+impl Environment {
+    /// Noise-free, quantization-free, anechoic — for unit tests that isolate
+    /// geometry.
+    pub fn ideal() -> Self {
+        Environment {
+            link: LinkBudget::default(),
+            reflectors: Vec::new(),
+            phase_noise: PhaseNoise::with_sigma(0.0),
+            rssi_noise: RssiNoise::with_sigma_db(0.0),
+            quantized: false,
+            read_margin_slope_db: 1.5,
+        }
+    }
+
+    /// The paper's assumed conditions: Gaussian phase noise σ = 0.1 rad,
+    /// COTS quantization, no explicit multipath (the office clutter is
+    /// folded into the noise figure, as the paper's model does).
+    pub fn paper_default() -> Self {
+        Environment {
+            link: LinkBudget::default(),
+            reflectors: Vec::new(),
+            phase_noise: PhaseNoise::paper_default(),
+            rssi_noise: RssiNoise::indoor_default(),
+            quantized: true,
+            read_margin_slope_db: 1.5,
+        }
+    }
+
+    /// An office room with four mildly reflective walls — the stress
+    /// environment for robustness experiments and the signal source for the
+    /// PinIt baseline.
+    pub fn office(walls: Vec<Reflector>) -> Self {
+        Environment {
+            reflectors: walls,
+            ..Environment::paper_default()
+        }
+    }
+}
+
+impl Default for Environment {
+    fn default() -> Self {
+        Environment::paper_default()
+    }
+}
+
+/// One physical-layer observation of a tag.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Measurement {
+    /// Reader-reported phase, `[0, 2π)` (noise, θ_div, ψ(ρ), quantization
+    /// all applied).
+    pub phase: f64,
+    /// Reader-reported RSSI, dBm.
+    pub rssi_dbm: f64,
+    /// Forward power at the tag chip, dBm (drives activation).
+    pub tag_power_dbm: f64,
+    /// Tag orientation ρ relative to the reader at this instant, `[0, 2π)`.
+    pub orientation: f64,
+    /// Exact one-way direct-path distance, meters (ground truth, not
+    /// observable by the localizer).
+    pub true_distance: f64,
+}
+
+/// Tag orientation ρ: the angle between the tag's plane (azimuth of the
+/// plane in the horizontal plane) and the line from tag to reader —
+/// the paper's Fig. 5 definition, kept as a full `[0, 2π)` rotation angle to
+/// match the 0–360° x-axis of Fig. 11(a).
+#[inline]
+pub fn orientation_to_reader(tag_pos: Vec3, plane_azimuth: f64, reader_pos: Vec3) -> f64 {
+    let bearing = (reader_pos - tag_pos).azimuth();
+    angle::wrap_tau(plane_azimuth - bearing)
+}
+
+/// Normalized one-way field phasor: direct path has unit amplitude; each
+/// reflection contributes `(Γ · d_direct/d_k) · e^{−j2πd_k/λ}`.
+fn field_phasor(a: Vec3, b: Vec3, reflectors: &[Reflector], lambda: f64) -> Complex {
+    let paths = one_way_paths(a, b, reflectors);
+    let d0 = paths[0].length.max(1e-6);
+    paths
+        .iter()
+        .map(|p| {
+            let rel_amp = p.amplitude * d0 / p.length.max(1e-6);
+            Complex::from_polar(rel_amp, -TAU * p.length / lambda)
+        })
+        .sum()
+}
+
+/// Simulate one read attempt's physical observables.
+///
+/// `freq_hz` is the carrier; `plane_azimuth` the azimuth of the tag's plane.
+/// The returned measurement is what a successful read would report; whether
+/// the read *succeeds* is decided separately by [`read_probability`] (the
+/// EPC layer rolls the dice so it can also model collisions).
+#[allow(clippy::too_many_arguments)] // one parameter per physical element of the link
+pub fn measure<R: Rng + ?Sized>(
+    env: &Environment,
+    reader_pose: Pose,
+    antenna: &ReaderAntenna,
+    tag: &TagInstance,
+    tag_pos: Vec3,
+    plane_azimuth: f64,
+    freq_hz: f64,
+    rng: &mut R,
+) -> Measurement {
+    let lambda = crate::constants::wavelength(freq_hz);
+    let d = reader_pose.position.distance(tag_pos);
+    let rho = orientation_to_reader(tag_pos, plane_azimuth, reader_pose.position);
+
+    // One-way field including multipath; round trip squares it (reciprocal).
+    let f = field_phasor(reader_pose.position, tag_pos, &env.reflectors, lambda);
+    let h = f * f;
+
+    // Gains toward each other.
+    let g_reader = antenna.gain_dbi(reader_pose.off_boresight(tag_pos));
+    let g_tag = tag.gain.gain_dbi(rho);
+
+    // Powers on the direct-path budget, adjusted by the multipath factor
+    // and by the polarization mismatch relative to the budget's built-in
+    // circular 3 dB (the tag's orientation ρ stands in for its dipole tilt
+    // in the transverse plane — exact for broadside geometry).
+    let pol_delta_db = antenna.polarization.mismatch_loss_db(rho)
+        - crate::polarization::Polarization::Circular.mismatch_loss_db(0.0);
+    let mp_fwd_db = 20.0 * f.abs().max(1e-9).log10();
+    let mp_rt_db = 20.0 * h.abs().max(1e-9).log10();
+    let tag_power_dbm =
+        env.link.tag_received_dbm(d, freq_hz, g_reader, g_tag) + mp_fwd_db - pol_delta_db;
+    let mut rssi_dbm = env.link.reader_received_dbm(d, freq_hz, g_reader, g_tag) + mp_rt_db
+        - 2.0 * pol_delta_db;
+
+    // Phase: propagation (−arg h) + hardware diversity + orientation effect.
+    let theta_div = antenna.phase_offset + tag.phase_offset;
+    let raw = (-h.arg()) + theta_div + tag.orientation_phase.eval(rho);
+    let mut phase = env.phase_noise.apply(raw, rng);
+    rssi_dbm = env.rssi_noise.apply(rssi_dbm, rng);
+    if env.quantized {
+        phase = quantize_phase(phase, IMPINJ_PHASE_STEPS);
+        rssi_dbm = quantize_rssi(rssi_dbm);
+    }
+
+    Measurement {
+        phase,
+        rssi_dbm,
+        tag_power_dbm,
+        orientation: rho,
+        true_distance: d,
+    }
+}
+
+/// Probability that a read attempt succeeds, given the tag-side power.
+///
+/// Logistic in the link margin: ≈ 50% at the sensitivity threshold, ≈ 95% at
+/// +4.4 dB margin (for the default 1.5 dB slope). This is what creates the
+/// paper's observation that sampling density peaks when the tag faces the
+/// reader (ρ near π/2 + kπ) and thins out in between (segments A/C vs B of
+/// Fig. 4b).
+pub fn read_probability(env: &Environment, tag: &TagInstance, tag_power_dbm: f64) -> f64 {
+    let margin = tag_power_dbm - tag.sensitivity_dbm;
+    1.0 / (1.0 + (-margin / env.read_margin_slope_db).exp())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constants::DEFAULT_CARRIER_HZ;
+    use crate::phase::round_trip_phase;
+    use crate::tags::TagModel;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use tagspin_geom::Vec2;
+
+    fn ideal_setup() -> (Environment, Pose, ReaderAntenna, TagInstance) {
+        let env = Environment::ideal();
+        let reader = Pose::facing_toward(Vec3::new(2.0, 0.0, 0.0), Vec3::ZERO);
+        let antenna = ReaderAntenna::typical(1);
+        let tag = TagInstance::ideal(TagModel::DEFAULT, 1);
+        (env, reader, antenna, tag)
+    }
+
+    #[test]
+    fn ideal_phase_matches_eqn1() {
+        let (env, reader, antenna, tag) = ideal_setup();
+        let mut rng = StdRng::seed_from_u64(0);
+        for i in 0..20 {
+            let pos = Vec3::new(i as f64 * 0.05 - 0.5, 0.3, 0.0);
+            let m = measure(
+                &env,
+                reader,
+                &antenna,
+                &tag,
+                pos,
+                0.0,
+                DEFAULT_CARRIER_HZ,
+                &mut rng,
+            );
+            let expect =
+                round_trip_phase(reader.position.distance(pos), DEFAULT_CARRIER_HZ, 0.0);
+            assert!(
+                angle::separation(m.phase, expect) < 1e-9,
+                "i={i} got {} want {}",
+                m.phase,
+                expect
+            );
+            assert!((m.true_distance - reader.position.distance(pos)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn diversity_and_orientation_shift_phase() {
+        let (env, reader, mut antenna, mut tag) = ideal_setup();
+        let mut rng = StdRng::seed_from_u64(0);
+        let pos = Vec3::new(0.0, 0.5, 0.0);
+        let base = measure(
+            &env,
+            reader,
+            &antenna,
+            &tag,
+            pos,
+            0.0,
+            DEFAULT_CARRIER_HZ,
+            &mut rng,
+        );
+        antenna.phase_offset = 1.0;
+        tag.phase_offset = 0.5;
+        let shifted = measure(
+            &env,
+            reader,
+            &antenna,
+            &tag,
+            pos,
+            0.0,
+            DEFAULT_CARRIER_HZ,
+            &mut rng,
+        );
+        let d = angle::diff(shifted.phase, base.phase);
+        assert!((d - 1.5).abs() < 1e-9, "d = {d}");
+    }
+
+    #[test]
+    fn orientation_angle_geometry() {
+        // Reader due east of the tag → bearing 0; plane azimuth π/2 → ρ=π/2.
+        let rho = orientation_to_reader(
+            Vec3::ZERO,
+            std::f64::consts::FRAC_PI_2,
+            Vec3::new(1.0, 0.0, 0.0),
+        );
+        assert!((rho - std::f64::consts::FRAC_PI_2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rssi_decreases_with_distance() {
+        let (env, _, antenna, tag) = ideal_setup();
+        let mut rng = StdRng::seed_from_u64(0);
+        let reader = Pose::facing_toward(Vec3::new(5.0, 0.0, 0.0), Vec3::ZERO);
+        let near = measure(
+            &env,
+            reader,
+            &antenna,
+            &tag,
+            Vec3::new(3.0, 0.0, 0.0),
+            std::f64::consts::FRAC_PI_2,
+            DEFAULT_CARRIER_HZ,
+            &mut rng,
+        );
+        let far = measure(
+            &env,
+            reader,
+            &antenna,
+            &tag,
+            Vec3::ZERO,
+            std::f64::consts::FRAC_PI_2,
+            DEFAULT_CARRIER_HZ,
+            &mut rng,
+        );
+        assert!(near.rssi_dbm > far.rssi_dbm);
+        assert!(near.tag_power_dbm > far.tag_power_dbm);
+    }
+
+    #[test]
+    fn read_probability_tracks_orientation() {
+        // Tag edge-on (ρ=0) must be read much less often than face-on
+        // (ρ=π/2) at the same range — the paper's sampling-density effect.
+        let env = Environment::paper_default();
+        let reader = Pose::facing_toward(Vec3::new(3.0, 0.0, 0.0), Vec3::ZERO);
+        let antenna = ReaderAntenna::typical(1);
+        let tag = TagInstance::ideal(TagModel::DEFAULT, 1);
+        let mut rng = StdRng::seed_from_u64(0);
+        let face_on = measure(
+            &env,
+            reader,
+            &antenna,
+            &tag,
+            Vec3::ZERO,
+            std::f64::consts::FRAC_PI_2,
+            DEFAULT_CARRIER_HZ,
+            &mut rng,
+        );
+        let edge_on = measure(
+            &env,
+            reader,
+            &antenna,
+            &tag,
+            Vec3::ZERO,
+            0.0,
+            DEFAULT_CARRIER_HZ,
+            &mut rng,
+        );
+        let p_face = read_probability(&env, &tag, face_on.tag_power_dbm);
+        let p_edge = read_probability(&env, &tag, edge_on.tag_power_dbm);
+        assert!(p_face > 0.9, "p_face = {p_face}");
+        assert!(p_edge < p_face, "p_edge = {p_edge} p_face = {p_face}");
+    }
+
+    #[test]
+    fn multipath_perturbs_phase() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let reader = Pose::facing_toward(Vec3::new(2.0, 1.0, 0.0), Vec3::ZERO);
+        let antenna = ReaderAntenna::typical(1);
+        let tag = TagInstance::ideal(TagModel::DEFAULT, 1);
+        let clean = measure(
+            &Environment::ideal(),
+            reader,
+            &antenna,
+            &tag,
+            Vec3::ZERO,
+            0.0,
+            DEFAULT_CARRIER_HZ,
+            &mut rng,
+        );
+        let mut env = Environment::ideal();
+        env.reflectors = crate::multipath::room_walls(Vec2::new(-3.0, -4.0), 6.0, 9.0, 0.4);
+        let dirty = measure(
+            &env,
+            reader,
+            &antenna,
+            &tag,
+            Vec3::ZERO,
+            0.0,
+            DEFAULT_CARRIER_HZ,
+            &mut rng,
+        );
+        assert!(angle::separation(clean.phase, dirty.phase) > 1e-4);
+    }
+
+    #[test]
+    fn quantization_snaps_to_grid() {
+        let mut env = Environment::ideal();
+        env.quantized = true;
+        let (_, reader, antenna, tag) = ideal_setup();
+        let mut rng = StdRng::seed_from_u64(0);
+        let m = measure(
+            &env,
+            reader,
+            &antenna,
+            &tag,
+            Vec3::new(0.1, 0.2, 0.0),
+            0.3,
+            DEFAULT_CARRIER_HZ,
+            &mut rng,
+        );
+        let step = TAU / IMPINJ_PHASE_STEPS as f64;
+        let ratio = m.phase / step;
+        assert!((ratio - ratio.round()).abs() < 1e-9);
+        assert_eq!(m.rssi_dbm * 2.0, (m.rssi_dbm * 2.0).round());
+    }
+
+    #[test]
+    fn read_probability_midpoint_at_sensitivity() {
+        let env = Environment::paper_default();
+        let tag = TagInstance::ideal(TagModel::DEFAULT, 1);
+        let p = read_probability(&env, &tag, tag.sensitivity_dbm);
+        assert!((p - 0.5).abs() < 1e-12);
+        assert!(read_probability(&env, &tag, tag.sensitivity_dbm + 10.0) > 0.99);
+        assert!(read_probability(&env, &tag, tag.sensitivity_dbm - 10.0) < 0.01);
+    }
+
+    #[test]
+    fn linear_reader_antenna_nulls_crossed_tags() {
+        // A linearly polarized reader starves tags near the crossed
+        // orientation, unlike the default circular antenna — the reason the
+        // paper uses circular hardware.
+        let env = Environment::ideal();
+        let mut rng = StdRng::seed_from_u64(0);
+        let reader = Pose::facing_toward(Vec3::new(3.0, 0.0, 0.0), Vec3::ZERO);
+        let mut linear = ReaderAntenna::typical(1);
+        linear.polarization = crate::polarization::Polarization::Linear { tilt: 0.0 };
+        let tag = TagInstance::ideal(TagModel::DEFAULT, 1);
+        // ρ = π/2: tag plane faces the reader (gain peak). With tilt 0 the
+        // polarization term cos²(π/2) hits the cross-polar floor.
+        let crossed = measure(
+            &env, reader, &linear, &tag, Vec3::ZERO,
+            std::f64::consts::FRAC_PI_2 + reader.position.azimuth() + std::f64::consts::PI,
+            DEFAULT_CARRIER_HZ, &mut rng,
+        );
+        let circ = measure(
+            &env, reader, &ReaderAntenna::typical(1), &tag, Vec3::ZERO,
+            std::f64::consts::FRAC_PI_2 + reader.position.azimuth() + std::f64::consts::PI,
+            DEFAULT_CARRIER_HZ, &mut rng,
+        );
+        // The crossed linear link is far weaker than the circular one.
+        assert!(
+            crossed.tag_power_dbm < circ.tag_power_dbm - 20.0,
+            "crossed {} vs circular {}",
+            crossed.tag_power_dbm,
+            circ.tag_power_dbm
+        );
+        // And an aligned linear link is ~3 dB stronger than circular.
+        let aligned = measure(
+            &env, reader, &linear, &tag, Vec3::ZERO,
+            reader.position.azimuth() + std::f64::consts::PI,
+            DEFAULT_CARRIER_HZ, &mut rng,
+        );
+        let circ_aligned = measure(
+            &env, reader, &ReaderAntenna::typical(1), &tag, Vec3::ZERO,
+            reader.position.azimuth() + std::f64::consts::PI,
+            DEFAULT_CARRIER_HZ, &mut rng,
+        );
+        assert!(
+            (aligned.tag_power_dbm - circ_aligned.tag_power_dbm - 3.0103).abs() < 0.1,
+            "aligned {} vs circular {}",
+            aligned.tag_power_dbm,
+            circ_aligned.tag_power_dbm
+        );
+    }
+
+    #[test]
+    fn environment_constructors() {
+        assert!(Environment::ideal().reflectors.is_empty());
+        assert!(Environment::paper_default().quantized);
+        let office = Environment::office(crate::multipath::room_walls(
+            Vec2::new(0.0, 0.0),
+            6.0,
+            9.0,
+            0.3,
+        ));
+        assert_eq!(office.reflectors.len(), 4);
+        assert_eq!(Environment::default(), Environment::paper_default());
+    }
+}

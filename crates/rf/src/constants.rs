@@ -1,0 +1,88 @@
+//! Physical constants and the UHF band plan.
+//!
+//! The paper's prototype operates in the Chinese UHF RFID band
+//! (920.5–924.5 MHz, paper Section VI), giving wavelengths of roughly
+//! 32.4–32.6 cm. The band is divided into 16 channels of 250 kHz, matching
+//! the Impinj Speedway channel plan for that region.
+
+/// Speed of light in vacuum, m/s.
+pub const SPEED_OF_LIGHT: f64 = 299_792_458.0;
+
+/// Lower edge of the Chinese UHF RFID band, Hz.
+pub const BAND_LOW_HZ: f64 = 920.5e6;
+
+/// Upper edge of the Chinese UHF RFID band, Hz.
+pub const BAND_HIGH_HZ: f64 = 924.5e6;
+
+/// Channel spacing in the Chinese band, Hz.
+pub const CHANNEL_SPACING_HZ: f64 = 250e3;
+
+/// Number of hopping channels in the Chinese band.
+pub const CHANNEL_COUNT: usize = 16;
+
+/// Default carrier used when hopping is disabled: the band center.
+pub const DEFAULT_CARRIER_HZ: f64 = 922.5e6;
+
+/// Wavelength in meters for a carrier frequency in Hz.
+///
+/// # Panics
+///
+/// Panics when `freq_hz` is not strictly positive.
+///
+/// ```
+/// let lambda = tagspin_rf::constants::wavelength(922.5e6);
+/// assert!((lambda - 0.325).abs() < 1e-3);
+/// ```
+#[inline]
+pub fn wavelength(freq_hz: f64) -> f64 {
+    assert!(freq_hz > 0.0, "frequency must be positive");
+    SPEED_OF_LIGHT / freq_hz
+}
+
+/// Center frequency of channel `index` (0-based) in the Chinese band.
+///
+/// Channel 0 sits half a spacing above the band edge, as in the Impinj plan.
+///
+/// # Panics
+///
+/// Panics when `index >= CHANNEL_COUNT`.
+#[inline]
+pub fn channel_frequency(index: usize) -> f64 {
+    assert!(index < CHANNEL_COUNT, "channel index out of range");
+    BAND_LOW_HZ + CHANNEL_SPACING_HZ * (index as f64 + 0.5)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn band_wavelengths_match_paper() {
+        // Paper: "the wavelength ranges from 32.4cm to 32.57cm" (OCR-garbled;
+        // the physical range for 920.5–924.5 MHz).
+        let lo = wavelength(BAND_HIGH_HZ);
+        let hi = wavelength(BAND_LOW_HZ);
+        assert!(lo > 0.3242 && lo < 0.3245, "lo = {lo}");
+        assert!(hi > 0.3255 && hi < 0.3258, "hi = {hi}");
+    }
+
+    #[test]
+    fn channels_cover_band() {
+        let first = channel_frequency(0);
+        let last = channel_frequency(CHANNEL_COUNT - 1);
+        assert!(first > BAND_LOW_HZ && last < BAND_HIGH_HZ);
+        assert!((last - first - (CHANNEL_COUNT - 1) as f64 * CHANNEL_SPACING_HZ).abs() < 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn channel_out_of_range_panics() {
+        let _ = channel_frequency(CHANNEL_COUNT);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn wavelength_rejects_zero() {
+        let _ = wavelength(0.0);
+    }
+}

@@ -1,0 +1,188 @@
+//! Propagation medium: path loss and link budget.
+//!
+//! Backscatter links traverse the channel twice, so received power at the
+//! reader scales with the *fourth* power of 1/distance in free space. The
+//! simulator supports free-space and log-distance (indoor) one-way models;
+//! the round trip composes two one-way losses.
+
+use crate::constants::wavelength;
+use serde::{Deserialize, Serialize};
+
+/// One-way path loss model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Default)]
+pub enum PathLoss {
+    /// Free-space (Friis) propagation.
+    #[default]
+    FreeSpace,
+    /// Log-distance with exponent `n` relative to a 1 m free-space
+    /// reference — the standard indoor model; `n ≈ 1.8–2.2` for open
+    /// office line-of-sight.
+    LogDistance {
+        /// Path-loss exponent.
+        exponent: f64,
+    },
+}
+
+
+impl PathLoss {
+    /// One-way loss in dB over `d_m` meters at `freq_hz`.
+    ///
+    /// Distances below 1 cm are clamped to avoid the near-field singularity
+    /// (the models are far-field anyway).
+    pub fn loss_db(&self, d_m: f64, freq_hz: f64) -> f64 {
+        let d = d_m.max(0.01);
+        let lambda = wavelength(freq_hz);
+        let fspl_1m = 20.0 * (4.0 * std::f64::consts::PI / lambda).log10();
+        match *self {
+            PathLoss::FreeSpace => fspl_1m + 20.0 * d.log10(),
+            PathLoss::LogDistance { exponent } => fspl_1m + 10.0 * exponent * d.log10(),
+        }
+    }
+}
+
+/// Static link-budget parameters for a reader↔tag pair.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinkBudget {
+    /// Reader conducted transmit power, dBm (China limit ≈ 33 dBm ERP;
+    /// Impinj default 32.5 dBm conducted max, 30 dBm typical).
+    pub tx_power_dbm: f64,
+    /// Backscatter modulation loss, dB (power lost converting CW to a
+    /// modulated reply; ≈ 5 dB typical).
+    pub modulation_loss_db: f64,
+    /// Polarization mismatch, dB (circular reader → linear tag: 3 dB).
+    pub polarization_loss_db: f64,
+    /// One-way path loss model.
+    pub path_loss: PathLoss,
+}
+
+impl Default for LinkBudget {
+    fn default() -> Self {
+        LinkBudget {
+            tx_power_dbm: 30.0,
+            modulation_loss_db: 5.0,
+            polarization_loss_db: 3.0,
+            path_loss: PathLoss::FreeSpace,
+        }
+    }
+}
+
+impl LinkBudget {
+    /// Forward-link power arriving at the tag's chip, dBm.
+    ///
+    /// `reader_gain_dbi`/`tag_gain_dbi` are the pattern gains toward each
+    /// other for this geometry.
+    pub fn tag_received_dbm(
+        &self,
+        d_m: f64,
+        freq_hz: f64,
+        reader_gain_dbi: f64,
+        tag_gain_dbi: f64,
+    ) -> f64 {
+        self.tx_power_dbm + reader_gain_dbi + tag_gain_dbi
+            - self.path_loss.loss_db(d_m, freq_hz)
+            - self.polarization_loss_db
+    }
+
+    /// Backscatter power arriving back at the reader, dBm.
+    pub fn reader_received_dbm(
+        &self,
+        d_m: f64,
+        freq_hz: f64,
+        reader_gain_dbi: f64,
+        tag_gain_dbi: f64,
+    ) -> f64 {
+        self.tag_received_dbm(d_m, freq_hz, reader_gain_dbi, tag_gain_dbi)
+            - self.modulation_loss_db
+            + tag_gain_dbi
+            + reader_gain_dbi
+            - self.path_loss.loss_db(d_m, freq_hz)
+    }
+}
+
+/// Convert dBm to milliwatts.
+#[inline]
+pub fn dbm_to_mw(dbm: f64) -> f64 {
+    10f64.powf(dbm / 10.0)
+}
+
+/// Convert milliwatts to dBm.
+///
+/// # Panics
+///
+/// Panics when `mw` is not strictly positive.
+#[inline]
+pub fn mw_to_dbm(mw: f64) -> f64 {
+    assert!(mw > 0.0, "power must be positive");
+    10.0 * mw.log10()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constants::DEFAULT_CARRIER_HZ;
+
+    #[test]
+    fn free_space_reference_value() {
+        // FSPL at 1 m, 922.5 MHz ≈ 31.8 dB.
+        let l = PathLoss::FreeSpace.loss_db(1.0, DEFAULT_CARRIER_HZ);
+        assert!((l - 31.8).abs() < 0.2, "l = {l}");
+        // +20 dB per decade.
+        let l10 = PathLoss::FreeSpace.loss_db(10.0, DEFAULT_CARRIER_HZ);
+        assert!((l10 - l - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn log_distance_exponent() {
+        let m = PathLoss::LogDistance { exponent: 3.0 };
+        let l1 = m.loss_db(1.0, DEFAULT_CARRIER_HZ);
+        let l10 = m.loss_db(10.0, DEFAULT_CARRIER_HZ);
+        assert!((l10 - l1 - 30.0).abs() < 1e-9);
+        // Matches free space at the 1 m anchor.
+        assert!((l1 - PathLoss::FreeSpace.loss_db(1.0, DEFAULT_CARRIER_HZ)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn near_field_clamped() {
+        let a = PathLoss::FreeSpace.loss_db(0.0, DEFAULT_CARRIER_HZ);
+        let b = PathLoss::FreeSpace.loss_db(0.005, DEFAULT_CARRIER_HZ);
+        assert_eq!(a, b);
+        assert!(a.is_finite());
+    }
+
+    #[test]
+    fn tag_power_activates_at_paper_ranges() {
+        // At 2–3 m with typical gains a Higgs-3 (-18 dBm) tag must activate.
+        let lb = LinkBudget::default();
+        for d in [1.0, 2.0, 3.0] {
+            let p = lb.tag_received_dbm(d, DEFAULT_CARRIER_HZ, 8.0, 2.0);
+            assert!(p > -18.0, "p({d} m) = {p} dBm");
+        }
+        // But not at 50 m.
+        assert!(lb.tag_received_dbm(50.0, DEFAULT_CARRIER_HZ, 8.0, 2.0) < -18.0);
+    }
+
+    #[test]
+    fn backscatter_is_r4() {
+        let lb = LinkBudget::default();
+        let p2 = lb.reader_received_dbm(2.0, DEFAULT_CARRIER_HZ, 8.0, 2.0);
+        let p4 = lb.reader_received_dbm(4.0, DEFAULT_CARRIER_HZ, 8.0, 2.0);
+        // Doubling distance costs 40·log10(2) ≈ 12.04 dB round-trip in
+        // free space (r⁻⁴ power law).
+        assert!((p2 - p4 - 40.0 * 2f64.log10()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dbm_mw_roundtrip() {
+        for dbm in [-60.0, -18.0, 0.0, 30.0] {
+            assert!((mw_to_dbm(dbm_to_mw(dbm)) - dbm).abs() < 1e-9);
+        }
+        assert_eq!(dbm_to_mw(0.0), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn mw_to_dbm_rejects_zero() {
+        let _ = mw_to_dbm(0.0);
+    }
+}

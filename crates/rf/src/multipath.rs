@@ -1,0 +1,211 @@
+//! Multipath: planar reflectors via the image method.
+//!
+//! The paper's office-room evaluation inevitably contains multipath; the
+//! enhanced profile `R(φ)` is motivated partly by robustness "especially in
+//! strong noise environment". The simulator models specular reflections off
+//! vertical planar surfaces (walls, metal cabinets) using image sources: a
+//! path reader→wall→tag has length `|image(reader) − tag|` where the image
+//! is the reader mirrored across the wall plane.
+//!
+//! The PinIt baseline additionally *relies* on multipath profiles as
+//! location fingerprints, so reflectors here serve both as an error source
+//! for Tagspin and as signal for PinIt.
+
+use serde::{Deserialize, Serialize};
+use tagspin_geom::{Vec2, Vec3};
+
+/// A vertical planar reflector (infinite height), defined by a 2D line in
+/// the horizontal plane.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Reflector {
+    /// A point on the wall line (meters, horizontal plane).
+    pub point: Vec2,
+    /// Unit normal of the wall, pointing into the room.
+    pub normal: Vec2,
+    /// Amplitude reflection coefficient magnitude in (0, 1].
+    pub reflectivity: f64,
+}
+
+impl Reflector {
+    /// Create a reflector; the normal is normalized for the caller.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `normal` is (near-)zero or `reflectivity` outside (0, 1].
+    pub fn new(point: Vec2, normal: Vec2, reflectivity: f64) -> Self {
+        let normal = normal
+            .normalized()
+            .expect("reflector normal must be nonzero");
+        assert!(
+            reflectivity > 0.0 && reflectivity <= 1.0,
+            "reflectivity must be in (0, 1]"
+        );
+        Reflector {
+            point,
+            normal,
+            reflectivity,
+        }
+    }
+
+    /// Mirror a 3D point across this (vertical) wall plane.
+    ///
+    /// Height is preserved: the wall is vertical, so the image only moves in
+    /// the horizontal plane.
+    pub fn image(&self, p: Vec3) -> Vec3 {
+        let d = (p.xy() - self.point).dot(self.normal);
+        let mirrored = p.xy() - self.normal * (2.0 * d);
+        mirrored.with_z(p.z)
+    }
+
+    /// Signed distance of a point from the wall plane (positive on the
+    /// normal side).
+    pub fn signed_distance(&self, p: Vec3) -> f64 {
+        (p.xy() - self.point).dot(self.normal)
+    }
+}
+
+/// A one-way propagation path from reader to tag (or back — reciprocal).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PropagationPath {
+    /// Geometric length, meters.
+    pub length: f64,
+    /// Amplitude scale relative to a direct path of the same length
+    /// (product of reflection coefficients; 1.0 for the direct path).
+    pub amplitude: f64,
+    /// Number of bounces (0 = direct).
+    pub bounces: u8,
+}
+
+/// Enumerate one-way paths between two points: the direct path plus one
+/// single-bounce path per reflector.
+///
+/// Higher-order bounces are negligible at UHF indoor reflectivities
+/// (Γ² ≤ 0.25 of an already attenuated path) and are omitted.
+pub fn one_way_paths(a: Vec3, b: Vec3, reflectors: &[Reflector]) -> Vec<PropagationPath> {
+    let mut paths = Vec::with_capacity(1 + reflectors.len());
+    paths.push(PropagationPath {
+        length: a.distance(b),
+        amplitude: 1.0,
+        bounces: 0,
+    });
+    for r in reflectors {
+        // Valid specular reflection requires both endpoints on the same
+        // (illuminated) side of the wall.
+        let sa = r.signed_distance(a);
+        let sb = r.signed_distance(b);
+        if sa <= 0.0 || sb <= 0.0 {
+            continue;
+        }
+        let img = r.image(a);
+        paths.push(PropagationPath {
+            length: img.distance(b),
+            amplitude: r.reflectivity,
+            bounces: 1,
+        });
+    }
+    paths
+}
+
+/// A standard office-room reflector set: four walls of a `w × l` room whose
+/// south-west corner is at `origin`, with mild reflectivity.
+///
+/// The paper's room is 600 cm × 900 cm (Section VII, OCR "9cm" ≈ 6 m × 9 m).
+pub fn room_walls(origin: Vec2, width: f64, length: f64, reflectivity: f64) -> Vec<Reflector> {
+    vec![
+        // West wall, normal +x.
+        Reflector::new(origin, Vec2::new(1.0, 0.0), reflectivity),
+        // East wall, normal −x.
+        Reflector::new(
+            origin + Vec2::new(width, 0.0),
+            Vec2::new(-1.0, 0.0),
+            reflectivity,
+        ),
+        // South wall, normal +y.
+        Reflector::new(origin, Vec2::new(0.0, 1.0), reflectivity),
+        // North wall, normal −y.
+        Reflector::new(
+            origin + Vec2::new(0.0, length),
+            Vec2::new(0.0, -1.0),
+            reflectivity,
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn image_reflects_across_wall() {
+        // Wall x = 2, normal -x (room on the left).
+        let r = Reflector::new(Vec2::new(2.0, 0.0), Vec2::new(-1.0, 0.0), 0.4);
+        let img = r.image(Vec3::new(0.5, 1.0, 0.7));
+        assert!((img - Vec3::new(3.5, 1.0, 0.7)).norm() < 1e-12);
+        // Mirroring twice returns the original.
+        assert!((r.image(img) - Vec3::new(0.5, 1.0, 0.7)).norm() < 1e-12);
+    }
+
+    #[test]
+    fn direct_path_always_present() {
+        let paths = one_way_paths(Vec3::ZERO, Vec3::new(3.0, 4.0, 0.0), &[]);
+        assert_eq!(paths.len(), 1);
+        assert_eq!(paths[0].length, 5.0);
+        assert_eq!(paths[0].amplitude, 1.0);
+        assert_eq!(paths[0].bounces, 0);
+    }
+
+    #[test]
+    fn single_bounce_geometry() {
+        // Points at (0,1) and (2,1); wall y = 0 with normal +y.
+        // Reflected path length = |(0,-1) − (2,1)| = √8.
+        let wall = Reflector::new(Vec2::ZERO, Vec2::new(0.0, 1.0), 0.5);
+        let paths = one_way_paths(
+            Vec3::new(0.0, 1.0, 0.0),
+            Vec3::new(2.0, 1.0, 0.0),
+            &[wall],
+        );
+        assert_eq!(paths.len(), 2);
+        assert!((paths[1].length - 8f64.sqrt()).abs() < 1e-12);
+        assert_eq!(paths[1].amplitude, 0.5);
+        assert_eq!(paths[1].bounces, 1);
+        // Reflection path is longer than direct.
+        assert!(paths[1].length > paths[0].length);
+    }
+
+    #[test]
+    fn behind_wall_no_reflection() {
+        let wall = Reflector::new(Vec2::ZERO, Vec2::new(0.0, 1.0), 0.5);
+        // One endpoint behind the wall → no specular path.
+        let paths = one_way_paths(
+            Vec3::new(0.0, -1.0, 0.0),
+            Vec3::new(2.0, 1.0, 0.0),
+            &[wall],
+        );
+        assert_eq!(paths.len(), 1);
+    }
+
+    #[test]
+    fn room_walls_surround_interior() {
+        let walls = room_walls(Vec2::new(-3.0, -4.5), 6.0, 9.0, 0.3);
+        assert_eq!(walls.len(), 4);
+        let interior = Vec3::new(0.0, 0.0, 0.5);
+        for w in &walls {
+            assert!(w.signed_distance(interior) > 0.0);
+        }
+        // All four walls give a bounce path for interior points.
+        let paths = one_way_paths(interior, Vec3::new(1.0, 1.0, 0.5), &walls);
+        assert_eq!(paths.len(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "reflectivity")]
+    fn bad_reflectivity_panics() {
+        let _ = Reflector::new(Vec2::ZERO, Vec2::new(1.0, 0.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "normal")]
+    fn zero_normal_panics() {
+        let _ = Reflector::new(Vec2::ZERO, Vec2::ZERO, 0.5);
+    }
+}

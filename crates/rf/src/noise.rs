@@ -1,0 +1,213 @@
+//! Measurement noise and quantization models.
+//!
+//! The paper (citing Tagoram) models per-read phase error as zero-mean
+//! Gaussian with σ = 0.1 rad; the enhanced power profile `R(φ)` is designed
+//! around exactly this statistic. COTS readers additionally quantize: the
+//! Impinj Speedway reports phase as a 12-bit angle (4096 steps over 2π).
+
+use rand::Rng;
+use std::f64::consts::TAU;
+
+/// Standard deviation of per-read phase noise assumed by the paper, radians.
+pub const PAPER_PHASE_SIGMA: f64 = 0.1;
+
+/// Impinj LLRP `RFPhaseAngle` resolution: 2π / 4096.
+pub const IMPINJ_PHASE_STEPS: u32 = 4096;
+
+/// Additive white Gaussian phase noise.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PhaseNoise {
+    sigma: f64,
+}
+
+impl PhaseNoise {
+    /// Noise with the paper's σ = 0.1 rad.
+    pub fn paper_default() -> Self {
+        PhaseNoise {
+            sigma: PAPER_PHASE_SIGMA,
+        }
+    }
+
+    /// Noise with a custom σ (0 disables noise).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `sigma` is negative or non-finite.
+    pub fn with_sigma(sigma: f64) -> Self {
+        assert!(sigma.is_finite() && sigma >= 0.0, "sigma must be finite and >= 0");
+        PhaseNoise { sigma }
+    }
+
+    /// The configured σ in radians.
+    pub fn sigma(&self) -> f64 {
+        self.sigma
+    }
+
+    /// Apply noise to a phase, re-wrapping to `[0, 2π)`.
+    pub fn apply<R: Rng + ?Sized>(&self, phase: f64, rng: &mut R) -> f64 {
+        if self.sigma == 0.0 {
+            return phase.rem_euclid(TAU);
+        }
+        (phase + gaussian(rng) * self.sigma).rem_euclid(TAU)
+    }
+}
+
+/// Standard normal sample via Box–Muller (keeps us off `rand_distr`, which is
+/// outside the approved dependency set).
+pub fn gaussian<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    loop {
+        let u1: f64 = rng.gen::<f64>();
+        if u1 <= f64::MIN_POSITIVE {
+            continue;
+        }
+        let u2: f64 = rng.gen::<f64>();
+        return (-2.0 * u1.ln()).sqrt() * (TAU * u2).cos();
+    }
+}
+
+/// Quantize a phase to `steps` levels over `[0, 2π)`, reader-style.
+///
+/// # Panics
+///
+/// Panics when `steps == 0`.
+///
+/// ```
+/// use tagspin_rf::noise::quantize_phase;
+/// let q = quantize_phase(1.0, 4096);
+/// assert!((q - 1.0).abs() < std::f64::consts::TAU / 4096.0);
+/// ```
+pub fn quantize_phase(phase: f64, steps: u32) -> f64 {
+    assert!(steps > 0, "steps must be positive");
+    let w = phase.rem_euclid(TAU);
+    let step = TAU / steps as f64;
+    let idx = (w / step).round() as u64 % steps as u64;
+    idx as f64 * step
+}
+
+/// RSSI noise: log-normal shadowing in dB.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RssiNoise {
+    sigma_db: f64,
+}
+
+impl RssiNoise {
+    /// Typical indoor per-read RSSI jitter (≈1 dB).
+    pub fn indoor_default() -> Self {
+        RssiNoise { sigma_db: 1.0 }
+    }
+
+    /// Custom σ in dB (0 disables noise).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `sigma_db` is negative or non-finite.
+    pub fn with_sigma_db(sigma_db: f64) -> Self {
+        assert!(
+            sigma_db.is_finite() && sigma_db >= 0.0,
+            "sigma must be finite and >= 0"
+        );
+        RssiNoise { sigma_db }
+    }
+
+    /// The configured σ in dB.
+    pub fn sigma_db(&self) -> f64 {
+        self.sigma_db
+    }
+
+    /// Apply noise to a power level in dBm.
+    pub fn apply<R: Rng + ?Sized>(&self, dbm: f64, rng: &mut R) -> f64 {
+        if self.sigma_db == 0.0 {
+            dbm
+        } else {
+            dbm + gaussian(rng) * self.sigma_db
+        }
+    }
+}
+
+/// Quantize RSSI to the 0.5 dB steps typical of LLRP `PeakRSSI` extensions.
+pub fn quantize_rssi(dbm: f64) -> f64 {
+    (dbm * 2.0).round() / 2.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn gaussian_moments() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 200_000;
+        let samples: Vec<f64> = (0..n).map(|_| gaussian(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.01, "mean = {mean}");
+        assert!((var - 1.0).abs() < 0.02, "var = {var}");
+    }
+
+    #[test]
+    fn phase_noise_statistics() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let noise = PhaseNoise::paper_default();
+        let base = 3.0;
+        let n = 50_000;
+        let devs: Vec<f64> = (0..n)
+            .map(|_| {
+                let p = noise.apply(base, &mut rng);
+                // wrap difference to (-π, π]
+                let mut d = (p - base).rem_euclid(TAU);
+                if d > std::f64::consts::PI {
+                    d -= TAU;
+                }
+                d
+            })
+            .collect();
+        let mean = devs.iter().sum::<f64>() / n as f64;
+        let std = (devs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64).sqrt();
+        assert!(mean.abs() < 0.005);
+        assert!((std - PAPER_PHASE_SIGMA).abs() < 0.005, "std = {std}");
+    }
+
+    #[test]
+    fn zero_sigma_is_deterministic() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let noise = PhaseNoise::with_sigma(0.0);
+        assert_eq!(noise.apply(1.25, &mut rng), 1.25);
+        assert_eq!(noise.sigma(), 0.0);
+        let rn = RssiNoise::with_sigma_db(0.0);
+        assert_eq!(rn.apply(-60.0, &mut rng), -60.0);
+    }
+
+    #[test]
+    fn quantize_phase_grid() {
+        let q = quantize_phase(0.0, IMPINJ_PHASE_STEPS);
+        assert_eq!(q, 0.0);
+        // Values snap to the nearest step and stay in range.
+        for i in 0..100 {
+            let p = i as f64 * 0.09;
+            let q = quantize_phase(p, IMPINJ_PHASE_STEPS);
+            assert!((0.0..TAU).contains(&q));
+            assert!((q - p.rem_euclid(TAU)).abs() <= TAU / IMPINJ_PHASE_STEPS as f64);
+        }
+    }
+
+    #[test]
+    fn quantize_phase_wraps_top_step() {
+        // A phase within half a step below 2π rounds to step 4096 ≡ 0.
+        let p = TAU - 1e-6;
+        assert_eq!(quantize_phase(p, IMPINJ_PHASE_STEPS), 0.0);
+    }
+
+    #[test]
+    fn quantize_rssi_steps() {
+        assert_eq!(quantize_rssi(-60.26), -60.5);
+        assert_eq!(quantize_rssi(-60.24), -60.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "sigma")]
+    fn negative_sigma_panics() {
+        let _ = PhaseNoise::with_sigma(-0.1);
+    }
+}

@@ -1,0 +1,130 @@
+//! Round-trip backscatter phase model.
+//!
+//! Eqn 1 of the paper: the reader-reported phase for a tag at distance `d` is
+//!
+//! ```text
+//! θ = ( (2π/λ)·2d + θ_div ) mod 2π
+//! ```
+//!
+//! where `θ_div` is the *diversity term* — a constant offset contributed by
+//! the reader TX/RX chains, the cable, the antenna and the tag's reflection
+//! characteristic. The paper treats `θ_div` as constant "under the same macro
+//! environment" and eliminates it by referencing every phase to the first
+//! snapshot (Section IV, Eqn 7).
+
+use crate::constants::wavelength;
+use std::f64::consts::TAU;
+
+/// Ideal (noise-free) round-trip phase for distance `d_m` meters at carrier
+/// `freq_hz`, with diversity offset `theta_div`, wrapped to `[0, 2π)`.
+///
+/// ```
+/// use tagspin_rf::phase::round_trip_phase;
+/// // Half a wavelength of extra one-way distance shifts the round-trip
+/// // phase by a full turn.
+/// let f = 922.5e6;
+/// let lambda = tagspin_rf::constants::wavelength(f);
+/// let a = round_trip_phase(2.0, f, 0.0);
+/// let b = round_trip_phase(2.0 + lambda / 2.0, f, 0.0);
+/// assert!((a - b).abs() < 1e-9 || (a - b).abs() > std::f64::consts::TAU - 1e-9);
+/// ```
+#[inline]
+pub fn round_trip_phase(d_m: f64, freq_hz: f64, theta_div: f64) -> f64 {
+    debug_assert!(d_m >= 0.0, "distance must be non-negative");
+    let lambda = wavelength(freq_hz);
+    (TAU / lambda * 2.0 * d_m + theta_div).rem_euclid(TAU)
+}
+
+/// The phase advance per meter of one-way distance (rad/m): `4π/λ`.
+#[inline]
+pub fn phase_slope(freq_hz: f64) -> f64 {
+    2.0 * TAU / wavelength(freq_hz)
+}
+
+/// Per-device diversity term model.
+///
+/// `θ_div` decomposes into contributions from the reader antenna port and the
+/// tag; the simulator assigns each a random but *fixed* value so experiments
+/// exercise exactly what the paper's reference-snapshot trick must cancel.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DiversityTerm {
+    /// Contribution of the reader antenna + cables, radians.
+    pub reader_offset: f64,
+    /// Contribution of the tag's reflection coefficient, radians.
+    pub tag_offset: f64,
+}
+
+impl DiversityTerm {
+    /// A zero diversity term (ideal hardware).
+    pub const ZERO: DiversityTerm = DiversityTerm {
+        reader_offset: 0.0,
+        tag_offset: 0.0,
+    };
+
+    /// Total offset, wrapped to `[0, 2π)`.
+    #[inline]
+    pub fn total(&self) -> f64 {
+        (self.reader_offset + self.tag_offset).rem_euclid(TAU)
+    }
+}
+
+impl Default for DiversityTerm {
+    fn default() -> Self {
+        DiversityTerm::ZERO
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constants::DEFAULT_CARRIER_HZ;
+
+    #[test]
+    fn phase_is_wrapped() {
+        for i in 0..100 {
+            let d = i as f64 * 0.137;
+            let p = round_trip_phase(d, DEFAULT_CARRIER_HZ, 1.0);
+            assert!((0.0..TAU).contains(&p));
+        }
+    }
+
+    #[test]
+    fn half_wavelength_periodicity() {
+        // Backscatter phase repeats every λ/2 of one-way distance (paper
+        // footnote: "λ/2 with double distance").
+        let lambda = wavelength(DEFAULT_CARRIER_HZ);
+        let a = round_trip_phase(1.0, DEFAULT_CARRIER_HZ, 0.3);
+        let b = round_trip_phase(1.0 + lambda / 2.0, DEFAULT_CARRIER_HZ, 0.3);
+        let d = (a - b).abs();
+        assert!(d < 1e-9 || (TAU - d) < 1e-9, "d = {d}");
+    }
+
+    #[test]
+    fn diversity_shifts_phase() {
+        let a = round_trip_phase(1.5, DEFAULT_CARRIER_HZ, 0.0);
+        let b = round_trip_phase(1.5, DEFAULT_CARRIER_HZ, 0.7);
+        let d = (b - a).rem_euclid(TAU);
+        assert!((d - 0.7).abs() < 1e-9);
+    }
+
+    #[test]
+    fn slope_matches_finite_difference() {
+        let f = DEFAULT_CARRIER_HZ;
+        let eps = 1e-7;
+        let a = round_trip_phase(1.0, f, 0.0);
+        let b = round_trip_phase(1.0 + eps, f, 0.0);
+        let fd = (b - a) / eps;
+        assert!((fd - phase_slope(f)).abs() < 1e-2);
+    }
+
+    #[test]
+    fn diversity_total_wraps() {
+        let d = DiversityTerm {
+            reader_offset: TAU,
+            tag_offset: 1.0,
+        };
+        assert!((d.total() - 1.0).abs() < 1e-12);
+        assert_eq!(DiversityTerm::default(), DiversityTerm::ZERO);
+        assert_eq!(DiversityTerm::ZERO.total(), 0.0);
+    }
+}

@@ -1,0 +1,165 @@
+//! Antenna polarization and the reader↔tag mismatch loss.
+//!
+//! The paper's Yeon antennas are circularly polarized precisely so that tag
+//! orientation does not null the link: a circular wave couples into a linear
+//! tag dipole with a constant 3 dB loss at any rotation angle. A *linearly*
+//! polarized reader would instead suffer Malus-law fading
+//! (`loss = −20·log₁₀|cos Δ|`), nulling tags at 90° misalignment — which is
+//! why the paper's hardware choice matters and what this module lets
+//! experiments quantify.
+//!
+//! The general case is an elliptically polarized reader with axial ratio
+//! `AR` (1 = circular, ∞ = linear) coupling into a linear tag at tilt `Δ`
+//! from the ellipse's major axis:
+//!
+//! ```text
+//! mismatch = (AR²·cos²Δ + sin²Δ) / (AR² + 1)
+//! ```
+//!
+//! which reduces to ½ (−3 dB) for `AR = 1` and to `cos²Δ` for `AR → ∞`.
+
+use serde::{Deserialize, Serialize};
+
+/// Reader-antenna polarization.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Polarization {
+    /// Ideal circular polarization (the paper's Yeon antennas).
+    Circular,
+    /// Linear polarization at `tilt` radians from horizontal in the plane
+    /// transverse to propagation.
+    Linear {
+        /// E-field tilt, radians.
+        tilt: f64,
+    },
+    /// Elliptical polarization: major axis at `tilt`, with the given axial
+    /// ratio in dB (0 dB = circular; ≥ ~20 dB behaves as linear).
+    Elliptical {
+        /// Major-axis tilt, radians.
+        tilt: f64,
+        /// Axial ratio, dB (≥ 0).
+        axial_ratio_db: f64,
+    },
+}
+
+impl Default for Polarization {
+    fn default() -> Self {
+        Polarization::Circular
+    }
+}
+
+impl Polarization {
+    /// Polarization-mismatch *power* fraction in `(0, 1]` when coupling into
+    /// a linear tag antenna tilted `tag_tilt` radians (same transverse
+    /// plane).
+    ///
+    /// A small floor (−30 dB) models the cross-polar leakage of real
+    /// antennas, so a perfectly crossed linear pair is attenuated, not
+    /// erased.
+    pub fn mismatch_fraction(&self, tag_tilt: f64) -> f64 {
+        const FLOOR: f64 = 1e-3; // −30 dB cross-polar leakage
+        let frac = match *self {
+            Polarization::Circular => 0.5,
+            Polarization::Linear { tilt } => {
+                let d = tag_tilt - tilt;
+                d.cos() * d.cos()
+            }
+            Polarization::Elliptical {
+                tilt,
+                axial_ratio_db,
+            } => {
+                let ar = 10f64.powf(axial_ratio_db.max(0.0) / 20.0);
+                let d = tag_tilt - tilt;
+                let (s, c) = d.sin_cos();
+                (ar * ar * c * c + s * s) / (ar * ar + 1.0)
+            }
+        };
+        frac.max(FLOOR)
+    }
+
+    /// Mismatch loss in dB (positive number, e.g. 3.0 for circular→linear).
+    pub fn mismatch_loss_db(&self, tag_tilt: f64) -> f64 {
+        -10.0 * self.mismatch_fraction(tag_tilt).log10()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::{FRAC_PI_2, FRAC_PI_4};
+
+    #[test]
+    fn circular_is_3db_at_any_tilt() {
+        let p = Polarization::Circular;
+        for i in 0..12 {
+            let tilt = i as f64 * 0.5;
+            assert!((p.mismatch_loss_db(tilt) - 3.0103).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn linear_follows_malus() {
+        let p = Polarization::Linear { tilt: 0.0 };
+        assert!((p.mismatch_fraction(0.0) - 1.0).abs() < 1e-12);
+        assert!((p.mismatch_fraction(FRAC_PI_4) - 0.5).abs() < 1e-12);
+        // Crossed: floored at −30 dB rather than −∞.
+        assert!((p.mismatch_loss_db(FRAC_PI_2) - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn elliptical_interpolates() {
+        // AR = 0 dB reduces to circular.
+        let e0 = Polarization::Elliptical {
+            tilt: 0.3,
+            axial_ratio_db: 0.0,
+        };
+        for i in 0..8 {
+            let t = i as f64 * 0.7;
+            assert!((e0.mismatch_fraction(t) - 0.5).abs() < 1e-12);
+        }
+        // Large AR approaches linear.
+        let e_big = Polarization::Elliptical {
+            tilt: 0.0,
+            axial_ratio_db: 60.0,
+        };
+        let lin = Polarization::Linear { tilt: 0.0 };
+        for i in 0..8 {
+            let t = i as f64 * 0.4;
+            assert!(
+                (e_big.mismatch_fraction(t) - lin.mismatch_fraction(t)).abs() < 2e-3,
+                "t = {t}"
+            );
+        }
+        // A realistic 3 dB axial ratio sits between circular and linear.
+        let e3 = Polarization::Elliptical {
+            tilt: 0.0,
+            axial_ratio_db: 3.0,
+        };
+        let aligned = e3.mismatch_fraction(0.0);
+        let crossed = e3.mismatch_fraction(FRAC_PI_2);
+        assert!(aligned > 0.5 && aligned < 1.0);
+        assert!(crossed < 0.5 && crossed > 1e-3);
+    }
+
+    #[test]
+    fn fraction_bounds() {
+        for p in [
+            Polarization::Circular,
+            Polarization::Linear { tilt: 1.0 },
+            Polarization::Elliptical {
+                tilt: 0.2,
+                axial_ratio_db: 6.0,
+            },
+        ] {
+            for i in 0..32 {
+                let t = i as f64 * 0.2;
+                let f = p.mismatch_fraction(t);
+                assert!(f > 0.0 && f <= 1.0, "{p:?} at {t}: {f}");
+            }
+        }
+    }
+
+    #[test]
+    fn default_is_circular() {
+        assert_eq!(Polarization::default(), Polarization::Circular);
+    }
+}

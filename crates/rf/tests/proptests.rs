@@ -1,0 +1,111 @@
+//! Property-based tests for the RF substrate.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tagspin_geom::{angle, Pose, Vec3};
+use tagspin_rf::channel::{measure, orientation_to_reader, Environment};
+use tagspin_rf::constants::{channel_frequency, wavelength, CHANNEL_COUNT};
+use tagspin_rf::medium::{dbm_to_mw, mw_to_dbm, PathLoss};
+use tagspin_rf::noise::quantize_phase;
+use tagspin_rf::phase::round_trip_phase;
+use tagspin_rf::{ReaderAntenna, TagInstance, TagModel};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Round-trip phase is λ/2-periodic and monotone within a half period.
+    #[test]
+    fn phase_periodic_and_wrapped(d in 0.05f64..20.0, ch in 0usize..CHANNEL_COUNT, k in 1u8..8) {
+        let f = channel_frequency(ch);
+        let lambda = wavelength(f);
+        let a = round_trip_phase(d, f, 0.0);
+        prop_assert!((0.0..std::f64::consts::TAU).contains(&a));
+        let b = round_trip_phase(d + k as f64 * lambda / 2.0, f, 0.0);
+        prop_assert!(angle::separation(a, b) < 1e-6);
+    }
+
+    /// Path loss increases with distance for every model.
+    #[test]
+    fn path_loss_monotone(d1 in 0.1f64..20.0, extra in 0.1f64..20.0, n in 1.5f64..4.0) {
+        let f = 922.5e6;
+        for model in [PathLoss::FreeSpace, PathLoss::LogDistance { exponent: n }] {
+            prop_assert!(model.loss_db(d1 + extra, f) > model.loss_db(d1, f));
+        }
+    }
+
+    /// dBm/mW conversions are inverse bijections on the sane range.
+    #[test]
+    fn power_unit_roundtrip(dbm in -120.0f64..40.0) {
+        prop_assert!((mw_to_dbm(dbm_to_mw(dbm)) - dbm).abs() < 1e-9);
+    }
+
+    /// Phase quantization moves a value by at most half a step and is
+    /// idempotent.
+    #[test]
+    fn quantization_contract(phase in -10.0f64..10.0, steps in 2u32..8192) {
+        let q = quantize_phase(phase, steps);
+        let step = std::f64::consts::TAU / steps as f64;
+        prop_assert!(angle::separation(q, phase) <= step / 2.0 + 1e-9);
+        prop_assert!((quantize_phase(q, steps) - q).abs() < 1e-12);
+    }
+
+    /// Reader antenna gain is maximal on boresight and symmetric.
+    #[test]
+    fn antenna_gain_shape(off in -3.14f64..3.14) {
+        let a = ReaderAntenna::typical(1);
+        prop_assert!(a.gain_dbi(off) <= a.gain_dbi(0.0) + 1e-12);
+        prop_assert!((a.gain_dbi(off) - a.gain_dbi(-off)).abs() < 1e-9);
+        prop_assert!(a.gain_dbi(off) >= a.backlobe_dbi - 1e-12);
+    }
+
+    /// Orientation geometry: rotating the tag plane by δ rotates ρ by δ.
+    #[test]
+    fn orientation_equivariant(
+        az in 0.0f64..std::f64::consts::TAU,
+        delta in 0.0f64..std::f64::consts::TAU,
+        rx in -5.0f64..5.0, ry in 0.5f64..5.0,
+    ) {
+        let tag = Vec3::ZERO;
+        let reader = Vec3::new(rx, ry, 0.0);
+        let r0 = orientation_to_reader(tag, az, reader);
+        let r1 = orientation_to_reader(tag, az + delta, reader);
+        prop_assert!(angle::separation(r1, r0 + delta) < 1e-9);
+    }
+
+    /// The ideal-environment measured phase equals the geometric model for
+    /// any placement (no hidden offsets for ideal hardware).
+    #[test]
+    fn ideal_measurement_matches_model(
+        tx in -3.0f64..3.0, ty in -3.0f64..3.0,
+        rx in -3.0f64..3.0, ry in -3.0f64..3.0, rz in 0.0f64..2.0,
+    ) {
+        let tag_pos = Vec3::new(tx, ty, 0.0);
+        let reader_pos = Vec3::new(rx, ry, rz);
+        prop_assume!(tag_pos.distance(reader_pos) > 0.3);
+        let env = Environment::ideal();
+        let mut rng = StdRng::seed_from_u64(0);
+        let m = measure(
+            &env,
+            Pose::facing_toward(reader_pos, tag_pos),
+            &ReaderAntenna::typical(1),
+            &TagInstance::ideal(TagModel::DEFAULT, 1),
+            tag_pos,
+            0.0,
+            922.5e6,
+            &mut rng,
+        );
+        let expect = round_trip_phase(tag_pos.distance(reader_pos), 922.5e6, 0.0);
+        prop_assert!(angle::separation(m.phase, expect) < 1e-9);
+        prop_assert!((m.true_distance - tag_pos.distance(reader_pos)).abs() < 1e-12);
+    }
+
+    /// Manufactured tags are deterministic in their seed and vary across
+    /// seeds.
+    #[test]
+    fn manufacture_determinism(seed in proptest::num::u64::ANY) {
+        let a = TagInstance::manufacture(TagModel::DEFAULT, 1, &mut StdRng::seed_from_u64(seed));
+        let b = TagInstance::manufacture(TagModel::DEFAULT, 1, &mut StdRng::seed_from_u64(seed));
+        prop_assert_eq!(a, b);
+    }
+}

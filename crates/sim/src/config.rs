@@ -1,0 +1,351 @@
+//! Deployment configuration files for the `tagspin` CLI.
+//!
+//! A deliberately simple line-oriented text format (the approved dependency
+//! set has no JSON/TOML parser, and a deployment config is a dozen lines):
+//!
+//! ```text
+//! # tagspin deployment
+//! tag 1 center -0.3 0.0 0.0
+//! tag 2 center 0.3 0.0 0.0 radius 0.10 omega 0.5 angle0 0.0
+//! tag 3 center 0.0 0.4 0.0 vertical 1.5708
+//! profile hybrid            # traditional | enhanced | hybrid
+//! references 16
+//! azimuth-steps 720
+//! polar-steps 91
+//! sigma 0.1
+//! min-snapshots 30
+//! orientation-calibration on
+//! z-feasible 0.914 3.0
+//! ```
+//!
+//! Unknown keys are rejected (typos should not pass silently); `#` starts a
+//! comment; blank lines are ignored.
+
+use std::fmt;
+use tagspin_core::server::{LocalizationServer, PipelineConfig};
+use tagspin_core::spectrum::ProfileKind;
+use tagspin_core::spinning::{DiskConfig, DiskPlane};
+use tagspin_geom::Vec3;
+
+/// A parsed deployment file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Deployment {
+    /// Registered spinning tags: `(epc, disk)`.
+    pub tags: Vec<(u128, DiskConfig)>,
+    /// Pipeline settings.
+    pub pipeline: PipelineConfig,
+    /// Feasible reader-height interval for the 3D ±z resolution.
+    pub z_feasible: (f64, f64),
+}
+
+impl Default for Deployment {
+    fn default() -> Self {
+        Deployment {
+            tags: Vec::new(),
+            pipeline: PipelineConfig::default(),
+            z_feasible: (0.0, 3.0),
+        }
+    }
+}
+
+/// Parse error with a line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "config line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+fn err(line: usize, message: impl Into<String>) -> ConfigError {
+    ConfigError {
+        line,
+        message: message.into(),
+    }
+}
+
+fn parse_f64(tok: Option<&str>, line: usize, what: &str) -> Result<f64, ConfigError> {
+    tok.ok_or_else(|| err(line, format!("missing {what}")))?
+        .parse()
+        .map_err(|_| err(line, format!("invalid {what}")))
+}
+
+impl Deployment {
+    /// Parse a deployment file's contents.
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError`] naming the offending line for any syntax problem,
+    /// unknown key, duplicate EPC, or invalid value.
+    pub fn parse(text: &str) -> Result<Deployment, ConfigError> {
+        let mut dep = Deployment::default();
+        for (idx, raw) in text.lines().enumerate() {
+            let line_no = idx + 1;
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let mut toks = line.split_whitespace();
+            let key = toks.next().expect("nonempty line has a token");
+            match key {
+                "tag" => {
+                    let epc: u128 = toks
+                        .next()
+                        .ok_or_else(|| err(line_no, "missing epc"))?
+                        .parse()
+                        .map_err(|_| err(line_no, "invalid epc"))?;
+                    if dep.tags.iter().any(|(e, _)| *e == epc) {
+                        return Err(err(line_no, format!("duplicate epc {epc}")));
+                    }
+                    let mut disk = DiskConfig::paper_default(Vec3::ZERO);
+                    // Mandatory: center x y z.
+                    match toks.next() {
+                        Some("center") => {
+                            let x = parse_f64(toks.next(), line_no, "center x")?;
+                            let y = parse_f64(toks.next(), line_no, "center y")?;
+                            let z = parse_f64(toks.next(), line_no, "center z")?;
+                            disk.center = Vec3::new(x, y, z);
+                        }
+                        _ => return Err(err(line_no, "expected 'center x y z'")),
+                    }
+                    // Optional attributes.
+                    while let Some(attr) = toks.next() {
+                        match attr {
+                            "radius" => disk.radius = parse_f64(toks.next(), line_no, "radius")?,
+                            "omega" => disk.omega = parse_f64(toks.next(), line_no, "omega")?,
+                            "angle0" => {
+                                disk.initial_angle = parse_f64(toks.next(), line_no, "angle0")?
+                            }
+                            "vertical" => {
+                                disk.plane = DiskPlane::Vertical {
+                                    normal_azimuth: parse_f64(
+                                        toks.next(),
+                                        line_no,
+                                        "vertical normal azimuth",
+                                    )?,
+                                }
+                            }
+                            other => {
+                                return Err(err(line_no, format!("unknown tag attribute '{other}'")))
+                            }
+                        }
+                    }
+                    disk.validate().map_err(|m| err(line_no, m))?;
+                    dep.tags.push((epc, disk));
+                }
+                "profile" => {
+                    dep.pipeline.profile = match toks.next() {
+                        Some("traditional") => ProfileKind::Traditional,
+                        Some("enhanced") => ProfileKind::Enhanced,
+                        Some("hybrid") => ProfileKind::Hybrid,
+                        other => {
+                            return Err(err(
+                                line_no,
+                                format!("unknown profile {:?}", other.unwrap_or("")),
+                            ))
+                        }
+                    }
+                }
+                "references" => {
+                    dep.pipeline.spectrum.references =
+                        parse_f64(toks.next(), line_no, "references")? as usize
+                }
+                "azimuth-steps" => {
+                    dep.pipeline.spectrum.azimuth_steps =
+                        parse_f64(toks.next(), line_no, "azimuth-steps")? as usize
+                }
+                "polar-steps" => {
+                    dep.pipeline.spectrum.polar_steps =
+                        parse_f64(toks.next(), line_no, "polar-steps")? as usize
+                }
+                "sigma" => dep.pipeline.spectrum.sigma = parse_f64(toks.next(), line_no, "sigma")?,
+                "min-snapshots" => {
+                    dep.pipeline.min_snapshots =
+                        parse_f64(toks.next(), line_no, "min-snapshots")? as usize
+                }
+                "orientation-calibration" => {
+                    dep.pipeline.orientation_calibration = match toks.next() {
+                        Some("on") | Some("true") => true,
+                        Some("off") | Some("false") => false,
+                        other => {
+                            return Err(err(
+                                line_no,
+                                format!("expected on/off, got {:?}", other.unwrap_or("")),
+                            ))
+                        }
+                    }
+                }
+                "z-feasible" => {
+                    let lo = parse_f64(toks.next(), line_no, "z-feasible low")?;
+                    let hi = parse_f64(toks.next(), line_no, "z-feasible high")?;
+                    if hi < lo {
+                        return Err(err(line_no, "z-feasible high below low"));
+                    }
+                    dep.z_feasible = (lo, hi);
+                }
+                other => return Err(err(line_no, format!("unknown key '{other}'"))),
+            }
+            // Reject trailing junk for scalar keys (tag consumed its own).
+            if key != "tag" {
+                if let Some(junk) = toks.next() {
+                    return Err(err(line_no, format!("unexpected trailing '{junk}'")));
+                }
+            }
+        }
+        if dep.pipeline.spectrum.validate().is_err() {
+            return Err(err(0, "resulting spectrum config invalid"));
+        }
+        Ok(dep)
+    }
+
+    /// Render back to the text format (round-trips through [`parse`]).
+    ///
+    /// [`parse`]: Deployment::parse
+    pub fn render(&self) -> String {
+        let mut out = String::from("# tagspin deployment\n");
+        for (epc, d) in &self.tags {
+            out.push_str(&format!(
+                "tag {epc} center {} {} {} radius {} omega {} angle0 {}",
+                d.center.x, d.center.y, d.center.z, d.radius, d.omega, d.initial_angle
+            ));
+            if let DiskPlane::Vertical { normal_azimuth } = d.plane {
+                out.push_str(&format!(" vertical {normal_azimuth}"));
+            }
+            out.push('\n');
+        }
+        let profile = match self.pipeline.profile {
+            ProfileKind::Traditional => "traditional",
+            ProfileKind::Enhanced => "enhanced",
+            ProfileKind::Hybrid => "hybrid",
+        };
+        out.push_str(&format!("profile {profile}\n"));
+        out.push_str(&format!("references {}\n", self.pipeline.spectrum.references));
+        out.push_str(&format!(
+            "azimuth-steps {}\n",
+            self.pipeline.spectrum.azimuth_steps
+        ));
+        out.push_str(&format!("polar-steps {}\n", self.pipeline.spectrum.polar_steps));
+        out.push_str(&format!("sigma {}\n", self.pipeline.spectrum.sigma));
+        out.push_str(&format!("min-snapshots {}\n", self.pipeline.min_snapshots));
+        out.push_str(&format!(
+            "orientation-calibration {}\n",
+            if self.pipeline.orientation_calibration {
+                "on"
+            } else {
+                "off"
+            }
+        ));
+        out.push_str(&format!(
+            "z-feasible {} {}\n",
+            self.z_feasible.0, self.z_feasible.1
+        ));
+        out
+    }
+
+    /// Build the localization server this deployment describes.
+    ///
+    /// # Panics
+    ///
+    /// Panics on duplicate EPCs, which [`Deployment::parse`] already rejects.
+    pub fn build_server(&self) -> LocalizationServer {
+        let mut server = LocalizationServer::new(self.pipeline);
+        for &(epc, disk) in &self.tags {
+            server.register(epc, disk).expect("parse rejects duplicates");
+        }
+        server
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+# a comment
+tag 1 center -0.3 0.0 0.0
+tag 2 center 0.3 0.0 0.0 radius 0.12 omega 0.6 angle0 0.1
+tag 3 center 0.0 0.4 0.0 vertical 1.5708   # the aid
+
+profile hybrid
+references 8
+azimuth-steps 360
+polar-steps 31
+sigma 0.1
+min-snapshots 25
+orientation-calibration off
+z-feasible 0.9 2.5
+";
+
+    #[test]
+    fn parses_sample() {
+        let d = Deployment::parse(SAMPLE).unwrap();
+        assert_eq!(d.tags.len(), 3);
+        assert_eq!(d.tags[0].0, 1);
+        assert_eq!(d.tags[1].1.radius, 0.12);
+        assert_eq!(d.tags[1].1.omega, 0.6);
+        assert!(matches!(d.tags[2].1.plane, DiskPlane::Vertical { .. }));
+        assert_eq!(d.pipeline.profile, ProfileKind::Hybrid);
+        assert_eq!(d.pipeline.spectrum.references, 8);
+        assert_eq!(d.pipeline.spectrum.azimuth_steps, 360);
+        assert!(!d.pipeline.orientation_calibration);
+        assert_eq!(d.z_feasible, (0.9, 2.5));
+        assert_eq!(d.pipeline.min_snapshots, 25);
+    }
+
+    #[test]
+    fn round_trips() {
+        let d = Deployment::parse(SAMPLE).unwrap();
+        let re = Deployment::parse(&d.render()).unwrap();
+        assert_eq!(d, re);
+    }
+
+    #[test]
+    fn builds_server() {
+        let d = Deployment::parse(SAMPLE).unwrap();
+        let server = d.build_server();
+        assert_eq!(server.tags().len(), 3);
+        assert_eq!(server.config.profile, ProfileKind::Hybrid);
+    }
+
+    #[test]
+    fn rejects_unknown_key() {
+        let e = Deployment::parse("tags 1 center 0 0 0").unwrap_err();
+        assert_eq!(e.line, 1);
+        assert!(e.message.contains("unknown key"));
+        assert!(!e.to_string().is_empty());
+    }
+
+    #[test]
+    fn rejects_duplicate_epc() {
+        let text = "tag 1 center 0 0 0\ntag 1 center 1 0 0\n";
+        let e = Deployment::parse(text).unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("duplicate"));
+    }
+
+    #[test]
+    fn rejects_bad_values() {
+        assert!(Deployment::parse("tag x center 0 0 0").is_err());
+        assert!(Deployment::parse("tag 1 center 0 0").is_err());
+        assert!(Deployment::parse("tag 1 center 0 0 0 radius -1").is_err());
+        assert!(Deployment::parse("profile sideways").is_err());
+        assert!(Deployment::parse("z-feasible 2 1").is_err());
+        assert!(Deployment::parse("sigma 0.1 junk").is_err());
+        assert!(Deployment::parse("orientation-calibration maybe").is_err());
+        assert!(Deployment::parse("tag 1 center 0 0 0 wings 2").is_err());
+    }
+
+    #[test]
+    fn empty_config_is_default() {
+        let d = Deployment::parse("\n# nothing\n").unwrap();
+        assert_eq!(d, Deployment::default());
+    }
+}

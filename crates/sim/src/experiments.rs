@@ -1,0 +1,238 @@
+//! Experiment registry: one function per figure/table of the paper.
+//!
+//! Every entry produces a [`Report`] containing the same series/rows the
+//! paper plots, so the `reproduce` binary (crate `tagspin-bench`) can print
+//! them and EXPERIMENTS.md can record paper-vs-measured shapes. Experiments
+//! are deterministic under a fixed base seed.
+
+pub mod ablations;
+pub mod accuracy;
+pub mod calibration;
+pub mod comparison;
+pub mod parameters;
+pub mod profiles;
+
+use std::fmt;
+
+/// A named data series: `(x, y)` points.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    /// Legend label.
+    pub name: String,
+    /// Points in plot order.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Build from parallel x/y slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch.
+    pub fn from_xy(name: impl Into<String>, xs: &[f64], ys: &[f64]) -> Self {
+        assert_eq!(xs.len(), ys.len(), "series axes must match");
+        Series {
+            name: name.into(),
+            points: xs.iter().copied().zip(ys.iter().copied()).collect(),
+        }
+    }
+}
+
+/// The reproduction of one paper figure or table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Report {
+    /// Experiment id, e.g. `"fig10a"`.
+    pub id: &'static str,
+    /// Human title.
+    pub title: &'static str,
+    /// Plotted series.
+    pub series: Vec<Series>,
+    /// Named scalar results (units in the name).
+    pub scalars: Vec<(String, f64)>,
+    /// Free-form notes (rows of tables, shape observations).
+    pub notes: Vec<String>,
+}
+
+impl Report {
+    /// Look up a scalar by name.
+    pub fn scalar(&self, name: &str) -> Option<f64> {
+        self.scalars
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+    }
+
+    /// Write the report as CSV files under `dir`:
+    /// `<id>.scalars.csv` (name,value) plus one `<id>.<k>.csv` per series
+    /// (x,y with the series name as header) — ready for any plotting tool.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn write_csv(&self, dir: &std::path::Path) -> std::io::Result<()> {
+        use std::io::Write;
+        std::fs::create_dir_all(dir)?;
+        if !self.scalars.is_empty() || !self.notes.is_empty() {
+            let mut f = std::fs::File::create(dir.join(format!("{}.scalars.csv", self.id)))?;
+            writeln!(f, "name,value")?;
+            for (name, v) in &self.scalars {
+                writeln!(f, "{:?},{v}", name)?;
+            }
+            for note in &self.notes {
+                writeln!(f, "{:?},", format!("note: {note}"))?;
+            }
+        }
+        for (k, s) in self.series.iter().enumerate() {
+            let mut f = std::fs::File::create(dir.join(format!("{}.{k}.csv", self.id)))?;
+            writeln!(f, "x,{:?}", s.name)?;
+            for (x, y) in &s.points {
+                writeln!(f, "{x},{y}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "== {} — {} ==", self.id, self.title)?;
+        for (name, v) in &self.scalars {
+            writeln!(f, "  {name}: {v:.4}")?;
+        }
+        for note in &self.notes {
+            writeln!(f, "  note: {note}")?;
+        }
+        for s in &self.series {
+            writeln!(f, "  series '{}' ({} pts):", s.name, s.points.len())?;
+            // Print at most 24 evenly spaced points to keep output readable.
+            let stride = (s.points.len() / 24).max(1);
+            for (x, y) in s.points.iter().step_by(stride) {
+                writeln!(f, "    {x:10.4}  {y:12.6}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// How much compute to spend.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fidelity {
+    /// Trials per configuration (the paper uses 50).
+    pub trials: usize,
+    /// Shrink spectra/snapshot counts for fast runs.
+    pub quick: bool,
+    /// Base RNG seed; every derived seed is a pure function of this.
+    pub seed: u64,
+}
+
+impl Fidelity {
+    /// Paper-scale runs (50 trials per configuration).
+    pub fn full() -> Self {
+        Fidelity {
+            trials: 50,
+            quick: false,
+            seed: 0x7A65,
+        }
+    }
+
+    /// CI-scale runs.
+    pub fn quick() -> Self {
+        Fidelity {
+            trials: 6,
+            quick: true,
+            seed: 0xC0FFEE,
+        }
+    }
+}
+
+/// An experiment entry: id plus generator function.
+pub type Experiment = (&'static str, fn(&Fidelity) -> Report);
+
+/// The experiment registry, in paper order.
+pub fn registry() -> Vec<Experiment> {
+    vec![
+        ("fig1", profiles::fig1_toy_example as fn(&Fidelity) -> Report),
+        ("fig3", calibration::fig3_raw_phase),
+        ("fig4", calibration::fig4_calibration_stages),
+        ("fig5", calibration::fig5_center_spin),
+        ("fig6", profiles::fig6_profiles_2d),
+        ("fig8", profiles::fig8_profiles_3d),
+        ("fig10a", accuracy::fig10a_cdf_2d),
+        ("fig10b", accuracy::fig10b_cdf_3d),
+        ("fig11a", calibration::fig11a_phase_vs_orientation),
+        ("fig11b", accuracy::fig11b_calibration_effect),
+        ("fig12a", parameters::fig12a_center_distance),
+        ("fig12b", parameters::fig12b_radius),
+        ("fig12c", parameters::fig12c_tag_diversity),
+        ("fig12d", parameters::fig12d_antenna_diversity),
+        ("table1", comparison::table1_tag_models),
+        ("table2", comparison::table2_baselines),
+        ("abl-profile", ablations::abl_profile),
+        ("abl-references", ablations::abl_references),
+        ("abl-noise", ablations::abl_noise),
+        ("abl-observation", ablations::abl_observation),
+        ("abl-multipath", ablations::abl_multipath),
+        ("abl-wobble", ablations::abl_wobble),
+        ("abl-hopping", ablations::abl_hopping),
+        ("abl-vertical", ablations::abl_vertical),
+    ]
+}
+
+/// Run one experiment by id.
+pub fn run(id: &str, fidelity: &Fidelity) -> Option<Report> {
+    registry()
+        .into_iter()
+        .find(|(eid, _)| *eid == id)
+        .map(|(_, f)| f(fidelity))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_covers_all_paper_items() {
+        let ids: Vec<&str> = registry().iter().map(|(id, _)| *id).collect();
+        for expected in [
+            "fig1", "fig3", "fig4", "fig5", "fig6", "fig8", "fig10a", "fig10b", "fig11a",
+            "fig11b", "fig12a", "fig12b", "fig12c", "fig12d", "table1", "table2",
+            "abl-profile", "abl-references", "abl-noise", "abl-observation",
+            "abl-multipath", "abl-wobble", "abl-hopping", "abl-vertical",
+        ] {
+            assert!(ids.contains(&expected), "missing {expected}");
+        }
+        assert_eq!(ids.len(), 24);
+    }
+
+    #[test]
+    fn unknown_id_is_none() {
+        assert!(run("fig99", &Fidelity::quick()).is_none());
+    }
+
+    #[test]
+    fn series_construction() {
+        let s = Series::from_xy("a", &[1.0, 2.0], &[3.0, 4.0]);
+        assert_eq!(s.points, vec![(1.0, 3.0), (2.0, 4.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "axes must match")]
+    fn series_mismatch_panics() {
+        let _ = Series::from_xy("a", &[1.0], &[]);
+    }
+
+    #[test]
+    fn report_display_and_scalar() {
+        let r = Report {
+            id: "figX",
+            title: "test",
+            series: vec![Series::from_xy("s", &[0.0], &[1.0])],
+            scalars: vec![("v".into(), 2.0)],
+            notes: vec!["n".into()],
+        };
+        assert_eq!(r.scalar("v"), Some(2.0));
+        assert_eq!(r.scalar("w"), None);
+        let text = r.to_string();
+        assert!(text.contains("figX") && text.contains("note") && text.contains("series"));
+    }
+}

@@ -1,0 +1,159 @@
+//! Table I (tag catalogue) and the Section VII-A baseline comparison.
+
+use super::{Fidelity, Report, Series};
+use crate::baseline_adapters::{antloc_trial, backpos_trial, landmarc_trial, pinit_trial};
+use crate::metrics::{ErrorStats, TrialError};
+use crate::scenario::Scenario;
+use crate::sweep::{run_batch, Dims};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tagspin_rf::TagModel;
+
+/// Table I: the tag model catalogue.
+pub fn table1_tag_models(_fid: &Fidelity) -> Report {
+    let notes = TagModel::ALL
+        .iter()
+        .map(|m| {
+            let s = m.spec();
+            format!(
+                "{:<11} {:<9} {:<8} {:>5.1}×{:<5.1} mm  qty {}",
+                m.name(),
+                s.part_number,
+                s.chip,
+                s.size_mm.0,
+                s.size_mm.1,
+                s.quantity
+            )
+        })
+        .collect();
+    Report {
+        id: "table1",
+        title: "Tag models (paper Table I)",
+        series: Vec::new(),
+        scalars: vec![("models".into(), TagModel::ALL.len() as f64)],
+        notes,
+    }
+}
+
+fn baseline_batch(
+    fid: &Fidelity,
+    salt: u64,
+    trial: impl Fn(&Scenario, u64) -> Result<TrialError, String> + Sync,
+) -> (Option<ErrorStats>, usize) {
+    // Baselines run sequentially per trial (they are much cheaper than the
+    // Tagspin pipeline); reader positions match the Tagspin batch seeds.
+    let mut errors = Vec::new();
+    let mut failures = 0usize;
+    for i in 0..fid.trials {
+        let seed = fid.seed ^ salt ^ ((i as u64) << 32);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5EED);
+        let xy = Scenario::random_reader_xy(&mut rng);
+        let mut s = Scenario::paper_2d(xy);
+        if fid.quick {
+            s = s.quick();
+        }
+        match trial(&s, seed) {
+            Ok(e) => errors.push(e),
+            Err(_) => failures += 1,
+        }
+    }
+    (ErrorStats::of(&errors), failures)
+}
+
+/// Section VII-A comparison: Tagspin vs LandMarc / AntLoc / PinIt / BackPos
+/// in the same simulated room (2D), plus the paper's improvement factors.
+pub fn table2_baselines(fid: &Fidelity) -> Report {
+    // Tagspin itself.
+    let tagspin = run_batch(fid.trials, Dims::Two, |i| {
+        let seed = fid.seed ^ 0x7B2 ^ ((i as u64) << 32);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5EED);
+        let xy = Scenario::random_reader_xy(&mut rng);
+        let mut s = Scenario::paper_2d(xy);
+        if fid.quick {
+            s = s.quick();
+        }
+        (s, seed)
+    });
+    let ts = tagspin.stats.expect("tagspin trials succeed");
+
+    let (lm, lm_fail) = baseline_batch(fid, 0x7B2, landmarc_trial);
+    let (al, al_fail) = baseline_batch(fid, 0x7B2, antloc_trial);
+    let (pi, pi_fail) = baseline_batch(fid, 0x7B2, pinit_trial);
+    let (bp, bp_fail) = baseline_batch(fid, 0x7B2, backpos_trial);
+
+    let mut scalars = vec![("Tagspin mean (cm)".into(), ts.mean_cm())];
+    let mut notes = vec![format!(
+        "Tagspin: {} ({} trials)",
+        ts.report_cm(),
+        fid.trials
+    )];
+    let mut series = Vec::new();
+    series.push(Series {
+        name: "Tagspin CDF (cm)".into(),
+        points: ts
+            .cdf_combined()
+            .points()
+            .map(|(v, p)| (v * 100.0, p))
+            .collect(),
+    });
+    for (name, stats, fails) in [
+        ("LandMarc", lm, lm_fail),
+        ("AntLoc", al, al_fail),
+        ("PinIt", pi, pi_fail),
+        ("BackPos", bp, bp_fail),
+    ] {
+        match stats {
+            Some(s) => {
+                let factor = s.combined.mean / ts.combined.mean;
+                scalars.push((format!("{name} mean (cm)"), s.mean_cm()));
+                scalars.push((format!("{name} improvement factor"), factor));
+                notes.push(format!("{name}: {} (failures {fails})", s.report_cm()));
+                series.push(Series {
+                    name: format!("{name} CDF (cm)"),
+                    points: s
+                        .cdf_combined()
+                        .points()
+                        .map(|(v, p)| (v * 100.0, p))
+                        .collect(),
+                });
+            }
+            None => notes.push(format!("{name}: all {fails} trials failed")),
+        }
+    }
+    Report {
+        id: "table2",
+        title: "Baseline comparison (2D office, same trials)",
+        series,
+        scalars,
+        notes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_lists_all_models() {
+        let r = table1_tag_models(&Fidelity::quick());
+        assert_eq!(r.scalar("models"), Some(5.0));
+        assert_eq!(r.notes.len(), 5);
+        assert!(r.notes[0].contains("ALN-"));
+    }
+
+    #[test]
+    fn table2_tagspin_beats_baselines() {
+        let mut fid = Fidelity::quick();
+        fid.trials = 4;
+        let r = table2_baselines(&fid);
+        let ts = r.scalar("Tagspin mean (cm)").unwrap();
+        for name in ["LandMarc", "AntLoc", "PinIt", "BackPos"] {
+            if let Some(mean) = r.scalar(&format!("{name} mean (cm)")) {
+                assert!(
+                    mean > ts,
+                    "{name} mean {mean} cm should exceed Tagspin {ts} cm"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,217 @@
+//! Parameter-impact experiments: Fig. 12(a)–(d).
+
+use super::{Fidelity, Report, Series};
+use crate::scenario::Scenario;
+use crate::sweep::{run_batch, sweep_parameter, Dims};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tagspin_core::spinning::DiskConfig;
+use tagspin_geom::Vec3;
+use tagspin_rf::{ReaderAntenna, TagModel};
+
+fn base_2d(fid: &Fidelity, seed: u64) -> (Scenario, u64) {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5EED);
+    let xy = Scenario::random_reader_xy(&mut rng);
+    let mut s = Scenario::paper_2d(xy);
+    if fid.quick {
+        s = s.quick();
+    }
+    (s, seed)
+}
+
+/// Fig. 12(a): distance between the two disk centers, 20–180 cm.
+pub fn fig12a_center_distance(fid: &Fidelity) -> Report {
+    let distances: Vec<f64> = if fid.quick {
+        vec![0.2, 0.6, 1.2]
+    } else {
+        (1..=9).map(|i| i as f64 * 0.2).collect()
+    };
+    let pts = sweep_parameter(&distances, fid.trials, Dims::Two, |d, i| {
+        let (mut s, seed) = base_2d(fid, fid.seed ^ 0x12A ^ ((i as u64) << 32) ^ ((d * 1e3) as u64));
+        let half = d / 2.0;
+        s.disks = vec![
+            DiskConfig::paper_default(Vec3::new(-half, 0.0, 0.0)),
+            DiskConfig::paper_default(Vec3::new(half, 0.0, 0.0)),
+        ];
+        (s, seed)
+    });
+    let xs: Vec<f64> = pts.iter().map(|p| p.parameter * 100.0).collect();
+    let ys: Vec<f64> = pts
+        .iter()
+        .map(|p| p.batch.stats.as_ref().map_or(f64::NAN, |s| s.mean_cm()))
+        .collect();
+    Report {
+        id: "fig12a",
+        title: "Impact of the distance between disk centers",
+        series: vec![Series::from_xy("mean error (cm) vs distance (cm)", &xs, &ys)],
+        scalars: vec![
+            ("shortest distance error (cm)".into(), ys[0]),
+            (
+                "plateau error (cm)".into(),
+                ys[1..].iter().copied().sum::<f64>() / (ys.len() - 1) as f64,
+            ),
+        ],
+        notes: vec![
+            "Paper: error stable for separations ≥ ~60 cm, degraded at 20 cm".into(),
+        ],
+    }
+}
+
+/// Fig. 12(b): disk radius, 2–24 cm.
+pub fn fig12b_radius(fid: &Fidelity) -> Report {
+    let radii: Vec<f64> = if fid.quick {
+        vec![0.02, 0.10, 0.24]
+    } else {
+        (1..=12).map(|i| i as f64 * 0.02).collect()
+    };
+    let pts = sweep_parameter(&radii, fid.trials, Dims::Two, |r, i| {
+        let (mut s, seed) = base_2d(fid, fid.seed ^ 0x12B ^ ((i as u64) << 32) ^ ((r * 1e3) as u64));
+        for d in &mut s.disks {
+            d.radius = r;
+        }
+        (s, seed)
+    });
+    let xs: Vec<f64> = pts.iter().map(|p| p.parameter * 100.0).collect();
+    let ys: Vec<f64> = pts
+        .iter()
+        .map(|p| p.batch.stats.as_ref().map_or(f64::NAN, |s| s.mean_cm()))
+        .collect();
+    // Identify the stable interval [8, 20] cm as in the paper.
+    let stable: Vec<f64> = pts
+        .iter()
+        .filter(|p| p.parameter >= 0.079 && p.parameter <= 0.201)
+        .map(|p| p.batch.stats.as_ref().map_or(f64::NAN, |s| s.mean_cm()))
+        .collect();
+    let stable_mean = stable.iter().sum::<f64>() / stable.len().max(1) as f64;
+    Report {
+        id: "fig12b",
+        title: "Impact of the spinning radius",
+        series: vec![Series::from_xy("mean error (cm) vs radius (cm)", &xs, &ys)],
+        scalars: vec![
+            ("smallest radius error (cm)".into(), ys[0]),
+            ("stable-band mean error (cm)".into(), stable_mean),
+            ("largest radius error (cm)".into(), *ys.last().expect("nonempty")),
+        ],
+        notes: vec![
+            "Paper: accuracy high and stable for radius ∈ [8, 20] cm; worse outside".into(),
+        ],
+    }
+}
+
+/// Fig. 12(c): tag diversity — five Alien models, several individuals each.
+pub fn fig12c_tag_diversity(fid: &Fidelity) -> Report {
+    let mut xs = Vec::new();
+    let mut ys = Vec::new();
+    let mut notes = Vec::new();
+    for (mi, model) in TagModel::ALL.iter().enumerate() {
+        // Paired design: every model sees the same reader positions and
+        // seeds, so the spread isolates the model effect (as in the paper,
+        // which swaps tags within one setting).
+        let batch = run_batch(fid.trials, Dims::Two, |i| {
+            let (s, seed) = base_2d(fid, fid.seed ^ 0x12C ^ ((i as u64) << 32));
+            (s.with_tag_model(*model), seed)
+        });
+        let mean = batch.stats.as_ref().map_or(f64::NAN, |s| s.mean_cm());
+        xs.push(mi as f64 + 1.0);
+        ys.push(mean);
+        notes.push(format!("{model}: mean {mean:.1} cm"));
+    }
+    let spread = ys.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+        - ys.iter().cloned().fold(f64::INFINITY, f64::min);
+    Report {
+        id: "fig12c",
+        title: "Impact of tag diversity (five Alien models)",
+        series: vec![Series::from_xy("mean error (cm) vs model #", &xs, &ys)],
+        scalars: vec![("max-min spread (cm)".into(), spread)],
+        notes,
+    }
+}
+
+/// Fig. 12(d): antenna diversity — the four Yeon antennas.
+pub fn fig12d_antenna_diversity(fid: &Fidelity) -> Report {
+    let mut series = Vec::new();
+    let mut scalars = Vec::new();
+    for antenna in ReaderAntenna::yeon_set() {
+        // Paired design (see fig12c): identical positions/seeds per antenna.
+        let batch = run_batch(fid.trials, Dims::Two, |i| {
+            let (s, seed) = base_2d(fid, fid.seed ^ 0x12D ^ ((i as u64) << 32));
+            (s.with_antenna(antenna), seed)
+        });
+        let stats = batch.stats.expect("2D trials succeed");
+        series.push(Series {
+            name: format!("antenna {} (cm)", antenna.id),
+            points: stats
+                .cdf_combined()
+                .points()
+                .map(|(v, p)| (v * 100.0, p))
+                .collect(),
+        });
+        scalars.push((
+            format!("antenna {} mean (cm)", antenna.id),
+            stats.mean_cm(),
+        ));
+        scalars.push((format!("antenna {} std (cm)", antenna.id), stats.std_cm()));
+    }
+    Report {
+        id: "fig12d",
+        title: "Impact of antenna diversity (four Yeon antennas)",
+        series,
+        scalars,
+        notes: vec!["Paper: only slight differences among the four antennas".into()],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig12a_short_baseline_worse() {
+        let mut fid = Fidelity::quick();
+        fid.trials = 4;
+        let r = fig12a_center_distance(&fid);
+        let short = r.scalar("shortest distance error (cm)").unwrap();
+        let plateau = r.scalar("plateau error (cm)").unwrap();
+        assert!(
+            short > plateau,
+            "20 cm separation ({short} cm) must beat plateau ({plateau} cm)... inverted"
+        );
+    }
+
+    #[test]
+    fn fig12b_stable_band_best() {
+        let mut fid = Fidelity::quick();
+        fid.trials = 4;
+        let r = fig12b_radius(&fid);
+        let tiny = r.scalar("smallest radius error (cm)").unwrap();
+        let stable = r.scalar("stable-band mean error (cm)").unwrap();
+        assert!(
+            tiny > stable,
+            "2 cm radius ({tiny} cm) must be worse than the stable band ({stable} cm)"
+        );
+    }
+
+    #[test]
+    fn fig12c_models_close() {
+        let mut fid = Fidelity::quick();
+        fid.trials = 3;
+        let r = fig12c_tag_diversity(&fid);
+        let spread = r.scalar("max-min spread (cm)").unwrap();
+        assert!(spread.is_finite());
+        assert!(spread < 15.0, "model spread {spread} cm too large");
+    }
+
+    #[test]
+    fn fig12d_antennas_close() {
+        let mut fid = Fidelity::quick();
+        fid.trials = 3;
+        let r = fig12d_antenna_diversity(&fid);
+        let means: Vec<f64> = (1..=4)
+            .map(|i| r.scalar(&format!("antenna {i} mean (cm)")).unwrap())
+            .collect();
+        let spread = means.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+            - means.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(spread < 15.0, "antenna spread {spread} cm too large");
+        assert_eq!(r.series.len(), 4);
+    }
+}

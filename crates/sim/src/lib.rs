@@ -1,0 +1,27 @@
+//! Scenario, trial and experiment harness for the Tagspin reproduction.
+//!
+//! * [`scenario`] — the paper's office-room deployments (2D desktop, 3D
+//!   desk + elevated reader) as configurable scenario values.
+//! * [`trial`] — one end-to-end localization run: manufacture tags,
+//!   center-spin calibration, inventory, pipeline, error scoring.
+//! * [`metrics`] — the paper's error-distance metrics, per-axis and CDF.
+//! * [`sweep`] — seeded repetition and parameter sweeps (parallelized).
+//! * [`baseline_adapters`] — the four comparison systems run in the same
+//!   simulated room.
+//! * [`experiments`] — one function per paper figure/table, producing the
+//!   series the `reproduce` binary prints.
+
+#![warn(missing_docs)]
+
+pub mod baseline_adapters;
+pub mod config;
+pub mod experiments;
+pub mod metrics;
+pub mod scenario;
+pub mod sweep;
+pub mod trial;
+
+pub use config::Deployment;
+pub use metrics::{ErrorStats, TrialError};
+pub use scenario::Scenario;
+pub use trial::{run_trial_2d, run_trial_3d, TrialFailure};

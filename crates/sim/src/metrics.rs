@@ -1,0 +1,206 @@
+//! Localization error metrics (paper Section VII-A).
+//!
+//! "We adopt the error distance, defined as the Euclidean distance between
+//! the result and ground truth, as our basis metric." The evaluation also
+//! reports per-axis errors, standard deviations, 90th percentiles and CDFs.
+
+use tagspin_dsp::stats::{Ecdf, Summary};
+use tagspin_geom::{Vec2, Vec3};
+
+/// Error of one trial, decomposed per axis.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct TrialError {
+    /// |Δx|, meters.
+    pub x: f64,
+    /// |Δy|, meters.
+    pub y: f64,
+    /// |Δz|, meters (0 in 2D trials).
+    pub z: f64,
+    /// Euclidean (combined) error, meters.
+    pub combined: f64,
+}
+
+impl TrialError {
+    /// Error between a 2D estimate and truth.
+    pub fn planar(estimate: Vec2, truth: Vec2) -> Self {
+        let d = estimate - truth;
+        TrialError {
+            x: d.x.abs(),
+            y: d.y.abs(),
+            z: 0.0,
+            combined: d.norm(),
+        }
+    }
+
+    /// Error between a 3D estimate and truth.
+    pub fn spatial(estimate: Vec3, truth: Vec3) -> Self {
+        let d = estimate - truth;
+        TrialError {
+            x: d.x.abs(),
+            y: d.y.abs(),
+            z: d.z.abs(),
+            combined: d.norm(),
+        }
+    }
+}
+
+/// Aggregated error statistics over many trials.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ErrorStats {
+    /// Per-axis and combined summaries.
+    pub x: Summary,
+    /// y-axis summary.
+    pub y: Summary,
+    /// z-axis summary.
+    pub z: Summary,
+    /// Combined (Euclidean) summary.
+    pub combined: Summary,
+    /// The raw combined errors (for CDF plotting).
+    errors: Vec<TrialError>,
+}
+
+impl ErrorStats {
+    /// Aggregate trial errors.
+    ///
+    /// Returns `None` for an empty input.
+    pub fn of(errors: &[TrialError]) -> Option<ErrorStats> {
+        if errors.is_empty() {
+            return None;
+        }
+        let col = |f: fn(&TrialError) -> f64| -> Summary {
+            Summary::of(&errors.iter().map(f).collect::<Vec<_>>()).expect("nonempty")
+        };
+        Some(ErrorStats {
+            x: col(|e| e.x),
+            y: col(|e| e.y),
+            z: col(|e| e.z),
+            combined: col(|e| e.combined),
+            errors: errors.to_vec(),
+        })
+    }
+
+    /// Number of trials aggregated.
+    pub fn len(&self) -> usize {
+        self.errors.len()
+    }
+
+    /// True when empty (never, by construction — kept for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.errors.is_empty()
+    }
+
+    /// Empirical CDF of the combined error.
+    pub fn cdf_combined(&self) -> Ecdf {
+        Ecdf::new(&self.errors.iter().map(|e| e.combined).collect::<Vec<_>>())
+    }
+
+    /// Empirical CDF of one axis (`0` = x, `1` = y, `2` = z).
+    ///
+    /// # Panics
+    ///
+    /// Panics for an axis index > 2.
+    pub fn cdf_axis(&self, axis: usize) -> Ecdf {
+        let pick: fn(&TrialError) -> f64 = match axis {
+            0 => |e| e.x,
+            1 => |e| e.y,
+            2 => |e| e.z,
+            _ => panic!("axis must be 0, 1 or 2"),
+        };
+        Ecdf::new(&self.errors.iter().map(pick).collect::<Vec<_>>())
+    }
+
+    /// Mean combined error in centimeters (the paper's headline unit).
+    pub fn mean_cm(&self) -> f64 {
+        self.combined.mean * 100.0
+    }
+
+    /// Combined standard deviation in centimeters.
+    pub fn std_cm(&self) -> f64 {
+        self.combined.std_dev * 100.0
+    }
+
+    /// One-line report in paper units.
+    pub fn report_cm(&self) -> String {
+        format!(
+            "mean {:.1} cm (x {:.1}, y {:.1}, z {:.1}) std {:.1} cm p90 {:.1} cm min {:.1} max {:.1} (n={})",
+            self.combined.mean * 100.0,
+            self.x.mean * 100.0,
+            self.y.mean * 100.0,
+            self.z.mean * 100.0,
+            self.combined.std_dev * 100.0,
+            self.combined.p90 * 100.0,
+            self.combined.min * 100.0,
+            self.combined.max * 100.0,
+            self.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn planar_error_decomposition() {
+        let e = TrialError::planar(Vec2::new(1.0, 2.0), Vec2::new(0.7, 2.4));
+        assert!((e.x - 0.3).abs() < 1e-12);
+        assert!((e.y - 0.4).abs() < 1e-12);
+        assert_eq!(e.z, 0.0);
+        assert!((e.combined - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spatial_error_decomposition() {
+        let e = TrialError::spatial(Vec3::new(1.0, 1.0, 1.0), Vec3::new(0.0, 1.0, 3.0));
+        assert_eq!(e.x, 1.0);
+        assert_eq!(e.y, 0.0);
+        assert_eq!(e.z, 2.0);
+        assert!((e.combined - 5f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_aggregate() {
+        let errs: Vec<TrialError> = (1..=5)
+            .map(|i| TrialError {
+                x: i as f64 * 0.01,
+                y: 0.0,
+                z: 0.0,
+                combined: i as f64 * 0.01,
+            })
+            .collect();
+        let s = ErrorStats::of(&errs).unwrap();
+        assert_eq!(s.len(), 5);
+        assert!((s.combined.mean - 0.03).abs() < 1e-12);
+        assert!((s.mean_cm() - 3.0).abs() < 1e-9);
+        assert!(s.std_cm() > 0.0);
+        assert!(!s.is_empty());
+        assert!(s.report_cm().contains("mean"));
+    }
+
+    #[test]
+    fn empty_is_none() {
+        assert!(ErrorStats::of(&[]).is_none());
+    }
+
+    #[test]
+    fn cdf_views() {
+        let errs = vec![
+            TrialError::planar(Vec2::new(0.1, 0.0), Vec2::ZERO),
+            TrialError::planar(Vec2::new(0.0, 0.2), Vec2::ZERO),
+        ];
+        let s = ErrorStats::of(&errs).unwrap();
+        let cdf = s.cdf_combined();
+        assert_eq!(cdf.len(), 2);
+        assert_eq!(cdf.eval(0.15), 0.5);
+        assert_eq!(s.cdf_axis(0).eval(0.05), 0.5);
+        assert_eq!(s.cdf_axis(1).eval(0.05), 0.5);
+        assert_eq!(s.cdf_axis(2).eval(0.0), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "axis")]
+    fn bad_axis_panics() {
+        let s = ErrorStats::of(&[TrialError::default()]).unwrap();
+        let _ = s.cdf_axis(3);
+    }
+}

@@ -1,0 +1,203 @@
+//! Scenario builder: the paper's office-room deployments.
+//!
+//! Section VII: experiments run in a 6 m × 9 m office. 2D trials put two
+//! spinning disks at (±30 cm, 0) on a desktop and keep the reader on the
+//! same plane (laser-leveled); 3D trials keep the disks on the desktop
+//! (z = 91.4 cm — a standard desk) and let the reader sit on other planes.
+
+use tagspin_core::spectrum::{ProfileKind, SpectrumConfig};
+use tagspin_core::spinning::DiskConfig;
+use tagspin_epc::inventory::HopSchedule;
+use tagspin_geom::{Pose, Vec2, Vec3};
+use tagspin_rf::channel::Environment;
+use tagspin_rf::{ReaderAntenna, TagModel};
+
+/// Desk height used in the 3D experiments, meters.
+pub const DESK_HEIGHT: f64 = 0.914;
+
+/// A complete localization scenario (world + deployment + pipeline knobs).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scenario {
+    /// RF world.
+    pub env: Environment,
+    /// Spinning disks (the server will know these exactly).
+    pub disks: Vec<DiskConfig>,
+    /// Tag model mounted on the disks.
+    pub tag_model: TagModel,
+    /// Ground-truth reader pose.
+    pub reader_truth: Pose,
+    /// The reader antenna in use.
+    pub antenna: ReaderAntenna,
+    /// Observation window, seconds (default: 1.25 disk rotations).
+    pub observation_s: f64,
+    /// Perform the center-spin orientation calibration (Section III-B).
+    pub orientation_calibration: bool,
+    /// Spectrum settings (tests shrink the grids).
+    pub spectrum: SpectrumConfig,
+    /// Which power profile drives bearings (default: hybrid — enhanced
+    /// detection, traditional refinement).
+    pub profile: ProfileKind,
+    /// Feasible reader-height interval for resolving the 3D ±z ambiguity
+    /// (the paper's "dead space" argument).
+    pub z_feasible: (f64, f64),
+    /// Snapshot decimation stride (1 = keep all reads; tests raise it).
+    pub decimate: usize,
+    /// Frequency-hop schedule (the paper dwells on one channel per trial;
+    /// the pipeline handles hopping via per-read wavelengths).
+    pub hopping: HopSchedule,
+}
+
+impl Scenario {
+    /// The paper's 2D layout: disks at (±30 cm, 0), reader at `reader_xy`
+    /// on the same plane.
+    pub fn paper_2d(reader_xy: Vec2) -> Self {
+        let disks = vec![
+            DiskConfig::paper_default(Vec3::new(-0.3, 0.0, 0.0)),
+            DiskConfig::paper_default(Vec3::new(0.3, 0.0, 0.0)),
+        ];
+        let observation_s = disks[0].period_s() * 1.25;
+        Scenario {
+            env: Environment::paper_default(),
+            disks,
+            tag_model: TagModel::DEFAULT,
+            reader_truth: Pose::facing_toward(reader_xy.with_z(0.0), Vec3::ZERO),
+            antenna: ReaderAntenna::typical(1),
+            observation_s,
+            orientation_calibration: true,
+            spectrum: SpectrumConfig::default(),
+            profile: ProfileKind::Hybrid,
+            z_feasible: (-0.5, 0.5),
+            decimate: 1,
+            hopping: HopSchedule::Fixed(8),
+        }
+    }
+
+    /// The paper's 3D layout: disks at (±30 cm, 0, 91.4 cm), reader at
+    /// `reader_pos` anywhere above the floor.
+    pub fn paper_3d(reader_pos: Vec3) -> Self {
+        let disks = vec![
+            DiskConfig::paper_default(Vec3::new(-0.3, 0.0, DESK_HEIGHT)),
+            DiskConfig::paper_default(Vec3::new(0.3, 0.0, DESK_HEIGHT)),
+        ];
+        let observation_s = disks[0].period_s() * 1.25;
+        Scenario {
+            env: Environment::paper_default(),
+            disks,
+            tag_model: TagModel::DEFAULT,
+            reader_truth: Pose::facing_toward(reader_pos, Vec3::new(0.0, 0.0, DESK_HEIGHT)),
+            antenna: ReaderAntenna::typical(1),
+            observation_s,
+            orientation_calibration: true,
+            spectrum: SpectrumConfig {
+                azimuth_steps: 360,
+                polar_steps: 61,
+                ..SpectrumConfig::default()
+            },
+            profile: ProfileKind::Hybrid,
+            // Readers are mounted above the desk plane in the deployment;
+            // the mirror candidate below it is dead space.
+            z_feasible: (DESK_HEIGHT, 3.0),
+            decimate: 1,
+            hopping: HopSchedule::Fixed(8),
+        }
+    }
+
+    /// Replace the disk set (builder-style).
+    pub fn with_disks(mut self, disks: Vec<DiskConfig>) -> Self {
+        self.disks = disks;
+        self
+    }
+
+    /// Replace the tag model (builder-style).
+    pub fn with_tag_model(mut self, model: TagModel) -> Self {
+        self.tag_model = model;
+        self
+    }
+
+    /// Replace the antenna (builder-style).
+    pub fn with_antenna(mut self, antenna: ReaderAntenna) -> Self {
+        self.antenna = antenna;
+        self
+    }
+
+    /// Shrink grids/snapshots for fast (test) execution.
+    pub fn quick(mut self) -> Self {
+        self.spectrum.azimuth_steps = 360;
+        self.spectrum.polar_steps = 31;
+        self.spectrum.references = 8;
+        self.decimate = 4;
+        self
+    }
+
+    /// Sample a random reader position for 2D trials: anywhere in an
+    /// annulus 1–3 m from the origin, in front of the disks (y > 0.3 m, as
+    /// the paper points the antenna at the desk).
+    pub fn random_reader_xy(rng: &mut impl rand::Rng) -> Vec2 {
+        loop {
+            let r = 1.0 + 2.0 * rng.gen::<f64>();
+            let a = rng.gen::<f64>() * std::f64::consts::PI;
+            let p = Vec2::new(r * a.cos(), r * a.sin());
+            if p.y > 0.3 {
+                return p;
+            }
+        }
+    }
+
+    /// Sample a random reader position for 3D trials: the 2D annulus plus a
+    /// height in `[DESK_HEIGHT, DESK_HEIGHT + 1 m]`.
+    pub fn random_reader_xyz(rng: &mut impl rand::Rng) -> Vec3 {
+        let xy = Self::random_reader_xy(rng);
+        xy.with_z(DESK_HEIGHT + rng.gen::<f64>())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn paper_2d_layout() {
+        let s = Scenario::paper_2d(Vec2::new(0.0, 2.0));
+        assert_eq!(s.disks.len(), 2);
+        assert!((s.disks[0].center.x + 0.3).abs() < 1e-12);
+        assert!((s.disks[1].center.x - 0.3).abs() < 1e-12);
+        assert_eq!(s.disks[0].center.z, 0.0);
+        assert!(s.observation_s > s.disks[0].period_s());
+        assert_eq!(s.reader_truth.position, Vec3::new(0.0, 2.0, 0.0));
+    }
+
+    #[test]
+    fn paper_3d_layout() {
+        let s = Scenario::paper_3d(Vec3::new(0.5, 1.8, 1.4));
+        assert_eq!(s.disks[0].center.z, DESK_HEIGHT);
+        assert!(s.z_feasible.0 >= DESK_HEIGHT);
+        assert_eq!(s.reader_truth.position.z, 1.4);
+    }
+
+    #[test]
+    fn builders_compose() {
+        let s = Scenario::paper_2d(Vec2::new(0.0, 2.0))
+            .with_tag_model(TagModel::Squig)
+            .with_antenna(ReaderAntenna::yeon_set()[2])
+            .quick();
+        assert_eq!(s.tag_model, TagModel::Squig);
+        assert_eq!(s.antenna.id, 3);
+        assert_eq!(s.decimate, 4);
+        assert_eq!(s.spectrum.azimuth_steps, 360);
+    }
+
+    #[test]
+    fn random_positions_respect_constraints() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..100 {
+            let p = Scenario::random_reader_xy(&mut rng);
+            assert!(p.y > 0.3);
+            let r = p.norm();
+            assert!((0.3..=3.0 + 1e-9).contains(&r));
+            let q = Scenario::random_reader_xyz(&mut rng);
+            assert!(q.z >= DESK_HEIGHT && q.z <= DESK_HEIGHT + 1.0);
+        }
+    }
+}

@@ -1,0 +1,183 @@
+//! Seeded trial repetition and parameter sweeps.
+//!
+//! The paper repeats every configuration "over 50 times"; sweeps vary one
+//! parameter (disk separation, radius, tag model, antenna) while holding the
+//! rest. Repetitions are embarrassingly parallel, so they fan out over
+//! threads with crossbeam's scoped spawn.
+
+use crate::metrics::{ErrorStats, TrialError};
+use crate::scenario::Scenario;
+use crate::trial::{run_trial_2d, run_trial_3d, TrialFailure};
+use std::sync::Mutex;
+
+/// Outcome of a repeated-trial batch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Batch {
+    /// Aggregated statistics over the successful trials.
+    pub stats: Option<ErrorStats>,
+    /// Trials that failed, with their seeds.
+    pub failures: Vec<(u64, TrialFailure)>,
+    /// Total trials attempted.
+    pub attempted: usize,
+}
+
+impl Batch {
+    /// Success ratio in `[0, 1]`.
+    pub fn success_rate(&self) -> f64 {
+        if self.attempted == 0 {
+            0.0
+        } else {
+            (self.attempted - self.failures.len()) as f64 / self.attempted as f64
+        }
+    }
+}
+
+/// Degree of parallelism for batches (available cores, capped — trials are
+/// memory-light but spectrum-heavy).
+fn worker_count(jobs: usize) -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(jobs.max(1))
+}
+
+/// Run `trials` seeded repetitions of a scenario generator in parallel.
+///
+/// `make` receives the trial index and returns the scenario plus its seed —
+/// letting callers randomize the reader position per trial while keeping
+/// everything reproducible. `dims` selects 2D or 3D trials.
+pub fn run_batch(
+    trials: usize,
+    dims: Dims,
+    make: impl Fn(usize) -> (Scenario, u64) + Sync,
+) -> Batch {
+    let results: Mutex<Vec<(u64, Result<TrialError, TrialFailure>)>> =
+        Mutex::new(Vec::with_capacity(trials));
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let workers = worker_count(trials);
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= trials {
+                    break;
+                }
+                let (scenario, seed) = make(i);
+                let outcome = match dims {
+                    Dims::Two => run_trial_2d(&scenario, seed).map(|o| o.error),
+                    Dims::Three => run_trial_3d(&scenario, seed).map(|o| o.error),
+                };
+                results.lock().expect("no poisoned lock").push((seed, outcome));
+            });
+        }
+    })
+    .expect("worker threads do not panic");
+
+    let mut errors = Vec::new();
+    let mut failures = Vec::new();
+    for (seed, r) in results.into_inner().expect("no poisoned lock") {
+        match r {
+            Ok(e) => errors.push(e),
+            Err(f) => failures.push((seed, f)),
+        }
+    }
+    Batch {
+        stats: ErrorStats::of(&errors),
+        failures,
+        attempted: trials,
+    }
+}
+
+/// Trial dimensionality.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Dims {
+    /// Planar trials (Section VII-B-1).
+    Two,
+    /// Spatial trials (Section VII-B-2).
+    Three,
+}
+
+/// One point of a parameter sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepPoint {
+    /// The swept parameter's value.
+    pub parameter: f64,
+    /// Batch results at this value.
+    pub batch: Batch,
+}
+
+/// Sweep a scalar parameter: for each value, run a seeded batch.
+///
+/// `configure` builds the scenario for (value, trial index) and returns it
+/// with the seed.
+pub fn sweep_parameter(
+    values: &[f64],
+    trials_per_value: usize,
+    dims: Dims,
+    configure: impl Fn(f64, usize) -> (Scenario, u64) + Sync,
+) -> Vec<SweepPoint> {
+    values
+        .iter()
+        .map(|&v| SweepPoint {
+            parameter: v,
+            batch: run_batch(trials_per_value, dims, |i| configure(v, i)),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use tagspin_geom::Vec2;
+
+    fn quick_scenario(i: usize, base_seed: u64) -> (Scenario, u64) {
+        let seed = base_seed + i as u64;
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xABCD);
+        let xy = Vec2::new(rng.gen::<f64>() - 0.5, 1.5 + rng.gen::<f64>());
+        (Scenario::paper_2d(xy).quick(), seed)
+    }
+
+    #[test]
+    fn batch_runs_and_aggregates() {
+        let batch = run_batch(4, Dims::Two, |i| quick_scenario(i, 100));
+        assert_eq!(batch.attempted, 4);
+        assert!(batch.success_rate() > 0.5, "failures: {:?}", batch.failures);
+        let stats = batch.stats.expect("some successes");
+        assert!(stats.combined.mean < 0.3, "{}", stats.report_cm());
+    }
+
+    #[test]
+    fn batch_deterministic() {
+        let a = run_batch(3, Dims::Two, |i| quick_scenario(i, 7));
+        let b = run_batch(3, Dims::Two, |i| quick_scenario(i, 7));
+        // Thread completion order differs but the stats must match.
+        assert_eq!(
+            a.stats.as_ref().map(|s| s.combined.mean),
+            b.stats.as_ref().map(|s| s.combined.mean)
+        );
+    }
+
+    #[test]
+    fn sweep_shape() {
+        let pts = sweep_parameter(&[0.08, 0.12], 2, Dims::Two, |radius, i| {
+            let (mut s, seed) = quick_scenario(i, 55);
+            for d in &mut s.disks {
+                d.radius = radius;
+            }
+            (s, seed)
+        });
+        assert_eq!(pts.len(), 2);
+        assert_eq!(pts[0].parameter, 0.08);
+        assert_eq!(pts[1].batch.attempted, 2);
+    }
+
+    #[test]
+    fn empty_batch() {
+        let b = run_batch(0, Dims::Two, |i| quick_scenario(i, 1));
+        assert_eq!(b.attempted, 0);
+        assert!(b.stats.is_none());
+        assert_eq!(b.success_rate(), 0.0);
+    }
+}

@@ -1,0 +1,68 @@
+//! Baseline shootout: Tagspin vs LandMarc, AntLoc, PinIt and BackPos in the
+//! same simulated office (paper Section VII-A).
+//!
+//! Run with: `cargo run --release --example baseline_shootout`
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tagspin::sim::baseline_adapters::{antloc_trial, backpos_trial, landmarc_trial, pinit_trial};
+use tagspin::sim::metrics::{ErrorStats, TrialError};
+use tagspin::sim::scenario::Scenario;
+use tagspin::sim::trial::run_trial_2d;
+
+const TRIALS: usize = 10;
+
+fn scenario_for(seed: u64) -> Scenario {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5EED);
+    Scenario::paper_2d(Scenario::random_reader_xy(&mut rng)).quick()
+}
+
+fn report(name: &str, errors: &[TrialError], failures: usize) {
+    match ErrorStats::of(errors) {
+        Some(stats) => println!("{name:<9} {}", stats.report_cm()),
+        None => println!("{name:<9} all trials failed"),
+    }
+    if failures > 0 {
+        println!("          ({failures} trials failed)");
+    }
+}
+
+fn main() {
+    println!("running {TRIALS} random reader placements per system...\n");
+
+    // Tagspin.
+    let mut ts = Vec::new();
+    for i in 0..TRIALS {
+        let seed = 0xBA5E + i as u64;
+        if let Ok(o) = run_trial_2d(&scenario_for(seed), seed) {
+            ts.push(o.error);
+        }
+    }
+    report("Tagspin", &ts, TRIALS - ts.len());
+    let tagspin_mean = ErrorStats::of(&ts).map(|s| s.combined.mean).unwrap_or(f64::NAN);
+
+    // Baselines, same placements.
+    for (name, trial) in [
+        ("LandMarc", landmarc_trial as fn(&Scenario, u64) -> Result<TrialError, String>),
+        ("AntLoc", antloc_trial),
+        ("PinIt", pinit_trial),
+        ("BackPos", backpos_trial),
+    ] {
+        let mut errs = Vec::new();
+        let mut failures = 0;
+        for i in 0..TRIALS {
+            let seed = 0xBA5E + i as u64;
+            match trial(&scenario_for(seed), seed) {
+                Ok(e) => errs.push(e),
+                Err(_) => failures += 1,
+            }
+        }
+        report(name, &errs, failures);
+        if let Some(stats) = ErrorStats::of(&errs) {
+            println!(
+                "          → Tagspin outperforms {name} by {:.1}×\n",
+                stats.combined.mean / tagspin_mean
+            );
+        }
+    }
+}

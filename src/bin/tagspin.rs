@@ -1,0 +1,240 @@
+//! `tagspin` — command-line reader-antenna calibration.
+//!
+//! ```text
+//! tagspin simulate --config dep.conf --reader X,Y[,Z] --out log.llrp [--seed N]
+//! tagspin locate   --config dep.conf --log log.llrp [--3d] [--aided]
+//! tagspin quality  --config dep.conf --log log.llrp
+//! tagspin example-config
+//! ```
+//!
+//! Logs use the LLRP-subset binary format (`tagspin::epc::llrp`) — the same
+//! bytes a capture of the reader's report stream would contain. Deployment
+//! configs use the line format documented in `tagspin::sim::config`.
+
+use std::fs;
+use std::process::ExitCode;
+use tagspin::core::prelude::*;
+use tagspin::core::snapshot::SnapshotSet;
+use tagspin::epc::inventory::{run_inventory, ReaderConfig, Transponder};
+use tagspin::epc::llrp;
+use tagspin::geom::{to_cm, Pose, Vec3};
+use tagspin::rf::channel::Environment;
+use tagspin::rf::tags::{TagInstance, TagModel};
+use tagspin::sim::Deployment;
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+struct Args {
+    positional: Vec<String>,
+    flags: Vec<(String, Option<String>)>,
+}
+
+impl Args {
+    fn parse() -> Args {
+        let mut positional = Vec::new();
+        let mut flags = Vec::new();
+        let mut iter = std::env::args().skip(1).peekable();
+        // Only these flags take a value; booleans like --3d must never
+        // swallow the token after them.
+        const VALUED: &[&str] = &["config", "log", "out", "reader", "seed", "rotations"];
+        while let Some(arg) = iter.next() {
+            if let Some(name) = arg.strip_prefix("--") {
+                let value = match iter.peek() {
+                    Some(v) if VALUED.contains(&name) && !v.starts_with("--") => {
+                        Some(iter.next().expect("peeked"))
+                    }
+                    _ => None,
+                };
+                flags.push((name.to_string(), value));
+            } else {
+                positional.push(arg);
+            }
+        }
+        Args { positional, flags }
+    }
+
+    fn flag(&self, name: &str) -> Option<&str> {
+        self.flags
+            .iter()
+            .find(|(n, _)| n == name)
+            .and_then(|(_, v)| v.as_deref())
+    }
+
+    fn has(&self, name: &str) -> bool {
+        self.flags.iter().any(|(n, _)| n == name)
+    }
+}
+
+fn usage() -> String {
+    "usage:\n  \
+     tagspin simulate --config <file> --reader X,Y[,Z] --out <log> [--seed N] [--rotations F]\n  \
+     tagspin locate   --config <file> --log <file> [--3d] [--aided]\n  \
+     tagspin quality  --config <file> --log <file>\n  \
+     tagspin example-config"
+        .into()
+}
+
+fn load_deployment(args: &Args) -> Result<Deployment, String> {
+    let path = args.flag("config").ok_or("--config <file> required")?;
+    let text = fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    Deployment::parse(&text).map_err(|e| e.to_string())
+}
+
+fn load_log(args: &Args) -> Result<tagspin::epc::InventoryLog, String> {
+    let path = args.flag("log").ok_or("--log <file> required")?;
+    let bytes = fs::read(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let (log, _) = llrp::decode_report(bytes.into()).map_err(|e| format!("decoding {path}: {e}"))?;
+    Ok(log)
+}
+
+fn parse_reader(spec: &str) -> Result<Vec3, String> {
+    let parts: Vec<f64> = spec
+        .split(',')
+        .map(|p| p.trim().parse().map_err(|_| format!("bad coordinate '{p}'")))
+        .collect::<Result<_, _>>()?;
+    match parts.len() {
+        2 => Ok(Vec3::new(parts[0], parts[1], 0.0)),
+        3 => Ok(Vec3::new(parts[0], parts[1], parts[2])),
+        _ => Err("--reader expects X,Y or X,Y,Z".into()),
+    }
+}
+
+fn run() -> Result<(), String> {
+    let args = Args::parse();
+    match args.positional.first().map(String::as_str) {
+        Some("simulate") => simulate(&args),
+        Some("locate") => locate(&args),
+        Some("quality") => quality(&args),
+        Some("example-config") => {
+            print!("{}", example_config());
+            Ok(())
+        }
+        _ => Err(usage()),
+    }
+}
+
+fn example_config() -> String {
+    let mut dep = Deployment::default();
+    dep.tags.push((1, DiskConfig::paper_default(Vec3::new(-0.3, 0.0, 0.0))));
+    dep.tags.push((2, DiskConfig::paper_default(Vec3::new(0.3, 0.0, 0.0))));
+    dep.render()
+}
+
+/// Simulate an observation of the deployment from a known reader position
+/// and write the LLRP report stream — the ground truth for `locate` demos.
+fn simulate(args: &Args) -> Result<(), String> {
+    use rand::SeedableRng;
+    let dep = load_deployment(args)?;
+    if dep.tags.is_empty() {
+        return Err("deployment has no tags".into());
+    }
+    let reader_pos = parse_reader(args.flag("reader").ok_or("--reader X,Y[,Z] required")?)?;
+    let out = args.flag("out").ok_or("--out <file> required")?;
+    let seed: u64 = args
+        .flag("seed")
+        .map(|s| s.parse().map_err(|_| "bad --seed"))
+        .transpose()?
+        .unwrap_or(1);
+    let rotations: f64 = args
+        .flag("rotations")
+        .map(|s| s.parse().map_err(|_| "bad --rotations"))
+        .transpose()?
+        .unwrap_or(1.25);
+
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let env = Environment::paper_default();
+    let aim = dep.tags[0].1.center;
+    let reader = ReaderConfig::at(Pose::facing_toward(reader_pos, aim));
+    let tags: Vec<SpinningTag> = dep
+        .tags
+        .iter()
+        .map(|&(epc, disk)| {
+            SpinningTag::new(disk, TagInstance::manufacture(TagModel::DEFAULT, epc, &mut rng))
+        })
+        .collect();
+    let trs: Vec<&dyn Transponder> = tags.iter().map(|t| t as &dyn Transponder).collect();
+    let duration = dep.tags[0].1.period_s() * rotations;
+    let log = run_inventory(&env, &reader, &trs, duration, &mut rng);
+    let bytes = llrp::encode_report(&log, seed as u32);
+    fs::write(out, &bytes).map_err(|e| format!("writing {out}: {e}"))?;
+    println!(
+        "simulated {} reads over {:.1} s from reader at {reader_pos}; wrote {} bytes to {out}",
+        log.len(),
+        duration,
+        bytes.len()
+    );
+    println!("note: simulate does not run the center-spin calibration; locate with a config");
+    println!("      that sets 'orientation-calibration off', or expect the ψ(ρ) bias.");
+    Ok(())
+}
+
+fn locate(args: &Args) -> Result<(), String> {
+    let dep = load_deployment(args)?;
+    let log = load_log(args)?;
+    let server = dep.build_server();
+    if args.has("aided") {
+        let fix = server.locate_3d_aided(&log).map_err(|e| e.to_string())?;
+        println!("position: {}", fix.position);
+        println!("residual: {:.2} cm", to_cm(fix.residual_m));
+        println!(
+            "ambiguity margin: {:.1}× (runner-up residual / best)",
+            fix.runner_up_residual_m / fix.residual_m.max(1e-9)
+        );
+        println!("chosen candidates: {:?}", fix.chosen);
+    } else if args.has("3d") {
+        let fix = server.locate_3d(&log).map_err(|e| e.to_string())?;
+        let (lo, hi) = dep.z_feasible;
+        match fix.resolve(|p| p.z >= lo && p.z <= hi) {
+            Some(p) => println!("position: {p}"),
+            None => {
+                println!("both candidates outside z-feasible [{lo}, {hi}]:");
+                println!("  candidate: {}", fix.position);
+                println!("  mirror:    {}", fix.mirror);
+            }
+        }
+        println!("z spread between tags: {:.2} cm", to_cm(fix.z_spread_m));
+        println!("horizontal residual: {:.2} cm", to_cm(fix.residual_m));
+    } else {
+        let fix = server.locate_2d(&log).map_err(|e| e.to_string())?;
+        println!("position: {}", fix.position);
+        println!("residual: {:.2} cm", to_cm(fix.residual_m));
+    }
+    Ok(())
+}
+
+fn quality(args: &Args) -> Result<(), String> {
+    let dep = load_deployment(args)?;
+    let log = load_log(args)?;
+    println!(
+        "log: {} reads over {:.1} s ({:.0} reads/s), antennas {:?}",
+        log.len(),
+        log.span_s(),
+        log.read_rate(),
+        log.antennas()
+    );
+    for &(epc, disk) in &dep.tags {
+        match SnapshotSet::from_log(&log, epc, &disk) {
+            Ok(set) => match CaptureQuality::of(&set) {
+                Some(q) => println!(
+                    "tag {epc}: {} reads, {:.0}% coverage, max gap {:.0}°, density skew {:.1} — {}",
+                    q.reads,
+                    q.coverage * 100.0,
+                    q.max_gap.to_degrees(),
+                    q.density_skew,
+                    if q.is_usable() { "usable" } else { "NOT USABLE" }
+                ),
+                None => println!("tag {epc}: empty capture"),
+            },
+            Err(e) => println!("tag {epc}: {e}"),
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,190 @@
+//! Cross-crate property-based tests (proptest) on the core invariants.
+
+use proptest::prelude::*;
+use std::f64::consts::TAU;
+use tagspin::core::snapshot::{Snapshot, SnapshotSet};
+use tagspin::core::spectrum::{spectrum_2d, ProfileKind, SpectrumConfig};
+use tagspin::core::spinning::DiskConfig;
+use tagspin::dsp::unwrap;
+use tagspin::geom::{angle, circular, Line2, Vec2, Vec3};
+use tagspin::rf::phase::round_trip_phase;
+
+const LAMBDA: f64 = 0.325;
+
+fn small_cfg() -> SpectrumConfig {
+    SpectrumConfig {
+        azimuth_steps: 360,
+        polar_steps: 11,
+        references: 4,
+        ..SpectrumConfig::default()
+    }
+}
+
+/// Noise-free snapshots of a full rotation seen from `reader`.
+fn synthesize(disk: &DiskConfig, reader: Vec3, n: usize) -> SnapshotSet {
+    SnapshotSet::from_snapshots(
+        (0..n)
+            .map(|i| {
+                let t = i as f64 * disk.period_s() / n as f64;
+                let d = disk.tag_position(t).distance(reader);
+                Snapshot {
+                    t_s: t,
+                    phase: round_trip_phase(d, 922.5e6, 0.7),
+                    disk_angle: disk.disk_angle(t),
+                    lambda: LAMBDA,
+                    rssi_dbm: -60.0,
+                }
+            })
+            .collect(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Angle wraps land in their documented ranges and are idempotent.
+    #[test]
+    fn prop_wraps_range_and_idempotent(x in -1e4f64..1e4) {
+        let t = angle::wrap_tau(x);
+        prop_assert!((0.0..TAU).contains(&t));
+        prop_assert!((angle::wrap_tau(t) - t).abs() < 1e-9);
+        let p = angle::wrap_pi(x);
+        prop_assert!(p > -std::f64::consts::PI - 1e-12 && p <= std::f64::consts::PI + 1e-12);
+        // Wrapping preserves the angle mod 2π.
+        prop_assert!(angle::separation(t, x) < 1e-6);
+    }
+
+    /// Unwrapping a wrapped smooth sequence recovers it up to one global
+    /// 2π multiple.
+    #[test]
+    fn prop_unwrap_inverts_wrap(
+        slope in -2.0f64..2.0,
+        curve in -0.5f64..0.5,
+        n in 10usize..200,
+    ) {
+        let truth: Vec<f64> = (0..n)
+            .map(|i| {
+                let t = i as f64 * 0.1;
+                slope * t + curve * (0.7 * t).sin()
+            })
+            .collect();
+        let wrapped: Vec<f64> = truth.iter().map(|&x| x.rem_euclid(TAU)).collect();
+        let un = unwrap::unwrap(&wrapped);
+        let delta = un[0] - truth[0];
+        prop_assert!((delta / TAU - (delta / TAU).round()).abs() < 1e-9);
+        for (u, t) in un.iter().zip(&truth) {
+            prop_assert!((u - t - delta).abs() < 1e-6);
+        }
+    }
+
+    /// The phase model is λ/2-periodic in one-way distance.
+    #[test]
+    fn prop_phase_periodicity(d in 0.1f64..10.0, k in 1u8..10) {
+        let f = 922.5e6;
+        let lambda = tagspin::rf::constants::wavelength(f);
+        let a = round_trip_phase(d, f, 0.0);
+        let b = round_trip_phase(d + k as f64 * lambda / 2.0, f, 0.0);
+        prop_assert!(angle::separation(a, b) < 1e-6);
+    }
+
+    /// Line intersection is symmetric in argument order.
+    #[test]
+    fn prop_intersection_symmetric(
+        x1 in -2.0f64..2.0, y1 in -2.0f64..2.0, b1 in 0.0f64..TAU,
+        x2 in -2.0f64..2.0, y2 in -2.0f64..2.0, b2 in 0.0f64..TAU,
+    ) {
+        let l1 = Line2::from_bearing(Vec2::new(x1, y1), b1);
+        let l2 = Line2::from_bearing(Vec2::new(x2, y2), b2);
+        match (l1.intersect(&l2), l2.intersect(&l1)) {
+            (Ok(a), Ok(b)) => prop_assert!((a - b).norm() < 1e-6),
+            (Err(_), Err(_)) => {}
+            (a, b) => prop_assert!(false, "asymmetric results {a:?} vs {b:?}"),
+        }
+    }
+
+    /// Both spectra peak at the true bearing for noise-free data, any
+    /// reader placement in the far field.
+    #[test]
+    fn prop_spectrum_peaks_at_truth(
+        rx in -2.5f64..2.5,
+        ry in 1.2f64..3.0,
+    ) {
+        let disk = DiskConfig::paper_default(Vec3::ZERO);
+        let reader = Vec3::new(rx, ry, 0.0);
+        let set = synthesize(&disk, reader, 180);
+        let expect = (reader - disk.center).azimuth();
+        for kind in [ProfileKind::Traditional, ProfileKind::Enhanced] {
+            let spec = spectrum_2d(&set, disk.radius, kind, &small_cfg());
+            let peak = spec.peak().expect("nonempty");
+            prop_assert!(
+                angle::separation(peak.position, expect) < 3f64.to_radians(),
+                "{kind:?} peak {:.1}° vs truth {:.1}°",
+                peak.position.to_degrees(),
+                expect.to_degrees()
+            );
+        }
+    }
+
+    /// The spectrum is invariant to the diversity term θ_div.
+    #[test]
+    fn prop_spectrum_invariant_to_diversity(
+        theta_div in 0.0f64..TAU,
+    ) {
+        let disk = DiskConfig::paper_default(Vec3::ZERO);
+        let reader = Vec3::new(-1.2, 1.1, 0.0);
+        let base = synthesize(&disk, reader, 120);
+        let shifted = base.with_phases(
+            &base
+                .phases()
+                .iter()
+                .map(|p| (p + theta_div).rem_euclid(TAU))
+                .collect::<Vec<_>>(),
+        );
+        let a = spectrum_2d(&base, disk.radius, ProfileKind::Enhanced, &small_cfg());
+        let b = spectrum_2d(&shifted, disk.radius, ProfileKind::Enhanced, &small_cfg());
+        for (x, y) in a.values().iter().zip(b.values()) {
+            prop_assert!((x - y).abs() < 1e-9);
+        }
+    }
+
+    /// Circular mean of a tight cluster stays inside the cluster's arc.
+    #[test]
+    fn prop_circular_mean_in_cluster(
+        center in 0.0f64..TAU,
+        spread in 0.001f64..0.5,
+        n in 2usize..40,
+    ) {
+        let angles: Vec<f64> = (0..n)
+            .map(|i| center + spread * ((i as f64 / n as f64) - 0.5))
+            .collect();
+        let m = circular::mean(&angles).expect("concentrated cluster");
+        prop_assert!(angle::separation(m, center) <= spread / 2.0 + 1e-9);
+    }
+
+    /// ECDF is monotone and normalized.
+    #[test]
+    fn prop_ecdf_monotone(mut xs in proptest::collection::vec(-100.0f64..100.0, 1..100)) {
+        let cdf = tagspin::dsp::stats::Ecdf::new(&xs);
+        xs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let mut prev = 0.0;
+        for w in xs.windows(2) {
+            let v = cdf.eval(w[0]);
+            prop_assert!(v >= prev);
+            prev = v;
+        }
+        prop_assert_eq!(cdf.eval(xs[xs.len() - 1]), 1.0);
+        prop_assert_eq!(cdf.eval(xs[0] - 1.0), 0.0);
+    }
+
+    /// Mirror-z candidates produce identical distances to any point on the
+    /// disk plane — the physical root of the 3D ambiguity.
+    #[test]
+    fn prop_mirror_ambiguity(
+        px in -3.0f64..3.0, py in -3.0f64..3.0, pz in 0.0f64..2.0,
+        qx in -3.0f64..3.0, qy in -3.0f64..3.0,
+    ) {
+        let p = Vec3::new(px, py, pz);
+        let q = Vec3::new(qx, qy, 0.0);
+        prop_assert!((p.distance(q) - p.mirror_z().distance(q)).abs() < 1e-9);
+    }
+}
