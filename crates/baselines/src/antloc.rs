@@ -192,15 +192,16 @@ mod tests {
     #[test]
     fn dimension_mismatch_rejected() {
         let al = AntLoc::new(references(), MARGIN_1M, EXPONENT);
-        assert_eq!(
-            al.locate(&[10.0]),
-            Err(BaselineError::DimensionMismatch)
-        );
+        assert_eq!(al.locate(&[10.0]), Err(BaselineError::DimensionMismatch));
     }
 
     #[test]
     fn too_few_references_rejected() {
-        let al = AntLoc::new(vec![Vec3::ZERO, Vec3::new(1.0, 0.0, 0.0)], MARGIN_1M, EXPONENT);
+        let al = AntLoc::new(
+            vec![Vec3::ZERO, Vec3::new(1.0, 0.0, 0.0)],
+            MARGIN_1M,
+            EXPONENT,
+        );
         assert_eq!(
             al.locate(&[10.0, 12.0]),
             Err(BaselineError::TooFewReferences { got: 2, need: 3 })

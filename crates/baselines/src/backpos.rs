@@ -103,7 +103,7 @@ impl BackPos {
                 (ss, c)
             })
             .collect();
-        scored.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite residuals"));
+        scored.sort_by(|a, b| a.0.total_cmp(&b.0));
         // The true basin is only millimeters wide at room scale (the
         // wrapped residual oscillates on the λ/2 scale), so dozens of alias
         // cells can outrank the truth's nearest grid cell before

@@ -126,8 +126,8 @@ pub fn gauss_newton_2d(
             }
         });
         let neg_r: Vec<f64> = r0.iter().map(|v| -v).collect();
-        let step = lstsq::solve(&jac, &neg_r)
-            .map_err(|e| BaselineError::Solver(format!("lstsq: {e}")))?;
+        let step =
+            lstsq::solve(&jac, &neg_r).map_err(|e| BaselineError::Solver(format!("lstsq: {e}")))?;
         let delta = Vec2::new(step[0], step[1]);
         p += delta;
         if delta.norm() < 1e-9 {
@@ -175,7 +175,11 @@ mod tests {
     fn gauss_newton_solves_trilateration() {
         // True point (1, 2); three anchors with exact ranges.
         let truth = Vec2::new(1.0, 2.0);
-        let anchors = [Vec2::new(0.0, 0.0), Vec2::new(3.0, 0.0), Vec2::new(0.0, 4.0)];
+        let anchors = [
+            Vec2::new(0.0, 0.0),
+            Vec2::new(3.0, 0.0),
+            Vec2::new(0.0, 4.0),
+        ];
         let ranges: Vec<f64> = anchors.iter().map(|a| a.distance(truth)).collect();
         let res = |p: Vec2| -> Vec<f64> {
             anchors

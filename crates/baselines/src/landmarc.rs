@@ -95,7 +95,7 @@ impl Landmarc {
                 (e, c)
             })
             .collect();
-        scored.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite distances"));
+        scored.sort_by(|a, b| a.0.total_cmp(&b.0));
         // LANDMARC weighting: wᵢ = (1/Eᵢ²) / Σ(1/Eⱼ²).
         let nearest = &scored[..self.k];
         let mut wsum = 0.0;

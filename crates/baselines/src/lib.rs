@@ -14,6 +14,7 @@
 //! * [`backpos`] — hyperbolic positioning from backscatter phase
 //!   differences (Liu et al.).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod antloc;

@@ -133,7 +133,7 @@ impl PinIt {
                 (d, r.position)
             })
             .collect();
-        scored.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite DTW distances"));
+        scored.sort_by(|a, b| a.0.total_cmp(&b.0));
         let nearest = &scored[..self.k];
         let mut wsum = 0.0;
         let mut acc = Vec2::ZERO;
@@ -163,10 +163,18 @@ mod tests {
     fn dtw_absorbs_time_shift() {
         // A shifted copy of a peaky sequence: DTW stays small, Euclidean
         // (lockstep) distance would be large.
-        let a: Vec<f64> = (0..50).map(|i| (-((i as f64 - 20.0) / 3.0).powi(2)).exp()).collect();
-        let b: Vec<f64> = (0..50).map(|i| (-((i as f64 - 24.0) / 3.0).powi(2)).exp()).collect();
+        let a: Vec<f64> = (0..50)
+            .map(|i| (-((i as f64 - 20.0) / 3.0).powi(2)).exp())
+            .collect();
+        let b: Vec<f64> = (0..50)
+            .map(|i| (-((i as f64 - 24.0) / 3.0).powi(2)).exp())
+            .collect();
         let lockstep: f64 = a.iter().zip(&b).map(|(x, y)| (x - y).abs()).sum();
-        assert!(dtw(&a, &b) < 0.3 * lockstep, "dtw = {}, lockstep = {lockstep}", dtw(&a, &b));
+        assert!(
+            dtw(&a, &b) < 0.3 * lockstep,
+            "dtw = {}, lockstep = {lockstep}",
+            dtw(&a, &b)
+        );
     }
 
     #[test]

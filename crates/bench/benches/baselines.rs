@@ -16,9 +16,8 @@ fn refs_grid() -> Vec<Vec3> {
 
 fn bench_landmarc(c: &mut Criterion) {
     let mut group = c.benchmark_group("baseline_landmarc");
-    let predict = |reader: Vec3, tag: Vec3| -> f64 {
-        -40.0 - 20.0 * reader.distance(tag).max(0.05).log10()
-    };
+    let predict =
+        |reader: Vec3, tag: Vec3| -> f64 { -40.0 - 20.0 * reader.distance(tag).max(0.05).log10() };
     let truth = Vec3::new(0.4, 1.5, 0.0);
     let measured: Vec<f64> = refs_grid().iter().map(|&t| predict(truth, t)).collect();
     for &step in &[0.2f64, 0.1, 0.05] {
@@ -109,7 +108,7 @@ fn bench_backpos(c: &mut Criterion) {
     let k = 4.0 * std::f64::consts::PI / lambda;
     let phases: Vec<f64> = refs
         .iter()
-        .map(|t| (k * t.distance(truth.with_z(0.0))).rem_euclid(std::f64::consts::TAU))
+        .map(|t| tagspin_geom::angle::wrap_tau(k * t.distance(truth.with_z(0.0))))
         .collect();
     let bp = BackPos::new(
         refs,

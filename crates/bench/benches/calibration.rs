@@ -21,8 +21,7 @@ fn center_capture(n: usize) -> SnapshotSet {
                 let t = i as f64 * disk.period_s() * 1.3 / n as f64;
                 Snapshot {
                     t_s: t,
-                    phase: (2.0 + psi.eval(disk.disk_angle(t)))
-                        .rem_euclid(std::f64::consts::TAU),
+                    phase: tagspin_geom::angle::wrap_tau(2.0 + psi.eval(disk.disk_angle(t))),
                     disk_angle: disk.disk_angle(t),
                     lambda: 0.325,
                     rssi_dbm: -60.0,

@@ -2,14 +2,14 @@
 //! intersection and the full server pipeline.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use tagspin_core::locate::plane::{locate_2d, Bearing2D};
 use tagspin_core::locate::space::{locate_3d, Bearing3D};
 use tagspin_geom::vec3::Direction3;
 use tagspin_geom::{Vec2, Vec3};
 use tagspin_sim::scenario::Scenario;
 use tagspin_sim::trial::{observe, setup_trial};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 fn bench_intersection_2d(c: &mut Criterion) {
     let mut group = c.benchmark_group("locate_2d");

@@ -8,12 +8,12 @@ use tagspin_bench::bench_inventory;
 use tagspin_dsp::lstsq::{self, Matrix};
 use tagspin_dsp::unwrap;
 use tagspin_epc::llrp::{decode_report, encode_report};
+use tagspin_geom::Vec2;
 use tagspin_geom::{Pose, Vec3};
 use tagspin_rf::channel::{measure, Environment};
 use tagspin_rf::constants::DEFAULT_CARRIER_HZ;
 use tagspin_rf::multipath::room_walls;
 use tagspin_rf::{ReaderAntenna, TagInstance, TagModel};
-use tagspin_geom::Vec2;
 
 fn bench_channel_measure(c: &mut Criterion) {
     let mut group = c.benchmark_group("rf_measure");
@@ -84,7 +84,7 @@ fn bench_llrp(c: &mut Criterion) {
 fn bench_dsp_kernels(c: &mut Criterion) {
     let mut group = c.benchmark_group("dsp");
     let phases: Vec<f64> = (0..10_000)
-        .map(|i| (0.03 * i as f64).rem_euclid(std::f64::consts::TAU))
+        .map(|i| tagspin_geom::angle::wrap_tau(0.03 * i as f64))
         .collect();
     group.bench_function("unwrap_10k", |b| {
         b.iter(|| unwrap::unwrap(black_box(&phases)))

@@ -1,5 +1,6 @@
 //! Shared fixtures for the Tagspin benchmarks and the `reproduce` binary.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use rand::rngs::StdRng;

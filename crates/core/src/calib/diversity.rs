@@ -14,7 +14,7 @@ use crate::snapshot::SnapshotSet;
 use crate::spinning::DiskConfig;
 use std::f64::consts::TAU;
 use tagspin_dsp::unwrap;
-use tagspin_geom::Vec3;
+use tagspin_geom::{angle, Vec3};
 
 /// Smooth a wrapped phase sequence (the paper's Eqn-4 step), returning a new
 /// snapshot set with unwrapped phases.
@@ -47,7 +47,7 @@ pub fn relative_phases(set: &SnapshotSet, reference: usize) -> Vec<f64> {
     let theta_ref = phases[reference];
     phases
         .iter()
-        .map(|&p| (p - theta_ref).rem_euclid(TAU))
+        .map(|&p| angle::wrap_tau(p - theta_ref))
         .collect()
 }
 
@@ -57,30 +57,20 @@ pub fn relative_phases(set: &SnapshotSet, reference: usize) -> Vec<f64> {
 ///
 /// `reader` may be off-plane; the paper's 3D extension (Eqn 10) multiplies
 /// the radius term by `cos γ`, which this implements.
-pub fn theoretical_phase_model(
-    disk: &DiskConfig,
-    reader: Vec3,
-    t_s: f64,
-    lambda: f64,
-) -> f64 {
+pub fn theoretical_phase_model(disk: &DiskConfig, reader: Vec3, t_s: f64, lambda: f64) -> f64 {
     let rel = reader - disk.center;
     let dist = rel.norm();
     let phi = rel.azimuth();
     let gamma = rel.polar();
     let d = dist - disk.radius * (disk.disk_angle(t_s) - phi).cos() * gamma.cos();
-    (2.0 * TAU / lambda * d).rem_euclid(TAU)
+    angle::wrap_tau(2.0 * TAU / lambda * d)
 }
 
 /// Exact theoretical phase: uses the true tag position on the track (no
 /// far-field approximation), `θ_div = 0`, wrapped to `[0, 2π)`.
-pub fn theoretical_phase_exact(
-    disk: &DiskConfig,
-    reader: Vec3,
-    t_s: f64,
-    lambda: f64,
-) -> f64 {
+pub fn theoretical_phase_exact(disk: &DiskConfig, reader: Vec3, t_s: f64, lambda: f64) -> f64 {
     let d = disk.tag_position(t_s).distance(reader);
-    (2.0 * TAU / lambda * d).rem_euclid(TAU)
+    angle::wrap_tau(2.0 * TAU / lambda * d)
 }
 
 #[cfg(test)]

@@ -125,7 +125,7 @@ impl OrientationCalibration {
         let corrected: Vec<f64> = set
             .snapshots()
             .iter()
-            .map(|s| (s.phase - self.offset(s.disk_angle)).rem_euclid(std::f64::consts::TAU))
+            .map(|s| angle::wrap_tau(s.phase - self.offset(s.disk_angle)))
             .collect();
         set.with_phases(&corrected)
     }
@@ -175,8 +175,7 @@ mod tests {
                     let rho = disk.plane_azimuth(t) - reader_bearing;
                     Snapshot {
                         t_s: t,
-                        phase: (2.5 + psi.eval(rho) + noise(i))
-                            .rem_euclid(std::f64::consts::TAU),
+                        phase: (2.5 + psi.eval(rho) + noise(i)).rem_euclid(std::f64::consts::TAU),
                         disk_angle: beta,
                         lambda: 0.325,
                         rssi_dbm: -60.0,
@@ -191,7 +190,11 @@ mod tests {
         let psi = OrientationPhase::template(0.7);
         let set = center_spin_capture(&psi, 0.4, 1.2, 400, |_| 0.0);
         let cal = OrientationCalibration::fit(&set).unwrap();
-        assert!((cal.peak_to_peak() - 0.7).abs() < 0.02, "pp = {}", cal.peak_to_peak());
+        assert!(
+            (cal.peak_to_peak() - 0.7).abs() < 0.02,
+            "pp = {}",
+            cal.peak_to_peak()
+        );
         assert!(cal.rms_residual() < 0.02, "rms = {}", cal.rms_residual());
         // Applying the calibration flattens the capture.
         let corrected = cal.apply(&set);
@@ -212,7 +215,11 @@ mod tests {
             0.1 * ((i as f64 * 1.618).sin() + (i as f64 * 0.347).cos()) / 1.41
         });
         let cal = OrientationCalibration::fit(&set).unwrap();
-        assert!((cal.peak_to_peak() - 0.7).abs() < 0.1, "pp = {}", cal.peak_to_peak());
+        assert!(
+            (cal.peak_to_peak() - 0.7).abs() < 0.1,
+            "pp = {}",
+            cal.peak_to_peak()
+        );
     }
 
     #[test]

@@ -54,22 +54,22 @@ impl CaptureQuality {
         let mut angles: Vec<f64> = set
             .snapshots()
             .iter()
-            .map(|s| s.disk_angle.rem_euclid(TAU))
+            .map(|s| tagspin_geom::angle::wrap_tau(s.disk_angle))
             .collect();
         for &a in &angles {
             bins[((a / TAU) * BINS as f64) as usize % BINS] += 1;
         }
         let occupied = bins.iter().filter(|&&c| c > 0).count();
         let mean_occ = set.len() as f64 / BINS as f64;
-        let max_occ = *bins.iter().max().expect("nonempty") as f64;
+        let max_occ = bins.iter().copied().max().unwrap_or(0) as f64;
 
-        angles.sort_by(|a, b| a.partial_cmp(b).expect("finite angles"));
+        angles.sort_by(|a, b| a.total_cmp(b));
         let mut max_gap: f64 = 0.0;
         for w in angles.windows(2) {
             max_gap = max_gap.max(w[1] - w[0]);
         }
         // Wrap-around gap.
-        max_gap = max_gap.max(angles[0] + TAU - angles.last().expect("nonempty"));
+        max_gap = max_gap.max(angles[0] + TAU - angles[angles.len() - 1]);
 
         let span = set.span_s();
         Some(CaptureQuality {
@@ -81,7 +81,11 @@ impl CaptureQuality {
             },
             coverage: occupied as f64 / BINS as f64,
             max_gap,
-            density_skew: if mean_occ > 0.0 { max_occ / mean_occ } else { 0.0 },
+            density_skew: if mean_occ > 0.0 {
+                max_occ / mean_occ
+            } else {
+                0.0
+            },
         })
     }
 
@@ -98,7 +102,10 @@ impl CaptureQuality {
 /// through the actual sample positions). Returns `f64::INFINITY` for
 /// degenerate captures (no aperture diversity).
 pub fn bearing_crlb(set: &SnapshotSet, radius: f64, sigma: f64, phi: f64) -> f64 {
-    assert!(sigma > 0.0 && radius > 0.0, "sigma and radius must be positive");
+    assert!(
+        sigma > 0.0 && radius > 0.0,
+        "sigma and radius must be positive"
+    );
     let mut info = 0.0;
     for s in set.snapshots() {
         let k = 2.0 * TAU / s.lambda; // 4π/λ

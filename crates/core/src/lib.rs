@@ -58,6 +58,7 @@
 //! assert!((fix.position - truth.xy()).norm() < 0.15);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod calib;
@@ -71,10 +72,10 @@ pub mod spinning;
 /// One-stop imports for typical users.
 pub mod prelude {
     pub use crate::calib::orientation::OrientationCalibration;
+    pub use crate::diagnostics::CaptureQuality;
     pub use crate::locate::plane::{Bearing2D, Fix2D};
     pub use crate::locate::space::{Bearing3D, Fix3D};
     pub use crate::server::{LocalizationServer, PipelineConfig, ServerError};
-    pub use crate::diagnostics::CaptureQuality;
     pub use crate::snapshot::{Snapshot, SnapshotSet};
     pub use crate::spectrum::{ProfileKind, SpectrumConfig};
     pub use crate::spinning::{CenterSpinTag, DiskConfig, SpinningTag};

@@ -126,10 +126,9 @@ pub fn locate_3d_resolved(bearings: &[AmbiguousBearing]) -> Result<ResolvedFix, 
             None => best = Some((rms, point, combo)),
         }
     }
-    let (residual_m, position, combo) =
-        best.ok_or(LocateError::Degenerate(
-            tagspin_geom::line2::IntersectLinesError::Singular,
-        ))?;
+    let (residual_m, position, combo) = best.ok_or(LocateError::Degenerate(
+        tagspin_geom::line2::IntersectLinesError::Singular,
+    ))?;
     Ok(ResolvedFix {
         position,
         residual_m,
@@ -153,8 +152,14 @@ mod tests {
         // Horizontal disks alone cannot tell +z from −z; adding a vertical
         // disk must select the true candidate.
         let target = Vec3::new(0.4, 1.8, 1.2);
-        let h1 = AmbiguousBearing::horizontal(Vec3::new(-0.3, 0.0, 0.0), toward(Vec3::new(-0.3, 0.0, 0.0), target));
-        let h2 = AmbiguousBearing::horizontal(Vec3::new(0.3, 0.0, 0.0), toward(Vec3::new(0.3, 0.0, 0.0), target));
+        let h1 = AmbiguousBearing::horizontal(
+            Vec3::new(-0.3, 0.0, 0.0),
+            toward(Vec3::new(-0.3, 0.0, 0.0), target),
+        );
+        let h2 = AmbiguousBearing::horizontal(
+            Vec3::new(0.3, 0.0, 0.0),
+            toward(Vec3::new(0.3, 0.0, 0.0), target),
+        );
         let v_origin = Vec3::new(0.0, 0.5, 0.0);
         let v = AmbiguousBearing::vertical(v_origin, toward(v_origin, target), FRAC_PI_2);
         let fix = locate_3d_resolved(&[h1, h2, v]).unwrap();

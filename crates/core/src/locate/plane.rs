@@ -73,6 +73,7 @@ pub fn locate_2d(bearings: &[Bearing2D]) -> Result<Fix2D, LocateError> {
         .sum();
     Ok(Fix2D {
         position,
+        // lint:allow(lossy-cast) line count is a small positive integer, exact in f64
         residual_m: (ss / lines.len() as f64).sqrt(),
     })
 }
@@ -85,7 +86,9 @@ pub fn locate_2d(bearings: &[Bearing2D]) -> Result<Fix2D, LocateError> {
 /// the ±90° singularity of the closed form — production code should call
 /// [`locate_2d`]).
 pub fn locate_2d_eqn9(b1: &Bearing2D, b2: &Bearing2D) -> Result<Vec2, LocateError> {
-    Ok(intersect_eqn9(b1.origin, b1.azimuth, b2.origin, b2.azimuth)?)
+    Ok(intersect_eqn9(
+        b1.origin, b1.azimuth, b2.origin, b2.azimuth,
+    )?)
 }
 
 #[cfg(test)]

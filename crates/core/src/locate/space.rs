@@ -217,7 +217,11 @@ mod tests {
         b1.weight = 1e-9;
         b2.weight = 1.0;
         let fix = locate_3d(&[b1, b2]).unwrap();
-        assert!((fix.position.z - 0.6).abs() < 1e-3, "z = {}", fix.position.z);
+        assert!(
+            (fix.position.z - 0.6).abs() < 1e-3,
+            "z = {}",
+            fix.position.z
+        );
     }
 
     #[test]

@@ -19,12 +19,12 @@ use crate::locate::aided::{locate_3d_resolved, AmbiguousBearing, ResolvedFix};
 use crate::locate::plane::{locate_2d, Bearing2D, Fix2D};
 use crate::locate::space::{locate_3d, Bearing3D, Fix3D};
 use crate::locate::LocateError;
-use crate::spinning::DiskPlane;
 use crate::snapshot::{SnapshotError, SnapshotSet};
 use crate::spectrum::{
     spectrum_2d, spectrum_3d, spectrum_3d_for_disk, ProfileKind, Spectrum2D, SpectrumConfig,
 };
 use crate::spinning::DiskConfig;
+use crate::spinning::DiskPlane;
 use std::fmt;
 use tagspin_epc::InventoryLog;
 use tagspin_geom::vec3::Direction3;
@@ -88,6 +88,11 @@ pub enum ServerError {
         /// Configured minimum.
         need: usize,
     },
+    /// The angle spectrum came back empty (no samples to search).
+    EmptySpectrum {
+        /// Which tag's spectrum degenerated.
+        epc: u128,
+    },
     /// Snapshot extraction failed.
     Snapshot(SnapshotError),
     /// Geometric localization failed.
@@ -104,6 +109,9 @@ impl fmt::Display for ServerError {
             }
             ServerError::TooFewSnapshots { epc, got, need } => {
                 write!(f, "tag {epc:x} produced {got} reads, need {need}")
+            }
+            ServerError::EmptySpectrum { epc } => {
+                write!(f, "tag {epc:x} produced an empty angle spectrum")
             }
             ServerError::Snapshot(e) => write!(f, "snapshot extraction failed: {e}"),
             ServerError::Locate(e) => write!(f, "localization failed: {e}"),
@@ -187,8 +195,7 @@ impl LocalizationServer {
         log: &InventoryLog,
         tag: &RegisteredTag,
     ) -> Result<SnapshotSet, ServerError> {
-        let set =
-            SnapshotSet::from_log(log, tag.epc, &tag.disk).map_err(ServerError::Snapshot)?;
+        let set = SnapshotSet::from_log(log, tag.epc, &tag.disk).map_err(ServerError::Snapshot)?;
         if set.len() < self.config.min_snapshots {
             return Err(ServerError::TooFewSnapshots {
                 epc: tag.epc,
@@ -196,10 +203,12 @@ impl LocalizationServer {
                 need: self.config.min_snapshots,
             });
         }
-        Ok(match (&tag.orientation, self.config.orientation_calibration) {
-            (Some(cal), true) => cal.apply(&set),
-            _ => set,
-        })
+        Ok(
+            match (&tag.orientation, self.config.orientation_calibration) {
+                (Some(cal), true) => cal.apply(&set),
+                _ => set,
+            },
+        )
     }
 
     /// Compute the 2D bearing (and its spectrum) for one registered tag.
@@ -218,12 +227,19 @@ impl LocalizationServer {
             .find(|t| t.epc == epc)
             .ok_or(ServerError::UnknownTag(epc))?;
         let set = self.calibrated_snapshots(log, tag)?;
-        let spec = spectrum_2d(&set, tag.disk.radius, self.config.profile, &self.config.spectrum);
+        let spec = spectrum_2d(
+            &set,
+            tag.disk.radius,
+            self.config.profile,
+            &self.config.spectrum,
+        );
         let peak = match self.config.profile {
             ProfileKind::Hybrid => {
                 // Detect the lobe on the enhanced spectrum, refine on the
                 // traditional one (matched-filter precision) within ±10°.
-                let coarse = spec.peak().expect("non-empty spectrum has a peak");
+                let coarse = spec
+                    .peak()
+                    .ok_or(ServerError::EmptySpectrum { epc: tag.epc })?;
                 let q = spectrum_2d(
                     &set,
                     tag.disk.radius,
@@ -233,7 +249,9 @@ impl LocalizationServer {
                 q.constrained_peak(coarse.position, 10f64.to_radians())
                     .unwrap_or(coarse)
             }
-            _ => spec.peak().expect("non-empty spectrum has a peak"),
+            _ => spec
+                .peak()
+                .ok_or(ServerError::EmptySpectrum { epc: tag.epc })?,
         };
         Ok((
             Bearing2D {
@@ -285,10 +303,17 @@ impl LocalizationServer {
             .find(|t| t.epc == epc)
             .ok_or(ServerError::UnknownTag(epc))?;
         let set = self.calibrated_snapshots(log, tag)?;
-        let spec = spectrum_3d(&set, tag.disk.radius, self.config.profile, &self.config.spectrum);
+        let spec = spectrum_3d(
+            &set,
+            tag.disk.radius,
+            self.config.profile,
+            &self.config.spectrum,
+        );
         let (dir, power) = match self.config.profile {
             ProfileKind::Hybrid => {
-                let (coarse, power) = spec.peak().expect("non-empty spectrum has a peak");
+                let (coarse, power) = spec
+                    .peak()
+                    .ok_or(ServerError::EmptySpectrum { epc: tag.epc })?;
                 let q = spectrum_3d(
                     &set,
                     tag.disk.radius,
@@ -299,7 +324,9 @@ impl LocalizationServer {
                     .map(|(d, _)| (d, power))
                     .unwrap_or((coarse, power))
             }
-            _ => spec.peak().expect("non-empty spectrum has a peak"),
+            _ => spec
+                .peak()
+                .ok_or(ServerError::EmptySpectrum { epc: tag.epc })?,
         };
         Ok(Bearing3D {
             origin: tag.disk.center,
@@ -360,7 +387,9 @@ impl LocalizationServer {
                 spectrum_3d_for_disk(&set, &tag.disk, self.config.profile, &self.config.spectrum);
             let (dir, power) = match self.config.profile {
                 ProfileKind::Hybrid => {
-                    let (coarse, power) = spec.peak().expect("non-empty spectrum has a peak");
+                    let (coarse, power) = spec
+                        .peak()
+                        .ok_or(ServerError::EmptySpectrum { epc: tag.epc })?;
                     let q = spectrum_3d_for_disk(
                         &set,
                         &tag.disk,
@@ -371,7 +400,9 @@ impl LocalizationServer {
                         .map(|(d, _)| (d, power))
                         .unwrap_or((coarse, power))
                 }
-                _ => spec.peak().expect("non-empty spectrum has a peak"),
+                _ => spec
+                    .peak()
+                    .ok_or(ServerError::EmptySpectrum { epc: tag.epc })?,
             };
             let mut bearing = match tag.disk.plane {
                 DiskPlane::Horizontal => AmbiguousBearing::horizontal(tag.disk.center, dir),
@@ -394,13 +425,14 @@ impl LocalizationServer {
     /// (2D): the paper's multi-antenna claim — "simultaneously locate even
     /// multiple target antennas".
     ///
-    /// Returns `(antenna_id, fix)` for each antenna with enough data;
-    /// antennas whose sub-log is unusable are reported with the error.
-    pub fn locate_all_2d(
-        &self,
-        log: &InventoryLog,
-    ) -> Vec<(u8, Result<Fix2D, ServerError>)> {
-        log.antennas()
+    /// Returns `(antenna_id, fix)` for each antenna with enough data,
+    /// ordered by ascending antenna id so callers get a deterministic
+    /// result regardless of report interleaving; antennas whose sub-log
+    /// is unusable are reported with the error.
+    pub fn locate_all_2d(&self, log: &InventoryLog) -> Vec<(u8, Result<Fix2D, ServerError>)> {
+        let mut antennas = log.antennas();
+        antennas.sort_unstable();
+        antennas
             .into_iter()
             .map(|ant| (ant, self.locate_2d(&log.for_antenna(ant))))
             .collect()

@@ -33,24 +33,31 @@ pub struct SnapshotSet {
 }
 
 /// Error from snapshot extraction.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum SnapshotError {
     /// No reads for the requested EPC in the log.
     NoReads,
     /// The disk configuration is invalid.
-    BadDisk(String),
+    BadDisk(crate::spinning::DiskConfigError),
 }
 
 impl std::fmt::Display for SnapshotError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             SnapshotError::NoReads => write!(f, "no reads for the requested epc"),
-            SnapshotError::BadDisk(s) => write!(f, "bad disk config: {s}"),
+            SnapshotError::BadDisk(e) => write!(f, "bad disk config: {e}"),
         }
     }
 }
 
-impl std::error::Error for SnapshotError {}
+impl std::error::Error for SnapshotError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SnapshotError::NoReads => None,
+            SnapshotError::BadDisk(e) => Some(e),
+        }
+    }
+}
 
 impl SnapshotSet {
     /// Extract the snapshots of `epc` from an inventory log, annotating each
@@ -72,9 +79,7 @@ impl SnapshotSet {
                 t_s: r.time_s(),
                 phase: r.phase,
                 disk_angle: disk.disk_angle(r.time_s()),
-                lambda: wavelength(channel_frequency(
-                    r.channel_index as usize % CHANNEL_COUNT,
-                )),
+                lambda: wavelength(channel_frequency(r.channel_index as usize % CHANNEL_COUNT)),
                 rssi_dbm: r.rssi_dbm,
             })
             .collect();
@@ -142,12 +147,7 @@ impl SnapshotSet {
     pub fn decimate(&self, stride: usize) -> SnapshotSet {
         assert!(stride > 0, "stride must be positive");
         SnapshotSet {
-            snapshots: self
-                .snapshots
-                .iter()
-                .step_by(stride)
-                .copied()
-                .collect(),
+            snapshots: self.snapshots.iter().step_by(stride).copied().collect(),
         }
     }
 

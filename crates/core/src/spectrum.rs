@@ -97,26 +97,65 @@ impl SpectrumConfig {
     ///
     /// # Errors
     ///
-    /// Returns a message naming the offending field.
-    pub fn validate(&self) -> Result<(), String> {
+    /// Returns the first offending field.
+    pub fn validate(&self) -> Result<(), SpectrumConfigError> {
         if self.azimuth_steps < 8 {
-            return Err("azimuth_steps must be >= 8".into());
+            return Err(SpectrumConfigError::TooFewAzimuthSteps(self.azimuth_steps));
         }
         if self.polar_steps < 3 {
-            return Err("polar_steps must be >= 3".into());
+            return Err(SpectrumConfigError::TooFewPolarSteps(self.polar_steps));
         }
         if !(self.sigma.is_finite() && self.sigma > 0.0) {
-            return Err("sigma must be finite and positive".into());
+            return Err(SpectrumConfigError::BadSigma(self.sigma));
         }
         if !(self.weight_inflation.is_finite() && self.weight_inflation > 0.0) {
-            return Err("weight_inflation must be finite and positive".into());
+            return Err(SpectrumConfigError::BadWeightInflation(
+                self.weight_inflation,
+            ));
         }
         if self.references == 0 {
-            return Err("references must be at least 1".into());
+            return Err(SpectrumConfigError::NoReferences);
         }
         Ok(())
     }
 }
+
+/// An unusable [`SpectrumConfig`], reported by [`SpectrumConfig::validate`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SpectrumConfigError {
+    /// `azimuth_steps` is below the minimum of 8.
+    TooFewAzimuthSteps(usize),
+    /// `polar_steps` is below the minimum of 3.
+    TooFewPolarSteps(usize),
+    /// σ is non-positive or non-finite.
+    BadSigma(f64),
+    /// `weight_inflation` is non-positive or non-finite.
+    BadWeightInflation(f64),
+    /// At least one reference element is required.
+    NoReferences,
+}
+
+impl std::fmt::Display for SpectrumConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SpectrumConfigError::TooFewAzimuthSteps(n) => {
+                write!(f, "azimuth_steps {n} must be >= 8")
+            }
+            SpectrumConfigError::TooFewPolarSteps(n) => {
+                write!(f, "polar_steps {n} must be >= 3")
+            }
+            SpectrumConfigError::BadSigma(s) => {
+                write!(f, "sigma {s} must be finite and positive")
+            }
+            SpectrumConfigError::BadWeightInflation(w) => {
+                write!(f, "weight_inflation {w} must be finite and positive")
+            }
+            SpectrumConfigError::NoReferences => write!(f, "references must be at least 1"),
+        }
+    }
+}
+
+impl std::error::Error for SpectrumConfigError {}
 
 /// A sampled 2D angle spectrum over `φ ∈ [0, 2π)`.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -132,6 +171,7 @@ impl Spectrum2D {
 
     /// Azimuth of grid sample `i`.
     pub fn azimuth_of(&self, i: usize) -> f64 {
+        // lint:allow(lossy-cast) bin index and bin count are < 2^32, exact in f64
         i as f64 * TAU / self.values.len() as f64
     }
 
@@ -145,6 +185,7 @@ impl Spectrum2D {
     /// Peak-to-sidelobe ratio with a guard of `guard_deg` degrees around the
     /// main lobe — the sharpness metric for Fig. 6.
     pub fn peak_to_sidelobe(&self, guard_deg: f64) -> Option<f64> {
+        // lint:allow(lossy-cast) ceil of a small non-negative ratio, in-range for usize
         let guard = (guard_deg.to_radians() / (TAU / self.values.len() as f64)).ceil() as usize;
         peak::peak_to_sidelobe(&self.values, guard)
     }
@@ -152,6 +193,7 @@ impl Spectrum2D {
     /// Half-power main-lobe width in degrees.
     pub fn half_power_width_deg(&self) -> Option<f64> {
         peak::half_power_width(&self.values)
+            // lint:allow(lossy-cast) width in bins is < 2^32, exact in f64
             .map(|w| w as f64 * 360.0 / self.values.len() as f64)
     }
 
@@ -181,7 +223,11 @@ impl Spectrum2D {
 
     /// A copy normalized to unit peak (for plotting comparisons).
     pub fn normalized(&self) -> Spectrum2D {
-        let m = self.values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let m = self
+            .values
+            .iter()
+            .cloned()
+            .fold(f64::NEG_INFINITY, f64::max);
         if m <= 0.0 || !m.is_finite() {
             return self.clone();
         }
@@ -203,11 +249,13 @@ pub struct Spectrum3D {
 impl Spectrum3D {
     /// Azimuth of column `i`.
     pub fn azimuth_of(&self, i: usize) -> f64 {
+        // lint:allow(lossy-cast) azimuth index and step count are < 2^32, exact in f64
         i as f64 * TAU / self.azimuth_steps as f64
     }
 
     /// Polar angle of row `j` (row 0 = −π/2, last row = +π/2).
     pub fn polar_of(&self, j: usize) -> f64 {
+        // lint:allow(lossy-cast) polar index and step count are < 2^32, exact in f64
         -FRAC_PI_2 + j as f64 * std::f64::consts::PI / (self.polar_steps - 1) as f64
     }
 
@@ -222,7 +270,10 @@ impl Spectrum3D {
     ///
     /// Panics when out of bounds.
     pub fn value(&self, az: usize, po: usize) -> f64 {
-        assert!(az < self.azimuth_steps && po < self.polar_steps, "index out of bounds");
+        assert!(
+            az < self.azimuth_steps && po < self.polar_steps,
+            "index out of bounds"
+        );
         self.values[po * self.azimuth_steps + az]
     }
 
@@ -237,11 +288,11 @@ impl Spectrum3D {
         let idx = peak::argmax(&self.values)?;
         let (po, az) = (idx / self.azimuth_steps, idx % self.azimuth_steps);
         // Refine azimuth circularly along its row.
-        let row: Vec<f64> =
-            (0..self.azimuth_steps).map(|a| self.value(a, po)).collect();
+        let row: Vec<f64> = (0..self.azimuth_steps).map(|a| self.value(a, po)).collect();
         let az_ref = peak::refine_circular(&row, TAU)?;
         // Refine polar linearly along its column.
         let col: Vec<f64> = (0..self.polar_steps).map(|p| self.value(az, p)).collect();
+        // lint:allow(lossy-cast) polar step count is < 2^32, exact in f64
         let po_step = std::f64::consts::PI / (self.polar_steps - 1) as f64;
         let po_ref = peak::refine_parabolic(&col, -FRAC_PI_2, po_step)?;
         Some((
@@ -261,7 +312,11 @@ impl Spectrum3D {
     /// 3D. Polar symmetry means the window is applied to `|γ|`.
     ///
     /// Returns `None` when no grid point falls inside the window.
-    pub fn constrained_peak(&self, center: Direction3, half_width: f64) -> Option<(Direction3, f64)> {
+    pub fn constrained_peak(
+        &self,
+        center: Direction3,
+        half_width: f64,
+    ) -> Option<(Direction3, f64)> {
         let mut best: Option<(usize, usize, f64)> = None;
         for j in 0..self.polar_steps {
             let po = self.polar_of(j);
@@ -283,12 +338,15 @@ impl Spectrum3D {
         let row: Vec<f64> = (0..self.azimuth_steps).map(|a| self.value(a, po)).collect();
         let az_ref = peak::refine_circular(&row, TAU)?;
         let col: Vec<f64> = (0..self.polar_steps).map(|p| self.value(az, p)).collect();
+        // lint:allow(lossy-cast) polar step count is < 2^32, exact in f64
         let po_step = std::f64::consts::PI / (self.polar_steps - 1) as f64;
         let po_ref = peak::refine_parabolic(&col, -FRAC_PI_2, po_step)?;
         // Keep the refinement only if it stayed near the window's argmax
         // (row/column refinement can escape to a stronger out-of-window
         // lobe).
-        let az_pos = if angle::separation(az_ref.position, self.azimuth_of(az)) < 2.0 * TAU / self.azimuth_steps as f64 {
+        // lint:allow(lossy-cast) azimuth step count is < 2^32, exact in f64
+        let az_window = 2.0 * TAU / self.azimuth_steps as f64;
+        let az_pos = if angle::separation(az_ref.position, self.azimuth_of(az)) < az_window {
             az_ref.position
         } else {
             self.azimuth_of(az)
@@ -368,6 +426,7 @@ fn accumulate(
             for i in 0..n {
                 acc += p.phasor[i] * Complex::cis(steer[i]);
             }
+            // lint:allow(lossy-cast) reference count is < 2^32, exact in f64
             acc.abs() / n as f64
         }
         ProfileKind::Enhanced | ProfileKind::Hybrid => {
@@ -386,8 +445,10 @@ fn accumulate(
                     let w = norm * (-0.5 * z * z).exp();
                     acc += w * (p.phasor[i] * Complex::cis(steer[i]));
                 }
+                // lint:allow(lossy-cast) reference count is < 2^32, exact in f64
                 total += acc.abs() / n as f64;
             }
+            // lint:allow(lossy-cast) reference count is < 2^32, exact in f64
             total / p.references.len() as f64
         }
     }
@@ -408,11 +469,16 @@ pub fn spectrum_2d(
     kind: ProfileKind,
     cfg: &SpectrumConfig,
 ) -> Spectrum2D {
-    assert!(!set.is_empty(), "cannot compute a spectrum from zero snapshots");
+    assert!(
+        !set.is_empty(),
+        "cannot compute a spectrum from zero snapshots"
+    );
+    // lint:allow(no-panic) documented precondition: callers validate configs
     cfg.validate().expect("invalid spectrum config");
     let p = prepare(set, radius, cfg);
     let values = (0..cfg.azimuth_steps)
         .map(|i| {
+            // lint:allow(lossy-cast) azimuth index and step count are < 2^32, exact in f64
             let phi = i as f64 * TAU / cfg.azimuth_steps as f64;
             accumulate(&p, phi, 1.0, kind, cfg.sigma, cfg.weight_inflation)
         })
@@ -431,16 +497,29 @@ pub fn spectrum_3d(
     kind: ProfileKind,
     cfg: &SpectrumConfig,
 ) -> Spectrum3D {
-    assert!(!set.is_empty(), "cannot compute a spectrum from zero snapshots");
+    assert!(
+        !set.is_empty(),
+        "cannot compute a spectrum from zero snapshots"
+    );
+    // lint:allow(no-panic) documented precondition: callers validate configs
     cfg.validate().expect("invalid spectrum config");
     let p = prepare(set, radius, cfg);
     let mut values = Vec::with_capacity(cfg.azimuth_steps * cfg.polar_steps);
     for j in 0..cfg.polar_steps {
+        // lint:allow(lossy-cast) polar index and step count are < 2^32, exact in f64
         let gamma = -FRAC_PI_2 + j as f64 * std::f64::consts::PI / (cfg.polar_steps - 1) as f64;
         let cg = gamma.cos();
         for i in 0..cfg.azimuth_steps {
+            // lint:allow(lossy-cast) azimuth index and step count are < 2^32, exact in f64
             let phi = i as f64 * TAU / cfg.azimuth_steps as f64;
-            values.push(accumulate(&p, phi, cg, kind, cfg.sigma, cfg.weight_inflation));
+            values.push(accumulate(
+                &p,
+                phi,
+                cg,
+                kind,
+                cfg.sigma,
+                cfg.weight_inflation,
+            ));
         }
     }
     Spectrum3D {
@@ -477,6 +556,7 @@ fn accumulate_oriented(
             for i in 0..n {
                 acc += p.phasor[i] * Complex::cis(steer[i]);
             }
+            // lint:allow(lossy-cast) reference count is < 2^32, exact in f64
             acc.abs() / n as f64
         }
         ProfileKind::Enhanced | ProfileKind::Hybrid => {
@@ -492,8 +572,10 @@ fn accumulate_oriented(
                     let w = norm * (-0.5 * z * z).exp();
                     acc += w * (p.phasor[i] * Complex::cis(steer[i]));
                 }
+                // lint:allow(lossy-cast) reference count is < 2^32, exact in f64
                 total += acc.abs() / n as f64;
             }
+            // lint:allow(lossy-cast) reference count is < 2^32, exact in f64
             total / p.references.len() as f64
         }
     }
@@ -516,16 +598,22 @@ pub fn spectrum_3d_for_disk(
     kind: ProfileKind,
     cfg: &SpectrumConfig,
 ) -> Spectrum3D {
-    assert!(!set.is_empty(), "cannot compute a spectrum from zero snapshots");
+    assert!(
+        !set.is_empty(),
+        "cannot compute a spectrum from zero snapshots"
+    );
+    // lint:allow(no-panic) documented precondition: callers validate configs
     cfg.validate().expect("invalid spectrum config");
+    // lint:allow(no-panic) documented precondition: callers validate configs
     disk.validate().expect("invalid disk config");
     let p = prepare(set, disk.radius, cfg);
-    let radials: Vec<tagspin_geom::Vec3> =
-        p.beta.iter().map(|&b| disk.radial(b)).collect();
+    let radials: Vec<tagspin_geom::Vec3> = p.beta.iter().map(|&b| disk.radial(b)).collect();
     let mut values = Vec::with_capacity(cfg.azimuth_steps * cfg.polar_steps);
     for j in 0..cfg.polar_steps {
+        // lint:allow(lossy-cast) polar index and step count are < 2^32, exact in f64
         let gamma = -FRAC_PI_2 + j as f64 * std::f64::consts::PI / (cfg.polar_steps - 1) as f64;
         for i in 0..cfg.azimuth_steps {
+            // lint:allow(lossy-cast) azimuth index and step count are < 2^32, exact in f64
             let phi = i as f64 * TAU / cfg.azimuth_steps as f64;
             let dir = tagspin_geom::Vec3::from_spherical(phi, gamma);
             values.push(accumulate_oriented(
@@ -585,7 +673,12 @@ mod tests {
         // (−80, 0) cm → bearing 180°.
         let reader = Vec3::new(-0.8, 0.0, 0.0);
         let set = synthesize(&disk(), reader, 300, 1.0);
-        let spec = spectrum_2d(&set, 0.1, ProfileKind::Traditional, &SpectrumConfig::default());
+        let spec = spectrum_2d(
+            &set,
+            0.1,
+            ProfileKind::Traditional,
+            &SpectrumConfig::default(),
+        );
         let peak = spec.peak().unwrap();
         let expect = (reader - disk().center).azimuth();
         assert!(
@@ -730,7 +823,12 @@ mod tests {
     #[test]
     fn normalized_peak_is_one() {
         let set = synthesize(&disk(), Vec3::new(-1.0, 0.0, 0.0), 64, 1.0);
-        let spec = spectrum_2d(&set, 0.1, ProfileKind::Traditional, &SpectrumConfig::default());
+        let spec = spectrum_2d(
+            &set,
+            0.1,
+            ProfileKind::Traditional,
+            &SpectrumConfig::default(),
+        );
         let n = spec.normalized();
         let max = n.values().iter().cloned().fold(f64::NEG_INFINITY, f64::max);
         assert!((max - 1.0).abs() < 1e-12);
@@ -776,11 +874,36 @@ mod tests {
     fn config_validation() {
         assert!(SpectrumConfig::default().validate().is_ok());
         let base = SpectrumConfig::default;
-        assert!(SpectrumConfig { azimuth_steps: 2, ..base() }.validate().is_err());
-        assert!(SpectrumConfig { sigma: 0.0, ..base() }.validate().is_err());
-        assert!(SpectrumConfig { polar_steps: 1, ..base() }.validate().is_err());
-        assert!(SpectrumConfig { references: 0, ..base() }.validate().is_err());
-        assert!(SpectrumConfig { weight_inflation: 0.0, ..base() }.validate().is_err());
+        assert!(SpectrumConfig {
+            azimuth_steps: 2,
+            ..base()
+        }
+        .validate()
+        .is_err());
+        assert!(SpectrumConfig {
+            sigma: 0.0,
+            ..base()
+        }
+        .validate()
+        .is_err());
+        assert!(SpectrumConfig {
+            polar_steps: 1,
+            ..base()
+        }
+        .validate()
+        .is_err());
+        assert!(SpectrumConfig {
+            references: 0,
+            ..base()
+        }
+        .validate()
+        .is_err());
+        assert!(SpectrumConfig {
+            weight_inflation: 0.0,
+            ..base()
+        }
+        .validate()
+        .is_err());
     }
 
     #[test]
@@ -844,8 +967,8 @@ mod tests {
         let mirror_j = ((-dir.polar + FRAC_PI_2)
             / (std::f64::consts::PI / (cfg.polar_steps - 1) as f64))
             .round() as usize;
-        let mirror_i = ((dir.azimuth / TAU) * cfg.azimuth_steps as f64).round() as usize
-            % cfg.azimuth_steps;
+        let mirror_i =
+            ((dir.azimuth / TAU) * cfg.azimuth_steps as f64).round() as usize % cfg.azimuth_steps;
         let mirror_val = spec.value(mirror_i, mirror_j);
         assert!(
             mirror_val < 0.8 * peak_val,

@@ -20,8 +20,7 @@ use tagspin_rf::TagInstance;
 /// ambiguity. Its future-work remedy — "the third spinning tag, which
 /// rotates along the vertical direction to provide more aperture diversity
 /// in z-axis" — is the `Vertical` variant.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
 pub enum DiskPlane {
     /// Rotation in the horizontal (x–y) plane.
     #[default]
@@ -34,7 +33,6 @@ pub enum DiskPlane {
         normal_azimuth: f64,
     },
 }
-
 
 /// Geometry and motion of one spinning-tag disk — the part the server knows.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -79,14 +77,14 @@ impl DiskConfig {
     ///
     /// # Errors
     ///
-    /// Returns a message when the radius or speed is non-positive /
-    /// non-finite.
-    pub fn validate(&self) -> Result<(), String> {
+    /// Returns the offending field when the radius or speed is
+    /// non-positive / non-finite.
+    pub fn validate(&self) -> Result<(), DiskConfigError> {
         if !(self.radius.is_finite() && self.radius > 0.0) {
-            return Err(format!("radius {} must be positive", self.radius));
+            return Err(DiskConfigError::BadRadius(self.radius));
         }
-        if !(self.omega.is_finite() && self.omega != 0.0) {
-            return Err(format!("omega {} must be nonzero", self.omega));
+        if !(self.omega.is_finite() && self.omega.abs() > 0.0) {
+            return Err(DiskConfigError::BadOmega(self.omega));
         }
         Ok(())
     }
@@ -136,6 +134,31 @@ impl DiskConfig {
     }
 }
 
+/// A physically impossible [`DiskConfig`], reported by
+/// [`DiskConfig::validate`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DiskConfigError {
+    /// The disk radius is non-positive or non-finite.
+    BadRadius(f64),
+    /// The angular speed is zero or non-finite.
+    BadOmega(f64),
+}
+
+impl std::fmt::Display for DiskConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DiskConfigError::BadRadius(r) => {
+                write!(f, "radius {r} must be positive and finite")
+            }
+            DiskConfigError::BadOmega(w) => {
+                write!(f, "omega {w} must be nonzero and finite")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DiskConfigError {}
+
 /// A physical spinning tag: the disk plus the tag mounted on its edge.
 ///
 /// Implements [`Transponder`], so the EPC inventory driver can interrogate
@@ -176,11 +199,12 @@ impl SpinningTag {
     /// `ω·(1 + a·sin(ω_w·t))`.
     pub fn true_disk_angle(&self, t_s: f64) -> f64 {
         let nominal = self.disk.disk_angle(t_s);
-        if self.speed_wobble == 0.0 {
+        if tagspin_dsp::float::exactly_zero(self.speed_wobble) {
             nominal
         } else {
             let a = self.speed_wobble;
-            nominal + self.disk.omega * a / self.wobble_freq * (1.0 - (self.wobble_freq * t_s).cos())
+            nominal
+                + self.disk.omega * a / self.wobble_freq * (1.0 - (self.wobble_freq * t_s).cos())
         }
     }
 }

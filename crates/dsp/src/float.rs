@@ -1,0 +1,57 @@
+//! Explicit floating-point comparison helpers.
+//!
+//! The workspace lint gate (`cargo xtask lint`, rule L3 `float-eq`)
+//! rejects raw `==`/`!=` on floats in non-test code: a bare comparison
+//! does not say whether the author wanted bit-exact identity (a sentinel
+//! or a division-by-zero guard) or closeness up to rounding. These
+//! helpers make that intent explicit at the call site.
+
+/// Whether two values agree to within an absolute tolerance.
+///
+/// Equal infinities compare equal for any tolerance; NaN never matches.
+#[inline]
+pub fn approx_eq(a: f64, b: f64, abs_tol: f64) -> bool {
+    // Exact match short-circuits so `approx_eq(INF, INF, 0.0)` holds
+    // (their difference is NaN). lint:allow(float-eq) this module is the
+    // designated home of the raw comparison.
+    a == b || (a - b).abs() <= abs_tol
+}
+
+/// Whether `x` is within `abs_tol` of zero. NaN is never near zero.
+#[inline]
+pub fn approx_zero(x: f64, abs_tol: f64) -> bool {
+    x.abs() <= abs_tol
+}
+
+/// Whether `x` is exactly `±0.0` — a bit-level check for the common
+/// "was this field ever set / do I divide by it" guard, where *any*
+/// nonzero magnitude must count as nonzero.
+#[inline]
+pub fn exactly_zero(x: f64) -> bool {
+    // Clear the sign bit; both zeros have all other bits clear.
+    x.to_bits() << 1 == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn approx_eq_tolerance() {
+        assert!(approx_eq(1.0, 1.0 + 1e-12, 1e-9));
+        assert!(!approx_eq(1.0, 1.0 + 1e-6, 1e-9));
+        assert!(approx_eq(f64::INFINITY, f64::INFINITY, 0.0));
+        assert!(!approx_eq(f64::NAN, f64::NAN, 1.0));
+    }
+
+    #[test]
+    fn zero_checks() {
+        assert!(exactly_zero(0.0));
+        assert!(exactly_zero(-0.0));
+        assert!(!exactly_zero(f64::MIN_POSITIVE));
+        assert!(!exactly_zero(f64::NAN));
+        assert!(approx_zero(1e-12, 1e-9));
+        assert!(!approx_zero(1e-6, 1e-9));
+        assert!(!approx_zero(f64::NAN, 1.0));
+    }
+}

@@ -81,6 +81,7 @@ impl FourierSeries {
     pub fn eval(&self, rho: f64) -> f64 {
         let mut y = self.a0;
         for (k, &(a, b)) in self.harmonics.iter().enumerate() {
+            // lint:allow(lossy-cast) harmonic index is tiny (< order), exact in f64
             let kk = (k + 1) as f64;
             let (s, c) = (kk * rho).sin_cos();
             y += a * c + b * s;
@@ -110,6 +111,7 @@ impl FourierSeries {
             if c == 0 {
                 1.0
             } else {
+                // lint:allow(lossy-cast) coefficient index is tiny (< 2*order+1), exact in f64
                 let k = ((c - 1) / 2 + 1) as f64;
                 if c % 2 == 1 {
                     (k * rho).cos()
@@ -145,6 +147,7 @@ impl FourierSeries {
                 e * e
             })
             .sum();
+        // lint:allow(lossy-cast) sample count is < 2^32, exact in f64
         (ss / samples.len() as f64).sqrt()
     }
 
@@ -156,6 +159,7 @@ impl FourierSeries {
         let mut lo = f64::INFINITY;
         let mut hi = f64::NEG_INFINITY;
         for i in 0..720 {
+            // lint:allow(lossy-cast) fixed 720-point scan index, exact in f64
             let v = self.eval(i as f64 * std::f64::consts::TAU / 720.0);
             lo = lo.min(v);
             hi = hi.max(v);

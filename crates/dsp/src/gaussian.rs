@@ -5,7 +5,7 @@
 //! models per-read phase error as `N(0, 0.1²)` rad (citing Tagoram), so the
 //! *difference* of two reads has standard deviation `√2·0.1`.
 
-use std::f64::consts::{PI, TAU};
+use std::f64::consts::PI;
 
 /// A univariate Gaussian distribution `N(μ, σ²)`.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -62,10 +62,7 @@ impl Gaussian {
     /// so we wrap `x − μ` into `(−π, π]` and evaluate one PDF term.
     #[inline]
     pub fn pdf_wrapped(&self, x: f64) -> f64 {
-        let mut d = (x - self.mean).rem_euclid(TAU);
-        if d > PI {
-            d -= TAU;
-        }
+        let d = tagspin_geom::angle::diff(x, self.mean);
         let z = d / self.std_dev;
         (-0.5 * z * z).exp() / (self.std_dev * (2.0 * PI).sqrt())
     }
@@ -113,6 +110,7 @@ pub fn fit_moments(samples: &[f64]) -> Option<Gaussian> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::f64::consts::TAU;
 
     #[test]
     fn pdf_symmetry_and_peak() {

@@ -34,9 +34,11 @@
 //! assert!((fitted.eval(1.0) - truth.eval(1.0)).abs() < 1e-9);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod complex;
+pub mod float;
 pub mod fourier;
 pub mod gaussian;
 pub mod lstsq;

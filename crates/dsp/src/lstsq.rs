@@ -162,10 +162,13 @@ pub fn solve(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, LstsqError> {
     // invariant to the overall magnitude of A.
     let mut max_col_norm: f64 = 0.0;
     for c in 0..n {
-        let norm: f64 = (0..m).map(|i| r[i * n + c] * r[i * n + c]).sum::<f64>().sqrt();
+        let norm: f64 = (0..m)
+            .map(|i| r[i * n + c] * r[i * n + c])
+            .sum::<f64>()
+            .sqrt();
         max_col_norm = max_col_norm.max(norm);
     }
-    if max_col_norm == 0.0 {
+    if crate::float::exactly_zero(max_col_norm) {
         return Err(LstsqError::RankDeficient);
     }
     let tol = 1e-12 * max_col_norm;
@@ -249,7 +252,10 @@ pub fn solve_weighted(a: &Matrix, b: &[f64], weights: &[f64]) -> Result<Vec<f64>
         return Err(LstsqError::DimensionMismatch);
     }
     for &w in weights {
-        assert!(w.is_finite() && w >= 0.0, "weights must be finite and non-negative");
+        assert!(
+            w.is_finite() && w >= 0.0,
+            "weights must be finite and non-negative"
+        );
     }
     let mut aw = a.clone();
     let mut bw = b.to_vec();
@@ -363,7 +369,9 @@ mod tests {
         // Deterministic pseudo-random A (LCG), known x, consistent b.
         let mut state = 42u64;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
         };
         let (m, n) = (40, 7);

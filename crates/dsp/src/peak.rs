@@ -56,6 +56,7 @@ pub fn argmax(values: &[f64]) -> Option<usize> {
 /// Returns `None` when `values` is empty or all-NaN.
 pub fn refine_parabolic(values: &[f64], grid_start: f64, grid_step: f64) -> Option<PeakEstimate> {
     let i = argmax(values)?;
+    // lint:allow(lossy-cast) grid index is < grid length < 2^32, exact in f64
     let x_i = grid_start + i as f64 * grid_step;
     if i == 0 || i + 1 >= values.len() {
         return Some(PeakEstimate {
@@ -96,6 +97,7 @@ pub fn refine_circular(values: &[f64], period: f64) -> Option<PeakEstimate> {
         return None;
     }
     let i = argmax(values)?;
+    // lint:allow(lossy-cast) sample count is < 2^32, exact in f64
     let step = period / n as f64;
     let ym = values[(i + n - 1) % n];
     let y0 = values[i];
@@ -107,6 +109,7 @@ pub fn refine_circular(values: &[f64], period: f64) -> Option<PeakEstimate> {
         (0.5 * (ym - yp) / denom).clamp(-0.5, 0.5)
     };
     let value = y0 - 0.25 * (ym - yp) * delta;
+    // lint:allow(lossy-cast) bin index is < sample count < 2^32, exact in f64
     let position = (i as f64 + delta) * step;
     Some(PeakEstimate {
         index: i,
@@ -131,6 +134,7 @@ pub fn peak_to_sidelobe(values: &[f64], guard: usize) -> Option<f64> {
     let mut side = f64::NEG_INFINITY;
     for (j, &v) in values.iter().enumerate() {
         let dist = {
+            // lint:allow(lossy-cast) indices are < slice length, in-range for isize
             let d = (j as isize - i as isize).unsigned_abs();
             d.min(n - d)
         };

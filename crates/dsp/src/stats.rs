@@ -34,7 +34,7 @@ impl Summary {
         if xs.is_empty() {
             return None;
         }
-        xs.sort_by(|a, b| a.partial_cmp(b).expect("finite values compare"));
+        xs.sort_by(|a, b| a.total_cmp(b));
         let n = xs.len() as f64;
         let mean = xs.iter().sum::<f64>() / n;
         let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
@@ -43,7 +43,7 @@ impl Summary {
             mean,
             std_dev: var.sqrt(),
             min: xs[0],
-            max: *xs.last().expect("nonempty"),
+            max: xs[xs.len() - 1],
             median: percentile_sorted(&xs, 50.0),
             p90: percentile_sorted(&xs, 90.0),
         })
@@ -85,7 +85,7 @@ pub fn percentile_sorted(sorted: &[f64], p: f64) -> f64 {
 /// Panics on empty input or out-of-range `p`.
 pub fn percentile(samples: &[f64], p: f64) -> f64 {
     let mut xs = samples.to_vec();
-    xs.sort_by(|a, b| a.partial_cmp(b).expect("finite values compare"));
+    xs.sort_by(|a, b| a.total_cmp(b));
     percentile_sorted(&xs, p)
 }
 
@@ -107,7 +107,7 @@ impl Ecdf {
     /// Build an ECDF; non-finite samples are dropped.
     pub fn new(samples: &[f64]) -> Self {
         let mut sorted: Vec<f64> = samples.iter().copied().filter(|x| x.is_finite()).collect();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values compare"));
+        sorted.sort_by(|a, b| a.total_cmp(b));
         Ecdf { sorted }
     }
 

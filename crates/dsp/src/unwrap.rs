@@ -86,7 +86,10 @@ pub fn smooth_eqn4(phases: &[f64]) -> Vec<f64> {
 /// Wrap an unwrapped sequence back to `[0, 2π)` (inverse of unwrapping up to
 /// the 2π ambiguity). Provided for round-trip testing and report rendering.
 pub fn rewrap(phases: &[f64]) -> Vec<f64> {
-    phases.iter().map(|&p| p.rem_euclid(TAU)).collect()
+    phases
+        .iter()
+        .map(|&p| tagspin_geom::angle::wrap_tau(p))
+        .collect()
 }
 
 /// Count the wrap discontinuities (jumps > π between consecutive samples) in

@@ -24,6 +24,7 @@ pub fn moving_average(xs: &[f64], half: usize) -> Vec<f64> {
         let lo = i.saturating_sub(half);
         let hi = (i + half + 1).min(n);
         let w = &xs[lo..hi];
+        // lint:allow(lossy-cast) window length is a small positive integer, exact in f64
         out.push(w.iter().sum::<f64>() / w.len() as f64);
     }
     out
@@ -45,7 +46,7 @@ pub fn moving_median(xs: &[f64], half: usize) -> Vec<f64> {
         let hi = (i + half + 1).min(n);
         buf.clear();
         buf.extend_from_slice(&xs[lo..hi]);
-        buf.sort_by(|a, b| a.partial_cmp(b).expect("finite values compare"));
+        buf.sort_by(|a, b| a.total_cmp(b));
         let m = buf.len();
         out.push(if m % 2 == 1 {
             buf[m / 2]
@@ -74,7 +75,7 @@ pub fn hampel(xs: &[f64], half: usize, k: f64) -> (Vec<f64>, Vec<usize>) {
         let hi = (i + half + 1).min(n);
         buf.clear();
         buf.extend(xs[lo..hi].iter().map(|&x| (x - med[i]).abs()));
-        buf.sort_by(|a, b| a.partial_cmp(b).expect("finite values compare"));
+        buf.sort_by(|a, b| a.total_cmp(b));
         let m = buf.len();
         let mad = if m % 2 == 1 {
             buf[m / 2]

@@ -183,7 +183,7 @@ mod tests {
     #[test]
     fn fm0_decode_rejects_invalid() {
         assert!(fm0_decode(&[true]).is_none()); // odd length
-        // A flat waveform has no boundary transitions.
+                                                // A flat waveform has no boundary transitions.
         assert!(fm0_decode(&[true, true, true, true]).is_none());
     }
 

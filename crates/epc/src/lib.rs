@@ -33,6 +33,7 @@
 //! assert!(!log.is_empty());
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod coding;

@@ -65,7 +65,7 @@ impl std::error::Error for LlrpError {}
 
 /// Encode phase (radians) into Impinj 1/4096-turn units.
 fn phase_to_units(phase: f64) -> u16 {
-    ((phase.rem_euclid(TAU) / TAU * 4096.0).round() as u32 % 4096) as u16
+    ((tagspin_geom::angle::wrap_tau(phase) / TAU * 4096.0).round() as u32 % 4096) as u16
 }
 
 /// Decode Impinj phase units back to radians.
@@ -79,7 +79,7 @@ fn encode_tag_report(buf: &mut BytesMut, r: &TagReport) {
     // EPC-96 (TV): type byte with MSB set, then 12 bytes of EPC.
     body.put_u8(0x80 | TV_EPC_96);
     body.put_slice(&r.epc.to_be_bytes()[4..16]); // low 96 bits
-    // FirstSeenTimestampUTC (TV): u64 microseconds.
+                                                 // FirstSeenTimestampUTC (TV): u64 microseconds.
     body.put_u8(0x80 | TV_FIRST_SEEN_UTC);
     body.put_u64(r.timestamp_us);
     // AntennaID (TV): u16.

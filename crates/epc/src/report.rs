@@ -39,7 +39,11 @@ impl fmt::Display for TagReport {
         write!(
             f,
             "epc={:024x} t={}µs φ={:.4} rssi={:.1}dBm ch={} ant={}",
-            self.epc, self.timestamp_us, self.phase, self.rssi_dbm, self.channel_index,
+            self.epc,
+            self.timestamp_us,
+            self.phase,
+            self.rssi_dbm,
+            self.channel_index,
             self.antenna_id
         )
     }

@@ -44,16 +44,16 @@ impl LinkProfile {
     ///
     /// # Errors
     ///
-    /// Returns a description of the first violated constraint.
-    pub fn validate(&self) -> Result<(), String> {
+    /// Returns the first violated constraint.
+    pub fn validate(&self) -> Result<(), LinkProfileError> {
         if !(6.25..=25.0).contains(&self.tari_us) {
-            return Err(format!("tari {} µs outside Gen2 range 6.25–25", self.tari_us));
+            return Err(LinkProfileError::TariOutOfRange(self.tari_us));
         }
         if !(40e3..=640e3).contains(&self.blf_hz) {
-            return Err(format!("BLF {} Hz outside Gen2 range 40k–640k", self.blf_hz));
+            return Err(LinkProfileError::BlfOutOfRange(self.blf_hz));
         }
         if ![1, 2, 4, 8].contains(&self.miller) {
-            return Err(format!("miller factor {} not in {{1,2,4,8}}", self.miller));
+            return Err(LinkProfileError::BadMiller(self.miller));
         }
         Ok(())
     }
@@ -116,6 +116,36 @@ impl Default for LinkProfile {
         LinkProfile::dense_reader_m4()
     }
 }
+
+/// A [`LinkProfile`] outside the Gen2 spec, reported by
+/// [`LinkProfile::validate`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LinkProfileError {
+    /// Tari outside 6.25–25 µs.
+    TariOutOfRange(f64),
+    /// Backscatter link frequency outside 40–640 kHz.
+    BlfOutOfRange(f64),
+    /// Miller factor not one of {1, 2, 4, 8}.
+    BadMiller(u8),
+}
+
+impl std::fmt::Display for LinkProfileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LinkProfileError::TariOutOfRange(t) => {
+                write!(f, "tari {t} \u{b5}s outside Gen2 range 6.25\u{2013}25")
+            }
+            LinkProfileError::BlfOutOfRange(b) => {
+                write!(f, "BLF {b} Hz outside Gen2 range 40k\u{2013}640k")
+            }
+            LinkProfileError::BadMiller(m) => {
+                write!(f, "miller factor {m} not in {{1,2,4,8}}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LinkProfileError {}
 
 #[cfg(test)]
 mod tests {

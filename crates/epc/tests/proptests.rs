@@ -20,14 +20,16 @@ fn arb_report() -> impl Strategy<Value = TagReport> {
         0u8..16,
         1u8..5,
     )
-        .prop_map(|(epc, timestamp_us, phase, rssi_dbm, channel_index, antenna_id)| TagReport {
-            epc,
-            timestamp_us,
-            phase,
-            rssi_dbm,
-            channel_index,
-            antenna_id,
-        })
+        .prop_map(
+            |(epc, timestamp_us, phase, rssi_dbm, channel_index, antenna_id)| TagReport {
+                epc,
+                timestamp_us,
+                phase,
+                rssi_dbm,
+                channel_index,
+                antenna_id,
+            },
+        )
 }
 
 fn arb_log() -> impl Strategy<Value = InventoryLog> {

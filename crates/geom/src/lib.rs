@@ -26,6 +26,7 @@
 //! assert_eq!(angle::to_degrees(bearing).round(), 180.0);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod angle;

@@ -128,7 +128,12 @@ impl Line2 {
 
 impl fmt::Display for Line2 {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "ray {} @ {:.2}°", self.origin, self.bearing().to_degrees())
+        write!(
+            f,
+            "ray {} @ {:.2}°",
+            self.origin,
+            self.bearing().to_degrees()
+        )
     }
 }
 

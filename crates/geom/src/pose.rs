@@ -50,7 +50,12 @@ impl Pose {
 
 impl fmt::Display for Pose {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} facing {:.1}°", self.position, self.facing.to_degrees())
+        write!(
+            f,
+            "{} facing {:.1}°",
+            self.position,
+            self.facing.to_degrees()
+        )
     }
 }
 

@@ -95,6 +95,8 @@ impl Vec2 {
     /// Returns `0.0` for the zero vector.
     #[inline]
     pub fn bearing(self) -> f64 {
+        // Bit-exact zero-vector sentinel; any nonzero magnitude takes atan2.
+        // lint:allow(float-eq) exact 0.0 check is the sentinel contract
         if self.x == 0.0 && self.y == 0.0 {
             0.0
         } else {

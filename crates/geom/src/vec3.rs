@@ -117,6 +117,8 @@ impl Vec3 {
     #[inline]
     pub fn polar(self) -> f64 {
         let h = self.xy().norm();
+        // Bit-exact zero-vector sentinel; any nonzero magnitude takes atan2.
+        // lint:allow(float-eq) exact 0.0 check is the sentinel contract
         if h == 0.0 && self.z == 0.0 {
             0.0
         } else {

@@ -16,6 +16,41 @@ fn arb_vec3() -> impl Strategy<Value = Vec3> {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(128))]
 
+    /// Wrapping is idempotent and lands in the canonical ranges:
+    /// `wrap_tau` in `[0, 2π)`, `wrap_pi` in `(-π, π]`.
+    #[test]
+    fn wrap_idempotent_and_bounded(x in -1e4f64..1e4) {
+        let t = angle::wrap_tau(x);
+        prop_assert!((0.0..std::f64::consts::TAU).contains(&t));
+        prop_assert!((angle::wrap_tau(t) - t).abs() < 1e-12);
+        let p = angle::wrap_pi(x);
+        prop_assert!(-std::f64::consts::PI < p && p <= std::f64::consts::PI);
+        prop_assert!(angle::separation(angle::wrap_pi(p), p) < 1e-12);
+    }
+
+    /// Wrapping is 2π-periodic: adding whole turns never changes the
+    /// canonical representative (up to float rounding of `k·2π`).
+    #[test]
+    fn wrap_periodic(x in -50.0f64..50.0, k in -8i32..8) {
+        let shifted = x + k as f64 * std::f64::consts::TAU;
+        prop_assert!(angle::separation(angle::wrap_tau(shifted), angle::wrap_tau(x)) < 1e-9);
+        prop_assert!(angle::separation(angle::wrap_pi(shifted), angle::wrap_pi(x)) < 1e-9);
+    }
+
+    /// Round trip between the two canonical ranges: `wrap_tau` and
+    /// `wrap_pi` pick representatives of the same residue class, and
+    /// `diff` recovers the signed separation between them as zero.
+    #[test]
+    fn wrap_representations_agree(x in -1e4f64..1e4) {
+        let t = angle::wrap_tau(x);
+        let p = angle::wrap_pi(x);
+        prop_assert!(angle::separation(t, p) < 1e-9);
+        prop_assert!(angle::diff(t, p).abs() < 1e-9);
+        // diff is antisymmetric where it is not on the ±π branch cut.
+        let d = angle::diff(x, t + 0.1);
+        prop_assert!((angle::diff(t + 0.1, x) + d).abs() < 1e-9);
+    }
+
     /// Vector space axioms (the subset that floating point honors).
     #[test]
     fn vec_axioms(a in arb_vec3(), b in arb_vec3(), s in -5.0f64..5.0) {

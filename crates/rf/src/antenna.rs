@@ -72,7 +72,7 @@ impl ReaderAntenna {
     /// Raised-cosine lobe: `G(Δ) = G₀ + 3·(cos(π·Δ/BW·(1/2)) ... ` — concretely
     /// the lobe loses 3 dB at `Δ = ±BW/2` and floors at the back-lobe level.
     pub fn gain_dbi(&self, off_boresight: f64) -> f64 {
-        let d = off_boresight.rem_euclid(TAU);
+        let d = tagspin_geom::angle::wrap_tau(off_boresight);
         let d = if d > TAU / 2.0 { TAU - d } else { d };
         // Quadratic-in-angle rolloff calibrated to -3 dB at BW/2.
         let rolloff = 3.0 * (2.0 * d / self.beamwidth).powi(2);

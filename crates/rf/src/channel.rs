@@ -164,8 +164,8 @@ pub fn measure<R: Rng + ?Sized>(
     let mp_rt_db = 20.0 * h.abs().max(1e-9).log10();
     let tag_power_dbm =
         env.link.tag_received_dbm(d, freq_hz, g_reader, g_tag) + mp_fwd_db - pol_delta_db;
-    let mut rssi_dbm = env.link.reader_received_dbm(d, freq_hz, g_reader, g_tag) + mp_rt_db
-        - 2.0 * pol_delta_db;
+    let mut rssi_dbm =
+        env.link.reader_received_dbm(d, freq_hz, g_reader, g_tag) + mp_rt_db - 2.0 * pol_delta_db;
 
     // Phase: propagation (−arg h) + hardware diversity + orientation effect.
     let theta_div = antenna.phase_offset + tag.phase_offset;
@@ -232,8 +232,7 @@ mod tests {
                 DEFAULT_CARRIER_HZ,
                 &mut rng,
             );
-            let expect =
-                round_trip_phase(reader.position.distance(pos), DEFAULT_CARRIER_HZ, 0.0);
+            let expect = round_trip_phase(reader.position.distance(pos), DEFAULT_CARRIER_HZ, 0.0);
             assert!(
                 angle::separation(m.phase, expect) < 1e-9,
                 "i={i} got {} want {}",
@@ -427,14 +426,24 @@ mod tests {
         // ρ = π/2: tag plane faces the reader (gain peak). With tilt 0 the
         // polarization term cos²(π/2) hits the cross-polar floor.
         let crossed = measure(
-            &env, reader, &linear, &tag, Vec3::ZERO,
+            &env,
+            reader,
+            &linear,
+            &tag,
+            Vec3::ZERO,
             std::f64::consts::FRAC_PI_2 + reader.position.azimuth() + std::f64::consts::PI,
-            DEFAULT_CARRIER_HZ, &mut rng,
+            DEFAULT_CARRIER_HZ,
+            &mut rng,
         );
         let circ = measure(
-            &env, reader, &ReaderAntenna::typical(1), &tag, Vec3::ZERO,
+            &env,
+            reader,
+            &ReaderAntenna::typical(1),
+            &tag,
+            Vec3::ZERO,
             std::f64::consts::FRAC_PI_2 + reader.position.azimuth() + std::f64::consts::PI,
-            DEFAULT_CARRIER_HZ, &mut rng,
+            DEFAULT_CARRIER_HZ,
+            &mut rng,
         );
         // The crossed linear link is far weaker than the circular one.
         assert!(
@@ -445,14 +454,24 @@ mod tests {
         );
         // And an aligned linear link is ~3 dB stronger than circular.
         let aligned = measure(
-            &env, reader, &linear, &tag, Vec3::ZERO,
+            &env,
+            reader,
+            &linear,
+            &tag,
+            Vec3::ZERO,
             reader.position.azimuth() + std::f64::consts::PI,
-            DEFAULT_CARRIER_HZ, &mut rng,
+            DEFAULT_CARRIER_HZ,
+            &mut rng,
         );
         let circ_aligned = measure(
-            &env, reader, &ReaderAntenna::typical(1), &tag, Vec3::ZERO,
+            &env,
+            reader,
+            &ReaderAntenna::typical(1),
+            &tag,
+            Vec3::ZERO,
             reader.position.azimuth() + std::f64::consts::PI,
-            DEFAULT_CARRIER_HZ, &mut rng,
+            DEFAULT_CARRIER_HZ,
+            &mut rng,
         );
         assert!(
             (aligned.tag_power_dbm - circ_aligned.tag_power_dbm - 3.0103).abs() < 0.1,

@@ -33,6 +33,7 @@
 //! assert!(m.phase >= 0.0 && m.phase < std::f64::consts::TAU);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod antenna;
@@ -50,6 +51,6 @@ pub use channel::{measure, read_probability, Environment, Measurement};
 pub use medium::{LinkBudget, PathLoss};
 pub use multipath::Reflector;
 pub use noise::{PhaseNoise, RssiNoise};
-pub use polarization::Polarization;
 pub use phase::{round_trip_phase, DiversityTerm};
+pub use polarization::Polarization;
 pub use tags::{TagInstance, TagModel, TagSpec};

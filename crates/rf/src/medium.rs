@@ -9,8 +9,7 @@ use crate::constants::wavelength;
 use serde::{Deserialize, Serialize};
 
 /// One-way path loss model.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
 pub enum PathLoss {
     /// Free-space (Friis) propagation.
     #[default]
@@ -23,7 +22,6 @@ pub enum PathLoss {
         exponent: f64,
     },
 }
-
 
 impl PathLoss {
     /// One-way loss in dB over `d_m` meters at `freq_hz`.
@@ -92,8 +90,7 @@ impl LinkBudget {
         reader_gain_dbi: f64,
         tag_gain_dbi: f64,
     ) -> f64 {
-        self.tag_received_dbm(d_m, freq_hz, reader_gain_dbi, tag_gain_dbi)
-            - self.modulation_loss_db
+        self.tag_received_dbm(d_m, freq_hz, reader_gain_dbi, tag_gain_dbi) - self.modulation_loss_db
             + tag_gain_dbi
             + reader_gain_dbi
             - self.path_loss.loss_db(d_m, freq_hz)

@@ -35,6 +35,7 @@ impl Reflector {
     pub fn new(point: Vec2, normal: Vec2, reflectivity: f64) -> Self {
         let normal = normal
             .normalized()
+            // lint:allow(no-panic) documented `# Panics` constructor contract
             .expect("reflector normal must be nonzero");
         assert!(
             reflectivity > 0.0 && reflectivity <= 1.0,
@@ -159,11 +160,7 @@ mod tests {
         // Points at (0,1) and (2,1); wall y = 0 with normal +y.
         // Reflected path length = |(0,-1) − (2,1)| = √8.
         let wall = Reflector::new(Vec2::ZERO, Vec2::new(0.0, 1.0), 0.5);
-        let paths = one_way_paths(
-            Vec3::new(0.0, 1.0, 0.0),
-            Vec3::new(2.0, 1.0, 0.0),
-            &[wall],
-        );
+        let paths = one_way_paths(Vec3::new(0.0, 1.0, 0.0), Vec3::new(2.0, 1.0, 0.0), &[wall]);
         assert_eq!(paths.len(), 2);
         assert!((paths[1].length - 8f64.sqrt()).abs() < 1e-12);
         assert_eq!(paths[1].amplitude, 0.5);
@@ -176,11 +173,7 @@ mod tests {
     fn behind_wall_no_reflection() {
         let wall = Reflector::new(Vec2::ZERO, Vec2::new(0.0, 1.0), 0.5);
         // One endpoint behind the wall → no specular path.
-        let paths = one_way_paths(
-            Vec3::new(0.0, -1.0, 0.0),
-            Vec3::new(2.0, 1.0, 0.0),
-            &[wall],
-        );
+        let paths = one_way_paths(Vec3::new(0.0, -1.0, 0.0), Vec3::new(2.0, 1.0, 0.0), &[wall]);
         assert_eq!(paths.len(), 1);
     }
 

@@ -7,6 +7,7 @@
 
 use rand::Rng;
 use std::f64::consts::TAU;
+use tagspin_geom::angle;
 
 /// Standard deviation of per-read phase noise assumed by the paper, radians.
 pub const PAPER_PHASE_SIGMA: f64 = 0.1;
@@ -34,7 +35,10 @@ impl PhaseNoise {
     ///
     /// Panics when `sigma` is negative or non-finite.
     pub fn with_sigma(sigma: f64) -> Self {
-        assert!(sigma.is_finite() && sigma >= 0.0, "sigma must be finite and >= 0");
+        assert!(
+            sigma.is_finite() && sigma >= 0.0,
+            "sigma must be finite and >= 0"
+        );
         PhaseNoise { sigma }
     }
 
@@ -45,10 +49,10 @@ impl PhaseNoise {
 
     /// Apply noise to a phase, re-wrapping to `[0, 2π)`.
     pub fn apply<R: Rng + ?Sized>(&self, phase: f64, rng: &mut R) -> f64 {
-        if self.sigma == 0.0 {
-            return phase.rem_euclid(TAU);
+        if tagspin_dsp::float::exactly_zero(self.sigma) {
+            return angle::wrap_tau(phase);
         }
-        (phase + gaussian(rng) * self.sigma).rem_euclid(TAU)
+        angle::wrap_tau(phase + gaussian(rng) * self.sigma)
     }
 }
 
@@ -78,7 +82,7 @@ pub fn gaussian<R: Rng + ?Sized>(rng: &mut R) -> f64 {
 /// ```
 pub fn quantize_phase(phase: f64, steps: u32) -> f64 {
     assert!(steps > 0, "steps must be positive");
-    let w = phase.rem_euclid(TAU);
+    let w = angle::wrap_tau(phase);
     let step = TAU / steps as f64;
     let idx = (w / step).round() as u64 % steps as u64;
     idx as f64 * step
@@ -116,7 +120,7 @@ impl RssiNoise {
 
     /// Apply noise to a power level in dBm.
     pub fn apply<R: Rng + ?Sized>(&self, dbm: f64, rng: &mut R) -> f64 {
-        if self.sigma_db == 0.0 {
+        if tagspin_dsp::float::exactly_zero(self.sigma_db) {
             dbm
         } else {
             dbm + gaussian(rng) * self.sigma_db

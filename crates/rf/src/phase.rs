@@ -32,7 +32,7 @@ use std::f64::consts::TAU;
 pub fn round_trip_phase(d_m: f64, freq_hz: f64, theta_div: f64) -> f64 {
     debug_assert!(d_m >= 0.0, "distance must be non-negative");
     let lambda = wavelength(freq_hz);
-    (TAU / lambda * 2.0 * d_m + theta_div).rem_euclid(TAU)
+    tagspin_geom::angle::wrap_tau(TAU / lambda * 2.0 * d_m + theta_div)
 }
 
 /// The phase advance per meter of one-way distance (rad/m): `4π/λ`.
@@ -64,7 +64,7 @@ impl DiversityTerm {
     /// Total offset, wrapped to `[0, 2π)`.
     #[inline]
     pub fn total(&self) -> f64 {
-        (self.reader_offset + self.tag_offset).rem_euclid(TAU)
+        tagspin_geom::angle::wrap_tau(self.reader_offset + self.tag_offset)
     }
 }
 

@@ -21,9 +21,10 @@
 use serde::{Deserialize, Serialize};
 
 /// Reader-antenna polarization.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
 pub enum Polarization {
     /// Ideal circular polarization (the paper's Yeon antennas).
+    #[default]
     Circular,
     /// Linear polarization at `tilt` radians from horizontal in the plane
     /// transverse to propagation.
@@ -39,12 +40,6 @@ pub enum Polarization {
         /// Axial ratio, dB (≥ 0).
         axial_ratio_db: f64,
     },
-}
-
-impl Default for Polarization {
-    fn default() -> Self {
-        Polarization::Circular
-    }
 }
 
 impl Polarization {

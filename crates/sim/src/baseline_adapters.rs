@@ -14,6 +14,7 @@ use crate::scenario::Scenario;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::f64::consts::FRAC_PI_2;
+use tagspin_baselines::antloc::range_from_threshold;
 use tagspin_baselines::{AntLoc, BackPos, Bounds2D, Landmarc, PinIt, ReferenceProfile};
 use tagspin_core::calib::diversity::theoretical_phase_exact;
 use tagspin_core::snapshot::{Snapshot, SnapshotSet};
@@ -23,8 +24,66 @@ use tagspin_epc::inventory::{run_inventory, ReaderConfig, StaticTag, Transponder
 use tagspin_geom::{angle, Vec2, Vec3};
 use tagspin_rf::constants::{channel_frequency, DEFAULT_CARRIER_HZ};
 use tagspin_rf::medium::PathLoss;
-use tagspin_baselines::antloc::range_from_threshold;
 use tagspin_rf::{read_probability, TagGainPattern, TagInstance, TagModel};
+
+/// Why a baseline trial could not produce a position fix.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AdapterError {
+    /// Fewer than three reference tags answered the inventory.
+    TooFewReferences {
+        /// How many references were actually readable.
+        readable: usize,
+    },
+    /// A phase-calibrated reference tag was never read.
+    ReferenceNeverRead(Vec3),
+    /// Circular phase statistics degenerated (resultant length ~ 0).
+    DegeneratePhases,
+    /// The scenario has no spinning disks to profile against.
+    NoDisks,
+    /// The spinning-tag aperture could not be assembled.
+    Snapshot(tagspin_core::snapshot::SnapshotError),
+    /// The baseline localizer itself rejected its inputs.
+    Baseline(tagspin_baselines::BaselineError),
+}
+
+impl std::fmt::Display for AdapterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AdapterError::TooFewReferences { readable } => {
+                write!(f, "only {readable} reference tags readable (need 3)")
+            }
+            AdapterError::ReferenceNeverRead(p) => {
+                write!(f, "reference tag at {p} never read")
+            }
+            AdapterError::DegeneratePhases => write!(f, "degenerate phase readings"),
+            AdapterError::NoDisks => write!(f, "scenario has no disks"),
+            AdapterError::Snapshot(e) => write!(f, "aperture assembly failed: {e}"),
+            AdapterError::Baseline(e) => write!(f, "localizer failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for AdapterError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AdapterError::Snapshot(e) => Some(e),
+            AdapterError::Baseline(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<tagspin_core::snapshot::SnapshotError> for AdapterError {
+    fn from(e: tagspin_core::snapshot::SnapshotError) -> Self {
+        AdapterError::Snapshot(e)
+    }
+}
+
+impl From<tagspin_baselines::BaselineError> for AdapterError {
+    fn from(e: tagspin_baselines::BaselineError) -> Self {
+        AdapterError::Baseline(e)
+    }
+}
 
 /// Reference-tag grid shared by LandMarc / AntLoc / BackPos: a 3×3 lattice
 /// covering the deployment area in front of the disks.
@@ -32,11 +91,7 @@ pub fn reference_grid(z: f64) -> Vec<Vec3> {
     let mut refs = Vec::with_capacity(9);
     for ix in -1..=1 {
         for iy in 0..3 {
-            refs.push(Vec3::new(
-                ix as f64 * 1.0,
-                0.5 + iy as f64 * 1.0,
-                z,
-            ));
+            refs.push(Vec3::new(ix as f64 * 1.0, 0.5 + iy as f64 * 1.0, z));
         }
     }
     refs
@@ -80,9 +135,10 @@ fn static_tags(positions: &[Vec3], rng: &mut StdRng, matched: bool) -> Vec<Stati
 ///
 /// # Errors
 ///
-/// A human-readable message when a reference tag was never read or the
-/// localizer rejects the inputs.
-pub fn landmarc_trial(scenario: &Scenario, seed: u64) -> Result<TrialError, String> {
+/// [`AdapterError::TooFewReferences`] when the reader saw fewer than three
+/// reference tags; [`AdapterError::Baseline`] when the localizer rejects
+/// the inputs.
+pub fn landmarc_trial(scenario: &Scenario, seed: u64) -> Result<TrialError, AdapterError> {
     let mut rng = StdRng::seed_from_u64(seed);
     let z = scenario.reader_truth.position.z;
     let all_refs = reference_grid(scenario.disks.first().map_or(0.0, |d| d.center.z));
@@ -95,17 +151,16 @@ pub fn landmarc_trial(scenario: &Scenario, seed: u64) -> Result<TrialError, Stri
     let mut refs = Vec::new();
     let mut measured = Vec::new();
     for t in &tags {
-        let reads: Vec<f64> = log
-            .for_epc(t.tag.epc)
-            .map(|r| r.rssi_dbm)
-            .collect();
+        let reads: Vec<f64> = log.for_epc(t.tag.epc).map(|r| r.rssi_dbm).collect();
         if !reads.is_empty() {
             refs.push(t.position);
             measured.push(reads.iter().sum::<f64>() / reads.len() as f64);
         }
     }
     if refs.len() < 3 {
-        return Err(format!("only {} reference tags readable", refs.len()));
+        return Err(AdapterError::TooFewReferences {
+            readable: refs.len(),
+        });
     }
 
     let lm = Landmarc {
@@ -124,11 +179,8 @@ pub fn landmarc_trial(scenario: &Scenario, seed: u64) -> Result<TrialError, Stri
         let g = antenna.gain_dbi(pose.off_boresight(tag));
         link.reader_received_dbm(reader.distance(tag), DEFAULT_CARRIER_HZ, g, 2.0)
     };
-    let est = lm.locate(&measured, predict).map_err(|e| e.to_string())?;
-    Ok(TrialError::planar(
-        est,
-        scenario.reader_truth.position.xy(),
-    ))
+    let est = lm.locate(&measured, predict)?;
+    Ok(TrialError::planar(est, scenario.reader_truth.position.xy()))
 }
 
 /// One AntLoc trial: sweep TX attenuation in 1 dB steps, find each
@@ -137,15 +189,13 @@ pub fn landmarc_trial(scenario: &Scenario, seed: u64) -> Result<TrialError, Stri
 /// # Errors
 ///
 /// A message when a tag answers at no attenuation or the solver fails.
-pub fn antloc_trial(scenario: &Scenario, seed: u64) -> Result<TrialError, String> {
+pub fn antloc_trial(scenario: &Scenario, seed: u64) -> Result<TrialError, AdapterError> {
     let mut rng = StdRng::seed_from_u64(seed);
     let plane_z = scenario.disks.first().map_or(0.0, |d| d.center.z);
     let all_refs = reference_grid(plane_z);
     let tags = static_tags(&all_refs, &mut rng, false);
-    let pose = tagspin_geom::Pose::facing_toward(
-        scenario.reader_truth.position,
-        grid_centroid(&all_refs),
-    );
+    let pose =
+        tagspin_geom::Pose::facing_toward(scenario.reader_truth.position, grid_centroid(&all_refs));
 
     // Threshold sweep: for each tag, the largest attenuation at which the
     // majority of 5 probe reads succeed. Unreachable (back-lobe) tags are
@@ -180,7 +230,9 @@ pub fn antloc_trial(scenario: &Scenario, seed: u64) -> Result<TrialError, String
         }
     }
     if refs.len() < 3 {
-        return Err(format!("only {} reference tags answered", refs.len()));
+        return Err(AdapterError::TooFewReferences {
+            readable: refs.len(),
+        });
     }
 
     // Gain-corrected iterative inversion: the first pass assumes nominal
@@ -201,8 +253,7 @@ pub fn antloc_trial(scenario: &Scenario, seed: u64) -> Result<TrialError, String
         reader_height: z,
         ..AntLoc::new(refs.clone(), base_margin(8.0, 2.0), exponent)
     };
-    let mut est = Bounds2D::paper_room()
-        .clamp(al.locate(&thresholds).map_err(|e| e.to_string())?);
+    let mut est = Bounds2D::paper_room().clamp(al.locate(&thresholds)?);
     let gain_model = TagGainPattern::typical();
     for _ in 0..3 {
         let pose = tagspin_geom::Pose::facing_toward(est.with_z(z), grid_centroid(&refs));
@@ -213,14 +264,9 @@ pub fn antloc_trial(scenario: &Scenario, seed: u64) -> Result<TrialError, String
                 let g_r = antenna.gain_dbi(pose.off_boresight(*t));
                 // Mounted azimuth is known (π/2); predict the orientation
                 // gain for the current fix.
-                let rho = tagspin_rf::channel::orientation_to_reader(
-                    *t,
-                    FRAC_PI_2,
-                    est.with_z(z),
-                );
+                let rho = tagspin_rf::channel::orientation_to_reader(*t, FRAC_PI_2, est.with_z(z));
                 let g_t = gain_model.gain_dbi(rho);
-                range_from_threshold(th, base_margin(g_r, g_t), exponent)
-                    .clamp(0.05, 10.0)
+                range_from_threshold(th, base_margin(g_r, g_t), exponent).clamp(0.05, 10.0)
             })
             .collect();
         match al.locate_with_ranges(&ranges) {
@@ -228,10 +274,7 @@ pub fn antloc_trial(scenario: &Scenario, seed: u64) -> Result<TrialError, String
             Err(_) => break,
         }
     }
-    Ok(TrialError::planar(
-        est,
-        scenario.reader_truth.position.xy(),
-    ))
+    Ok(TrialError::planar(est, scenario.reader_truth.position.xy()))
 }
 
 /// One PinIt trial: the target reader's spatial profile comes from the
@@ -242,10 +285,13 @@ pub fn antloc_trial(scenario: &Scenario, seed: u64) -> Result<TrialError, String
 ///
 /// A message when the spinning tag was never read or references are
 /// insufficient.
-pub fn pinit_trial(scenario: &Scenario, seed: u64) -> Result<TrialError, String> {
+pub fn pinit_trial(scenario: &Scenario, seed: u64) -> Result<TrialError, AdapterError> {
     let mut rng = StdRng::seed_from_u64(seed);
-    let disk = *scenario.disks.first().ok_or("scenario has no disks")?;
-    let tag = SpinningTag::new(disk, TagInstance::manufacture(scenario.tag_model, 1, &mut rng));
+    let disk = *scenario.disks.first().ok_or(AdapterError::NoDisks)?;
+    let tag = SpinningTag::new(
+        disk,
+        TagInstance::manufacture(scenario.tag_model, 1, &mut rng),
+    );
     let config = reader_config_toward(scenario, disk.center);
     let log = run_inventory(
         &scenario.env,
@@ -254,9 +300,7 @@ pub fn pinit_trial(scenario: &Scenario, seed: u64) -> Result<TrialError, String>
         scenario.observation_s,
         &mut rng,
     );
-    let set = SnapshotSet::from_log(&log, 1, &disk)
-        .map_err(|e| e.to_string())?
-        .decimate(scenario.decimate.max(2));
+    let set = SnapshotSet::from_log(&log, 1, &disk)?.decimate(scenario.decimate.max(2));
     let cfg = SpectrumConfig {
         azimuth_steps: 180,
         ..scenario.spectrum
@@ -288,11 +332,8 @@ pub fn pinit_trial(scenario: &Scenario, seed: u64) -> Result<TrialError, String>
         }
     }
     let pinit = PinIt::new(references, 3);
-    let est = pinit.locate(target.values()).map_err(|e| e.to_string())?;
-    Ok(TrialError::planar(
-        est,
-        scenario.reader_truth.position.xy(),
-    ))
+    let est = pinit.locate(target.values())?;
+    Ok(TrialError::planar(est, scenario.reader_truth.position.xy()))
 }
 
 /// One BackPos trial: phase-matched reference tags at known positions, the
@@ -301,7 +342,7 @@ pub fn pinit_trial(scenario: &Scenario, seed: u64) -> Result<TrialError, String>
 /// # Errors
 ///
 /// A message when a reference tag was never read or the solver fails.
-pub fn backpos_trial(scenario: &Scenario, seed: u64) -> Result<TrialError, String> {
+pub fn backpos_trial(scenario: &Scenario, seed: u64) -> Result<TrialError, AdapterError> {
     let mut rng = StdRng::seed_from_u64(seed);
     let plane_z = scenario.disks.first().map_or(0.0, |d| d.center.z);
     // Five phase-calibrated references. BackPos assumes matched RF chains
@@ -320,8 +361,7 @@ pub fn backpos_trial(scenario: &Scenario, seed: u64) -> Result<TrialError, Strin
     ];
     let mut tags = static_tags(&refs, &mut rng, true);
     for t in &mut tags {
-        t.tag.phase_offset =
-            TAG_MATCHING_RESIDUAL_RAD * tagspin_rf::noise::gaussian(&mut rng);
+        t.tag.phase_offset = TAG_MATCHING_RESIDUAL_RAD * tagspin_rf::noise::gaussian(&mut rng);
     }
     let trs: Vec<&dyn Transponder> = tags.iter().map(|t| t as &dyn Transponder).collect();
     let config = reader_config_toward(scenario, grid_centroid(&refs));
@@ -331,12 +371,9 @@ pub fn backpos_trial(scenario: &Scenario, seed: u64) -> Result<TrialError, Strin
     for t in &tags {
         let reads: Vec<f64> = log.for_epc(t.tag.epc).map(|r| r.phase).collect();
         if reads.is_empty() {
-            return Err(format!("reference tag at {} never read", t.position));
+            return Err(AdapterError::ReferenceNeverRead(t.position));
         }
-        phases.push(
-            tagspin_geom::circular::mean(&reads)
-                .ok_or_else(|| "degenerate phase readings".to_string())?,
-        );
+        phases.push(tagspin_geom::circular::mean(&reads).ok_or(AdapterError::DegeneratePhases)?);
     }
     // The channel is fixed in these trials; use its true wavelength.
     let lambda = tagspin_rf::constants::wavelength(channel_frequency(8));
@@ -344,15 +381,12 @@ pub fn backpos_trial(scenario: &Scenario, seed: u64) -> Result<TrialError, Strin
         reader_height: scenario.reader_truth.position.z,
         ..BackPos::new(refs, lambda, Bounds2D::paper_room())
     };
-    let est = bp.locate(&phases).map_err(|e| e.to_string())?;
+    let est = bp.locate(&phases)?;
     // Phases wrap identically for mirrored y in this symmetric layout only
     // if references were symmetric; they are not, so no ambiguity handling
     // beyond BackPos's own is needed.
     let _ = angle::wrap_pi(0.0);
-    Ok(TrialError::planar(
-        est,
-        scenario.reader_truth.position.xy(),
-    ))
+    Ok(TrialError::planar(est, scenario.reader_truth.position.xy()))
 }
 
 #[cfg(test)]

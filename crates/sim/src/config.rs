@@ -94,7 +94,7 @@ impl Deployment {
                 continue;
             }
             let mut toks = line.split_whitespace();
-            let key = toks.next().expect("nonempty line has a token");
+            let Some(key) = toks.next() else { continue };
             match key {
                 "tag" => {
                     let epc: u128 = toks
@@ -134,11 +134,14 @@ impl Deployment {
                                 }
                             }
                             other => {
-                                return Err(err(line_no, format!("unknown tag attribute '{other}'")))
+                                return Err(err(
+                                    line_no,
+                                    format!("unknown tag attribute '{other}'"),
+                                ))
                             }
                         }
                     }
-                    disk.validate().map_err(|m| err(line_no, m))?;
+                    disk.validate().map_err(|e| err(line_no, e.to_string()))?;
                     dep.tags.push((epc, disk));
                 }
                 "profile" => {
@@ -227,12 +230,18 @@ impl Deployment {
             ProfileKind::Hybrid => "hybrid",
         };
         out.push_str(&format!("profile {profile}\n"));
-        out.push_str(&format!("references {}\n", self.pipeline.spectrum.references));
+        out.push_str(&format!(
+            "references {}\n",
+            self.pipeline.spectrum.references
+        ));
         out.push_str(&format!(
             "azimuth-steps {}\n",
             self.pipeline.spectrum.azimuth_steps
         ));
-        out.push_str(&format!("polar-steps {}\n", self.pipeline.spectrum.polar_steps));
+        out.push_str(&format!(
+            "polar-steps {}\n",
+            self.pipeline.spectrum.polar_steps
+        ));
         out.push_str(&format!("sigma {}\n", self.pipeline.spectrum.sigma));
         out.push_str(&format!("min-snapshots {}\n", self.pipeline.min_snapshots));
         out.push_str(&format!(
@@ -258,7 +267,9 @@ impl Deployment {
     pub fn build_server(&self) -> LocalizationServer {
         let mut server = LocalizationServer::new(self.pipeline);
         for &(epc, disk) in &self.tags {
-            server.register(epc, disk).expect("parse rejects duplicates");
+            let registered = server.register(epc, disk);
+            // lint:allow(no-panic) documented `# Panics`: parse rejects duplicates
+            registered.expect("parse rejects duplicates");
         }
         server
     }

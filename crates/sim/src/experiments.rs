@@ -151,7 +151,10 @@ pub type Experiment = (&'static str, fn(&Fidelity) -> Report);
 /// The experiment registry, in paper order.
 pub fn registry() -> Vec<Experiment> {
     vec![
-        ("fig1", profiles::fig1_toy_example as fn(&Fidelity) -> Report),
+        (
+            "fig1",
+            profiles::fig1_toy_example as fn(&Fidelity) -> Report,
+        ),
         ("fig3", calibration::fig3_raw_phase),
         ("fig4", calibration::fig4_calibration_stages),
         ("fig5", calibration::fig5_center_spin),
@@ -194,10 +197,30 @@ mod tests {
     fn registry_covers_all_paper_items() {
         let ids: Vec<&str> = registry().iter().map(|(id, _)| *id).collect();
         for expected in [
-            "fig1", "fig3", "fig4", "fig5", "fig6", "fig8", "fig10a", "fig10b", "fig11a",
-            "fig11b", "fig12a", "fig12b", "fig12c", "fig12d", "table1", "table2",
-            "abl-profile", "abl-references", "abl-noise", "abl-observation",
-            "abl-multipath", "abl-wobble", "abl-hopping", "abl-vertical",
+            "fig1",
+            "fig3",
+            "fig4",
+            "fig5",
+            "fig6",
+            "fig8",
+            "fig10a",
+            "fig10b",
+            "fig11a",
+            "fig11b",
+            "fig12a",
+            "fig12b",
+            "fig12c",
+            "fig12d",
+            "table1",
+            "table2",
+            "abl-profile",
+            "abl-references",
+            "abl-noise",
+            "abl-observation",
+            "abl-multipath",
+            "abl-wobble",
+            "abl-hopping",
+            "abl-vertical",
         ] {
             assert!(ids.contains(&expected), "missing {expected}");
         }

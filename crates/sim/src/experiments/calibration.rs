@@ -1,5 +1,9 @@
 //! Calibration experiments: Figs. 3, 4, 5 and 11(a).
 
+// lint:allow-file(no-panic) figure/table harness: these drivers run with
+// fidelities that guarantee trials succeed, and a violated invariant must
+// abort the reproduction rather than emit a silently wrong table.
+
 use super::{Fidelity, Report, Series};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -48,7 +52,12 @@ fn edge_capture(fid: &Fidelity, tag: &TagInstance, revolutions: f64) -> Snapshot
 }
 
 /// Capture a center-spin observation (the Fig. 5 control).
-fn center_capture(fid: &Fidelity, tag: &TagInstance, disk: DiskConfig, reader: Vec3) -> SnapshotSet {
+fn center_capture(
+    fid: &Fidelity,
+    tag: &TagInstance,
+    disk: DiskConfig,
+    reader: Vec3,
+) -> SnapshotSet {
     let mut rng = StdRng::seed_from_u64(fid.seed ^ 0xCE17E5);
     let center = CenterSpinTag {
         disk,
@@ -88,9 +97,7 @@ pub fn fig3_raw_phase(fid: &Fidelity) -> Report {
             ("wrap discontinuities".into(), wraps),
             ("span (s)".into(), set.span_s()),
         ],
-        notes: vec![
-            "Expected shape: periodic sawtooth; phase repeats every disk rotation".into(),
-        ],
+        notes: vec!["Expected shape: periodic sawtooth; phase repeats every disk rotation".into()],
     }
 }
 
@@ -114,7 +121,7 @@ fn aligned_rms(set: &SnapshotSet, include_gap_note: bool) -> (f64, f64, Vec<f64>
         let max_gap = residuals.iter().fold(0.0f64, |m, r| m.max(r.abs()));
         format!("max residual gap after diversity alignment: {max_gap:.2} rad (orientation effect)")
     });
-    (rms, offset.rem_euclid(TAU), residuals, note)
+    (rms, angle::wrap_tau(offset), residuals, note)
 }
 
 /// Fig. 4: smoothing, diversity calibration, orientation calibration.
@@ -161,7 +168,10 @@ pub fn fig4_calibration_stages(fid: &Fidelity) -> Report {
         ],
         scalars: vec![
             ("estimated θ_div (rad)".into(), theta_div_est),
-            ("rms after diversity calibration (rad)".into(), rms_diversity),
+            (
+                "rms after diversity calibration (rad)".into(),
+                rms_diversity,
+            ),
             (
                 "rms after orientation calibration (rad)".into(),
                 rms_orientation,
@@ -199,9 +209,7 @@ pub fn fig5_center_spin(fid: &Fidelity) -> Report {
                 tag.orientation_phase.peak_to_peak(),
             ),
         ],
-        notes: vec![
-            "Paper observes ≈0.7 rad fluctuation although distance is constant".into(),
-        ],
+        notes: vec!["Paper observes ≈0.7 rad fluctuation although distance is constant".into()],
     }
 }
 
@@ -243,13 +251,13 @@ pub fn fig11a_phase_vs_orientation(fid: &Fidelity) -> Report {
                     .map(|s| angle::wrap_tau(s.disk_angle + FRAC_PI_2 - bearing))
                     .collect();
                 // Reference: the reading nearest ρ = 90°.
+                // lint:allow(no-panic) capture loop above pushes >= 1 reading
                 let (ref_idx, _) = rhos
                     .iter()
                     .enumerate()
                     .min_by(|a, b| {
                         angle::separation(*a.1, FRAC_PI_2)
-                            .partial_cmp(&angle::separation(*b.1, FRAC_PI_2))
-                            .expect("finite")
+                            .total_cmp(&angle::separation(*b.1, FRAC_PI_2))
                     })
                     .expect("nonempty capture");
                 let ref_phase = phases[ref_idx];
@@ -261,7 +269,9 @@ pub fn fig11a_phase_vs_orientation(fid: &Fidelity) -> Report {
             }
         }
     }
-    let xs: Vec<f64> = (0..bins).map(|b| (b as f64 + 0.5) * 360.0 / bins as f64).collect();
+    let xs: Vec<f64> = (0..bins)
+        .map(|b| (b as f64 + 0.5) * 360.0 / bins as f64)
+        .collect();
     let ys: Vec<f64> = sums
         .iter()
         .zip(&counts)
@@ -275,7 +285,9 @@ pub fn fig11a_phase_vs_orientation(fid: &Fidelity) -> Report {
         series: vec![Series::from_xy("mean phase rotation (rad)", &xs, &ys)],
         scalars: vec![("population peak-to-peak (rad)".into(), pp)],
         notes: vec![
-            format!("averaged over {models} models × {individuals} individuals × {locations} locations"),
+            format!(
+                "averaged over {models} models × {individuals} individuals × {locations} locations"
+            ),
             "Expected shape: stable periodic pattern, amplitude varies per tag".into(),
         ],
     }
@@ -323,7 +335,10 @@ mod tests {
         let fitted = r.scalar("fitted orientation p-p (rad)").unwrap();
         let truth = r.scalar("hidden ground-truth p-p (rad)").unwrap();
         // The fit recovers the hidden effect closely; raw p-p is inflated.
-        assert!((fitted - truth).abs() < 0.2, "fitted {fitted} truth {truth}");
+        assert!(
+            (fitted - truth).abs() < 0.2,
+            "fitted {fitted} truth {truth}"
+        );
         assert!(raw >= fitted, "raw {raw} fitted {fitted}");
     }
 

@@ -1,7 +1,13 @@
 //! Table I (tag catalogue) and the Section VII-A baseline comparison.
 
+// lint:allow-file(no-panic) figure/table harness: these drivers run with
+// fidelities that guarantee trials succeed, and a violated invariant must
+// abort the reproduction rather than emit a silently wrong table.
+
 use super::{Fidelity, Report, Series};
-use crate::baseline_adapters::{antloc_trial, backpos_trial, landmarc_trial, pinit_trial};
+use crate::baseline_adapters::{
+    antloc_trial, backpos_trial, landmarc_trial, pinit_trial, AdapterError,
+};
 use crate::metrics::{ErrorStats, TrialError};
 use crate::scenario::Scenario;
 use crate::sweep::{run_batch, Dims};
@@ -38,7 +44,7 @@ pub fn table1_tag_models(_fid: &Fidelity) -> Report {
 fn baseline_batch(
     fid: &Fidelity,
     salt: u64,
-    trial: impl Fn(&Scenario, u64) -> Result<TrialError, String> + Sync,
+    trial: impl Fn(&Scenario, u64) -> Result<TrialError, AdapterError> + Sync,
 ) -> (Option<ErrorStats>, usize) {
     // Baselines run sequentially per trial (they are much cheaper than the
     // Tagspin pipeline); reader positions match the Tagspin batch seeds.

@@ -11,6 +11,7 @@
 //! * [`experiments`] — one function per paper figure/table, producing the
 //!   series the `reproduce` binary prints.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod baseline_adapters;

@@ -68,6 +68,7 @@ impl ErrorStats {
             return None;
         }
         let col = |f: fn(&TrialError) -> f64| -> Summary {
+            // lint:allow(no-panic) `errors` checked nonempty above; trial errors are finite
             Summary::of(&errors.iter().map(f).collect::<Vec<_>>()).expect("nonempty")
         };
         Some(ErrorStats {
@@ -104,6 +105,7 @@ impl ErrorStats {
             0 => |e| e.x,
             1 => |e| e.y,
             2 => |e| e.z,
+            // lint:allow(no-panic) documented `# Panics` contract for a debug accessor
             _ => panic!("axis must be 0, 1 or 2"),
         };
         Ecdf::new(&self.errors.iter().map(pick).collect::<Vec<_>>())

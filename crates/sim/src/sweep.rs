@@ -67,15 +67,22 @@ pub fn run_batch(
                     Dims::Two => run_trial_2d(&scenario, seed).map(|o| o.error),
                     Dims::Three => run_trial_3d(&scenario, seed).map(|o| o.error),
                 };
-                results.lock().expect("no poisoned lock").push((seed, outcome));
+                results
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .push((seed, outcome));
             });
         }
     })
+    // lint:allow(no-panic) a panicking worker must abort the sweep, not be masked
     .expect("worker threads do not panic");
 
     let mut errors = Vec::new();
     let mut failures = Vec::new();
-    for (seed, r) in results.into_inner().expect("no poisoned lock") {
+    for (seed, r) in results
+        .into_inner()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+    {
         match r {
             Ok(e) => errors.push(e),
             Err(f) => failures.push((seed, f)),

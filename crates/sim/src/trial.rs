@@ -100,6 +100,7 @@ pub fn setup_trial(scenario: &Scenario, rng: &mut StdRng) -> Result<TrialSetup, 
         let instance = TagInstance::manufacture(scenario.tag_model, epc, rng);
         server
             .register(epc, disk)
+            // lint:allow(no-panic) EPCs are enumerate() indices, unique by construction
             .expect("EPCs are unique by construction");
 
         if scenario.orientation_calibration {
@@ -123,6 +124,7 @@ pub fn setup_trial(scenario: &Scenario, rng: &mut StdRng) -> Result<TrialSetup, 
                 .map_err(|e| TrialFailure::Calibration(e.to_string()))?;
             server
                 .set_orientation_calibration(epc, cal)
+                // lint:allow(no-panic) the same epc was registered a few lines up
                 .expect("tag registered above");
         }
         tags.push(SpinningTag::new(disk, instance));

@@ -1,0 +1,30 @@
+//! Lint self-test fixture: the same constructs as `violations.rs`, but
+//! either written in the blessed idiom or carrying a justified escape
+//! hatch. The analyzer must report nothing here.
+
+pub fn l1_allowed(v: Option<u32>) -> u32 {
+    // lint:allow(no-panic) fixture: invariant documented here
+    v.unwrap()
+}
+
+pub fn l2_blessed(phase: f64) -> f64 {
+    tagspin_geom::angle::wrap_tau(phase)
+}
+
+pub fn l3_epsilon(a: f64) -> bool {
+    tagspin_dsp::float::exactly_zero(a)
+}
+
+pub fn l4_typed(s: &str) -> Result<u32, std::num::ParseIntError> {
+    s.parse()
+}
+
+pub fn l5_annotated(i: usize) -> f64 {
+    // lint:allow(lossy-cast) fixture index is tiny, exact in f64
+    i as f64
+}
+
+pub fn strings_are_stripped() -> &'static str {
+    // Pattern text inside a string literal must not trip any rule.
+    "call .unwrap() then x.rem_euclid(TAU) and a == 0.0 as f64"
+}

@@ -1,0 +1,41 @@
+//! Lint self-test fixture: every rule must fire exactly where marked.
+//! This file is never compiled; the integration test feeds it to
+//! `analyze_file` under a hot-path library name.
+
+use std::f64::consts::TAU;
+
+pub fn l1_unwrap(v: Option<u32>) -> u32 {
+    v.unwrap() // L1 line 8
+}
+
+pub fn l2_raw_wrap(phase: f64) -> f64 {
+    phase.rem_euclid(TAU) // L2 line 12
+}
+
+pub fn l2_manual_wrap(mut d: f64) -> f64 {
+    if d > std::f64::consts::PI { d -= TAU; } // L2 line 16
+    d
+}
+
+pub fn l3_float_eq(a: f64) -> bool {
+    a == 0.0 // L3 line 21
+}
+
+pub fn l4_stringly(s: &str) -> Result<u32, String> { // L4 line 24
+    s.parse().map_err(|_| "bad".to_string())
+}
+
+pub fn l5_cast(i: usize) -> f64 {
+    i as f64 // L5 line 29
+}
+
+#[cfg(test)]
+mod tests {
+    // Inside a test region none of the expression rules apply.
+    #[test]
+    fn exempt() {
+        let v: Option<u32> = Some(1);
+        assert_eq!(v.unwrap(), 1);
+        assert!(0.25f64.rem_euclid(std::f64::consts::TAU) == 0.25);
+    }
+}

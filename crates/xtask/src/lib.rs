@@ -1,0 +1,261 @@
+//! Domain-aware static-analysis gate for the Tagspin workspace.
+//!
+//! `cargo xtask lint` runs a dependency-light, line/AST-lite analyzer over
+//! the workspace sources and enforces five rules the Rust compiler cannot
+//! see (see `docs/LINTS.md` for the catalogue and rationale):
+//!
+//! * **L1 `no-panic`** — no `.unwrap()` / `.expect(` / `panic!(` in
+//!   non-test library code.
+//! * **L2 `angle-hygiene`** — all phase wrapping goes through
+//!   `tagspin_geom::angle`; raw `% TAU`, `rem_euclid(TAU)` or manual ±π
+//!   wrap arithmetic outside `crates/geom/src/angle.rs` is an error.
+//! * **L3 `float-eq`** — no `==` / `!=` against floating-point values
+//!   outside tests.
+//! * **L4 `stringly-error`** — no `Result<_, String>` in public APIs.
+//! * **L5 `lossy-cast`** — numeric `as` casts in designated hot-path
+//!   files must be annotated.
+//!
+//! Every rule honors a line-level escape hatch — a
+//! `// lint:allow(<rule>)` comment on the offending line or the line
+//! above — and a file-level `// lint:allow-file(<rule>)`.
+//!
+//! The analyzer works on a *stripped* view of each file (string literals,
+//! char literals and comments blanked out, positions preserved) and
+//! tracks `#[cfg(test)]` module spans by brace matching, so it does not
+//! need a full Rust parser.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod rules;
+pub mod strip;
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// A lint rule identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Rule {
+    /// L1: no `.unwrap()` / `.expect(` / `panic!(` in library code.
+    NoPanic,
+    /// L2: phase wrapping only via `tagspin_geom::angle`.
+    AngleHygiene,
+    /// L3: no float `==` / `!=` outside tests.
+    FloatEq,
+    /// L4: no `Result<_, String>` in public APIs.
+    StringlyError,
+    /// L5: annotated numeric casts in hot paths.
+    LossyCast,
+}
+
+impl Rule {
+    /// Stable lowercase name used in reports and `lint:allow(...)`.
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::NoPanic => "no-panic",
+            Rule::AngleHygiene => "angle-hygiene",
+            Rule::FloatEq => "float-eq",
+            Rule::StringlyError => "stringly-error",
+            Rule::LossyCast => "lossy-cast",
+        }
+    }
+
+    /// Short code (`L1`..`L5`) used in reports.
+    pub fn code(self) -> &'static str {
+        match self {
+            Rule::NoPanic => "L1",
+            Rule::AngleHygiene => "L2",
+            Rule::FloatEq => "L3",
+            Rule::StringlyError => "L4",
+            Rule::LossyCast => "L5",
+        }
+    }
+}
+
+/// One rule violation at a source location.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Path relative to the workspace root.
+    pub file: PathBuf,
+    /// 1-based line number.
+    pub line: usize,
+    /// The violated rule.
+    pub rule: Rule,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: {}({}): {}",
+            self.file.display(),
+            self.line,
+            self.rule.code(),
+            self.rule.name(),
+            self.message
+        )
+    }
+}
+
+/// How a source file participates in the rule set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileKind {
+    /// A library source file (`crates/*/src/**`, root `src/lib.rs`).
+    Library,
+    /// A binary source (`src/bin/**`, `crates/*/src/bin/**`).
+    Binary,
+    /// An example (`examples/**`).
+    Example,
+    /// A benchmark (`crates/*/benches/**`).
+    Bench,
+    /// An integration test (`tests/**` at any level).
+    Test,
+}
+
+impl FileKind {
+    /// Whether L1 (`no-panic`) applies to this kind of file.
+    pub fn checks_panics(self) -> bool {
+        matches!(self, FileKind::Library)
+    }
+
+    /// Whether L2/L3 apply (everything except test code).
+    pub fn checks_expressions(self) -> bool {
+        !matches!(self, FileKind::Test)
+    }
+
+    /// Whether L4 applies (public API surface lives in libraries).
+    pub fn checks_signatures(self) -> bool {
+        matches!(self, FileKind::Library)
+    }
+}
+
+/// Files whose numeric casts must be annotated (L5): the angle-spectrum
+/// and DSP kernels where a silent float→int truncation or an index→f64
+/// precision loss would corrupt results rather than crash.
+const HOT_PATHS: &[&str] = &[
+    "crates/core/src/spectrum.rs",
+    "crates/core/src/locate/plane.rs",
+    "crates/core/src/locate/space.rs",
+    "crates/dsp/src/fourier.rs",
+    "crates/dsp/src/peak.rs",
+    "crates/dsp/src/window.rs",
+    "crates/dsp/src/unwrap.rs",
+];
+
+/// The one file allowed to contain raw wrap arithmetic (L2).
+const ANGLE_MODULE: &str = "crates/geom/src/angle.rs";
+
+/// Classify a workspace-relative path, or `None` if it should not be
+/// scanned at all.
+pub fn classify(rel: &Path) -> Option<FileKind> {
+    let s = rel.to_string_lossy().replace('\\', "/");
+    if !s.ends_with(".rs") {
+        return None;
+    }
+    // Tooling, vendored stubs and build artifacts are out of scope.
+    if s.starts_with("crates/xtask/") || s.starts_with("vendor/") || s.starts_with("target/") {
+        return None;
+    }
+    if s.starts_with("tests/") || s.contains("/tests/") {
+        return Some(FileKind::Test);
+    }
+    if s.starts_with("examples/") || s.contains("/examples/") {
+        return Some(FileKind::Example);
+    }
+    if s.contains("/benches/") {
+        return Some(FileKind::Bench);
+    }
+    if s.contains("/bin/") {
+        return Some(FileKind::Binary);
+    }
+    if s.starts_with("src/") || s.contains("/src/") {
+        return Some(FileKind::Library);
+    }
+    None
+}
+
+/// Analyze one file's contents.
+pub fn analyze_file(rel: &Path, source: &str, kind: FileKind) -> Vec<Finding> {
+    let rel_str = rel.to_string_lossy().replace('\\', "/");
+    let stripped = strip::strip_source(source);
+    let test_lines = strip::test_region_lines(&stripped);
+    let original_lines: Vec<&str> = source.lines().collect();
+    let stripped_lines: Vec<&str> = stripped.lines().collect();
+
+    let ctx = rules::FileContext {
+        rel: &rel_str,
+        kind,
+        original_lines: &original_lines,
+        stripped_lines: &stripped_lines,
+        test_lines: &test_lines,
+        is_hot_path: HOT_PATHS.contains(&rel_str.as_str()),
+        is_angle_module: rel_str == ANGLE_MODULE,
+    };
+
+    let mut findings = Vec::new();
+    rules::no_panic(&ctx, &mut findings);
+    rules::angle_hygiene(&ctx, &mut findings);
+    rules::float_eq(&ctx, &mut findings);
+    rules::stringly_error(&ctx, &mut findings);
+    rules::lossy_cast(&ctx, &mut findings);
+
+    findings
+        .into_iter()
+        .map(|(line, rule, message)| Finding {
+            file: rel.to_path_buf(),
+            line,
+            rule,
+            message,
+        })
+        .collect()
+}
+
+/// Recursively collect `.rs` files under `dir` (workspace-relative paths).
+fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    let abs = root.join(dir);
+    if !abs.is_dir() {
+        return Ok(());
+    }
+    for entry in std::fs::read_dir(&abs)? {
+        let entry = entry?;
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if name.starts_with('.') || name == "target" || name == "vendor" {
+            continue;
+        }
+        let rel = dir.join(&*name);
+        let ty = entry.file_type()?;
+        if ty.is_dir() {
+            collect_rs_files(root, &rel, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(rel);
+        }
+    }
+    Ok(())
+}
+
+/// Run the full lint pass over a workspace rooted at `root`.
+///
+/// Findings come back sorted by file then line.
+///
+/// # Errors
+///
+/// Returns `Err` if the workspace cannot be read.
+pub fn lint_workspace(root: &Path) -> std::io::Result<Vec<Finding>> {
+    let mut files = Vec::new();
+    for top in ["crates", "src", "tests", "examples"] {
+        collect_rs_files(root, Path::new(top), &mut files)?;
+    }
+    files.sort();
+
+    let mut findings = Vec::new();
+    for rel in &files {
+        let Some(kind) = classify(rel) else { continue };
+        let source = std::fs::read_to_string(root.join(rel))?;
+        findings.extend(analyze_file(rel, &source, kind));
+    }
+    findings.sort_by(|a, b| a.file.cmp(&b.file).then(a.line.cmp(&b.line)));
+    Ok(findings)
+}

@@ -1,0 +1,87 @@
+//! Entry point for `cargo xtask <command>`.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: cargo xtask lint [--root <dir>]");
+    eprintln!();
+    eprintln!("commands:");
+    eprintln!("  lint    run the domain-aware static-analysis gate (see docs/LINTS.md)");
+    ExitCode::from(2)
+}
+
+fn workspace_root() -> PathBuf {
+    // crates/xtask -> crates -> workspace root.
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .and_then(|p| p.parent())
+        .map(PathBuf::from)
+        .unwrap_or(manifest)
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let Some(cmd) = args.next() else {
+        return usage();
+    };
+    if cmd != "lint" {
+        eprintln!("unknown command `{cmd}`");
+        return usage();
+    }
+
+    let mut root = workspace_root();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => {
+                let Some(dir) = args.next() else {
+                    eprintln!("--root requires a directory argument");
+                    return usage();
+                };
+                root = PathBuf::from(dir);
+            }
+            other => {
+                eprintln!("unknown argument `{other}`");
+                return usage();
+            }
+        }
+    }
+
+    let findings = match xtask::lint_workspace(&root) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!(
+                "xtask lint: failed to read workspace at {}: {e}",
+                root.display()
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if findings.is_empty() {
+        println!("xtask lint: clean (rules L1-L5, root {})", root.display());
+        return ExitCode::SUCCESS;
+    }
+
+    for f in &findings {
+        println!("{f}");
+    }
+    let mut by_rule: Vec<(&str, usize)> = Vec::new();
+    for f in &findings {
+        match by_rule.iter_mut().find(|(name, _)| *name == f.rule.name()) {
+            Some((_, n)) => *n += 1,
+            None => by_rule.push((f.rule.name(), 1)),
+        }
+    }
+    let summary: Vec<String> = by_rule
+        .iter()
+        .map(|(name, n)| format!("{n} {name}"))
+        .collect();
+    eprintln!(
+        "xtask lint: {} violation(s) ({})",
+        findings.len(),
+        summary.join(", ")
+    );
+    ExitCode::FAILURE
+}

@@ -1,0 +1,481 @@
+//! The five lint rules.
+//!
+//! Each rule walks the stripped lines of one file (comments/strings
+//! blanked, positions preserved) and appends `(line, rule, message)`
+//! tuples. Test regions and the escape hatches are handled uniformly
+//! here: a finding is suppressed by `// lint:allow(<rule>)` on the same
+//! or the preceding line, or `// lint:allow-file(<rule>)` anywhere in
+//! the file.
+
+use crate::{FileKind, Rule};
+
+/// Everything a rule needs to know about one file.
+pub struct FileContext<'a> {
+    /// Workspace-relative path with `/` separators.
+    pub rel: &'a str,
+    /// How the file participates in the rule set.
+    pub kind: FileKind,
+    /// Original lines (used for allow-comment detection only).
+    pub original_lines: &'a [&'a str],
+    /// Stripped lines (what the rules actually match on).
+    pub stripped_lines: &'a [&'a str],
+    /// Per-line flag: inside a `#[cfg(test)]` region.
+    pub test_lines: &'a [bool],
+    /// Whether L5 applies to this file.
+    pub is_hot_path: bool,
+    /// Whether this file is `crates/geom/src/angle.rs` (exempt from L2).
+    pub is_angle_module: bool,
+}
+
+impl FileContext<'_> {
+    fn in_test(&self, idx: usize) -> bool {
+        self.test_lines.get(idx).copied().unwrap_or(false)
+    }
+
+    /// Check the escape hatches for `rule` at line index `idx`.
+    fn allowed(&self, idx: usize, rule: Rule) -> bool {
+        let line_marker = format!("lint:allow({})", rule.name());
+        let file_marker = format!("lint:allow-file({})", rule.name());
+        let here = self.original_lines.get(idx).copied().unwrap_or("");
+        let above = if idx > 0 {
+            self.original_lines.get(idx - 1).copied().unwrap_or("")
+        } else {
+            ""
+        };
+        here.contains(&line_marker)
+            || above.contains(&line_marker)
+            || self.original_lines.iter().any(|l| l.contains(&file_marker))
+    }
+}
+
+type Sink = Vec<(usize, Rule, String)>;
+
+fn emit(ctx: &FileContext<'_>, out: &mut Sink, idx: usize, rule: Rule, message: String) {
+    if !ctx.allowed(idx, rule) {
+        out.push((idx + 1, rule, message));
+    }
+}
+
+/// Normalize fully-qualified float-constant paths so the angle patterns
+/// can match `TAU`/`PI` uniformly.
+fn normalize(line: &str) -> String {
+    line.replace("std::f64::consts::", "")
+        .replace("core::f64::consts::", "")
+        .replace("f64::consts::", "")
+}
+
+/// L1: no `.unwrap()` / `.expect(` / `panic!(` in non-test library code.
+pub fn no_panic(ctx: &FileContext<'_>, out: &mut Sink) {
+    if !ctx.kind.checks_panics() {
+        return;
+    }
+    const PATTERNS: [(&str, &str); 3] = [
+        (".unwrap()", "`.unwrap()` can panic"),
+        (".expect(", "`.expect(...)` can panic"),
+        ("panic!(", "explicit `panic!`"),
+    ];
+    for (idx, line) in ctx.stripped_lines.iter().enumerate() {
+        if ctx.in_test(idx) {
+            continue;
+        }
+        for (pat, what) in PATTERNS {
+            if line.contains(pat) {
+                emit(
+                    ctx,
+                    out,
+                    idx,
+                    Rule::NoPanic,
+                    format!("{what} in library code; return a typed error instead"),
+                );
+            }
+        }
+    }
+}
+
+/// L2: raw phase-wrap arithmetic outside `tagspin_geom::angle`.
+pub fn angle_hygiene(ctx: &FileContext<'_>, out: &mut Sink) {
+    if !ctx.kind.checks_expressions() || ctx.is_angle_module {
+        return;
+    }
+    for (idx, line) in ctx.stripped_lines.iter().enumerate() {
+        if ctx.in_test(idx) {
+            continue;
+        }
+        let norm = normalize(line);
+        let modulo = [
+            "rem_euclid(TAU",
+            "rem_euclid(2.0 * PI",
+            "% TAU",
+            "% (TAU",
+            "% (2.0 * PI",
+        ]
+        .iter()
+        .any(|p| norm.contains(p));
+        if modulo {
+            emit(
+                ctx,
+                out,
+                idx,
+                Rule::AngleHygiene,
+                "raw 2\u{3c0} wrap; use tagspin_geom::angle::{wrap_tau, wrap_pi, diff} instead"
+                    .to_string(),
+            );
+            continue;
+        }
+        // Manual ±π wrap: a PI comparison and a TAU adjustment on one line
+        // (`if x > PI { x - TAU }`, `while d <= -PI { d += TAU }`, ...).
+        let compares_pi = ["> PI", ">= PI", "< -PI", "<= -PI"]
+            .iter()
+            .any(|p| norm.contains(p));
+        let adjusts_tau = ["- TAU", "+ TAU", "-= TAU", "+= TAU"]
+            .iter()
+            .any(|p| norm.contains(p));
+        if compares_pi && adjusts_tau {
+            emit(
+                ctx,
+                out,
+                idx,
+                Rule::AngleHygiene,
+                "manual \u{b1}\u{3c0} wrap arithmetic; use tagspin_geom::angle::wrap_pi instead"
+                    .to_string(),
+            );
+        }
+    }
+}
+
+/// Last word-ish token (identifier/number/path chars) before byte `end`.
+fn token_before(line: &str, end: usize) -> &str {
+    let bytes = line.as_bytes();
+    let mut start = end;
+    while start > 0 {
+        let c = bytes[start - 1];
+        if c.is_ascii_alphanumeric() || c == b'_' || c == b'.' || c == b':' {
+            start -= 1;
+        } else {
+            break;
+        }
+    }
+    line[start..end].trim_matches(':')
+}
+
+/// First word-ish token at/after byte `start`.
+fn token_after(line: &str, start: usize) -> &str {
+    let rest = line[start..].trim_start_matches([' ', '(', '-']);
+    let end = rest
+        .find(|c: char| !(c.is_ascii_alphanumeric() || c == '_' || c == '.' || c == ':'))
+        .unwrap_or(rest.len());
+    rest[..end].trim_matches(':')
+}
+
+/// Whether a token is recognizably a floating-point value.
+fn is_floatish(tok: &str) -> bool {
+    if tok.is_empty() {
+        return false;
+    }
+    if tok.starts_with("f64::") || tok.starts_with("f32::") {
+        return true;
+    }
+    let body = tok
+        .strip_suffix("f64")
+        .or_else(|| tok.strip_suffix("f32"))
+        .map(|b| (b, true))
+        .unwrap_or((tok, false));
+    let (text, had_suffix) = body;
+    let text = text.trim_end_matches('_');
+    if text.is_empty() {
+        return false;
+    }
+    // Numeric literal: flag when it has a decimal point or an explicit
+    // float suffix (`1.0`, `0.5`, `1f64`). Plain `1` stays integer.
+    if text
+        .chars()
+        .all(|c| c.is_ascii_digit() || c == '.' || c == '_')
+    {
+        return text.contains('.') || had_suffix;
+    }
+    false
+}
+
+/// L3: `==` / `!=` against floating-point values outside tests.
+///
+/// Line-lite: only comparisons with a recognizable float operand (a
+/// float literal or an `f64::`/`f32::` constant) are flagged; variable ==
+/// variable comparisons need type knowledge this analyzer does not have.
+pub fn float_eq(ctx: &FileContext<'_>, out: &mut Sink) {
+    if !ctx.kind.checks_expressions() {
+        return;
+    }
+    for (idx, line) in ctx.stripped_lines.iter().enumerate() {
+        if ctx.in_test(idx) {
+            continue;
+        }
+        for (pos, op) in find_eq_ops(line) {
+            let lhs = token_before(line, pos);
+            let rhs = token_after(line, pos + 2);
+            if is_floatish(lhs) || is_floatish(rhs) {
+                emit(
+                    ctx,
+                    out,
+                    idx,
+                    Rule::FloatEq,
+                    format!(
+                        "floating-point `{op}` comparison (`{lhs} {op} {rhs}`); \
+                         use an epsilon/ULP helper from tagspin_dsp::float"
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// Byte positions of `==` / `!=` operators in a line (excluding `<=`,
+/// `>=`, `=>`, `..=` and friends).
+fn find_eq_ops(line: &str) -> Vec<(usize, &'static str)> {
+    let bytes = line.as_bytes();
+    let mut found = Vec::new();
+    let mut i = 0;
+    while i + 1 < bytes.len() {
+        let pair = &bytes[i..i + 2];
+        if pair == b"==" {
+            // Skip `===`-like runs (not Rust) and `<=`/`>=`/`..=` forms
+            // already excluded by the exact two-byte match; make sure the
+            // previous byte is not `<`, `>`, `!`, `=`, `+`, `-`, `*`, `/`.
+            let prev = i.checked_sub(1).map(|p| bytes[p]);
+            if !matches!(
+                prev,
+                Some(b'<')
+                    | Some(b'>')
+                    | Some(b'!')
+                    | Some(b'=')
+                    | Some(b'+')
+                    | Some(b'-')
+                    | Some(b'*')
+                    | Some(b'/')
+            ) {
+                found.push((i, "=="));
+            }
+            i += 2;
+        } else if pair == b"!=" {
+            found.push((i, "!="));
+            i += 2;
+        } else {
+            i += 1;
+        }
+    }
+    found
+}
+
+/// L4: `Result<_, String>` in a `pub fn` signature.
+pub fn stringly_error(ctx: &FileContext<'_>, out: &mut Sink) {
+    if !ctx.kind.checks_signatures() {
+        return;
+    }
+    for (idx, line) in ctx.stripped_lines.iter().enumerate() {
+        if ctx.in_test(idx) {
+            continue;
+        }
+        let t = line.trim_start();
+        if !(t.starts_with("pub fn ") || t.starts_with("pub async fn ")) {
+            continue;
+        }
+        // Join the signature until its body opens (or 12 lines pass).
+        let mut sig = String::new();
+        for l in ctx.stripped_lines.iter().skip(idx).take(12) {
+            let upto = l.find('{').map(|p| &l[..p]).unwrap_or(l);
+            sig.push_str(upto);
+            sig.push(' ');
+            if l.contains('{') || l.contains(';') {
+                break;
+            }
+        }
+        if sig.contains("Result<") && (sig.contains(", String>") || sig.contains(",String>")) {
+            emit(
+                ctx,
+                out,
+                idx,
+                Rule::StringlyError,
+                "public API returns `Result<_, String>`; define a typed error enum \
+                 implementing std::error::Error"
+                    .to_string(),
+            );
+        }
+    }
+}
+
+const NUMERIC_TYPES: [&str; 13] = [
+    "usize", "u8", "u16", "u32", "u64", "u128", "isize", "i8", "i16", "i32", "i64", "f32", "f64",
+];
+
+/// L5: numeric `as` casts in hot-path files must carry an annotation.
+pub fn lossy_cast(ctx: &FileContext<'_>, out: &mut Sink) {
+    if !ctx.is_hot_path {
+        return;
+    }
+    for (idx, line) in ctx.stripped_lines.iter().enumerate() {
+        if ctx.in_test(idx) {
+            continue;
+        }
+        let mut rest: &str = line;
+        let mut offset = 0;
+        while let Some(p) = rest.find(" as ") {
+            let after = &rest[p + 4..];
+            let ty = token_after(after, 0);
+            if NUMERIC_TYPES.contains(&ty) {
+                emit(
+                    ctx,
+                    out,
+                    idx,
+                    Rule::LossyCast,
+                    format!(
+                        "unannotated numeric cast `as {ty}` in a hot path; justify with \
+                         `// lint:allow(lossy-cast) <why it cannot lose value>`"
+                    ),
+                );
+                break; // one finding per line is enough
+            }
+            offset += p + 4;
+            let _ = offset;
+            rest = after;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strip;
+
+    fn run_rule(
+        rel: &str,
+        kind: FileKind,
+        src: &str,
+        rule: fn(&FileContext<'_>, &mut Sink),
+    ) -> Vec<(usize, Rule, String)> {
+        let stripped = strip::strip_source(src);
+        let test_lines = strip::test_region_lines(&stripped);
+        let original_lines: Vec<&str> = src.lines().collect();
+        let stripped_lines: Vec<&str> = stripped.lines().collect();
+        let ctx = FileContext {
+            rel,
+            kind,
+            original_lines: &original_lines,
+            stripped_lines: &stripped_lines,
+            test_lines: &test_lines,
+            is_hot_path: rel.contains("spectrum") || rel.contains("fourier"),
+            is_angle_module: rel.ends_with("geom/src/angle.rs"),
+        };
+        let mut out = Vec::new();
+        rule(&ctx, &mut out);
+        out
+    }
+
+    #[test]
+    fn l1_flags_unwrap_but_not_tests_or_comments() {
+        let src = "\
+fn f(x: Option<u8>) -> u8 { x.unwrap() }
+// a comment about .unwrap()
+fn g(x: Option<u8>) -> u8 { x.unwrap_or(0) }
+
+#[cfg(test)]
+mod tests {
+    fn t(x: Option<u8>) { x.unwrap(); }
+}
+";
+        let out = run_rule("crates/core/src/a.rs", FileKind::Library, src, no_panic);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].0, 1);
+    }
+
+    #[test]
+    fn l1_respects_allow() {
+        let src = "fn f(x: Option<u8>) -> u8 { x.unwrap() } // lint:allow(no-panic) startup only\n";
+        let out = run_rule("crates/core/src/a.rs", FileKind::Library, src, no_panic);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn l2_flags_raw_wraps_everywhere_but_angle_rs() {
+        let src = "\
+fn f(x: f64) -> f64 { x.rem_euclid(TAU) }
+fn g(x: f64) -> f64 { x % std::f64::consts::TAU }
+fn h(mut x: f64) -> f64 { while x > PI { x -= TAU; } x }
+";
+        let out = run_rule("crates/rf/src/a.rs", FileKind::Library, src, angle_hygiene);
+        assert_eq!(out.len(), 3, "{out:?}");
+        let out = run_rule(
+            "crates/geom/src/angle.rs",
+            FileKind::Library,
+            src,
+            angle_hygiene,
+        );
+        assert!(out.is_empty(), "angle.rs is exempt");
+    }
+
+    #[test]
+    fn l3_flags_float_literal_comparisons_only() {
+        let src = "\
+fn f(x: f64) -> bool { x == 0.0 }
+fn g(x: f64, y: f64) -> bool { x != y }
+fn h(n: usize) -> bool { n == 0 }
+fn i(x: f64) -> bool { x == f64::INFINITY }
+";
+        let out = run_rule("crates/core/src/a.rs", FileKind::Library, src, float_eq);
+        let lines: Vec<usize> = out.iter().map(|f| f.0).collect();
+        assert_eq!(lines, vec![1, 4], "{out:?}");
+    }
+
+    #[test]
+    fn l4_flags_stringly_results_including_multiline() {
+        let src = "\
+pub fn bad(&self) -> Result<(), String> { Ok(()) }
+pub fn good(&self) -> Result<(), FooError> { Ok(()) }
+pub fn also_bad(
+    a: usize,
+) -> Result<Fix, String> {
+    todo()
+}
+pub fn vec_string_ok() -> Result<Vec<String>, FooError> { todo() }
+";
+        let out = run_rule(
+            "crates/core/src/a.rs",
+            FileKind::Library,
+            src,
+            stringly_error,
+        );
+        let lines: Vec<usize> = out.iter().map(|f| f.0).collect();
+        assert_eq!(lines, vec![1, 3], "{out:?}");
+    }
+
+    #[test]
+    fn l5_requires_annotation_in_hot_paths_only() {
+        let src = "\
+fn f(n: usize) -> f64 { n as f64 }
+fn g(n: usize) -> f64 { n as f64 } // lint:allow(lossy-cast) grid index < 2^53
+";
+        let out = run_rule(
+            "crates/core/src/spectrum.rs",
+            FileKind::Library,
+            src,
+            lossy_cast,
+        );
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].0, 1);
+        let out = run_rule(
+            "crates/core/src/other.rs",
+            FileKind::Library,
+            src,
+            lossy_cast,
+        );
+        assert!(out.is_empty(), "non-hot-path file is exempt");
+    }
+
+    #[test]
+    fn file_level_allow() {
+        let src = "\
+// lint:allow-file(no-panic) prototype module
+fn f(x: Option<u8>) -> u8 { x.unwrap() }
+";
+        let out = run_rule("crates/core/src/a.rs", FileKind::Library, src, no_panic);
+        assert!(out.is_empty());
+    }
+}

@@ -1,0 +1,284 @@
+//! Source stripping and test-region detection.
+//!
+//! The analyzer never parses Rust properly; instead it works on a
+//! *stripped* copy of each file in which comments, string literals and
+//! char literals are blanked with spaces (newlines preserved), so that
+//! byte and line positions in the stripped text match the original.
+//! Pattern matching on the stripped text cannot be fooled by a `panic!`
+//! inside a doc comment or an error message containing `% TAU`.
+
+/// Blank out comments and string/char literals, preserving positions.
+pub fn strip_source(src: &str) -> String {
+    let bytes = src.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+
+    // Writes `n` source bytes as spaces (newlines kept).
+    fn blank(out: &mut Vec<u8>, bytes: &[u8], from: usize, to: usize) {
+        for &b in &bytes[from..to] {
+            out.push(if b == b'\n' { b'\n' } else { b' ' });
+        }
+    }
+
+    while i < bytes.len() {
+        let b = bytes[i];
+        let next = bytes.get(i + 1).copied();
+
+        // Line comment (also covers `///` and `//!` doc comments).
+        if b == b'/' && next == Some(b'/') {
+            let end = src[i..].find('\n').map(|n| i + n).unwrap_or(bytes.len());
+            blank(&mut out, bytes, i, end);
+            i = end;
+            continue;
+        }
+
+        // Block comment, possibly nested.
+        if b == b'/' && next == Some(b'*') {
+            let mut depth = 1;
+            let mut j = i + 2;
+            while j < bytes.len() && depth > 0 {
+                if bytes[j] == b'/' && bytes.get(j + 1) == Some(&b'*') {
+                    depth += 1;
+                    j += 2;
+                } else if bytes[j] == b'*' && bytes.get(j + 1) == Some(&b'/') {
+                    depth -= 1;
+                    j += 2;
+                } else {
+                    j += 1;
+                }
+            }
+            blank(&mut out, bytes, i, j);
+            i = j;
+            continue;
+        }
+
+        // Raw string literal r"..." / r#"..."# (and br variants).
+        if (b == b'r' || (b == b'b' && next == Some(b'r'))) && !prev_is_ident(&out) {
+            let start = if b == b'b' { i + 2 } else { i + 1 };
+            let mut hashes = 0;
+            let mut j = start;
+            while bytes.get(j) == Some(&b'#') {
+                hashes += 1;
+                j += 1;
+            }
+            if bytes.get(j) == Some(&b'"') {
+                // Find closing quote followed by `hashes` hashes.
+                let closer: String = std::iter::once('"')
+                    .chain(std::iter::repeat_n('#', hashes))
+                    .collect();
+                let body_start = j + 1;
+                let end = src[body_start..]
+                    .find(&closer)
+                    .map(|n| body_start + n + closer.len())
+                    .unwrap_or(bytes.len());
+                blank(&mut out, bytes, i, end);
+                i = end;
+                continue;
+            }
+        }
+
+        // Ordinary string literal (and b"...").
+        if b == b'"' || (b == b'b' && next == Some(b'"') && !prev_is_ident(&out)) {
+            let mut j = if b == b'b' { i + 2 } else { i + 1 };
+            while j < bytes.len() {
+                match bytes[j] {
+                    b'\\' => j += 2,
+                    b'"' => {
+                        j += 1;
+                        break;
+                    }
+                    _ => j += 1,
+                }
+            }
+            blank(&mut out, bytes, i, j.min(bytes.len()));
+            i = j.min(bytes.len());
+            continue;
+        }
+
+        // Char literal vs lifetime: treat as a char literal only when it
+        // closes within a couple of characters (`'x'`, `'\n'`, `'\\'`,
+        // `'\u{..}'`); otherwise it is a lifetime and passes through.
+        if b == b'\'' && !prev_is_ident(&out) {
+            let lit_end = char_literal_end(bytes, i);
+            if let Some(end) = lit_end {
+                blank(&mut out, bytes, i, end);
+                i = end;
+                continue;
+            }
+        }
+
+        out.push(b);
+        i += 1;
+    }
+
+    // The input was valid UTF-8 and we only replaced whole runs with
+    // ASCII spaces, but a literal may have started mid-codepoint if the
+    // file was unusual; fall back lossily rather than panic.
+    String::from_utf8(out).unwrap_or_else(|e| String::from_utf8_lossy(e.as_bytes()).into_owned())
+}
+
+/// Whether the previously emitted byte continues an identifier — used to
+/// distinguish `r"..."` from an identifier ending in `r`, and `'a` in
+/// `Vec<'a>` from a char literal.
+fn prev_is_ident(out: &[u8]) -> bool {
+    matches!(out.last(), Some(&c) if c == b'_' || c.is_ascii_alphanumeric())
+}
+
+/// If a char literal starts at `i`, return the index one past its closing
+/// quote; `None` if this is a lifetime.
+fn char_literal_end(bytes: &[u8], i: usize) -> Option<usize> {
+    let mut j = i + 1;
+    match bytes.get(j) {
+        Some(b'\\') => {
+            // Escape: skip the backslash and the escaped char, then scan
+            // to the closing quote (covers `\u{1F600}`).
+            j += 2;
+            while j < bytes.len() && bytes[j] != b'\'' && bytes[j] != b'\n' {
+                j += 1;
+            }
+            (bytes.get(j) == Some(&b'\'')).then_some(j + 1)
+        }
+        Some(_) => {
+            // One (possibly multi-byte) char then a quote.
+            j += 1;
+            while j < bytes.len() && bytes[j] & 0xC0 == 0x80 {
+                j += 1; // continuation bytes of a multi-byte char
+            }
+            (bytes.get(j) == Some(&b'\'')).then_some(j + 1)
+        }
+        None => None,
+    }
+}
+
+/// Line numbers (1-based) that fall inside `#[cfg(test)]` module bodies.
+///
+/// Works on stripped source: finds `#[cfg(test)]` attributes, then the
+/// `{` that opens the following item, and brace-matches to its close.
+pub fn test_region_lines(stripped: &str) -> Vec<bool> {
+    let lines: Vec<&str> = stripped.lines().collect();
+    let mut in_test = vec![false; lines.len() + 1];
+
+    let mut byte_of_line = Vec::with_capacity(lines.len());
+    let mut acc = 0;
+    for l in &lines {
+        byte_of_line.push(acc);
+        acc += l.len() + 1;
+    }
+
+    for (idx, line) in lines.iter().enumerate() {
+        let t = line.trim_start();
+        if !(t.starts_with("#[cfg(test)]") || t.starts_with("#[cfg(all(test")) {
+            continue;
+        }
+        // Find the opening brace of the annotated item.
+        let mut open = None;
+        'search: for (j, l) in lines.iter().enumerate().skip(idx) {
+            let from = if j == idx {
+                line.find(']').map(|p| p + 1).unwrap_or(0)
+            } else {
+                0
+            };
+            if let Some(p) = l[from.min(l.len())..].find('{') {
+                open = Some(byte_of_line[j] + from.min(l.len()) + p);
+                break 'search;
+            }
+            // Stop if another item clearly started without a brace.
+            if j > idx + 8 {
+                break;
+            }
+        }
+        let Some(open) = open else { continue };
+
+        // Brace-match from `open`.
+        let bytes = stripped.as_bytes();
+        let mut depth = 0usize;
+        let mut end = bytes.len();
+        for (k, &b) in bytes.iter().enumerate().skip(open) {
+            match b {
+                b'{' => depth += 1,
+                b'}' => {
+                    depth = depth.saturating_sub(1);
+                    if depth == 0 {
+                        end = k;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+
+        // Mark covered lines.
+        let start_line = idx;
+        let end_line = byte_of_line
+            .partition_point(|&p| p <= end)
+            .saturating_sub(1);
+        for flag in in_test
+            .iter_mut()
+            .take(end_line.min(lines.len() - 1) + 1)
+            .skip(start_line)
+        {
+            *flag = true;
+        }
+    }
+    in_test.truncate(lines.len());
+    in_test
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strips_comments_and_strings() {
+        let src = r#"let x = "panic!(oops)"; // panic!(no)
+/* panic!(nope) */ let y = 1;"#;
+        let s = strip_source(src);
+        assert!(!s.contains("panic!"), "stripped: {s}");
+        assert!(s.contains("let x ="));
+        assert!(s.contains("let y = 1;"));
+        assert_eq!(s.lines().count(), src.lines().count());
+    }
+
+    #[test]
+    fn strips_raw_strings_and_chars() {
+        let src = r##"let r = r#"x.unwrap()"#; let c = '%'; let l: &'static str = "";"##;
+        let s = strip_source(src);
+        assert!(!s.contains("unwrap"));
+        assert!(!s.contains('%'));
+        assert!(s.contains("'static"), "lifetime survived: {s}");
+    }
+
+    #[test]
+    fn escaped_quote_in_char() {
+        let s = strip_source(r"let q = '\''; let x = 1;");
+        assert!(s.contains("let x = 1;"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let s = strip_source("/* a /* b */ panic!() */ keep");
+        assert!(!s.contains("panic"));
+        assert!(s.contains("keep"));
+    }
+
+    #[test]
+    fn finds_test_regions() {
+        let src = "\
+fn real() {}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() { x.unwrap(); }
+}
+
+fn also_real() {}
+";
+        let stripped = strip_source(src);
+        let flags = test_region_lines(&stripped);
+        assert!(!flags[0], "fn real is not test code");
+        assert!(flags[3], "mod tests is test code");
+        assert!(flags[5], "body is test code");
+        assert!(!flags[8], "fn also_real is not test code");
+    }
+}

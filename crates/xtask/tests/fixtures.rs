@@ -1,0 +1,91 @@
+//! Self-test for the lint gate: the `fixtures/violations.rs` file must
+//! trip every rule at the marked lines, `fixtures/clean.rs` must pass,
+//! and the `xtask lint` binary must exit non-zero with a `file:line`
+//! report when pointed at a tree containing violations.
+
+use std::path::Path;
+use std::process::Command;
+use xtask::{analyze_file, FileKind, Rule};
+
+const VIOLATIONS: &str = include_str!("../fixtures/violations.rs");
+const CLEAN: &str = include_str!("../fixtures/clean.rs");
+
+/// A hot-path library name so every rule (including L5) is in scope.
+const HOT_REL: &str = "crates/core/src/spectrum.rs";
+
+#[test]
+fn violations_fixture_trips_every_rule() {
+    let findings = analyze_file(Path::new(HOT_REL), VIOLATIONS, FileKind::Library);
+    let hits: Vec<(Rule, usize)> = findings.iter().map(|f| (f.rule, f.line)).collect();
+    for (rule, line) in [
+        (Rule::NoPanic, 8),
+        (Rule::AngleHygiene, 12),
+        (Rule::AngleHygiene, 16),
+        (Rule::FloatEq, 21),
+        (Rule::StringlyError, 24),
+        (Rule::LossyCast, 29),
+    ] {
+        assert!(
+            hits.contains(&(rule, line)),
+            "expected {rule:?} at line {line}, got {hits:?}"
+        );
+    }
+    // Nothing fires inside the #[cfg(test)] region (lines 32+).
+    assert!(
+        findings.iter().all(|f| f.line < 32),
+        "test region must be exempt: {hits:?}"
+    );
+}
+
+#[test]
+fn clean_fixture_is_silent() {
+    let findings = analyze_file(Path::new(HOT_REL), CLEAN, FileKind::Library);
+    assert!(
+        findings.is_empty(),
+        "clean fixture produced findings: {:?}",
+        findings.iter().map(|f| f.to_string()).collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn binary_exits_nonzero_with_file_line_report() {
+    // Stage a miniature workspace containing one violating library file.
+    let dir = std::env::temp_dir().join(format!("xtask-selftest-{}", std::process::id()));
+    let src = dir.join("crates/demo/src");
+    std::fs::create_dir_all(&src).expect("create fixture tree");
+    std::fs::write(src.join("lib.rs"), VIOLATIONS).expect("write fixture");
+
+    let out = Command::new(env!("CARGO_BIN_EXE_xtask"))
+        .args(["lint", "--root"])
+        .arg(&dir)
+        .output()
+        .expect("run xtask binary");
+    std::fs::remove_dir_all(&dir).ok();
+
+    assert!(
+        !out.status.success(),
+        "lint must exit non-zero on violations"
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("crates/demo/src/lib.rs:8:"),
+        "report must carry file:line locations, got:\n{stdout}"
+    );
+}
+
+#[test]
+fn binary_exits_zero_on_clean_tree() {
+    let dir = std::env::temp_dir().join(format!("xtask-selftest-clean-{}", std::process::id()));
+    let src = dir.join("crates/demo/src");
+    std::fs::create_dir_all(&src).expect("create fixture tree");
+    std::fs::write(src.join("lib.rs"), CLEAN).expect("write fixture");
+
+    let out = Command::new(env!("CARGO_BIN_EXE_xtask"))
+        .args(["lint", "--root"])
+        .arg(&dir)
+        .output()
+        .expect("run xtask binary");
+    std::fs::remove_dir_all(&dir).ok();
+
+    assert!(out.status.success(), "clean tree must exit zero");
+}

@@ -5,7 +5,9 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use tagspin::sim::baseline_adapters::{antloc_trial, backpos_trial, landmarc_trial, pinit_trial};
+use tagspin::sim::baseline_adapters::{
+    antloc_trial, backpos_trial, landmarc_trial, pinit_trial, AdapterError,
+};
 use tagspin::sim::metrics::{ErrorStats, TrialError};
 use tagspin::sim::scenario::Scenario;
 use tagspin::sim::trial::run_trial_2d;
@@ -39,11 +41,16 @@ fn main() {
         }
     }
     report("Tagspin", &ts, TRIALS - ts.len());
-    let tagspin_mean = ErrorStats::of(&ts).map(|s| s.combined.mean).unwrap_or(f64::NAN);
+    let tagspin_mean = ErrorStats::of(&ts)
+        .map(|s| s.combined.mean)
+        .unwrap_or(f64::NAN);
 
     // Baselines, same placements.
     for (name, trial) in [
-        ("LandMarc", landmarc_trial as fn(&Scenario, u64) -> Result<TrialError, String>),
+        (
+            "LandMarc",
+            landmarc_trial as fn(&Scenario, u64) -> Result<TrialError, AdapterError>,
+        ),
         ("AntLoc", antloc_trial),
         ("PinIt", pinit_trial),
         ("BackPos", backpos_trial),

@@ -32,12 +32,20 @@ fn main() {
         disk,
         tag: tag.clone(),
     };
-    let log = run_inventory(&env, &reader, &[&center as &dyn Transponder], disk.period_s() * 1.3, &mut rng);
+    let log = run_inventory(
+        &env,
+        &reader,
+        &[&center as &dyn Transponder],
+        disk.period_s() * 1.3,
+        &mut rng,
+    );
     let set = SnapshotSet::from_log(&log, 1, &disk).expect("tag observed");
     let phases = unwrap::unwrap(&set.phases());
     let (lo, hi) = phases
         .iter()
-        .fold((f64::INFINITY, f64::NEG_INFINITY), |(l, h), &p| (l.min(p), h.max(p)));
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(l, h), &p| {
+            (l.min(p), h.max(p))
+        });
     println!(
         "center-spin: distance constant, yet phase swings {:.2} rad over a rotation",
         hi - lo
@@ -63,8 +71,14 @@ fn main() {
     let mut errors = Vec::new();
     for calibrate in [false, true] {
         let mut trial_rng = rand::rngs::StdRng::seed_from_u64(500);
-        let t1 = SpinningTag::new(d1, TagInstance::manufacture(TagModel::DEFAULT, 11, &mut trial_rng));
-        let t2 = SpinningTag::new(d2, TagInstance::manufacture(TagModel::DEFAULT, 12, &mut trial_rng));
+        let t1 = SpinningTag::new(
+            d1,
+            TagInstance::manufacture(TagModel::DEFAULT, 11, &mut trial_rng),
+        );
+        let t2 = SpinningTag::new(
+            d2,
+            TagInstance::manufacture(TagModel::DEFAULT, 12, &mut trial_rng),
+        );
         let cfg = ReaderConfig::at(Pose::facing_toward(truth, Vec3::ZERO));
 
         let mut server = LocalizationServer::new(PipelineConfig {
@@ -80,10 +94,18 @@ fn main() {
                     disk: d,
                     tag: t.tag.clone(),
                 };
-                let cal_log = run_inventory(&env, &cfg, &[&c as &dyn Transponder], d.period_s() * 1.3, &mut trial_rng);
+                let cal_log = run_inventory(
+                    &env,
+                    &cfg,
+                    &[&c as &dyn Transponder],
+                    d.period_s() * 1.3,
+                    &mut trial_rng,
+                );
                 let cal_set = SnapshotSet::from_log(&cal_log, epc, &d).expect("tag observed");
                 let c = OrientationCalibration::fit(&cal_set).expect("full revolution");
-                server.set_orientation_calibration(epc, c).expect("registered");
+                server
+                    .set_orientation_calibration(epc, c)
+                    .expect("registered");
             }
         }
 
@@ -98,7 +120,11 @@ fn main() {
         let err = (fix.position - truth.xy()).norm();
         println!(
             "{}: error {:.1} cm",
-            if calibrate { "with calibration   " } else { "without calibration" },
+            if calibrate {
+                "with calibration   "
+            } else {
+                "without calibration"
+            },
             to_cm(err)
         );
         errors.push(err);

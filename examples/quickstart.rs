@@ -22,8 +22,13 @@ fn main() {
     let d2 = DiskConfig::paper_default(Vec3::new(0.3, 0.0, 0.0));
     let t1 = SpinningTag::new(d1, TagInstance::manufacture(TagModel::DEFAULT, 1, &mut rng));
     let t2 = SpinningTag::new(d2, TagInstance::manufacture(TagModel::DEFAULT, 2, &mut rng));
-    println!("disks: {} and {} (r = {:.0} cm, ω = {} rad/s)",
-             d1.center, d2.center, to_cm(d1.radius), d1.omega);
+    println!(
+        "disks: {} and {} (r = {:.0} cm, ω = {} rad/s)",
+        d1.center,
+        d2.center,
+        to_cm(d1.radius),
+        d1.omega
+    );
 
     // ── The reader antenna whose position we do NOT know. ──────────────
     let truth = Vec3::new(0.55, 1.90, 0.0);
@@ -54,20 +59,36 @@ fn main() {
     // Orientation calibration prelude (paper Section III-B): spin each tag
     // at the disk *center* once; fit its phase–orientation function.
     for (epc, d, t) in [(1u128, d1, &t1), (2, d2, &t2)] {
-        let center = CenterSpinTag { disk: d, tag: t.tag.clone() };
-        let cal_log = run_inventory(&env, &reader, &[&center as &dyn Transponder],
-                                    d.period_s() * 1.3, &mut rng);
+        let center = CenterSpinTag {
+            disk: d,
+            tag: t.tag.clone(),
+        };
+        let cal_log = run_inventory(
+            &env,
+            &reader,
+            &[&center as &dyn Transponder],
+            d.period_s() * 1.3,
+            &mut rng,
+        );
         let cal_set = SnapshotSet::from_log(&cal_log, epc, &d).expect("tag observed");
         let cal = OrientationCalibration::fit(&cal_set).expect("full revolution");
-        println!("tag {epc}: orientation effect {:.2} rad p-p calibrated", cal.peak_to_peak());
-        server.set_orientation_calibration(epc, cal).expect("registered");
+        println!(
+            "tag {epc}: orientation effect {:.2} rad p-p calibrated",
+            cal.peak_to_peak()
+        );
+        server
+            .set_orientation_calibration(epc, cal)
+            .expect("registered");
     }
 
     let fix = server.locate_2d(&log).expect("both tags observed");
     let err = (fix.position - truth.xy()).norm();
     println!("estimated reader position: {}", fix.position);
-    println!("error distance: {:.1} cm (residual {:.2} cm)",
-             to_cm(err), to_cm(fix.residual_m));
+    println!(
+        "error distance: {:.1} cm (residual {:.2} cm)",
+        to_cm(err),
+        to_cm(fix.residual_m)
+    );
 
     assert!(err < 0.25, "quickstart accuracy regression: {err} m");
 }

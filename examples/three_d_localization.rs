@@ -52,20 +52,35 @@ fn main() {
 
     // Orientation calibration prelude (Section III-B).
     for (epc, d, t) in [(1u128, d1, &t1), (2, d2, &t2)] {
-        let center = CenterSpinTag { disk: d, tag: t.tag.clone() };
-        let cal_log = run_inventory(&env, &reader, &[&center as &dyn Transponder],
-                                    d.period_s() * 1.3, &mut rng);
+        let center = CenterSpinTag {
+            disk: d,
+            tag: t.tag.clone(),
+        };
+        let cal_log = run_inventory(
+            &env,
+            &reader,
+            &[&center as &dyn Transponder],
+            d.period_s() * 1.3,
+            &mut rng,
+        );
         let cal_set = tagspin::core::snapshot::SnapshotSet::from_log(&cal_log, epc, &d)
             .expect("tag observed");
         let cal = OrientationCalibration::fit(&cal_set).expect("full revolution");
-        server.set_orientation_calibration(epc, cal).expect("registered");
+        server
+            .set_orientation_calibration(epc, cal)
+            .expect("registered");
     }
 
     // Show the raw spectrum of tag 1 first: two symmetric peaks.
     let set = server
         .calibrated_snapshots(&log, &server.tags()[0])
         .expect("tag 1 observed");
-    let spec = spectrum_3d(&set, d1.radius, ProfileKind::Enhanced, &server.config.spectrum);
+    let spec = spectrum_3d(
+        &set,
+        d1.radius,
+        ProfileKind::Enhanced,
+        &server.config.spectrum,
+    );
     let candidates = spec.peak_candidates().expect("nonempty spectrum");
     println!(
         "tag 1 spectrum candidates: {} and {} (symmetric in γ)",

@@ -64,7 +64,11 @@ fn main() {
     // Dead-space-free localization: geometry alone resolves the mirror.
     let fix = server.locate_3d_aided(&log).expect("all tags observed");
     let err = fix.position.distance(truth);
-    println!("resolved position: {} — error {:.1} cm", fix.position, to_cm(err));
+    println!(
+        "resolved position: {} — error {:.1} cm",
+        fix.position,
+        to_cm(err)
+    );
     println!(
         "candidate choices per tag: {:?} (0 = primary, 1 = mirror)",
         fix.chosen

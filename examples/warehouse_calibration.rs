@@ -39,8 +39,7 @@ fn main() {
             )
         })
         .collect();
-    let transponders: Vec<&dyn Transponder> =
-        tags.iter().map(|t| t as &dyn Transponder).collect();
+    let transponders: Vec<&dyn Transponder> = tags.iter().map(|t| t as &dyn Transponder).collect();
 
     let mut server = LocalizationServer::new(PipelineConfig {
         orientation_calibration: false, // keep the demo light-weight
@@ -64,16 +63,25 @@ fn main() {
     let mut merged = InventoryLog::new();
     let mut t_offset = 0u64;
     for (antenna, &truth) in antennas.iter().zip(&truths) {
-        let cfg = ReaderConfig::at(Pose::facing_toward(truth, Vec3::ZERO))
-            .with_antenna(*antenna);
-        let log = run_inventory(&env, &cfg, &transponders, disks[0].period_s() * 1.1, &mut rng);
+        let cfg = ReaderConfig::at(Pose::facing_toward(truth, Vec3::ZERO)).with_antenna(*antenna);
+        let log = run_inventory(
+            &env,
+            &cfg,
+            &transponders,
+            disks[0].period_s() * 1.1,
+            &mut rng,
+        );
         for mut r in log.reports().iter().copied() {
             r.timestamp_us += t_offset;
             merged.push(r);
         }
         t_offset += (disks[0].period_s() * 1.1 * 1e6) as u64 + 1;
     }
-    println!("merged log: {} reads from {} antenna ports", merged.len(), merged.antennas().len());
+    println!(
+        "merged log: {} reads from {} antenna ports",
+        merged.len(),
+        merged.antennas().len()
+    );
 
     // Hmm: the per-port logs were time-shifted; the server must see each
     // port's own timeline, so localize each sub-log separately with the

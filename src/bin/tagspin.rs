@@ -25,9 +25,61 @@ use tagspin::sim::Deployment;
 fn main() -> ExitCode {
     match run() {
         Ok(()) => ExitCode::SUCCESS,
-        Err(msg) => {
-            eprintln!("error: {msg}");
+        Err(e) => {
+            eprintln!("error: {e}");
             ExitCode::FAILURE
+        }
+    }
+}
+
+/// Why the CLI gave up: a usage problem (print help text) or a failure
+/// from the IO / library layers with the context needed for a one-line
+/// diagnostic.
+#[derive(Debug)]
+enum CliError {
+    /// The command line is unusable; the payload is what to tell the user.
+    Usage(String),
+    /// Reading or writing a file failed.
+    Io {
+        path: String,
+        source: std::io::Error,
+    },
+    /// A library-layer operation failed (config parse, log decode, locate).
+    Lib {
+        context: &'static str,
+        source: Box<dyn std::error::Error>,
+    },
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Usage(msg) => write!(f, "{msg}"),
+            CliError::Io { path, source } => write!(f, "{path}: {source}"),
+            CliError::Lib { context, source } => write!(f, "{context}: {source}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CliError::Usage(_) => None,
+            CliError::Io { source, .. } => Some(source),
+            CliError::Lib { source, .. } => Some(source.as_ref()),
+        }
+    }
+}
+
+impl CliError {
+    fn usage(msg: impl Into<String>) -> CliError {
+        CliError::Usage(msg.into())
+    }
+
+    fn lib(context: &'static str, source: impl std::error::Error + 'static) -> CliError {
+        CliError::Lib {
+            context,
+            source: Box::new(source),
         }
     }
 }
@@ -73,41 +125,57 @@ impl Args {
     }
 }
 
-fn usage() -> String {
-    "usage:\n  \
-     tagspin simulate --config <file> --reader X,Y[,Z] --out <log> [--seed N] [--rotations F]\n  \
-     tagspin locate   --config <file> --log <file> [--3d] [--aided]\n  \
-     tagspin quality  --config <file> --log <file>\n  \
-     tagspin example-config"
-        .into()
+fn usage() -> CliError {
+    CliError::usage(
+        "usage:\n  \
+         tagspin simulate --config <file> --reader X,Y[,Z] --out <log> [--seed N] [--rotations F]\n  \
+         tagspin locate   --config <file> --log <file> [--3d] [--aided]\n  \
+         tagspin quality  --config <file> --log <file>\n  \
+         tagspin example-config",
+    )
 }
 
-fn load_deployment(args: &Args) -> Result<Deployment, String> {
-    let path = args.flag("config").ok_or("--config <file> required")?;
-    let text = fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
-    Deployment::parse(&text).map_err(|e| e.to_string())
+fn load_deployment(args: &Args) -> Result<Deployment, CliError> {
+    let path = args
+        .flag("config")
+        .ok_or_else(|| CliError::usage("--config <file> required"))?;
+    let text = fs::read_to_string(path).map_err(|e| CliError::Io {
+        path: path.to_string(),
+        source: e,
+    })?;
+    Deployment::parse(&text).map_err(|e| CliError::lib("parsing config", e))
 }
 
-fn load_log(args: &Args) -> Result<tagspin::epc::InventoryLog, String> {
-    let path = args.flag("log").ok_or("--log <file> required")?;
-    let bytes = fs::read(path).map_err(|e| format!("reading {path}: {e}"))?;
-    let (log, _) = llrp::decode_report(bytes.into()).map_err(|e| format!("decoding {path}: {e}"))?;
+fn load_log(args: &Args) -> Result<tagspin::epc::InventoryLog, CliError> {
+    let path = args
+        .flag("log")
+        .ok_or_else(|| CliError::usage("--log <file> required"))?;
+    let bytes = fs::read(path).map_err(|e| CliError::Io {
+        path: path.to_string(),
+        source: e,
+    })?;
+    let (log, _) =
+        llrp::decode_report(bytes.into()).map_err(|e| CliError::lib("decoding log", e))?;
     Ok(log)
 }
 
-fn parse_reader(spec: &str) -> Result<Vec3, String> {
+fn parse_reader(spec: &str) -> Result<Vec3, CliError> {
     let parts: Vec<f64> = spec
         .split(',')
-        .map(|p| p.trim().parse().map_err(|_| format!("bad coordinate '{p}'")))
+        .map(|p| {
+            p.trim()
+                .parse()
+                .map_err(|_| CliError::usage(format!("bad coordinate '{p}'")))
+        })
         .collect::<Result<_, _>>()?;
     match parts.len() {
         2 => Ok(Vec3::new(parts[0], parts[1], 0.0)),
         3 => Ok(Vec3::new(parts[0], parts[1], parts[2])),
-        _ => Err("--reader expects X,Y or X,Y,Z".into()),
+        _ => Err(CliError::usage("--reader expects X,Y or X,Y,Z")),
     }
 }
 
-fn run() -> Result<(), String> {
+fn run() -> Result<(), CliError> {
     let args = Args::parse();
     match args.positional.first().map(String::as_str) {
         Some("simulate") => simulate(&args),
@@ -123,29 +191,36 @@ fn run() -> Result<(), String> {
 
 fn example_config() -> String {
     let mut dep = Deployment::default();
-    dep.tags.push((1, DiskConfig::paper_default(Vec3::new(-0.3, 0.0, 0.0))));
-    dep.tags.push((2, DiskConfig::paper_default(Vec3::new(0.3, 0.0, 0.0))));
+    dep.tags
+        .push((1, DiskConfig::paper_default(Vec3::new(-0.3, 0.0, 0.0))));
+    dep.tags
+        .push((2, DiskConfig::paper_default(Vec3::new(0.3, 0.0, 0.0))));
     dep.render()
 }
 
 /// Simulate an observation of the deployment from a known reader position
 /// and write the LLRP report stream — the ground truth for `locate` demos.
-fn simulate(args: &Args) -> Result<(), String> {
+fn simulate(args: &Args) -> Result<(), CliError> {
     use rand::SeedableRng;
     let dep = load_deployment(args)?;
     if dep.tags.is_empty() {
-        return Err("deployment has no tags".into());
+        return Err(CliError::usage("deployment has no tags"));
     }
-    let reader_pos = parse_reader(args.flag("reader").ok_or("--reader X,Y[,Z] required")?)?;
-    let out = args.flag("out").ok_or("--out <file> required")?;
+    let reader_pos = parse_reader(
+        args.flag("reader")
+            .ok_or_else(|| CliError::usage("--reader X,Y[,Z] required"))?,
+    )?;
+    let out = args
+        .flag("out")
+        .ok_or_else(|| CliError::usage("--out <file> required"))?;
     let seed: u64 = args
         .flag("seed")
-        .map(|s| s.parse().map_err(|_| "bad --seed"))
+        .map(|s| s.parse().map_err(|_| CliError::usage("bad --seed")))
         .transpose()?
         .unwrap_or(1);
     let rotations: f64 = args
         .flag("rotations")
-        .map(|s| s.parse().map_err(|_| "bad --rotations"))
+        .map(|s| s.parse().map_err(|_| CliError::usage("bad --rotations")))
         .transpose()?
         .unwrap_or(1.25);
 
@@ -157,14 +232,20 @@ fn simulate(args: &Args) -> Result<(), String> {
         .tags
         .iter()
         .map(|&(epc, disk)| {
-            SpinningTag::new(disk, TagInstance::manufacture(TagModel::DEFAULT, epc, &mut rng))
+            SpinningTag::new(
+                disk,
+                TagInstance::manufacture(TagModel::DEFAULT, epc, &mut rng),
+            )
         })
         .collect();
     let trs: Vec<&dyn Transponder> = tags.iter().map(|t| t as &dyn Transponder).collect();
     let duration = dep.tags[0].1.period_s() * rotations;
     let log = run_inventory(&env, &reader, &trs, duration, &mut rng);
     let bytes = llrp::encode_report(&log, seed as u32);
-    fs::write(out, &bytes).map_err(|e| format!("writing {out}: {e}"))?;
+    fs::write(out, &bytes).map_err(|e| CliError::Io {
+        path: out.to_string(),
+        source: e,
+    })?;
     println!(
         "simulated {} reads over {:.1} s from reader at {reader_pos}; wrote {} bytes to {out}",
         log.len(),
@@ -176,12 +257,14 @@ fn simulate(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn locate(args: &Args) -> Result<(), String> {
+fn locate(args: &Args) -> Result<(), CliError> {
     let dep = load_deployment(args)?;
     let log = load_log(args)?;
     let server = dep.build_server();
     if args.has("aided") {
-        let fix = server.locate_3d_aided(&log).map_err(|e| e.to_string())?;
+        let fix = server
+            .locate_3d_aided(&log)
+            .map_err(|e| CliError::lib("locating (3D aided)", e))?;
         println!("position: {}", fix.position);
         println!("residual: {:.2} cm", to_cm(fix.residual_m));
         println!(
@@ -190,7 +273,9 @@ fn locate(args: &Args) -> Result<(), String> {
         );
         println!("chosen candidates: {:?}", fix.chosen);
     } else if args.has("3d") {
-        let fix = server.locate_3d(&log).map_err(|e| e.to_string())?;
+        let fix = server
+            .locate_3d(&log)
+            .map_err(|e| CliError::lib("locating (3D)", e))?;
         let (lo, hi) = dep.z_feasible;
         match fix.resolve(|p| p.z >= lo && p.z <= hi) {
             Some(p) => println!("position: {p}"),
@@ -203,14 +288,16 @@ fn locate(args: &Args) -> Result<(), String> {
         println!("z spread between tags: {:.2} cm", to_cm(fix.z_spread_m));
         println!("horizontal residual: {:.2} cm", to_cm(fix.residual_m));
     } else {
-        let fix = server.locate_2d(&log).map_err(|e| e.to_string())?;
+        let fix = server
+            .locate_2d(&log)
+            .map_err(|e| CliError::lib("locating (2D)", e))?;
         println!("position: {}", fix.position);
         println!("residual: {:.2} cm", to_cm(fix.residual_m));
     }
     Ok(())
 }
 
-fn quality(args: &Args) -> Result<(), String> {
+fn quality(args: &Args) -> Result<(), CliError> {
     let dep = load_deployment(args)?;
     let log = load_log(args)?;
     println!(
@@ -222,8 +309,9 @@ fn quality(args: &Args) -> Result<(), String> {
     );
     for &(epc, disk) in &dep.tags {
         match SnapshotSet::from_log(&log, epc, &disk) {
-            Ok(set) => match CaptureQuality::of(&set) {
-                Some(q) => println!(
+            Ok(set) => {
+                match CaptureQuality::of(&set) {
+                    Some(q) => println!(
                     "tag {epc}: {} reads, {:.0}% coverage, max gap {:.0}°, density skew {:.1} — {}",
                     q.reads,
                     q.coverage * 100.0,
@@ -231,8 +319,9 @@ fn quality(args: &Args) -> Result<(), String> {
                     q.density_skew,
                     if q.is_usable() { "usable" } else { "NOT USABLE" }
                 ),
-                None => println!("tag {epc}: empty capture"),
-            },
+                    None => println!("tag {epc}: empty capture"),
+                }
+            }
             Err(e) => println!("tag {epc}: {e}"),
         }
     }

@@ -41,6 +41,7 @@
 //! assert!((fix.position - truth.xy()).norm() < 0.15);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub use tagspin_baselines as baselines;

@@ -174,8 +174,8 @@ fn multi_antenna_simultaneous_localization() {
     let antennas = ReaderAntenna::yeon_set();
     let mut reports = Vec::new();
     for (k, &truth) in truths.iter().enumerate() {
-        let cfg = ReaderConfig::at(Pose::facing_toward(truth, Vec3::ZERO))
-            .with_antenna(antennas[k]);
+        let cfg =
+            ReaderConfig::at(Pose::facing_toward(truth, Vec3::ZERO)).with_antenna(antennas[k]);
         let log = run_inventory(&env, &cfg, &trs, disks[0].period_s() * 1.1, &mut rng);
         reports.extend(log.reports().iter().copied());
     }
@@ -185,7 +185,9 @@ fn multi_antenna_simultaneous_localization() {
     let fixes = server.locate_all_2d(&merged);
     assert_eq!(fixes.len(), 2);
     for ((ant, fix), truth) in fixes.iter().zip(&truths) {
-        let fix = fix.as_ref().unwrap_or_else(|e| panic!("antenna {ant}: {e}"));
+        let fix = fix
+            .as_ref()
+            .unwrap_or_else(|e| panic!("antenna {ant}: {e}"));
         let err = (fix.position - truth.xy()).norm();
         assert!(err < 0.3, "antenna {ant} error {:.1} cm", err * 100.0);
     }
@@ -202,13 +204,12 @@ fn failure_injection_disk_wobble_degrades_gracefully() {
     let truth = Vec3::new(0.3, 2.0, 0.0);
     let (tags, server, reader) = deploy(&disks, truth, false, &env, &mut rng);
     // Inject ±3% motor speed wobble the server does not know about.
-    let wobbly: Vec<SpinningTag> = tags
-        .into_iter()
-        .map(|t| t.with_wobble(0.03, 1.7))
-        .collect();
+    let wobbly: Vec<SpinningTag> = tags.into_iter().map(|t| t.with_wobble(0.03, 1.7)).collect();
     let trs: Vec<&dyn Transponder> = wobbly.iter().map(|t| t as &dyn Transponder).collect();
     let log = run_inventory(&env, &reader, &trs, disks[0].period_s() * 1.25, &mut rng);
-    let fix = server.locate_2d(&log).expect("wobble must not break the fix");
+    let fix = server
+        .locate_2d(&log)
+        .expect("wobble must not break the fix");
     let err = (fix.position - truth.xy()).norm();
     // Degraded but still sub-half-meter.
     assert!(err < 0.5, "wobble error {:.1} cm", err * 100.0);
@@ -243,10 +244,19 @@ fn misregistered_disk_center_shifts_fix_accordingly() {
     server.register(2, shifted).expect("fresh");
 
     let trs: Vec<&dyn Transponder> = tags.iter().map(|t| t as &dyn Transponder).collect();
-    let log = run_inventory(&env, &reader, &trs, true_disks[0].period_s() * 1.25, &mut rng);
+    let log = run_inventory(
+        &env,
+        &reader,
+        &trs,
+        true_disks[0].period_s() * 1.25,
+        &mut rng,
+    );
     let fix = server.locate_2d(&log).expect("fix still produced");
     let err = (fix.position - truth.xy()).norm();
-    assert!(err > 0.01, "misregistration should cost > 1 cm, got {err} m");
+    assert!(
+        err > 0.01,
+        "misregistration should cost > 1 cm, got {err} m"
+    );
     assert!(err < 0.6, "misregistration cost is bounded, got {err} m");
 }
 
@@ -274,8 +284,7 @@ fn deterministic_across_runs() {
 fn sim_scenario_matches_manual_deployment() {
     // The sim crate's trial runner must agree with a hand-built deployment
     // in error magnitude (both ~cm at this geometry).
-    let scenario =
-        tagspin::sim::Scenario::paper_2d(Vec2::new(0.4, 1.9)).quick();
+    let scenario = tagspin::sim::Scenario::paper_2d(Vec2::new(0.4, 1.9)).quick();
     let out = tagspin::sim::run_trial_2d(&scenario, 99).expect("trial succeeds");
     assert!(
         out.error.combined < 0.15,

@@ -1,0 +1,189 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! Provides the API subset the Tagspin benches use (`criterion_group!`,
+//! `criterion_main!`, `Criterion::benchmark_group`, `bench_function`,
+//! `bench_with_input`, `BenchmarkId`, `black_box`) with a simple
+//! wall-clock measurement loop: warm up briefly, then time a fixed batch
+//! of iterations and print mean time per iteration. No statistics, plots,
+//! or baselines — enough to compare kernels by eye and to keep
+//! `cargo bench` compiling offline.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting work.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifier for one benchmark within a group: `name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Construct an id from a single parameter value.
+    pub fn from_parameter<P: std::fmt::Display>(parameter: P) -> BenchmarkId {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+
+    /// Create an id composed of a function name and a parameter value.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            label: s.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { label: s }
+    }
+}
+
+/// Timing loop handle passed to bench closures.
+pub struct Bencher {
+    /// Mean duration of one iteration, recorded by [`Bencher::iter`].
+    elapsed_per_iter: Duration,
+}
+
+impl Bencher {
+    /// Measure `f`: warm up for ~3 iterations, then time a batch sized to
+    /// roughly the configured measurement budget.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        for _ in 0..3 {
+            black_box(f());
+        }
+        // Size the batch from a single timed probe.
+        let probe_start = Instant::now();
+        black_box(f());
+        let probe = probe_start.elapsed().max(Duration::from_nanos(50));
+        let budget = Duration::from_millis(200);
+        let iters = (budget.as_nanos() / probe.as_nanos()).clamp(1, 10_000) as u32;
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        self.elapsed_per_iter = start.elapsed() / iters;
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the stub ignores sample counts.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; the stub ignores the setting.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            elapsed_per_iter: Duration::ZERO,
+        };
+        f(&mut b);
+        println!(
+            "bench {}/{}: {:>12.3?} per iter",
+            self.name, id.label, b.elapsed_per_iter
+        );
+        self
+    }
+
+    /// Run one benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            elapsed_per_iter: Duration::ZERO,
+        };
+        f(&mut b, input);
+        println!(
+            "bench {}/{}: {:>12.3?} per iter",
+            self.name, id.label, b.elapsed_per_iter
+        );
+        self
+    }
+
+    /// End the group (no-op in the stub).
+    pub fn finish(self) {}
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Start a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            _parent: self,
+        }
+    }
+
+    /// Run one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.benchmark_group("crit").bench_function(id, f);
+        self
+    }
+}
+
+/// Declare a group of benchmark functions, as in real criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+    (name = $group:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        $crate::criterion_group!($group, $($target),+);
+    };
+}
+
+/// Declare the benchmark binary entry point, as in real criterion.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

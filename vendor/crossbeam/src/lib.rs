@@ -1,0 +1,72 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Tagspin only uses `crossbeam::thread::scope` for its fan-out trial
+//! sweeps. Since Rust 1.63 the standard library ships scoped threads, so
+//! this stub adapts `std::thread::scope` to the crossbeam calling
+//! convention (`scope(|s| ...)` returning a `Result`, spawn closures
+//! receiving the scope as an argument).
+
+#![forbid(unsafe_code)]
+
+/// Scoped-thread API mirroring `crossbeam::thread`.
+pub mod thread {
+    use std::any::Any;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    /// A scope handle passed to [`scope`] closures; mirrors
+    /// `crossbeam::thread::Scope`.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a scoped thread. The closure receives the scope (so it
+        /// can spawn further threads), as in crossbeam.
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            self.inner.spawn(move || f(&Scope { inner }))
+        }
+    }
+
+    /// Create a scope for spawning borrowing threads.
+    ///
+    /// Returns `Err` with the panic payload if the closure or any
+    /// unjoined spawned thread panics, matching crossbeam's contract.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        catch_unwind(AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn fans_out_and_joins() {
+        let total = std::sync::atomic::AtomicUsize::new(0);
+        let r = super::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|_| {
+                    total.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                });
+            }
+        });
+        assert!(r.is_ok());
+        assert_eq!(total.load(std::sync::atomic::Ordering::SeqCst), 4);
+    }
+
+    #[test]
+    fn child_panic_is_err() {
+        let r = super::thread::scope(|s| {
+            s.spawn(|_| panic!("boom"));
+        });
+        assert!(r.is_err());
+    }
+}

@@ -1,0 +1,17 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! Provides the `Serialize`/`Deserialize` trait names and re-exports the
+//! no-op derive macros from the vendored `serde_derive`, so that
+//! `use serde::{Serialize, Deserialize};` + `#[derive(...)]` compile
+//! without registry access. No actual serialization machinery is
+//! included — nothing in this workspace serializes through serde.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
