@@ -1,8 +1,16 @@
 //! Criterion benchmarks for the angle-spectrum kernels (Figs. 1, 6, 8):
 //! the computational heart of Tagspin.
+//!
+//! Besides the criterion-style console output, this bench emits the
+//! machine-readable `BENCH_spectrum.json` artifact (schema
+//! `tagspin-bench-spectrum/v1`) comparing the `SpectrumEngine`'s
+//! coarse-to-fine peak search against the exhaustive reference path. Set
+//! `TAGSPIN_BENCH_JSON` to move the artifact, `TAGSPIN_BENCH_QUICK=1` to
+//! shrink iteration counts (CI).
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
-use tagspin_bench::synthetic_snapshots;
+use criterion::{black_box, criterion_group, BenchmarkId, Criterion};
+use tagspin_bench::{spectrum_bench, synthetic_snapshots};
+use tagspin_core::spectrum::engine::{SpectrumEngine, SpectrumEngineConfig};
 use tagspin_core::spectrum::{spectrum_2d, spectrum_3d, ProfileKind, SpectrumConfig};
 use tagspin_geom::Vec3;
 
@@ -57,10 +65,53 @@ fn bench_grid_resolution(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_engine_peaks(c: &mut Criterion) {
+    // Coarse-to-fine engine versus the exhaustive reference, criterion view
+    // (the JSON artifact re-measures the same cases via spectrum_bench).
+    let mut group = c.benchmark_group("spectrum_engine");
+    group.sample_size(10);
+    let set = synthetic_snapshots(Vec3::new(-0.8, 1.5, 0.0), 400);
+    let ecfg = SpectrumEngineConfig::default();
+    let exhaustive = SpectrumEngineConfig {
+        exhaustive: true,
+        ..ecfg
+    };
+    for &steps in &[360usize, 720] {
+        let cfg = SpectrumConfig {
+            azimuth_steps: steps,
+            ..SpectrumConfig::default()
+        };
+        let engine = SpectrumEngine::new(&ecfg);
+        group.bench_with_input(BenchmarkId::new("fast_2d", steps), &cfg, |b, cfg| {
+            b.iter(|| engine.peak_2d(black_box(&set), 0.1, ProfileKind::Hybrid, cfg, &ecfg))
+        });
+        group.bench_with_input(BenchmarkId::new("exhaustive_2d", steps), &cfg, |b, cfg| {
+            b.iter(|| engine.peak_2d(black_box(&set), 0.1, ProfileKind::Hybrid, cfg, &exhaustive))
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_spectrum_2d,
     bench_spectrum_3d,
-    bench_grid_resolution
+    bench_grid_resolution,
+    bench_engine_peaks
 );
-criterion_main!(benches);
+
+fn main() {
+    benches();
+
+    let quick = std::env::var_os("TAGSPIN_BENCH_QUICK").is_some_and(|v| v == "1");
+    let results = spectrum_bench::run(quick);
+    println!("\nspectrum engine (coarse-to-fine vs exhaustive):");
+    println!("{}", spectrum_bench::report(&results));
+    let path = std::env::var_os("TAGSPIN_BENCH_JSON")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| std::path::PathBuf::from("BENCH_spectrum.json"));
+    match spectrum_bench::write_json(&path, &results) {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+    }
+}

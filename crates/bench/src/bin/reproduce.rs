@@ -7,6 +7,8 @@
 //! reproduce --csv out/    # also write each report as CSV under out/
 //! reproduce --trials 25   # override the per-configuration trial count
 //! reproduce --list        # show the registry
+//! reproduce --bench-spectrum [path]  # only the spectrum-engine bench,
+//!                                    # JSON to path (default BENCH_spectrum.json)
 //! ```
 //!
 //! Output goes to stdout in the `Report` text format; EXPERIMENTS.md records
@@ -19,6 +21,24 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     let list = args.iter().any(|a| a == "--list");
+    if let Some(i) = args.iter().position(|a| a == "--bench-spectrum") {
+        let path = args
+            .get(i + 1)
+            .filter(|a| !a.starts_with("--"))
+            .map_or_else(
+                || std::path::PathBuf::from("BENCH_spectrum.json"),
+                std::path::PathBuf::from,
+            );
+        let results = tagspin_bench::spectrum_bench::run(quick);
+        println!("spectrum engine (coarse-to-fine vs exhaustive):");
+        println!("{}", tagspin_bench::spectrum_bench::report(&results));
+        if let Err(e) = tagspin_bench::spectrum_bench::write_json(&path, &results) {
+            eprintln!("error: could not write {}: {e}", path.display());
+            std::process::exit(1);
+        }
+        println!("wrote {}", path.display());
+        return;
+    }
     let csv_dir = args
         .iter()
         .position(|a| a == "--csv")

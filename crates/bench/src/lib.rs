@@ -61,6 +61,8 @@ pub fn bench_inventory(rotations: f64, seed: u64) -> (InventoryLog, DiskConfig) 
     (log, disk)
 }
 
+pub mod spectrum_bench;
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,197 @@
+//! Machine-readable spectrum-engine benchmark: coarse-to-fine versus the
+//! exhaustive reference path, emitted as `BENCH_spectrum.json`.
+//!
+//! The vendored criterion stand-in prints means but does not expose them
+//! programmatically, so this module carries its own `Instant`-based timing
+//! loop. Both the `spectrum` criterion bench and `reproduce
+//! --bench-spectrum` route through [`run`] so the JSON artifact and the
+//! human-readable bench agree on what was measured.
+//!
+//! The JSON is hand-rolled (no serde_json in the vendored set): flat
+//! structure, fixed schema tag `tagspin-bench-spectrum/v1`.
+
+use crate::synthetic_snapshots;
+use std::time::Instant;
+use tagspin_core::spectrum::engine::{SpectrumEngine, SpectrumEngineConfig};
+use tagspin_core::spectrum::{ProfileKind, SpectrumConfig};
+use tagspin_geom::Vec3;
+
+/// One measured configuration: the same peak search on the same inputs,
+/// fast path versus exhaustive path.
+#[derive(Debug, Clone)]
+pub struct CaseResult {
+    /// Stable case identifier (e.g. `peak_2d_hybrid_720`).
+    pub name: &'static str,
+    /// Azimuth grid size.
+    pub azimuth_steps: usize,
+    /// Polar grid size (1 for 2D cases).
+    pub polar_steps: usize,
+    /// Snapshot count of the synthetic aperture.
+    pub snapshots: usize,
+    /// Mean wall-clock nanoseconds per exhaustive peak search.
+    pub mean_ns_exhaustive: f64,
+    /// Mean wall-clock nanoseconds per coarse-to-fine peak search.
+    pub mean_ns_fast: f64,
+}
+
+impl CaseResult {
+    /// Exhaustive time over fast time (higher is better for the engine).
+    pub fn speedup(&self) -> f64 {
+        self.mean_ns_exhaustive / self.mean_ns_fast
+    }
+}
+
+/// Mean nanoseconds per call of `f` over `iters` timed iterations (after
+/// one untimed warm-up call that also warms the engine's table cache).
+fn time_ns(iters: u32, mut f: impl FnMut()) -> f64 {
+    f();
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    t0.elapsed().as_nanos() as f64 / f64::from(iters.max(1))
+}
+
+/// Run the engine benchmark suite. `quick` shrinks iteration counts for
+/// CI; the measured configurations are identical either way.
+pub fn run(quick: bool) -> Vec<CaseResult> {
+    let (fast_iters, full_iters) = if quick { (6, 2) } else { (20, 5) };
+    let reader = Vec3::new(-0.8, 1.5, 0.0);
+    let reader_3d = Vec3::new(-0.8, 1.5, 0.6);
+    let ecfg = SpectrumEngineConfig::default();
+    let exhaustive = SpectrumEngineConfig {
+        exhaustive: true,
+        ..ecfg
+    };
+    let mut results = Vec::new();
+
+    for &(name, steps) in &[
+        ("peak_2d_hybrid_360", 360usize),
+        ("peak_2d_hybrid_720", 720),
+        ("peak_2d_hybrid_1440", 1440),
+    ] {
+        let set = synthetic_snapshots(reader, 400);
+        let cfg = SpectrumConfig {
+            azimuth_steps: steps,
+            ..SpectrumConfig::default()
+        };
+        let engine = SpectrumEngine::new(&ecfg);
+        let mean_ns_fast = time_ns(fast_iters, || {
+            engine.peak_2d(&set, 0.1, ProfileKind::Hybrid, &cfg, &ecfg);
+        });
+        let mean_ns_exhaustive = time_ns(full_iters, || {
+            engine.peak_2d(&set, 0.1, ProfileKind::Hybrid, &cfg, &exhaustive);
+        });
+        results.push(CaseResult {
+            name,
+            azimuth_steps: steps,
+            polar_steps: 1,
+            snapshots: 400,
+            mean_ns_exhaustive,
+            mean_ns_fast,
+        });
+    }
+
+    {
+        let set = synthetic_snapshots(reader_3d, 400);
+        let cfg = SpectrumConfig {
+            azimuth_steps: 360,
+            polar_steps: 61,
+            ..SpectrumConfig::default()
+        };
+        let engine = SpectrumEngine::new(&ecfg);
+        let mean_ns_fast = time_ns(fast_iters, || {
+            engine.peak_3d(&set, 0.1, ProfileKind::Hybrid, &cfg, &ecfg);
+        });
+        let mean_ns_exhaustive = time_ns(full_iters.min(3), || {
+            engine.peak_3d(&set, 0.1, ProfileKind::Hybrid, &cfg, &exhaustive);
+        });
+        results.push(CaseResult {
+            name: "peak_3d_hybrid_360x61",
+            azimuth_steps: 360,
+            polar_steps: 61,
+            snapshots: 400,
+            mean_ns_exhaustive,
+            mean_ns_fast,
+        });
+    }
+
+    results
+}
+
+/// Serialize results as the `tagspin-bench-spectrum/v1` JSON document.
+pub fn to_json(results: &[CaseResult]) -> String {
+    let mut out = String::from("{\n  \"schema\": \"tagspin-bench-spectrum/v1\",\n  \"cases\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"azimuth_steps\": {}, \"polar_steps\": {}, \
+             \"snapshots\": {}, \"mean_ns_exhaustive\": {:.0}, \"mean_ns_fast\": {:.0}, \
+             \"speedup\": {:.3}}}{}\n",
+            r.name,
+            r.azimuth_steps,
+            r.polar_steps,
+            r.snapshots,
+            r.mean_ns_exhaustive,
+            r.mean_ns_fast,
+            r.speedup(),
+            if i + 1 < results.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Write the JSON document to `path`.
+///
+/// # Errors
+///
+/// Propagates the filesystem error when `path` is not writable.
+pub fn write_json(path: &std::path::Path, results: &[CaseResult]) -> std::io::Result<()> {
+    if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+        std::fs::create_dir_all(dir)?;
+    }
+    std::fs::write(path, to_json(results))
+}
+
+/// One human-readable line per case.
+pub fn report(results: &[CaseResult]) -> String {
+    results
+        .iter()
+        .map(|r| {
+            format!(
+                "{:<24} grid {:>4}x{:<2}  exhaustive {:>9.2} ms  fast {:>8.3} ms  speedup {:>5.1}x",
+                r.name,
+                r.azimuth_steps,
+                r.polar_steps,
+                r.mean_ns_exhaustive / 1e6,
+                r.mean_ns_fast / 1e6,
+                r.speedup()
+            )
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_is_well_formed_enough() {
+        let cases = vec![CaseResult {
+            name: "x",
+            azimuth_steps: 720,
+            polar_steps: 1,
+            snapshots: 400,
+            mean_ns_exhaustive: 6e6,
+            mean_ns_fast: 1e6,
+        }];
+        let json = to_json(&cases);
+        assert!(json.contains("\"schema\": \"tagspin-bench-spectrum/v1\""));
+        assert!(json.contains("\"speedup\": 6.000"));
+        assert!(json.trim_end().ends_with('}'));
+        // Balanced braces/brackets — cheap sanity without a JSON parser.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+}

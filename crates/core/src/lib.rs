@@ -77,6 +77,7 @@ pub mod prelude {
     pub use crate::locate::space::{Bearing3D, Fix3D};
     pub use crate::server::{LocalizationServer, PipelineConfig, ServerError};
     pub use crate::snapshot::{Snapshot, SnapshotSet};
+    pub use crate::spectrum::engine::{SpectrumEngine, SpectrumEngineConfig};
     pub use crate::spectrum::{ProfileKind, SpectrumConfig};
     pub use crate::spinning::{CenterSpinTag, DiskConfig, SpinningTag};
 }

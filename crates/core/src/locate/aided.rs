@@ -39,6 +39,26 @@ impl AmbiguousBearing {
         }
     }
 
+    /// A bearing from an oriented-disk spectrum peak: the candidate pair is
+    /// chosen by the disk's plane (`±γ` for horizontal, plane reflection
+    /// for vertical) and the weight is the peak power clamped to ≥ 0.
+    pub fn from_disk_peak(
+        disk: &crate::spinning::DiskConfig,
+        direction: Direction3,
+        power: f64,
+    ) -> Self {
+        let mut bearing = match disk.plane {
+            crate::spinning::DiskPlane::Horizontal => {
+                AmbiguousBearing::horizontal(disk.center, direction)
+            }
+            crate::spinning::DiskPlane::Vertical { normal_azimuth } => {
+                AmbiguousBearing::vertical(disk.center, direction, normal_azimuth)
+            }
+        };
+        bearing.weight = power.max(0.0);
+        bearing
+    }
+
     /// A vertical-disk bearing with the plane's `normal_azimuth`: the second
     /// candidate reflects the direction across the disk plane.
     pub fn vertical(origin: Vec3, direction: Direction3, normal_azimuth: f64) -> Self {

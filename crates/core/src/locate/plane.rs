@@ -31,6 +31,16 @@ impl Bearing2D {
         }
     }
 
+    /// A bearing from a spectrum peak: azimuth from the peak position,
+    /// weight from the peak power (clamped to ≥ 0).
+    pub fn from_peak(origin: Vec2, peak: &tagspin_dsp::peak::PeakEstimate) -> Self {
+        Bearing2D {
+            origin,
+            azimuth: peak.position,
+            weight: peak.value.max(0.0),
+        }
+    }
+
     /// The bearing as a geometric ray.
     pub fn ray(&self) -> Line2 {
         Line2::from_bearing(self.origin, self.azimuth)

@@ -46,6 +46,17 @@ impl Bearing3D {
             weight: 1.0,
         }
     }
+
+    /// A bearing from a 3D spectrum peak: the polar angle is folded
+    /// non-negative (the `±γ` ambiguity convention) and the weight is the
+    /// peak power clamped to ≥ 0.
+    pub fn from_peak(origin: Vec3, direction: Direction3, power: f64) -> Self {
+        Bearing3D {
+            origin,
+            direction: Direction3::new(direction.azimuth, direction.polar.abs()),
+            weight: power.max(0.0),
+        }
+    }
 }
 
 /// A 3D reader fix with its mirror candidate.

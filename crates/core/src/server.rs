@@ -20,14 +20,11 @@ use crate::locate::plane::{locate_2d, Bearing2D, Fix2D};
 use crate::locate::space::{locate_3d, Bearing3D, Fix3D};
 use crate::locate::LocateError;
 use crate::snapshot::{SnapshotError, SnapshotSet};
-use crate::spectrum::{
-    spectrum_2d, spectrum_3d, spectrum_3d_for_disk, ProfileKind, Spectrum2D, SpectrumConfig,
-};
+use crate::spectrum::engine::{SpectrumEngine, SpectrumEngineConfig};
+use crate::spectrum::{ProfileKind, Spectrum2D, SpectrumConfig};
 use crate::spinning::DiskConfig;
-use crate::spinning::DiskPlane;
 use std::fmt;
 use tagspin_epc::InventoryLog;
-use tagspin_geom::vec3::Direction3;
 
 /// A spinning tag known to the server.
 #[derive(Debug, Clone, PartialEq)]
@@ -50,6 +47,9 @@ pub struct PipelineConfig {
     pub profile: ProfileKind,
     /// Spectrum grid/σ settings.
     pub spectrum: SpectrumConfig,
+    /// Coarse-to-fine spectrum engine settings (`exhaustive: true` forces
+    /// the original full-grid reference path).
+    pub engine: SpectrumEngineConfig,
     /// Apply per-tag orientation calibration when available.
     pub orientation_calibration: bool,
     /// Minimum snapshots per tag for a usable spectrum.
@@ -61,6 +61,7 @@ impl Default for PipelineConfig {
         PipelineConfig {
             profile: ProfileKind::Hybrid,
             spectrum: SpectrumConfig::default(),
+            engine: SpectrumEngineConfig::default(),
             orientation_calibration: true,
             min_snapshots: 30,
         }
@@ -128,11 +129,21 @@ impl From<LocateError> for ServerError {
 }
 
 /// The central localization server.
-#[derive(Debug, Clone, PartialEq, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct LocalizationServer {
     tags: Vec<RegisteredTag>,
     /// Pipeline settings (public: experiments flip profile/calibration).
     pub config: PipelineConfig,
+    /// Spectrum evaluator; clones share its steering-table cache.
+    engine: SpectrumEngine,
+}
+
+/// Equality is over the registry and configuration only — the engine's
+/// cache is a performance artifact, not semantic state.
+impl PartialEq for LocalizationServer {
+    fn eq(&self, other: &Self) -> bool {
+        self.tags == other.tags && self.config == other.config
+    }
 }
 
 impl LocalizationServer {
@@ -141,7 +152,13 @@ impl LocalizationServer {
         LocalizationServer {
             tags: Vec::new(),
             config,
+            engine: SpectrumEngine::new(&config.engine),
         }
+    }
+
+    /// The spectrum engine (for cache diagnostics).
+    pub fn engine(&self) -> &SpectrumEngine {
+        &self.engine
     }
 
     /// Register a spinning tag.
@@ -211,7 +228,12 @@ impl LocalizationServer {
         )
     }
 
-    /// Compute the 2D bearing (and its spectrum) for one registered tag.
+    /// Compute the 2D bearing (and its full spectrum) for one registered
+    /// tag — the diagnostic entry point. The bearing comes from the
+    /// engine's coarse-to-fine peak search (hybrid: enhanced detection,
+    /// traditional refinement); the returned spectrum is the full grid of
+    /// the configured profile. [`LocalizationServer::bearing_2d_peak`] is
+    /// the fast path when the spectrum itself is not needed.
     ///
     /// # Errors
     ///
@@ -227,40 +249,51 @@ impl LocalizationServer {
             .find(|t| t.epc == epc)
             .ok_or(ServerError::UnknownTag(epc))?;
         let set = self.calibrated_snapshots(log, tag)?;
-        let spec = spectrum_2d(
+        let spec = self.engine.spectrum_2d(
             &set,
             tag.disk.radius,
             self.config.profile,
             &self.config.spectrum,
+            &self.config.engine,
         );
-        let peak = match self.config.profile {
-            ProfileKind::Hybrid => {
-                // Detect the lobe on the enhanced spectrum, refine on the
-                // traditional one (matched-filter precision) within ±10°.
-                let coarse = spec
-                    .peak()
-                    .ok_or(ServerError::EmptySpectrum { epc: tag.epc })?;
-                let q = spectrum_2d(
-                    &set,
-                    tag.disk.radius,
-                    ProfileKind::Traditional,
-                    &self.config.spectrum,
-                );
-                q.constrained_peak(coarse.position, 10f64.to_radians())
-                    .unwrap_or(coarse)
-            }
-            _ => spec
-                .peak()
-                .ok_or(ServerError::EmptySpectrum { epc: tag.epc })?,
-        };
-        Ok((
-            Bearing2D {
-                origin: tag.disk.center.xy(),
-                azimuth: peak.position,
-                weight: peak.value.max(0.0),
-            },
-            spec,
-        ))
+        let peak = self
+            .engine
+            .peak_2d(
+                &set,
+                tag.disk.radius,
+                self.config.profile,
+                &self.config.spectrum,
+                &self.config.engine,
+            )
+            .ok_or(ServerError::EmptySpectrum { epc: tag.epc })?;
+        Ok((Bearing2D::from_peak(tag.disk.center.xy(), &peak), spec))
+    }
+
+    /// Compute the 2D bearing for one registered tag without materializing
+    /// the full spectrum — the coarse-to-fine fast path used by
+    /// [`LocalizationServer::locate_2d`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`LocalizationServer::bearing_2d`].
+    pub fn bearing_2d_peak(&self, log: &InventoryLog, epc: u128) -> Result<Bearing2D, ServerError> {
+        let tag = self
+            .tags
+            .iter()
+            .find(|t| t.epc == epc)
+            .ok_or(ServerError::UnknownTag(epc))?;
+        let set = self.calibrated_snapshots(log, tag)?;
+        let peak = self
+            .engine
+            .peak_2d(
+                &set,
+                tag.disk.radius,
+                self.config.profile,
+                &self.config.spectrum,
+                &self.config.engine,
+            )
+            .ok_or(ServerError::EmptySpectrum { epc: tag.epc })?;
+        Ok(Bearing2D::from_peak(tag.disk.center.xy(), &peak))
     }
 
     /// End-to-end 2D localization of the reader that produced `log`.
@@ -274,8 +307,8 @@ impl LocalizationServer {
     pub fn locate_2d(&self, log: &InventoryLog) -> Result<Fix2D, ServerError> {
         let mut bearings = Vec::new();
         for tag in &self.tags {
-            match self.bearing_2d(log, tag.epc) {
-                Ok((b, _)) => bearings.push(b),
+            match self.bearing_2d_peak(log, tag.epc) {
+                Ok(b) => bearings.push(b),
                 Err(
                     ServerError::Snapshot(SnapshotError::NoReads)
                     | ServerError::TooFewSnapshots { .. },
@@ -303,36 +336,17 @@ impl LocalizationServer {
             .find(|t| t.epc == epc)
             .ok_or(ServerError::UnknownTag(epc))?;
         let set = self.calibrated_snapshots(log, tag)?;
-        let spec = spectrum_3d(
-            &set,
-            tag.disk.radius,
-            self.config.profile,
-            &self.config.spectrum,
-        );
-        let (dir, power) = match self.config.profile {
-            ProfileKind::Hybrid => {
-                let (coarse, power) = spec
-                    .peak()
-                    .ok_or(ServerError::EmptySpectrum { epc: tag.epc })?;
-                let q = spectrum_3d(
-                    &set,
-                    tag.disk.radius,
-                    ProfileKind::Traditional,
-                    &self.config.spectrum,
-                );
-                q.constrained_peak(coarse, 10f64.to_radians())
-                    .map(|(d, _)| (d, power))
-                    .unwrap_or((coarse, power))
-            }
-            _ => spec
-                .peak()
-                .ok_or(ServerError::EmptySpectrum { epc: tag.epc })?,
-        };
-        Ok(Bearing3D {
-            origin: tag.disk.center,
-            direction: Direction3::new(dir.azimuth, dir.polar.abs()),
-            weight: power.max(0.0),
-        })
+        let (dir, power) = self
+            .engine
+            .peak_3d(
+                &set,
+                tag.disk.radius,
+                self.config.profile,
+                &self.config.spectrum,
+                &self.config.engine,
+            )
+            .ok_or(ServerError::EmptySpectrum { epc: tag.epc })?;
+        Ok(Bearing3D::from_peak(tag.disk.center, dir, power))
     }
 
     /// End-to-end 3D localization.
@@ -383,35 +397,17 @@ impl LocalizationServer {
                 ) => continue,
                 Err(e) => return Err(e),
             };
-            let spec =
-                spectrum_3d_for_disk(&set, &tag.disk, self.config.profile, &self.config.spectrum);
-            let (dir, power) = match self.config.profile {
-                ProfileKind::Hybrid => {
-                    let (coarse, power) = spec
-                        .peak()
-                        .ok_or(ServerError::EmptySpectrum { epc: tag.epc })?;
-                    let q = spectrum_3d_for_disk(
-                        &set,
-                        &tag.disk,
-                        ProfileKind::Traditional,
-                        &self.config.spectrum,
-                    );
-                    q.constrained_peak(coarse, 10f64.to_radians())
-                        .map(|(d, _)| (d, power))
-                        .unwrap_or((coarse, power))
-                }
-                _ => spec
-                    .peak()
-                    .ok_or(ServerError::EmptySpectrum { epc: tag.epc })?,
-            };
-            let mut bearing = match tag.disk.plane {
-                DiskPlane::Horizontal => AmbiguousBearing::horizontal(tag.disk.center, dir),
-                DiskPlane::Vertical { normal_azimuth } => {
-                    AmbiguousBearing::vertical(tag.disk.center, dir, normal_azimuth)
-                }
-            };
-            bearing.weight = power.max(0.0);
-            bearings.push(bearing);
+            let (dir, power) = self
+                .engine
+                .peak_3d_for_disk(
+                    &set,
+                    &tag.disk,
+                    self.config.profile,
+                    &self.config.spectrum,
+                    &self.config.engine,
+                )
+                .ok_or(ServerError::EmptySpectrum { epc: tag.epc })?;
+            bearings.push(AmbiguousBearing::from_disk_peak(&tag.disk, dir, power));
         }
         if bearings.len() < 2 {
             return Err(ServerError::NotEnoughBearings {

@@ -21,6 +21,8 @@
 //! steering term by `cos γ`; the resulting profile has two symmetric peaks
 //! at `±γ` (the paper's z-ambiguity).
 
+pub mod engine;
+
 use crate::snapshot::SnapshotSet;
 use crate::spinning::DiskConfig;
 use serde::{Deserialize, Serialize};
@@ -398,28 +400,24 @@ fn prepare(set: &SnapshotSet, radius: f64, cfg: &SpectrumConfig) -> Prepared {
     }
 }
 
-/// Accumulate one candidate direction's power.
+/// Power of one candidate direction from its per-snapshot steering terms.
 ///
-/// `cos_gamma` is 1.0 in 2D. For [`ProfileKind::Traditional`] this is
-/// `|Σ e^{j(θᵢ + sᵢ)}| / n` (the reference factor `e^{−jθ₁}` of Eqn 7 has
-/// unit magnitude, so it never affects the spectrum). For
-/// [`ProfileKind::Enhanced`] the likelihood weights *do* depend on the
-/// reference, so the per-reference spectra are averaged.
+/// This is the profile kernel shared by the reference evaluators below and
+/// by the [`engine`] fast path (which fills `steer` from cached tables).
+/// For [`ProfileKind::Traditional`] this is `|Σ e^{j(θᵢ + sᵢ)}| / n` (the
+/// reference factor `e^{−jθ₁}` of Eqn 7 has unit magnitude, so it never
+/// affects the spectrum). For [`ProfileKind::Enhanced`] the likelihood
+/// weights *do* depend on the reference, so the per-reference spectra are
+/// averaged.
 #[allow(clippy::needless_range_loop)] // parallel indexing over phase/phasor/steer
-fn accumulate(
+fn profile_power(
     p: &Prepared,
-    phi: f64,
-    cos_gamma: f64,
+    steer: &[f64],
     kind: ProfileKind,
     sigma: f64,
     inflation: f64,
 ) -> f64 {
     let n = p.beta.len();
-    // Steering terms for this candidate direction.
-    let mut steer = Vec::with_capacity(n);
-    for i in 0..n {
-        steer.push(p.k_r[i] * (p.beta[i] - phi).cos() * cos_gamma);
-    }
     match kind {
         ProfileKind::Traditional => {
             let mut acc = Complex::ZERO;
@@ -452,6 +450,26 @@ fn accumulate(
             total / p.references.len() as f64
         }
     }
+}
+
+/// Accumulate one candidate direction's power (Eqn 10 steering).
+///
+/// `cos_gamma` is 1.0 in 2D.
+fn accumulate(
+    p: &Prepared,
+    phi: f64,
+    cos_gamma: f64,
+    kind: ProfileKind,
+    sigma: f64,
+    inflation: f64,
+) -> f64 {
+    let n = p.beta.len();
+    // Steering terms for this candidate direction.
+    let mut steer = Vec::with_capacity(n);
+    for i in 0..n {
+        steer.push(p.k_r[i] * (p.beta[i] - phi).cos() * cos_gamma);
+    }
+    profile_power(p, &steer, kind, sigma, inflation)
 }
 
 /// Compute a 2D angle spectrum.
@@ -536,7 +554,7 @@ pub fn spectrum_3d(
 /// so the steering term is `sᵢ = (4πr/λᵢ)·(u(βᵢ)·d̂)`. For a horizontal
 /// disk `u(β)·d̂ = cos(β−φ)·cos γ`, recovering the paper's Eqn 10 exactly
 /// (verified in tests).
-#[allow(clippy::needless_range_loop)] // parallel indexing over phase/phasor/steer/radials
+#[allow(clippy::needless_range_loop)] // parallel indexing over k_r/radials
 fn accumulate_oriented(
     p: &Prepared,
     radials: &[tagspin_geom::Vec3],
@@ -550,35 +568,7 @@ fn accumulate_oriented(
     for i in 0..n {
         steer.push(p.k_r[i] * radials[i].dot(dir));
     }
-    match kind {
-        ProfileKind::Traditional => {
-            let mut acc = Complex::ZERO;
-            for i in 0..n {
-                acc += p.phasor[i] * Complex::cis(steer[i]);
-            }
-            // lint:allow(lossy-cast) reference count is < 2^32, exact in f64
-            acc.abs() / n as f64
-        }
-        ProfileKind::Enhanced | ProfileKind::Hybrid => {
-            let sig = std::f64::consts::SQRT_2 * sigma * inflation;
-            let norm = 1.0 / (sig * TAU.sqrt() / std::f64::consts::SQRT_2);
-            let mut total = 0.0;
-            for &r in &p.references {
-                let mut acc = Complex::ZERO;
-                for i in 0..n {
-                    let c_i = steer[r] - steer[i];
-                    let dev = angle::wrap_pi((p.phase[i] - p.phase[r]) - c_i);
-                    let z = dev / sig;
-                    let w = norm * (-0.5 * z * z).exp();
-                    acc += w * (p.phasor[i] * Complex::cis(steer[i]));
-                }
-                // lint:allow(lossy-cast) reference count is < 2^32, exact in f64
-                total += acc.abs() / n as f64;
-            }
-            // lint:allow(lossy-cast) reference count is < 2^32, exact in f64
-            total / p.references.len() as f64
-        }
-    }
+    profile_power(p, &steer, kind, sigma, inflation)
 }
 
 /// Compute a 3D angle spectrum for a disk of *any* orientation (the

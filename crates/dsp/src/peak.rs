@@ -66,8 +66,10 @@ pub fn refine_parabolic(values: &[f64], grid_start: f64, grid_step: f64) -> Opti
         });
     }
     let (ym, y0, yp) = (values[i - 1], values[i], values[i + 1]);
+    // A non-finite neighbor (e.g. the −∞ mask of a constrained window)
+    // would poison the parabola: fall back to the grid point.
     let denom = ym - 2.0 * y0 + yp;
-    if !denom.is_finite() || denom.abs() < 1e-300 {
+    if !ym.is_finite() || !yp.is_finite() || !denom.is_finite() || denom.abs() < 1e-300 {
         return Some(PeakEstimate {
             index: i,
             position: x_i,
@@ -102,8 +104,11 @@ pub fn refine_circular(values: &[f64], period: f64) -> Option<PeakEstimate> {
     let ym = values[(i + n - 1) % n];
     let y0 = values[i];
     let yp = values[(i + 1) % n];
+    // A non-finite neighbor (e.g. the −∞ mask of a constrained window)
+    // would poison the parabola: keep the grid point unrefined.
     let denom = ym - 2.0 * y0 + yp;
-    let delta = if !denom.is_finite() || denom.abs() < 1e-300 {
+    let delta = if !ym.is_finite() || !yp.is_finite() || !denom.is_finite() || denom.abs() < 1e-300
+    {
         0.0
     } else {
         (0.5 * (ym - yp) / denom).clamp(-0.5, 0.5)
@@ -235,6 +240,29 @@ mod tests {
             p.position,
             true_pos
         );
+    }
+
+    #[test]
+    fn parabolic_infinite_neighbor_falls_back_to_grid_point() {
+        // A −∞ neighbor (the mask of a constrained window) must not poison
+        // the parabola into NaN — the grid point is returned unrefined.
+        let ys = [f64::NEG_INFINITY, 2.0, 1.0];
+        let p = refine_parabolic(&ys, 0.0, 1.0).unwrap();
+        assert_eq!(p.index, 1);
+        assert_eq!(p.position, 1.0);
+        assert_eq!(p.value, 2.0);
+        assert!(p.position.is_finite());
+    }
+
+    #[test]
+    fn circular_infinite_neighbor_keeps_grid_point() {
+        let mut ys = vec![f64::NEG_INFINITY; 8];
+        ys[3] = 2.0;
+        ys[4] = 1.0;
+        let p = refine_circular(&ys, TAU).unwrap();
+        assert_eq!(p.index, 3);
+        assert!(p.position.is_finite());
+        assert!((p.position - 3.0 * TAU / 8.0).abs() < 1e-12);
     }
 
     #[test]

@@ -18,7 +18,8 @@ use tagspin_baselines::antloc::range_from_threshold;
 use tagspin_baselines::{AntLoc, BackPos, Bounds2D, Landmarc, PinIt, ReferenceProfile};
 use tagspin_core::calib::diversity::theoretical_phase_exact;
 use tagspin_core::snapshot::{Snapshot, SnapshotSet};
-use tagspin_core::spectrum::{spectrum_2d, ProfileKind, SpectrumConfig};
+use tagspin_core::spectrum::engine::SpectrumEngine;
+use tagspin_core::spectrum::{ProfileKind, SpectrumConfig};
 use tagspin_core::spinning::SpinningTag;
 use tagspin_epc::inventory::{run_inventory, ReaderConfig, StaticTag, Transponder};
 use tagspin_geom::{angle, Vec2, Vec3};
@@ -305,7 +306,16 @@ pub fn pinit_trial(scenario: &Scenario, seed: u64) -> Result<TrialError, Adapter
         azimuth_steps: 180,
         ..scenario.spectrum
     };
-    let target = spectrum_2d(&set, disk.radius, ProfileKind::Traditional, &cfg);
+    // One engine per trial: the steering table for this (disk, grid) pair is
+    // built once and cache-hit across the target and all reference profiles.
+    let engine = SpectrumEngine::new(&scenario.engine);
+    let target = engine.spectrum_2d(
+        &set,
+        disk.radius,
+        ProfileKind::Traditional,
+        &cfg,
+        &scenario.engine,
+    );
 
     // Reference profiles: noise-free synthetic apertures at candidate
     // positions on a 0.5 m lattice (same read times as the observation).
@@ -324,7 +334,13 @@ pub fn pinit_trial(scenario: &Scenario, seed: u64) -> Result<TrialError, Adapter
                     })
                     .collect(),
             );
-            let profile = spectrum_2d(&synth, disk.radius, ProfileKind::Traditional, &cfg);
+            let profile = engine.spectrum_2d(
+                &synth,
+                disk.radius,
+                ProfileKind::Traditional,
+                &cfg,
+                &scenario.engine,
+            );
             references.push(ReferenceProfile {
                 position: cand,
                 profile: profile.values().to_vec(),

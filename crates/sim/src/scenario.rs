@@ -5,6 +5,7 @@
 //! same plane (laser-leveled); 3D trials keep the disks on the desktop
 //! (z = 91.4 cm — a standard desk) and let the reader sit on other planes.
 
+use tagspin_core::spectrum::engine::SpectrumEngineConfig;
 use tagspin_core::spectrum::{ProfileKind, SpectrumConfig};
 use tagspin_core::spinning::DiskConfig;
 use tagspin_epc::inventory::HopSchedule;
@@ -34,6 +35,9 @@ pub struct Scenario {
     pub orientation_calibration: bool,
     /// Spectrum settings (tests shrink the grids).
     pub spectrum: SpectrumConfig,
+    /// Spectrum-engine settings (`exhaustive: true` forces the reference
+    /// full-grid path).
+    pub engine: SpectrumEngineConfig,
     /// Which power profile drives bearings (default: hybrid — enhanced
     /// detection, traditional refinement).
     pub profile: ProfileKind,
@@ -65,6 +69,7 @@ impl Scenario {
             observation_s,
             orientation_calibration: true,
             spectrum: SpectrumConfig::default(),
+            engine: SpectrumEngineConfig::default(),
             profile: ProfileKind::Hybrid,
             z_feasible: (-0.5, 0.5),
             decimate: 1,
@@ -93,6 +98,7 @@ impl Scenario {
                 polar_steps: 61,
                 ..SpectrumConfig::default()
             },
+            engine: SpectrumEngineConfig::default(),
             profile: ProfileKind::Hybrid,
             // Readers are mounted above the desk plane in the deployment;
             // the mirror candidate below it is dead space.

@@ -187,4 +187,52 @@ mod tests {
         assert!(b.stats.is_none());
         assert_eq!(b.success_rate(), 0.0);
     }
+
+    /// A scenario whose reader is far outside read range: every trial fails.
+    fn unreachable_scenario(i: usize, base_seed: u64) -> (Scenario, u64) {
+        let (mut s, seed) = quick_scenario(i, base_seed);
+        s.reader_truth = tagspin_geom::Pose::facing_toward(
+            tagspin_geom::Vec3::new(80.0, 80.0, 0.0),
+            tagspin_geom::Vec3::ZERO,
+        );
+        (s, seed)
+    }
+
+    #[test]
+    fn failed_trials_land_in_failures_with_their_seeds() {
+        let batch = run_batch(3, Dims::Two, |i| unreachable_scenario(i, 400));
+        assert_eq!(batch.attempted, 3);
+        assert_eq!(batch.failures.len(), 3, "all trials must fail");
+        assert!(batch.stats.is_none(), "no successes ⇒ no stats");
+        assert_eq!(batch.success_rate(), 0.0);
+        // Every seed handed out by `make` must come back attached to its
+        // failure, so a sweep consumer can re-run exactly the broken trial.
+        let mut seeds: Vec<u64> = batch.failures.iter().map(|(s, _)| *s).collect();
+        seeds.sort_unstable();
+        assert_eq!(seeds, vec![400, 401, 402]);
+        for (_, f) in &batch.failures {
+            assert!(
+                matches!(f, TrialFailure::Server(_) | TrialFailure::Calibration(_)),
+                "unexpected failure kind: {f:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn mixed_batch_accounts_for_both_outcomes() {
+        // Trials 0 and 2 succeed, trial 1 is unreachable.
+        let batch = run_batch(3, Dims::Two, |i| {
+            if i == 1 {
+                unreachable_scenario(i, 500)
+            } else {
+                quick_scenario(i, 500)
+            }
+        });
+        assert_eq!(batch.attempted, 3);
+        assert_eq!(batch.failures.len(), 1, "failures: {:?}", batch.failures);
+        assert_eq!(batch.failures[0].0, 501, "failure carries its seed");
+        assert!((batch.success_rate() - 2.0 / 3.0).abs() < 1e-12);
+        let stats = batch.stats.expect("two successes");
+        assert_eq!(stats.combined.count, 2);
+    }
 }

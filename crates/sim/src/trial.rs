@@ -86,6 +86,7 @@ pub struct TrialSetup {
 pub fn setup_trial(scenario: &Scenario, rng: &mut StdRng) -> Result<TrialSetup, TrialFailure> {
     let mut server = LocalizationServer::new(PipelineConfig {
         spectrum: scenario.spectrum,
+        engine: scenario.engine,
         orientation_calibration: scenario.orientation_calibration,
         profile: scenario.profile,
         ..PipelineConfig::default()

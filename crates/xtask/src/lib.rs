@@ -136,6 +136,7 @@ impl FileKind {
 /// precision loss would corrupt results rather than crash.
 const HOT_PATHS: &[&str] = &[
     "crates/core/src/spectrum.rs",
+    "crates/core/src/spectrum/engine.rs",
     "crates/core/src/locate/plane.rs",
     "crates/core/src/locate/space.rs",
     "crates/dsp/src/fourier.rs",

@@ -5,9 +5,11 @@ use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!("usage: cargo xtask lint [--root <dir>]");
+    eprintln!("       cargo xtask golden [--bless]");
     eprintln!();
     eprintln!("commands:");
     eprintln!("  lint    run the domain-aware static-analysis gate (see docs/LINTS.md)");
+    eprintln!("  golden  run the golden-trace suite; --bless regenerates tests/golden/");
     ExitCode::from(2)
 }
 
@@ -21,14 +23,52 @@ fn workspace_root() -> PathBuf {
         .unwrap_or(manifest)
 }
 
+/// Run (or re-bless) the golden-trace fixtures by driving the root
+/// package's `golden_traces` integration test with `GOLDEN_BLESS` set.
+fn golden(mut args: impl Iterator<Item = String>) -> ExitCode {
+    let mut bless = false;
+    for arg in args.by_ref() {
+        match arg.as_str() {
+            "--bless" => bless = true,
+            other => {
+                eprintln!("unknown argument `{other}`");
+                return usage();
+            }
+        }
+    }
+    let mut cmd = std::process::Command::new(env!("CARGO"));
+    cmd.args(["test", "-p", "tagspin", "--test", "golden_traces"])
+        .current_dir(workspace_root())
+        .env("GOLDEN_BLESS", if bless { "1" } else { "0" });
+    match cmd.status() {
+        Ok(status) if status.success() => {
+            if bless {
+                println!("xtask golden: fixtures regenerated under tests/golden/");
+            } else {
+                println!("xtask golden: fixtures match");
+            }
+            ExitCode::SUCCESS
+        }
+        Ok(_) => ExitCode::FAILURE,
+        Err(e) => {
+            eprintln!("xtask golden: failed to spawn cargo: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
     let Some(cmd) = args.next() else {
         return usage();
     };
-    if cmd != "lint" {
-        eprintln!("unknown command `{cmd}`");
-        return usage();
+    match cmd.as_str() {
+        "lint" => {}
+        "golden" => return golden(args),
+        other => {
+            eprintln!("unknown command `{other}`");
+            return usage();
+        }
     }
 
     let mut root = workspace_root();
