@@ -9,6 +9,8 @@
 //! reproduce --list        # show the registry
 //! reproduce --bench-spectrum [path]  # only the spectrum-engine bench,
 //!                                    # JSON to path (default BENCH_spectrum.json)
+//! reproduce --bench-ingest [path]    # only the streaming-ingest bench,
+//!                                    # JSON to path (default BENCH_ingest.json)
 //! ```
 //!
 //! Output goes to stdout in the `Report` text format; EXPERIMENTS.md records
@@ -33,6 +35,24 @@ fn main() {
         println!("spectrum engine (coarse-to-fine vs exhaustive):");
         println!("{}", tagspin_bench::spectrum_bench::report(&results));
         if let Err(e) = tagspin_bench::spectrum_bench::write_json(&path, &results) {
+            eprintln!("error: could not write {}: {e}", path.display());
+            std::process::exit(1);
+        }
+        println!("wrote {}", path.display());
+        return;
+    }
+    if let Some(i) = args.iter().position(|a| a == "--bench-ingest") {
+        let path = args
+            .get(i + 1)
+            .filter(|a| !a.starts_with("--"))
+            .map_or_else(
+                || std::path::PathBuf::from("BENCH_ingest.json"),
+                std::path::PathBuf::from,
+            );
+        let results = tagspin_bench::ingest_bench::run(quick);
+        println!("session ingest (throughput and fix refresh vs window):");
+        println!("{}", tagspin_bench::ingest_bench::report(&results));
+        if let Err(e) = tagspin_bench::ingest_bench::write_json(&path, &results) {
             eprintln!("error: could not write {}: {e}", path.display());
             std::process::exit(1);
         }

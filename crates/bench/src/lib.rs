@@ -61,6 +61,7 @@ pub fn bench_inventory(rotations: f64, seed: u64) -> (InventoryLog, DiskConfig) 
     (log, disk)
 }
 
+pub mod ingest_bench;
 pub mod spectrum_bench;
 
 #[cfg(test)]

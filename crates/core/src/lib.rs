@@ -64,7 +64,9 @@
 pub mod calib;
 pub mod diagnostics;
 pub mod locate;
+pub mod registry;
 pub mod server;
+pub mod session;
 pub mod snapshot;
 pub mod spectrum;
 pub mod spinning;
@@ -75,7 +77,11 @@ pub mod prelude {
     pub use crate::diagnostics::CaptureQuality;
     pub use crate::locate::plane::{Bearing2D, Fix2D};
     pub use crate::locate::space::{Bearing3D, Fix3D};
+    pub use crate::registry::{RegisteredTag, TagRegistry};
     pub use crate::server::{LocalizationServer, PipelineConfig, ServerError};
+    pub use crate::session::stats::{SessionStats, TagStreamStats};
+    pub use crate::session::window::WindowConfig;
+    pub use crate::session::{IngestOutcome, ReaderSession, SessionManager};
     pub use crate::snapshot::{Snapshot, SnapshotSet};
     pub use crate::spectrum::engine::{SpectrumEngine, SpectrumEngineConfig};
     pub use crate::spectrum::{ProfileKind, SpectrumConfig};

@@ -1,0 +1,190 @@
+//! The spinning-tag registry shared by every pipeline front-end.
+//!
+//! The paper's server "stores the spinning tags' locations, moving speeds
+//! and other system settings"; [`TagRegistry`] is that store. It keeps the
+//! registered tags in registration order (bearing fusion is order-sensitive
+//! in floating point, so every consumer iterates the same way) and maintains
+//! an EPC-keyed index so lookups are O(1) even with many registered tags.
+//!
+//! One registry instance is shared — behind an [`std::sync::Arc`] — by the
+//! batch [`crate::server::LocalizationServer`], every streaming
+//! [`crate::session::ReaderSession`], and the multi-reader
+//! [`crate::session::SessionManager`].
+
+use crate::calib::orientation::OrientationCalibration;
+use crate::server::ServerError;
+use crate::spinning::DiskConfig;
+use std::collections::HashMap;
+
+/// A spinning tag known to the server.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegisteredTag {
+    /// The tag's EPC.
+    pub epc: u128,
+    /// Disk geometry and motion.
+    pub disk: DiskConfig,
+    /// Orientation calibration from a center-spin run, if performed.
+    pub orientation: Option<OrientationCalibration>,
+}
+
+/// An ordered, EPC-indexed collection of [`RegisteredTag`]s.
+#[derive(Debug, Clone, Default)]
+pub struct TagRegistry {
+    /// Registration order — the order every localization front-end iterates.
+    tags: Vec<RegisteredTag>,
+    /// EPC → position in `tags`.
+    index: HashMap<u128, usize>,
+}
+
+/// Equality is over the registered tags only; the index is derived state.
+impl PartialEq for TagRegistry {
+    fn eq(&self, other: &Self) -> bool {
+        self.tags == other.tags
+    }
+}
+
+impl TagRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        TagRegistry::default()
+    }
+
+    /// Register a spinning tag.
+    ///
+    /// # Errors
+    ///
+    /// [`ServerError::DuplicateTag`] when the EPC is already registered.
+    pub fn register(&mut self, epc: u128, disk: DiskConfig) -> Result<(), ServerError> {
+        if self.index.contains_key(&epc) {
+            return Err(ServerError::DuplicateTag(epc));
+        }
+        self.index.insert(epc, self.tags.len());
+        self.tags.push(RegisteredTag {
+            epc,
+            disk,
+            orientation: None,
+        });
+        Ok(())
+    }
+
+    /// Attach an orientation calibration (Step 1 output) to a tag.
+    ///
+    /// # Errors
+    ///
+    /// [`ServerError::UnknownTag`] when the EPC is not registered.
+    pub fn set_orientation_calibration(
+        &mut self,
+        epc: u128,
+        cal: OrientationCalibration,
+    ) -> Result<(), ServerError> {
+        let slot = *self.index.get(&epc).ok_or(ServerError::UnknownTag(epc))?;
+        if let Some(tag) = self.tags.get_mut(slot) {
+            tag.orientation = Some(cal);
+        }
+        Ok(())
+    }
+
+    /// The registered tag with this EPC, if any — O(1).
+    pub fn get(&self, epc: u128) -> Option<&RegisteredTag> {
+        self.index.get(&epc).and_then(|&i| self.tags.get(i))
+    }
+
+    /// Whether this EPC is registered — O(1).
+    pub fn contains(&self, epc: u128) -> bool {
+        self.index.contains_key(&epc)
+    }
+
+    /// The registered tags, in registration order.
+    pub fn tags(&self) -> &[RegisteredTag] {
+        &self.tags
+    }
+
+    /// Number of registered tags.
+    pub fn len(&self) -> usize {
+        self.tags.len()
+    }
+
+    /// True when no tag is registered.
+    pub fn is_empty(&self) -> bool {
+        self.tags.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tagspin_geom::Vec3;
+
+    #[test]
+    fn register_lookup_and_order() {
+        let mut reg = TagRegistry::new();
+        for epc in [7u128, 3, 11] {
+            reg.register(epc, DiskConfig::paper_default(Vec3::ZERO))
+                .unwrap();
+        }
+        assert_eq!(reg.len(), 3);
+        assert!(!reg.is_empty());
+        // Registration order preserved, not EPC order.
+        let order: Vec<u128> = reg.tags().iter().map(|t| t.epc).collect();
+        assert_eq!(order, vec![7, 3, 11]);
+        assert!(reg.contains(3));
+        assert!(!reg.contains(4));
+        assert_eq!(reg.get(11).unwrap().epc, 11);
+        assert!(reg.get(99).is_none());
+    }
+
+    #[test]
+    fn duplicate_rejected() {
+        let mut reg = TagRegistry::new();
+        reg.register(1, DiskConfig::paper_default(Vec3::ZERO))
+            .unwrap();
+        assert_eq!(
+            reg.register(1, DiskConfig::paper_default(Vec3::ZERO)),
+            Err(ServerError::DuplicateTag(1))
+        );
+        assert_eq!(reg.len(), 1);
+    }
+
+    #[test]
+    fn calibration_attaches_to_known_tags_only() {
+        use crate::snapshot::{Snapshot, SnapshotSet};
+        let disk = DiskConfig::paper_default(Vec3::ZERO);
+        let set = SnapshotSet::from_snapshots(
+            (0..100)
+                .map(|i| {
+                    let t = i as f64 * disk.period_s() * 1.2 / 100.0;
+                    Snapshot {
+                        t_s: t,
+                        phase: 1.0,
+                        disk_angle: disk.disk_angle(t),
+                        lambda: 0.325,
+                        rssi_dbm: -60.0,
+                    }
+                })
+                .collect(),
+        );
+        let cal = OrientationCalibration::fit(&set).unwrap();
+        let mut reg = TagRegistry::new();
+        reg.register(5, disk).unwrap();
+        assert!(reg.set_orientation_calibration(5, cal.clone()).is_ok());
+        assert!(reg.get(5).unwrap().orientation.is_some());
+        assert_eq!(
+            reg.set_orientation_calibration(6, cal),
+            Err(ServerError::UnknownTag(6))
+        );
+    }
+
+    #[test]
+    fn equality_ignores_index_layout() {
+        let mut a = TagRegistry::new();
+        let mut b = TagRegistry::new();
+        a.register(1, DiskConfig::paper_default(Vec3::ZERO))
+            .unwrap();
+        b.register(1, DiskConfig::paper_default(Vec3::ZERO))
+            .unwrap();
+        assert_eq!(a, b);
+        b.register(2, DiskConfig::paper_default(Vec3::ZERO))
+            .unwrap();
+        assert_ne!(a, b);
+    }
+}

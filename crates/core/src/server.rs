@@ -4,8 +4,8 @@
 //! infrastructure also includes a central localization server which stores
 //! the spinning tags' locations, moving speeds and other system settings."
 //!
-//! [`LocalizationServer`] is that component: a registry of spinning tags
-//! (disk geometry + per-tag orientation calibration) plus the pipeline
+//! [`LocalizationServer`] is that component: a [`TagRegistry`] of spinning
+//! tags (disk geometry + per-tag orientation calibration) plus the pipeline
 //! configuration, with end-to-end entry points that take a raw
 //! [`InventoryLog`] and return a reader fix:
 //!
@@ -13,29 +13,31 @@
 //! 2. apply the orientation calibration (Section III),
 //! 3. compute the angle spectrum (Section IV),
 //! 4. intersect the bearings (Section V).
+//!
+//! The batch `locate_*` entry points are thin wrappers over a one-shot
+//! [`ReaderSession`] with an unbounded window: they ingest the log
+//! report-by-report and query the fix once, taking exactly the code path a
+//! live stream takes. [`LocalizationServer::session`] hands out long-lived
+//! streaming sessions sharing this server's registry and steering-table
+//! cache; [`LocalizationServer::session_manager`] does the same for many
+//! antennas at once.
 
 use crate::calib::orientation::OrientationCalibration;
-use crate::locate::aided::{locate_3d_resolved, AmbiguousBearing, ResolvedFix};
-use crate::locate::plane::{locate_2d, Bearing2D, Fix2D};
-use crate::locate::space::{locate_3d, Bearing3D, Fix3D};
+use crate::locate::aided::ResolvedFix;
+use crate::locate::plane::{Bearing2D, Fix2D};
+use crate::locate::space::{Bearing3D, Fix3D};
 use crate::locate::LocateError;
+use crate::registry::TagRegistry;
+use crate::session::{pipeline, window::WindowConfig, ReaderSession, SessionManager};
 use crate::snapshot::{SnapshotError, SnapshotSet};
 use crate::spectrum::engine::{SpectrumEngine, SpectrumEngineConfig};
 use crate::spectrum::{ProfileKind, Spectrum2D, SpectrumConfig};
 use crate::spinning::DiskConfig;
 use std::fmt;
+use std::sync::Arc;
 use tagspin_epc::InventoryLog;
 
-/// A spinning tag known to the server.
-#[derive(Debug, Clone, PartialEq)]
-pub struct RegisteredTag {
-    /// The tag's EPC.
-    pub epc: u128,
-    /// Disk geometry and motion.
-    pub disk: DiskConfig,
-    /// Orientation calibration from a center-spin run, if performed.
-    pub orientation: Option<OrientationCalibration>,
-}
+pub use crate::registry::RegisteredTag;
 
 /// Pipeline configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -131,7 +133,7 @@ impl From<LocateError> for ServerError {
 /// The central localization server.
 #[derive(Debug, Clone, Default)]
 pub struct LocalizationServer {
-    tags: Vec<RegisteredTag>,
+    registry: Arc<TagRegistry>,
     /// Pipeline settings (public: experiments flip profile/calibration).
     pub config: PipelineConfig,
     /// Spectrum evaluator; clones share its steering-table cache.
@@ -142,7 +144,7 @@ pub struct LocalizationServer {
 /// cache is a performance artifact, not semantic state.
 impl PartialEq for LocalizationServer {
     fn eq(&self, other: &Self) -> bool {
-        self.tags == other.tags && self.config == other.config
+        self.registry == other.registry && self.config == other.config
     }
 }
 
@@ -150,7 +152,7 @@ impl LocalizationServer {
     /// An empty server with the given configuration.
     pub fn new(config: PipelineConfig) -> Self {
         LocalizationServer {
-            tags: Vec::new(),
+            registry: Arc::new(TagRegistry::new()),
             config,
             engine: SpectrumEngine::new(&config.engine),
         }
@@ -167,15 +169,7 @@ impl LocalizationServer {
     ///
     /// [`ServerError::DuplicateTag`] when the EPC is already registered.
     pub fn register(&mut self, epc: u128, disk: DiskConfig) -> Result<(), ServerError> {
-        if self.tags.iter().any(|t| t.epc == epc) {
-            return Err(ServerError::DuplicateTag(epc));
-        }
-        self.tags.push(RegisteredTag {
-            epc,
-            disk,
-            orientation: None,
-        });
-        Ok(())
+        Arc::make_mut(&mut self.registry).register(epc, disk)
     }
 
     /// Attach an orientation calibration (Step 1 output) to a tag.
@@ -188,18 +182,42 @@ impl LocalizationServer {
         epc: u128,
         cal: OrientationCalibration,
     ) -> Result<(), ServerError> {
-        let tag = self
-            .tags
-            .iter_mut()
-            .find(|t| t.epc == epc)
-            .ok_or(ServerError::UnknownTag(epc))?;
-        tag.orientation = Some(cal);
-        Ok(())
+        Arc::make_mut(&mut self.registry).set_orientation_calibration(epc, cal)
     }
 
-    /// The registered tags.
+    /// The registered tags, in registration order.
     pub fn tags(&self) -> &[RegisteredTag] {
-        &self.tags
+        self.registry.tags()
+    }
+
+    /// The tag registry (EPC-indexed lookups).
+    pub fn registry(&self) -> &TagRegistry {
+        &self.registry
+    }
+
+    /// A streaming session for one reader antenna, sharing this server's
+    /// registry and steering-table cache. With
+    /// [`WindowConfig::unbounded`], feeding the session a log
+    /// report-by-report reproduces the batch `locate_*` results
+    /// bit-for-bit.
+    pub fn session(&self, window: WindowConfig) -> ReaderSession {
+        ReaderSession::with_engine(
+            Arc::clone(&self.registry),
+            self.engine.clone(),
+            self.config,
+            window,
+        )
+    }
+
+    /// A multi-antenna session manager sharing this server's registry and
+    /// steering-table cache.
+    pub fn session_manager(&self, window: WindowConfig) -> SessionManager {
+        SessionManager::with_shared(
+            Arc::clone(&self.registry),
+            self.engine.clone(),
+            self.config,
+            window,
+        )
     }
 
     /// Extract and calibrate the snapshots of one registered tag.
@@ -213,19 +231,7 @@ impl LocalizationServer {
         tag: &RegisteredTag,
     ) -> Result<SnapshotSet, ServerError> {
         let set = SnapshotSet::from_log(log, tag.epc, &tag.disk).map_err(ServerError::Snapshot)?;
-        if set.len() < self.config.min_snapshots {
-            return Err(ServerError::TooFewSnapshots {
-                epc: tag.epc,
-                got: set.len(),
-                need: self.config.min_snapshots,
-            });
-        }
-        Ok(
-            match (&tag.orientation, self.config.orientation_calibration) {
-                (Some(cal), true) => cal.apply(&set),
-                _ => set,
-            },
-        )
+        Ok(pipeline::checked_calibrated(tag, &set, &self.config)?.into_owned())
     }
 
     /// Compute the 2D bearing (and its full spectrum) for one registered
@@ -243,12 +249,9 @@ impl LocalizationServer {
         log: &InventoryLog,
         epc: u128,
     ) -> Result<(Bearing2D, Spectrum2D), ServerError> {
-        let tag = self
-            .tags
-            .iter()
-            .find(|t| t.epc == epc)
-            .ok_or(ServerError::UnknownTag(epc))?;
-        let set = self.calibrated_snapshots(log, tag)?;
+        let tag = self.lookup(epc)?;
+        let set = SnapshotSet::from_log(log, tag.epc, &tag.disk).map_err(ServerError::Snapshot)?;
+        let set = pipeline::checked_calibrated(tag, &set, &self.config)?;
         let spec = self.engine.spectrum_2d(
             &set,
             tag.disk.radius,
@@ -277,51 +280,9 @@ impl LocalizationServer {
     ///
     /// Same as [`LocalizationServer::bearing_2d`].
     pub fn bearing_2d_peak(&self, log: &InventoryLog, epc: u128) -> Result<Bearing2D, ServerError> {
-        let tag = self
-            .tags
-            .iter()
-            .find(|t| t.epc == epc)
-            .ok_or(ServerError::UnknownTag(epc))?;
-        let set = self.calibrated_snapshots(log, tag)?;
-        let peak = self
-            .engine
-            .peak_2d(
-                &set,
-                tag.disk.radius,
-                self.config.profile,
-                &self.config.spectrum,
-                &self.config.engine,
-            )
-            .ok_or(ServerError::EmptySpectrum { epc: tag.epc })?;
-        Ok(Bearing2D::from_peak(tag.disk.center.xy(), &peak))
-    }
-
-    /// End-to-end 2D localization of the reader that produced `log`.
-    ///
-    /// Tags missing from the log (or with too few reads) are skipped; at
-    /// least two usable bearings are required.
-    ///
-    /// # Errors
-    ///
-    /// [`ServerError::NotEnoughBearings`] / [`ServerError::Locate`].
-    pub fn locate_2d(&self, log: &InventoryLog) -> Result<Fix2D, ServerError> {
-        let mut bearings = Vec::new();
-        for tag in &self.tags {
-            match self.bearing_2d_peak(log, tag.epc) {
-                Ok(b) => bearings.push(b),
-                Err(
-                    ServerError::Snapshot(SnapshotError::NoReads)
-                    | ServerError::TooFewSnapshots { .. },
-                ) => continue,
-                Err(e) => return Err(e),
-            }
-        }
-        if bearings.len() < 2 {
-            return Err(ServerError::NotEnoughBearings {
-                usable: bearings.len(),
-            });
-        }
-        Ok(locate_2d(&bearings)?)
+        let tag = self.lookup(epc)?;
+        let set = SnapshotSet::from_log(log, tag.epc, &tag.disk).map_err(ServerError::Snapshot)?;
+        pipeline::bearing_2d(&self.engine, tag, &self.config, &set)
     }
 
     /// Compute the 3D bearing for one registered tag.
@@ -330,23 +291,24 @@ impl LocalizationServer {
     ///
     /// Same as [`LocalizationServer::bearing_2d`].
     pub fn bearing_3d(&self, log: &InventoryLog, epc: u128) -> Result<Bearing3D, ServerError> {
-        let tag = self
-            .tags
-            .iter()
-            .find(|t| t.epc == epc)
-            .ok_or(ServerError::UnknownTag(epc))?;
-        let set = self.calibrated_snapshots(log, tag)?;
-        let (dir, power) = self
-            .engine
-            .peak_3d(
-                &set,
-                tag.disk.radius,
-                self.config.profile,
-                &self.config.spectrum,
-                &self.config.engine,
-            )
-            .ok_or(ServerError::EmptySpectrum { epc: tag.epc })?;
-        Ok(Bearing3D::from_peak(tag.disk.center, dir, power))
+        let tag = self.lookup(epc)?;
+        let set = SnapshotSet::from_log(log, tag.epc, &tag.disk).map_err(ServerError::Snapshot)?;
+        pipeline::bearing_3d(&self.engine, tag, &self.config, &set)
+    }
+
+    /// End-to-end 2D localization of the reader that produced `log`.
+    ///
+    /// Tags with degenerate input — missing from the log, too few reads,
+    /// or an empty angle spectrum — are skipped; at least two usable
+    /// bearings are required.
+    ///
+    /// # Errors
+    ///
+    /// [`ServerError::NotEnoughBearings`] / [`ServerError::Locate`].
+    pub fn locate_2d(&self, log: &InventoryLog) -> Result<Fix2D, ServerError> {
+        let mut session = self.session(WindowConfig::unbounded());
+        session.ingest_log(log);
+        session.fix_2d()
     }
 
     /// End-to-end 3D localization.
@@ -355,66 +317,27 @@ impl LocalizationServer {
     ///
     /// Same as [`LocalizationServer::locate_2d`].
     pub fn locate_3d(&self, log: &InventoryLog) -> Result<Fix3D, ServerError> {
-        let mut bearings = Vec::new();
-        for tag in &self.tags {
-            match self.bearing_3d(log, tag.epc) {
-                Ok(b) => bearings.push(b),
-                Err(
-                    ServerError::Snapshot(SnapshotError::NoReads)
-                    | ServerError::TooFewSnapshots { .. },
-                ) => continue,
-                Err(e) => return Err(e),
-            }
-        }
-        if bearings.len() < 2 {
-            return Err(ServerError::NotEnoughBearings {
-                usable: bearings.len(),
-            });
-        }
-        Ok(locate_3d(&bearings)?)
+        let mut session = self.session(WindowConfig::unbounded());
+        session.ingest_log(log);
+        session.fix_3d()
     }
 
     /// Ambiguity-resolving 3D localization using each disk's *own*
     /// orientation (the paper's future-work vertical-disk aid).
     ///
     /// With at least one non-horizontal disk registered, the per-tag mirror
-    /// planes disagree and [`locate_3d_resolved`] selects the consistent
-    /// candidate combination — no dead-space prior required. With only
-    /// horizontal disks this still works but the returned fix's
+    /// planes disagree and the resolver selects the consistent candidate
+    /// combination — no dead-space prior required. With only horizontal
+    /// disks this still works but the returned fix's
     /// `runner_up_residual_m` will reveal the unresolved ±z ambiguity.
     ///
     /// # Errors
     ///
     /// Same as [`LocalizationServer::locate_3d`].
     pub fn locate_3d_aided(&self, log: &InventoryLog) -> Result<ResolvedFix, ServerError> {
-        let mut bearings = Vec::new();
-        for tag in &self.tags {
-            let set = match self.calibrated_snapshots(log, tag) {
-                Ok(set) => set,
-                Err(
-                    ServerError::Snapshot(SnapshotError::NoReads)
-                    | ServerError::TooFewSnapshots { .. },
-                ) => continue,
-                Err(e) => return Err(e),
-            };
-            let (dir, power) = self
-                .engine
-                .peak_3d_for_disk(
-                    &set,
-                    &tag.disk,
-                    self.config.profile,
-                    &self.config.spectrum,
-                    &self.config.engine,
-                )
-                .ok_or(ServerError::EmptySpectrum { epc: tag.epc })?;
-            bearings.push(AmbiguousBearing::from_disk_peak(&tag.disk, dir, power));
-        }
-        if bearings.len() < 2 {
-            return Err(ServerError::NotEnoughBearings {
-                usable: bearings.len(),
-            });
-        }
-        Ok(locate_3d_resolved(&bearings)?)
+        let mut session = self.session(WindowConfig::unbounded());
+        session.ingest_log(log);
+        session.fix_3d_aided()
     }
 
     /// Localize every reader antenna present in the log simultaneously
@@ -425,13 +348,17 @@ impl LocalizationServer {
     /// ordered by ascending antenna id so callers get a deterministic
     /// result regardless of report interleaving; antennas whose sub-log
     /// is unusable are reported with the error.
+    ///
+    /// Internally a one-shot [`SessionManager`]: reports are routed to
+    /// per-antenna sessions instead of cloning the log once per antenna.
     pub fn locate_all_2d(&self, log: &InventoryLog) -> Vec<(u8, Result<Fix2D, ServerError>)> {
-        let mut antennas = log.antennas();
-        antennas.sort_unstable();
-        antennas
-            .into_iter()
-            .map(|ant| (ant, self.locate_2d(&log.for_antenna(ant))))
-            .collect()
+        let mut manager = self.session_manager(WindowConfig::unbounded());
+        manager.ingest_log(log);
+        manager.fix_all_2d()
+    }
+
+    fn lookup(&self, epc: u128) -> Result<&RegisteredTag, ServerError> {
+        self.registry.get(epc).ok_or(ServerError::UnknownTag(epc))
     }
 }
 
@@ -509,6 +436,13 @@ mod tests {
     }
 
     #[test]
+    fn registry_lookup_is_exposed() {
+        let s = server_with_two_tags();
+        assert!(s.registry().contains(2));
+        assert!(!s.registry().contains(3));
+    }
+
+    #[test]
     fn error_display_nonempty() {
         for e in [
             ServerError::UnknownTag(1),
@@ -519,6 +453,7 @@ mod tests {
                 got: 2,
                 need: 30,
             },
+            ServerError::EmptySpectrum { epc: 1 },
             ServerError::Snapshot(SnapshotError::NoReads),
             ServerError::Locate(LocateError::TooFewBearings { got: 0 }),
         ] {

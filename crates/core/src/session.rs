@@ -1,0 +1,780 @@
+//! Streaming session pipeline: incremental snapshot ingestion and
+//! multi-reader session management.
+//!
+//! The batch entry points on [`crate::server::LocalizationServer`] take a
+//! complete [`InventoryLog`] and recompute every tag's spectrum from
+//! scratch. A live deployment does not have a complete log — it has an LLRP
+//! report stream, per reader antenna, that never ends. [`ReaderSession`] is
+//! the pipeline front-end for that shape of input:
+//!
+//! * reports are ingested one at a time ([`ReaderSession::ingest`]) into
+//!   per-tag incremental snapshot buffers,
+//! * each buffer is bounded by a sliding [`WindowConfig`] (time and/or
+//!   count), so memory stays flat over unbounded streams,
+//! * fixes ([`ReaderSession::fix_2d`] and friends) recompute bearings only
+//!   for tags whose buffers changed since the last query — unchanged tags
+//!   reuse their cached bearing,
+//! * [`stats::SessionStats`] / [`stats::TagStreamStats`] expose freshness
+//!   and throughput counters without touching the math.
+//!
+//! [`SessionManager`] multiplexes one session per reader antenna over a
+//! single shared [`TagRegistry`] and a single shared spectrum-engine
+//! steering cache, which is what the paper's "simultaneously locate even
+//! multiple target antennas" claim needs at scale.
+//!
+//! With an unbounded window, a session fed a log report-by-report produces
+//! **bit-identical** fixes to the batch pipeline fed the same log whole:
+//! both funnel into the one shared per-tag path in [`pipeline`].
+
+pub(crate) mod pipeline;
+pub mod stats;
+pub mod window;
+
+use crate::locate::aided::{locate_3d_resolved, AmbiguousBearing, ResolvedFix};
+use crate::locate::plane::{locate_2d, Bearing2D, Fix2D};
+use crate::locate::space::{locate_3d, Bearing3D, Fix3D};
+use crate::registry::{RegisteredTag, TagRegistry};
+use crate::server::{PipelineConfig, ServerError};
+use crate::snapshot::{Snapshot, SnapshotError, SnapshotSet};
+use crate::spectrum::engine::SpectrumEngine;
+use stats::{SessionStats, TagStreamStats};
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+use tagspin_epc::{InventoryLog, TagReport};
+use window::WindowConfig;
+
+/// What happened to one report offered to [`ReaderSession::ingest`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IngestOutcome {
+    /// The report was appended to its tag's snapshot buffer.
+    Buffered,
+    /// Dropped: the EPC is not in the registry.
+    UnknownTag,
+    /// Dropped: the report predates its stream's newest snapshot (reader
+    /// clocks are monotonic, so this only happens on replay or transport
+    /// reordering).
+    OutOfOrder,
+}
+
+/// One tag's incremental snapshot buffer plus its per-kind bearing caches.
+///
+/// A `None` cache slot means *dirty*: the buffer changed (ingest or
+/// eviction) since that bearing kind was last computed, and the next fix
+/// recomputes it. A `Some` slot holds the last result verbatim — including
+/// per-tag errors, which are just as cacheable as bearings.
+#[derive(Debug, Clone, Default)]
+struct TagStream {
+    buf: SnapshotSet,
+    ingested: u64,
+    evicted: u64,
+    out_of_order: u64,
+    cached_2d: Option<Result<Bearing2D, ServerError>>,
+    cached_3d: Option<Result<Bearing3D, ServerError>>,
+    cached_aided: Option<Result<AmbiguousBearing, ServerError>>,
+}
+
+impl TagStream {
+    fn invalidate(&mut self) {
+        self.cached_2d = None;
+        self.cached_3d = None;
+        self.cached_aided = None;
+    }
+
+    fn dirty(&self) -> bool {
+        self.cached_2d.is_none() && self.cached_3d.is_none() && self.cached_aided.is_none()
+    }
+}
+
+/// A streaming localization session for one reader antenna.
+///
+/// Created from a configured server via
+/// [`crate::server::LocalizationServer::session`] (shares the server's
+/// registry and steering-table cache) or standalone via
+/// [`ReaderSession::new`].
+#[derive(Debug, Clone)]
+pub struct ReaderSession {
+    registry: Arc<TagRegistry>,
+    engine: SpectrumEngine,
+    config: PipelineConfig,
+    window: WindowConfig,
+    streams: HashMap<u128, TagStream>,
+    first_t_us: Option<u64>,
+    latest_t_us: Option<u64>,
+    ingested: u64,
+    unknown_tag: u64,
+    out_of_order: u64,
+    evicted: u64,
+}
+
+impl ReaderSession {
+    /// A standalone session over its own spectrum engine.
+    pub fn new(registry: Arc<TagRegistry>, config: PipelineConfig, window: WindowConfig) -> Self {
+        let engine = SpectrumEngine::new(&config.engine);
+        ReaderSession::with_engine(registry, engine, config, window)
+    }
+
+    /// A session sharing an existing engine (and thus its steering cache).
+    pub(crate) fn with_engine(
+        registry: Arc<TagRegistry>,
+        engine: SpectrumEngine,
+        config: PipelineConfig,
+        window: WindowConfig,
+    ) -> Self {
+        ReaderSession {
+            registry,
+            engine,
+            config,
+            window,
+            streams: HashMap::new(),
+            first_t_us: None,
+            latest_t_us: None,
+            ingested: 0,
+            unknown_tag: 0,
+            out_of_order: 0,
+            evicted: 0,
+        }
+    }
+
+    /// The registry this session resolves EPCs against.
+    pub fn registry(&self) -> &TagRegistry {
+        &self.registry
+    }
+
+    /// The pipeline configuration (fixed at construction).
+    pub fn config(&self) -> &PipelineConfig {
+        &self.config
+    }
+
+    /// The sliding-window bounds (fixed at construction).
+    pub fn window(&self) -> WindowConfig {
+        self.window
+    }
+
+    /// Swap in an updated registry (registration / calibration changed on
+    /// the owning [`SessionManager`]).
+    pub(crate) fn set_registry(&mut self, registry: Arc<TagRegistry>) {
+        self.registry = registry;
+    }
+
+    /// Drop the cached bearings of one tag (its calibration changed).
+    pub(crate) fn invalidate_epc(&mut self, epc: u128) {
+        if let Some(stream) = self.streams.get_mut(&epc) {
+            stream.invalidate();
+        }
+    }
+
+    /// Ingest one tag report into its per-tag snapshot buffer, applying the
+    /// sliding window. Never fails: undecodable input is counted and
+    /// dropped, and the returned [`IngestOutcome`] says which way it went.
+    pub fn ingest(&mut self, report: &TagReport) -> IngestOutcome {
+        let snapshot = match self.registry.get(report.epc) {
+            Some(tag) => Snapshot::from_report(report, &tag.disk),
+            None => {
+                self.unknown_tag += 1;
+                return IngestOutcome::UnknownTag;
+            }
+        };
+        let stream = self.streams.entry(report.epc).or_default();
+        if stream
+            .buf
+            .last()
+            .is_some_and(|last| snapshot.t_s < last.t_s)
+        {
+            stream.out_of_order += 1;
+            self.out_of_order += 1;
+            return IngestOutcome::OutOfOrder;
+        }
+        stream.buf.push(snapshot);
+        stream.ingested += 1;
+        stream.invalidate();
+        self.ingested += 1;
+        let t_us = report.timestamp_us;
+        self.first_t_us = Some(self.first_t_us.map_or(t_us, |f| f.min(t_us)));
+        let latest_us = self.latest_t_us.map_or(t_us, |l| l.max(t_us));
+        self.latest_t_us = Some(latest_us);
+        // Bound the stream that just grew; silent streams age out lazily at
+        // fix time (see `evict_all`).
+        let mut evicted = 0usize;
+        if let Some(max) = self.window.max_reports {
+            evicted += stream.buf.evict_to_len(max);
+        }
+        if let Some(horizon) = self.window.horizon_s(latest_us as f64 * 1e-6) {
+            evicted += stream.buf.evict_before(horizon);
+        }
+        if evicted > 0 {
+            stream.evicted += evicted as u64;
+            self.evicted += evicted as u64;
+        }
+        IngestOutcome::Buffered
+    }
+
+    /// Bulk-ingest a whole log, report-by-report in log order. Returns how
+    /// many reports were buffered.
+    pub fn ingest_log(&mut self, log: &InventoryLog) -> usize {
+        log.reports()
+            .iter()
+            .filter(|r| self.ingest(r) == IngestOutcome::Buffered)
+            .count()
+    }
+
+    /// Age every stream against the session-wide newest report, so tags
+    /// that went silent do not keep stale snapshots inside a time-bounded
+    /// window. Streams that lose snapshots are marked dirty.
+    fn evict_all(&mut self) {
+        let Some(latest_us) = self.latest_t_us else {
+            return;
+        };
+        let Some(horizon) = self.window.horizon_s(latest_us as f64 * 1e-6) else {
+            return;
+        };
+        for stream in self.streams.values_mut() {
+            let n = stream.buf.evict_before(horizon);
+            if n > 0 {
+                stream.evicted += n as u64;
+                self.evicted += n as u64;
+                stream.invalidate();
+            }
+        }
+    }
+
+    /// The 2D bearing of one registered tag from its current window,
+    /// recomputed only when the buffer changed since the last query.
+    ///
+    /// # Errors
+    ///
+    /// [`ServerError::UnknownTag`] plus the per-tag pipeline errors
+    /// (`Snapshot`, `TooFewSnapshots`, `EmptySpectrum`).
+    pub fn tag_bearing_2d(&mut self, epc: u128) -> Result<Bearing2D, ServerError> {
+        let registry = Arc::clone(&self.registry);
+        let tag = registry.get(epc).ok_or(ServerError::UnknownTag(epc))?;
+        self.bearing_2d_cached(tag)
+    }
+
+    /// The 3D bearing of one registered tag from its current window.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ReaderSession::tag_bearing_2d`].
+    pub fn tag_bearing_3d(&mut self, epc: u128) -> Result<Bearing3D, ServerError> {
+        let registry = Arc::clone(&self.registry);
+        let tag = registry.get(epc).ok_or(ServerError::UnknownTag(epc))?;
+        self.bearing_3d_cached(tag)
+    }
+
+    fn bearing_2d_cached(&mut self, tag: &RegisteredTag) -> Result<Bearing2D, ServerError> {
+        let Some(stream) = self.streams.get_mut(&tag.epc) else {
+            pipeline::check_buffer(tag, &SnapshotSet::default())?;
+            return Err(ServerError::Snapshot(SnapshotError::NoReads));
+        };
+        if let Some(cached) = &stream.cached_2d {
+            return cached.clone();
+        }
+        let result = pipeline::check_buffer(tag, &stream.buf)
+            .and_then(|()| pipeline::bearing_2d(&self.engine, tag, &self.config, &stream.buf));
+        stream.cached_2d = Some(result.clone());
+        result
+    }
+
+    fn bearing_3d_cached(&mut self, tag: &RegisteredTag) -> Result<Bearing3D, ServerError> {
+        let Some(stream) = self.streams.get_mut(&tag.epc) else {
+            pipeline::check_buffer(tag, &SnapshotSet::default())?;
+            return Err(ServerError::Snapshot(SnapshotError::NoReads));
+        };
+        if let Some(cached) = &stream.cached_3d {
+            return cached.clone();
+        }
+        let result = pipeline::check_buffer(tag, &stream.buf)
+            .and_then(|()| pipeline::bearing_3d(&self.engine, tag, &self.config, &stream.buf));
+        stream.cached_3d = Some(result.clone());
+        result
+    }
+
+    fn bearing_aided_cached(
+        &mut self,
+        tag: &RegisteredTag,
+    ) -> Result<AmbiguousBearing, ServerError> {
+        let Some(stream) = self.streams.get_mut(&tag.epc) else {
+            pipeline::check_buffer(tag, &SnapshotSet::default())?;
+            return Err(ServerError::Snapshot(SnapshotError::NoReads));
+        };
+        if let Some(cached) = &stream.cached_aided {
+            return cached.clone();
+        }
+        let result = pipeline::check_buffer(tag, &stream.buf)
+            .and_then(|()| pipeline::bearing_aided(&self.engine, tag, &self.config, &stream.buf));
+        stream.cached_aided = Some(result.clone());
+        result
+    }
+
+    /// 2D fix of this session's reader antenna from the current windows.
+    ///
+    /// Tags with degenerate input (no reads, too few snapshots, empty
+    /// spectrum) are skipped; at least two usable bearings are required.
+    /// Only dirty tags are recomputed.
+    ///
+    /// # Errors
+    ///
+    /// [`ServerError::NotEnoughBearings`] / [`ServerError::Locate`], plus
+    /// non-skippable per-tag errors (e.g. a bad disk config).
+    pub fn fix_2d(&mut self) -> Result<Fix2D, ServerError> {
+        self.evict_all();
+        let registry = Arc::clone(&self.registry);
+        let mut bearings = Vec::new();
+        for tag in registry.tags() {
+            match self.bearing_2d_cached(tag) {
+                Ok(b) => bearings.push(b),
+                Err(e) if pipeline::skippable(&e) => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        if bearings.len() < 2 {
+            return Err(ServerError::NotEnoughBearings {
+                usable: bearings.len(),
+            });
+        }
+        Ok(locate_2d(&bearings)?)
+    }
+
+    /// 3D fix of this session's reader antenna from the current windows.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ReaderSession::fix_2d`].
+    pub fn fix_3d(&mut self) -> Result<Fix3D, ServerError> {
+        self.evict_all();
+        let registry = Arc::clone(&self.registry);
+        let mut bearings = Vec::new();
+        for tag in registry.tags() {
+            match self.bearing_3d_cached(tag) {
+                Ok(b) => bearings.push(b),
+                Err(e) if pipeline::skippable(&e) => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        if bearings.len() < 2 {
+            return Err(ServerError::NotEnoughBearings {
+                usable: bearings.len(),
+            });
+        }
+        Ok(locate_3d(&bearings)?)
+    }
+
+    /// Ambiguity-resolving 3D fix using each disk's own orientation (the
+    /// streaming counterpart of
+    /// [`crate::server::LocalizationServer::locate_3d_aided`]).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ReaderSession::fix_2d`].
+    pub fn fix_3d_aided(&mut self) -> Result<ResolvedFix, ServerError> {
+        self.evict_all();
+        let registry = Arc::clone(&self.registry);
+        let mut bearings = Vec::new();
+        for tag in registry.tags() {
+            match self.bearing_aided_cached(tag) {
+                Ok(b) => bearings.push(b),
+                Err(e) if pipeline::skippable(&e) => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        if bearings.len() < 2 {
+            return Err(ServerError::NotEnoughBearings {
+                usable: bearings.len(),
+            });
+        }
+        Ok(locate_3d_resolved(&bearings)?)
+    }
+
+    /// Session-wide ingestion counters and freshness figures.
+    pub fn stats(&self) -> SessionStats {
+        let span_s = match (self.first_t_us, self.latest_t_us) {
+            (Some(a), Some(b)) => (b.saturating_sub(a)) as f64 * 1e-6,
+            _ => 0.0,
+        };
+        let read_rate = if span_s > 0.0 {
+            self.ingested as f64 / span_s
+        } else {
+            0.0
+        };
+        SessionStats {
+            ingested: self.ingested,
+            unknown_tag: self.unknown_tag,
+            out_of_order: self.out_of_order,
+            evicted: self.evicted,
+            streams: self.streams.len(),
+            buffered: self.streams.values().map(|s| s.buf.len()).sum(),
+            latest_t_s: self.latest_t_us.map(|us| us as f64 * 1e-6),
+            span_s,
+            read_rate,
+        }
+    }
+
+    /// Per-stream counters and staleness for one EPC (`None` until the
+    /// session has seen a registered report for it).
+    pub fn tag_stats(&self, epc: u128) -> Option<TagStreamStats> {
+        let stream = self.streams.get(&epc)?;
+        let last_t_s = stream.buf.last().map(|s| s.t_s);
+        let latest_t_s = self.latest_t_us.map(|us| us as f64 * 1e-6);
+        Some(TagStreamStats {
+            epc,
+            buffered: stream.buf.len(),
+            ingested: stream.ingested,
+            evicted: stream.evicted,
+            out_of_order: stream.out_of_order,
+            last_t_s,
+            age_s: match (latest_t_s, last_t_s) {
+                (Some(latest), Some(last)) => Some(latest - last),
+                _ => None,
+            },
+            dirty: stream.dirty(),
+        })
+    }
+
+    /// Per-stream stats for every stream the session tracks, in registry
+    /// registration order.
+    pub fn all_tag_stats(&self) -> Vec<TagStreamStats> {
+        self.registry
+            .tags()
+            .iter()
+            .filter_map(|t| self.tag_stats(t.epc))
+            .collect()
+    }
+}
+
+/// One streaming session per reader antenna, multiplexed over a single
+/// shared [`TagRegistry`] and a single shared spectrum-engine steering
+/// cache.
+///
+/// Reports are routed by their `antenna_id`; sessions are created lazily on
+/// first sight of an antenna. Registration and calibration go through the
+/// manager so every session sees the update (copy-on-write `Arc` swap).
+#[derive(Debug, Clone)]
+pub struct SessionManager {
+    registry: Arc<TagRegistry>,
+    engine: SpectrumEngine,
+    config: PipelineConfig,
+    window: WindowConfig,
+    /// Ascending antenna order, so iteration is deterministic regardless of
+    /// report interleaving.
+    sessions: BTreeMap<u8, ReaderSession>,
+}
+
+impl SessionManager {
+    /// An empty manager with its own registry and engine.
+    pub fn new(config: PipelineConfig, window: WindowConfig) -> Self {
+        SessionManager::with_shared(
+            Arc::new(TagRegistry::new()),
+            SpectrumEngine::new(&config.engine),
+            config,
+            window,
+        )
+    }
+
+    /// A manager sharing an existing registry and engine (used by
+    /// [`crate::server::LocalizationServer::session_manager`]).
+    pub(crate) fn with_shared(
+        registry: Arc<TagRegistry>,
+        engine: SpectrumEngine,
+        config: PipelineConfig,
+        window: WindowConfig,
+    ) -> Self {
+        SessionManager {
+            registry,
+            engine,
+            config,
+            window,
+            sessions: BTreeMap::new(),
+        }
+    }
+
+    /// The shared registry.
+    pub fn registry(&self) -> &TagRegistry {
+        &self.registry
+    }
+
+    /// Register a spinning tag; every existing session sees it immediately.
+    ///
+    /// # Errors
+    ///
+    /// [`ServerError::DuplicateTag`].
+    pub fn register(
+        &mut self,
+        epc: u128,
+        disk: crate::spinning::DiskConfig,
+    ) -> Result<(), ServerError> {
+        Arc::make_mut(&mut self.registry).register(epc, disk)?;
+        self.propagate_registry();
+        Ok(())
+    }
+
+    /// Attach an orientation calibration to a tag; every session drops its
+    /// cached bearings for that tag.
+    ///
+    /// # Errors
+    ///
+    /// [`ServerError::UnknownTag`].
+    pub fn set_orientation_calibration(
+        &mut self,
+        epc: u128,
+        cal: crate::calib::orientation::OrientationCalibration,
+    ) -> Result<(), ServerError> {
+        Arc::make_mut(&mut self.registry).set_orientation_calibration(epc, cal)?;
+        self.propagate_registry();
+        for session in self.sessions.values_mut() {
+            session.invalidate_epc(epc);
+        }
+        Ok(())
+    }
+
+    fn propagate_registry(&mut self) {
+        for session in self.sessions.values_mut() {
+            session.set_registry(Arc::clone(&self.registry));
+        }
+    }
+
+    /// Route one report to its antenna's session, creating the session on
+    /// first sight of the antenna.
+    pub fn ingest(&mut self, report: &TagReport) -> IngestOutcome {
+        let session = self.sessions.entry(report.antenna_id).or_insert_with(|| {
+            ReaderSession::with_engine(
+                Arc::clone(&self.registry),
+                self.engine.clone(),
+                self.config,
+                self.window,
+            )
+        });
+        session.ingest(report)
+    }
+
+    /// Bulk-route a whole log. Returns how many reports were buffered.
+    pub fn ingest_log(&mut self, log: &InventoryLog) -> usize {
+        log.reports()
+            .iter()
+            .filter(|r| self.ingest(r) == IngestOutcome::Buffered)
+            .count()
+    }
+
+    /// The antennas with live sessions, ascending.
+    pub fn antennas(&self) -> Vec<u8> {
+        self.sessions.keys().copied().collect()
+    }
+
+    /// The session of one antenna, if any reports arrived for it.
+    pub fn session(&self, antenna_id: u8) -> Option<&ReaderSession> {
+        self.sessions.get(&antenna_id)
+    }
+
+    /// Mutable access to one antenna's session.
+    pub fn session_mut(&mut self, antenna_id: u8) -> Option<&mut ReaderSession> {
+        self.sessions.get_mut(&antenna_id)
+    }
+
+    /// 2D fix for one antenna. An antenna with no session yields
+    /// [`ServerError::NotEnoughBearings`] with zero usable bearings, the
+    /// same as an empty log.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ReaderSession::fix_2d`].
+    pub fn fix_2d(&mut self, antenna_id: u8) -> Result<Fix2D, ServerError> {
+        match self.sessions.get_mut(&antenna_id) {
+            Some(s) => s.fix_2d(),
+            None => Err(ServerError::NotEnoughBearings { usable: 0 }),
+        }
+    }
+
+    /// 3D fix for one antenna.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`SessionManager::fix_2d`].
+    pub fn fix_3d(&mut self, antenna_id: u8) -> Result<Fix3D, ServerError> {
+        match self.sessions.get_mut(&antenna_id) {
+            Some(s) => s.fix_3d(),
+            None => Err(ServerError::NotEnoughBearings { usable: 0 }),
+        }
+    }
+
+    /// Ambiguity-resolving 3D fix for one antenna.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`SessionManager::fix_2d`].
+    pub fn fix_3d_aided(&mut self, antenna_id: u8) -> Result<ResolvedFix, ServerError> {
+        match self.sessions.get_mut(&antenna_id) {
+            Some(s) => s.fix_3d_aided(),
+            None => Err(ServerError::NotEnoughBearings { usable: 0 }),
+        }
+    }
+
+    /// 2D fixes for every live antenna, ascending by antenna id — the
+    /// streaming counterpart of
+    /// [`crate::server::LocalizationServer::locate_all_2d`].
+    pub fn fix_all_2d(&mut self) -> Vec<(u8, Result<Fix2D, ServerError>)> {
+        let antennas = self.antennas();
+        antennas
+            .into_iter()
+            .map(|ant| (ant, self.fix_2d(ant)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spinning::DiskConfig;
+    use tagspin_geom::Vec3;
+
+    fn registry_with(epcs: &[u128]) -> Arc<TagRegistry> {
+        let mut reg = TagRegistry::new();
+        for (i, &epc) in epcs.iter().enumerate() {
+            let x = i as f64 * 0.6 - 0.3;
+            reg.register(epc, DiskConfig::paper_default(Vec3::new(x, 0.0, 0.0)))
+                .unwrap();
+        }
+        Arc::new(reg)
+    }
+
+    fn report(epc: u128, t_us: u64, antenna: u8) -> TagReport {
+        TagReport {
+            epc,
+            timestamp_us: t_us,
+            phase: (t_us as f64 * 1e-5).rem_euclid(std::f64::consts::TAU),
+            rssi_dbm: -60.0,
+            channel_index: 8,
+            antenna_id: antenna,
+        }
+    }
+
+    #[test]
+    fn ingest_counts_and_routes() {
+        let mut session = ReaderSession::new(
+            registry_with(&[1, 2]),
+            PipelineConfig::default(),
+            WindowConfig::unbounded(),
+        );
+        assert_eq!(session.ingest(&report(1, 0, 1)), IngestOutcome::Buffered);
+        assert_eq!(session.ingest(&report(2, 100, 1)), IngestOutcome::Buffered);
+        assert_eq!(
+            session.ingest(&report(9, 200, 1)),
+            IngestOutcome::UnknownTag
+        );
+        // Older than stream 1's newest snapshot → dropped, not panicked.
+        assert_eq!(session.ingest(&report(2, 50, 1)), IngestOutcome::OutOfOrder);
+        let stats = session.stats();
+        assert_eq!(stats.ingested, 2);
+        assert_eq!(stats.unknown_tag, 1);
+        assert_eq!(stats.out_of_order, 1);
+        assert_eq!(stats.streams, 2);
+        assert_eq!(stats.buffered, 2);
+        let t2 = session.tag_stats(2).unwrap();
+        assert_eq!(t2.out_of_order, 1);
+        assert_eq!(t2.buffered, 1);
+        assert!(t2.dirty);
+        assert!(session.tag_stats(9).is_none());
+    }
+
+    #[test]
+    fn count_window_bounds_buffers() {
+        let mut session = ReaderSession::new(
+            registry_with(&[1]),
+            PipelineConfig::default(),
+            WindowConfig::last_reports(3),
+        );
+        for i in 0..10u64 {
+            session.ingest(&report(1, i * 1000, 1));
+        }
+        let t1 = session.tag_stats(1).unwrap();
+        assert_eq!(t1.buffered, 3);
+        assert_eq!(t1.ingested, 10);
+        assert_eq!(t1.evicted, 7);
+        assert_eq!(session.stats().evicted, 7);
+    }
+
+    #[test]
+    fn time_window_ages_out_silent_tags_at_fix_time() {
+        let mut session = ReaderSession::new(
+            registry_with(&[1, 2]),
+            PipelineConfig::default(),
+            WindowConfig::last_seconds(0.5),
+        );
+        // Tag 1 reads early, then goes silent; tag 2 keeps reading.
+        session.ingest(&report(1, 0, 1));
+        session.ingest(&report(2, 100, 1));
+        session.ingest(&report(2, 2_000_000, 1));
+        // Tag 1's buffer is untouched until a fix forces session-wide aging.
+        assert_eq!(session.tag_stats(1).unwrap().buffered, 1);
+        let _ = session.fix_2d();
+        assert_eq!(session.tag_stats(1).unwrap().buffered, 0);
+        assert_eq!(session.tag_stats(1).unwrap().evicted, 1);
+        // Tag 2's own early read aged out on ingest already.
+        assert_eq!(session.tag_stats(2).unwrap().buffered, 1);
+    }
+
+    #[test]
+    fn fixes_use_cached_bearings_until_dirty() {
+        let mut session = ReaderSession::new(
+            registry_with(&[1, 2]),
+            PipelineConfig::default(),
+            WindowConfig::unbounded(),
+        );
+        session.ingest(&report(1, 0, 1));
+        // Too few snapshots everywhere → NotEnoughBearings, but the per-tag
+        // error results are now cached (streams clean).
+        assert_eq!(
+            session.fix_2d(),
+            Err(ServerError::NotEnoughBearings { usable: 0 })
+        );
+        assert!(!session.tag_stats(1).unwrap().dirty);
+        // New data re-dirties only tag 1's stream.
+        session.ingest(&report(1, 1000, 1));
+        assert!(session.tag_stats(1).unwrap().dirty);
+    }
+
+    #[test]
+    fn unknown_epc_bearing_query_errors() {
+        let mut session = ReaderSession::new(
+            registry_with(&[1]),
+            PipelineConfig::default(),
+            WindowConfig::unbounded(),
+        );
+        assert_eq!(session.tag_bearing_2d(42), Err(ServerError::UnknownTag(42)));
+        // Registered but never read → NoReads, the batch pipeline's error.
+        assert_eq!(
+            session.tag_bearing_2d(1),
+            Err(ServerError::Snapshot(SnapshotError::NoReads))
+        );
+        assert_eq!(
+            session.tag_bearing_3d(1),
+            Err(ServerError::Snapshot(SnapshotError::NoReads))
+        );
+    }
+
+    #[test]
+    fn manager_routes_by_antenna_and_propagates_registration() {
+        let mut mgr = SessionManager::new(PipelineConfig::default(), WindowConfig::unbounded());
+        mgr.register(1, DiskConfig::paper_default(Vec3::new(-0.3, 0.0, 0.0)))
+            .unwrap();
+        assert_eq!(mgr.ingest(&report(1, 0, 2)), IngestOutcome::Buffered);
+        assert_eq!(mgr.ingest(&report(1, 100, 1)), IngestOutcome::Buffered);
+        assert_eq!(mgr.ingest(&report(7, 200, 3)), IngestOutcome::UnknownTag);
+        // Ascending antenna order, and the unknown-EPC antenna still has a
+        // session (it saw traffic).
+        assert_eq!(mgr.antennas(), vec![1, 2, 3]);
+        // Late registration reaches existing sessions.
+        mgr.register(7, DiskConfig::paper_default(Vec3::new(0.3, 0.0, 0.0)))
+            .unwrap();
+        assert_eq!(mgr.ingest(&report(7, 300, 3)), IngestOutcome::Buffered);
+        assert_eq!(mgr.session(3).unwrap().registry().len(), 2);
+        assert_eq!(
+            mgr.register(1, DiskConfig::paper_default(Vec3::ZERO)),
+            Err(ServerError::DuplicateTag(1))
+        );
+        // No-session antenna behaves like an empty log.
+        assert_eq!(
+            mgr.fix_2d(99),
+            Err(ServerError::NotEnoughBearings { usable: 0 })
+        );
+        assert_eq!(mgr.fix_all_2d().len(), 3);
+    }
+}

@@ -1,0 +1,148 @@
+//! The single per-tag bearing pipeline shared by the batch server facade
+//! and the streaming session.
+//!
+//! Historically `LocalizationServer::{bearing_2d, bearing_2d_peak,
+//! bearing_3d, locate_3d_aided}` each re-implemented the same plumbing:
+//! look the tag up, extract + calibrate its snapshots, run the peak search,
+//! build the bearing. This module is that plumbing, written once. The batch
+//! entry points feed it sets extracted by [`SnapshotSet::from_log`]; the
+//! streaming session feeds it its windowed incremental buffers. Identical
+//! inputs take the identical code path, which is what makes the
+//! streaming/batch equivalence guarantee hold bit-for-bit.
+
+use crate::locate::aided::AmbiguousBearing;
+use crate::locate::plane::Bearing2D;
+use crate::locate::space::Bearing3D;
+use crate::registry::RegisteredTag;
+use crate::server::{PipelineConfig, ServerError};
+use crate::snapshot::{SnapshotError, SnapshotSet};
+use crate::spectrum::engine::SpectrumEngine;
+use std::borrow::Cow;
+
+/// Enforce the minimum-snapshot floor and apply the tag's orientation
+/// calibration when configured. Borrows the input set when no calibration
+/// applies, so the streaming hot path does not clone its buffers.
+///
+/// # Errors
+///
+/// [`ServerError::TooFewSnapshots`] below the configured floor.
+pub(crate) fn checked_calibrated<'a>(
+    tag: &RegisteredTag,
+    set: &'a SnapshotSet,
+    config: &PipelineConfig,
+) -> Result<Cow<'a, SnapshotSet>, ServerError> {
+    if set.len() < config.min_snapshots {
+        return Err(ServerError::TooFewSnapshots {
+            epc: tag.epc,
+            got: set.len(),
+            need: config.min_snapshots,
+        });
+    }
+    Ok(match (&tag.orientation, config.orientation_calibration) {
+        (Some(cal), true) => Cow::Owned(cal.apply(set)),
+        _ => Cow::Borrowed(set),
+    })
+}
+
+/// The streaming counterpart of [`SnapshotSet::from_log`]'s error contract:
+/// an invalid disk is reported before an empty buffer, exactly as the batch
+/// extraction orders its checks.
+///
+/// # Errors
+///
+/// [`ServerError::Snapshot`] — `BadDisk` or `NoReads`.
+pub(crate) fn check_buffer(tag: &RegisteredTag, set: &SnapshotSet) -> Result<(), ServerError> {
+    tag.disk
+        .validate()
+        .map_err(|e| ServerError::Snapshot(SnapshotError::BadDisk(e)))?;
+    if set.is_empty() {
+        return Err(ServerError::Snapshot(SnapshotError::NoReads));
+    }
+    Ok(())
+}
+
+/// 2D bearing of one tag from an already-extracted snapshot set.
+///
+/// # Errors
+///
+/// [`ServerError::TooFewSnapshots`] / [`ServerError::EmptySpectrum`].
+pub(crate) fn bearing_2d(
+    engine: &SpectrumEngine,
+    tag: &RegisteredTag,
+    config: &PipelineConfig,
+    set: &SnapshotSet,
+) -> Result<Bearing2D, ServerError> {
+    let set = checked_calibrated(tag, set, config)?;
+    let peak = engine
+        .peak_2d(
+            &set,
+            tag.disk.radius,
+            config.profile,
+            &config.spectrum,
+            &config.engine,
+        )
+        .ok_or(ServerError::EmptySpectrum { epc: tag.epc })?;
+    Ok(Bearing2D::from_peak(tag.disk.center.xy(), &peak))
+}
+
+/// 3D bearing (horizontal-disk steering) of one tag from an
+/// already-extracted snapshot set.
+///
+/// # Errors
+///
+/// Same as [`bearing_2d`].
+pub(crate) fn bearing_3d(
+    engine: &SpectrumEngine,
+    tag: &RegisteredTag,
+    config: &PipelineConfig,
+    set: &SnapshotSet,
+) -> Result<Bearing3D, ServerError> {
+    let set = checked_calibrated(tag, set, config)?;
+    let (dir, power) = engine
+        .peak_3d(
+            &set,
+            tag.disk.radius,
+            config.profile,
+            &config.spectrum,
+            &config.engine,
+        )
+        .ok_or(ServerError::EmptySpectrum { epc: tag.epc })?;
+    Ok(Bearing3D::from_peak(tag.disk.center, dir, power))
+}
+
+/// Ambiguous (orientation-aware) 3D bearing of one tag from an
+/// already-extracted snapshot set — the aided-localization path.
+///
+/// # Errors
+///
+/// Same as [`bearing_2d`].
+pub(crate) fn bearing_aided(
+    engine: &SpectrumEngine,
+    tag: &RegisteredTag,
+    config: &PipelineConfig,
+    set: &SnapshotSet,
+) -> Result<AmbiguousBearing, ServerError> {
+    let set = checked_calibrated(tag, set, config)?;
+    let (dir, power) = engine
+        .peak_3d_for_disk(
+            &set,
+            &tag.disk,
+            config.profile,
+            &config.spectrum,
+            &config.engine,
+        )
+        .ok_or(ServerError::EmptySpectrum { epc: tag.epc })?;
+    Ok(AmbiguousBearing::from_disk_peak(&tag.disk, dir, power))
+}
+
+/// Whether a per-tag failure is degenerate-input noise the multi-tag fixes
+/// skip (the tag contributes nothing) rather than a hard error: missing
+/// reads, a buffer below the snapshot floor, or an empty angle spectrum.
+pub(crate) fn skippable(e: &ServerError) -> bool {
+    matches!(
+        e,
+        ServerError::Snapshot(SnapshotError::NoReads)
+            | ServerError::TooFewSnapshots { .. }
+            | ServerError::EmptySpectrum { .. }
+    )
+}

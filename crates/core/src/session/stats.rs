@@ -1,0 +1,55 @@
+//! Observability counters for streaming sessions.
+//!
+//! A production ingestion tier needs to answer "is this reader alive, how
+//! fresh is its fix, how hard is it hitting us" without touching the
+//! localization math. These structs are cheap snapshots of the session's
+//! counters — no locks, no recomputation.
+
+/// Session-wide ingestion counters and freshness figures.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SessionStats {
+    /// Reports buffered into a tag stream since the session started.
+    pub ingested: u64,
+    /// Reports dropped because their EPC is not registered.
+    pub unknown_tag: u64,
+    /// Reports dropped because they predate their stream's newest snapshot.
+    pub out_of_order: u64,
+    /// Snapshots evicted by the sliding window (all streams, lifetime).
+    pub evicted: u64,
+    /// Tag streams currently tracked (registered EPCs seen at least once).
+    pub streams: usize,
+    /// Snapshots currently buffered across all streams.
+    pub buffered: usize,
+    /// Reader-clock time of the newest ingested report, seconds.
+    pub latest_t_s: Option<f64>,
+    /// Reader-clock span from the first to the newest ingested report,
+    /// seconds (0 until two reports arrive).
+    pub span_s: f64,
+    /// Mean ingest rate over the observed span, reports/s (0 for
+    /// degenerate spans).
+    pub read_rate: f64,
+}
+
+/// Per-tag stream counters and staleness.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TagStreamStats {
+    /// The stream's EPC.
+    pub epc: u128,
+    /// Snapshots currently inside the window.
+    pub buffered: usize,
+    /// Reports ever buffered into this stream.
+    pub ingested: u64,
+    /// Snapshots evicted from this stream by the sliding window.
+    pub evicted: u64,
+    /// Reports dropped for arriving behind this stream's newest snapshot.
+    pub out_of_order: u64,
+    /// Reader-clock time of the newest buffered snapshot, seconds.
+    pub last_t_s: Option<f64>,
+    /// Staleness: session latest minus this stream's newest snapshot,
+    /// seconds. `None` until both exist.
+    pub age_s: Option<f64>,
+    /// True when the buffer changed since the last bearing computation —
+    /// the next fix recomputes this tag instead of reusing a cached
+    /// bearing.
+    pub dirty: bool,
+}

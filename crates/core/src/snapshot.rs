@@ -59,6 +59,24 @@ impl std::error::Error for SnapshotError {
     }
 }
 
+impl Snapshot {
+    /// Annotate one tag report with the server-known disk state at the
+    /// reader timestamp — the per-read building block shared by the batch
+    /// extraction ([`SnapshotSet::from_log`]) and the streaming session's
+    /// incremental ingest.
+    pub fn from_report(report: &TagReport, disk: &DiskConfig) -> Snapshot {
+        Snapshot {
+            t_s: report.time_s(),
+            phase: report.phase,
+            disk_angle: disk.disk_angle(report.time_s()),
+            lambda: wavelength(channel_frequency(
+                report.channel_index as usize % CHANNEL_COUNT,
+            )),
+            rssi_dbm: report.rssi_dbm,
+        }
+    }
+}
+
 impl SnapshotSet {
     /// Extract the snapshots of `epc` from an inventory log, annotating each
     /// read with the disk state implied by `disk` at the reader timestamp.
@@ -75,13 +93,7 @@ impl SnapshotSet {
         disk.validate().map_err(SnapshotError::BadDisk)?;
         let snapshots: Vec<Snapshot> = log
             .for_epc(epc)
-            .map(|r: &TagReport| Snapshot {
-                t_s: r.time_s(),
-                phase: r.phase,
-                disk_angle: disk.disk_angle(r.time_s()),
-                lambda: wavelength(channel_frequency(r.channel_index as usize % CHANNEL_COUNT)),
-                rssi_dbm: r.rssi_dbm,
-            })
+            .map(|r: &TagReport| Snapshot::from_report(r, disk))
             .collect();
         if snapshots.is_empty() {
             return Err(SnapshotError::NoReads);
@@ -100,6 +112,50 @@ impl SnapshotSet {
             "snapshots must be time-ordered"
         );
         SnapshotSet { snapshots }
+    }
+
+    /// Append one snapshot — the incremental-ingestion counterpart of
+    /// [`SnapshotSet::from_log`]. Appending report-by-report in log order
+    /// produces exactly the set `from_log` would have extracted.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `snapshot` predates the newest buffered snapshot; the
+    /// set is time-ordered by construction (reader clocks are monotonic).
+    pub fn push(&mut self, snapshot: Snapshot) {
+        assert!(
+            self.snapshots
+                .last()
+                .is_none_or(|last| snapshot.t_s >= last.t_s),
+            "snapshots must be appended in time order"
+        );
+        self.snapshots.push(snapshot);
+    }
+
+    /// Evict every snapshot strictly older than `t0` seconds (the sliding
+    /// window's time bound). Returns how many snapshots were dropped.
+    pub fn evict_before(&mut self, t0: f64) -> usize {
+        let keep_from = self.snapshots.iter().take_while(|s| s.t_s < t0).count();
+        self.snapshots.drain(..keep_from);
+        keep_from
+    }
+
+    /// Keep only the newest `max` snapshots (the sliding window's count
+    /// bound). Returns how many snapshots were dropped.
+    pub fn evict_to_len(&mut self, max: usize) -> usize {
+        let excess = self.snapshots.len().saturating_sub(max);
+        self.snapshots.drain(..excess);
+        excess
+    }
+
+    /// The oldest buffered snapshot.
+    pub fn first(&self) -> Option<&Snapshot> {
+        self.snapshots.first()
+    }
+
+    /// The newest buffered snapshot.
+    pub fn last(&self) -> Option<&Snapshot> {
+        self.snapshots.last()
     }
 
     /// The snapshots, time-ordered.
@@ -267,6 +323,53 @@ mod tests {
         let set = SnapshotSet::from_log(&log, 5, &disk()).unwrap();
         assert_eq!((&set).into_iter().count(), 3);
         assert_eq!(set.phases().len(), 3);
+    }
+
+    #[test]
+    fn incremental_push_matches_from_log() {
+        let log = log_with(5, 20);
+        let batch = SnapshotSet::from_log(&log, 5, &disk()).unwrap();
+        let mut streamed = SnapshotSet::default();
+        for r in log.reports() {
+            streamed.push(Snapshot::from_report(r, &disk()));
+        }
+        assert_eq!(streamed, batch);
+        assert_eq!(streamed.first(), batch.snapshots().first());
+        assert_eq!(streamed.last(), batch.snapshots().last());
+    }
+
+    #[test]
+    fn eviction_bounds_the_window() {
+        let log = log_with(5, 10);
+        let mut set = SnapshotSet::from_log(&log, 5, &disk()).unwrap();
+        // Time bound: t = 0.0..0.9 in 0.1 steps; evict before 0.35.
+        assert_eq!(set.evict_before(0.35), 4);
+        assert_eq!(set.len(), 6);
+        assert!((set.first().unwrap().t_s - 0.4).abs() < 1e-12);
+        // Count bound: keep the newest 2.
+        assert_eq!(set.evict_to_len(2), 4);
+        assert_eq!(set.len(), 2);
+        assert!((set.last().unwrap().t_s - 0.9).abs() < 1e-12);
+        // No-ops once inside the bounds.
+        assert_eq!(set.evict_before(0.0), 0);
+        assert_eq!(set.evict_to_len(10), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "time order")]
+    fn push_rejects_stale_snapshot() {
+        let mut set = SnapshotSet::default();
+        let s = Snapshot {
+            t_s: 1.0,
+            phase: 0.0,
+            disk_angle: 0.0,
+            lambda: 0.325,
+            rssi_dbm: -60.0,
+        };
+        set.push(s);
+        let mut stale = s;
+        stale.t_s = 0.5;
+        set.push(stale);
     }
 
     #[test]

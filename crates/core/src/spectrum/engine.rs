@@ -732,6 +732,13 @@ impl SpectrumEngine {
             .collect();
         lobes.sort_by(|a, b| b.1.total_cmp(&a.1));
         lobes.truncate(ecfg.max_lobes);
+        // A degenerate spectrum (e.g. all-NaN phases) has no finite lobe;
+        // report "no peak" like the exhaustive reference instead of letting
+        // the refinement land on a −∞ mask cell.
+        lobes.retain(|&(_, v)| v.is_finite());
+        if lobes.is_empty() {
+            return None;
+        }
 
         // Window half-width in fine cells: one coarse stride of slack (the
         // fine argmax of a detected lobe lies between that lobe's coarse
@@ -944,6 +951,12 @@ impl SpectrumEngine {
         }
         lobes.sort_by(|a, b| b.2.total_cmp(&a.2));
         lobes.truncate(ecfg.max_lobes);
+        // As in `sparse_peak_2d`: a spectrum with no finite lobe has no
+        // peak; do not let the argmax fall back to the −∞ mask.
+        lobes.retain(|&(_, _, v)| v.is_finite());
+        if lobes.is_empty() {
+            return None;
+        }
 
         // Window half-widths in fine cells: one coarse stride of slack per
         // axis plus a refinement guard (see `sparse_peak_2d`).

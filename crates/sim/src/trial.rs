@@ -180,6 +180,32 @@ pub fn run_trial_2d(scenario: &Scenario, seed: u64) -> Result<Trial2DOutcome, Tr
     Ok(Trial2DOutcome { fix, error, reads })
 }
 
+/// Run one full 2D trial through the *streaming* front-end: the same
+/// observation log is replayed report-by-report into a
+/// [`ReaderSession`] (unbounded window) and the fix is queried once at the
+/// end. Produces bit-identical results to [`run_trial_2d`] — both funnel
+/// into the one shared per-tag pipeline.
+///
+/// # Errors
+///
+/// Same as [`run_trial_2d`].
+pub fn run_trial_2d_streaming(
+    scenario: &Scenario,
+    seed: u64,
+) -> Result<Trial2DOutcome, TrialFailure> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let setup = setup_trial(scenario, &mut rng)?;
+    let log = observe(scenario, &setup, &mut rng);
+    let reads = log.len();
+    let mut session = setup.server.session(WindowConfig::unbounded());
+    for report in log.stream() {
+        session.ingest(report);
+    }
+    let fix = session.fix_2d().map_err(TrialFailure::Server)?;
+    let error = TrialError::planar(fix.position, scenario.reader_truth.position.xy());
+    Ok(Trial2DOutcome { fix, error, reads })
+}
+
 /// Run one full 3D trial; the ±z ambiguity is resolved with the scenario's
 /// feasible height interval.
 ///
@@ -193,6 +219,38 @@ pub fn run_trial_3d(scenario: &Scenario, seed: u64) -> Result<Trial3DOutcome, Tr
     let log = observe(scenario, &setup, &mut rng);
     let reads = log.len();
     let fix = setup.server.locate_3d(&log).map_err(TrialFailure::Server)?;
+    let (lo, hi) = scenario.z_feasible;
+    let position = fix
+        .resolve(|p| p.z >= lo && p.z <= hi)
+        .ok_or(TrialFailure::AmbiguityUnresolved)?;
+    let error = TrialError::spatial(position, scenario.reader_truth.position);
+    Ok(Trial3DOutcome {
+        position,
+        fix,
+        error,
+        reads,
+    })
+}
+
+/// Run one full 3D trial through the streaming front-end (see
+/// [`run_trial_2d_streaming`]).
+///
+/// # Errors
+///
+/// Same as [`run_trial_3d`].
+pub fn run_trial_3d_streaming(
+    scenario: &Scenario,
+    seed: u64,
+) -> Result<Trial3DOutcome, TrialFailure> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let setup = setup_trial(scenario, &mut rng)?;
+    let log = observe(scenario, &setup, &mut rng);
+    let reads = log.len();
+    let mut session = setup.server.session(WindowConfig::unbounded());
+    for report in log.stream() {
+        session.ingest(report);
+    }
+    let fix = session.fix_3d().map_err(TrialFailure::Server)?;
     let (lo, hi) = scenario.z_feasible;
     let position = fix
         .resolve(|p| p.z >= lo && p.z <= hi)
@@ -231,6 +289,14 @@ mod tests {
         assert_eq!(a, b);
         let c = run_trial_2d(&scenario, 8).unwrap();
         assert_ne!(a.fix.position, c.fix.position);
+    }
+
+    #[test]
+    fn streaming_trial_matches_batch_bit_for_bit() {
+        let scenario = Scenario::paper_2d(Vec2::new(0.4, 1.8)).quick();
+        let batch = run_trial_2d(&scenario, 42).unwrap();
+        let streamed = run_trial_2d_streaming(&scenario, 42).unwrap();
+        assert_eq!(batch, streamed);
     }
 
     #[test]
