@@ -1,0 +1,25 @@
+//! Robustness benchmark runner: accuracy versus fault rate with and
+//! without the ingest quarantine.
+//!
+//! Unlike the timing benches this one measures *accuracy*, so there is no
+//! criterion loop — each rate point runs seeded A/B fault-injection trials
+//! and the artifact is the curve pair, emitted as `BENCH_robustness.json`
+//! (schema `tagspin-bench-robustness/v1`). Set
+//! `TAGSPIN_BENCH_ROBUSTNESS_JSON` to move the artifact,
+//! `TAGSPIN_BENCH_QUICK=1` to shrink per-rate trial counts (CI).
+
+use tagspin_bench::robustness_bench;
+
+fn main() {
+    let quick = std::env::var_os("TAGSPIN_BENCH_QUICK").is_some_and(|v| v == "1");
+    let results = robustness_bench::run(quick);
+    println!("robustness (2D accuracy vs fault rate, quarantine on/off):");
+    println!("{}", robustness_bench::report(&results));
+    let path = std::env::var_os("TAGSPIN_BENCH_ROBUSTNESS_JSON")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| std::path::PathBuf::from("BENCH_robustness.json"));
+    match robustness_bench::write_json(&path, &results) {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+    }
+}

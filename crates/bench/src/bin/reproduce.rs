@@ -11,10 +11,14 @@
 //!                                    # JSON to path (default BENCH_spectrum.json)
 //! reproduce --bench-ingest [path]    # only the streaming-ingest bench,
 //!                                    # JSON to path (default BENCH_ingest.json)
+//! reproduce --bench-robustness [path] # only the fault-injection robustness
+//!                                     # sweep (default BENCH_robustness.json)
 //! ```
 //!
-//! Output goes to stdout in the `Report` text format; EXPERIMENTS.md records
-//! a full run.
+//! Output goes to stdout in the `Report` text format; a copy of each full
+//! experiment run is written to `reproduce_csv/reproduce_<fidelity>.log`
+//! (run artifacts belong under the output directory, not the repo root).
+//! EXPERIMENTS.md records a full run.
 
 use std::time::Instant;
 use tagspin_sim::experiments::{registry, run, Fidelity};
@@ -53,6 +57,24 @@ fn main() {
         println!("session ingest (throughput and fix refresh vs window):");
         println!("{}", tagspin_bench::ingest_bench::report(&results));
         if let Err(e) = tagspin_bench::ingest_bench::write_json(&path, &results) {
+            eprintln!("error: could not write {}: {e}", path.display());
+            std::process::exit(1);
+        }
+        println!("wrote {}", path.display());
+        return;
+    }
+    if let Some(i) = args.iter().position(|a| a == "--bench-robustness") {
+        let path = args
+            .get(i + 1)
+            .filter(|a| !a.starts_with("--"))
+            .map_or_else(
+                || std::path::PathBuf::from("BENCH_robustness.json"),
+                std::path::PathBuf::from,
+            );
+        let results = tagspin_bench::robustness_bench::run(quick);
+        println!("robustness (2D accuracy vs fault rate, quarantine on/off):");
+        println!("{}", tagspin_bench::robustness_bench::report(&results));
+        if let Err(e) = tagspin_bench::robustness_bench::write_json(&path, &results) {
             eprintln!("error: could not write {}: {e}", path.display());
             std::process::exit(1);
         }
@@ -100,12 +122,18 @@ fn main() {
     if let Some(trials) = trials_override {
         fidelity.trials = trials;
     }
-    println!(
+    // Accumulate a copy of everything printed; the run log lands under the
+    // CSV output directory instead of polluting the repo root.
+    let mut log = String::new();
+    let header = format!(
         "# Tagspin reproduction — fidelity: {} ({} trials/config, seed {:#x})\n",
         if quick { "quick" } else { "full" },
         fidelity.trials,
         fidelity.seed
     );
+    println!("{header}");
+    log.push_str(&header);
+    log.push('\n');
 
     let selected: Vec<&'static str> = if ids.is_empty() {
         registry().iter().map(|(id, _)| *id).collect()
@@ -126,12 +154,31 @@ fn main() {
         let t0 = Instant::now();
         let report = run(id, &fidelity).expect("id from registry");
         println!("{report}");
+        log.push_str(&report.to_string());
+        log.push('\n');
         if let Some(dir) = &csv_dir {
             if let Err(e) = report.write_csv(dir) {
                 eprintln!("warning: csv export for {id} failed: {e}");
             }
         }
-        println!("  [{} took {:.1} s]\n", id, t0.elapsed().as_secs_f64());
+        let timing = format!("  [{} took {:.1} s]\n", id, t0.elapsed().as_secs_f64());
+        println!("{timing}");
+        log.push_str(&timing);
     }
-    println!("total: {:.1} s", total.elapsed().as_secs_f64());
+    let footer = format!("total: {:.1} s", total.elapsed().as_secs_f64());
+    println!("{footer}");
+    log.push_str(&footer);
+    log.push('\n');
+
+    let log_dir = csv_dir.unwrap_or_else(|| std::path::PathBuf::from("reproduce_csv"));
+    let log_path = log_dir.join(format!(
+        "reproduce_{}.log",
+        if quick { "quick" } else { "full" }
+    ));
+    if let Err(e) = std::fs::create_dir_all(&log_dir).and_then(|()| std::fs::write(&log_path, log))
+    {
+        eprintln!("warning: could not write {}: {e}", log_path.display());
+    } else {
+        println!("log written to {}", log_path.display());
+    }
 }

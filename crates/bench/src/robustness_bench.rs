@@ -1,0 +1,219 @@
+//! Machine-readable robustness benchmark: 2D accuracy versus fault rate,
+//! with and without the ingest quarantine, emitted as
+//! `BENCH_robustness.json` (schema `tagspin-bench-robustness/v1`).
+//!
+//! Each rate point runs seeded [`tagspin_sim::fault::run_trial_2d_ab`]
+//! trials: one simulated observation corrupted by
+//! [`tagspin_sim::FaultPlan::at_rate`], then the *same* hostile stream
+//! through a hardened session (value/duplicate screens + quality gate) and
+//! a permissive one. The artifact is the accuracy curve pair — the
+//! measured answer to "what does the quarantine layer buy?" — and the CI
+//! regression gate (`cargo xtask bench-check`) holds the hardened curve to
+//! its committed baseline and requires hardened ≤ permissive at every rate
+//! of at least 10%.
+//!
+//! Trials that fail to produce a fix (for the permissive arm under NaN
+//! bombardment that is common) are scored as a bounded room-scale penalty
+//! rather than dropped, so medians stay comparable across arms and the
+//! JSON stays numeric.
+
+use tagspin_geom::Vec2;
+use tagspin_sim::fault::run_trial_2d_ab;
+use tagspin_sim::{FaultPlan, Scenario};
+
+/// Error charged to a trial arm that produced no fix: a room-diagonal
+/// miss, far beyond any real fix in the paper's office scenario.
+pub const FAILED_FIX_PENALTY_M: f64 = 10.0;
+
+/// One measured fault-rate point of the accuracy curve pair.
+#[derive(Debug, Clone)]
+pub struct RatePoint {
+    /// The fault-mixture knob fed to [`FaultPlan::at_rate`].
+    pub rate: f64,
+    /// Trials run at this rate.
+    pub trials: usize,
+    /// Median 2D error with the quarantine on (hardened arm), meters.
+    pub median_err_on_m: f64,
+    /// Median 2D error with the quarantine off (permissive arm), meters.
+    pub median_err_off_m: f64,
+    /// Mean 2D error, hardened arm, meters.
+    pub mean_err_on_m: f64,
+    /// Mean 2D error, permissive arm, meters.
+    pub mean_err_off_m: f64,
+    /// Hardened-arm trials that produced no fix (penalty-scored).
+    pub fails_on: usize,
+    /// Permissive-arm trials that produced no fix (penalty-scored).
+    pub fails_off: usize,
+}
+
+fn median(sorted: &[f64]) -> f64 {
+    if sorted.is_empty() {
+        return f64::NAN;
+    }
+    let mid = sorted.len() / 2;
+    if sorted.len() % 2 == 1 {
+        sorted[mid]
+    } else {
+        (sorted[mid - 1] + sorted[mid]) / 2.0
+    }
+}
+
+/// Run the robustness sweep. `quick` shrinks the per-rate trial count for
+/// CI; the measured rates are identical either way.
+pub fn run(quick: bool) -> Vec<RatePoint> {
+    let trials = if quick { 6 } else { 30 };
+    let rates = [0.0, 0.05, 0.1, 0.2, 0.3];
+    let scenario = Scenario::paper_2d(Vec2::new(0.4, 1.8)).quick();
+
+    rates
+        .iter()
+        .map(|&rate| {
+            let plan = FaultPlan::at_rate(rate);
+            let mut errs_on = Vec::with_capacity(trials);
+            let mut errs_off = Vec::with_capacity(trials);
+            let (mut fails_on, mut fails_off) = (0usize, 0usize);
+            for t in 0..trials {
+                // Stable per-trial seeds, disjoint across rates.
+                let seed = 0xAB00 + ((rate * 100.0).round() as u64) * 1000 + t as u64;
+                let Ok(ab) = run_trial_2d_ab(&scenario, &plan, seed) else {
+                    // Shared-setup failure hits both arms identically.
+                    fails_on += 1;
+                    fails_off += 1;
+                    errs_on.push(FAILED_FIX_PENALTY_M);
+                    errs_off.push(FAILED_FIX_PENALTY_M);
+                    continue;
+                };
+                match ab.hardened {
+                    Ok(out) => errs_on.push(out.error.combined),
+                    Err(_) => {
+                        fails_on += 1;
+                        errs_on.push(FAILED_FIX_PENALTY_M);
+                    }
+                }
+                match ab.permissive {
+                    Ok(out) => errs_off.push(out.error.combined),
+                    Err(_) => {
+                        fails_off += 1;
+                        errs_off.push(FAILED_FIX_PENALTY_M);
+                    }
+                }
+            }
+            errs_on.sort_by(f64::total_cmp);
+            errs_off.sort_by(f64::total_cmp);
+            RatePoint {
+                rate,
+                trials,
+                median_err_on_m: median(&errs_on),
+                median_err_off_m: median(&errs_off),
+                mean_err_on_m: errs_on.iter().sum::<f64>() / trials as f64,
+                mean_err_off_m: errs_off.iter().sum::<f64>() / trials as f64,
+                fails_on,
+                fails_off,
+            }
+        })
+        .collect()
+}
+
+/// Serialize results as the `tagspin-bench-robustness/v1` JSON document.
+pub fn to_json(results: &[RatePoint]) -> String {
+    let mut out =
+        String::from("{\n  \"schema\": \"tagspin-bench-robustness/v1\",\n  \"cases\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"rate_{:03}\", \"fault_rate\": {:.2}, \"trials\": {}, \
+             \"median_err_on_m\": {:.4}, \"median_err_off_m\": {:.4}, \
+             \"mean_err_on_m\": {:.4}, \"mean_err_off_m\": {:.4}, \
+             \"fails_on\": {}, \"fails_off\": {}}}{}\n",
+            (r.rate * 100.0).round() as u32,
+            r.rate,
+            r.trials,
+            r.median_err_on_m,
+            r.median_err_off_m,
+            r.mean_err_on_m,
+            r.mean_err_off_m,
+            r.fails_on,
+            r.fails_off,
+            if i + 1 < results.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Write the JSON document to `path`.
+///
+/// # Errors
+///
+/// Propagates the filesystem error when `path` is not writable.
+pub fn write_json(path: &std::path::Path, results: &[RatePoint]) -> std::io::Result<()> {
+    if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+        std::fs::create_dir_all(dir)?;
+    }
+    std::fs::write(path, to_json(results))
+}
+
+/// One human-readable line per rate point.
+pub fn report(results: &[RatePoint]) -> String {
+    results
+        .iter()
+        .map(|r| {
+            format!(
+                "fault rate {:>4.0}%  quarantine on: median {:>6.1} cm (fails {}/{})  \
+                 off: median {:>6.1} cm (fails {}/{})",
+                r.rate * 100.0,
+                r.median_err_on_m * 100.0,
+                r.fails_on,
+                r.trials,
+                r.median_err_off_m * 100.0,
+                r.fails_off,
+                r.trials,
+            )
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_is_well_formed_enough() {
+        let cases = vec![
+            RatePoint {
+                rate: 0.0,
+                trials: 6,
+                median_err_on_m: 0.05,
+                median_err_off_m: 0.05,
+                mean_err_on_m: 0.06,
+                mean_err_off_m: 0.06,
+                fails_on: 0,
+                fails_off: 0,
+            },
+            RatePoint {
+                rate: 0.2,
+                trials: 6,
+                median_err_on_m: 0.08,
+                median_err_off_m: 4.2,
+                mean_err_on_m: 0.09,
+                mean_err_off_m: 6.0,
+                fails_on: 0,
+                fails_off: 3,
+            },
+        ];
+        let json = to_json(&cases);
+        assert!(json.contains("\"schema\": \"tagspin-bench-robustness/v1\""));
+        assert!(json.contains("\"name\": \"rate_000\""));
+        assert!(json.contains("\"name\": \"rate_020\""));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        assert!(!report(&cases).is_empty());
+    }
+
+    #[test]
+    fn median_of_even_and_odd() {
+        assert!((median(&[1.0, 2.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert!((median(&[1.0, 3.0]) - 2.0).abs() < 1e-12);
+        assert!(median(&[]).is_nan());
+    }
+}

@@ -119,6 +119,25 @@ pub fn bearing_crlb(set: &SnapshotSet, radius: f64, sigma: f64, phi: f64) -> f64
     }
 }
 
+/// Worst-case [`bearing_crlb`] over the bearing circle, radians.
+///
+/// The pointwise bound depends (weakly) on the candidate bearing `φ`; a
+/// quality gate that runs *before* the spectrum peak is known needs the
+/// peak-independent figure, so this scans a coarse 16-point φ grid and
+/// keeps the largest bound. Uniform captures are φ-invariant (the scan is a
+/// no-op); pathological captures (all reads bunched at one disk angle) have
+/// a φ where the Fisher information collapses, and that is exactly the
+/// geometry a gate must catch. Returns `f64::INFINITY` for degenerate sets.
+pub fn bearing_crlb_worst(set: &SnapshotSet, radius: f64, sigma: f64) -> f64 {
+    const SCAN: usize = 16;
+    let mut worst: f64 = 0.0;
+    for i in 0..SCAN {
+        let phi = i as f64 * TAU / SCAN as f64;
+        worst = worst.max(bearing_crlb(set, radius, sigma, phi));
+    }
+    worst
+}
+
 /// Closed-form CRLB for a *uniform full rotation*: `σ/(k·r·√(n/2))`.
 ///
 /// Useful as the back-of-envelope the module docs derive; [`bearing_crlb`]
@@ -249,6 +268,29 @@ mod tests {
         assert!((a / b - 2.0).abs() < 1e-9);
         let c = bearing_crlb_uniform(1600, 0.1, 0.1, 0.325);
         assert!((a / c - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn worst_case_crlb_bounds_pointwise() {
+        let set = uniform_set(300);
+        let worst = bearing_crlb_worst(&set, 0.1, 0.1);
+        for i in 0..8 {
+            let phi = i as f64 * TAU / 8.0;
+            assert!(bearing_crlb(&set, 0.1, 0.1, phi) <= worst + 1e-15);
+        }
+        // Bunched capture: some φ collapses the information → infinite worst.
+        let bunched = SnapshotSet::from_snapshots(
+            (0..50)
+                .map(|i| Snapshot {
+                    t_s: i as f64,
+                    phase: 0.0,
+                    disk_angle: 0.0,
+                    lambda: 0.325,
+                    rssi_dbm: -60.0,
+                })
+                .collect(),
+        );
+        assert_eq!(bearing_crlb_worst(&bunched, 0.1, 0.1), f64::INFINITY);
     }
 
     #[test]

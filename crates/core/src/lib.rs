@@ -79,6 +79,7 @@ pub mod prelude {
     pub use crate::locate::space::{Bearing3D, Fix3D};
     pub use crate::registry::{RegisteredTag, TagRegistry};
     pub use crate::server::{LocalizationServer, PipelineConfig, ServerError};
+    pub use crate::session::quarantine::{IngestPolicy, QualityGate, RejectCounts, RejectReason};
     pub use crate::session::stats::{SessionStats, TagStreamStats};
     pub use crate::session::window::WindowConfig;
     pub use crate::session::{IngestOutcome, ReaderSession, SessionManager};

@@ -28,6 +28,7 @@ use crate::locate::plane::{Bearing2D, Fix2D};
 use crate::locate::space::{Bearing3D, Fix3D};
 use crate::locate::LocateError;
 use crate::registry::TagRegistry;
+use crate::session::quarantine::{IngestPolicy, QualityGate};
 use crate::session::{pipeline, window::WindowConfig, ReaderSession, SessionManager};
 use crate::snapshot::{SnapshotError, SnapshotSet};
 use crate::spectrum::engine::{SpectrumEngine, SpectrumEngineConfig};
@@ -56,6 +57,13 @@ pub struct PipelineConfig {
     pub orientation_calibration: bool,
     /// Minimum snapshots per tag for a usable spectrum.
     pub min_snapshots: usize,
+    /// Which ingest screens quarantine hostile reports before they reach
+    /// the snapshot buffers. Hardened by default; clean streams are
+    /// unaffected, so the batch/streaming equivalence contract holds.
+    pub ingest: IngestPolicy,
+    /// Per-tag graceful-degradation gate over windowed captures (disabled
+    /// by default).
+    pub quality_gate: QualityGate,
 }
 
 impl Default for PipelineConfig {
@@ -66,6 +74,8 @@ impl Default for PipelineConfig {
             engine: SpectrumEngineConfig::default(),
             orientation_calibration: true,
             min_snapshots: 30,
+            ingest: IngestPolicy::default(),
+            quality_gate: QualityGate::default(),
         }
     }
 }
@@ -96,6 +106,12 @@ pub enum ServerError {
         /// Which tag's spectrum degenerated.
         epc: u128,
     },
+    /// A tag's windowed capture failed the session quality gate: its
+    /// bearing is withheld rather than allowed to poison the fix.
+    QualityGated {
+        /// Which tag was withheld.
+        epc: u128,
+    },
     /// Snapshot extraction failed.
     Snapshot(SnapshotError),
     /// Geometric localization failed.
@@ -115,6 +131,9 @@ impl fmt::Display for ServerError {
             }
             ServerError::EmptySpectrum { epc } => {
                 write!(f, "tag {epc:x} produced an empty angle spectrum")
+            }
+            ServerError::QualityGated { epc } => {
+                write!(f, "tag {epc:x} withheld by the capture quality gate")
             }
             ServerError::Snapshot(e) => write!(f, "snapshot extraction failed: {e}"),
             ServerError::Locate(e) => write!(f, "localization failed: {e}"),
@@ -454,6 +473,7 @@ mod tests {
                 need: 30,
             },
             ServerError::EmptySpectrum { epc: 1 },
+            ServerError::QualityGated { epc: 1 },
             ServerError::Snapshot(SnapshotError::NoReads),
             ServerError::Locate(LocateError::TooFewBearings { got: 0 }),
         ] {

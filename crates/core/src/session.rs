@@ -27,9 +27,11 @@
 //! both funnel into the one shared per-tag path in [`pipeline`].
 
 pub(crate) mod pipeline;
+pub mod quarantine;
 pub mod stats;
 pub mod window;
 
+use crate::diagnostics::CaptureQuality;
 use crate::locate::aided::{locate_3d_resolved, AmbiguousBearing, ResolvedFix};
 use crate::locate::plane::{locate_2d, Bearing2D, Fix2D};
 use crate::locate::space::{locate_3d, Bearing3D, Fix3D};
@@ -37,6 +39,7 @@ use crate::registry::{RegisteredTag, TagRegistry};
 use crate::server::{PipelineConfig, ServerError};
 use crate::snapshot::{Snapshot, SnapshotError, SnapshotSet};
 use crate::spectrum::engine::SpectrumEngine;
+use quarantine::{RejectCounts, RejectReason};
 use stats::{SessionStats, TagStreamStats};
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
@@ -48,12 +51,16 @@ use window::WindowConfig;
 pub enum IngestOutcome {
     /// The report was appended to its tag's snapshot buffer.
     Buffered,
-    /// Dropped: the EPC is not in the registry.
-    UnknownTag,
-    /// Dropped: the report predates its stream's newest snapshot (reader
-    /// clocks are monotonic, so this only happens on replay or transport
-    /// reordering).
-    OutOfOrder,
+    /// Quarantined: the report was screened out for the given typed reason
+    /// and never touched a snapshot buffer.
+    Rejected(RejectReason),
+}
+
+impl IngestOutcome {
+    /// True when the report reached its tag's snapshot buffer.
+    pub fn is_buffered(&self) -> bool {
+        matches!(self, IngestOutcome::Buffered)
+    }
 }
 
 /// One tag's incremental snapshot buffer plus its per-kind bearing caches.
@@ -68,6 +75,10 @@ struct TagStream {
     ingested: u64,
     evicted: u64,
     out_of_order: u64,
+    duplicate: u64,
+    /// `(timestamp_us, phase.to_bits())` of the newest buffered report —
+    /// the duplicate-screen key (bit comparison, so NaN-free and exact).
+    last_key: Option<(u64, u64)>,
     cached_2d: Option<Result<Bearing2D, ServerError>>,
     cached_3d: Option<Result<Bearing3D, ServerError>>,
     cached_aided: Option<Result<AmbiguousBearing, ServerError>>,
@@ -101,8 +112,7 @@ pub struct ReaderSession {
     first_t_us: Option<u64>,
     latest_t_us: Option<u64>,
     ingested: u64,
-    unknown_tag: u64,
-    out_of_order: u64,
+    rejects: RejectCounts,
     evicted: u64,
 }
 
@@ -129,8 +139,7 @@ impl ReaderSession {
             first_t_us: None,
             latest_t_us: None,
             ingested: 0,
-            unknown_tag: 0,
-            out_of_order: 0,
+            rejects: RejectCounts::default(),
             evicted: 0,
         }
     }
@@ -164,16 +173,27 @@ impl ReaderSession {
     }
 
     /// Ingest one tag report into its per-tag snapshot buffer, applying the
-    /// sliding window. Never fails: undecodable input is counted and
-    /// dropped, and the returned [`IngestOutcome`] says which way it went.
+    /// quarantine screens and the sliding window. Never fails: hostile
+    /// input is counted and dropped, and the returned [`IngestOutcome`]
+    /// says which way it went.
+    ///
+    /// Screening order: report values (when
+    /// [`quarantine::IngestPolicy::screen_values`] is set), registry
+    /// membership, per-stream timestamp monotonicity (always — the
+    /// time-ordered buffer is a structural invariant), duplicates (when
+    /// [`quarantine::IngestPolicy::reject_duplicates`] is set).
     pub fn ingest(&mut self, report: &TagReport) -> IngestOutcome {
+        if self.config.ingest.screen_values {
+            if let Err(defect) = report.validate() {
+                return self.reject(RejectReason::Malformed(defect));
+            }
+        }
         let snapshot = match self.registry.get(report.epc) {
             Some(tag) => Snapshot::from_report(report, &tag.disk),
-            None => {
-                self.unknown_tag += 1;
-                return IngestOutcome::UnknownTag;
-            }
+            None => return self.reject(RejectReason::UnknownTag),
         };
+        let key = (report.timestamp_us, report.phase.to_bits());
+        let reject_duplicates = self.config.ingest.reject_duplicates;
         let stream = self.streams.entry(report.epc).or_default();
         if stream
             .buf
@@ -181,10 +201,16 @@ impl ReaderSession {
             .is_some_and(|last| snapshot.t_s < last.t_s)
         {
             stream.out_of_order += 1;
-            self.out_of_order += 1;
-            return IngestOutcome::OutOfOrder;
+            self.rejects.record(RejectReason::OutOfOrder);
+            return IngestOutcome::Rejected(RejectReason::OutOfOrder);
+        }
+        if reject_duplicates && stream.last_key == Some(key) {
+            stream.duplicate += 1;
+            self.rejects.record(RejectReason::Duplicate);
+            return IngestOutcome::Rejected(RejectReason::Duplicate);
         }
         stream.buf.push(snapshot);
+        stream.last_key = Some(key);
         stream.ingested += 1;
         stream.invalidate();
         self.ingested += 1;
@@ -206,6 +232,12 @@ impl ReaderSession {
             self.evicted += evicted as u64;
         }
         IngestOutcome::Buffered
+    }
+
+    /// Count a session-level rejection (no stream attribution).
+    fn reject(&mut self, reason: RejectReason) -> IngestOutcome {
+        self.rejects.record(reason);
+        IngestOutcome::Rejected(reason)
     }
 
     /// Bulk-ingest a whole log, report-by-report in log order. Returns how
@@ -270,6 +302,7 @@ impl ReaderSession {
             return cached.clone();
         }
         let result = pipeline::check_buffer(tag, &stream.buf)
+            .and_then(|()| pipeline::gate(tag, &self.config, &stream.buf))
             .and_then(|()| pipeline::bearing_2d(&self.engine, tag, &self.config, &stream.buf));
         stream.cached_2d = Some(result.clone());
         result
@@ -284,6 +317,7 @@ impl ReaderSession {
             return cached.clone();
         }
         let result = pipeline::check_buffer(tag, &stream.buf)
+            .and_then(|()| pipeline::gate(tag, &self.config, &stream.buf))
             .and_then(|()| pipeline::bearing_3d(&self.engine, tag, &self.config, &stream.buf));
         stream.cached_3d = Some(result.clone());
         result
@@ -301,6 +335,7 @@ impl ReaderSession {
             return cached.clone();
         }
         let result = pipeline::check_buffer(tag, &stream.buf)
+            .and_then(|()| pipeline::gate(tag, &self.config, &stream.buf))
             .and_then(|()| pipeline::bearing_aided(&self.engine, tag, &self.config, &stream.buf));
         stream.cached_aided = Some(result.clone());
         result
@@ -398,8 +433,7 @@ impl ReaderSession {
         };
         SessionStats {
             ingested: self.ingested,
-            unknown_tag: self.unknown_tag,
-            out_of_order: self.out_of_order,
+            rejects: self.rejects,
             evicted: self.evicted,
             streams: self.streams.len(),
             buffered: self.streams.values().map(|s| s.buf.len()).sum(),
@@ -421,6 +455,8 @@ impl ReaderSession {
             ingested: stream.ingested,
             evicted: stream.evicted,
             out_of_order: stream.out_of_order,
+            duplicate: stream.duplicate,
+            quality: CaptureQuality::of(&stream.buf),
             last_t_s,
             age_s: match (latest_t_s, last_t_s) {
                 (Some(latest), Some(last)) => Some(latest - last),
@@ -657,21 +693,90 @@ mod tests {
         assert_eq!(session.ingest(&report(2, 100, 1)), IngestOutcome::Buffered);
         assert_eq!(
             session.ingest(&report(9, 200, 1)),
-            IngestOutcome::UnknownTag
+            IngestOutcome::Rejected(RejectReason::UnknownTag)
         );
         // Older than stream 1's newest snapshot → dropped, not panicked.
-        assert_eq!(session.ingest(&report(2, 50, 1)), IngestOutcome::OutOfOrder);
+        assert_eq!(
+            session.ingest(&report(2, 50, 1)),
+            IngestOutcome::Rejected(RejectReason::OutOfOrder)
+        );
+        // Byte-identical repeat of stream 2's newest report → duplicate.
+        assert_eq!(
+            session.ingest(&report(2, 100, 1)),
+            IngestOutcome::Rejected(RejectReason::Duplicate)
+        );
         let stats = session.stats();
         assert_eq!(stats.ingested, 2);
-        assert_eq!(stats.unknown_tag, 1);
-        assert_eq!(stats.out_of_order, 1);
+        assert_eq!(stats.rejects.unknown_tag, 1);
+        assert_eq!(stats.rejects.out_of_order, 1);
+        assert_eq!(stats.rejects.duplicate, 1);
+        assert_eq!(stats.rejects.total(), 3);
         assert_eq!(stats.streams, 2);
         assert_eq!(stats.buffered, 2);
         let t2 = session.tag_stats(2).unwrap();
         assert_eq!(t2.out_of_order, 1);
+        assert_eq!(t2.duplicate, 1);
         assert_eq!(t2.buffered, 1);
         assert!(t2.dirty);
+        assert!(t2.quality.is_some());
         assert!(session.tag_stats(9).is_none());
+    }
+
+    #[test]
+    fn value_screens_quarantine_malformed_reports() {
+        use tagspin_epc::ReportDefect;
+        let mut session = ReaderSession::new(
+            registry_with(&[1]),
+            PipelineConfig::default(),
+            WindowConfig::unbounded(),
+        );
+        let nan = TagReport {
+            phase: f64::NAN,
+            ..report(1, 0, 1)
+        };
+        assert_eq!(
+            session.ingest(&nan),
+            IngestOutcome::Rejected(RejectReason::Malformed(ReportDefect::NonFinitePhase))
+        );
+        assert_eq!(session.stats().rejects.non_finite_phase, 1);
+        // The permissive policy lets the same values through (finite checks
+        // off), but out-of-order rejection still protects the buffer.
+        let cfg = PipelineConfig {
+            ingest: quarantine::IngestPolicy::permissive(),
+            ..PipelineConfig::default()
+        };
+        let mut loose = ReaderSession::new(registry_with(&[1]), cfg, WindowConfig::unbounded());
+        assert!(loose.ingest(&nan).is_buffered());
+        assert_eq!(
+            loose.ingest(&report(1, 0, 1)),
+            IngestOutcome::Buffered,
+            "same timestamp is not out-of-order"
+        );
+    }
+
+    #[test]
+    fn quality_gate_withholds_sparse_capture_from_fix() {
+        let cfg = PipelineConfig {
+            quality_gate: quarantine::QualityGate::paper_default(),
+            min_snapshots: 5,
+            ..PipelineConfig::default()
+        };
+        let mut session = ReaderSession::new(registry_with(&[1]), cfg, WindowConfig::unbounded());
+        // Plenty of reads, but all at nearly the same instant → the disk
+        // barely turned, coverage collapses, the gate withholds the tag.
+        for i in 0..40u64 {
+            session.ingest(&report(1, i, 1));
+        }
+        assert_eq!(
+            session.tag_bearing_2d(1),
+            Err(ServerError::QualityGated { epc: 1 })
+        );
+        // Skippable: the fix degrades to NotEnoughBearings, not a hard
+        // QualityGated error.
+        assert_eq!(
+            session.fix_2d(),
+            Err(ServerError::NotEnoughBearings { usable: 0 })
+        );
     }
 
     #[test]
@@ -757,7 +862,10 @@ mod tests {
             .unwrap();
         assert_eq!(mgr.ingest(&report(1, 0, 2)), IngestOutcome::Buffered);
         assert_eq!(mgr.ingest(&report(1, 100, 1)), IngestOutcome::Buffered);
-        assert_eq!(mgr.ingest(&report(7, 200, 3)), IngestOutcome::UnknownTag);
+        assert_eq!(
+            mgr.ingest(&report(7, 200, 3)),
+            IngestOutcome::Rejected(RejectReason::UnknownTag)
+        );
         // Ascending antenna order, and the unknown-EPC antenna still has a
         // session (it saw traffic).
         assert_eq!(mgr.antennas(), vec![1, 2, 3]);

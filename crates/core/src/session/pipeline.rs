@@ -61,6 +61,29 @@ pub(crate) fn check_buffer(tag: &RegisteredTag, set: &SnapshotSet) -> Result<(),
     Ok(())
 }
 
+/// Apply the configured per-tag quality gate to a windowed buffer: a
+/// capture failing the [`crate::session::quarantine::QualityGate`]
+/// thresholds is withheld from fixes with a skippable
+/// [`ServerError::QualityGated`] instead of producing a wild bearing.
+///
+/// # Errors
+///
+/// [`ServerError::QualityGated`] when the gate is enabled and fails.
+pub(crate) fn gate(
+    tag: &RegisteredTag,
+    config: &PipelineConfig,
+    set: &SnapshotSet,
+) -> Result<(), ServerError> {
+    if config
+        .quality_gate
+        .passes(set, tag.disk.radius, config.spectrum.sigma)
+    {
+        Ok(())
+    } else {
+        Err(ServerError::QualityGated { epc: tag.epc })
+    }
+}
+
 /// 2D bearing of one tag from an already-extracted snapshot set.
 ///
 /// # Errors
@@ -137,12 +160,14 @@ pub(crate) fn bearing_aided(
 
 /// Whether a per-tag failure is degenerate-input noise the multi-tag fixes
 /// skip (the tag contributes nothing) rather than a hard error: missing
-/// reads, a buffer below the snapshot floor, or an empty angle spectrum.
+/// reads, a buffer below the snapshot floor, an empty angle spectrum, or a
+/// capture withheld by the quality gate.
 pub(crate) fn skippable(e: &ServerError) -> bool {
     matches!(
         e,
         ServerError::Snapshot(SnapshotError::NoReads)
             | ServerError::TooFewSnapshots { .. }
             | ServerError::EmptySpectrum { .. }
+            | ServerError::QualityGated { .. }
     )
 }

@@ -1,0 +1,302 @@
+//! Ingest screening and graceful degradation for streaming sessions.
+//!
+//! The paper's own evaluation shows real captures are hostile: the
+//! orientation effect skews sampling density 2–4×, frequency hopping resets
+//! phase, and COTS readers drop, duplicate and reorder reads. A production
+//! ingest tier therefore screens every incoming report *before* it reaches
+//! the localization math, and keeps typed books on what it rejected:
+//!
+//! * [`RejectReason`] — why one report was quarantined instead of buffered.
+//! * [`RejectCounts`] — per-reason counters surfaced through
+//!   [`super::stats::SessionStats`] so every offered report is accounted
+//!   for as accepted, quarantined, or (later) evicted.
+//! * [`IngestPolicy`] — which screens are active. The hardened default
+//!   screens values and duplicates; [`IngestPolicy::permissive`] turns the
+//!   value screens off (the quarantine-off arm of the robustness bench).
+//! * [`QualityGate`] — the per-tag graceful-degradation gate: a stream
+//!   whose windowed capture fails the [`crate::diagnostics::CaptureQuality`]
+//!   thresholds (or whose worst-case [`crate::diagnostics::bearing_crlb`]
+//!   exceeds the bound) is *withheld* from fixes rather than allowed to
+//!   emit a wild bearing.
+
+use crate::snapshot::SnapshotSet;
+use serde::{Deserialize, Serialize};
+use std::f64::consts::TAU;
+use tagspin_epc::ReportDefect;
+
+/// Why one report offered to [`super::ReaderSession::ingest`] was
+/// quarantined instead of buffered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RejectReason {
+    /// The EPC is not in the registry (includes bit-flipped ghost EPCs).
+    UnknownTag,
+    /// The report predates its stream's newest snapshot (replay or
+    /// transport reordering; reader clocks are monotonic).
+    OutOfOrder,
+    /// Byte-identical repeat of the stream's newest report (COTS readers
+    /// re-deliver reads across LLRP reconnects).
+    Duplicate,
+    /// The report's values failed [`tagspin_epc::TagReport::validate`].
+    Malformed(ReportDefect),
+}
+
+impl std::fmt::Display for RejectReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RejectReason::UnknownTag => write!(f, "unregistered EPC"),
+            RejectReason::OutOfOrder => write!(f, "timestamp behind the stream"),
+            RejectReason::Duplicate => write!(f, "duplicate of the newest report"),
+            RejectReason::Malformed(d) => write!(f, "malformed report: {d}"),
+        }
+    }
+}
+
+/// Per-reason quarantine counters.
+///
+/// The accounting invariant: every report ever offered to a session equals
+/// `ingested + rejects.total()`; every ingested snapshot is either still
+/// buffered or evicted by the window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct RejectCounts {
+    /// Reports dropped because their EPC is not registered.
+    pub unknown_tag: u64,
+    /// Reports dropped for arriving behind their stream's newest snapshot.
+    pub out_of_order: u64,
+    /// Byte-identical repeats of a stream's newest report.
+    pub duplicate: u64,
+    /// NaN or infinite phase fields.
+    pub non_finite_phase: u64,
+    /// Finite phase outside `[0, 2π)`.
+    pub phase_out_of_range: u64,
+    /// NaN, infinite, or implausible RSSI fields.
+    pub bad_rssi: u64,
+    /// All-zero (ghost) EPCs.
+    pub null_epc: u64,
+}
+
+impl RejectCounts {
+    /// Record one rejection.
+    pub fn record(&mut self, reason: RejectReason) {
+        match reason {
+            RejectReason::UnknownTag => self.unknown_tag += 1,
+            RejectReason::OutOfOrder => self.out_of_order += 1,
+            RejectReason::Duplicate => self.duplicate += 1,
+            RejectReason::Malformed(ReportDefect::NonFinitePhase) => self.non_finite_phase += 1,
+            RejectReason::Malformed(ReportDefect::PhaseOutOfRange) => self.phase_out_of_range += 1,
+            RejectReason::Malformed(ReportDefect::NonFiniteRssi)
+            | RejectReason::Malformed(ReportDefect::RssiOutOfRange) => self.bad_rssi += 1,
+            RejectReason::Malformed(ReportDefect::NullEpc) => self.null_epc += 1,
+        }
+    }
+
+    /// Total rejected reports across every reason.
+    pub fn total(&self) -> u64 {
+        self.unknown_tag
+            + self.out_of_order
+            + self.duplicate
+            + self.non_finite_phase
+            + self.phase_out_of_range
+            + self.bad_rssi
+            + self.null_epc
+    }
+}
+
+/// Which ingest screens are active.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IngestPolicy {
+    /// Screen report values via [`tagspin_epc::TagReport::validate`]
+    /// (NaN/out-of-range phase, implausible RSSI, ghost EPCs).
+    pub screen_values: bool,
+    /// Reject byte-identical repeats of a stream's newest report.
+    pub reject_duplicates: bool,
+}
+
+/// The default policy is hardened: both screens on.
+impl Default for IngestPolicy {
+    fn default() -> Self {
+        IngestPolicy::hardened()
+    }
+}
+
+impl IngestPolicy {
+    /// Both screens on (the production posture).
+    pub fn hardened() -> Self {
+        IngestPolicy {
+            screen_values: true,
+            reject_duplicates: true,
+        }
+    }
+
+    /// Value and duplicate screens off — corrupted reports flow straight
+    /// into the buffers. Out-of-order reports are still rejected: the
+    /// time-ordered buffer is a structural invariant, not a screen.
+    ///
+    /// This is the quarantine-off arm of the robustness benchmark; it
+    /// exists to *measure* what the screens buy, not to run in production.
+    pub fn permissive() -> Self {
+        IngestPolicy {
+            screen_values: false,
+            reject_duplicates: false,
+        }
+    }
+}
+
+/// Per-tag graceful-degradation gate over the windowed capture.
+///
+/// Built on the existing [`crate::diagnostics::CaptureQuality`] thresholds
+/// plus a worst-case [`crate::diagnostics::bearing_crlb`] bound: a stream
+/// that fails the gate yields
+/// [`crate::server::ServerError::QualityGated`] — a *skippable* per-tag
+/// error, so multi-tag fixes degrade to the remaining healthy tags instead
+/// of absorbing a wild bearing.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QualityGate {
+    /// Master switch. Disabled by default so the gate never perturbs the
+    /// batch/streaming bit-equivalence contract unless asked for.
+    pub enabled: bool,
+    /// Minimum snapshots inside the window.
+    pub min_reads: usize,
+    /// Minimum fraction of the disk circle covered, `[0, 1]`.
+    pub min_coverage: f64,
+    /// Maximum tolerable angular gap between consecutive disk angles, rad.
+    pub max_gap_rad: f64,
+    /// Upper bound on the worst-case CRLB bearing deviation, rad
+    /// (`f64::INFINITY` disables the bound).
+    pub max_crlb_rad: f64,
+}
+
+impl Default for QualityGate {
+    /// Disabled, with the [`QualityGate::paper_default`] thresholds
+    /// already in place for a one-field opt-in.
+    fn default() -> Self {
+        let mut gate = QualityGate::paper_default();
+        gate.enabled = false;
+        gate
+    }
+}
+
+impl QualityGate {
+    /// The enabled gate with the [`crate::diagnostics::CaptureQuality`]
+    /// `is_usable` thresholds and a 2° CRLB bound.
+    pub fn paper_default() -> Self {
+        QualityGate {
+            enabled: true,
+            min_reads: 30,
+            min_coverage: 0.6,
+            max_gap_rad: TAU / 4.0,
+            max_crlb_rad: 2.0_f64.to_radians(),
+        }
+    }
+
+    /// Whether a windowed capture passes the gate. A disabled gate passes
+    /// everything; an empty capture passes too (the pipeline's own
+    /// `NoReads` handling covers it with a more specific error).
+    pub fn passes(&self, set: &SnapshotSet, radius: f64, sigma: f64) -> bool {
+        if !self.enabled {
+            return true;
+        }
+        let Some(q) = crate::diagnostics::CaptureQuality::of(set) else {
+            return true;
+        };
+        if q.reads < self.min_reads
+            || q.coverage < self.min_coverage
+            || q.max_gap > self.max_gap_rad
+        {
+            return false;
+        }
+        self.max_crlb_rad.is_infinite()
+            || crate::diagnostics::bearing_crlb_worst(set, radius, sigma) <= self.max_crlb_rad
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snapshot::Snapshot;
+
+    fn uniform_set(n: usize) -> SnapshotSet {
+        SnapshotSet::from_snapshots(
+            (0..n)
+                .map(|i| Snapshot {
+                    t_s: i as f64 * 0.01,
+                    phase: 0.0,
+                    disk_angle: i as f64 * TAU / n as f64,
+                    lambda: 0.325,
+                    rssi_dbm: -60.0,
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn counts_record_every_reason() {
+        let mut c = RejectCounts::default();
+        for r in [
+            RejectReason::UnknownTag,
+            RejectReason::OutOfOrder,
+            RejectReason::Duplicate,
+            RejectReason::Malformed(ReportDefect::NonFinitePhase),
+            RejectReason::Malformed(ReportDefect::PhaseOutOfRange),
+            RejectReason::Malformed(ReportDefect::NonFiniteRssi),
+            RejectReason::Malformed(ReportDefect::RssiOutOfRange),
+            RejectReason::Malformed(ReportDefect::NullEpc),
+        ] {
+            c.record(r);
+            assert!(!r.to_string().is_empty());
+        }
+        assert_eq!(c.total(), 8);
+        assert_eq!(c.bad_rssi, 2);
+    }
+
+    #[test]
+    fn policy_presets() {
+        assert_eq!(IngestPolicy::default(), IngestPolicy::hardened());
+        assert!(!IngestPolicy::permissive().screen_values);
+        assert!(!IngestPolicy::permissive().reject_duplicates);
+    }
+
+    #[test]
+    fn disabled_gate_passes_anything() {
+        let gate = QualityGate::default();
+        assert!(!gate.enabled);
+        assert!(gate.passes(&uniform_set(3), 0.1, 0.1));
+        assert!(gate.passes(&SnapshotSet::default(), 0.1, 0.1));
+    }
+
+    #[test]
+    fn enabled_gate_judges_capture_quality() {
+        let gate = QualityGate::paper_default();
+        // A dense uniform rotation passes easily.
+        assert!(gate.passes(&uniform_set(360), 0.1, 0.1));
+        // Too few reads fails.
+        assert!(!gate.passes(&uniform_set(10), 0.1, 0.1));
+        // A half-circle capture fails coverage/gap.
+        let half = SnapshotSet::from_snapshots(
+            (0..100)
+                .map(|i| Snapshot {
+                    t_s: i as f64 * 0.01,
+                    phase: 0.0,
+                    disk_angle: i as f64 * std::f64::consts::PI / 100.0,
+                    lambda: 0.325,
+                    rssi_dbm: -60.0,
+                })
+                .collect(),
+        );
+        assert!(!gate.passes(&half, 0.1, 0.1));
+        // Empty set is left to the NoReads path.
+        assert!(gate.passes(&SnapshotSet::default(), 0.1, 0.1));
+    }
+
+    #[test]
+    fn crlb_bound_can_reject_noisy_geometry() {
+        // A huge assumed per-read noise blows the worst-case CRLB past 2°.
+        let gate = QualityGate::paper_default();
+        assert!(!gate.passes(&uniform_set(40), 0.1, 30.0));
+        // Disabling the bound re-admits it (other thresholds still pass).
+        let loose = QualityGate {
+            max_crlb_rad: f64::INFINITY,
+            ..gate
+        };
+        assert!(loose.passes(&uniform_set(40), 0.1, 30.0));
+    }
+}

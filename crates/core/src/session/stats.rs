@@ -5,15 +5,21 @@
 //! localization math. These structs are cheap snapshots of the session's
 //! counters — no locks, no recomputation.
 
+use crate::diagnostics::CaptureQuality;
+use crate::session::quarantine::RejectCounts;
+
 /// Session-wide ingestion counters and freshness figures.
+///
+/// Accounting invariant: every report ever offered to the session is either
+/// counted in `ingested` or in exactly one [`RejectCounts`] bucket
+/// (`ingested + rejects.total()` = reports offered); every ingested
+/// snapshot is either still `buffered` or was `evicted` by the window.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SessionStats {
     /// Reports buffered into a tag stream since the session started.
     pub ingested: u64,
-    /// Reports dropped because their EPC is not registered.
-    pub unknown_tag: u64,
-    /// Reports dropped because they predate their stream's newest snapshot.
-    pub out_of_order: u64,
+    /// Reports quarantined by the ingest screens, by typed reason.
+    pub rejects: RejectCounts,
     /// Snapshots evicted by the sliding window (all streams, lifetime).
     pub evicted: u64,
     /// Tag streams currently tracked (registered EPCs seen at least once).
@@ -43,6 +49,11 @@ pub struct TagStreamStats {
     pub evicted: u64,
     /// Reports dropped for arriving behind this stream's newest snapshot.
     pub out_of_order: u64,
+    /// Byte-identical repeats of this stream's newest report, dropped.
+    pub duplicate: u64,
+    /// Structural quality of the current window (`None` for an empty
+    /// buffer) — what the session's quality gate judges.
+    pub quality: Option<CaptureQuality>,
     /// Reader-clock time of the newest buffered snapshot, seconds.
     pub last_t_s: Option<f64>,
     /// Staleness: session latest minus this stream's newest snapshot,

@@ -48,6 +48,6 @@ pub mod timing;
 
 pub use inventory::{run_inventory, HopSchedule, ReaderConfig, StaticTag, Transponder};
 pub use qalgo::{QAlgorithm, SlotOutcome};
-pub use report::{InventoryLog, TagReport};
+pub use report::{InventoryLog, ReportDefect, TagReport};
 pub use select::{SelectCommand, Selection};
 pub use timing::LinkProfile;

@@ -9,6 +9,44 @@
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
+/// Why a [`TagReport`] failed [`TagReport::validate`].
+///
+/// Real COTS captures contain reports that are *structurally* broken before
+/// any localization math sees them: NaN phases from firmware glitches,
+/// RSSI fields holding sentinel garbage, all-zero EPCs from CRC-passing
+/// ghost reads. These defects are detectable from the report alone — no
+/// registry or stream context needed — which is why the screen lives at the
+/// EPC layer rather than in the session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ReportDefect {
+    /// The phase is NaN or infinite.
+    NonFinitePhase,
+    /// The phase is finite but outside the reader contract `[0, 2π)`.
+    PhaseOutOfRange,
+    /// The RSSI is NaN or infinite.
+    NonFiniteRssi,
+    /// The RSSI is finite but outside any plausible backscatter power
+    /// (`[-120, +20]` dBm).
+    RssiOutOfRange,
+    /// The EPC is all-zero — a ghost read (bit errors that still passed
+    /// CRC produce these on COTS readers).
+    NullEpc,
+}
+
+impl fmt::Display for ReportDefect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReportDefect::NonFinitePhase => write!(f, "phase is NaN or infinite"),
+            ReportDefect::PhaseOutOfRange => write!(f, "phase outside [0, 2π)"),
+            ReportDefect::NonFiniteRssi => write!(f, "rssi is NaN or infinite"),
+            ReportDefect::RssiOutOfRange => write!(f, "rssi outside [-120, +20] dBm"),
+            ReportDefect::NullEpc => write!(f, "all-zero EPC (ghost read)"),
+        }
+    }
+}
+
+impl std::error::Error for ReportDefect {}
+
 /// One tag read, as reported over LLRP by the reader.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct TagReport {
@@ -31,6 +69,35 @@ impl TagReport {
     #[inline]
     pub fn time_s(&self) -> f64 {
         self.timestamp_us as f64 * 1e-6
+    }
+
+    /// Screen the report's *values* against the reader contract: phase in
+    /// `[0, 2π)`, RSSI finite and within `[-120, +20]` dBm, non-zero EPC.
+    ///
+    /// Stream-level properties (timestamp monotonicity, duplicates,
+    /// registry membership) are out of scope — those need context this
+    /// report does not carry and are enforced by the ingesting session.
+    ///
+    /// # Errors
+    ///
+    /// The first [`ReportDefect`] found, in field order.
+    pub fn validate(&self) -> Result<(), ReportDefect> {
+        if self.epc == 0 {
+            return Err(ReportDefect::NullEpc);
+        }
+        if !self.phase.is_finite() {
+            return Err(ReportDefect::NonFinitePhase);
+        }
+        if !(0.0..std::f64::consts::TAU).contains(&self.phase) {
+            return Err(ReportDefect::PhaseOutOfRange);
+        }
+        if !self.rssi_dbm.is_finite() {
+            return Err(ReportDefect::NonFiniteRssi);
+        }
+        if !(-120.0..=20.0).contains(&self.rssi_dbm) {
+            return Err(ReportDefect::RssiOutOfRange);
+        }
+        Ok(())
     }
 }
 
@@ -256,6 +323,64 @@ mod tests {
         // Borrowing and consuming iteration agree with stream().
         assert_eq!((&log).into_iter().count(), 5);
         assert_eq!(log.into_iter().count(), 5);
+    }
+
+    #[test]
+    fn validate_accepts_clean_reports() {
+        assert_eq!(report(1, 0).validate(), Ok(()));
+    }
+
+    #[test]
+    fn validate_screens_each_field() {
+        let clean = report(1, 0);
+        for (broken, defect) in [
+            (TagReport { epc: 0, ..clean }, ReportDefect::NullEpc),
+            (
+                TagReport {
+                    phase: f64::NAN,
+                    ..clean
+                },
+                ReportDefect::NonFinitePhase,
+            ),
+            (
+                TagReport {
+                    phase: f64::INFINITY,
+                    ..clean
+                },
+                ReportDefect::NonFinitePhase,
+            ),
+            (
+                TagReport {
+                    phase: -0.1,
+                    ..clean
+                },
+                ReportDefect::PhaseOutOfRange,
+            ),
+            (
+                TagReport {
+                    phase: std::f64::consts::TAU,
+                    ..clean
+                },
+                ReportDefect::PhaseOutOfRange,
+            ),
+            (
+                TagReport {
+                    rssi_dbm: f64::NAN,
+                    ..clean
+                },
+                ReportDefect::NonFiniteRssi,
+            ),
+            (
+                TagReport {
+                    rssi_dbm: 500.0,
+                    ..clean
+                },
+                ReportDefect::RssiOutOfRange,
+            ),
+        ] {
+            assert_eq!(broken.validate(), Err(defect), "report: {broken:?}");
+            assert!(!defect.to_string().is_empty());
+        }
     }
 
     #[test]

@@ -4,6 +4,8 @@
 //!   desk + elevated reader) as configurable scenario values.
 //! * [`trial`] — one end-to-end localization run: manufacture tags,
 //!   center-spin calibration, inventory, pipeline, error scoring.
+//! * [`fault`] — seeded fault injection ([`fault::FaultPlan`]) and A/B
+//!   robustness trials (hardened vs permissive ingest).
 //! * [`metrics`] — the paper's error-distance metrics, per-axis and CDF.
 //! * [`sweep`] — seeded repetition and parameter sweeps (parallelized).
 //! * [`baseline_adapters`] — the four comparison systems run in the same
@@ -17,12 +19,14 @@
 pub mod baseline_adapters;
 pub mod config;
 pub mod experiments;
+pub mod fault;
 pub mod metrics;
 pub mod scenario;
 pub mod sweep;
 pub mod trial;
 
 pub use config::Deployment;
+pub use fault::{run_trial_2d_ab, FaultPlan};
 pub use metrics::{ErrorStats, TrialError};
 pub use scenario::Scenario;
 pub use trial::{run_trial_2d, run_trial_3d, TrialFailure};

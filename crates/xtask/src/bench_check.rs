@@ -1,0 +1,728 @@
+//! `cargo xtask bench-check`: the benchmark regression gate.
+//!
+//! Compares freshly generated `BENCH_*.json` artifacts against the
+//! committed baselines under `bench/baselines/` and fails when a
+//! lower-is-better metric regresses past the configured tolerance
+//! (default 25%, sized for quick-mode jitter on shared CI runners).
+//!
+//! Three artifacts are checked, one per bench schema:
+//!
+//! | artifact               | schema                        | gated metrics |
+//! |------------------------|-------------------------------|---------------|
+//! | `BENCH_spectrum.json`  | `tagspin-bench-spectrum/v1`   | `mean_ns_fast` |
+//! | `BENCH_ingest.json`    | `tagspin-bench-ingest/v1`     | `mean_ingest_ns`, `mean_fix_refresh_ns` |
+//! | `BENCH_robustness.json`| `tagspin-bench-robustness/v1` | `median_err_on_m` |
+//!
+//! The robustness artifact additionally carries a *hard invariant*,
+//! independent of any baseline: at every fault rate of at least 10% the
+//! hardened (quarantine-on) arm must not lose to the permissive arm on
+//! median 2D error. That is the paper-level claim the fault-injection
+//! subsystem exists to defend; a tolerance cannot excuse breaking it.
+//!
+//! `--bless` copies the current artifacts over the baselines instead of
+//! comparing, after validating that each parses with the expected schema.
+//!
+//! The JSON involved is the flat hand-rolled dialect the bench crate
+//! emits, so this module carries its own dependency-free parser rather
+//! than growing a serde dependency.
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// A bench artifact the gate knows how to compare.
+#[derive(Debug, Clone, Copy)]
+pub struct ArtifactSpec {
+    /// File name, identical under the baselines and current directories.
+    pub file: &'static str,
+    /// Required value of the document's `schema` field.
+    pub schema: &'static str,
+    /// Lower-is-better numeric per-case metrics held to the baseline.
+    pub metrics: &'static [&'static str],
+}
+
+/// The three gated artifacts.
+pub const ARTIFACTS: [ArtifactSpec; 3] = [
+    ArtifactSpec {
+        file: "BENCH_spectrum.json",
+        schema: "tagspin-bench-spectrum/v1",
+        metrics: &["mean_ns_fast"],
+    },
+    ArtifactSpec {
+        file: "BENCH_ingest.json",
+        schema: "tagspin-bench-ingest/v1",
+        metrics: &["mean_ingest_ns", "mean_fix_refresh_ns"],
+    },
+    ArtifactSpec {
+        file: "BENCH_robustness.json",
+        schema: "tagspin-bench-robustness/v1",
+        metrics: &["median_err_on_m"],
+    },
+];
+
+/// How the gate runs: where to find files and how much slack to allow.
+#[derive(Debug, Clone)]
+pub struct CheckOptions {
+    /// Directory holding the committed baseline artifacts.
+    pub baselines: PathBuf,
+    /// Directory holding the freshly generated artifacts.
+    pub current: PathBuf,
+    /// Relative slack on lower-is-better metrics (0.25 = +25% allowed).
+    pub tolerance: f64,
+}
+
+/// One compared metric, ready for the delta table.
+#[derive(Debug, Clone)]
+pub struct DeltaRow {
+    /// Artifact file name.
+    pub artifact: &'static str,
+    /// Case name inside the artifact.
+    pub case: String,
+    /// Metric name.
+    pub metric: &'static str,
+    /// Baseline value.
+    pub baseline: f64,
+    /// Current value.
+    pub current: f64,
+    /// Whether the current value regressed past tolerance.
+    pub regressed: bool,
+}
+
+impl DeltaRow {
+    /// Relative change, `+0.50` meaning 50% slower/worse.
+    pub fn delta(&self) -> f64 {
+        if self.baseline.abs() < f64::EPSILON {
+            if self.current.abs() < f64::EPSILON {
+                0.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            self.current / self.baseline - 1.0
+        }
+    }
+}
+
+/// Everything the gate concluded: the per-metric table plus hard failures
+/// that are not tied to a single table row (missing files, bad schemas,
+/// broken invariants, vanished cases).
+#[derive(Debug, Default)]
+pub struct CheckReport {
+    /// Per-metric comparisons, in artifact/case order.
+    pub rows: Vec<DeltaRow>,
+    /// Failures not expressible as a table row.
+    pub problems: Vec<String>,
+}
+
+impl CheckReport {
+    /// True when nothing regressed and no structural problem was found.
+    pub fn passed(&self) -> bool {
+        self.problems.is_empty() && self.rows.iter().all(|r| !r.regressed)
+    }
+
+    /// Render the delta table (and any problems) as GitHub-flavored
+    /// markdown, suitable for `$GITHUB_STEP_SUMMARY`.
+    pub fn markdown(&self) -> String {
+        let mut out = String::from("### Bench regression gate\n\n");
+        out.push_str("| artifact | case | metric | baseline | current | delta | status |\n");
+        out.push_str("|---|---|---|---:|---:|---:|---|\n");
+        for r in &self.rows {
+            let delta = r.delta();
+            let delta_str = if delta.is_infinite() {
+                "inf".to_string()
+            } else {
+                format!("{:+.1}%", delta * 100.0)
+            };
+            out.push_str(&format!(
+                "| {} | {} | {} | {:.4} | {:.4} | {} | {} |\n",
+                r.artifact,
+                r.case,
+                r.metric,
+                r.baseline,
+                r.current,
+                delta_str,
+                if r.regressed { "REGRESSED" } else { "ok" },
+            ));
+        }
+        if !self.problems.is_empty() {
+            out.push_str("\n**Problems:**\n\n");
+            for p in &self.problems {
+                out.push_str(&format!("- {p}\n"));
+            }
+        }
+        out.push_str(&format!(
+            "\n{}\n",
+            if self.passed() {
+                "All benchmarks within tolerance."
+            } else {
+                "Benchmark regression detected."
+            }
+        ));
+        out
+    }
+}
+
+/// A failure of the gate machinery itself (as opposed to a regression,
+/// which is a [`CheckReport`] outcome).
+#[derive(Debug)]
+pub enum BenchCheckError {
+    /// A file could not be read or written.
+    Io {
+        /// The path involved.
+        path: PathBuf,
+        /// The underlying error.
+        source: std::io::Error,
+    },
+    /// A baseline artifact is missing entirely.
+    MissingBaseline {
+        /// The absent path.
+        path: PathBuf,
+    },
+    /// An artifact failed to parse or had the wrong schema.
+    Malformed {
+        /// The offending path.
+        path: PathBuf,
+        /// What went wrong.
+        detail: String,
+    },
+}
+
+impl fmt::Display for BenchCheckError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BenchCheckError::Io { path, source } => {
+                write!(f, "{}: {source}", path.display())
+            }
+            BenchCheckError::MissingBaseline { path } => write!(
+                f,
+                "missing baseline {}; generate the artifacts and run \
+                 `cargo xtask bench-check --bless` to record them",
+                path.display()
+            ),
+            BenchCheckError::Malformed { path, detail } => {
+                write!(f, "{}: {detail}", path.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for BenchCheckError {}
+
+// ---------------------------------------------------------------------------
+// Minimal JSON reader for the bench dialect.
+// ---------------------------------------------------------------------------
+
+/// A parsed JSON value, covering exactly the bench artifact dialect.
+#[derive(Debug, Clone, PartialEq)]
+enum Value {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Value>),
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn as_num(&self) -> Option<f64> {
+        match self {
+            Value::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Self {
+        Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_whitespace())
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), String> {
+        match self.peek() {
+            Some(b) if b == byte => {
+                self.pos += 1;
+                Ok(())
+            }
+            other => Err(format!(
+                "expected `{}` at byte {}, found {:?}",
+                byte as char,
+                self.pos,
+                other.map(|b| b as char)
+            )),
+        }
+    }
+
+    fn eat_literal(&mut self, lit: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, String> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => self.string().map(Value::Str),
+            Some(b'n') if self.eat_literal("null") => Ok(Value::Null),
+            Some(b't') if self.eat_literal("true") => Ok(Value::Bool(true)),
+            Some(b'f') if self.eat_literal("false") => Ok(Value::Bool(false)),
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.number(),
+            other => Err(format!(
+                "unexpected {:?} at byte {}",
+                other.map(|b| b as char),
+                self.pos
+            )),
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, String> {
+        self.expect(b'{')?;
+        let mut pairs = Vec::new();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Obj(pairs));
+        }
+        loop {
+            let key = self.string()?;
+            self.expect(b':')?;
+            let val = self.value()?;
+            pairs.push((key, val));
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Obj(pairs));
+                }
+                other => {
+                    return Err(format!(
+                        "expected `,` or `}}` at byte {}, found {:?}",
+                        self.pos,
+                        other.map(|b| b as char)
+                    ))
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Arr(items));
+                }
+                other => {
+                    return Err(format!(
+                        "expected `,` or `]` at byte {}, found {:?}",
+                        self.pos,
+                        other.map(|b| b as char)
+                    ))
+                }
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos) {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    // The bench dialect never emits escapes, but tolerate
+                    // the simple ones so hand-edited baselines still parse.
+                    self.pos += 1;
+                    match self.bytes.get(self.pos) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        other => {
+                            return Err(format!(
+                                "unsupported escape {:?} at byte {}",
+                                other.map(|b| *b as char),
+                                self.pos
+                            ))
+                        }
+                    }
+                    self.pos += 1;
+                }
+                Some(&b) => {
+                    out.push(b as char);
+                    self.pos += 1;
+                }
+                None => return Err("unterminated string".to_string()),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, String> {
+        let start = self.pos;
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E'))
+        {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| format!("invalid number bytes at {start}"))?;
+        text.parse::<f64>()
+            .map(Value::Num)
+            .map_err(|e| format!("bad number `{text}` at byte {start}: {e}"))
+    }
+
+    fn document(mut self) -> Result<Value, String> {
+        let v = self.value()?;
+        self.skip_ws();
+        if self.pos != self.bytes.len() {
+            return Err(format!("trailing garbage at byte {}", self.pos));
+        }
+        Ok(v)
+    }
+}
+
+/// One bench case: its name and every numeric field.
+#[derive(Debug, Clone)]
+pub struct BenchCase {
+    /// The case's `name` field.
+    pub name: String,
+    /// All numeric fields, in document order.
+    pub metrics: Vec<(String, f64)>,
+}
+
+impl BenchCase {
+    /// Look up a numeric field by name.
+    pub fn metric(&self, name: &str) -> Option<f64> {
+        self.metrics
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| *v)
+    }
+}
+
+/// A parsed bench artifact: schema tag plus flat cases.
+#[derive(Debug, Clone)]
+pub struct BenchDoc {
+    /// The document's `schema` field.
+    pub schema: String,
+    /// The document's cases.
+    pub cases: Vec<BenchCase>,
+}
+
+/// Parse a bench artifact from its JSON text. Internal: callers go
+/// through [`check`]/[`bless`], which wrap the error with the file path.
+fn parse_doc(text: &str) -> Result<BenchDoc, String> {
+    let root = Parser::new(text).document()?;
+    let schema = root
+        .get("schema")
+        .and_then(Value::as_str)
+        .ok_or("missing string `schema` field")?
+        .to_string();
+    let cases_val = root.get("cases").ok_or("missing `cases` field")?;
+    let Value::Arr(items) = cases_val else {
+        return Err("`cases` is not an array".to_string());
+    };
+    let mut cases = Vec::with_capacity(items.len());
+    for (i, item) in items.iter().enumerate() {
+        let Value::Obj(pairs) = item else {
+            return Err(format!("case {i} is not an object"));
+        };
+        let name = item
+            .get("name")
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("case {i} has no string `name`"))?
+            .to_string();
+        let metrics = pairs
+            .iter()
+            .filter_map(|(k, v)| v.as_num().map(|n| (k.clone(), n)))
+            .collect();
+        cases.push(BenchCase { name, metrics });
+    }
+    Ok(BenchDoc { schema, cases })
+}
+
+fn load_doc(path: &Path, want_schema: &str) -> Result<BenchDoc, BenchCheckError> {
+    let text = std::fs::read_to_string(path).map_err(|source| BenchCheckError::Io {
+        path: path.to_path_buf(),
+        source,
+    })?;
+    let doc = parse_doc(&text).map_err(|detail| BenchCheckError::Malformed {
+        path: path.to_path_buf(),
+        detail,
+    })?;
+    if doc.schema != want_schema {
+        return Err(BenchCheckError::Malformed {
+            path: path.to_path_buf(),
+            detail: format!("schema `{}`, expected `{want_schema}`", doc.schema),
+        });
+    }
+    Ok(doc)
+}
+
+/// The robustness invariant: at fault rates of at least this, hardened
+/// must not lose to permissive on median error.
+const INVARIANT_MIN_RATE: f64 = 0.1;
+
+fn robustness_invariant(doc: &BenchDoc, problems: &mut Vec<String>) {
+    for case in &doc.cases {
+        let (Some(rate), Some(on), Some(off)) = (
+            case.metric("fault_rate"),
+            case.metric("median_err_on_m"),
+            case.metric("median_err_off_m"),
+        ) else {
+            problems.push(format!(
+                "robustness case `{}` lacks fault_rate/median fields",
+                case.name
+            ));
+            continue;
+        };
+        if rate >= INVARIANT_MIN_RATE && on > off {
+            problems.push(format!(
+                "robustness invariant broken at fault rate {:.0}%: hardened median \
+                 {on:.4} m exceeds permissive {off:.4} m (case `{}`)",
+                rate * 100.0,
+                case.name
+            ));
+        }
+    }
+}
+
+/// Compare the current artifacts against the baselines.
+///
+/// # Errors
+///
+/// Fails fast on unreadable or malformed files and on missing baselines
+/// (with a `--bless` hint); regressions are reported through the returned
+/// [`CheckReport`], not as errors.
+pub fn check(opts: &CheckOptions) -> Result<CheckReport, BenchCheckError> {
+    let mut report = CheckReport::default();
+    for spec in ARTIFACTS {
+        let base_path = opts.baselines.join(spec.file);
+        if !base_path.is_file() {
+            return Err(BenchCheckError::MissingBaseline { path: base_path });
+        }
+        let base = load_doc(&base_path, spec.schema)?;
+        let cur = load_doc(&opts.current.join(spec.file), spec.schema)?;
+
+        for bc in &base.cases {
+            let Some(cc) = cur.cases.iter().find(|c| c.name == bc.name) else {
+                report.problems.push(format!(
+                    "{}: case `{}` present in baseline but missing from current run",
+                    spec.file, bc.name
+                ));
+                continue;
+            };
+            for &metric in spec.metrics {
+                let (Some(b), Some(c)) = (bc.metric(metric), cc.metric(metric)) else {
+                    report.problems.push(format!(
+                        "{}: case `{}` lacks metric `{metric}`",
+                        spec.file, bc.name
+                    ));
+                    continue;
+                };
+                // Lower is better; the epsilon absorbs the artifacts'
+                // fixed-point formatting of near-zero values.
+                let regressed = c > b * (1.0 + opts.tolerance) + 1e-9;
+                report.rows.push(DeltaRow {
+                    artifact: spec.file,
+                    case: bc.name.clone(),
+                    metric,
+                    baseline: b,
+                    current: c,
+                    regressed,
+                });
+            }
+        }
+        if spec.schema == "tagspin-bench-robustness/v1" {
+            robustness_invariant(&cur, &mut report.problems);
+        }
+    }
+    Ok(report)
+}
+
+/// Record the current artifacts as the new baselines (`--bless`).
+///
+/// Each artifact is parsed and schema-checked before being copied, so a
+/// truncated or mis-schemaed file cannot become a baseline. Returns the
+/// list of baseline paths written.
+///
+/// # Errors
+///
+/// Fails on unreadable/malformed current artifacts or an unwritable
+/// baselines directory.
+pub fn bless(opts: &CheckOptions) -> Result<Vec<PathBuf>, BenchCheckError> {
+    std::fs::create_dir_all(&opts.baselines).map_err(|source| BenchCheckError::Io {
+        path: opts.baselines.clone(),
+        source,
+    })?;
+    let mut written = Vec::new();
+    for spec in ARTIFACTS {
+        let cur_path = opts.current.join(spec.file);
+        // Validate before copying.
+        load_doc(&cur_path, spec.schema)?;
+        let text = std::fs::read_to_string(&cur_path).map_err(|source| BenchCheckError::Io {
+            path: cur_path.clone(),
+            source,
+        })?;
+        let dest = opts.baselines.join(spec.file);
+        std::fs::write(&dest, text).map_err(|source| BenchCheckError::Io {
+            path: dest.clone(),
+            source,
+        })?;
+        written.push(dest);
+    }
+    Ok(written)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SPECTRUM: &str = r#"{
+  "schema": "tagspin-bench-spectrum/v1",
+  "cases": [
+    {"name": "office", "azimuth_steps": 360, "polar_steps": 1, "snapshots": 200, "mean_ns_exhaustive": 100000, "mean_ns_fast": 12000, "speedup": 8.333}
+  ]
+}"#;
+
+    #[test]
+    fn parses_the_bench_dialect() {
+        let doc = parse_doc(SPECTRUM).expect("parse");
+        assert_eq!(doc.schema, "tagspin-bench-spectrum/v1");
+        assert_eq!(doc.cases.len(), 1);
+        assert_eq!(doc.cases[0].name, "office");
+        assert_eq!(doc.cases[0].metric("mean_ns_fast"), Some(12000.0));
+        assert_eq!(doc.cases[0].metric("missing"), None);
+    }
+
+    #[test]
+    fn tolerates_null_and_rejects_garbage() {
+        let doc =
+            parse_doc(r#"{"schema": "s", "cases": [{"name": "w", "max_reports": null, "x": 1}]}"#)
+                .expect("null ok");
+        assert_eq!(doc.cases[0].metric("max_reports"), None);
+        assert!(parse_doc("{\"schema\": \"s\"").is_err());
+        assert!(parse_doc("[]").is_err());
+        assert!(parse_doc("{\"cases\": []}").is_err());
+    }
+
+    #[test]
+    fn delta_row_handles_zero_baseline() {
+        let row = DeltaRow {
+            artifact: "a",
+            case: "c".into(),
+            metric: "m",
+            baseline: 0.0,
+            current: 0.0,
+            regressed: false,
+        };
+        assert!(row.delta().abs() < 1e-12);
+        let row = DeltaRow {
+            baseline: 0.0,
+            current: 1.0,
+            ..row
+        };
+        assert!(row.delta().is_infinite());
+    }
+
+    #[test]
+    fn markdown_lists_rows_and_problems() {
+        let report = CheckReport {
+            rows: vec![DeltaRow {
+                artifact: "BENCH_spectrum.json",
+                case: "office".into(),
+                metric: "mean_ns_fast",
+                baseline: 100.0,
+                current: 260.0,
+                regressed: true,
+            }],
+            problems: vec!["something vanished".into()],
+        };
+        assert!(!report.passed());
+        let md = report.markdown();
+        assert!(md.contains("| BENCH_spectrum.json | office | mean_ns_fast |"));
+        assert!(md.contains("+160.0%"));
+        assert!(md.contains("REGRESSED"));
+        assert!(md.contains("something vanished"));
+    }
+
+    #[test]
+    fn invariant_flags_hardened_losing() {
+        let doc = parse_doc(
+            r#"{"schema": "tagspin-bench-robustness/v1", "cases": [
+                {"name": "rate_000", "fault_rate": 0.00, "median_err_on_m": 0.02, "median_err_off_m": 0.02},
+                {"name": "rate_020", "fault_rate": 0.20, "median_err_on_m": 5.00, "median_err_off_m": 0.03}
+            ]}"#,
+        )
+        .expect("parse");
+        let mut problems = Vec::new();
+        robustness_invariant(&doc, &mut problems);
+        assert_eq!(problems.len(), 1, "{problems:?}");
+        assert!(problems[0].contains("rate_020"));
+    }
+
+    #[test]
+    fn invariant_ignores_low_rates() {
+        let doc = parse_doc(
+            r#"{"schema": "tagspin-bench-robustness/v1", "cases": [
+                {"name": "rate_005", "fault_rate": 0.05, "median_err_on_m": 9.0, "median_err_off_m": 0.01}
+            ]}"#,
+        )
+        .expect("parse");
+        let mut problems = Vec::new();
+        robustness_invariant(&doc, &mut problems);
+        assert!(problems.is_empty(), "{problems:?}");
+    }
+}

@@ -27,6 +27,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bench_check;
 pub mod rules;
 pub mod strip;
 

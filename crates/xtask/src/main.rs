@@ -6,10 +6,16 @@ use std::process::ExitCode;
 fn usage() -> ExitCode {
     eprintln!("usage: cargo xtask lint [--root <dir>]");
     eprintln!("       cargo xtask golden [--bless]");
+    eprintln!(
+        "       cargo xtask bench-check [--baselines <dir>] [--current <dir>] \
+         [--tolerance <frac>] [--bless]"
+    );
     eprintln!();
     eprintln!("commands:");
-    eprintln!("  lint    run the domain-aware static-analysis gate (see docs/LINTS.md)");
-    eprintln!("  golden  run the golden-trace suite; --bless regenerates tests/golden/");
+    eprintln!("  lint         run the domain-aware static-analysis gate (see docs/LINTS.md)");
+    eprintln!("  golden       run the golden-trace suite; --bless regenerates tests/golden/");
+    eprintln!("  bench-check  compare BENCH_*.json against bench/baselines/; --bless records");
+    eprintln!("               the current artifacts as the new baselines");
     ExitCode::from(2)
 }
 
@@ -57,6 +63,83 @@ fn golden(mut args: impl Iterator<Item = String>) -> ExitCode {
     }
 }
 
+/// The `bench-check` subcommand: benchmark regression gate (see
+/// `xtask::bench_check`). Exit 0 = within tolerance, 1 = regression or
+/// machinery failure, 2 = bad usage.
+fn bench_check_cmd(mut args: impl Iterator<Item = String>) -> ExitCode {
+    let root = workspace_root();
+    let mut opts = xtask::bench_check::CheckOptions {
+        baselines: root.join("bench/baselines"),
+        current: root.clone(),
+        tolerance: 0.25,
+    };
+    let mut bless = false;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--baselines" => {
+                let Some(dir) = args.next() else {
+                    eprintln!("--baselines requires a directory argument");
+                    return usage();
+                };
+                opts.baselines = PathBuf::from(dir);
+            }
+            "--current" => {
+                let Some(dir) = args.next() else {
+                    eprintln!("--current requires a directory argument");
+                    return usage();
+                };
+                opts.current = PathBuf::from(dir);
+            }
+            "--tolerance" => {
+                let Some(frac) = args.next().and_then(|v| v.parse::<f64>().ok()) else {
+                    eprintln!("--tolerance requires a numeric fraction (e.g. 0.25)");
+                    return usage();
+                };
+                if !(0.0..10.0).contains(&frac) {
+                    eprintln!("--tolerance must be in [0, 10)");
+                    return usage();
+                }
+                opts.tolerance = frac;
+            }
+            "--bless" => bless = true,
+            other => {
+                eprintln!("unknown argument `{other}`");
+                return usage();
+            }
+        }
+    }
+
+    if bless {
+        return match xtask::bench_check::bless(&opts) {
+            Ok(written) => {
+                for path in written {
+                    println!("xtask bench-check: blessed {}", path.display());
+                }
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("xtask bench-check: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    match xtask::bench_check::check(&opts) {
+        Ok(report) => {
+            print!("{}", report.markdown());
+            if report.passed() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("xtask bench-check: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
     let Some(cmd) = args.next() else {
@@ -65,6 +148,7 @@ fn main() -> ExitCode {
     match cmd.as_str() {
         "lint" => {}
         "golden" => return golden(args),
+        "bench-check" => return bench_check_cmd(args),
         other => {
             eprintln!("unknown command `{other}`");
             return usage();

@@ -175,7 +175,10 @@ fn silent_tags_age_out_to_not_enough_bearings() {
         channel_index: 8,
         antenna_id: 1,
     };
-    assert_eq!(session.ingest(&late), IngestOutcome::UnknownTag);
+    assert_eq!(
+        session.ingest(&late),
+        IngestOutcome::Rejected(RejectReason::UnknownTag)
+    );
     // An unknown-tag read advances nothing; a registered one does.
     let late_known = TagReport { epc: 1, ..late };
     assert_eq!(session.ingest(&late_known), IngestOutcome::Buffered);
@@ -272,8 +275,7 @@ fn session_stats_reflect_the_stream() {
 
     let stats = session.stats();
     assert_eq!(stats.ingested as usize, log.len());
-    assert_eq!(stats.unknown_tag, 0);
-    assert_eq!(stats.out_of_order, 0);
+    assert_eq!(stats.rejects.total(), 0);
     assert_eq!(stats.evicted, 0);
     assert_eq!(stats.streams, 2);
     assert_eq!(stats.buffered, log.len());
