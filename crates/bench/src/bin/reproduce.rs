@@ -13,6 +13,11 @@
 //!                                    # JSON to path (default BENCH_ingest.json)
 //! reproduce --bench-robustness [path] # only the fault-injection robustness
 //!                                     # sweep (default BENCH_robustness.json)
+//! reproduce --bench-obs [path]       # only the observability-overhead bench,
+//!                                    # JSON to path (default BENCH_obs.json)
+//! reproduce --metrics-out <path>     # with --bench-obs: also export the
+//!                                    # metrics arm's registry as
+//!                                    # tagspin-metrics/v1 JSON
 //! ```
 //!
 //! Output goes to stdout in the `Report` text format; a copy of each full
@@ -79,6 +84,37 @@ fn main() {
             std::process::exit(1);
         }
         println!("wrote {}", path.display());
+        return;
+    }
+    if let Some(i) = args.iter().position(|a| a == "--bench-obs") {
+        let path = args
+            .get(i + 1)
+            .filter(|a| !a.starts_with("--"))
+            .map_or_else(
+                || std::path::PathBuf::from("BENCH_obs.json"),
+                std::path::PathBuf::from,
+            );
+        let results = tagspin_bench::obs_bench::run(quick);
+        println!("observability overhead (per observer arm):");
+        println!("{}", tagspin_bench::obs_bench::report(&results));
+        if let Err(e) = tagspin_bench::obs_bench::write_json(&path, &results) {
+            eprintln!("error: could not write {}: {e}", path.display());
+            std::process::exit(1);
+        }
+        println!("wrote {}", path.display());
+        if let Some(metrics_path) = args
+            .iter()
+            .position(|a| a == "--metrics-out")
+            .and_then(|i| args.get(i + 1))
+            .map(std::path::PathBuf::from)
+        {
+            let registry = tagspin_bench::obs_bench::collect_metrics(quick);
+            if let Err(e) = std::fs::write(&metrics_path, registry.export_json()) {
+                eprintln!("error: could not write {}: {e}", metrics_path.display());
+                std::process::exit(1);
+            }
+            println!("wrote {}", metrics_path.display());
+        }
         return;
     }
     let csv_dir = args

@@ -62,6 +62,7 @@ pub fn bench_inventory(rotations: f64, seed: u64) -> (InventoryLog, DiskConfig) 
 }
 
 pub mod ingest_bench;
+pub mod obs_bench;
 pub mod robustness_bench;
 pub mod spectrum_bench;
 

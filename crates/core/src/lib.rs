@@ -64,6 +64,7 @@
 pub mod calib;
 pub mod diagnostics;
 pub mod locate;
+pub mod obs;
 pub mod registry;
 pub mod server;
 pub mod session;
@@ -77,10 +78,14 @@ pub mod prelude {
     pub use crate::diagnostics::CaptureQuality;
     pub use crate::locate::plane::{Bearing2D, Fix2D};
     pub use crate::locate::space::{Bearing3D, Fix3D};
+    pub use crate::obs::{
+        Event, FanoutObserver, FixKind, LogObserver, MetricsObserver, MetricsRegistry,
+        MetricsSnapshot, NullObserver, ObsHandle, Observer, RecordingObserver, Stage,
+    };
     pub use crate::registry::{RegisteredTag, TagRegistry};
     pub use crate::server::{LocalizationServer, PipelineConfig, ServerError};
     pub use crate::session::quarantine::{IngestPolicy, QualityGate, RejectCounts, RejectReason};
-    pub use crate::session::stats::{SessionStats, TagStreamStats};
+    pub use crate::session::stats::{SessionStats, SkipCounts, StageTimes, TagStreamStats};
     pub use crate::session::window::WindowConfig;
     pub use crate::session::{IngestOutcome, ReaderSession, SessionManager};
     pub use crate::snapshot::{Snapshot, SnapshotSet};

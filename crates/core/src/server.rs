@@ -182,6 +182,17 @@ impl LocalizationServer {
         &self.engine
     }
 
+    /// Attach an observer to the server's engine. Sessions and managers
+    /// created *after* this call ([`LocalizationServer::session`],
+    /// [`LocalizationServer::session_manager`]) inherit it, as do the
+    /// one-shot `locate_*` entry points; previously created sessions keep
+    /// their own handle. The default is [`crate::obs::NullObserver`],
+    /// which keeps every pipeline output bit-identical to an
+    /// uninstrumented server.
+    pub fn set_observer(&mut self, observer: Arc<dyn crate::obs::Observer>) {
+        self.engine.set_observer(observer);
+    }
+
     /// Register a spinning tag.
     ///
     /// # Errors

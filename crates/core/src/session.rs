@@ -35,16 +35,23 @@ use crate::diagnostics::CaptureQuality;
 use crate::locate::aided::{locate_3d_resolved, AmbiguousBearing, ResolvedFix};
 use crate::locate::plane::{locate_2d, Bearing2D, Fix2D};
 use crate::locate::space::{locate_3d, Bearing3D, Fix3D};
+use crate::obs::{Event, FixKind, ObsHandle, Observer, Stage};
 use crate::registry::{RegisteredTag, TagRegistry};
 use crate::server::{PipelineConfig, ServerError};
 use crate::snapshot::{Snapshot, SnapshotError, SnapshotSet};
 use crate::spectrum::engine::SpectrumEngine;
 use quarantine::{RejectCounts, RejectReason};
-use stats::{SessionStats, TagStreamStats};
+use stats::{SessionStats, SkipCounts, StageTimes, TagStreamStats};
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
+use std::time::Instant;
 use tagspin_epc::{InventoryLog, TagReport};
 use window::WindowConfig;
+
+/// Elapsed nanoseconds since `t0`, saturating at `u64::MAX`.
+fn elapsed_ns(t0: Instant) -> u64 {
+    u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
 
 /// What happened to one report offered to [`ReaderSession::ingest`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -114,6 +121,17 @@ pub struct ReaderSession {
     ingested: u64,
     rejects: RejectCounts,
     evicted: u64,
+    /// Observability sink, inherited from the engine at construction.
+    obs: ObsHandle,
+    /// Fresh bearing computations (accounting counters below always tick,
+    /// observer or not; only the `*_ns` timers are observer-gated).
+    recomputes: u64,
+    gate_withheld: u64,
+    fixes: u64,
+    skips: SkipCounts,
+    ingest_ns: u64,
+    recompute_ns: u64,
+    fix_ns: u64,
 }
 
 impl ReaderSession {
@@ -130,6 +148,7 @@ impl ReaderSession {
         config: PipelineConfig,
         window: WindowConfig,
     ) -> Self {
+        let obs = engine.observer().clone();
         ReaderSession {
             registry,
             engine,
@@ -141,7 +160,23 @@ impl ReaderSession {
             ingested: 0,
             rejects: RejectCounts::default(),
             evicted: 0,
+            obs,
+            recomputes: 0,
+            gate_withheld: 0,
+            fixes: 0,
+            skips: SkipCounts::default(),
+            ingest_ns: 0,
+            recompute_ns: 0,
+            fix_ns: 0,
         }
+    }
+
+    /// Attach an observer to this session and its engine clone. Events
+    /// from ingest, recomputes, fixes and the engine's peak searches flow
+    /// to it from now on.
+    pub fn set_observer(&mut self, observer: Arc<dyn Observer>) {
+        self.engine.set_observer(Arc::clone(&observer));
+        self.obs = ObsHandle::new(observer);
     }
 
     /// The registry this session resolves EPCs against.
@@ -183,17 +218,32 @@ impl ReaderSession {
     /// time-ordered buffer is a structural invariant), duplicates (when
     /// [`quarantine::IngestPolicy::reject_duplicates`] is set).
     pub fn ingest(&mut self, report: &TagReport) -> IngestOutcome {
+        let t0 = self.obs.enabled().then(Instant::now);
+        let outcome = self.ingest_inner(report);
+        if let Some(t0) = t0 {
+            let nanos = elapsed_ns(t0);
+            self.ingest_ns += nanos;
+            self.obs.emit(|| Event::StageTime {
+                stage: Stage::Ingest,
+                nanos,
+            });
+        }
+        outcome
+    }
+
+    fn ingest_inner(&mut self, report: &TagReport) -> IngestOutcome {
         if self.config.ingest.screen_values {
             if let Err(defect) = report.validate() {
-                return self.reject(RejectReason::Malformed(defect));
+                return self.reject(report, RejectReason::Malformed(defect));
             }
         }
         let snapshot = match self.registry.get(report.epc) {
             Some(tag) => Snapshot::from_report(report, &tag.disk),
-            None => return self.reject(RejectReason::UnknownTag),
+            None => return self.reject(report, RejectReason::UnknownTag),
         };
         let key = (report.timestamp_us, report.phase.to_bits());
         let reject_duplicates = self.config.ingest.reject_duplicates;
+        let (epc, antenna_id) = (report.epc, report.antenna_id);
         let stream = self.streams.entry(report.epc).or_default();
         if stream
             .buf
@@ -202,11 +252,21 @@ impl ReaderSession {
         {
             stream.out_of_order += 1;
             self.rejects.record(RejectReason::OutOfOrder);
+            self.obs.emit(|| Event::IngestRejected {
+                epc,
+                antenna_id,
+                reason: RejectReason::OutOfOrder,
+            });
             return IngestOutcome::Rejected(RejectReason::OutOfOrder);
         }
         if reject_duplicates && stream.last_key == Some(key) {
             stream.duplicate += 1;
             self.rejects.record(RejectReason::Duplicate);
+            self.obs.emit(|| Event::IngestRejected {
+                epc,
+                antenna_id,
+                reason: RejectReason::Duplicate,
+            });
             return IngestOutcome::Rejected(RejectReason::Duplicate);
         }
         stream.buf.push(snapshot);
@@ -231,12 +291,29 @@ impl ReaderSession {
             stream.evicted += evicted as u64;
             self.evicted += evicted as u64;
         }
+        let buffered = stream.buf.len();
+        if evicted > 0 {
+            self.obs.emit(|| Event::Evicted {
+                epc,
+                count: evicted as u64,
+            });
+        }
+        self.obs.emit(|| Event::IngestAccepted {
+            epc,
+            antenna_id,
+            buffered,
+        });
         IngestOutcome::Buffered
     }
 
     /// Count a session-level rejection (no stream attribution).
-    fn reject(&mut self, reason: RejectReason) -> IngestOutcome {
+    fn reject(&mut self, report: &TagReport, reason: RejectReason) -> IngestOutcome {
         self.rejects.record(reason);
+        self.obs.emit(|| Event::IngestRejected {
+            epc: report.epc,
+            antenna_id: report.antenna_id,
+            reason,
+        });
         IngestOutcome::Rejected(reason)
     }
 
@@ -259,12 +336,16 @@ impl ReaderSession {
         let Some(horizon) = self.window.horizon_s(latest_us as f64 * 1e-6) else {
             return;
         };
-        for stream in self.streams.values_mut() {
+        for (&epc, stream) in self.streams.iter_mut() {
             let n = stream.buf.evict_before(horizon);
             if n > 0 {
                 stream.evicted += n as u64;
                 self.evicted += n as u64;
                 stream.invalidate();
+                self.obs.emit(|| Event::Evicted {
+                    epc,
+                    count: n as u64,
+                });
             }
         }
     }
@@ -293,18 +374,54 @@ impl ReaderSession {
         self.bearing_3d_cached(tag)
     }
 
+    /// Book-keep one served bearing: the `recomputed` accounting counters
+    /// always tick; the recompute timer advances only when an observer is
+    /// enabled (`t0` is `Some`). `GateWithheld` fires only on the *fresh*
+    /// computation that hit the gate — cached reuses of a gated result
+    /// re-emit `BearingServed { recomputed: false }` but not the gate
+    /// event, so its count matches `gate_withheld` exactly.
+    fn note_bearing(&mut self, epc: u128, kind: FixKind, t0: Option<Instant>, gated: bool) {
+        self.recomputes += 1;
+        if gated {
+            self.gate_withheld += 1;
+            self.obs.emit(|| Event::GateWithheld { epc });
+        }
+        if let Some(t0) = t0 {
+            let nanos = elapsed_ns(t0);
+            self.recompute_ns += nanos;
+            self.obs.emit(|| Event::StageTime {
+                stage: Stage::Recompute,
+                nanos,
+            });
+        }
+        self.obs.emit(|| Event::BearingServed {
+            epc,
+            kind,
+            recomputed: true,
+        });
+    }
+
     fn bearing_2d_cached(&mut self, tag: &RegisteredTag) -> Result<Bearing2D, ServerError> {
         let Some(stream) = self.streams.get_mut(&tag.epc) else {
             pipeline::check_buffer(tag, &SnapshotSet::default())?;
             return Err(ServerError::Snapshot(SnapshotError::NoReads));
         };
         if let Some(cached) = &stream.cached_2d {
-            return cached.clone();
+            let cached = cached.clone();
+            self.obs.emit(|| Event::BearingServed {
+                epc: tag.epc,
+                kind: FixKind::Fix2D,
+                recomputed: false,
+            });
+            return cached;
         }
+        let t0 = self.obs.enabled().then(Instant::now);
         let result = pipeline::check_buffer(tag, &stream.buf)
             .and_then(|()| pipeline::gate(tag, &self.config, &stream.buf))
             .and_then(|()| pipeline::bearing_2d(&self.engine, tag, &self.config, &stream.buf));
         stream.cached_2d = Some(result.clone());
+        let gated = matches!(result, Err(ServerError::QualityGated { .. }));
+        self.note_bearing(tag.epc, FixKind::Fix2D, t0, gated);
         result
     }
 
@@ -314,12 +431,21 @@ impl ReaderSession {
             return Err(ServerError::Snapshot(SnapshotError::NoReads));
         };
         if let Some(cached) = &stream.cached_3d {
-            return cached.clone();
+            let cached = cached.clone();
+            self.obs.emit(|| Event::BearingServed {
+                epc: tag.epc,
+                kind: FixKind::Fix3D,
+                recomputed: false,
+            });
+            return cached;
         }
+        let t0 = self.obs.enabled().then(Instant::now);
         let result = pipeline::check_buffer(tag, &stream.buf)
             .and_then(|()| pipeline::gate(tag, &self.config, &stream.buf))
             .and_then(|()| pipeline::bearing_3d(&self.engine, tag, &self.config, &stream.buf));
         stream.cached_3d = Some(result.clone());
+        let gated = matches!(result, Err(ServerError::QualityGated { .. }));
+        self.note_bearing(tag.epc, FixKind::Fix3D, t0, gated);
         result
     }
 
@@ -332,12 +458,21 @@ impl ReaderSession {
             return Err(ServerError::Snapshot(SnapshotError::NoReads));
         };
         if let Some(cached) = &stream.cached_aided {
-            return cached.clone();
+            let cached = cached.clone();
+            self.obs.emit(|| Event::BearingServed {
+                epc: tag.epc,
+                kind: FixKind::Fix3DAided,
+                recomputed: false,
+            });
+            return cached;
         }
+        let t0 = self.obs.enabled().then(Instant::now);
         let result = pipeline::check_buffer(tag, &stream.buf)
             .and_then(|()| pipeline::gate(tag, &self.config, &stream.buf))
             .and_then(|()| pipeline::bearing_aided(&self.engine, tag, &self.config, &stream.buf));
         stream.cached_aided = Some(result.clone());
+        let gated = matches!(result, Err(ServerError::QualityGated { .. }));
+        self.note_bearing(tag.epc, FixKind::Fix3DAided, t0, gated);
         result
     }
 
@@ -352,22 +487,67 @@ impl ReaderSession {
     /// [`ServerError::NotEnoughBearings`] / [`ServerError::Locate`], plus
     /// non-skippable per-tag errors (e.g. a bad disk config).
     pub fn fix_2d(&mut self) -> Result<Fix2D, ServerError> {
+        let t0 = self.obs.enabled().then(Instant::now);
+        let (result, usable, skipped) = self.fix_2d_inner();
+        self.note_fix(FixKind::Fix2D, t0, usable, skipped, result.is_ok());
+        result
+    }
+
+    fn fix_2d_inner(&mut self) -> (Result<Fix2D, ServerError>, usize, usize) {
         self.evict_all();
         let registry = Arc::clone(&self.registry);
         let mut bearings = Vec::new();
+        let mut skipped = 0usize;
         for tag in registry.tags() {
             match self.bearing_2d_cached(tag) {
                 Ok(b) => bearings.push(b),
-                Err(e) if pipeline::skippable(&e) => continue,
-                Err(e) => return Err(e),
+                Err(e) if pipeline::skippable(&e) => {
+                    self.skips.record(&e);
+                    skipped += 1;
+                }
+                Err(e) => return (Err(e), bearings.len(), skipped),
             }
         }
-        if bearings.len() < 2 {
-            return Err(ServerError::NotEnoughBearings {
-                usable: bearings.len(),
+        let usable = bearings.len();
+        if usable < 2 {
+            return (
+                Err(ServerError::NotEnoughBearings { usable }),
+                usable,
+                skipped,
+            );
+        }
+        (
+            locate_2d(&bearings).map_err(ServerError::from),
+            usable,
+            skipped,
+        )
+    }
+
+    /// Book-keep one completed fix attempt: the attempt counter always
+    /// ticks; the fix timer advances only when an observer is enabled.
+    fn note_fix(
+        &mut self,
+        kind: FixKind,
+        t0: Option<Instant>,
+        usable: usize,
+        skipped: usize,
+        ok: bool,
+    ) {
+        self.fixes += 1;
+        if let Some(t0) = t0 {
+            let nanos = elapsed_ns(t0);
+            self.fix_ns += nanos;
+            self.obs.emit(|| Event::StageTime {
+                stage: Stage::Fix,
+                nanos,
             });
         }
-        Ok(locate_2d(&bearings)?)
+        self.obs.emit(|| Event::FixAttempt {
+            kind,
+            usable,
+            skipped,
+            ok,
+        });
     }
 
     /// 3D fix of this session's reader antenna from the current windows.
@@ -376,22 +556,40 @@ impl ReaderSession {
     ///
     /// Same as [`ReaderSession::fix_2d`].
     pub fn fix_3d(&mut self) -> Result<Fix3D, ServerError> {
+        let t0 = self.obs.enabled().then(Instant::now);
+        let (result, usable, skipped) = self.fix_3d_inner();
+        self.note_fix(FixKind::Fix3D, t0, usable, skipped, result.is_ok());
+        result
+    }
+
+    fn fix_3d_inner(&mut self) -> (Result<Fix3D, ServerError>, usize, usize) {
         self.evict_all();
         let registry = Arc::clone(&self.registry);
         let mut bearings = Vec::new();
+        let mut skipped = 0usize;
         for tag in registry.tags() {
             match self.bearing_3d_cached(tag) {
                 Ok(b) => bearings.push(b),
-                Err(e) if pipeline::skippable(&e) => continue,
-                Err(e) => return Err(e),
+                Err(e) if pipeline::skippable(&e) => {
+                    self.skips.record(&e);
+                    skipped += 1;
+                }
+                Err(e) => return (Err(e), bearings.len(), skipped),
             }
         }
-        if bearings.len() < 2 {
-            return Err(ServerError::NotEnoughBearings {
-                usable: bearings.len(),
-            });
+        let usable = bearings.len();
+        if usable < 2 {
+            return (
+                Err(ServerError::NotEnoughBearings { usable }),
+                usable,
+                skipped,
+            );
         }
-        Ok(locate_3d(&bearings)?)
+        (
+            locate_3d(&bearings).map_err(ServerError::from),
+            usable,
+            skipped,
+        )
     }
 
     /// Ambiguity-resolving 3D fix using each disk's own orientation (the
@@ -402,22 +600,40 @@ impl ReaderSession {
     ///
     /// Same as [`ReaderSession::fix_2d`].
     pub fn fix_3d_aided(&mut self) -> Result<ResolvedFix, ServerError> {
+        let t0 = self.obs.enabled().then(Instant::now);
+        let (result, usable, skipped) = self.fix_3d_aided_inner();
+        self.note_fix(FixKind::Fix3DAided, t0, usable, skipped, result.is_ok());
+        result
+    }
+
+    fn fix_3d_aided_inner(&mut self) -> (Result<ResolvedFix, ServerError>, usize, usize) {
         self.evict_all();
         let registry = Arc::clone(&self.registry);
         let mut bearings = Vec::new();
+        let mut skipped = 0usize;
         for tag in registry.tags() {
             match self.bearing_aided_cached(tag) {
                 Ok(b) => bearings.push(b),
-                Err(e) if pipeline::skippable(&e) => continue,
-                Err(e) => return Err(e),
+                Err(e) if pipeline::skippable(&e) => {
+                    self.skips.record(&e);
+                    skipped += 1;
+                }
+                Err(e) => return (Err(e), bearings.len(), skipped),
             }
         }
-        if bearings.len() < 2 {
-            return Err(ServerError::NotEnoughBearings {
-                usable: bearings.len(),
-            });
+        let usable = bearings.len();
+        if usable < 2 {
+            return (
+                Err(ServerError::NotEnoughBearings { usable }),
+                usable,
+                skipped,
+            );
         }
-        Ok(locate_3d_resolved(&bearings)?)
+        (
+            locate_3d_resolved(&bearings).map_err(ServerError::from),
+            usable,
+            skipped,
+        )
     }
 
     /// Session-wide ingestion counters and freshness figures.
@@ -431,6 +647,7 @@ impl ReaderSession {
         } else {
             0.0
         };
+        let (coarse_ns, fine_ns) = self.engine.stage_ns();
         SessionStats {
             ingested: self.ingested,
             rejects: self.rejects,
@@ -440,6 +657,17 @@ impl ReaderSession {
             latest_t_s: self.latest_t_us.map(|us| us as f64 * 1e-6),
             span_s,
             read_rate,
+            recomputes: self.recomputes,
+            gate_withheld: self.gate_withheld,
+            fixes: self.fixes,
+            skips: self.skips,
+            stage: StageTimes {
+                ingest_ns: self.ingest_ns,
+                coarse_ns,
+                fine_ns,
+                recompute_ns: self.recompute_ns,
+                fix_ns: self.fix_ns,
+            },
         }
     }
 
@@ -526,6 +754,15 @@ impl SessionManager {
     /// The shared registry.
     pub fn registry(&self) -> &TagRegistry {
         &self.registry
+    }
+
+    /// Attach an observer to the shared engine, every live session, and
+    /// every session created from now on.
+    pub fn set_observer(&mut self, observer: Arc<dyn Observer>) {
+        self.engine.set_observer(Arc::clone(&observer));
+        for session in self.sessions.values_mut() {
+            session.set_observer(Arc::clone(&observer));
+        }
     }
 
     /// Register a spinning tag; every existing session sees it immediately.

@@ -6,7 +6,72 @@
 //! counters — no locks, no recomputation.
 
 use crate::diagnostics::CaptureQuality;
+use crate::server::ServerError;
 use crate::session::quarantine::RejectCounts;
+use crate::snapshot::SnapshotError;
+
+/// Per-reason counters for tags *skipped* by a multi-tag fix.
+///
+/// Historically every skippable per-tag error was folded into one silent
+/// `continue`, so a fix quietly degrading because the quality gate
+/// withheld half the tags looked identical to one degrading for lack of
+/// reads. Each skippable class now has its own visible bucket —
+/// `QualityGated` included.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SkipCounts {
+    /// Tags with an empty window (`SnapshotError::NoReads`).
+    pub no_reads: u64,
+    /// Tags below the configured `min_snapshots` floor.
+    pub too_few_snapshots: u64,
+    /// Tags whose angle spectrum degenerated to no finite peak.
+    pub empty_spectrum: u64,
+    /// Tags withheld by the capture quality gate.
+    pub quality_gated: u64,
+}
+
+impl SkipCounts {
+    /// Record one skipped tag by its (skippable) error.
+    pub(crate) fn record(&mut self, e: &ServerError) {
+        match e {
+            ServerError::Snapshot(SnapshotError::NoReads) => self.no_reads += 1,
+            ServerError::TooFewSnapshots { .. } => self.too_few_snapshots += 1,
+            ServerError::EmptySpectrum { .. } => self.empty_spectrum += 1,
+            ServerError::QualityGated { .. } => self.quality_gated += 1,
+            // `pipeline::skippable` admits exactly the four classes above;
+            // anything else aborts the fix before reaching this counter.
+            _ => {}
+        }
+    }
+
+    /// Total skipped tags across every reason.
+    pub fn total(&self) -> u64 {
+        self.no_reads + self.too_few_snapshots + self.empty_spectrum + self.quality_gated
+    }
+}
+
+/// Cumulative wall-clock nanoseconds per pipeline stage.
+///
+/// All five stay **zero unless an enabled observer is attached**: the
+/// disabled path never reads the clock, which is what keeps it both
+/// zero-cost and deterministic. `coarse_ns` / `fine_ns` come from the
+/// shared spectrum engine, so — like
+/// [`crate::spectrum::engine::CacheStats`] — they aggregate over every
+/// session cloned from the same engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StageTimes {
+    /// Time inside [`crate::session::ReaderSession::ingest`], screens
+    /// included.
+    pub ingest_ns: u64,
+    /// Engine coarse-pass time (engine-wide, shared across clones).
+    pub coarse_ns: u64,
+    /// Engine fine-pass time (engine-wide, shared across clones).
+    pub fine_ns: u64,
+    /// Fresh per-window bearing recomputes (includes the engine passes
+    /// they trigger).
+    pub recompute_ns: u64,
+    /// Whole multi-tag fix attempts (includes their recomputes).
+    pub fix_ns: u64,
+}
 
 /// Session-wide ingestion counters and freshness figures.
 ///
@@ -34,6 +99,19 @@ pub struct SessionStats {
     /// Mean ingest rate over the observed span, reports/s (0 for
     /// degenerate spans).
     pub read_rate: f64,
+    /// Fresh per-tag bearing computations (dirty-flag recomputes) since
+    /// the session started. Cached reuses are *not* counted here.
+    pub recomputes: u64,
+    /// Fresh recomputes the quality gate withheld (a subset of
+    /// `recomputes`; cached reuses of a gated result do not re-count).
+    pub gate_withheld: u64,
+    /// Multi-tag fix attempts (successful or not).
+    pub fixes: u64,
+    /// Tags skipped by fix attempts, by skippable reason.
+    pub skips: SkipCounts,
+    /// Cumulative per-stage wall-clock time (zeros unless an enabled
+    /// observer is attached).
+    pub stage: StageTimes,
 }
 
 /// Per-tag stream counters and staleness.

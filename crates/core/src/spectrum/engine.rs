@@ -35,12 +35,14 @@ use super::{
     prepare, profile_power, spectrum_2d, spectrum_3d, spectrum_3d_for_disk, Prepared, ProfileKind,
     Spectrum2D, Spectrum3D, SpectrumConfig,
 };
+use crate::obs::{Event, ObsHandle, Observer, Stage};
 use crate::snapshot::SnapshotSet;
 use crate::spinning::{DiskConfig, DiskPlane};
 use serde::{Deserialize, Serialize};
 use std::f64::consts::{FRAC_PI_2, PI, TAU};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, PoisonError};
+use std::time::Instant;
 use tagspin_dsp::peak::{self, PeakEstimate};
 use tagspin_geom::angle;
 use tagspin_geom::vec3::Direction3;
@@ -417,6 +419,17 @@ pub struct SpectrumEngine {
     cache: Arc<Mutex<TableCache>>,
     hits: Arc<AtomicU64>,
     misses: Arc<AtomicU64>,
+    /// Observability sink; [`crate::obs::NullObserver`] by default, so the
+    /// instrumentation points below cost one predictable branch each.
+    obs: ObsHandle,
+    /// Cumulative coarse-pass nanoseconds. Like the cache counters, this
+    /// is engine-wide and shared across clones; it only advances while an
+    /// enabled observer is attached (the disabled path never reads the
+    /// clock, keeping stage times deterministic zeros).
+    coarse_ns: Arc<AtomicU64>,
+    /// Cumulative fine-pass nanoseconds (same sharing and gating as
+    /// `coarse_ns`).
+    fine_ns: Arc<AtomicU64>,
 }
 
 impl Default for SpectrumEngine {
@@ -436,6 +449,55 @@ impl SpectrumEngine {
             })),
             hits: Arc::new(AtomicU64::new(0)),
             misses: Arc::new(AtomicU64::new(0)),
+            obs: ObsHandle::null(),
+            coarse_ns: Arc::new(AtomicU64::new(0)),
+            fine_ns: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// Attach an observer. Clones made *after* this call share it;
+    /// pre-existing clones keep their previous handle.
+    pub fn set_observer(&mut self, observer: Arc<dyn Observer>) {
+        self.obs = ObsHandle::new(observer);
+    }
+
+    /// The engine's observer handle (cloned by sessions built from it).
+    pub fn observer(&self) -> &ObsHandle {
+        &self.obs
+    }
+
+    /// Cumulative (coarse, fine) peak-search pass nanoseconds since
+    /// construction, shared across clones like [`CacheStats`]. Both stay
+    /// zero unless an enabled observer is attached — the disabled path
+    /// never reads the clock.
+    pub fn stage_ns(&self) -> (u64, u64) {
+        (
+            self.coarse_ns.load(Ordering::Relaxed),
+            self.fine_ns.load(Ordering::Relaxed),
+        )
+    }
+
+    /// [`eval_cells`] wrapped in a stage timer: accumulates into the
+    /// engine-wide coarse/fine counters and emits [`Event::StageTime`]
+    /// when an observer is enabled, and is exactly `eval_cells` otherwise.
+    fn timed_eval(
+        &self,
+        stage: Stage,
+        ctx: &EvalContext<'_>,
+        ecfg: &SpectrumEngineConfig,
+        cells: &[usize],
+        values: &mut [f64],
+    ) {
+        let t0 = self.obs.enabled().then(Instant::now);
+        eval_cells(ctx, ecfg, cells, values);
+        if let Some(t0) = t0 {
+            let nanos = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            let counter = match stage {
+                Stage::Coarse => &self.coarse_ns,
+                _ => &self.fine_ns,
+            };
+            counter.fetch_add(nanos, Ordering::Relaxed);
+            self.obs.emit(|| Event::StageTime { stage, nanos });
         }
     }
 
@@ -461,9 +523,11 @@ impl SpectrumEngine {
             let table = Arc::clone(&entry.1);
             cache.entries.insert(0, entry);
             self.hits.fetch_add(1, Ordering::Relaxed);
+            self.obs.emit(|| Event::CacheLookup { hit: true });
             return table;
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
+        self.obs.emit(|| Event::CacheLookup { hit: false });
         let table = Arc::new(SteeringTable::build(key.azimuth_steps, key.polar_steps));
         cache.entries.insert(0, (key, Arc::clone(&table)));
         let cap = cache.capacity;
@@ -674,7 +738,13 @@ impl SpectrumEngine {
                     })
                     .collect();
                 let mut values = vec![f64::NEG_INFINITY; n_az];
-                eval_cells(&ctx(ProfileKind::Traditional), ecfg, &cells, &mut values);
+                self.timed_eval(
+                    Stage::Fine,
+                    &ctx(ProfileKind::Traditional),
+                    ecfg,
+                    &cells,
+                    &mut values,
+                );
                 let refined = Spectrum2D { values };
                 Some(
                     refined
@@ -718,7 +788,7 @@ impl SpectrumEngine {
         let stride = coarse_stride(n_az, 360.0, ecfg.coarse_step_deg);
         let coarse: Vec<usize> = (0..n_az).step_by(stride).collect();
         let mut values = vec![f64::NEG_INFINITY; n_az];
-        eval_cells(ctx, ecfg, &coarse, &mut values);
+        self.timed_eval(Stage::Coarse, ctx, ecfg, &coarse, &mut values);
 
         let m = coarse.len();
         let mut lobes: Vec<(usize, f64)> = (0..m)
@@ -756,7 +826,15 @@ impl SpectrumEngine {
         let fine: Vec<usize> = (0..n_az)
             .filter(|&i| needed[i] && !values[i].is_finite())
             .collect();
-        eval_cells(ctx, ecfg, &fine, &mut values);
+        self.timed_eval(Stage::Fine, ctx, ecfg, &fine, &mut values);
+        self.obs.emit(|| Event::PeakSearch {
+            three_d: false,
+            kind: ctx.kind,
+            coarse_cells: coarse.len(),
+            fine_cells: fine.len(),
+            peak: lobes[0].1,
+            sidelobe: lobes.get(1).map(|&(_, v)| v),
+        });
         peak::refine_circular(&values, TAU)
     }
 
@@ -886,7 +964,13 @@ impl SpectrumEngine {
                     }
                 }
                 let mut values = vec![f64::NEG_INFINITY; n_az * n_po];
-                eval_cells(&ctx(ProfileKind::Traditional), ecfg, &cells, &mut values);
+                self.timed_eval(
+                    Stage::Fine,
+                    &ctx(ProfileKind::Traditional),
+                    ecfg,
+                    &cells,
+                    &mut values,
+                );
                 let refined = Spectrum3D {
                     azimuth_steps: n_az,
                     polar_steps: n_po,
@@ -922,7 +1006,7 @@ impl SpectrumEngine {
             .flat_map(|&j| cols.iter().map(move |&i| j * n_az + i))
             .collect();
         let mut values = vec![f64::NEG_INFINITY; n_az * n_po];
-        eval_cells(ctx, ecfg, &coarse, &mut values);
+        self.timed_eval(Stage::Coarse, ctx, ecfg, &coarse, &mut values);
 
         // Local maxima on the coarse sub-grid (azimuth circular, polar
         // clamped at the caps).
@@ -981,7 +1065,7 @@ impl SpectrumEngine {
         let fine: Vec<usize> = (0..n_az * n_po)
             .filter(|&c| needed[c] && !values[c].is_finite())
             .collect();
-        eval_cells(ctx, ecfg, &fine, &mut values);
+        self.timed_eval(Stage::Fine, ctx, ecfg, &fine, &mut values);
 
         // The reference `Spectrum3D::peak` refines along the full row and
         // column of the argmax; fill those so the parabolas see real values
@@ -993,7 +1077,15 @@ impl SpectrumEngine {
             .chain((0..n_po).map(|j| j * n_az + az))
             .filter(|&c| !values[c].is_finite())
             .collect();
-        eval_cells(ctx, ecfg, &row_col, &mut values);
+        self.timed_eval(Stage::Fine, ctx, ecfg, &row_col, &mut values);
+        self.obs.emit(|| Event::PeakSearch {
+            three_d: true,
+            kind: ctx.kind,
+            coarse_cells: coarse.len(),
+            fine_cells: fine.len() + row_col.len(),
+            peak: lobes[0].2,
+            sidelobe: lobes.get(1).map(|&(_, _, v)| v),
+        });
 
         Some(Spectrum3D {
             azimuth_steps: n_az,

@@ -206,6 +206,34 @@ pub fn run_trial_2d_streaming(
     Ok(Trial2DOutcome { fix, error, reads })
 }
 
+/// [`run_trial_2d_streaming`] with an observer attached to the trial's
+/// server before any report flows: every ingest decision, cache lookup,
+/// recompute and fix attempt of the trial reaches `observer`. The outcome
+/// is bit-identical to the unobserved variant at the same seed (pinned by
+/// a test below and by `tests/obs_conformance.rs`).
+///
+/// # Errors
+///
+/// [`TrialFailure`] when any pipeline stage fails.
+pub fn run_trial_2d_streaming_observed(
+    scenario: &Scenario,
+    seed: u64,
+    observer: std::sync::Arc<dyn Observer>,
+) -> Result<Trial2DOutcome, TrialFailure> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut setup = setup_trial(scenario, &mut rng)?;
+    setup.server.set_observer(observer);
+    let log = observe(scenario, &setup, &mut rng);
+    let reads = log.len();
+    let mut session = setup.server.session(WindowConfig::unbounded());
+    for report in log.stream() {
+        session.ingest(report);
+    }
+    let fix = session.fix_2d().map_err(TrialFailure::Server)?;
+    let error = TrialError::planar(fix.position, scenario.reader_truth.position.xy());
+    Ok(Trial2DOutcome { fix, error, reads })
+}
+
 /// Run one full 3D trial; the ±z ambiguity is resolved with the scenario's
 /// feasible height interval.
 ///
@@ -297,6 +325,32 @@ mod tests {
         let batch = run_trial_2d(&scenario, 42).unwrap();
         let streamed = run_trial_2d_streaming(&scenario, 42).unwrap();
         assert_eq!(batch, streamed);
+    }
+
+    #[test]
+    fn observed_streaming_trial_is_bit_identical_and_sees_events() {
+        let scenario = Scenario::paper_2d(Vec2::new(0.4, 1.8)).quick();
+        let plain = run_trial_2d_streaming(&scenario, 42).unwrap();
+        let recorder = std::sync::Arc::new(RecordingObserver::new());
+        let observed = run_trial_2d_streaming_observed(
+            &scenario,
+            42,
+            std::sync::Arc::clone(&recorder) as std::sync::Arc<dyn Observer>,
+        )
+        .unwrap();
+        assert_eq!(plain, observed);
+        let events = recorder.take();
+        let accepted = events
+            .iter()
+            .filter(|e| matches!(e, Event::IngestAccepted { .. }))
+            .count();
+        assert_eq!(accepted, observed.reads, "one accept event per read");
+        assert!(
+            events
+                .iter()
+                .any(|e| matches!(e, Event::FixAttempt { ok: true, .. })),
+            "the successful fix must be observed"
+        );
     }
 
     #[test]

@@ -5,13 +5,22 @@
 //! lower-is-better metric regresses past the configured tolerance
 //! (default 25%, sized for quick-mode jitter on shared CI runners).
 //!
-//! Three artifacts are checked, one per bench schema:
+//! Four artifacts are checked, one per bench schema:
 //!
 //! | artifact               | schema                        | gated metrics |
 //! |------------------------|-------------------------------|---------------|
 //! | `BENCH_spectrum.json`  | `tagspin-bench-spectrum/v1`   | `mean_ns_fast` |
 //! | `BENCH_ingest.json`    | `tagspin-bench-ingest/v1`     | `mean_ingest_ns`, `mean_fix_refresh_ns` |
 //! | `BENCH_robustness.json`| `tagspin-bench-robustness/v1` | `median_err_on_m` |
+//! | `BENCH_obs.json`       | `tagspin-bench-obs/v1`        | `mean_ingest_ns`, `min_fix_refresh_ns` |
+//!
+//! The obs artifact measures the same streaming fixture under three
+//! observer arms (disabled `NullObserver`, `MetricsObserver`,
+//! `RecordingObserver`). Gating its per-arm means against the baseline
+//! keeps both the disabled path *and* the enabled paths from silently
+//! growing; the disabled-path-vs-pre-instrumentation claim is separately
+//! covered by `BENCH_ingest.json`, whose baseline predates the
+//! observability layer and is deliberately not re-blessed.
 //!
 //! The robustness artifact additionally carries a *hard invariant*,
 //! independent of any baseline: at every fault rate of at least 10% the
@@ -23,9 +32,10 @@
 //! comparing, after validating that each parses with the expected schema.
 //!
 //! The JSON involved is the flat hand-rolled dialect the bench crate
-//! emits, so this module carries its own dependency-free parser rather
-//! than growing a serde dependency.
+//! emits, read with the dependency-free parser in [`crate::json`] rather
+//! than a serde dependency.
 
+use crate::json::{self, Value};
 use std::fmt;
 use std::path::{Path, PathBuf};
 
@@ -40,8 +50,8 @@ pub struct ArtifactSpec {
     pub metrics: &'static [&'static str],
 }
 
-/// The three gated artifacts.
-pub const ARTIFACTS: [ArtifactSpec; 3] = [
+/// The four gated artifacts.
+pub const ARTIFACTS: [ArtifactSpec; 4] = [
     ArtifactSpec {
         file: "BENCH_spectrum.json",
         schema: "tagspin-bench-spectrum/v1",
@@ -56,6 +66,11 @@ pub const ARTIFACTS: [ArtifactSpec; 3] = [
         file: "BENCH_robustness.json",
         schema: "tagspin-bench-robustness/v1",
         metrics: &["median_err_on_m"],
+    },
+    ArtifactSpec {
+        file: "BENCH_obs.json",
+        schema: "tagspin-bench-obs/v1",
+        metrics: &["mean_ingest_ns", "min_fix_refresh_ns"],
     },
 ];
 
@@ -207,232 +222,6 @@ impl fmt::Display for BenchCheckError {
 
 impl std::error::Error for BenchCheckError {}
 
-// ---------------------------------------------------------------------------
-// Minimal JSON reader for the bench dialect.
-// ---------------------------------------------------------------------------
-
-/// A parsed JSON value, covering exactly the bench artifact dialect.
-#[derive(Debug, Clone, PartialEq)]
-enum Value {
-    Null,
-    Bool(bool),
-    Num(f64),
-    Str(String),
-    Arr(Vec<Value>),
-    Obj(Vec<(String, Value)>),
-}
-
-impl Value {
-    fn get(&self, key: &str) -> Option<&Value> {
-        match self {
-            Value::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
-            _ => None,
-        }
-    }
-
-    fn as_str(&self) -> Option<&str> {
-        match self {
-            Value::Str(s) => Some(s),
-            _ => None,
-        }
-    }
-
-    fn as_num(&self) -> Option<f64> {
-        match self {
-            Value::Num(n) => Some(*n),
-            _ => None,
-        }
-    }
-}
-
-struct Parser<'a> {
-    bytes: &'a [u8],
-    pos: usize,
-}
-
-impl<'a> Parser<'a> {
-    fn new(text: &'a str) -> Self {
-        Parser {
-            bytes: text.as_bytes(),
-            pos: 0,
-        }
-    }
-
-    fn skip_ws(&mut self) {
-        while self
-            .bytes
-            .get(self.pos)
-            .is_some_and(|b| b.is_ascii_whitespace())
-        {
-            self.pos += 1;
-        }
-    }
-
-    fn peek(&mut self) -> Option<u8> {
-        self.skip_ws();
-        self.bytes.get(self.pos).copied()
-    }
-
-    fn expect(&mut self, byte: u8) -> Result<(), String> {
-        match self.peek() {
-            Some(b) if b == byte => {
-                self.pos += 1;
-                Ok(())
-            }
-            other => Err(format!(
-                "expected `{}` at byte {}, found {:?}",
-                byte as char,
-                self.pos,
-                other.map(|b| b as char)
-            )),
-        }
-    }
-
-    fn eat_literal(&mut self, lit: &str) -> bool {
-        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
-            self.pos += lit.len();
-            true
-        } else {
-            false
-        }
-    }
-
-    fn value(&mut self) -> Result<Value, String> {
-        match self.peek() {
-            Some(b'{') => self.object(),
-            Some(b'[') => self.array(),
-            Some(b'"') => self.string().map(Value::Str),
-            Some(b'n') if self.eat_literal("null") => Ok(Value::Null),
-            Some(b't') if self.eat_literal("true") => Ok(Value::Bool(true)),
-            Some(b'f') if self.eat_literal("false") => Ok(Value::Bool(false)),
-            Some(b) if b == b'-' || b.is_ascii_digit() => self.number(),
-            other => Err(format!(
-                "unexpected {:?} at byte {}",
-                other.map(|b| b as char),
-                self.pos
-            )),
-        }
-    }
-
-    fn object(&mut self) -> Result<Value, String> {
-        self.expect(b'{')?;
-        let mut pairs = Vec::new();
-        if self.peek() == Some(b'}') {
-            self.pos += 1;
-            return Ok(Value::Obj(pairs));
-        }
-        loop {
-            let key = self.string()?;
-            self.expect(b':')?;
-            let val = self.value()?;
-            pairs.push((key, val));
-            match self.peek() {
-                Some(b',') => self.pos += 1,
-                Some(b'}') => {
-                    self.pos += 1;
-                    return Ok(Value::Obj(pairs));
-                }
-                other => {
-                    return Err(format!(
-                        "expected `,` or `}}` at byte {}, found {:?}",
-                        self.pos,
-                        other.map(|b| b as char)
-                    ))
-                }
-            }
-        }
-    }
-
-    fn array(&mut self) -> Result<Value, String> {
-        self.expect(b'[')?;
-        let mut items = Vec::new();
-        if self.peek() == Some(b']') {
-            self.pos += 1;
-            return Ok(Value::Arr(items));
-        }
-        loop {
-            items.push(self.value()?);
-            match self.peek() {
-                Some(b',') => self.pos += 1,
-                Some(b']') => {
-                    self.pos += 1;
-                    return Ok(Value::Arr(items));
-                }
-                other => {
-                    return Err(format!(
-                        "expected `,` or `]` at byte {}, found {:?}",
-                        self.pos,
-                        other.map(|b| b as char)
-                    ))
-                }
-            }
-        }
-    }
-
-    fn string(&mut self) -> Result<String, String> {
-        self.expect(b'"')?;
-        let mut out = String::new();
-        loop {
-            match self.bytes.get(self.pos) {
-                Some(b'"') => {
-                    self.pos += 1;
-                    return Ok(out);
-                }
-                Some(b'\\') => {
-                    // The bench dialect never emits escapes, but tolerate
-                    // the simple ones so hand-edited baselines still parse.
-                    self.pos += 1;
-                    match self.bytes.get(self.pos) {
-                        Some(b'"') => out.push('"'),
-                        Some(b'\\') => out.push('\\'),
-                        Some(b'/') => out.push('/'),
-                        Some(b'n') => out.push('\n'),
-                        Some(b't') => out.push('\t'),
-                        other => {
-                            return Err(format!(
-                                "unsupported escape {:?} at byte {}",
-                                other.map(|b| *b as char),
-                                self.pos
-                            ))
-                        }
-                    }
-                    self.pos += 1;
-                }
-                Some(&b) => {
-                    out.push(b as char);
-                    self.pos += 1;
-                }
-                None => return Err("unterminated string".to_string()),
-            }
-        }
-    }
-
-    fn number(&mut self) -> Result<Value, String> {
-        let start = self.pos;
-        while self
-            .bytes
-            .get(self.pos)
-            .is_some_and(|b| b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E'))
-        {
-            self.pos += 1;
-        }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos])
-            .map_err(|_| format!("invalid number bytes at {start}"))?;
-        text.parse::<f64>()
-            .map(Value::Num)
-            .map_err(|e| format!("bad number `{text}` at byte {start}: {e}"))
-    }
-
-    fn document(mut self) -> Result<Value, String> {
-        let v = self.value()?;
-        self.skip_ws();
-        if self.pos != self.bytes.len() {
-            return Err(format!("trailing garbage at byte {}", self.pos));
-        }
-        Ok(v)
-    }
-}
-
 /// One bench case: its name and every numeric field.
 #[derive(Debug, Clone)]
 pub struct BenchCase {
@@ -464,7 +253,7 @@ pub struct BenchDoc {
 /// Parse a bench artifact from its JSON text. Internal: callers go
 /// through [`check`]/[`bless`], which wrap the error with the file path.
 fn parse_doc(text: &str) -> Result<BenchDoc, String> {
-    let root = Parser::new(text).document()?;
+    let root = json::parse(text)?;
     let schema = root
         .get("schema")
         .and_then(Value::as_str)

@@ -28,6 +28,7 @@
 #![warn(missing_docs)]
 
 pub mod bench_check;
+pub mod json;
 pub mod rules;
 pub mod strip;
 

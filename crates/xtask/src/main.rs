@@ -29,8 +29,9 @@ fn workspace_root() -> PathBuf {
         .unwrap_or(manifest)
 }
 
-/// Run (or re-bless) the golden-trace fixtures by driving the root
-/// package's `golden_traces` integration test with `GOLDEN_BLESS` set.
+/// Run (or re-bless) the golden fixtures by driving the root package's
+/// `golden_traces` and `golden_metrics` integration tests with
+/// `GOLDEN_BLESS` set.
 fn golden(mut args: impl Iterator<Item = String>) -> ExitCode {
     let mut bless = false;
     for arg in args.by_ref() {
@@ -43,9 +44,17 @@ fn golden(mut args: impl Iterator<Item = String>) -> ExitCode {
         }
     }
     let mut cmd = std::process::Command::new(env!("CARGO"));
-    cmd.args(["test", "-p", "tagspin", "--test", "golden_traces"])
-        .current_dir(workspace_root())
-        .env("GOLDEN_BLESS", if bless { "1" } else { "0" });
+    cmd.args([
+        "test",
+        "-p",
+        "tagspin",
+        "--test",
+        "golden_traces",
+        "--test",
+        "golden_metrics",
+    ])
+    .current_dir(workspace_root())
+    .env("GOLDEN_BLESS", if bless { "1" } else { "0" });
     match cmd.status() {
         Ok(status) if status.success() => {
             if bless {

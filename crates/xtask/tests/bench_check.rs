@@ -11,16 +11,19 @@ use xtask::bench_check::{bless, check, CheckOptions, ARTIFACTS};
 const BASELINE_SPECTRUM: &str = include_str!("../fixtures/bench/baseline/BENCH_spectrum.json");
 const BASELINE_INGEST: &str = include_str!("../fixtures/bench/baseline/BENCH_ingest.json");
 const BASELINE_ROBUSTNESS: &str = include_str!("../fixtures/bench/baseline/BENCH_robustness.json");
+const BASELINE_OBS: &str = include_str!("../fixtures/bench/baseline/BENCH_obs.json");
 const SLOW_SPECTRUM: &str = include_str!("../fixtures/bench/slow/BENCH_spectrum.json");
 const INVERTED_ROBUSTNESS: &str = include_str!("../fixtures/bench/inverted/BENCH_robustness.json");
 
-/// Stage a directory holding the three artifacts with the given contents.
+/// Stage a directory holding the four artifacts with the given contents
+/// (the obs artifact is never the one under test, so it stays baseline).
 fn stage(tag: &str, spectrum: &str, ingest: &str, robustness: &str) -> PathBuf {
     let dir = std::env::temp_dir().join(format!("xtask-benchcheck-{tag}-{}", std::process::id()));
     std::fs::create_dir_all(&dir).expect("create staging dir");
     std::fs::write(dir.join("BENCH_spectrum.json"), spectrum).expect("write spectrum");
     std::fs::write(dir.join("BENCH_ingest.json"), ingest).expect("write ingest");
     std::fs::write(dir.join("BENCH_robustness.json"), robustness).expect("write robustness");
+    std::fs::write(dir.join("BENCH_obs.json"), BASELINE_OBS).expect("write obs");
     dir
 }
 
@@ -53,8 +56,9 @@ fn identical_artifacts_pass() {
         report.passed(),
         "identical artifacts must pass:\n{report:?}"
     );
-    // One row per gated metric per case: 2 spectrum + 4 ingest + 2 robustness.
-    assert_eq!(report.rows.len(), 8);
+    // One row per gated metric per case:
+    // 2 spectrum + 4 ingest + 2 robustness + 6 obs.
+    assert_eq!(report.rows.len(), 14);
 }
 
 #[test]

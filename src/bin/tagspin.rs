@@ -3,9 +3,15 @@
 //! ```text
 //! tagspin simulate --config dep.conf --reader X,Y[,Z] --out log.llrp [--seed N]
 //! tagspin locate   --config dep.conf --log log.llrp [--3d] [--aided]
+//!                  [--metrics-out metrics.json] [-v]
 //! tagspin quality  --config dep.conf --log log.llrp
 //! tagspin example-config
 //! ```
+//!
+//! `locate` can attach the observability layer: `--metrics-out <file>`
+//! folds every pipeline event into a metrics registry and writes it as
+//! `tagspin-metrics/v1` JSON after the fix; `-v` streams each event to
+//! stderr. Both default off, leaving the zero-cost `NullObserver` path.
 //!
 //! Logs use the LLRP-subset binary format (`tagspin::epc::llrp`) — the same
 //! bytes a capture of the reader's report stream would contain. Deployment
@@ -96,9 +102,19 @@ impl Args {
         let mut iter = std::env::args().skip(1).peekable();
         // Only these flags take a value; booleans like --3d must never
         // swallow the token after them.
-        const VALUED: &[&str] = &["config", "log", "out", "reader", "seed", "rotations"];
+        const VALUED: &[&str] = &[
+            "config",
+            "log",
+            "out",
+            "reader",
+            "seed",
+            "rotations",
+            "metrics-out",
+        ];
         while let Some(arg) = iter.next() {
-            if let Some(name) = arg.strip_prefix("--") {
+            if arg == "-v" {
+                flags.push(("v".to_string(), None));
+            } else if let Some(name) = arg.strip_prefix("--") {
                 let value = match iter.peek() {
                     Some(v) if VALUED.contains(&name) && !v.starts_with("--") => {
                         Some(iter.next().expect("peeked"))
@@ -129,7 +145,8 @@ fn usage() -> CliError {
     CliError::usage(
         "usage:\n  \
          tagspin simulate --config <file> --reader X,Y[,Z] --out <log> [--seed N] [--rotations F]\n  \
-         tagspin locate   --config <file> --log <file> [--3d] [--aided]\n  \
+         tagspin locate   --config <file> --log <file> [--3d] [--aided] \
+         [--metrics-out <file>] [-v]\n  \
          tagspin quality  --config <file> --log <file>\n  \
          tagspin example-config",
     )
@@ -258,12 +275,52 @@ fn simulate(args: &Args) -> Result<(), CliError> {
 }
 
 fn locate(args: &Args) -> Result<(), CliError> {
+    use std::sync::Arc;
     let dep = load_deployment(args)?;
     let log = load_log(args)?;
-    let server = dep.build_server();
+    let mut server = dep.build_server();
+
+    // Optional observability: `-v` streams events to stderr,
+    // `--metrics-out` folds them into a registry exported after the fix.
+    // With neither flag the server keeps its zero-cost NullObserver.
+    let metrics = args
+        .flag("metrics-out")
+        .map(|path| (path.to_string(), Arc::new(MetricsRegistry::new())));
+    let mut sinks: Vec<Arc<dyn Observer>> = Vec::new();
+    if args.has("v") {
+        sinks.push(Arc::new(LogObserver));
+    }
+    if let Some((_, registry)) = &metrics {
+        sinks.push(Arc::new(MetricsObserver::new(Arc::clone(registry))));
+    }
+    match sinks.len() {
+        0 => {}
+        1 => server.set_observer(sinks.remove(0)),
+        _ => server.set_observer(Arc::new(FanoutObserver::new(sinks))),
+    }
+
+    // Run the fix before exporting metrics so a failed locate still leaves
+    // its events (cache misses, gate decisions) on disk for diagnosis.
+    let outcome = locate_fix(args, &dep, &server, &log);
+    if let Some((path, registry)) = metrics {
+        fs::write(&path, registry.export_json()).map_err(|e| CliError::Io {
+            path: path.clone(),
+            source: e,
+        })?;
+        eprintln!("metrics written to {path}");
+    }
+    outcome
+}
+
+fn locate_fix(
+    args: &Args,
+    dep: &Deployment,
+    server: &LocalizationServer,
+    log: &tagspin::epc::InventoryLog,
+) -> Result<(), CliError> {
     if args.has("aided") {
         let fix = server
-            .locate_3d_aided(&log)
+            .locate_3d_aided(log)
             .map_err(|e| CliError::lib("locating (3D aided)", e))?;
         println!("position: {}", fix.position);
         println!("residual: {:.2} cm", to_cm(fix.residual_m));
@@ -274,7 +331,7 @@ fn locate(args: &Args) -> Result<(), CliError> {
         println!("chosen candidates: {:?}", fix.chosen);
     } else if args.has("3d") {
         let fix = server
-            .locate_3d(&log)
+            .locate_3d(log)
             .map_err(|e| CliError::lib("locating (3D)", e))?;
         let (lo, hi) = dep.z_feasible;
         match fix.resolve(|p| p.z >= lo && p.z <= hi) {
@@ -289,7 +346,7 @@ fn locate(args: &Args) -> Result<(), CliError> {
         println!("horizontal residual: {:.2} cm", to_cm(fix.residual_m));
     } else {
         let fix = server
-            .locate_2d(&log)
+            .locate_2d(log)
             .map_err(|e| CliError::lib("locating (2D)", e))?;
         println!("position: {}", fix.position);
         println!("residual: {:.2} cm", to_cm(fix.residual_m));

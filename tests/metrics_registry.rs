@@ -1,0 +1,245 @@
+//! `MetricsRegistry` contract tests: bucket partitions are total and
+//! non-overlapping, snapshot-and-reset loses nothing under contention, and
+//! the `tagspin-metrics/v1` JSON export round-trips through the exact
+//! parser `cargo xtask bench-check` reads artifacts with.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use tagspin::core::prelude::*;
+use xtask::json::{self, Value};
+
+/// Decode a `(selector, magnitude)` pair into an arbitrary float, weighted
+/// toward finite values but covering NaN and both infinities (the vendored
+/// proptest has no `prop_oneof!`, so the mix is encoded by hand).
+fn decode(sel: u8, v: f64) -> f64 {
+    match sel {
+        0 => f64::NAN,
+        1 => f64::INFINITY,
+        2 => f64::NEG_INFINITY,
+        _ => v,
+    }
+}
+
+proptest! {
+    /// Bound sanitization: whatever mess is requested (unsorted,
+    /// duplicated, non-finite), the registered bounds come out finite and
+    /// strictly increasing — the precondition for a total partition.
+    #[test]
+    fn prop_histogram_bounds_sanitized(
+        raw_coded in proptest::collection::vec((0u8..12, -1e6f64..1e6), 0..12),
+    ) {
+        let raw: Vec<f64> = raw_coded.iter().map(|&(s, v)| decode(s, v)).collect();
+        let registry = MetricsRegistry::new();
+        let hist = registry.histogram("h", &raw);
+        let bounds = hist.bounds();
+        prop_assert!(bounds.iter().all(|b| b.is_finite()));
+        prop_assert!(bounds.windows(2).all(|w| w[0] < w[1]),
+            "bounds not strictly increasing: {bounds:?}");
+    }
+
+    /// Partition totality: every observation — including NaN and the
+    /// infinities — lands in exactly one bucket, and the per-bucket counts
+    /// always sum to the total count.
+    #[test]
+    fn prop_every_value_lands_in_exactly_one_bucket(
+        bounds in proptest::collection::vec(-1e3f64..1e3, 0..8),
+        values_coded in proptest::collection::vec((0u8..24, -2e3f64..2e3), 0..64),
+    ) {
+        let values: Vec<f64> = values_coded.iter().map(|&(s, v)| decode(s, v)).collect();
+        let registry = MetricsRegistry::new();
+        let hist = registry.histogram("h", &bounds);
+        let clean = hist.bounds().to_vec();
+        for (i, v) in values.iter().enumerate() {
+            hist.record(*v);
+            let snap = registry.snapshot();
+            let h = &snap.histograms["h"];
+            prop_assert_eq!(h.count, (i + 1) as u64);
+            prop_assert_eq!(h.buckets.iter().sum::<u64>(), h.count,
+                "bucket counts diverged from total after recording {v}");
+            prop_assert_eq!(h.buckets.len(), clean.len() + 1,
+                "one bucket per bound plus overflow");
+        }
+        // Cross-check against a scalar reimplementation of the partition:
+        // count per bucket = first bound >= v, else overflow.
+        let mut expect = vec![0u64; clean.len() + 1];
+        for v in &values {
+            let i = clean
+                .iter()
+                .position(|b| *v <= *b)
+                .unwrap_or(clean.len());
+            expect[i] += 1;
+        }
+        let snap = registry.snapshot();
+        prop_assert_eq!(&snap.histograms["h"].buckets, &expect);
+        let finite_sum: f64 = values.iter().filter(|v| v.is_finite()).sum();
+        prop_assert!((snap.histograms["h"].sum - finite_sum).abs() <= 1e-9 * finite_sum.abs().max(1.0));
+    }
+
+    /// Snapshot-and-reset conservation under contention: writer threads
+    /// hammer a counter and a histogram while the property thread drains
+    /// with `snapshot_and_reset`; the drained snapshots plus the final one
+    /// account for every increment exactly once.
+    #[test]
+    fn prop_snapshot_and_reset_loses_nothing_under_contention(
+        per_thread in 1usize..400,
+        threads in 1usize..5,
+        drains in 1usize..6,
+    ) {
+        let registry = Arc::new(MetricsRegistry::new());
+        let counter = registry.counter("hits");
+        let hist = registry.histogram("lat", &[1.0, 2.0, 4.0]);
+
+        let mut drained_hits = 0u64;
+        let mut drained_obs = 0u64;
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                let counter = counter.clone();
+                let hist = hist.clone();
+                scope.spawn(move || {
+                    for i in 0..per_thread {
+                        counter.inc();
+                        hist.record((i % 5) as f64);
+                    }
+                });
+            }
+            // Drain concurrently with the writers.
+            for _ in 0..drains {
+                let snap = registry.snapshot_and_reset();
+                drained_hits += snap.counters["hits"];
+                let h = &snap.histograms["lat"];
+                // Internal consistency of a mid-flight snapshot is NOT
+                // guaranteed cell-by-cell, but nothing may be lost.
+                drained_obs += h.buckets.iter().sum::<u64>();
+            }
+        });
+        let fin = registry.snapshot_and_reset();
+        drained_hits += fin.counters["hits"];
+        drained_obs += fin.histograms["lat"].buckets.iter().sum::<u64>();
+
+        let total = (threads * per_thread) as u64;
+        prop_assert_eq!(drained_hits, total);
+        prop_assert_eq!(drained_obs, total);
+        // Everything was drained: a final plain snapshot reads zero.
+        let empty = registry.snapshot();
+        prop_assert_eq!(empty.counters["hits"], 0);
+        prop_assert_eq!(empty.histograms["lat"].count, 0);
+    }
+}
+
+/// Gauges are levels: `snapshot_and_reset` drains counters and histograms
+/// but leaves the gauge reading intact.
+#[test]
+fn reset_preserves_gauges() {
+    let registry = MetricsRegistry::new();
+    registry.counter("c").add(3);
+    registry.gauge("g").set(-7.25);
+    let first = registry.snapshot_and_reset();
+    assert_eq!(first.counters["c"], 3);
+    assert_eq!(first.gauges["g"], -7.25);
+    let second = registry.snapshot();
+    assert_eq!(second.counters["c"], 0);
+    assert_eq!(second.gauges["g"], -7.25);
+}
+
+/// Counter handles share their cell: increments through a clone and
+/// through re-registration under the same name land in one metric.
+#[test]
+fn handles_share_cells_by_name() {
+    let registry = MetricsRegistry::new();
+    let a = registry.counter("n");
+    let b = a.clone();
+    let c = registry.counter("n");
+    a.inc();
+    b.inc();
+    c.add(2);
+    assert_eq!(a.get(), 4);
+    assert_eq!(registry.snapshot().counters["n"], 4);
+    // Histogram bounds are fixed at first registration; a later caller's
+    // bounds are ignored rather than forking the metric.
+    let h1 = registry.histogram("h", &[1.0, 2.0]);
+    let h2 = registry.histogram("h", &[99.0]);
+    assert_eq!(h1.bounds(), h2.bounds());
+}
+
+/// The JSON export round-trips through `xtask::json::parse` — the same
+/// hand-rolled reader `cargo xtask bench-check` uses — with every counter,
+/// gauge and histogram field intact.
+#[test]
+fn export_round_trips_through_xtask_parser() {
+    let registry = MetricsRegistry::new();
+    registry.counter("ingest.accepted").add(1234);
+    registry.counter("ingest.rejected.duplicate").add(5);
+    registry.gauge("ingest.last_buffered").set(512.0);
+    let h = registry.histogram("stage.coarse_ns", &[1e3, 1e4, 1e5]);
+    h.record(500.0);
+    h.record(2e4);
+    h.record(9e9); // overflow bucket
+
+    let text = registry.export_json();
+    let doc = json::parse(&text).expect("export must parse");
+    assert_eq!(
+        doc.get("schema").and_then(Value::as_str),
+        Some("tagspin-metrics/v1")
+    );
+
+    let counters = doc.get("counters").expect("counters object");
+    let counter = |name: &str| {
+        counters
+            .get(name)
+            .and_then(Value::as_num)
+            .unwrap_or(f64::NAN)
+    };
+    assert_eq!(counter("ingest.accepted"), 1234.0);
+    assert_eq!(counter("ingest.rejected.duplicate"), 5.0);
+
+    let gauges = doc.get("gauges").expect("gauges object");
+    assert_eq!(
+        gauges.get("ingest.last_buffered").and_then(Value::as_num),
+        Some(512.0)
+    );
+
+    let hist = doc
+        .get("histograms")
+        .and_then(|h| h.get("stage.coarse_ns"))
+        .expect("histogram object");
+    assert_eq!(hist.get("count").and_then(Value::as_num), Some(3.0));
+    let sum = hist.get("sum").and_then(Value::as_num).expect("sum");
+    assert!((sum - (500.0 + 2e4 + 9e9)).abs() < 1e-3);
+    let buckets = match hist.get("buckets") {
+        Some(Value::Arr(items)) => items
+            .iter()
+            .map(|v| v.as_num().unwrap_or(f64::NAN))
+            .collect::<Vec<_>>(),
+        other => panic!("buckets not an array: {other:?}"),
+    };
+    assert_eq!(buckets, vec![1.0, 0.0, 1.0, 1.0]);
+
+    // Snapshot equality: parse-then-compare agrees with the typed
+    // snapshot, so the export is lossless for every exported field.
+    let snap = registry.snapshot();
+    let parsed_counters = match doc.get("counters") {
+        Some(Value::Obj(entries)) => entries
+            .iter()
+            .map(|(k, v)| (k.clone(), v.as_num().unwrap_or(f64::NAN) as u64))
+            .collect::<BTreeMap<_, _>>(),
+        other => panic!("counters not an object: {other:?}"),
+    };
+    assert_eq!(
+        parsed_counters, snap.counters,
+        "counter map diverged through the round-trip"
+    );
+}
+
+/// An empty registry still exports a valid document (empty sections).
+#[test]
+fn empty_export_is_valid_json() {
+    let registry = MetricsRegistry::new();
+    let doc = json::parse(&registry.export_json()).expect("empty export must parse");
+    assert_eq!(
+        doc.get("schema").and_then(Value::as_str),
+        Some("tagspin-metrics/v1")
+    );
+    assert!(matches!(doc.get("counters"), Some(Value::Obj(o)) if o.is_empty()));
+}
