@@ -155,7 +155,7 @@ mod tests {
         let k = 2.0 * TAU / LAMBDA;
         references()
             .iter()
-            .map(|t| (k * t.distance(truth.with_z(0.0)) + theta_div).rem_euclid(TAU))
+            .map(|t| angle::wrap_tau(k * t.distance(truth.with_z(0.0)) + theta_div))
             .collect()
     }
 
@@ -182,7 +182,7 @@ mod tests {
         let mut phases = phases_for(truth, 1.0);
         // Deterministic ±0.1 rad perturbation.
         for (i, p) in phases.iter_mut().enumerate() {
-            *p = (*p + 0.1 * ((i as f64 * 2.3).sin())).rem_euclid(TAU);
+            *p = angle::wrap_tau(*p + 0.1 * ((i as f64 * 2.3).sin()));
         }
         let est = bp.locate(&phases).unwrap();
         let err = (est - truth).norm();

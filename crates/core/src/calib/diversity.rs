@@ -90,7 +90,7 @@ mod tests {
                     let t = i as f64 * 0.05;
                     Snapshot {
                         t_s: t,
-                        phase: f(t).rem_euclid(TAU),
+                        phase: angle::wrap_tau(f(t)),
                         disk_angle: d.disk_angle(t),
                         lambda: 0.325,
                         rssi_dbm: -60.0,
@@ -129,7 +129,7 @@ mod tests {
         let ra = relative_phases(&a, 0);
         let rb = relative_phases(&b, 0);
         for (x, y) in ra.iter().zip(&rb) {
-            let d = (x - y).rem_euclid(TAU);
+            let d = angle::wrap_tau(x - y);
             assert!(d < 1e-9 || TAU - d < 1e-9);
         }
     }
@@ -152,7 +152,7 @@ mod tests {
             let a = theoretical_phase_model(&d, reader, t, 0.325);
             let b = theoretical_phase_exact(&d, reader, t, 0.325);
             let diff = {
-                let x = (a - b).rem_euclid(TAU);
+                let x = angle::wrap_tau(a - b);
                 x.min(TAU - x)
             };
             // 4π/λ · r²/(2D) ≈ 38.7 · 0.01/6 ≈ 0.065 rad bound.
@@ -170,7 +170,7 @@ mod tests {
             let t = i as f64 * 0.2;
             let a = theoretical_phase_model(&d, reader, t, 0.325);
             let b = theoretical_phase_exact(&d, reader, t, 0.325);
-            let x = (a - b).rem_euclid(TAU);
+            let x = angle::wrap_tau(a - b);
             max_diff = max_diff.max(x.min(TAU - x));
         }
         assert!(max_diff > 0.3, "max_diff = {max_diff}");

@@ -175,7 +175,7 @@ mod tests {
                     let rho = disk.plane_azimuth(t) - reader_bearing;
                     Snapshot {
                         t_s: t,
-                        phase: (2.5 + psi.eval(rho) + noise(i)).rem_euclid(std::f64::consts::TAU),
+                        phase: angle::wrap_tau(2.5 + psi.eval(rho) + noise(i)),
                         disk_angle: beta,
                         lambda: 0.325,
                         rssi_dbm: -60.0,

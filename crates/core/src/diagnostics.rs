@@ -320,9 +320,10 @@ mod tests {
                     .map(|i| {
                         let beta = i as f64 * TAU / n as f64;
                         // Model-matched phase: D term constant.
-                        let phase = (10.0 - k * radius * (beta - phi_true).cos()
-                            + sigma * gaussian(&mut rng))
-                        .rem_euclid(TAU);
+                        let phase = tagspin_geom::angle::wrap_tau(
+                            10.0 - k * radius * (beta - phi_true).cos()
+                                + sigma * gaussian(&mut rng),
+                        );
                         Snapshot {
                             t_s: i as f64 * 0.01,
                             phase,

@@ -11,10 +11,14 @@
 //!   margins, per-[`RejectReason`] quarantines, window evictions,
 //!   dirty-flag recomputes, quality-gate withholdings, fix attempts — each
 //!   carrying its structured fields (EPC, antenna id, profile kind, …).
+//!   Batch emitters hand a whole event slice to [`Observer::on_batch`]
+//!   in one call.
 //! * A lock-light [`MetricsRegistry`] of counters, gauges and fixed-bucket
 //!   histograms with snapshot-and-reset semantics and a hand-rolled
-//!   `tagspin-metrics/v1` JSON export. [`MetricsObserver`] folds the event
-//!   stream into it.
+//!   `tagspin-metrics/v1` JSON export, in [`metrics`]. [`MetricsObserver`]
+//!   folds the event stream into it; the canonical metric-name inventory
+//!   is [`names`], cross-checked against `docs/OBSERVABILITY.md` by
+//!   `cargo xtask lint`.
 //! * Stage timers ([`Span`]) wrapping the coarse pass, the fine pass and
 //!   the per-window recompute, surfaced through
 //!   [`crate::session::stats::SessionStats`] and as
@@ -28,20 +32,18 @@
 //! (Vec-backed, for tests) and [`LogObserver`] (stderr, behind the
 //! binary's `-v`) ship alongside.
 
+pub mod metrics;
+pub mod names;
+
+pub use metrics::{
+    Counter, Gauge, Histogram, HistogramCell, HistogramSnapshot, MetricsObserver, MetricsRegistry,
+    MetricsSnapshot, METRICS_SCHEMA,
+};
+
 use crate::session::quarantine::RejectReason;
 use crate::spectrum::ProfileKind;
-use std::collections::BTreeMap;
-use std::fmt::Write as _;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, PoisonError};
 use std::time::Instant;
-
-/// The schema tag of the metrics JSON export.
-pub const METRICS_SCHEMA: &str = "tagspin-metrics/v1";
-
-// ---------------------------------------------------------------------------
-// Event model.
-// ---------------------------------------------------------------------------
 
 /// A named pipeline stage, for [`Event::StageTime`] spans.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -185,10 +187,6 @@ pub enum Event {
     },
 }
 
-// ---------------------------------------------------------------------------
-// Observer trait and handle.
-// ---------------------------------------------------------------------------
-
 /// A sink for pipeline [`Event`]s.
 ///
 /// Implementations must be cheap and non-blocking: events are emitted from
@@ -204,6 +202,18 @@ pub trait Observer: std::fmt::Debug + Send + Sync {
 
     /// Receive one event.
     fn on_event(&self, event: &Event);
+
+    /// Receive a batch of events emitted by one pipeline call. The
+    /// default forwards each event to [`Observer::on_event`];
+    /// implementations with per-event synchronization costs (atomics,
+    /// locks) can override it to pay those costs once per batch —
+    /// [`MetricsObserver`] folds counter deltas locally and flushes each
+    /// touched counter with a single atomic add.
+    fn on_batch(&self, events: &[Event]) {
+        for event in events {
+            self.on_event(event);
+        }
+    }
 }
 
 /// A shared observer handle with the `enabled` flag cached at
@@ -251,6 +261,18 @@ impl ObsHandle {
         }
     }
 
+    /// Emit a batch of events through [`Observer::on_batch`]. The closure
+    /// runs only when enabled; an empty batch is dropped without a call.
+    #[inline]
+    pub fn emit_batch(&self, build: impl FnOnce() -> Vec<Event>) {
+        if self.enabled {
+            let events = build();
+            if !events.is_empty() {
+                self.observer.on_batch(&events);
+            }
+        }
+    }
+
     /// Start a stage timer. Disabled handles never read the clock; the
     /// returned [`Span`] then reports `None` elapsed and emits nothing.
     #[inline]
@@ -258,12 +280,19 @@ impl ObsHandle {
         Span {
             obs: self,
             stage,
-            start: if self.enabled {
-                Some(Instant::now())
-            } else {
-                None
-            },
+            start: self.clock_start(),
         }
+    }
+
+    /// Read the monotonic clock iff this handle is enabled.
+    ///
+    /// The one blessed pipeline `Instant::now` call site (clippy's
+    /// `disallowed-methods` bans it elsewhere): every stage timer routes
+    /// through here, so the disabled-observer path never touches the clock.
+    #[inline]
+    pub fn clock_start(&self) -> Option<Instant> {
+        #[allow(clippy::disallowed_methods)]
+        self.enabled.then(Instant::now)
     }
 }
 
@@ -301,10 +330,6 @@ impl Drop for Span<'_> {
         let _ = self.close();
     }
 }
-
-// ---------------------------------------------------------------------------
-// Stock observers.
-// ---------------------------------------------------------------------------
 
 /// The default observer: reports itself disabled and drops everything.
 #[derive(Debug, Clone, Copy, Default)]
@@ -354,6 +379,13 @@ impl Observer for RecordingObserver {
             .unwrap_or_else(PoisonError::into_inner)
             .push(event.clone());
     }
+
+    fn on_batch(&self, events: &[Event]) {
+        self.events
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .extend_from_slice(events);
+    }
 }
 
 /// An observer that prints every event to stderr (the `tagspin` binary's
@@ -383,10 +415,6 @@ impl FanoutObserver {
 }
 
 impl Observer for FanoutObserver {
-    fn enabled(&self) -> bool {
-        self.sinks.iter().any(|s| s.enabled())
-    }
-
     fn on_event(&self, event: &Event) {
         for sink in &self.sinks {
             if sink.enabled() {
@@ -394,519 +422,17 @@ impl Observer for FanoutObserver {
             }
         }
     }
-}
 
-// ---------------------------------------------------------------------------
-// Metrics registry.
-// ---------------------------------------------------------------------------
-
-/// A monotonically increasing counter handle. Cloning shares the cell;
-/// increments are a single relaxed atomic add (no lock).
-#[derive(Debug, Clone)]
-pub struct Counter(Arc<AtomicU64>);
-
-impl Counter {
-    /// Add one.
-    pub fn inc(&self) {
-        self.add(1);
-    }
-
-    /// Add `n`.
-    pub fn add(&self, n: u64) {
-        self.0.fetch_add(n, Ordering::Relaxed);
-    }
-
-    /// Current value.
-    pub fn get(&self) -> u64 {
-        self.0.load(Ordering::Relaxed)
-    }
-}
-
-/// A last-value gauge handle storing an `f64` (as bits in an atomic).
-#[derive(Debug, Clone)]
-pub struct Gauge(Arc<AtomicU64>);
-
-impl Gauge {
-    /// Set the level.
-    pub fn set(&self, v: f64) {
-        self.0.store(v.to_bits(), Ordering::Relaxed);
-    }
-
-    /// Current level.
-    pub fn get(&self) -> f64 {
-        f64::from_bits(self.0.load(Ordering::Relaxed))
-    }
-}
-
-/// Lock-free `+=` on an `f64` stored as bits, via a CAS loop.
-fn add_f64(cell: &AtomicU64, v: f64) {
-    let mut cur = cell.load(Ordering::Relaxed);
-    loop {
-        let next = (f64::from_bits(cur) + v).to_bits();
-        match cell.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed) {
-            Ok(_) => return,
-            Err(seen) => cur = seen,
-        }
-    }
-}
-
-/// A fixed-bucket histogram: finite, strictly increasing upper bounds
-/// plus an implicit overflow bucket, so the bucket partition is total and
-/// non-overlapping for every float (NaN lands in overflow).
-#[derive(Debug)]
-pub struct HistogramCell {
-    bounds: Vec<f64>,
-    /// One count per bound, plus the trailing overflow bucket.
-    buckets: Vec<AtomicU64>,
-    count: AtomicU64,
-    /// Sum of the *finite* recorded values, as f64 bits.
-    sum_bits: AtomicU64,
-}
-
-impl HistogramCell {
-    fn new(bounds: Vec<f64>) -> Self {
-        let buckets = (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect();
-        HistogramCell {
-            bounds,
-            buckets,
-            count: AtomicU64::new(0),
-            sum_bits: AtomicU64::new(0.0_f64.to_bits()),
-        }
-    }
-
-    /// Index of the bucket `v` falls in: the first bound `>= v`, else the
-    /// overflow bucket. Total by construction (NaN compares false
-    /// everywhere and overflows).
-    fn bucket_index(&self, v: f64) -> usize {
-        self.bounds
-            .iter()
-            .position(|&b| v <= b)
-            .unwrap_or(self.bounds.len())
-    }
-}
-
-/// A histogram handle. Cloning shares the cell; recording is lock-free.
-#[derive(Debug, Clone)]
-pub struct Histogram(Arc<HistogramCell>);
-
-impl Histogram {
-    /// Record one observation.
-    pub fn record(&self, v: f64) {
-        let cell = &self.0;
-        cell.buckets[cell.bucket_index(v)].fetch_add(1, Ordering::Relaxed);
-        cell.count.fetch_add(1, Ordering::Relaxed);
-        if v.is_finite() {
-            add_f64(&cell.sum_bits, v);
-        }
-    }
-
-    /// The bucket upper bounds (sanitized: finite, strictly increasing).
-    pub fn bounds(&self) -> &[f64] {
-        &self.0.bounds
-    }
-}
-
-/// A point-in-time copy of one histogram.
-#[derive(Debug, Clone, PartialEq)]
-pub struct HistogramSnapshot {
-    /// Bucket upper bounds; the implicit overflow bucket follows.
-    pub bounds: Vec<f64>,
-    /// Per-bucket counts, one per bound plus the overflow bucket.
-    pub buckets: Vec<u64>,
-    /// Total observations.
-    pub count: u64,
-    /// Sum of the finite observed values.
-    pub sum: f64,
-}
-
-/// A point-in-time copy of the whole registry, ordered by metric name.
-#[derive(Debug, Clone, PartialEq, Default)]
-pub struct MetricsSnapshot {
-    /// Counter values.
-    pub counters: BTreeMap<String, u64>,
-    /// Gauge levels.
-    pub gauges: BTreeMap<String, f64>,
-    /// Histogram states.
-    pub histograms: BTreeMap<String, HistogramSnapshot>,
-}
-
-/// Append one JSON string literal (metric names are plain ASCII, but
-/// escape the structural characters anyway).
-fn push_json_str(out: &mut String, s: &str) {
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-}
-
-/// Append one JSON number. Non-finite values (never produced by the
-/// registry, but defensively handled) serialize as `null`.
-fn push_json_num(out: &mut String, v: f64) {
-    if v.is_finite() {
-        let _ = write!(out, "{v}");
-    } else {
-        out.push_str("null");
-    }
-}
-
-impl MetricsSnapshot {
-    /// Serialize as `tagspin-metrics/v1` JSON: the flat hand-rolled
-    /// dialect the bench artifacts use, parseable by `xtask`'s
-    /// dependency-free reader.
-    pub fn to_json(&self) -> String {
-        let mut out = String::new();
-        out.push_str("{\n  \"schema\": ");
-        push_json_str(&mut out, METRICS_SCHEMA);
-        out.push_str(",\n  \"counters\": {");
-        for (i, (name, v)) in self.counters.iter().enumerate() {
-            out.push_str(if i == 0 { "\n    " } else { ",\n    " });
-            push_json_str(&mut out, name);
-            let _ = write!(out, ": {v}");
-        }
-        out.push_str("\n  },\n  \"gauges\": {");
-        for (i, (name, v)) in self.gauges.iter().enumerate() {
-            out.push_str(if i == 0 { "\n    " } else { ",\n    " });
-            push_json_str(&mut out, name);
-            out.push_str(": ");
-            push_json_num(&mut out, *v);
-        }
-        out.push_str("\n  },\n  \"histograms\": {");
-        for (i, (name, h)) in self.histograms.iter().enumerate() {
-            out.push_str(if i == 0 { "\n    " } else { ",\n    " });
-            push_json_str(&mut out, name);
-            out.push_str(": {\"bounds\": [");
-            for (j, b) in h.bounds.iter().enumerate() {
-                if j > 0 {
-                    out.push_str(", ");
-                }
-                push_json_num(&mut out, *b);
-            }
-            out.push_str("], \"buckets\": [");
-            for (j, c) in h.buckets.iter().enumerate() {
-                if j > 0 {
-                    out.push_str(", ");
-                }
-                let _ = write!(out, "{c}");
-            }
-            let _ = write!(out, "], \"count\": {}, \"sum\": ", h.count);
-            push_json_num(&mut out, h.sum);
-            out.push('}');
-        }
-        out.push_str("\n  }\n}\n");
-        out
-    }
-}
-
-/// A lock-light metrics registry.
-///
-/// Registration (name → handle) takes a mutex; the returned handles then
-/// update plain shared atomics, so the hot path never locks. Histogram
-/// bounds are sanitized at registration: non-finite bounds are dropped and
-/// the rest sorted and deduplicated, which — with the implicit overflow
-/// bucket — makes the bucket partition total and non-overlapping.
-///
-/// [`MetricsRegistry::snapshot_and_reset`] swaps every counter and
-/// histogram cell to zero atomically, cell by cell: each increment lands
-/// in exactly one snapshot even under contention (gauges are levels and
-/// are read without reset).
-#[derive(Debug, Default)]
-pub struct MetricsRegistry {
-    counters: Mutex<BTreeMap<String, Counter>>,
-    gauges: Mutex<BTreeMap<String, Gauge>>,
-    histograms: Mutex<BTreeMap<String, Histogram>>,
-}
-
-impl MetricsRegistry {
-    /// An empty registry.
-    pub fn new() -> Self {
-        MetricsRegistry::default()
-    }
-
-    /// The counter named `name`, registering it at zero on first use.
-    pub fn counter(&self, name: &str) -> Counter {
-        self.counters
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner)
-            .entry(name.to_string())
-            .or_insert_with(|| Counter(Arc::new(AtomicU64::new(0))))
-            .clone()
-    }
-
-    /// The gauge named `name`, registering it at zero on first use.
-    pub fn gauge(&self, name: &str) -> Gauge {
-        self.gauges
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner)
-            .entry(name.to_string())
-            .or_insert_with(|| Gauge(Arc::new(AtomicU64::new(0.0_f64.to_bits()))))
-            .clone()
-    }
-
-    /// The histogram named `name`. On first use the bucket bounds are
-    /// sanitized (finite, sorted, deduplicated) and registered; later
-    /// calls return the existing histogram and ignore `bounds`.
-    pub fn histogram(&self, name: &str, bounds: &[f64]) -> Histogram {
-        self.histograms
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner)
-            .entry(name.to_string())
-            .or_insert_with(|| {
-                let mut clean: Vec<f64> =
-                    bounds.iter().copied().filter(|b| b.is_finite()).collect();
-                clean.sort_by(f64::total_cmp);
-                clean.dedup_by(|a, b| a == b); // lint:allow(float-eq) exact duplicate bounds after total-order sort
-                Histogram(Arc::new(HistogramCell::new(clean)))
-            })
-            .clone()
-    }
-
-    fn snapshot_inner(&self, reset: bool) -> MetricsSnapshot {
-        let mut snap = MetricsSnapshot::default();
-        for (name, c) in self
-            .counters
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner)
-            .iter()
-        {
-            let v = if reset {
-                c.0.swap(0, Ordering::Relaxed)
-            } else {
-                c.0.load(Ordering::Relaxed)
-            };
-            snap.counters.insert(name.clone(), v);
-        }
-        for (name, g) in self
-            .gauges
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner)
-            .iter()
-        {
-            snap.gauges.insert(name.clone(), g.get());
-        }
-        for (name, h) in self
-            .histograms
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner)
-            .iter()
-        {
-            let cell = &h.0;
-            let buckets: Vec<u64> = cell
-                .buckets
-                .iter()
-                .map(|b| {
-                    if reset {
-                        b.swap(0, Ordering::Relaxed)
-                    } else {
-                        b.load(Ordering::Relaxed)
-                    }
-                })
-                .collect();
-            let count = if reset {
-                cell.count.swap(0, Ordering::Relaxed)
-            } else {
-                cell.count.load(Ordering::Relaxed)
-            };
-            let sum_bits = if reset {
-                cell.sum_bits.swap(0.0_f64.to_bits(), Ordering::Relaxed)
-            } else {
-                cell.sum_bits.load(Ordering::Relaxed)
-            };
-            snap.histograms.insert(
-                name.clone(),
-                HistogramSnapshot {
-                    bounds: cell.bounds.clone(),
-                    buckets,
-                    count,
-                    sum: f64::from_bits(sum_bits),
-                },
-            );
-        }
-        snap
-    }
-
-    /// A copy of every metric, without resetting anything.
-    pub fn snapshot(&self) -> MetricsSnapshot {
-        self.snapshot_inner(false)
-    }
-
-    /// Snapshot-and-reset: counters and histograms are atomically swapped
-    /// to zero cell by cell, so no increment is ever lost — each lands in
-    /// exactly one snapshot. Gauges are levels and are read unreset.
-    pub fn snapshot_and_reset(&self) -> MetricsSnapshot {
-        self.snapshot_inner(true)
-    }
-
-    /// The non-resetting snapshot as `tagspin-metrics/v1` JSON.
-    pub fn export_json(&self) -> String {
-        self.snapshot().to_json()
-    }
-}
-
-// ---------------------------------------------------------------------------
-// MetricsObserver: fold the event stream into a registry.
-// ---------------------------------------------------------------------------
-
-/// Nanosecond histogram bounds for the stage timers (1 µs … 100 ms).
-const NS_BOUNDS: [f64; 6] = [1e3, 1e4, 1e5, 1e6, 1e7, 1e8];
-
-/// Bounds for the peak-to-sidelobe detection margin (profile power units).
-const MARGIN_BOUNDS: [f64; 6] = [0.5, 1.0, 2.0, 5.0, 10.0, 20.0];
-
-/// An observer that folds every [`Event`] into a shared
-/// [`MetricsRegistry`], one metric per decision point (the full name
-/// inventory is documented in `docs/OBSERVABILITY.md`). All handles are
-/// resolved at construction, so observing stays lock-free.
-#[derive(Debug)]
-pub struct MetricsObserver {
-    registry: Arc<MetricsRegistry>,
-    cache_hit: Counter,
-    cache_miss: Counter,
-    peak_searches: Counter,
-    coarse_cells: Counter,
-    fine_cells: Counter,
-    peak_margin: Histogram,
-    accepted: Counter,
-    rej_unknown: Counter,
-    rej_ooo: Counter,
-    rej_dup: Counter,
-    rej_nan_phase: Counter,
-    rej_range_phase: Counter,
-    rej_rssi: Counter,
-    rej_null_epc: Counter,
-    evicted: Counter,
-    last_buffered: Gauge,
-    recompute_fresh: Counter,
-    recompute_cached: Counter,
-    gate_withheld: Counter,
-    fix_attempts: Counter,
-    fix_ok: Counter,
-    fix_skipped: Counter,
-    stage_ns: [(Stage, Histogram); 5],
-}
-
-impl MetricsObserver {
-    /// An observer folding into `registry`.
-    pub fn new(registry: Arc<MetricsRegistry>) -> Self {
-        let r = &registry;
-        let stage_hist = |s: Stage| r.histogram(&format!("stage.{}_ns", s.name()), &NS_BOUNDS);
-        MetricsObserver {
-            cache_hit: r.counter("engine.cache.hit"),
-            cache_miss: r.counter("engine.cache.miss"),
-            peak_searches: r.counter("engine.peak_searches"),
-            coarse_cells: r.counter("engine.coarse_cells"),
-            fine_cells: r.counter("engine.fine_cells"),
-            peak_margin: r.histogram("engine.peak_margin", &MARGIN_BOUNDS),
-            accepted: r.counter("ingest.accepted"),
-            rej_unknown: r.counter("ingest.rejected.unknown_tag"),
-            rej_ooo: r.counter("ingest.rejected.out_of_order"),
-            rej_dup: r.counter("ingest.rejected.duplicate"),
-            rej_nan_phase: r.counter("ingest.rejected.non_finite_phase"),
-            rej_range_phase: r.counter("ingest.rejected.phase_out_of_range"),
-            rej_rssi: r.counter("ingest.rejected.bad_rssi"),
-            rej_null_epc: r.counter("ingest.rejected.null_epc"),
-            evicted: r.counter("session.evicted"),
-            last_buffered: r.gauge("ingest.last_buffered"),
-            recompute_fresh: r.counter("session.recompute.fresh"),
-            recompute_cached: r.counter("session.recompute.cached"),
-            gate_withheld: r.counter("session.gate_withheld"),
-            fix_attempts: r.counter("fix.attempts"),
-            fix_ok: r.counter("fix.ok"),
-            fix_skipped: r.counter("fix.skipped_tags"),
-            stage_ns: [
-                (Stage::Ingest, stage_hist(Stage::Ingest)),
-                (Stage::Coarse, stage_hist(Stage::Coarse)),
-                (Stage::Fine, stage_hist(Stage::Fine)),
-                (Stage::Recompute, stage_hist(Stage::Recompute)),
-                (Stage::Fix, stage_hist(Stage::Fix)),
-            ],
-            registry,
-        }
-    }
-
-    /// The registry this observer folds into.
-    pub fn registry(&self) -> &Arc<MetricsRegistry> {
-        &self.registry
-    }
-}
-
-impl Observer for MetricsObserver {
-    fn on_event(&self, event: &Event) {
-        match *event {
-            Event::CacheLookup { hit } => {
-                if hit {
-                    self.cache_hit.inc();
-                } else {
-                    self.cache_miss.inc();
-                }
-            }
-            Event::PeakSearch {
-                coarse_cells,
-                fine_cells,
-                peak,
-                sidelobe,
-                ..
-            } => {
-                self.peak_searches.inc();
-                self.coarse_cells.add(coarse_cells as u64);
-                self.fine_cells.add(fine_cells as u64);
-                if let Some(side) = sidelobe {
-                    self.peak_margin.record(peak - side);
-                }
-            }
-            Event::StageTime { stage, nanos } => {
-                if let Some((_, h)) = self.stage_ns.iter().find(|(s, _)| *s == stage) {
-                    // lint:allow(lossy-cast) nanoseconds < 2^53 for any realistic span
-                    h.record(nanos as f64);
-                }
-            }
-            Event::IngestAccepted { buffered, .. } => {
-                self.accepted.inc();
-                // lint:allow(lossy-cast) buffer depths are < 2^53
-                self.last_buffered.set(buffered as f64);
-            }
-            Event::IngestRejected { reason, .. } => match reason {
-                RejectReason::UnknownTag => self.rej_unknown.inc(),
-                RejectReason::OutOfOrder => self.rej_ooo.inc(),
-                RejectReason::Duplicate => self.rej_dup.inc(),
-                RejectReason::Malformed(defect) => {
-                    use tagspin_epc::ReportDefect;
-                    match defect {
-                        ReportDefect::NonFinitePhase => self.rej_nan_phase.inc(),
-                        ReportDefect::PhaseOutOfRange => self.rej_range_phase.inc(),
-                        ReportDefect::NonFiniteRssi | ReportDefect::RssiOutOfRange => {
-                            self.rej_rssi.inc();
-                        }
-                        ReportDefect::NullEpc => self.rej_null_epc.inc(),
-                    }
-                }
-            },
-            Event::Evicted { count, .. } => self.evicted.add(count),
-            Event::BearingServed { recomputed, .. } => {
-                if recomputed {
-                    self.recompute_fresh.inc();
-                } else {
-                    self.recompute_cached.inc();
-                }
-            }
-            Event::GateWithheld { .. } => self.gate_withheld.inc(),
-            Event::FixAttempt { skipped, ok, .. } => {
-                self.fix_attempts.inc();
-                if ok {
-                    self.fix_ok.inc();
-                }
-                self.fix_skipped.add(skipped as u64);
+    fn on_batch(&self, events: &[Event]) {
+        for sink in &self.sinks {
+            if sink.enabled() {
+                sink.on_batch(events);
             }
         }
+    }
+
+    fn enabled(&self) -> bool {
+        self.sinks.iter().any(|s| s.enabled())
     }
 }
 
@@ -919,6 +445,7 @@ mod tests {
         let obs = ObsHandle::null();
         assert!(!obs.enabled());
         obs.emit(|| unreachable!("disabled handles must not build events"));
+        obs.emit_batch(|| unreachable!("disabled handles must not build batches"));
         assert_eq!(obs.span(Stage::Coarse).finish(), None);
     }
 
@@ -938,6 +465,27 @@ mod tests {
             ]
         );
         assert!(rec.events().is_empty());
+    }
+
+    #[test]
+    fn emit_batch_reaches_on_batch_and_skips_empties() {
+        let rec = Arc::new(RecordingObserver::new());
+        let obs = ObsHandle::new(Arc::clone(&rec) as Arc<dyn Observer>);
+        obs.emit_batch(Vec::new);
+        assert!(rec.events().is_empty());
+        obs.emit_batch(|| {
+            vec![
+                Event::CacheLookup { hit: true },
+                Event::GateWithheld { epc: 9 },
+            ]
+        });
+        assert_eq!(
+            rec.take(),
+            vec![
+                Event::CacheLookup { hit: true },
+                Event::GateWithheld { epc: 9 },
+            ]
+        );
     }
 
     #[test]
@@ -975,136 +523,10 @@ mod tests {
         ]);
         assert!(fan.enabled());
         fan.on_event(&Event::GateWithheld { epc: 7 });
-        assert_eq!(a.events().len(), 1);
-        assert_eq!(b.events().len(), 1);
+        fan.on_batch(&[Event::CacheLookup { hit: true }]);
+        assert_eq!(a.events().len(), 2);
+        assert_eq!(b.events().len(), 2);
         // All-null fanout is disabled.
         assert!(!FanoutObserver::new(vec![Arc::new(NullObserver)]).enabled());
-    }
-
-    #[test]
-    fn counters_gauges_histograms_roundtrip() {
-        let reg = MetricsRegistry::new();
-        let c = reg.counter("c");
-        c.inc();
-        c.add(4);
-        assert_eq!(c.get(), 5);
-        // Same name returns the same cell.
-        reg.counter("c").inc();
-        assert_eq!(c.get(), 6);
-        let g = reg.gauge("g");
-        g.set(2.5);
-        assert!((g.get() - 2.5).abs() < 1e-12);
-        let h = reg.histogram("h", &[1.0, 10.0]);
-        h.record(0.5);
-        h.record(5.0);
-        h.record(100.0);
-        let snap = reg.snapshot();
-        assert_eq!(snap.counters["c"], 6);
-        let hs = &snap.histograms["h"];
-        assert_eq!(hs.buckets, vec![1, 1, 1]);
-        assert_eq!(hs.count, 3);
-        assert!((hs.sum - 105.5).abs() < 1e-9);
-    }
-
-    #[test]
-    fn histogram_bounds_are_sanitized_total_and_disjoint() {
-        let reg = MetricsRegistry::new();
-        let h = reg.histogram("h", &[10.0, f64::NAN, 1.0, 10.0, f64::INFINITY]);
-        assert_eq!(h.bounds(), &[1.0, 10.0]);
-        // Every value lands in exactly one bucket (including NaN).
-        for v in [f64::NEG_INFINITY, -1.0, 1.0, 5.0, 10.0, 11.0, f64::NAN] {
-            h.record(v);
-        }
-        let hs = &reg.snapshot().histograms["h"];
-        assert_eq!(hs.buckets.iter().sum::<u64>(), hs.count);
-        assert_eq!(hs.count, 7);
-        assert_eq!(hs.buckets, vec![3, 2, 2]);
-    }
-
-    #[test]
-    fn snapshot_and_reset_drains() {
-        let reg = MetricsRegistry::new();
-        reg.counter("c").add(3);
-        reg.histogram("h", &[1.0]).record(0.5);
-        let first = reg.snapshot_and_reset();
-        assert_eq!(first.counters["c"], 3);
-        assert_eq!(first.histograms["h"].count, 1);
-        let second = reg.snapshot_and_reset();
-        assert_eq!(second.counters["c"], 0);
-        assert_eq!(second.histograms["h"].count, 0);
-        assert_eq!(second.histograms["h"].sum, 0.0); // lint:allow(float-eq) exact zero after reset
-    }
-
-    #[test]
-    fn export_names_the_schema() {
-        let reg = MetricsRegistry::new();
-        reg.counter("a.b").inc();
-        reg.gauge("g").set(1.5);
-        reg.histogram("h", &[2.0]).record(1.0);
-        let json = reg.export_json();
-        assert!(json.contains("\"schema\": \"tagspin-metrics/v1\""));
-        assert!(json.contains("\"a.b\": 1"));
-        assert!(json.contains("\"g\": 1.5"));
-        assert!(json.contains("\"count\": 1"));
-    }
-
-    #[test]
-    fn metrics_observer_folds_every_event_class() {
-        let reg = Arc::new(MetricsRegistry::new());
-        let mo = MetricsObserver::new(Arc::clone(&reg));
-        mo.on_event(&Event::CacheLookup { hit: true });
-        mo.on_event(&Event::CacheLookup { hit: false });
-        mo.on_event(&Event::PeakSearch {
-            three_d: false,
-            kind: ProfileKind::Hybrid,
-            coarse_cells: 72,
-            fine_cells: 30,
-            peak: 5.0,
-            sidelobe: Some(2.0),
-        });
-        mo.on_event(&Event::StageTime {
-            stage: Stage::Coarse,
-            nanos: 1500,
-        });
-        mo.on_event(&Event::IngestAccepted {
-            epc: 1,
-            antenna_id: 1,
-            buffered: 10,
-        });
-        mo.on_event(&Event::IngestRejected {
-            epc: 0,
-            antenna_id: 1,
-            reason: RejectReason::Malformed(tagspin_epc::ReportDefect::NullEpc),
-        });
-        mo.on_event(&Event::Evicted { epc: 1, count: 4 });
-        mo.on_event(&Event::BearingServed {
-            epc: 1,
-            kind: FixKind::Fix2D,
-            recomputed: true,
-        });
-        mo.on_event(&Event::GateWithheld { epc: 1 });
-        mo.on_event(&Event::FixAttempt {
-            kind: FixKind::Fix2D,
-            usable: 2,
-            skipped: 1,
-            ok: true,
-        });
-        let snap = reg.snapshot();
-        assert_eq!(snap.counters["engine.cache.hit"], 1);
-        assert_eq!(snap.counters["engine.cache.miss"], 1);
-        assert_eq!(snap.counters["engine.peak_searches"], 1);
-        assert_eq!(snap.counters["engine.coarse_cells"], 72);
-        assert_eq!(snap.counters["engine.fine_cells"], 30);
-        assert_eq!(snap.counters["ingest.accepted"], 1);
-        assert_eq!(snap.counters["ingest.rejected.null_epc"], 1);
-        assert_eq!(snap.counters["session.evicted"], 4);
-        assert_eq!(snap.counters["session.recompute.fresh"], 1);
-        assert_eq!(snap.counters["session.gate_withheld"], 1);
-        assert_eq!(snap.counters["fix.attempts"], 1);
-        assert_eq!(snap.counters["fix.ok"], 1);
-        assert_eq!(snap.counters["fix.skipped_tags"], 1);
-        assert_eq!(snap.histograms["engine.peak_margin"].count, 1);
-        assert_eq!(snap.histograms["stage.coarse_ns"].count, 1);
-        assert!((snap.gauges["ingest.last_buffered"] - 10.0).abs() < 1e-12);
     }
 }

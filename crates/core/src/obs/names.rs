@@ -1,0 +1,101 @@
+//! The canonical metric-name inventory.
+//!
+//! Every name [`super::MetricsObserver`] registers lives here as a
+//! `pub const`, and `cargo xtask lint` rule L8 cross-checks this file in
+//! both directions against the inventory table in `docs/OBSERVABILITY.md`:
+//! a const missing from the docs is undocumented telemetry, a documented
+//! name without a const is a stale entry or a silent rename, and a const
+//! never referenced by the observer is dead inventory. Registration sites
+//! in `metrics.rs` must use these consts (raw string literals there are
+//! an L8 finding), so renaming a metric is a one-line change that the
+//! lint gate keeps honest.
+
+use super::Stage;
+
+/// Steering-table cache lookups that found a cached table.
+pub const ENGINE_CACHE_HIT: &str = "engine.cache.hit";
+/// Steering-table cache lookups that had to build the table.
+pub const ENGINE_CACHE_MISS: &str = "engine.cache.miss";
+/// Sparse coarse-to-fine peak searches completed.
+pub const ENGINE_PEAK_SEARCHES: &str = "engine.peak_searches";
+/// Grid cells evaluated by coarse stride passes.
+pub const ENGINE_COARSE_CELLS: &str = "engine.coarse_cells";
+/// Grid cells evaluated by fine window passes.
+pub const ENGINE_FINE_CELLS: &str = "engine.fine_cells";
+/// Peak-to-sidelobe detection margin (histogram, profile power units).
+pub const ENGINE_PEAK_MARGIN: &str = "engine.peak_margin";
+/// Reports that passed every ingest screen.
+pub const INGEST_ACCEPTED: &str = "ingest.accepted";
+/// Reports quarantined: EPC not in the registry.
+pub const INGEST_REJECTED_UNKNOWN_TAG: &str = "ingest.rejected.unknown_tag";
+/// Reports quarantined: timestamp older than the stream head.
+pub const INGEST_REJECTED_OUT_OF_ORDER: &str = "ingest.rejected.out_of_order";
+/// Reports quarantined: duplicate (timestamp, antenna) pair.
+pub const INGEST_REJECTED_DUPLICATE: &str = "ingest.rejected.duplicate";
+/// Reports quarantined: NaN or infinite phase.
+pub const INGEST_REJECTED_NON_FINITE_PHASE: &str = "ingest.rejected.non_finite_phase";
+/// Reports quarantined: phase outside `[0, 2π)`.
+pub const INGEST_REJECTED_PHASE_OUT_OF_RANGE: &str = "ingest.rejected.phase_out_of_range";
+/// Reports quarantined: non-finite or out-of-range RSSI.
+pub const INGEST_REJECTED_BAD_RSSI: &str = "ingest.rejected.bad_rssi";
+/// Reports quarantined: the all-zero null EPC.
+pub const INGEST_REJECTED_NULL_EPC: &str = "ingest.rejected.null_epc";
+/// Buffer depth of the most recently accepted stream (gauge).
+pub const INGEST_LAST_BUFFERED: &str = "ingest.last_buffered";
+/// Snapshots aged out of sliding windows.
+pub const SESSION_EVICTED: &str = "session.evicted";
+/// Bearings served by a fresh dirty-flag recompute.
+pub const SESSION_RECOMPUTE_FRESH: &str = "session.recompute.fresh";
+/// Bearings served from the per-window cache.
+pub const SESSION_RECOMPUTE_CACHED: &str = "session.recompute.cached";
+/// Fresh recomputes withheld by the capture quality gate.
+pub const SESSION_GATE_WITHHELD: &str = "session.gate_withheld";
+/// Multi-tag fix attempts started.
+pub const FIX_ATTEMPTS: &str = "fix.attempts";
+/// Multi-tag fix attempts that produced a fix.
+pub const FIX_OK: &str = "fix.ok";
+/// Tags skipped inside fix attempts for degenerate input.
+pub const FIX_SKIPPED_TAGS: &str = "fix.skipped_tags";
+/// Ingest stage wall-clock (histogram, nanoseconds).
+pub const STAGE_INGEST_NS: &str = "stage.ingest_ns";
+/// Coarse-pass wall-clock (histogram, nanoseconds).
+pub const STAGE_COARSE_NS: &str = "stage.coarse_ns";
+/// Fine-pass wall-clock (histogram, nanoseconds).
+pub const STAGE_FINE_NS: &str = "stage.fine_ns";
+/// Per-window recompute wall-clock (histogram, nanoseconds).
+pub const STAGE_RECOMPUTE_NS: &str = "stage.recompute_ns";
+/// Whole fix-attempt wall-clock (histogram, nanoseconds).
+pub const STAGE_FIX_NS: &str = "stage.fix_ns";
+
+/// The stage-timer histogram name for `stage`.
+pub fn stage_ns_name(stage: Stage) -> &'static str {
+    match stage {
+        Stage::Ingest => STAGE_INGEST_NS,
+        Stage::Coarse => STAGE_COARSE_NS,
+        Stage::Fine => STAGE_FINE_NS,
+        Stage::Recompute => STAGE_RECOMPUTE_NS,
+        Stage::Fix => STAGE_FIX_NS,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stage_names_match_stage_name() {
+        for stage in [
+            Stage::Ingest,
+            Stage::Coarse,
+            Stage::Fine,
+            Stage::Recompute,
+            Stage::Fix,
+        ] {
+            assert_eq!(
+                stage_ns_name(stage),
+                format!("stage.{}_ns", stage.name()),
+                "{stage:?}"
+            );
+        }
+    }
+}

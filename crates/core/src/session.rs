@@ -218,8 +218,12 @@ impl ReaderSession {
     /// time-ordered buffer is a structural invariant), duplicates (when
     /// [`quarantine::IngestPolicy::reject_duplicates`] is set).
     pub fn ingest(&mut self, report: &TagReport) -> IngestOutcome {
-        let t0 = self.obs.enabled().then(Instant::now);
-        let outcome = self.ingest_inner(report);
+        let t0 = self.obs.clock_start();
+        let mut events = Vec::new();
+        let outcome = self.ingest_inner(report, &mut events);
+        for event in events {
+            self.obs.emit(|| event);
+        }
         if let Some(t0) = t0 {
             let nanos = elapsed_ns(t0);
             self.ingest_ns += nanos;
@@ -231,19 +235,54 @@ impl ReaderSession {
         outcome
     }
 
-    fn ingest_inner(&mut self, report: &TagReport) -> IngestOutcome {
+    /// Bulk-ingest `reports` in order, coalescing observer traffic: every
+    /// per-report event is collected and handed to
+    /// [`crate::obs::Observer::on_batch`] in one call, followed by a single
+    /// [`Event::StageTime`] covering the whole batch (one clock read, one
+    /// `ingest_ns` advance). Buffering, rejection accounting and
+    /// [`SessionStats`] report counts are identical to calling
+    /// [`ReaderSession::ingest`] per report. Returns how many reports were
+    /// buffered.
+    pub fn ingest_batch(&mut self, reports: &[TagReport]) -> usize {
+        let t0 = self.obs.clock_start();
+        let mut events = Vec::new();
+        let mut buffered = 0usize;
+        for report in reports {
+            if self.ingest_inner(report, &mut events) == IngestOutcome::Buffered {
+                buffered += 1;
+            }
+        }
+        if let Some(t0) = t0 {
+            let nanos = elapsed_ns(t0);
+            self.ingest_ns += nanos;
+            events.push(Event::StageTime {
+                stage: Stage::Ingest,
+                nanos,
+            });
+        }
+        self.obs.emit_batch(|| events);
+        buffered
+    }
+
+    /// The ingest pipeline proper. Events are pushed onto `events` (only
+    /// while an observer is enabled) instead of being emitted inline, so
+    /// [`ReaderSession::ingest`] can replay them one-by-one and
+    /// [`ReaderSession::ingest_batch`] can hand the whole batch to the
+    /// observer in a single call.
+    fn ingest_inner(&mut self, report: &TagReport, events: &mut Vec<Event>) -> IngestOutcome {
         if self.config.ingest.screen_values {
             if let Err(defect) = report.validate() {
-                return self.reject(report, RejectReason::Malformed(defect));
+                return self.reject(report, RejectReason::Malformed(defect), events);
             }
         }
         let snapshot = match self.registry.get(report.epc) {
             Some(tag) => Snapshot::from_report(report, &tag.disk),
-            None => return self.reject(report, RejectReason::UnknownTag),
+            None => return self.reject(report, RejectReason::UnknownTag, events),
         };
         let key = (report.timestamp_us, report.phase.to_bits());
         let reject_duplicates = self.config.ingest.reject_duplicates;
         let (epc, antenna_id) = (report.epc, report.antenna_id);
+        let enabled = self.obs.enabled();
         let stream = self.streams.entry(report.epc).or_default();
         if stream
             .buf
@@ -252,21 +291,25 @@ impl ReaderSession {
         {
             stream.out_of_order += 1;
             self.rejects.record(RejectReason::OutOfOrder);
-            self.obs.emit(|| Event::IngestRejected {
-                epc,
-                antenna_id,
-                reason: RejectReason::OutOfOrder,
-            });
+            if enabled {
+                events.push(Event::IngestRejected {
+                    epc,
+                    antenna_id,
+                    reason: RejectReason::OutOfOrder,
+                });
+            }
             return IngestOutcome::Rejected(RejectReason::OutOfOrder);
         }
         if reject_duplicates && stream.last_key == Some(key) {
             stream.duplicate += 1;
             self.rejects.record(RejectReason::Duplicate);
-            self.obs.emit(|| Event::IngestRejected {
-                epc,
-                antenna_id,
-                reason: RejectReason::Duplicate,
-            });
+            if enabled {
+                events.push(Event::IngestRejected {
+                    epc,
+                    antenna_id,
+                    reason: RejectReason::Duplicate,
+                });
+            }
             return IngestOutcome::Rejected(RejectReason::Duplicate);
         }
         stream.buf.push(snapshot);
@@ -292,28 +335,37 @@ impl ReaderSession {
             self.evicted += evicted as u64;
         }
         let buffered = stream.buf.len();
-        if evicted > 0 {
-            self.obs.emit(|| Event::Evicted {
+        if enabled {
+            if evicted > 0 {
+                events.push(Event::Evicted {
+                    epc,
+                    count: evicted as u64,
+                });
+            }
+            events.push(Event::IngestAccepted {
                 epc,
-                count: evicted as u64,
+                antenna_id,
+                buffered,
             });
         }
-        self.obs.emit(|| Event::IngestAccepted {
-            epc,
-            antenna_id,
-            buffered,
-        });
         IngestOutcome::Buffered
     }
 
     /// Count a session-level rejection (no stream attribution).
-    fn reject(&mut self, report: &TagReport, reason: RejectReason) -> IngestOutcome {
+    fn reject(
+        &mut self,
+        report: &TagReport,
+        reason: RejectReason,
+        events: &mut Vec<Event>,
+    ) -> IngestOutcome {
         self.rejects.record(reason);
-        self.obs.emit(|| Event::IngestRejected {
-            epc: report.epc,
-            antenna_id: report.antenna_id,
-            reason,
-        });
+        if self.obs.enabled() {
+            events.push(Event::IngestRejected {
+                epc: report.epc,
+                antenna_id: report.antenna_id,
+                reason,
+            });
+        }
         IngestOutcome::Rejected(reason)
     }
 
@@ -415,7 +467,7 @@ impl ReaderSession {
             });
             return cached;
         }
-        let t0 = self.obs.enabled().then(Instant::now);
+        let t0 = self.obs.clock_start();
         let result = pipeline::check_buffer(tag, &stream.buf)
             .and_then(|()| pipeline::gate(tag, &self.config, &stream.buf))
             .and_then(|()| pipeline::bearing_2d(&self.engine, tag, &self.config, &stream.buf));
@@ -439,7 +491,7 @@ impl ReaderSession {
             });
             return cached;
         }
-        let t0 = self.obs.enabled().then(Instant::now);
+        let t0 = self.obs.clock_start();
         let result = pipeline::check_buffer(tag, &stream.buf)
             .and_then(|()| pipeline::gate(tag, &self.config, &stream.buf))
             .and_then(|()| pipeline::bearing_3d(&self.engine, tag, &self.config, &stream.buf));
@@ -466,7 +518,7 @@ impl ReaderSession {
             });
             return cached;
         }
-        let t0 = self.obs.enabled().then(Instant::now);
+        let t0 = self.obs.clock_start();
         let result = pipeline::check_buffer(tag, &stream.buf)
             .and_then(|()| pipeline::gate(tag, &self.config, &stream.buf))
             .and_then(|()| pipeline::bearing_aided(&self.engine, tag, &self.config, &stream.buf));
@@ -487,7 +539,7 @@ impl ReaderSession {
     /// [`ServerError::NotEnoughBearings`] / [`ServerError::Locate`], plus
     /// non-skippable per-tag errors (e.g. a bad disk config).
     pub fn fix_2d(&mut self) -> Result<Fix2D, ServerError> {
-        let t0 = self.obs.enabled().then(Instant::now);
+        let t0 = self.obs.clock_start();
         let (result, usable, skipped) = self.fix_2d_inner();
         self.note_fix(FixKind::Fix2D, t0, usable, skipped, result.is_ok());
         result
@@ -556,7 +608,7 @@ impl ReaderSession {
     ///
     /// Same as [`ReaderSession::fix_2d`].
     pub fn fix_3d(&mut self) -> Result<Fix3D, ServerError> {
-        let t0 = self.obs.enabled().then(Instant::now);
+        let t0 = self.obs.clock_start();
         let (result, usable, skipped) = self.fix_3d_inner();
         self.note_fix(FixKind::Fix3D, t0, usable, skipped, result.is_ok());
         result
@@ -600,7 +652,7 @@ impl ReaderSession {
     ///
     /// Same as [`ReaderSession::fix_2d`].
     pub fn fix_3d_aided(&mut self) -> Result<ResolvedFix, ServerError> {
-        let t0 = self.obs.enabled().then(Instant::now);
+        let t0 = self.obs.clock_start();
         let (result, usable, skipped) = self.fix_3d_aided_inner();
         self.note_fix(FixKind::Fix3DAided, t0, usable, skipped, result.is_ok());
         result
@@ -827,6 +879,33 @@ impl SessionManager {
             .count()
     }
 
+    /// Bulk-route `reports` in order, batching observer traffic: each
+    /// contiguous same-antenna run is handed to that antenna's
+    /// [`ReaderSession::ingest_batch`] in one call. Returns how many
+    /// reports were buffered.
+    pub fn ingest_batch(&mut self, reports: &[TagReport]) -> usize {
+        let mut buffered = 0usize;
+        let mut i = 0usize;
+        while i < reports.len() {
+            let antenna_id = reports[i].antenna_id;
+            let mut j = i + 1;
+            while j < reports.len() && reports[j].antenna_id == antenna_id {
+                j += 1;
+            }
+            let session = self.sessions.entry(antenna_id).or_insert_with(|| {
+                ReaderSession::with_engine(
+                    Arc::clone(&self.registry),
+                    self.engine.clone(),
+                    self.config,
+                    self.window,
+                )
+            });
+            buffered += session.ingest_batch(&reports[i..j]);
+            i = j;
+        }
+        buffered
+    }
+
     /// The antennas with live sessions, ascending.
     pub fn antennas(&self) -> Vec<u8> {
         self.sessions.keys().copied().collect()
@@ -912,7 +991,7 @@ mod tests {
         TagReport {
             epc,
             timestamp_us: t_us,
-            phase: (t_us as f64 * 1e-5).rem_euclid(std::f64::consts::TAU),
+            phase: tagspin_geom::angle::wrap_tau(t_us as f64 * 1e-5),
             rssi_dbm: -60.0,
             channel_index: 8,
             antenna_id: antenna,

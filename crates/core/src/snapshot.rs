@@ -250,7 +250,7 @@ mod tests {
             .map(|i| TagReport {
                 epc,
                 timestamp_us: i * 100_000,
-                phase: (i as f64 * 0.3).rem_euclid(std::f64::consts::TAU),
+                phase: tagspin_geom::angle::wrap_tau(i as f64 * 0.3),
                 rssi_dbm: -60.0,
                 channel_index: 8,
                 antenna_id: 1,

@@ -643,7 +643,7 @@ mod tests {
                     let d = disk.tag_position(t).distance(reader);
                     Snapshot {
                         t_s: t,
-                        phase: (2.0 * TAU / LAMBDA * d + 1.234).rem_euclid(TAU),
+                        phase: angle::wrap_tau(2.0 * TAU / LAMBDA * d + 1.234),
                         disk_angle: disk.disk_angle(t),
                         lambda: LAMBDA,
                         rssi_dbm: -60.0,

@@ -42,7 +42,6 @@ use serde::{Deserialize, Serialize};
 use std::f64::consts::{FRAC_PI_2, PI, TAU};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, PoisonError};
-use std::time::Instant;
 use tagspin_dsp::peak::{self, PeakEstimate};
 use tagspin_geom::angle;
 use tagspin_geom::vec3::Direction3;
@@ -471,10 +470,11 @@ impl SpectrumEngine {
     /// zero unless an enabled observer is attached — the disabled path
     /// never reads the clock.
     pub fn stage_ns(&self) -> (u64, u64) {
-        (
-            self.coarse_ns.load(Ordering::Relaxed),
-            self.fine_ns.load(Ordering::Relaxed),
-        )
+        // ordering: relaxed — independent monotonic tallies, no cross-counter consistency needed
+        let coarse = self.coarse_ns.load(Ordering::Relaxed);
+        // ordering: relaxed — same as coarse_ns above
+        let fine = self.fine_ns.load(Ordering::Relaxed);
+        (coarse, fine)
     }
 
     /// [`eval_cells`] wrapped in a stage timer: accumulates into the
@@ -488,7 +488,7 @@ impl SpectrumEngine {
         cells: &[usize],
         values: &mut [f64],
     ) {
-        let t0 = self.obs.enabled().then(Instant::now);
+        let t0 = self.obs.clock_start();
         eval_cells(ctx, ecfg, cells, values);
         if let Some(t0) = t0 {
             let nanos = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
@@ -496,6 +496,7 @@ impl SpectrumEngine {
                 Stage::Coarse => &self.coarse_ns,
                 _ => &self.fine_ns,
             };
+            // ordering: relaxed — monotonic accumulation; readers tolerate any interleaving
             counter.fetch_add(nanos, Ordering::Relaxed);
             self.obs.emit(|| Event::StageTime { stage, nanos });
         }
@@ -510,29 +511,60 @@ impl SpectrumEngine {
             .entries
             .len();
         CacheStats {
+            // ordering: relaxed — approximate counters; no ordering with entries.len() needed
             hits: self.hits.load(Ordering::Relaxed),
+            // ordering: relaxed — approximate counters; no ordering with entries.len() needed
             misses: self.misses.load(Ordering::Relaxed),
             entries,
         }
     }
 
-    fn table(&self, key: TableKey) -> Arc<SteeringTable> {
+    /// Cache lookup: under the lock, find `key` and touch it to the LRU
+    /// head. Counter updates and observer emission happen in [`Self::table`]
+    /// after the guard drops, keeping the critical section free of callouts.
+    fn lookup(&self, key: &TableKey) -> Option<Arc<SteeringTable>> {
+        let mut cache = self.cache.lock().unwrap_or_else(PoisonError::into_inner);
+        let pos = cache.entries.iter().position(|(k, _)| *k == *key)?;
+        let entry = cache.entries.remove(pos);
+        let table = Arc::clone(&entry.1);
+        cache.entries.insert(0, entry);
+        Some(table)
+    }
+
+    /// Cache insert: under a fresh lock, re-check for a racing insert of
+    /// the same key (the first cached table wins, so clones sharing the
+    /// cache agree on one instance), then insert at the LRU head and
+    /// truncate to capacity.
+    fn insert(&self, key: TableKey, table: Arc<SteeringTable>) -> Arc<SteeringTable> {
         let mut cache = self.cache.lock().unwrap_or_else(PoisonError::into_inner);
         if let Some(pos) = cache.entries.iter().position(|(k, _)| *k == key) {
             let entry = cache.entries.remove(pos);
-            let table = Arc::clone(&entry.1);
+            let cached = Arc::clone(&entry.1);
             cache.entries.insert(0, entry);
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            self.obs.emit(|| Event::CacheLookup { hit: true });
-            return table;
+            return cached;
         }
-        self.misses.fetch_add(1, Ordering::Relaxed);
-        self.obs.emit(|| Event::CacheLookup { hit: false });
-        let table = Arc::new(SteeringTable::build(key.azimuth_steps, key.polar_steps));
         cache.entries.insert(0, (key, Arc::clone(&table)));
         let cap = cache.capacity;
         cache.entries.truncate(cap);
         table
+    }
+
+    /// The steering table for `key`: cached, or built outside the cache
+    /// lock and inserted. Two racing misses may both build (and both count
+    /// a miss); [`Self::insert`] keeps the first table. The table build and
+    /// every observer callout run without the guard held.
+    fn table(&self, key: TableKey) -> Arc<SteeringTable> {
+        if let Some(table) = self.lookup(&key) {
+            // ordering: relaxed — monotonic tally read only via cache_stats snapshots
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            self.obs.emit(|| Event::CacheLookup { hit: true });
+            return table;
+        }
+        // ordering: relaxed — monotonic tally read only via cache_stats snapshots
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.obs.emit(|| Event::CacheLookup { hit: false });
+        let table = Arc::new(SteeringTable::build(key.azimuth_steps, key.polar_steps));
+        self.insert(key, table)
     }
 
     fn check(set: &SnapshotSet, cfg: &SpectrumConfig, ecfg: &SpectrumEngineConfig) {
@@ -1112,7 +1144,7 @@ mod tests {
                     let d = disk.tag_position(t).distance(reader);
                     Snapshot {
                         t_s: t,
-                        phase: (2.0 * TAU / LAMBDA * d + 0.77).rem_euclid(TAU),
+                        phase: angle::wrap_tau(2.0 * TAU / LAMBDA * d + 0.77),
                         disk_angle: disk.disk_angle(t),
                         lambda: LAMBDA,
                         rssi_dbm: -60.0,

@@ -118,6 +118,10 @@ pub fn refine_circular(values: &[f64], period: f64) -> Option<PeakEstimate> {
     let position = (i as f64 + delta) * step;
     Some(PeakEstimate {
         index: i,
+        // Wrapping by a caller-supplied grid period, not an angle by 2π;
+        // interpolation keeps |delta| ≤ 0.5, so the boundary rounding that
+        // geom::angle::wrap_tau guards against cannot push outside a bin.
+        #[allow(clippy::disallowed_methods)]
         position: position.rem_euclid(period),
         value,
     })

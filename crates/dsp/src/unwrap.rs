@@ -111,7 +111,10 @@ mod tests {
     #[test]
     fn unwrap_inverts_wrapping() {
         let truth: Vec<f64> = (0..500).map(|i| 0.07 * i as f64).collect();
-        let wrapped: Vec<f64> = truth.iter().map(|&x| x.rem_euclid(TAU)).collect();
+        let wrapped: Vec<f64> = truth
+            .iter()
+            .map(|&x| tagspin_geom::angle::wrap_tau(x))
+            .collect();
         let un = unwrap(&wrapped);
         let delta = un[0] - truth[0];
         for (u, t) in un.iter().zip(&truth) {
@@ -122,7 +125,10 @@ mod tests {
     #[test]
     fn unwrap_handles_decreasing() {
         let truth: Vec<f64> = (0..200).map(|i| -0.11 * i as f64 + 3.0).collect();
-        let wrapped: Vec<f64> = truth.iter().map(|&x| x.rem_euclid(TAU)).collect();
+        let wrapped: Vec<f64> = truth
+            .iter()
+            .map(|&x| tagspin_geom::angle::wrap_tau(x))
+            .collect();
         let un = unwrap(&wrapped);
         let delta = un[0] - truth[0];
         for (u, t) in un.iter().zip(&truth) {
@@ -141,7 +147,10 @@ mod tests {
                 4.0 * PI / lambda * (d - r * (0.5 * t).cos())
             })
             .collect();
-        let wrapped: Vec<f64> = truth.iter().map(|&x| x.rem_euclid(TAU)).collect();
+        let wrapped: Vec<f64> = truth
+            .iter()
+            .map(|&x| tagspin_geom::angle::wrap_tau(x))
+            .collect();
         let un = unwrap(&wrapped);
         let delta = un[0] - truth[0];
         for (u, t) in un.iter().zip(&truth) {
@@ -161,7 +170,10 @@ mod tests {
     fn eqn4_matches_unwrap_for_slow_sequences() {
         // When inter-sample steps are < π the two agree exactly.
         let truth: Vec<f64> = (0..300).map(|i| 0.05 * i as f64).collect();
-        let wrapped: Vec<f64> = truth.iter().map(|&x| x.rem_euclid(TAU)).collect();
+        let wrapped: Vec<f64> = truth
+            .iter()
+            .map(|&x| tagspin_geom::angle::wrap_tau(x))
+            .collect();
         let a = unwrap(&wrapped);
         let b = smooth_eqn4(&wrapped);
         // Eqn 4 adjusts only relative to the previous *smoothed* sample, so it

@@ -397,6 +397,9 @@ mod tests {
         let (mut face, mut edge) = (0usize, 0usize);
         for rep in log.reports() {
             // Orientation relative to a reader due +x: ρ = plane azimuth.
+            // Modulo π (orientation, not phase) — geom::angle has no mod-π
+            // wrap, and this test oracle needn't route through it anyway.
+            #[allow(clippy::disallowed_methods)]
             let rho = (0.5 * rep.time_s()).rem_euclid(std::f64::consts::PI);
             let d = (rho - FRAC_PI_2).abs();
             if d < 0.4 {

@@ -262,7 +262,7 @@ mod tests {
             .map(|i| TagReport {
                 epc: 0xE200_1234_5678_0000_u128 + i as u128,
                 timestamp_us: 1_000 * i,
-                phase: (i as f64 * 0.7).rem_euclid(TAU),
+                phase: tagspin_geom::angle::wrap_tau(i as f64 * 0.7),
                 rssi_dbm: -55.5 - i as f64,
                 channel_index: (i % 16) as u8,
                 antenna_id: 1 + (i % 4) as u8,

@@ -56,10 +56,7 @@ proptest! {
             prop_assert_eq!(a.antenna_id, b.antenna_id);
             // Circular distance: a phase just below 2π correctly snaps
             // to step 0.
-            let dq = {
-                let d = (a.phase - b.phase).rem_euclid(std::f64::consts::TAU);
-                d.min(std::f64::consts::TAU - d)
-            };
+            let dq = tagspin_geom::angle::separation(a.phase, b.phase);
             prop_assert!(dq <= std::f64::consts::TAU / 4096.0 / 2.0 + 1e-12);
             prop_assert!((a.rssi_dbm - b.rssi_dbm).abs() <= 0.005 + 1e-9);
         }

@@ -19,6 +19,8 @@ use std::f64::consts::{PI, TAU};
 /// ```
 #[inline]
 pub fn wrap_tau(theta: f64) -> f64 {
+    // The one blessed raw wrap: every other call site routes through here.
+    #[allow(clippy::disallowed_methods)]
     let w = theta.rem_euclid(TAU);
     // rem_euclid can return TAU itself for inputs like -1e-17 due to rounding.
     if w >= TAU {

@@ -160,11 +160,7 @@ mod tests {
             .map(|_| {
                 let p = noise.apply(base, &mut rng);
                 // wrap difference to (-π, π]
-                let mut d = (p - base).rem_euclid(TAU);
-                if d > std::f64::consts::PI {
-                    d -= TAU;
-                }
-                d
+                angle::wrap_pi(p - base)
             })
             .collect();
         let mean = devs.iter().sum::<f64>() / n as f64;
@@ -192,7 +188,7 @@ mod tests {
             let p = i as f64 * 0.09;
             let q = quantize_phase(p, IMPINJ_PHASE_STEPS);
             assert!((0.0..TAU).contains(&q));
-            assert!((q - p.rem_euclid(TAU)).abs() <= TAU / IMPINJ_PHASE_STEPS as f64);
+            assert!((q - angle::wrap_tau(p)).abs() <= TAU / IMPINJ_PHASE_STEPS as f64);
         }
     }
 

@@ -103,7 +103,7 @@ mod tests {
     fn diversity_shifts_phase() {
         let a = round_trip_phase(1.5, DEFAULT_CARRIER_HZ, 0.0);
         let b = round_trip_phase(1.5, DEFAULT_CARRIER_HZ, 0.7);
-        let d = (b - a).rem_euclid(TAU);
+        let d = tagspin_geom::angle::wrap_tau(b - a);
         assert!((d - 0.7).abs() < 1e-9);
     }
 

@@ -291,7 +291,7 @@ mod tests {
             .map(|i| TagReport {
                 epc: 1 + (i % 2) as u128,
                 timestamp_us: i * 10_000,
-                phase: ((i as f64) * 0.37).rem_euclid(std::f64::consts::TAU),
+                phase: wrap_tau((i as f64) * 0.37),
                 rssi_dbm: -60.0,
                 channel_index: (i % 8) as u8,
                 antenna_id: 1,

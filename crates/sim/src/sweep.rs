@@ -58,6 +58,7 @@ pub fn run_batch(
     crossbeam::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|_| loop {
+                // ordering: relaxed — ticket counter; results synchronize via the mutex
                 let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 if i >= trials {
                     break;

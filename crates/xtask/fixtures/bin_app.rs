@@ -1,0 +1,8 @@
+//! Fixture binary, staged as `src/bin/app.rs`: under the v2 rule set
+//! binaries get L1 — a panicking entry point is a crash in the field.
+
+fn main() {
+    let port: Option<u16> = std::env::args().nth(1).and_then(|a| a.parse().ok());
+    let port = port.unwrap(); // binaries get L1: fires here
+    println!("{port}");
+}

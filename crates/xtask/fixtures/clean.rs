@@ -1,30 +1,50 @@
 //! Lint self-test fixture: the same constructs as `violations.rs`, but
 //! either written in the blessed idiom or carrying a justified escape
-//! hatch. The analyzer must report nothing here.
+//! hatch. The analyzer must report nothing here — including L9, so
+//! every public item carries a doc comment.
 
+/// L1 escape hatch: a comment-token allow marker on the line above.
 pub fn l1_allowed(v: Option<u32>) -> u32 {
     // lint:allow(no-panic) fixture: invariant documented here
     v.unwrap()
 }
 
+/// L2 blessed idiom: wrap via `tagspin_geom::angle`.
 pub fn l2_blessed(phase: f64) -> f64 {
     tagspin_geom::angle::wrap_tau(phase)
 }
 
+/// L3 blessed idiom: tolerance compare via the dsp float helpers.
 pub fn l3_epsilon(a: f64) -> bool {
     tagspin_dsp::float::exactly_zero(a)
 }
 
+/// L4 blessed idiom: a typed error.
 pub fn l4_typed(s: &str) -> Result<u32, std::num::ParseIntError> {
     s.parse()
 }
 
+/// L5 escape hatch: annotated cast.
 pub fn l5_annotated(i: usize) -> f64 {
     // lint:allow(lossy-cast) fixture index is tiny, exact in f64
     i as f64
 }
 
+/// L6 blessed idiom: the guard is dropped before emission.
+pub fn l6_drop_before_emit(obs: &ObsHandle, cache: &CacheLock) {
+    let guard = cache.lock();
+    let hit = guard.probe();
+    drop(guard);
+    obs.emit(|| hit);
+}
+
+/// L7 blessed idiom: every ordering carries a justification note.
+pub fn l7_justified(c: &std::sync::atomic::AtomicU64) {
+    // ordering: relaxed — monotonic tally, read only via snapshots
+    c.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+}
+
+/// Pattern text inside a string literal must not trip any rule.
 pub fn strings_are_stripped() -> &'static str {
-    // Pattern text inside a string literal must not trip any rule.
     "call .unwrap() then x.rem_euclid(TAU) and a == 0.0 as f64"
 }

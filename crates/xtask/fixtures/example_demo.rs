@@ -1,0 +1,7 @@
+//! Fixture example, staged as `examples/demo.rs`: examples keep the
+//! L1 exemption — a terse demo may unwrap freely.
+
+fn main() {
+    let v: Option<u32> = Some(1);
+    println!("{}", v.unwrap());
+}

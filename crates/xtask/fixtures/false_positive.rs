@@ -1,0 +1,32 @@
+//! Regex-era false positives: every construct here pattern-matches some
+//! rule under the v1 line-regex engine but is legal under the v2 token
+//! engine. The analyzer must report nothing, even under a hot-path name.
+
+/// `debug_panic!` is not `panic!`: idents now match whole tokens.
+pub fn not_a_panic() {
+    debug_panic!("only in debug builds");
+}
+
+/// `% TAU_HALF` is not `% TAU`: the modulus is a different ident.
+pub fn not_a_wrap(phase: f64) -> f64 {
+    phase % TAU_HALF
+}
+
+/// `std::cmp::Ordering` is not an atomic memory ordering.
+pub fn not_an_atomic(a: u32, b: u32) -> bool {
+    a.cmp(&b) == std::cmp::Ordering::Less
+}
+
+/// `io::Read::read(&mut buf)` takes an argument, so it is not a lock
+/// acquisition — no phantom guard may be considered live at the emit.
+pub fn not_a_lock(file: &mut std::fs::File, obs: &ObsHandle) -> usize {
+    let mut buf = [0u8; 16];
+    let n = file.read(&mut buf).unwrap_or_default();
+    obs.emit(|| n);
+    n
+}
+
+/// Rule patterns inside a string literal are not code.
+pub fn strings_are_not_scanned() -> &'static str {
+    "x.unwrap() then phase % TAU, a == 0.0, i as f64, Ordering::SeqCst"
+}

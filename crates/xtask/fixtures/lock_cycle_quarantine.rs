@@ -1,0 +1,11 @@
+//! Lock-order fixture, reverse half: acquires `journal` then `cache` —
+//! the opposite order from `lock_cycle_session.rs`. Staged as
+//! `crates/demo/src/quarantine.rs` by the self-test, this closes a
+//! two-module cycle in the workspace lock-order graph.
+
+/// Acquire the journal, then the cache while the journal guard is live.
+pub fn reverse(store: &Store) -> u32 {
+    let journal = store.journal.lock();
+    let cache = store.cache.lock(); // nested: journal -> cache
+    cache.merge(journal.generation())
+}

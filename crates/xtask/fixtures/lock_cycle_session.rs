@@ -1,0 +1,11 @@
+//! Lock-order fixture, forward half: acquires `cache` then `journal`.
+//! Staged as `crates/demo/src/session.rs` by the self-test; on its own
+//! this order is fine — the cycle appears only when the reverse order
+//! in `lock_cycle_quarantine.rs` joins the workspace graph.
+
+/// Acquire the cache, then the journal while the cache guard is live.
+pub fn forward(store: &Store) -> u32 {
+    let cache = store.cache.lock();
+    let journal = store.journal.lock(); // nested: cache -> journal
+    journal.append(cache.generation())
+}

@@ -1,0 +1,10 @@
+//! Fixture metrics observer for the L8 self-test, staged as
+//! `crates/core/src/obs/metrics.rs`. Registers two consts from the
+//! fixture `names.rs` and one raw string literal, which L8 rejects.
+
+/// Register the fixture metrics.
+pub fn register(r: &Registry) {
+    r.counter(ENGINE_CACHE_HIT);
+    r.counter(ENGINE_UNDOCUMENTED);
+    r.counter("engine.raw_literal"); // raw literal: L8 fires here
+}

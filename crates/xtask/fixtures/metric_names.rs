@@ -1,0 +1,12 @@
+//! Fixture metric-name registry for the L8 self-test, staged as
+//! `crates/core/src/obs/names.rs`. One const is fully wired (silent),
+//! one is missing from the doc inventory, one is never referenced.
+
+/// Referenced by the fixture observer and documented: silent.
+pub const ENGINE_CACHE_HIT: &str = "engine.cache.hit";
+
+/// Referenced but absent from the doc inventory: L8 fires here.
+pub const ENGINE_UNDOCUMENTED: &str = "engine.undocumented";
+
+/// Documented but never referenced by the observer: L8 fires here.
+pub const SESSION_ORPHANED: &str = "session.orphaned";

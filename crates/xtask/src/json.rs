@@ -50,6 +50,99 @@ impl Value {
             _ => None,
         }
     }
+
+    /// The array payload, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+/// Serialize a value in the artifact dialect: pretty-printed with
+/// two-space indents, keys in document order, numbers in shortest-f64
+/// form. Everything this emits round-trips through [`parse`].
+pub fn to_string(value: &Value) -> String {
+    let mut out = String::new();
+    write_value(value, 0, &mut out);
+    out.push('\n');
+    out
+}
+
+fn write_value(value: &Value, indent: usize, out: &mut String) {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Num(n) => write_num(*n, out),
+        Value::Str(s) => write_str(s, out),
+        Value::Arr(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push('\n');
+                push_indent(indent + 1, out);
+                write_value(item, indent + 1, out);
+            }
+            out.push('\n');
+            push_indent(indent, out);
+            out.push(']');
+        }
+        Value::Obj(pairs) => {
+            if pairs.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (key, val)) in pairs.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push('\n');
+                push_indent(indent + 1, out);
+                write_str(key, out);
+                out.push_str(": ");
+                write_value(val, indent + 1, out);
+            }
+            out.push('\n');
+            push_indent(indent, out);
+            out.push('}');
+        }
+    }
+}
+
+fn push_indent(levels: usize, out: &mut String) {
+    for _ in 0..levels {
+        out.push_str("  ");
+    }
+}
+
+fn write_num(n: f64, out: &mut String) {
+    if n.fract() == 0.0 && n.abs() < 1e15 {
+        out.push_str(&format!("{}", n as i64));
+    } else {
+        out.push_str(&format!("{n}"));
+    }
+}
+
+fn write_str(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            _ => out.push(c),
+        }
+    }
+    out.push('"');
 }
 
 /// Parse one complete JSON document (trailing garbage is an error).
@@ -286,5 +379,24 @@ mod tests {
     fn unescapes_simple_escapes() {
         let v = parse(r#"{"k": "a\"b\\c\nd"}"#).expect("parse");
         assert_eq!(v.get("k").and_then(Value::as_str), Some("a\"b\\c\nd"));
+    }
+
+    #[test]
+    fn emitter_round_trips() {
+        let v = Value::Obj(vec![
+            ("s".to_string(), Value::Str("a\"b\\c\nd".to_string())),
+            ("n".to_string(), Value::Num(-1.5)),
+            ("i".to_string(), Value::Num(42.0)),
+            ("b".to_string(), Value::Bool(true)),
+            ("z".to_string(), Value::Null),
+            (
+                "a".to_string(),
+                Value::Arr(vec![Value::Num(1.0), Value::Str("x".to_string())]),
+            ),
+            ("eo".to_string(), Value::Obj(Vec::new())),
+            ("ea".to_string(), Value::Arr(Vec::new())),
+        ]);
+        let text = to_string(&v);
+        assert_eq!(parse(&text).expect("round-trip"), v);
     }
 }

@@ -1,0 +1,583 @@
+//! A hand-rolled, dependency-free Rust lexer for the lint engine.
+//!
+//! The v1 analyzer worked on a *stripped* copy of each file (strings and
+//! comments blanked) and matched substrings per line. That design could
+//! not see token boundaries (`debug_panic!` matched the `panic!` rule),
+//! could not attach trivia (an allow-marker inside a *string literal*
+//! suppressed findings), and knew nothing about scopes. This module is
+//! the v2 foundation: the full source is tokenized into spanned tokens —
+//! identifiers, literals, multi-char operators — with comments kept as
+//! first-class trivia so escape hatches and `// ordering:` justifications
+//! are only honored where they belong.
+//!
+//! Invariants (pinned by proptests in `tests/lexer_props.rs`):
+//!
+//! * every token span is in-bounds and lies on UTF-8 boundaries,
+//! * spans are strictly increasing and non-overlapping,
+//! * every non-whitespace byte of the source is covered by some token.
+//!
+//! The lexer never fails: malformed input (unterminated strings or block
+//! comments) produces a token running to end-of-file, which is the right
+//! behavior for a linter that must not crash on a half-saved buffer.
+
+/// What a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`fn`, `unwrap`, `r#async`).
+    Ident,
+    /// A lifetime (`'a`, `'static`).
+    Lifetime,
+    /// A numeric literal, suffix included (`1`, `2.0`, `1e-3`, `7f64`).
+    Num,
+    /// A string literal: `"…"`, `r"…"`, `r#"…"#`, `b"…"` and friends.
+    Str,
+    /// A char or byte-char literal (`'x'`, `b'\n'`).
+    Char,
+    /// A non-doc line comment (`// …`).
+    LineComment,
+    /// A doc comment (`/// …`, `//! …`, `/** … */`, `/*! … */`).
+    DocComment,
+    /// A non-doc block comment (`/* … */`, nesting respected).
+    BlockComment,
+    /// An operator or punctuation token, longest-match multi-char
+    /// (`::`, `==`, `!=`, `->`, `..=`, …) or a single character.
+    Punct,
+}
+
+impl TokenKind {
+    /// Whether this token is trivia (a comment) rather than code.
+    pub fn is_comment(self) -> bool {
+        matches!(
+            self,
+            TokenKind::LineComment | TokenKind::DocComment | TokenKind::BlockComment
+        )
+    }
+}
+
+/// One token: kind plus byte span plus the 1-based line it starts on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Token {
+    /// What the token is.
+    pub kind: TokenKind,
+    /// Byte offset of the first byte.
+    pub start: usize,
+    /// Byte offset one past the last byte.
+    pub end: usize,
+    /// 1-based line number of `start`.
+    pub line: usize,
+}
+
+/// A lexed file: every token (comments included) plus the index of the
+/// *significant* (non-comment) tokens the rules actually match on.
+#[derive(Debug)]
+pub struct TokenStream<'a> {
+    src: &'a str,
+    tokens: Vec<Token>,
+    /// Indices into `tokens` of the non-comment tokens, in order.
+    sig: Vec<usize>,
+}
+
+/// Multi-character operators, longest first so matching is greedy.
+const MULTI_PUNCT: [&str; 25] = [
+    "<<=", ">>=", "..=", "...", "::", "->", "=>", "==", "!=", "<=", ">=", "&&", "||", "<<", ">>",
+    "+=", "-=", "*=", "/=", "%=", "^=", "&=", "|=", "..", "?.",
+];
+
+impl<'a> TokenStream<'a> {
+    /// Tokenize `src`. Never fails; see the module docs for the contract.
+    pub fn lex(src: &'a str) -> Self {
+        let mut lx = Lexer {
+            src,
+            bytes: src.as_bytes(),
+            pos: 0,
+            line: 1,
+            tokens: Vec::new(),
+        };
+        lx.run();
+        let sig = lx
+            .tokens
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| !t.kind.is_comment())
+            .map(|(i, _)| i)
+            .collect();
+        TokenStream {
+            src,
+            tokens: lx.tokens,
+            sig,
+        }
+    }
+
+    /// The source this stream was lexed from.
+    pub fn source(&self) -> &'a str {
+        self.src
+    }
+
+    /// All tokens, comments included.
+    pub fn tokens(&self) -> &[Token] {
+        &self.tokens
+    }
+
+    /// Indices (into [`TokenStream::tokens`]) of non-comment tokens.
+    pub fn significant(&self) -> &[usize] {
+        &self.sig
+    }
+
+    /// The source text of one token.
+    pub fn text(&self, tok: &Token) -> &'a str {
+        &self.src[tok.start..tok.end]
+    }
+
+    /// The `n`-th significant token, if any.
+    pub fn sig_token(&self, n: usize) -> Option<&Token> {
+        self.sig.get(n).map(|&i| &self.tokens[i])
+    }
+
+    /// The text of the `n`-th significant token (`""` past the end).
+    pub fn sig_text(&self, n: usize) -> &'a str {
+        self.sig_token(n).map(|t| self.text(t)).unwrap_or("")
+    }
+
+    /// Number of significant tokens.
+    pub fn sig_len(&self) -> usize {
+        self.sig.len()
+    }
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+    line: usize,
+    tokens: Vec<Token>,
+}
+
+impl Lexer<'_> {
+    fn run(&mut self) {
+        while self.pos < self.bytes.len() {
+            let b = self.bytes[self.pos];
+            match b {
+                b' ' | b'\t' | b'\r' => self.pos += 1,
+                b'\n' => {
+                    self.pos += 1;
+                    self.line += 1;
+                }
+                b'/' if self.peek(1) == Some(b'/') => self.line_comment(),
+                b'/' if self.peek(1) == Some(b'*') => self.block_comment(),
+                b'"' => self.string(self.pos),
+                b'b' if self.peek(1) == Some(b'"') => self.string(self.pos + 1),
+                b'r' if self.raw_string_ahead(1) => self.raw_string(self.pos + 1),
+                b'b' if self.peek(1) == Some(b'r') && self.raw_string_ahead(2) => {
+                    self.raw_string(self.pos + 2)
+                }
+                b'b' if self.peek(1) == Some(b'\'') => self.char_or_lifetime(self.pos + 1),
+                b'\'' => self.char_or_lifetime(self.pos),
+                b'r' if self.peek(1) == Some(b'#') && self.ident_start(self.pos + 2) => {
+                    // Raw identifier `r#foo`.
+                    let start = self.pos;
+                    self.pos += 2;
+                    self.consume_ident();
+                    self.push(TokenKind::Ident, start);
+                }
+                _ if b.is_ascii_digit() => self.number(),
+                _ if b == b'_' || b.is_ascii_alphabetic() || b >= 0x80 => {
+                    let start = self.pos;
+                    self.consume_ident();
+                    self.push(TokenKind::Ident, start);
+                }
+                _ => self.punct(),
+            }
+        }
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.bytes.get(self.pos + ahead).copied()
+    }
+
+    fn ident_start(&self, at: usize) -> bool {
+        self.bytes
+            .get(at)
+            .is_some_and(|&b| b == b'_' || b.is_ascii_alphabetic() || b >= 0x80)
+    }
+
+    /// Push a token spanning `start..self.pos`, counting its newlines so
+    /// `self.line` stays the line of the *next* token.
+    fn push(&mut self, kind: TokenKind, start: usize) {
+        let line = self.line;
+        self.line += self.bytes[start..self.pos]
+            .iter()
+            .filter(|&&b| b == b'\n')
+            .count();
+        self.tokens.push(Token {
+            kind,
+            start,
+            end: self.pos,
+            line,
+        });
+    }
+
+    fn consume_ident(&mut self) {
+        while self.pos < self.bytes.len() {
+            let b = self.bytes[self.pos];
+            if b == b'_' || b.is_ascii_alphanumeric() {
+                self.pos += 1;
+            } else if b >= 0x80 {
+                // Non-ASCII identifier char: skip the whole codepoint.
+                self.pos += 1;
+                while self.bytes.get(self.pos).is_some_and(|&c| c & 0xC0 == 0x80) {
+                    self.pos += 1;
+                }
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn line_comment(&mut self) {
+        let start = self.pos;
+        let rest = &self.src[self.pos..];
+        let len = rest.find('\n').unwrap_or(rest.len());
+        self.pos += len;
+        let text = &self.src[start..self.pos];
+        let kind =
+            if (text.starts_with("///") && !text.starts_with("////")) || text.starts_with("//!") {
+                TokenKind::DocComment
+            } else {
+                TokenKind::LineComment
+            };
+        self.push(kind, start);
+    }
+
+    fn block_comment(&mut self) {
+        let start = self.pos;
+        let text_kind = {
+            let t = &self.src[self.pos..];
+            if (t.starts_with("/**") && !t.starts_with("/***") && !t.starts_with("/**/"))
+                || t.starts_with("/*!")
+            {
+                TokenKind::DocComment
+            } else {
+                TokenKind::BlockComment
+            }
+        };
+        self.pos += 2;
+        let mut depth = 1usize;
+        while self.pos < self.bytes.len() && depth > 0 {
+            if self.bytes[self.pos] == b'/' && self.peek(1) == Some(b'*') {
+                depth += 1;
+                self.pos += 2;
+            } else if self.bytes[self.pos] == b'*' && self.peek(1) == Some(b'/') {
+                depth -= 1;
+                self.pos += 2;
+            } else {
+                self.pos += 1;
+            }
+        }
+        self.push(text_kind, start);
+    }
+
+    /// Ordinary (escaped) string literal; `quote` is the index of `"`.
+    fn string(&mut self, quote: usize) {
+        let start = self.pos;
+        let mut j = quote + 1;
+        while j < self.bytes.len() {
+            match self.bytes[j] {
+                b'\\' => j += 2,
+                b'"' => {
+                    j += 1;
+                    break;
+                }
+                _ => j += 1,
+            }
+        }
+        self.pos = j.min(self.bytes.len());
+        self.push(TokenKind::Str, start);
+    }
+
+    /// Whether `r`/`br` at the current position starts a raw string:
+    /// `#`* followed by `"` beginning at `self.pos + at`.
+    fn raw_string_ahead(&self, at: usize) -> bool {
+        let mut j = self.pos + at;
+        while self.bytes.get(j) == Some(&b'#') {
+            j += 1;
+        }
+        self.bytes.get(j) == Some(&b'"')
+    }
+
+    /// Raw string starting with hashes at `hashes_at`.
+    fn raw_string(&mut self, hashes_at: usize) {
+        let start = self.pos;
+        let mut j = hashes_at;
+        let mut hashes = 0usize;
+        while self.bytes.get(j) == Some(&b'#') {
+            hashes += 1;
+            j += 1;
+        }
+        // j is at the opening quote.
+        let body = j + 1;
+        let closer: String = std::iter::once('"')
+            .chain(std::iter::repeat_n('#', hashes))
+            .collect();
+        let end = self.src[body.min(self.src.len())..]
+            .find(&closer)
+            .map(|n| body + n + closer.len())
+            .unwrap_or(self.bytes.len());
+        self.pos = end;
+        self.push(TokenKind::Str, start);
+    }
+
+    /// Disambiguate a char literal from a lifetime. `quote` is the index
+    /// of the opening `'` (`self.pos` may be one earlier for `b'…'`).
+    fn char_or_lifetime(&mut self, quote: usize) {
+        let start = self.pos;
+        let next = self.bytes.get(quote + 1).copied();
+        let is_lifetime = match next {
+            Some(b) if b == b'_' || b.is_ascii_alphabetic() => {
+                // `'a` followed by another quote is the char 'a'; anything
+                // else ident-like is a lifetime.
+                let mut j = quote + 2;
+                while self
+                    .bytes
+                    .get(j)
+                    .is_some_and(|&c| c == b'_' || c.is_ascii_alphanumeric())
+                {
+                    j += 1;
+                }
+                self.bytes.get(j) != Some(&b'\'') || j == quote + 1
+            }
+            _ => false,
+        };
+        if is_lifetime && start == quote {
+            self.pos = quote + 1;
+            while self
+                .bytes
+                .get(self.pos)
+                .is_some_and(|&c| c == b'_' || c.is_ascii_alphanumeric())
+            {
+                self.pos += 1;
+            }
+            self.push(TokenKind::Lifetime, start);
+            return;
+        }
+        // Char literal: scan to the closing quote, honoring escapes.
+        let mut j = quote + 1;
+        match self.bytes.get(j) {
+            Some(b'\\') => {
+                j += 2;
+                while j < self.bytes.len() && self.bytes[j] != b'\'' && self.bytes[j] != b'\n' {
+                    j += 1;
+                }
+                if self.bytes.get(j) == Some(&b'\'') {
+                    j += 1;
+                }
+            }
+            Some(_) => {
+                j += 1;
+                while self.bytes.get(j).is_some_and(|&c| c & 0xC0 == 0x80) {
+                    j += 1;
+                }
+                if self.bytes.get(j) == Some(&b'\'') {
+                    j += 1;
+                }
+            }
+            None => {}
+        }
+        self.pos = j.min(self.bytes.len());
+        if self.pos <= start {
+            // Degenerate (`'` at EOF): emit it as punct to keep coverage.
+            self.pos = start + 1;
+            self.push(TokenKind::Punct, start);
+            return;
+        }
+        self.push(TokenKind::Char, start);
+    }
+
+    fn number(&mut self) {
+        let start = self.pos;
+        // Radix prefix?
+        if self.bytes[self.pos] == b'0'
+            && matches!(
+                self.peek(1),
+                Some(b'x') | Some(b'X') | Some(b'o') | Some(b'b')
+            )
+        {
+            self.pos += 2;
+            while self
+                .bytes
+                .get(self.pos)
+                .is_some_and(|&b| b.is_ascii_alphanumeric() || b == b'_')
+            {
+                self.pos += 1;
+            }
+            self.push(TokenKind::Num, start);
+            return;
+        }
+        let mut seen_dot = false;
+        while self.pos < self.bytes.len() {
+            let b = self.bytes[self.pos];
+            if b.is_ascii_digit() || b == b'_' {
+                self.pos += 1;
+            } else if b == b'.' && !seen_dot {
+                // `1.` or `1.5` but not `1..2` or `1.method()`.
+                match self.peek(1) {
+                    Some(n) if n.is_ascii_digit() => {
+                        seen_dot = true;
+                        self.pos += 1;
+                    }
+                    Some(b'.') => break,
+                    Some(n) if n == b'_' || n.is_ascii_alphabetic() => break,
+                    _ => {
+                        seen_dot = true;
+                        self.pos += 1;
+                    }
+                }
+            } else if (b == b'e' || b == b'E')
+                && self.peek(1).is_some_and(|n| {
+                    n.is_ascii_digit()
+                        || ((n == b'+' || n == b'-')
+                            && self.peek(2).is_some_and(|m| m.is_ascii_digit()))
+                })
+            {
+                self.pos += 2; // the `e` and the sign-or-digit
+                seen_dot = true; // an exponent makes it float-like
+            } else if b.is_ascii_alphabetic() {
+                // Suffix (`f64`, `u32`, `usize`).
+                self.consume_ident();
+                break;
+            } else {
+                break;
+            }
+        }
+        self.push(TokenKind::Num, start);
+    }
+
+    fn punct(&mut self) {
+        let start = self.pos;
+        let rest = &self.src[self.pos..];
+        for op in MULTI_PUNCT {
+            if rest.starts_with(op) {
+                self.pos += op.len();
+                self.push(TokenKind::Punct, start);
+                return;
+            }
+        }
+        // Single byte — or a whole codepoint for stray non-ASCII.
+        self.pos += 1;
+        while self.bytes.get(self.pos).is_some_and(|&c| c & 0xC0 == 0x80) {
+            self.pos += 1;
+        }
+        self.push(TokenKind::Punct, start);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        let ts = TokenStream::lex(src);
+        ts.tokens()
+            .iter()
+            .map(|t| (t.kind, ts.text(t).to_string()))
+            .collect()
+    }
+
+    #[test]
+    fn idents_keywords_and_puncts() {
+        let toks = kinds("fn f(x: f64) -> bool { x != 0.5 }");
+        let texts: Vec<&str> = toks.iter().map(|(_, s)| s.as_str()).collect();
+        assert_eq!(
+            texts,
+            vec!["fn", "f", "(", "x", ":", "f64", ")", "->", "bool", "{", "x", "!=", "0.5", "}"]
+        );
+        assert_eq!(toks[12].0, TokenKind::Num);
+        assert_eq!(toks[7].0, TokenKind::Punct);
+    }
+
+    #[test]
+    fn comments_are_trivia_with_doc_flag() {
+        let toks = kinds("/// doc\n// plain\n/*! inner */ /* block */ x");
+        assert_eq!(toks[0].0, TokenKind::DocComment);
+        assert_eq!(toks[1].0, TokenKind::LineComment);
+        assert_eq!(toks[2].0, TokenKind::DocComment);
+        assert_eq!(toks[3].0, TokenKind::BlockComment);
+        assert_eq!(toks[4].0, TokenKind::Ident);
+        let ts = TokenStream::lex("/// doc\nfn x() {}");
+        assert_eq!(ts.significant().len(), 6, "comment excluded from sig");
+    }
+
+    #[test]
+    fn strings_chars_lifetimes() {
+        let toks = kinds(r##"let s = r#"panic!("x")"#; let c = '%'; let l: &'static str = "q";"##);
+        let strs: Vec<_> = toks.iter().filter(|(k, _)| *k == TokenKind::Str).collect();
+        assert_eq!(strs.len(), 2);
+        assert!(toks
+            .iter()
+            .any(|(k, s)| *k == TokenKind::Char && s == "'%'"));
+        assert!(toks
+            .iter()
+            .any(|(k, s)| *k == TokenKind::Lifetime && s == "'static"));
+    }
+
+    #[test]
+    fn numbers_with_suffixes_and_ranges() {
+        let toks = kinds("1..2 1.5e-3 0x1F 7f64 1_000 x.0");
+        let nums: Vec<&str> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Num)
+            .map(|(_, s)| s.as_str())
+            .collect();
+        assert_eq!(nums, vec!["1", "2", "1.5e-3", "0x1F", "7f64", "1_000", "0"]);
+        assert!(toks
+            .iter()
+            .any(|(k, s)| *k == TokenKind::Punct && s == ".."));
+    }
+
+    #[test]
+    fn method_call_on_literal_is_not_a_float() {
+        let toks = kinds("1.max(2)");
+        assert_eq!(toks[0], (TokenKind::Num, "1".to_string()));
+        assert_eq!(toks[1], (TokenKind::Punct, ".".to_string()));
+        assert_eq!(toks[2], (TokenKind::Ident, "max".to_string()));
+    }
+
+    #[test]
+    fn lines_are_tracked_across_multiline_tokens() {
+        let src = "a\n/* two\nlines */ b\n\"s\ntr\" c";
+        let ts = TokenStream::lex(src);
+        let by_text: Vec<(String, usize)> = ts
+            .tokens()
+            .iter()
+            .map(|t| (ts.text(t).to_string(), t.line))
+            .collect();
+        assert_eq!(by_text[0], ("a".to_string(), 1));
+        assert_eq!(by_text[1].1, 2, "block comment starts on line 2");
+        assert_eq!(by_text[2], ("b".to_string(), 3));
+        assert_eq!(by_text[4], ("c".to_string(), 5));
+    }
+
+    #[test]
+    fn unterminated_inputs_do_not_panic() {
+        for src in ["\"open", "/* open", "r#\"open", "'", "b'"] {
+            let ts = TokenStream::lex(src);
+            assert!(!ts.tokens().is_empty(), "{src:?} lexed to nothing");
+        }
+    }
+
+    #[test]
+    fn spans_cover_all_non_whitespace() {
+        let src = "fn f() { let x = \"s\"; // c\n x + 'a' }";
+        let ts = TokenStream::lex(src);
+        let mut covered = vec![false; src.len()];
+        for t in ts.tokens() {
+            for c in covered.iter_mut().take(t.end).skip(t.start) {
+                *c = true;
+            }
+        }
+        for (i, b) in src.bytes().enumerate() {
+            if !b.is_ascii_whitespace() {
+                assert!(covered[i], "byte {i} ({:?}) uncovered", b as char);
+            }
+        }
+    }
+}

@@ -4,7 +4,7 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
-    eprintln!("usage: cargo xtask lint [--root <dir>]");
+    eprintln!("usage: cargo xtask lint [--root <dir>] [--json] [--json-out <file>]");
     eprintln!("       cargo xtask golden [--bless]");
     eprintln!(
         "       cargo xtask bench-check [--baselines <dir>] [--current <dir>] \
@@ -13,6 +13,8 @@ fn usage() -> ExitCode {
     eprintln!();
     eprintln!("commands:");
     eprintln!("  lint         run the domain-aware static-analysis gate (see docs/LINTS.md)");
+    eprintln!("               --json prints a tagspin-lint/v1 report on stdout;");
+    eprintln!("               --json-out <file> writes it to a file as well");
     eprintln!("  golden       run the golden-trace suite; --bless regenerates tests/golden/");
     eprintln!("  bench-check  compare BENCH_*.json against bench/baselines/; --bless records");
     eprintln!("               the current artifacts as the new baselines");
@@ -165,6 +167,8 @@ fn main() -> ExitCode {
     }
 
     let mut root = workspace_root();
+    let mut json_stdout = false;
+    let mut json_out: Option<PathBuf> = None;
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--root" => {
@@ -173,6 +177,14 @@ fn main() -> ExitCode {
                     return usage();
                 };
                 root = PathBuf::from(dir);
+            }
+            "--json" => json_stdout = true,
+            "--json-out" => {
+                let Some(path) = args.next() else {
+                    eprintln!("--json-out requires a file argument");
+                    return usage();
+                };
+                json_out = Some(PathBuf::from(path));
             }
             other => {
                 eprintln!("unknown argument `{other}`");
@@ -192,14 +204,58 @@ fn main() -> ExitCode {
         }
     };
 
-    if findings.is_empty() {
-        println!("xtask lint: clean (rules L1-L5, root {})", root.display());
+    if json_stdout || json_out.is_some() {
+        let doc = xtask::json::to_string(&xtask::findings_to_json(&findings));
+        if let Some(path) = &json_out {
+            if let Err(e) = std::fs::write(path, &doc) {
+                eprintln!("xtask lint: failed to write {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        }
+        if json_stdout {
+            print!("{doc}");
+        }
+    }
+
+    let errors: Vec<_> = findings
+        .iter()
+        .filter(|f| f.rule.severity() == xtask::Severity::Error)
+        .collect();
+    let warns: Vec<_> = findings
+        .iter()
+        .filter(|f| f.rule.severity() == xtask::Severity::Warn)
+        .collect();
+
+    if !json_stdout {
+        for f in &findings {
+            println!("{f}");
+        }
+    }
+
+    // Warn-level rules (L9) gate against a tracked count baseline: the
+    // count may shrink freely but growing it fails the gate. A missing
+    // baseline file means warn-only.
+    let warn_budget = read_warn_baseline(&root);
+    let warn_over = warn_budget.is_some_and(|budget| warns.len() > budget);
+
+    if errors.is_empty() && !warn_over {
+        if findings.is_empty() {
+            // With --json the document owns stdout; keep it parseable.
+            if json_stdout {
+                eprintln!("xtask lint: clean (rules L1-L9, root {})", root.display());
+            } else {
+                println!("xtask lint: clean (rules L1-L9, root {})", root.display());
+            }
+        } else {
+            eprintln!(
+                "xtask lint: {} warning(s), within baseline ({})",
+                warns.len(),
+                warn_budget.map_or("none tracked".to_string(), |b| b.to_string())
+            );
+        }
         return ExitCode::SUCCESS;
     }
 
-    for f in &findings {
-        println!("{f}");
-    }
     let mut by_rule: Vec<(&str, usize)> = Vec::new();
     for f in &findings {
         match by_rule.iter_mut().find(|(name, _)| *name == f.rule.name()) {
@@ -212,9 +268,34 @@ fn main() -> ExitCode {
         .map(|(name, n)| format!("{n} {name}"))
         .collect();
     eprintln!(
-        "xtask lint: {} violation(s) ({})",
-        findings.len(),
+        "xtask lint: {} error(s), {} warning(s) ({})",
+        errors.len(),
+        warns.len(),
         summary.join(", ")
     );
+    if warn_over {
+        eprintln!(
+            "xtask lint: warn count {} exceeds the tracked baseline {} \
+             (crates/xtask/lint-baseline.json)",
+            warns.len(),
+            warn_budget.unwrap_or(0)
+        );
+    }
     ExitCode::FAILURE
+}
+
+/// Read the tracked warn-count baseline (`crates/xtask/lint-baseline.json`,
+/// schema `tagspin-lint-baseline/v1`). `None` = no baseline tracked.
+fn read_warn_baseline(root: &std::path::Path) -> Option<usize> {
+    let text = std::fs::read_to_string(root.join("crates/xtask/lint-baseline.json")).ok()?;
+    let doc = xtask::json::parse(&text).ok()?;
+    if doc.get("schema").and_then(|s| s.as_str()) != Some("tagspin-lint-baseline/v1") {
+        return None;
+    }
+    let n = doc.get("warn_budget").and_then(|n| n.as_num())?;
+    if n.is_finite() && n >= 0.0 {
+        Some(n as usize)
+    } else {
+        None
+    }
 }

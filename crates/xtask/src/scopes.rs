@@ -1,0 +1,441 @@
+//! Scope and trivia analysis over a [`TokenStream`].
+//!
+//! Two layers sit between the raw token stream and the rules:
+//!
+//! * [`Scopes`] — brace matching over the significant tokens, the kind
+//!   of item each brace opens (`fn` body, `impl` block, struct body, …),
+//!   and `#[cfg(test)]` region tracking. Rules use it to skip test code,
+//!   to know whether a `pub` sits at item position (L9), and to find the
+//!   end of the block a lock guard lives in (L6).
+//! * [`Trivia`] — the comment tokens, indexed by line. Escape hatches
+//!   (`lint:allow(...)`, `lint:allow-file(...)`) and `// ordering:`
+//!   justifications are only honored here, *inside comments* — the v1
+//!   engine read them off raw source lines, so a string literal
+//!   containing `lint:allow-file(no-panic)` silently disabled the rule.
+
+use crate::lexer::{TokenKind, TokenStream};
+
+/// What kind of item a brace-delimited scope belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScopeKind {
+    /// Top level of the file (no enclosing brace).
+    File,
+    /// A `mod name { … }` body.
+    Mod,
+    /// An inherent `impl Type { … }` block.
+    ImplInherent,
+    /// A `impl Trait for Type { … }` block.
+    ImplTrait,
+    /// A `trait Name { … }` body.
+    Trait,
+    /// A `struct` / `enum` / `union` body.
+    Adt,
+    /// A function body.
+    FnBody,
+    /// Any other brace: blocks, match arms, struct literals, closures.
+    NonItem,
+}
+
+/// Scope structure of one file, indexed by *significant* token position.
+#[derive(Debug)]
+pub struct Scopes {
+    /// Innermost enclosing scope kind per significant token.
+    kind_at: Vec<ScopeKind>,
+    /// Significant index of the innermost open `{` per significant token.
+    enclosing_open: Vec<Option<usize>>,
+    /// For each significant `{`, the significant index of its `}`.
+    brace_match: Vec<Option<usize>>,
+    /// Per significant token: inside a `#[cfg(test)]` / `#[test]` region.
+    test_at: Vec<bool>,
+    /// Per 1-based source line: inside a test region (index 0 unused).
+    test_lines: Vec<bool>,
+}
+
+/// Item keyword pending before the next `{` decides its scope kind.
+#[derive(Clone, Copy, PartialEq)]
+enum Pending {
+    Fn,
+    Mod,
+    Trait,
+    Impl { has_for: bool },
+    Adt,
+}
+
+impl Scopes {
+    /// Analyze the significant tokens of `ts`.
+    pub fn analyze(ts: &TokenStream<'_>) -> Self {
+        let n = ts.sig_len();
+        let line_count = ts.source().lines().count();
+        let mut kind_at = vec![ScopeKind::File; n];
+        let mut enclosing_open = vec![None; n];
+        let mut brace_match = vec![None; n];
+        let mut test_at = vec![false; n];
+        let mut test_lines = vec![false; line_count + 2];
+
+        // Stack of (open sig index, scope kind, was-test-region-entry).
+        let mut stack: Vec<(usize, ScopeKind, bool)> = Vec::new();
+        let mut pending: Option<Pending> = None;
+        // `#[cfg(test)]`-ish attribute seen; armed until `{` or `;`.
+        let mut test_pending = false;
+        // Depth at which we are already inside a test region.
+        let mut test_depth: Option<usize> = None;
+        let mut angle_depth: i32 = 0;
+
+        let mut i = 0;
+        while i < n {
+            let tok = *ts.sig_token(i).expect("index in range");
+            let text = ts.sig_text(i);
+
+            let in_test = test_depth.is_some();
+            kind_at[i] = stack.last().map(|s| s.1).unwrap_or(ScopeKind::File);
+            enclosing_open[i] = stack.last().map(|s| s.0);
+            test_at[i] = in_test || test_pending;
+            if test_at[i] {
+                mark_line(&mut test_lines, tok.line);
+            }
+
+            // Attributes: consumed wholesale so their contents never feed
+            // the keyword state machine; test-ness is decided here.
+            if text == "#" && ts.sig_text(i + 1) == "[" {
+                let (end, is_test) = scan_attribute(ts, i + 1);
+                for j in i..=end.min(n.saturating_sub(1)) {
+                    kind_at[j] = kind_at[i];
+                    enclosing_open[j] = enclosing_open[i];
+                    test_at[j] = test_at[i];
+                    if let Some(t) = ts.sig_token(j) {
+                        if test_at[i] {
+                            mark_line(&mut test_lines, t.line);
+                        }
+                    }
+                }
+                if is_test && !in_test {
+                    test_pending = true;
+                    if let Some(t) = ts.sig_token(i) {
+                        mark_line(&mut test_lines, t.line);
+                    }
+                }
+                i = end + 1;
+                continue;
+            }
+
+            match (tok.kind, text) {
+                (TokenKind::Punct, "{") => {
+                    let kind = match pending.take() {
+                        Some(Pending::Fn) => ScopeKind::FnBody,
+                        Some(Pending::Mod) => ScopeKind::Mod,
+                        Some(Pending::Trait) => ScopeKind::Trait,
+                        Some(Pending::Impl { has_for: true }) => ScopeKind::ImplTrait,
+                        Some(Pending::Impl { has_for: false }) => ScopeKind::ImplInherent,
+                        Some(Pending::Adt) => ScopeKind::Adt,
+                        None => ScopeKind::NonItem,
+                    };
+                    let entering_test = test_pending && test_depth.is_none();
+                    if entering_test {
+                        test_depth = Some(stack.len());
+                        test_pending = false;
+                    }
+                    test_at[i] = test_depth.is_some();
+                    if test_at[i] {
+                        mark_line(&mut test_lines, tok.line);
+                    }
+                    stack.push((i, kind, entering_test));
+                    angle_depth = 0;
+                }
+                (TokenKind::Punct, "}") => {
+                    pending = None;
+                    if let Some((open, _, was_entry)) = stack.pop() {
+                        brace_match[open] = Some(i);
+                        if was_entry {
+                            // Mark every line of the region closed here.
+                            if let (Some(o), c) = (ts.sig_token(open), tok) {
+                                for l in o.line..=c.line {
+                                    mark_line(&mut test_lines, l);
+                                }
+                            }
+                            test_depth = None;
+                        }
+                    }
+                    test_at[i] = test_depth.is_some();
+                }
+                (TokenKind::Punct, ";") => {
+                    pending = None;
+                    test_pending = false;
+                }
+                (TokenKind::Ident, kw) => {
+                    if pending.is_none() {
+                        pending = match kw {
+                            "fn" => Some(Pending::Fn),
+                            "mod" => Some(Pending::Mod),
+                            "trait" => Some(Pending::Trait),
+                            "impl" => {
+                                angle_depth = 0;
+                                Some(Pending::Impl { has_for: false })
+                            }
+                            "struct" | "enum" | "union" => Some(Pending::Adt),
+                            _ => None,
+                        };
+                    } else if let Some(Pending::Impl { has_for: false }) = pending {
+                        // `impl Trait for Type`: a bare `for` at angle
+                        // depth 0 not starting an HRTB (`for<'a>`).
+                        if kw == "for" && angle_depth <= 0 && ts.sig_text(i + 1) != "<" {
+                            pending = Some(Pending::Impl { has_for: true });
+                        }
+                    }
+                }
+                (TokenKind::Punct, p) if pending == Some(Pending::Impl { has_for: false }) => {
+                    angle_depth += match p {
+                        "<" => 1,
+                        ">" => -1,
+                        "<<" => 2,
+                        ">>" => -2,
+                        _ => 0,
+                    };
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        Scopes {
+            kind_at,
+            enclosing_open,
+            brace_match,
+            test_at,
+            test_lines,
+        }
+    }
+
+    /// The innermost scope kind enclosing significant token `i`.
+    pub fn kind_at(&self, i: usize) -> ScopeKind {
+        self.kind_at.get(i).copied().unwrap_or(ScopeKind::File)
+    }
+
+    /// Whether significant token `i` is inside a test region.
+    pub fn in_test(&self, i: usize) -> bool {
+        self.test_at.get(i).copied().unwrap_or(false)
+    }
+
+    /// Whether a 1-based source line is inside a test region.
+    pub fn line_in_test(&self, line: usize) -> bool {
+        self.test_lines.get(line).copied().unwrap_or(false)
+    }
+
+    /// Significant index of the `}` closing the block that encloses
+    /// significant token `i` (`None` at file scope or when unmatched).
+    pub fn enclosing_block_end(&self, i: usize) -> Option<usize> {
+        let open = (*self.enclosing_open.get(i)?)?;
+        *self.brace_match.get(open)?
+    }
+
+    /// Matching `}` for a significant `{` at index `open`.
+    pub fn brace_match(&self, open: usize) -> Option<usize> {
+        *self.brace_match.get(open)?
+    }
+}
+
+fn mark_line(lines: &mut [bool], line: usize) {
+    if let Some(slot) = lines.get_mut(line) {
+        *slot = true;
+    }
+}
+
+/// Scan an attribute starting at the `[` at significant index `open`.
+/// Returns (significant index of the matching `]`, whether the attribute
+/// marks test-only code: `#[test]`, `#[cfg(test)]`, `#[cfg(any(test,…))]`
+/// — but not `#[cfg(not(test))]`).
+fn scan_attribute(ts: &TokenStream<'_>, open: usize) -> (usize, bool) {
+    let mut depth = 0usize;
+    let mut idents: Vec<&str> = Vec::new();
+    let mut j = open;
+    while j < ts.sig_len() {
+        let text = ts.sig_text(j);
+        match text {
+            "[" => depth += 1,
+            "]" => {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            _ => {
+                if ts.sig_token(j).is_some_and(|t| t.kind == TokenKind::Ident) {
+                    idents.push(text);
+                }
+            }
+        }
+        j += 1;
+    }
+    let has = |w: &str| idents.contains(&w);
+    let is_test = if idents.as_slice() == ["test"] {
+        true
+    } else {
+        has("cfg") && has("test") && !has("not")
+    };
+    (j, is_test)
+}
+
+/// The comment tokens of a file, indexed for marker lookups.
+#[derive(Debug)]
+pub struct Trivia {
+    /// (first line, last line, text) per comment token, in order.
+    comments: Vec<(usize, usize, String)>,
+}
+
+impl Trivia {
+    /// Collect the comments of `ts`.
+    pub fn collect(ts: &TokenStream<'_>) -> Self {
+        let comments = ts
+            .tokens()
+            .iter()
+            .filter(|t| t.kind.is_comment())
+            .map(|t| {
+                let text = ts.text(t);
+                let last = t.line + text.matches('\n').count();
+                (t.line, last, text.to_string())
+            })
+            .collect();
+        Trivia { comments }
+    }
+
+    fn comment_on(&self, line: usize, needle: &str) -> bool {
+        self.comments
+            .iter()
+            .any(|(a, b, text)| *a <= line && line <= *b && text.contains(needle))
+    }
+
+    /// Whether a `lint:allow(<rule>)` comment covers `line` or the line
+    /// above it.
+    pub fn allows(&self, line: usize, rule_name: &str) -> bool {
+        let marker = format!("lint:allow({rule_name})");
+        self.comment_on(line, &marker) || (line > 1 && self.comment_on(line - 1, &marker))
+    }
+
+    /// Whether a `lint:allow-file(<rule>)` comment appears anywhere.
+    pub fn allows_file(&self, rule_name: &str) -> bool {
+        let marker = format!("lint:allow-file({rule_name})");
+        self.comments
+            .iter()
+            .any(|(_, _, text)| text.contains(marker.as_str()))
+    }
+
+    /// Whether an `ordering:` justification comment covers `line` or the
+    /// line above it (L7).
+    pub fn has_ordering_note(&self, line: usize) -> bool {
+        self.comment_on(line, "ordering:") || (line > 1 && self.comment_on(line - 1, "ordering:"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scopes(src: &str) -> (TokenStream<'_>, Scopes) {
+        let ts = TokenStream::lex(src);
+        let sc = Scopes::analyze(&ts);
+        (ts, sc)
+    }
+
+    /// Significant index of the first token with this text.
+    fn sig_idx(ts: &TokenStream<'_>, text: &str) -> usize {
+        (0..ts.sig_len())
+            .find(|&i| ts.sig_text(i) == text)
+            .unwrap_or_else(|| panic!("token {text:?} not found"))
+    }
+
+    #[test]
+    fn scope_kinds_follow_item_keywords() {
+        let src = "\
+mod m {
+    impl Foo { fn f(&self) { let x = Bar { a: 1 }; } }
+    impl Iterator for Foo { fn next(&mut self) {} }
+    struct S { field: u8 }
+    trait T { fn g(); }
+}
+";
+        let (ts, sc) = scopes(src);
+        assert_eq!(sc.kind_at(sig_idx(&ts, "impl") + 1), ScopeKind::Mod);
+        assert_eq!(sc.kind_at(sig_idx(&ts, "f")), ScopeKind::ImplInherent);
+        assert_eq!(sc.kind_at(sig_idx(&ts, "a")), ScopeKind::NonItem);
+        assert_eq!(sc.kind_at(sig_idx(&ts, "next")), ScopeKind::ImplTrait);
+        assert_eq!(sc.kind_at(sig_idx(&ts, "field")), ScopeKind::Adt);
+        assert_eq!(sc.kind_at(sig_idx(&ts, "g")), ScopeKind::Trait);
+    }
+
+    #[test]
+    fn inherent_impl_scope() {
+        let src = "impl Foo { fn m(&self) {} }";
+        let (ts, sc) = scopes(src);
+        assert_eq!(sc.kind_at(sig_idx(&ts, "m")), ScopeKind::ImplInherent);
+    }
+
+    #[test]
+    fn cfg_test_region_covers_module() {
+        let src = "\
+fn live() {}
+#[cfg(test)]
+mod tests {
+    fn t() { x.unwrap(); }
+}
+fn also_live() {}
+";
+        let (ts, sc) = scopes(src);
+        assert!(!sc.in_test(sig_idx(&ts, "live")));
+        assert!(sc.in_test(sig_idx(&ts, "unwrap")));
+        assert!(!sc.in_test(sig_idx(&ts, "also_live")));
+        assert!(sc.line_in_test(3));
+        assert!(sc.line_in_test(4));
+        assert!(!sc.line_in_test(1));
+        assert!(!sc.line_in_test(6));
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_a_test_region() {
+        let src = "#[cfg(not(test))]\nfn live() { x.unwrap(); }\n";
+        let (ts, sc) = scopes(src);
+        assert!(!sc.in_test(sig_idx(&ts, "unwrap")));
+    }
+
+    #[test]
+    fn test_attr_fn_is_a_test_region() {
+        let src = "#[test]\nfn t() { x.unwrap(); }\nfn live() {}\n";
+        let (ts, sc) = scopes(src);
+        assert!(sc.in_test(sig_idx(&ts, "unwrap")));
+        assert!(!sc.in_test(sig_idx(&ts, "live")));
+    }
+
+    #[test]
+    fn enclosing_block_end_finds_the_closing_brace() {
+        let src = "fn f() { let g = x.lock(); g.use_it(); } fn h() {}";
+        let (ts, sc) = scopes(src);
+        let g = sig_idx(&ts, "g");
+        let end = sc.enclosing_block_end(g).expect("in a block");
+        assert_eq!(ts.sig_text(end), "}");
+        // The close must come before `fn h`.
+        assert!(end < sig_idx(&ts, "h"));
+    }
+
+    #[test]
+    fn trivia_markers_only_count_in_comments() {
+        let src = "\
+let s = \"lint:allow-file(no-panic)\";
+// lint:allow(float-eq) tolerance is exact here
+let x = 1;
+// ordering: counter only
+let y = 2;
+";
+        let ts = TokenStream::lex(src);
+        let tv = Trivia::collect(&ts);
+        assert!(!tv.allows_file("no-panic"), "string is not a marker");
+        assert!(tv.allows(2, "float-eq"));
+        assert!(tv.allows(3, "float-eq"), "line below marker is covered");
+        assert!(!tv.allows(5, "float-eq"));
+        assert!(tv.has_ordering_note(5));
+        assert!(!tv.has_ordering_note(1));
+    }
+
+    #[test]
+    fn attribute_contents_do_not_confuse_scopes() {
+        let src = "#[derive(Debug, Clone)]\npub struct S { pub x: u8 }\n";
+        let (ts, sc) = scopes(src);
+        assert_eq!(sc.kind_at(sig_idx(&ts, "x")), ScopeKind::Adt);
+    }
+}

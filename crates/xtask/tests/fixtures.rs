@@ -1,39 +1,104 @@
-//! Self-test for the lint gate: the `fixtures/violations.rs` file must
-//! trip every rule at the marked lines, `fixtures/clean.rs` must pass,
-//! and the `xtask lint` binary must exit non-zero with a `file:line`
-//! report when pointed at a tree containing violations.
+//! Self-tests for the lint gate.
+//!
+//! The per-file fixtures are marker-driven: `fixtures/violations.rs`
+//! carries a `//~ L<n>` comment on every line a rule must fire, and the
+//! analyzer's findings must equal that set exactly — no misses, no
+//! extras. `fixtures/clean.rs` and `fixtures/false_positive.rs` must be
+//! silent. The workspace-level rules (the L6 lock-order graph, the L8
+//! inventory cross-check) and the driver semantics (exit codes, the L9
+//! warn baseline, `--json`) are exercised against miniature workspaces
+//! staged under a temp directory.
 
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::process::Command;
-use xtask::{analyze_file, FileKind, Rule};
+use xtask::{analyze_file, lint_workspace, FileKind, Rule};
 
 const VIOLATIONS: &str = include_str!("../fixtures/violations.rs");
 const CLEAN: &str = include_str!("../fixtures/clean.rs");
+const FALSE_POSITIVE: &str = include_str!("../fixtures/false_positive.rs");
+const LOCK_SESSION: &str = include_str!("../fixtures/lock_cycle_session.rs");
+const LOCK_QUARANTINE: &str = include_str!("../fixtures/lock_cycle_quarantine.rs");
+const METRIC_NAMES: &str = include_str!("../fixtures/metric_names.rs");
+const METRIC_METRICS: &str = include_str!("../fixtures/metric_metrics.rs");
+const METRIC_DOC: &str = include_str!("../fixtures/metric_inventory.md");
+const BIN_APP: &str = include_str!("../fixtures/bin_app.rs");
+const EXAMPLE_DEMO: &str = include_str!("../fixtures/example_demo.rs");
 
-/// A hot-path library name so every rule (including L5) is in scope.
+/// A hot-path library name inside the documented core crates, so every
+/// rule (L5, the SeqCst hot-path check, L9) is in scope.
 const HOT_REL: &str = "crates/core/src/spectrum.rs";
 
-#[test]
-fn violations_fixture_trips_every_rule() {
-    let findings = analyze_file(Path::new(HOT_REL), VIOLATIONS, FileKind::Library);
-    let hits: Vec<(Rule, usize)> = findings.iter().map(|f| (f.rule, f.line)).collect();
-    for (rule, line) in [
-        (Rule::NoPanic, 8),
-        (Rule::AngleHygiene, 12),
-        (Rule::AngleHygiene, 16),
-        (Rule::FloatEq, 21),
-        (Rule::StringlyError, 24),
-        (Rule::LossyCast, 29),
-    ] {
-        assert!(
-            hits.contains(&(rule, line)),
-            "expected {rule:?} at line {line}, got {hits:?}"
-        );
+/// Parse the `//~ L<n>` expectation markers out of a fixture: each
+/// marker demands exactly one finding of that rule on that line.
+fn expected_markers(src: &str) -> Vec<(Rule, usize)> {
+    let mut out = Vec::new();
+    for (idx, line) in src.lines().enumerate() {
+        let Some(pos) = line.find("//~") else {
+            continue;
+        };
+        for code in line[pos + 3..].split_whitespace() {
+            let rule = Rule::ALL
+                .into_iter()
+                .find(|r| r.code() == code)
+                .unwrap_or_else(|| panic!("unknown rule code {code:?} in fixture marker"));
+            out.push((rule, idx + 1));
+        }
     }
-    // Nothing fires inside the #[cfg(test)] region (lines 32+).
+    out.sort_by_key(|&(r, l)| (r.code(), l));
+    out
+}
+
+/// 1-based line of the first fixture line containing `needle`.
+fn line_of(src: &str, needle: &str) -> usize {
+    src.lines()
+        .position(|l| l.contains(needle))
+        .unwrap_or_else(|| panic!("needle {needle:?} not in fixture"))
+        + 1
+}
+
+/// Stage a miniature workspace under a unique temp directory.
+fn stage(tag: &str, files: &[(&str, &str)]) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("xtask-selftest-{tag}-{}", std::process::id()));
+    if dir.exists() {
+        std::fs::remove_dir_all(&dir).expect("clear stale fixture tree");
+    }
+    for (rel, content) in files {
+        let path = dir.join(rel);
+        std::fs::create_dir_all(path.parent().expect("rel path has a parent"))
+            .expect("create fixture dir");
+        std::fs::write(path, content).expect("write fixture file");
+    }
+    dir
+}
+
+/// Run the `xtask lint` binary against a staged root.
+fn run_lint(root: &Path, extra: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_xtask"))
+        .args(["lint", "--root"])
+        .arg(root)
+        .args(extra)
+        .output()
+        .expect("run xtask binary")
+}
+
+#[test]
+fn violations_fixture_trips_rules_exactly_at_markers() {
+    let findings = analyze_file(Path::new(HOT_REL), VIOLATIONS, FileKind::Library);
+    let mut hits: Vec<(Rule, usize)> = findings.iter().map(|f| (f.rule, f.line)).collect();
+    hits.sort_by_key(|&(r, l)| (r.code(), l));
+    let want = expected_markers(VIOLATIONS);
     assert!(
-        findings.iter().all(|f| f.line < 32),
-        "test region must be exempt: {hits:?}"
+        want.iter().any(|&(r, _)| r == Rule::NoPanic)
+            && want.iter().any(|&(r, _)| r == Rule::LockDiscipline)
+            && want.iter().any(|&(r, _)| r == Rule::AtomicOrdering)
+            && want.iter().any(|&(r, _)| r == Rule::DocCoverage),
+        "fixture must cover the v2 rules: {want:?}"
+    );
+    assert_eq!(
+        hits,
+        want,
+        "findings must match the //~ markers exactly; got {:?}",
+        findings.iter().map(|f| f.to_string()).collect::<Vec<_>>()
     );
 }
 
@@ -48,18 +113,159 @@ fn clean_fixture_is_silent() {
 }
 
 #[test]
-fn binary_exits_nonzero_with_file_line_report() {
-    // Stage a miniature workspace containing one violating library file.
-    let dir = std::env::temp_dir().join(format!("xtask-selftest-{}", std::process::id()));
-    let src = dir.join("crates/demo/src");
-    std::fs::create_dir_all(&src).expect("create fixture tree");
-    std::fs::write(src.join("lib.rs"), VIOLATIONS).expect("write fixture");
+fn false_positive_fixture_is_silent() {
+    let findings = analyze_file(Path::new(HOT_REL), FALSE_POSITIVE, FileKind::Library);
+    assert!(
+        findings.is_empty(),
+        "regex-era constructs must not trip the token engine: {:?}",
+        findings.iter().map(|f| f.to_string()).collect::<Vec<_>>()
+    );
+}
 
-    let out = Command::new(env!("CARGO_BIN_EXE_xtask"))
-        .args(["lint", "--root"])
-        .arg(&dir)
-        .output()
-        .expect("run xtask binary");
+#[test]
+fn lock_order_cycle_detected_across_modules() {
+    let dir = stage(
+        "cycle",
+        &[
+            ("crates/demo/src/session.rs", LOCK_SESSION),
+            ("crates/demo/src/quarantine.rs", LOCK_QUARANTINE),
+        ],
+    );
+    let findings = lint_workspace(&dir).expect("lint staged tree");
+    std::fs::remove_dir_all(&dir).ok();
+
+    let cycles: Vec<(String, usize)> = findings
+        .iter()
+        .filter(|f| f.rule == Rule::LockDiscipline)
+        .map(|f| (f.file.to_string_lossy().replace('\\', "/"), f.line))
+        .collect();
+    assert_eq!(
+        cycles,
+        vec![
+            (
+                "crates/demo/src/quarantine.rs".to_string(),
+                line_of(LOCK_QUARANTINE, "nested: journal -> cache"),
+            ),
+            (
+                "crates/demo/src/session.rs".to_string(),
+                line_of(LOCK_SESSION, "nested: cache -> journal"),
+            ),
+        ],
+        "both edges of the cycle must be reported: {findings:?}"
+    );
+    assert!(
+        findings
+            .iter()
+            .filter(|f| f.rule == Rule::LockDiscipline)
+            .all(|f| f.message.contains("lock-order cycle")),
+        "{findings:?}"
+    );
+    // Either file alone is acyclic: one consistent order is fine.
+    let dir = stage("acyclic", &[("crates/demo/src/session.rs", LOCK_SESSION)]);
+    let findings = lint_workspace(&dir).expect("lint staged tree");
+    std::fs::remove_dir_all(&dir).ok();
+    assert!(
+        findings.is_empty(),
+        "a single consistent order must pass: {findings:?}"
+    );
+}
+
+#[test]
+fn metric_inventory_cross_checked_both_directions() {
+    let dir = stage(
+        "metrics",
+        &[
+            ("crates/core/src/obs/names.rs", METRIC_NAMES),
+            ("crates/core/src/obs/metrics.rs", METRIC_METRICS),
+            ("docs/OBSERVABILITY.md", METRIC_DOC),
+        ],
+    );
+    let findings = lint_workspace(&dir).expect("lint staged tree");
+    std::fs::remove_dir_all(&dir).ok();
+
+    let l8: Vec<(String, usize, &str)> = findings
+        .iter()
+        .filter(|f| f.rule == Rule::MetricNameHygiene)
+        .map(|f| {
+            (
+                f.file.to_string_lossy().replace('\\', "/"),
+                f.line,
+                f.message.as_str(),
+            )
+        })
+        .collect();
+    assert_eq!(l8.len(), 4, "expected 4 L8 findings: {l8:?}");
+
+    // Code -> docs: a const missing from the inventory.
+    assert!(
+        l8.contains(&(
+            "crates/core/src/obs/names.rs".to_string(),
+            line_of(METRIC_NAMES, "\"engine.undocumented\""),
+            "metric `engine.undocumented` (ENGINE_UNDOCUMENTED) is emitted but missing \
+             from the inventory in docs/OBSERVABILITY.md",
+        )),
+        "{l8:?}"
+    );
+    // Docs -> code: a stale documented name.
+    assert!(
+        l8.iter()
+            .any(|(file, line, msg)| file == "docs/OBSERVABILITY.md"
+                && *line == line_of(METRIC_DOC, "doc.stale")
+                && msg.contains("no matching const")),
+        "{l8:?}"
+    );
+    // Declared but never referenced by the observer.
+    assert!(
+        l8.iter()
+            .any(|(file, line, msg)| file == "crates/core/src/obs/names.rs"
+                && *line == line_of(METRIC_NAMES, "\"session.orphaned\"")
+                && msg.contains("never referenced")),
+        "{l8:?}"
+    );
+    // Raw literal at a registration site.
+    assert!(
+        l8.iter()
+            .any(|(file, line, msg)| file == "crates/core/src/obs/metrics.rs"
+                && *line == line_of(METRIC_METRICS, "engine.raw_literal")
+                && msg.contains("raw metric-name literal")),
+        "{l8:?}"
+    );
+}
+
+#[test]
+fn binaries_get_l1_examples_keep_exemption() {
+    let dir = stage(
+        "classify",
+        &[
+            ("src/bin/app.rs", BIN_APP),
+            ("examples/demo.rs", EXAMPLE_DEMO),
+        ],
+    );
+    let out = run_lint(&dir, &[]);
+    std::fs::remove_dir_all(&dir).ok();
+
+    assert!(
+        !out.status.success(),
+        "the binary's unwrap must fail the gate"
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains(&format!(
+            "src/bin/app.rs:{}: L1",
+            line_of(BIN_APP, "fires here")
+        )),
+        "src/bin/** must get L1 under v2, got:\n{stdout}"
+    );
+    assert!(
+        !stdout.contains("examples/demo.rs"),
+        "examples keep the L1 exemption, got:\n{stdout}"
+    );
+}
+
+#[test]
+fn binary_exits_nonzero_with_file_line_report() {
+    let dir = stage("errors", &[("crates/demo/src/lib.rs", VIOLATIONS)]);
+    let out = run_lint(&dir, &[]);
     std::fs::remove_dir_all(&dir).ok();
 
     assert!(
@@ -68,24 +274,145 @@ fn binary_exits_nonzero_with_file_line_report() {
     );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(
-        stdout.contains("crates/demo/src/lib.rs:8:"),
+        stdout.contains(&format!(
+            "crates/demo/src/lib.rs:{}:",
+            line_of(VIOLATIONS, "v.unwrap() //~ L1")
+        )),
         "report must carry file:line locations, got:\n{stdout}"
     );
 }
 
 #[test]
 fn binary_exits_zero_on_clean_tree() {
-    let dir = std::env::temp_dir().join(format!("xtask-selftest-clean-{}", std::process::id()));
-    let src = dir.join("crates/demo/src");
-    std::fs::create_dir_all(&src).expect("create fixture tree");
-    std::fs::write(src.join("lib.rs"), CLEAN).expect("write fixture");
+    let dir = stage("clean", &[("crates/demo/src/lib.rs", CLEAN)]);
+    let out = run_lint(&dir, &[]);
+    std::fs::remove_dir_all(&dir).ok();
+    assert!(out.status.success(), "clean tree must exit zero");
+}
 
-    let out = Command::new(env!("CARGO_BIN_EXE_xtask"))
-        .args(["lint", "--root"])
-        .arg(&dir)
-        .output()
-        .expect("run xtask binary");
+#[test]
+fn l9_warns_gate_against_tracked_baseline() {
+    const UNDOCUMENTED: &str =
+        "//! Fixture library.\n\n/// Documented.\npub fn documented() {}\n\npub fn undocumented() {}\n";
+    let baseline = |budget: usize| {
+        format!("{{\"schema\": \"tagspin-lint-baseline/v1\", \"warn_budget\": {budget}}}")
+    };
+
+    // Warn-level findings alone, no tracked baseline: report but pass.
+    let dir = stage("warn", &[("crates/core/src/lib.rs", UNDOCUMENTED)]);
+    let out = run_lint(&dir, &[]);
+    assert!(
+        out.status.success(),
+        "L9 is warn-only without a baseline: {}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    assert!(
+        String::from_utf8_lossy(&out.stdout).contains("L9(doc-coverage)"),
+        "the warning must still be reported"
+    );
+
+    // A tracked budget of 0 turns the same tree into a failure.
+    std::fs::create_dir_all(dir.join("crates/xtask")).expect("create baseline dir");
+    std::fs::write(dir.join("crates/xtask/lint-baseline.json"), baseline(0))
+        .expect("write baseline");
+    let out = run_lint(&dir, &[]);
+    assert!(
+        !out.status.success(),
+        "warn count above the baseline must fail"
+    );
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("exceeds the tracked baseline"),
+        "stderr must name the gate: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // A budget that covers the count passes again.
+    std::fs::write(dir.join("crates/xtask/lint-baseline.json"), baseline(1))
+        .expect("write baseline");
+    let out = run_lint(&dir, &[]);
+    std::fs::remove_dir_all(&dir).ok();
+    assert!(
+        out.status.success(),
+        "warn count within the baseline must pass"
+    );
+}
+
+#[test]
+fn json_export_is_schema_valid() {
+    let dir = stage("json", &[("crates/demo/src/lib.rs", VIOLATIONS)]);
+    let json_path = dir.join("lint.json");
+    let out = run_lint(
+        &dir,
+        &["--json", "--json-out", json_path.to_str().expect("utf8")],
+    );
+    let written = std::fs::read_to_string(&json_path).expect("read --json-out file");
     std::fs::remove_dir_all(&dir).ok();
 
-    assert!(out.status.success(), "clean tree must exit zero");
+    assert!(!out.status.success(), "--json must not mask the exit code");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(stdout, written, "--json-out must mirror stdout");
+
+    let doc = xtask::json::parse(&stdout).expect("stdout is valid JSON");
+    assert_eq!(
+        doc.get("schema").and_then(|s| s.as_str()),
+        Some("tagspin-lint/v1")
+    );
+    assert_eq!(
+        doc.get("rules").and_then(|r| r.as_arr()).map(|a| a.len()),
+        Some(9),
+        "all nine rules must be declared"
+    );
+    let findings = doc
+        .get("findings")
+        .and_then(|f| f.as_arr())
+        .expect("findings array");
+    assert!(!findings.is_empty());
+    for f in findings {
+        assert!(f.get("file").and_then(|v| v.as_str()).is_some(), "{f:?}");
+        assert!(f.get("line").and_then(|v| v.as_num()).is_some(), "{f:?}");
+        assert!(f.get("code").and_then(|v| v.as_str()).is_some(), "{f:?}");
+        assert!(f.get("rule").and_then(|v| v.as_str()).is_some(), "{f:?}");
+        assert!(
+            matches!(
+                f.get("severity").and_then(|v| v.as_str()),
+                Some("error" | "warn")
+            ),
+            "{f:?}"
+        );
+        assert!(f.get("message").and_then(|v| v.as_str()).is_some(), "{f:?}");
+    }
+    let errors = doc
+        .get("counts")
+        .and_then(|c| c.get("error"))
+        .and_then(|n| n.as_num())
+        .expect("error count");
+    let warns = doc
+        .get("counts")
+        .and_then(|c| c.get("warn"))
+        .and_then(|n| n.as_num())
+        .expect("warn count");
+    assert_eq!(errors as usize + warns as usize, findings.len());
+}
+
+#[test]
+fn json_stdout_is_pure_on_a_clean_tree() {
+    // The success banner must not trail the JSON document — a consumer
+    // piping `--json` into a parser sees exactly one JSON value.
+    let dir = stage("json-clean", &[("crates/demo/src/lib.rs", CLEAN)]);
+    let out = run_lint(&dir, &["--json"]);
+    std::fs::remove_dir_all(&dir).ok();
+
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let doc = xtask::json::parse(stdout.trim()).expect("stdout is a single JSON document");
+    assert_eq!(
+        doc.get("findings")
+            .and_then(|f| f.as_arr())
+            .map(|a| a.len()),
+        Some(0)
+    );
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("clean"),
+        "the banner moves to stderr under --json"
+    );
 }

@@ -1,0 +1,127 @@
+//! Property tests for the hand-rolled lexer underneath the lint engine.
+//!
+//! Three span invariants hold for *any* input, well-formed Rust or not:
+//! every token's byte span is in bounds and on char boundaries, spans
+//! are strictly ordered and non-overlapping, and every non-whitespace
+//! byte of the source is covered by some token — the lexer may skip
+//! whitespace, but it must never silently drop source text, because a
+//! dropped byte is a construct no rule can see.
+//!
+//! Case count follows `PROPTEST_CASES` (default 256).
+
+use proptest::prelude::*;
+use xtask::lexer::TokenStream;
+
+/// Assert the three span invariants over one source string.
+fn check_spans(src: &str) -> Result<(), proptest::TestCaseError> {
+    let ts = TokenStream::lex(src);
+    let mut covered = vec![false; src.len()];
+    let mut prev_end = 0usize;
+    let mut prev_line = 1usize;
+    for t in ts.tokens() {
+        prop_assert!(
+            t.start <= t.end && t.end <= src.len(),
+            "span out of bounds: {t:?} over {src:?}"
+        );
+        prop_assert!(
+            src.is_char_boundary(t.start) && src.is_char_boundary(t.end),
+            "span splits a char: {t:?} over {src:?}"
+        );
+        prop_assert!(
+            t.start >= prev_end,
+            "overlapping or unordered spans at {t:?} over {src:?}"
+        );
+        prop_assert!(
+            t.line >= prev_line,
+            "line numbers must be non-decreasing: {t:?} over {src:?}"
+        );
+        for c in &mut covered[t.start..t.end] {
+            *c = true;
+        }
+        prev_end = t.end;
+        prev_line = t.line;
+    }
+    for (i, ch) in src.char_indices() {
+        if !ch.is_whitespace() {
+            prop_assert!(
+                covered[i],
+                "non-whitespace byte {i} ({ch:?}) uncovered in {src:?}"
+            );
+        }
+    }
+    Ok(())
+}
+
+/// Rust-flavored source fragments: tokens, literals, comments (nested
+/// and unterminated), attributes — concatenated into plausible and
+/// deliberately broken files alike.
+const FRAGMENTS: &[&str] = &[
+    "fn spin() ",
+    "let x = 0.5f64; ",
+    "let y = 1_000; ",
+    "let z = 0x_ff; ",
+    "\"str \\\" esc\" ",
+    "'c' ",
+    "'\\n' ",
+    "b'\\x7f' ",
+    "r\"raw\" ",
+    "r#\"raw # quote\"# ",
+    "'static ",
+    "// line comment\n",
+    "/// doc comment\n",
+    "//! inner doc\n",
+    "/* block /* nested */ */ ",
+    "/* unterminated ",
+    "\"unterminated ",
+    "#[cfg(test)] mod t { } ",
+    "x.unwrap() ",
+    "Ordering::SeqCst ",
+    "phase % TAU ",
+    "a == 0.0 ",
+    "i as f64 ",
+    "::<>(){}[]; ",
+    "=> -> ..= ",
+    "угол_θ ",
+    "\u{a0} ",
+    "\t\n  ",
+];
+
+/// Concatenations of [`FRAGMENTS`].
+fn rustish() -> impl Strategy<Value = String> {
+    collection::vec((0usize..FRAGMENTS.len()).prop_map(|i| FRAGMENTS[i]), 0..48)
+        .prop_map(|v| v.concat())
+}
+
+/// Arbitrary unicode soup (surrogate gaps map to U+FFFD).
+fn unicode_soup() -> impl Strategy<Value = String> {
+    collection::vec(
+        (0u32..0x11_0000).prop_map(|c| char::from_u32(c).unwrap_or('\u{fffd}')),
+        0..64,
+    )
+    .prop_map(|v| v.into_iter().collect())
+}
+
+proptest! {
+    /// Arbitrary unicode never breaks the span invariants.
+    #[test]
+    fn spans_sound_on_arbitrary_input(src in unicode_soup()) {
+        check_spans(&src)?;
+    }
+
+    /// Rust-shaped input (including unterminated literals and comments)
+    /// never breaks the span invariants.
+    #[test]
+    fn spans_sound_on_rustish_input(src in rustish()) {
+        check_spans(&src)?;
+    }
+
+    /// Lexing is a pure function of the source.
+    #[test]
+    fn lexing_is_deterministic(src in rustish()) {
+        let a = TokenStream::lex(&src);
+        let b = TokenStream::lex(&src);
+        let pa: Vec<_> = a.tokens().iter().map(|t| (t.kind, t.start, t.end, t.line)).collect();
+        let pb: Vec<_> = b.tokens().iter().map(|t| (t.kind, t.start, t.end, t.line)).collect();
+        prop_assert_eq!(pa, pb);
+    }
+}

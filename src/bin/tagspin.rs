@@ -116,9 +116,7 @@ impl Args {
                 flags.push(("v".to_string(), None));
             } else if let Some(name) = arg.strip_prefix("--") {
                 let value = match iter.peek() {
-                    Some(v) if VALUED.contains(&name) && !v.starts_with("--") => {
-                        Some(iter.next().expect("peeked"))
-                    }
+                    Some(v) if VALUED.contains(&name) && !v.starts_with("--") => iter.next(),
                     _ => None,
                 };
                 flags.push((name.to_string(), value));

@@ -68,7 +68,7 @@ proptest! {
                 slope * t + curve * (0.7 * t).sin()
             })
             .collect();
-        let wrapped: Vec<f64> = truth.iter().map(|&x| x.rem_euclid(TAU)).collect();
+        let wrapped: Vec<f64> = truth.iter().map(|&x| angle::wrap_tau(x)).collect();
         let un = unwrap::unwrap(&wrapped);
         let delta = un[0] - truth[0];
         prop_assert!((delta / TAU - (delta / TAU).round()).abs() < 1e-9);
@@ -137,7 +137,7 @@ proptest! {
             &base
                 .phases()
                 .iter()
-                .map(|p| (p + theta_div).rem_euclid(TAU))
+                .map(|p| angle::wrap_tau(p + theta_div))
                 .collect::<Vec<_>>(),
         );
         let a = spectrum_2d(&base, disk.radius, ProfileKind::Enhanced, &small_cfg());
