@@ -147,9 +147,12 @@ fn measure(
         return (0.0, 0.0, 0);
     };
 
-    let burst = continuation(log, (refreshes as usize + 1) * 2);
+    // Two warmup fixes: the first legacy fresh recompute satisfies
+    // `engage_after_recomputes`, the second pays the incremental path's
+    // one-time anchor rebuild; timed refreshes then measure steady state.
+    let burst = continuation(log, (refreshes as usize + 2) * 2);
     let mut chunks = burst.chunks_exact(2);
-    if let Some(warmup) = chunks.next() {
+    for warmup in chunks.by_ref().take(2) {
         for r in warmup {
             session.ingest(r);
         }

@@ -85,11 +85,14 @@ pub mod prelude {
     pub use crate::registry::{RegisteredTag, TagRegistry};
     pub use crate::server::{LocalizationServer, PipelineConfig, ServerError};
     pub use crate::session::quarantine::{IngestPolicy, QualityGate, RejectCounts, RejectReason};
-    pub use crate::session::stats::{SessionStats, SkipCounts, StageTimes, TagStreamStats};
+    pub use crate::session::stats::{
+        IncrementalCounts, SessionStats, SkipCounts, StageTimes, TagStreamStats,
+    };
     pub use crate::session::window::WindowConfig;
     pub use crate::session::{IngestOutcome, ReaderSession, SessionManager};
     pub use crate::snapshot::{Snapshot, SnapshotSet};
     pub use crate::spectrum::engine::{SpectrumEngine, SpectrumEngineConfig};
+    pub use crate::spectrum::incremental::{IncrementalPolicy, SyncOutcome};
     pub use crate::spectrum::{ProfileKind, SpectrumConfig};
     pub use crate::spinning::{CenterSpinTag, DiskConfig, SpinningTag};
 }

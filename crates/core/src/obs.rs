@@ -173,6 +173,24 @@ pub enum Event {
         /// The withheld tag.
         epc: u128,
     },
+    /// The incremental-accumulator state synchronized with its stream
+    /// before serving a fresh bearing (emitted only on the engaged
+    /// incremental path).
+    IncrementalSync {
+        /// The tag.
+        epc: u128,
+        /// Which bearing family's accumulator grid.
+        kind: FixKind,
+        /// Snapshot columns applied (rank-1 updates) in this sync.
+        applied: u64,
+        /// Snapshot columns downdated (evicted) in this sync.
+        downdated: u64,
+        /// Whether the sync re-anchored with a full recompute.
+        reanchored: bool,
+        /// Whether the bearing fell back to the reference path because
+        /// non-finite columns were resident in the window.
+        fallback: bool,
+    },
     /// One multi-tag fix attempt completed.
     FixAttempt {
         /// Which fix family.

@@ -410,6 +410,10 @@ pub struct MetricsObserver {
     recompute_fresh: Counter,
     recompute_cached: Counter,
     gate_withheld: Counter,
+    incr_applied: Counter,
+    incr_downdated: Counter,
+    incr_reanchors: Counter,
+    incr_fallbacks: Counter,
     fix_attempts: Counter,
     fix_ok: Counter,
     fix_skipped: Counter,
@@ -438,6 +442,10 @@ struct Tally {
     recompute_fresh: u64,
     recompute_cached: u64,
     gate_withheld: u64,
+    incr_applied: u64,
+    incr_downdated: u64,
+    incr_reanchors: u64,
+    incr_fallbacks: u64,
     fix_attempts: u64,
     fix_ok: u64,
     fix_skipped: u64,
@@ -468,6 +476,10 @@ impl MetricsObserver {
             recompute_fresh: r.counter(names::SESSION_RECOMPUTE_FRESH),
             recompute_cached: r.counter(names::SESSION_RECOMPUTE_CACHED),
             gate_withheld: r.counter(names::SESSION_GATE_WITHHELD),
+            incr_applied: r.counter(names::SESSION_INCREMENTAL_APPLIED),
+            incr_downdated: r.counter(names::SESSION_INCREMENTAL_DOWNDATED),
+            incr_reanchors: r.counter(names::SESSION_INCREMENTAL_REANCHORS),
+            incr_fallbacks: r.counter(names::SESSION_INCREMENTAL_FALLBACKS),
             fix_attempts: r.counter(names::FIX_ATTEMPTS),
             fix_ok: r.counter(names::FIX_OK),
             fix_skipped: r.counter(names::FIX_SKIPPED_TAGS),
@@ -548,6 +560,22 @@ impl MetricsObserver {
                 }
             }
             Event::GateWithheld { .. } => t.gate_withheld += 1,
+            Event::IncrementalSync {
+                applied,
+                downdated,
+                reanchored,
+                fallback,
+                ..
+            } => {
+                t.incr_applied += applied;
+                t.incr_downdated += downdated;
+                if reanchored {
+                    t.incr_reanchors += 1;
+                }
+                if fallback {
+                    t.incr_fallbacks += 1;
+                }
+            }
             Event::FixAttempt { skipped, ok, .. } => {
                 t.fix_attempts += 1;
                 if ok {
@@ -578,6 +606,10 @@ impl MetricsObserver {
             (&self.recompute_fresh, t.recompute_fresh),
             (&self.recompute_cached, t.recompute_cached),
             (&self.gate_withheld, t.gate_withheld),
+            (&self.incr_applied, t.incr_applied),
+            (&self.incr_downdated, t.incr_downdated),
+            (&self.incr_reanchors, t.incr_reanchors),
+            (&self.incr_fallbacks, t.incr_fallbacks),
             (&self.fix_attempts, t.fix_attempts),
             (&self.fix_ok, t.fix_ok),
             (&self.fix_skipped, t.fix_skipped),
@@ -715,6 +747,14 @@ mod tests {
                 recomputed: true,
             },
             Event::GateWithheld { epc: 1 },
+            Event::IncrementalSync {
+                epc: 1,
+                kind: FixKind::Fix2D,
+                applied: 3,
+                downdated: 2,
+                reanchored: true,
+                fallback: true,
+            },
             Event::FixAttempt {
                 kind: FixKind::Fix2D,
                 usable: 2,
@@ -742,6 +782,10 @@ mod tests {
         assert_eq!(snap.counters["session.evicted"], 4);
         assert_eq!(snap.counters["session.recompute.fresh"], 1);
         assert_eq!(snap.counters["session.gate_withheld"], 1);
+        assert_eq!(snap.counters["session.incremental.applied"], 3);
+        assert_eq!(snap.counters["session.incremental.downdated"], 2);
+        assert_eq!(snap.counters["session.incremental.reanchors"], 1);
+        assert_eq!(snap.counters["session.incremental.fallbacks"], 1);
         assert_eq!(snap.counters["fix.attempts"], 1);
         assert_eq!(snap.counters["fix.ok"], 1);
         assert_eq!(snap.counters["fix.skipped_tags"], 1);

@@ -50,6 +50,15 @@ pub const SESSION_RECOMPUTE_FRESH: &str = "session.recompute.fresh";
 pub const SESSION_RECOMPUTE_CACHED: &str = "session.recompute.cached";
 /// Fresh recomputes withheld by the capture quality gate.
 pub const SESSION_GATE_WITHHELD: &str = "session.gate_withheld";
+/// Snapshot columns applied (rank-1 updates) to incremental accumulators.
+pub const SESSION_INCREMENTAL_APPLIED: &str = "session.incremental.applied";
+/// Snapshot columns downdated (evicted) from incremental accumulators.
+pub const SESSION_INCREMENTAL_DOWNDATED: &str = "session.incremental.downdated";
+/// Incremental syncs that re-anchored with a full recompute.
+pub const SESSION_INCREMENTAL_REANCHORS: &str = "session.incremental.reanchors";
+/// Incremental syncs that fell back to the reference path (resident
+/// non-finite columns).
+pub const SESSION_INCREMENTAL_FALLBACKS: &str = "session.incremental.fallbacks";
 /// Multi-tag fix attempts started.
 pub const FIX_ATTEMPTS: &str = "fix.attempts";
 /// Multi-tag fix attempts that produced a fix.

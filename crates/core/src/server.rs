@@ -32,6 +32,7 @@ use crate::session::quarantine::{IngestPolicy, QualityGate};
 use crate::session::{pipeline, window::WindowConfig, ReaderSession, SessionManager};
 use crate::snapshot::{SnapshotError, SnapshotSet};
 use crate::spectrum::engine::{SpectrumEngine, SpectrumEngineConfig};
+use crate::spectrum::incremental::IncrementalPolicy;
 use crate::spectrum::{ProfileKind, Spectrum2D, SpectrumConfig};
 use crate::spinning::DiskConfig;
 use std::fmt;
@@ -64,6 +65,12 @@ pub struct PipelineConfig {
     /// Per-tag graceful-degradation gate over windowed captures (disabled
     /// by default).
     pub quality_gate: QualityGate,
+    /// Incremental spectrum accumulators for streaming sessions: after a
+    /// stream's first fresh recompute, fix refreshes reduce running
+    /// per-direction sums in O(grid) instead of re-evaluating the whole
+    /// window. One-shot batch paths (`locate_*`) never re-fix a stream, so
+    /// they stay on the reference path bit-for-bit.
+    pub incremental: IncrementalPolicy,
 }
 
 impl Default for PipelineConfig {
@@ -76,6 +83,7 @@ impl Default for PipelineConfig {
             min_snapshots: 30,
             ingest: IngestPolicy::default(),
             quality_gate: QualityGate::default(),
+            incremental: IncrementalPolicy::default(),
         }
     }
 }

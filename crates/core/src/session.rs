@@ -40,8 +40,9 @@ use crate::registry::{RegisteredTag, TagRegistry};
 use crate::server::{PipelineConfig, ServerError};
 use crate::snapshot::{Snapshot, SnapshotError, SnapshotSet};
 use crate::spectrum::engine::SpectrumEngine;
+use crate::spectrum::incremental::{budget_cells, GridKind, IncrementalState, SyncOutcome};
 use quarantine::{RejectCounts, RejectReason};
-use stats::{SessionStats, SkipCounts, StageTimes, TagStreamStats};
+use stats::{IncrementalCounts, SessionStats, SkipCounts, StageTimes, TagStreamStats};
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 use std::time::Instant;
@@ -89,6 +90,9 @@ struct TagStream {
     cached_2d: Option<Result<Bearing2D, ServerError>>,
     cached_3d: Option<Result<Bearing3D, ServerError>>,
     cached_aided: Option<Result<AmbiguousBearing, ServerError>>,
+    incr_2d: IncrSlot,
+    incr_3d: IncrSlot,
+    incr_aided: IncrSlot,
 }
 
 impl TagStream {
@@ -98,9 +102,69 @@ impl TagStream {
         self.cached_aided = None;
     }
 
+    /// Drop the incremental accumulator states (the tag's calibration
+    /// changed, so every frozen column is stale). Engagement counters
+    /// survive; the next fresh recompute re-anchors from scratch.
+    fn reset_incremental(&mut self) {
+        self.incr_2d.state = None;
+        self.incr_3d.state = None;
+        self.incr_aided.state = None;
+    }
+
     fn dirty(&self) -> bool {
         self.cached_2d.is_none() && self.cached_3d.is_none() && self.cached_aided.is_none()
     }
+}
+
+/// One bearing kind's incremental accumulator slot on a [`TagStream`]:
+/// the engagement counter (fresh recomputes served so far) plus the
+/// accumulator state once engaged. Boxed — the state holds O(grid) sums.
+#[derive(Debug, Clone, Default)]
+struct IncrSlot {
+    recomputes: u32,
+    state: Option<Box<IncrementalState>>,
+}
+
+/// Decide whether this fresh recompute is served by the incremental
+/// accumulators, advancing the slot's engagement counter either way. The
+/// caller only invokes this once the buffer and gate checks passed, so
+/// withheld attempts never advance engagement.
+fn engage(config: &PipelineConfig, slot: &mut IncrSlot, kind: GridKind) -> bool {
+    let policy = &config.incremental;
+    let engaged = policy.enabled
+        && slot.recomputes >= policy.engage_after_recomputes
+        // lint:allow(lossy-cast) usize widens losslessly into u64
+        && budget_cells(kind, config.profile, &config.spectrum) <= policy.max_cells as u64;
+    slot.recomputes = slot.recomputes.saturating_add(1);
+    engaged
+}
+
+/// Ensure `slot` holds accumulator state matching the current
+/// configuration, sync it against the stream's calibrated window, and
+/// report what the sync did plus whether the reduction must fall back to
+/// the reference path (non-finite columns resident).
+fn sync_incremental(
+    slot: &mut IncrSlot,
+    kind: GridKind,
+    tag: &RegisteredTag,
+    config: &PipelineConfig,
+    set: &SnapshotSet,
+    evicted: u64,
+    ingested: u64,
+) -> (SyncOutcome, bool) {
+    if !matches!(&slot.state, Some(s) if s.matches(config.profile, &config.spectrum, &tag.disk)) {
+        slot.state = None;
+    }
+    let state = slot.state.get_or_insert_with(|| {
+        Box::new(IncrementalState::new(
+            kind,
+            config.profile,
+            &config.spectrum,
+            &tag.disk,
+        ))
+    });
+    let outcome = state.sync(set, evicted, ingested, &config.incremental);
+    (outcome, state.fallback_needed())
 }
 
 /// A streaming localization session for one reader antenna.
@@ -129,6 +193,7 @@ pub struct ReaderSession {
     gate_withheld: u64,
     fixes: u64,
     skips: SkipCounts,
+    incremental: IncrementalCounts,
     ingest_ns: u64,
     recompute_ns: u64,
     fix_ns: u64,
@@ -165,6 +230,7 @@ impl ReaderSession {
             gate_withheld: 0,
             fixes: 0,
             skips: SkipCounts::default(),
+            incremental: IncrementalCounts::default(),
             ingest_ns: 0,
             recompute_ns: 0,
             fix_ns: 0,
@@ -200,10 +266,13 @@ impl ReaderSession {
         self.registry = registry;
     }
 
-    /// Drop the cached bearings of one tag (its calibration changed).
+    /// Drop the cached bearings of one tag (its calibration changed), and
+    /// its incremental accumulators with them — their frozen columns were
+    /// built from the old calibration.
     pub(crate) fn invalidate_epc(&mut self, epc: u128) {
         if let Some(stream) = self.streams.get_mut(&epc) {
             stream.invalidate();
+            stream.reset_incremental();
         }
     }
 
@@ -468,9 +537,60 @@ impl ReaderSession {
             return cached;
         }
         let t0 = self.obs.clock_start();
-        let result = pipeline::check_buffer(tag, &stream.buf)
+        let result = match pipeline::check_buffer(tag, &stream.buf)
             .and_then(|()| pipeline::gate(tag, &self.config, &stream.buf))
-            .and_then(|()| pipeline::bearing_2d(&self.engine, tag, &self.config, &stream.buf));
+        {
+            Err(e) => Err(e),
+            Ok(()) if engage(&self.config, &mut stream.incr_2d, GridKind::TwoD) => {
+                match pipeline::checked_calibrated(tag, &stream.buf, &self.config) {
+                    Err(e) => Err(e),
+                    Ok(set) => {
+                        let (outcome, fallback) = sync_incremental(
+                            &mut stream.incr_2d,
+                            GridKind::TwoD,
+                            tag,
+                            &self.config,
+                            &set,
+                            stream.evicted,
+                            stream.ingested,
+                        );
+                        self.incremental.applied += outcome.applied;
+                        self.incremental.downdated += outcome.downdated;
+                        if outcome.reanchored {
+                            self.incremental.reanchors += 1;
+                        }
+                        if fallback {
+                            self.incremental.fallbacks += 1;
+                        }
+                        let epc = tag.epc;
+                        self.obs.emit_batch(|| {
+                            vec![Event::IncrementalSync {
+                                epc,
+                                kind: FixKind::Fix2D,
+                                applied: outcome.applied,
+                                downdated: outcome.downdated,
+                                reanchored: outcome.reanchored,
+                                fallback,
+                            }]
+                        });
+                        if fallback {
+                            pipeline::bearing_2d(&self.engine, tag, &self.config, &stream.buf)
+                        } else {
+                            match stream
+                                .incr_2d
+                                .state
+                                .as_ref()
+                                .and_then(|s| s.peak_2d(&self.config.engine))
+                            {
+                                Some(peak) => Ok(Bearing2D::from_peak(tag.disk.center.xy(), &peak)),
+                                None => Err(ServerError::EmptySpectrum { epc: tag.epc }),
+                            }
+                        }
+                    }
+                }
+            }
+            Ok(()) => pipeline::bearing_2d(&self.engine, tag, &self.config, &stream.buf),
+        };
         stream.cached_2d = Some(result.clone());
         let gated = matches!(result, Err(ServerError::QualityGated { .. }));
         self.note_bearing(tag.epc, FixKind::Fix2D, t0, gated);
@@ -492,9 +612,62 @@ impl ReaderSession {
             return cached;
         }
         let t0 = self.obs.clock_start();
-        let result = pipeline::check_buffer(tag, &stream.buf)
+        let result = match pipeline::check_buffer(tag, &stream.buf)
             .and_then(|()| pipeline::gate(tag, &self.config, &stream.buf))
-            .and_then(|()| pipeline::bearing_3d(&self.engine, tag, &self.config, &stream.buf));
+        {
+            Err(e) => Err(e),
+            Ok(()) if engage(&self.config, &mut stream.incr_3d, GridKind::ThreeD) => {
+                match pipeline::checked_calibrated(tag, &stream.buf, &self.config) {
+                    Err(e) => Err(e),
+                    Ok(set) => {
+                        let (outcome, fallback) = sync_incremental(
+                            &mut stream.incr_3d,
+                            GridKind::ThreeD,
+                            tag,
+                            &self.config,
+                            &set,
+                            stream.evicted,
+                            stream.ingested,
+                        );
+                        self.incremental.applied += outcome.applied;
+                        self.incremental.downdated += outcome.downdated;
+                        if outcome.reanchored {
+                            self.incremental.reanchors += 1;
+                        }
+                        if fallback {
+                            self.incremental.fallbacks += 1;
+                        }
+                        let epc = tag.epc;
+                        self.obs.emit_batch(|| {
+                            vec![Event::IncrementalSync {
+                                epc,
+                                kind: FixKind::Fix3D,
+                                applied: outcome.applied,
+                                downdated: outcome.downdated,
+                                reanchored: outcome.reanchored,
+                                fallback,
+                            }]
+                        });
+                        if fallback {
+                            pipeline::bearing_3d(&self.engine, tag, &self.config, &stream.buf)
+                        } else {
+                            match stream
+                                .incr_3d
+                                .state
+                                .as_ref()
+                                .and_then(|s| s.peak_3d(&self.config.engine))
+                            {
+                                Some((dir, power)) => {
+                                    Ok(Bearing3D::from_peak(tag.disk.center, dir, power))
+                                }
+                                None => Err(ServerError::EmptySpectrum { epc: tag.epc }),
+                            }
+                        }
+                    }
+                }
+            }
+            Ok(()) => pipeline::bearing_3d(&self.engine, tag, &self.config, &stream.buf),
+        };
         stream.cached_3d = Some(result.clone());
         let gated = matches!(result, Err(ServerError::QualityGated { .. }));
         self.note_bearing(tag.epc, FixKind::Fix3D, t0, gated);
@@ -519,9 +692,62 @@ impl ReaderSession {
             return cached;
         }
         let t0 = self.obs.clock_start();
-        let result = pipeline::check_buffer(tag, &stream.buf)
+        let result = match pipeline::check_buffer(tag, &stream.buf)
             .and_then(|()| pipeline::gate(tag, &self.config, &stream.buf))
-            .and_then(|()| pipeline::bearing_aided(&self.engine, tag, &self.config, &stream.buf));
+        {
+            Err(e) => Err(e),
+            Ok(()) if engage(&self.config, &mut stream.incr_aided, GridKind::Aided) => {
+                match pipeline::checked_calibrated(tag, &stream.buf, &self.config) {
+                    Err(e) => Err(e),
+                    Ok(set) => {
+                        let (outcome, fallback) = sync_incremental(
+                            &mut stream.incr_aided,
+                            GridKind::Aided,
+                            tag,
+                            &self.config,
+                            &set,
+                            stream.evicted,
+                            stream.ingested,
+                        );
+                        self.incremental.applied += outcome.applied;
+                        self.incremental.downdated += outcome.downdated;
+                        if outcome.reanchored {
+                            self.incremental.reanchors += 1;
+                        }
+                        if fallback {
+                            self.incremental.fallbacks += 1;
+                        }
+                        let epc = tag.epc;
+                        self.obs.emit_batch(|| {
+                            vec![Event::IncrementalSync {
+                                epc,
+                                kind: FixKind::Fix3DAided,
+                                applied: outcome.applied,
+                                downdated: outcome.downdated,
+                                reanchored: outcome.reanchored,
+                                fallback,
+                            }]
+                        });
+                        if fallback {
+                            pipeline::bearing_aided(&self.engine, tag, &self.config, &stream.buf)
+                        } else {
+                            match stream
+                                .incr_aided
+                                .state
+                                .as_ref()
+                                .and_then(|s| s.peak_3d(&self.config.engine))
+                            {
+                                Some((dir, power)) => {
+                                    Ok(AmbiguousBearing::from_disk_peak(&tag.disk, dir, power))
+                                }
+                                None => Err(ServerError::EmptySpectrum { epc: tag.epc }),
+                            }
+                        }
+                    }
+                }
+            }
+            Ok(()) => pipeline::bearing_aided(&self.engine, tag, &self.config, &stream.buf),
+        };
         stream.cached_aided = Some(result.clone());
         let gated = matches!(result, Err(ServerError::QualityGated { .. }));
         self.note_bearing(tag.epc, FixKind::Fix3DAided, t0, gated);
@@ -713,6 +939,7 @@ impl ReaderSession {
             gate_withheld: self.gate_withheld,
             fixes: self.fixes,
             skips: self.skips,
+            incremental: self.incremental,
             stage: StageTimes {
                 ingest_ns: self.ingest_ns,
                 coarse_ns,

@@ -49,6 +49,25 @@ impl SkipCounts {
     }
 }
 
+/// Counters for the incremental-accumulator fix path.
+///
+/// All four stay zero until a stream's second fresh recompute engages the
+/// incremental state (see
+/// [`crate::spectrum::incremental::IncrementalPolicy`]); they tick even
+/// when no observer is attached, mirroring the other session counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct IncrementalCounts {
+    /// Snapshot columns applied (rank-1 updates) to accumulators.
+    pub applied: u64,
+    /// Snapshot columns downdated (evicted) from accumulators.
+    pub downdated: u64,
+    /// Syncs that re-anchored with a full recompute.
+    pub reanchors: u64,
+    /// Syncs that fell back to the reference path because non-finite
+    /// columns were resident in the window.
+    pub fallbacks: u64,
+}
+
 /// Cumulative wall-clock nanoseconds per pipeline stage.
 ///
 /// All five stay **zero unless an enabled observer is attached**: the
@@ -112,6 +131,9 @@ pub struct SessionStats {
     /// Cumulative per-stage wall-clock time (zeros unless an enabled
     /// observer is attached).
     pub stage: StageTimes,
+    /// Incremental-accumulator sync counters (zeros until the incremental
+    /// path engages).
+    pub incremental: IncrementalCounts,
 }
 
 /// Per-tag stream counters and staleness.

@@ -22,6 +22,7 @@
 //! at `±γ` (the paper's z-ambiguity).
 
 pub mod engine;
+pub mod incremental;
 
 use crate::snapshot::SnapshotSet;
 use crate::spinning::DiskConfig;

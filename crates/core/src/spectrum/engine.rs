@@ -787,7 +787,10 @@ impl SpectrumEngine {
         }
     }
 
-    fn exhaustive_peak_2d(
+    /// Peak of the reference full-grid 2D path (also reused by
+    /// [`super::incremental`], whose reductions stand in for the free
+    /// functions): single-profile peaks directly, hybrid detect + refine.
+    pub(crate) fn exhaustive_peak_2d(
         spectrum_of: impl Fn(ProfileKind) -> Spectrum2D,
         kind: ProfileKind,
         ecfg: &SpectrumEngineConfig,
@@ -926,7 +929,8 @@ impl SpectrumEngine {
         self.fast_peak_3d(&p, &ap, TableKey::for_disk(disk, cfg), kind, cfg, ecfg)
     }
 
-    fn exhaustive_peak_3d(
+    /// 3D counterpart of [`SpectrumEngine::exhaustive_peak_2d`].
+    pub(crate) fn exhaustive_peak_3d(
         spectrum_of: impl Fn(ProfileKind) -> Spectrum3D,
         kind: ProfileKind,
         ecfg: &SpectrumEngineConfig,

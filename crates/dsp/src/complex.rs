@@ -6,7 +6,7 @@
 
 use std::fmt;
 use std::iter::Sum;
-use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub};
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
 
 /// A complex number `re + j·im` over `f64`.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -114,6 +114,13 @@ impl Sub for Complex {
     #[inline]
     fn sub(self, rhs: Complex) -> Complex {
         Complex::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl SubAssign for Complex {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Complex) {
+        *self = *self - rhs;
     }
 }
 

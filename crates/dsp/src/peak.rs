@@ -105,15 +105,17 @@ pub fn refine_circular(values: &[f64], period: f64) -> Option<PeakEstimate> {
     let y0 = values[i];
     let yp = values[(i + 1) % n];
     // A non-finite neighbor (e.g. the −∞ mask of a constrained window)
-    // would poison the parabola: keep the grid point unrefined.
+    // would poison the parabola: keep the grid point unrefined. The height
+    // must stay `y0` too — `-∞ · 0` in the vertex expression is NaN, which
+    // downstream weight clamps would silently turn into a dropped bearing.
     let denom = ym - 2.0 * y0 + yp;
-    let delta = if !ym.is_finite() || !yp.is_finite() || !denom.is_finite() || denom.abs() < 1e-300
-    {
-        0.0
-    } else {
-        (0.5 * (ym - yp) / denom).clamp(-0.5, 0.5)
-    };
-    let value = y0 - 0.25 * (ym - yp) * delta;
+    let (delta, value) =
+        if !ym.is_finite() || !yp.is_finite() || !denom.is_finite() || denom.abs() < 1e-300 {
+            (0.0, y0)
+        } else {
+            let d = (0.5 * (ym - yp) / denom).clamp(-0.5, 0.5);
+            (d, y0 - 0.25 * (ym - yp) * d)
+        };
     // lint:allow(lossy-cast) bin index is < sample count < 2^32, exact in f64
     let position = (i as f64 + delta) * step;
     Some(PeakEstimate {

@@ -32,8 +32,8 @@ fn workspace_root() -> PathBuf {
 }
 
 /// Run (or re-bless) the golden fixtures by driving the root package's
-/// `golden_traces` and `golden_metrics` integration tests with
-/// `GOLDEN_BLESS` set.
+/// `golden_traces`, `golden_metrics` and `golden_incremental` integration
+/// tests with `GOLDEN_BLESS` set.
 fn golden(mut args: impl Iterator<Item = String>) -> ExitCode {
     let mut bless = false;
     for arg in args.by_ref() {
@@ -54,6 +54,8 @@ fn golden(mut args: impl Iterator<Item = String>) -> ExitCode {
         "golden_traces",
         "--test",
         "golden_metrics",
+        "--test",
+        "golden_incremental",
     ])
     .current_dir(workspace_root())
     .env("GOLDEN_BLESS", if bless { "1" } else { "0" });

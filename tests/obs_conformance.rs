@@ -88,6 +88,7 @@ struct EventTotals {
     stage: StageTimes,
     cache_lookups: u64,
     peak_searches: u64,
+    incremental: IncrementalCounts,
 }
 
 fn fold(events: &[Event]) -> EventTotals {
@@ -118,6 +119,18 @@ fn fold(events: &[Event]) -> EventTotals {
             },
             Event::CacheLookup { .. } => t.cache_lookups += 1,
             Event::PeakSearch { .. } => t.peak_searches += 1,
+            Event::IncrementalSync {
+                applied,
+                downdated,
+                reanchored,
+                fallback,
+                ..
+            } => {
+                t.incremental.applied += applied;
+                t.incremental.downdated += downdated;
+                t.incremental.reanchors += u64::from(*reanchored);
+                t.incremental.fallbacks += u64::from(*fallback);
+            }
         }
     }
     t
@@ -180,6 +193,7 @@ proptest! {
         prop_assert_eq!(totals.fixes, rec_stats.fixes);
         prop_assert_eq!(totals.skipped, rec_stats.skips.total());
         prop_assert_eq!(totals.stage, rec_stats.stage);
+        prop_assert_eq!(totals.incremental, rec_stats.incremental);
         // Conservation: every buffered report is still buffered or evicted.
         prop_assert_eq!(rec_stats.ingested,
             rec_stats.buffered as u64 + rec_stats.evicted);
@@ -236,7 +250,80 @@ proptest! {
         prop_assert_eq!(counter("engine.cache.hit") + counter("engine.cache.miss"),
             totals.cache_lookups);
         prop_assert_eq!(counter("engine.peak_searches"), totals.peak_searches);
+        prop_assert_eq!(counter("session.incremental.applied"), totals.incremental.applied);
+        prop_assert_eq!(counter("session.incremental.downdated"),
+            totals.incremental.downdated);
+        prop_assert_eq!(counter("session.incremental.reanchors"),
+            totals.incremental.reanchors);
+        prop_assert_eq!(counter("session.incremental.fallbacks"),
+            totals.incremental.fallbacks);
     }
+}
+
+/// The incremental accumulator path is visible and reconciled: once a
+/// stream passes the engage threshold, every fresh fix emits exactly one
+/// `IncrementalSync` event per tag whose deltas match the session counters
+/// AND the metrics registry — proving the batched counter path (one
+/// `on_batch` per sync instead of one atomic add per accumulator update)
+/// loses nothing.
+#[test]
+fn incremental_sync_events_reconcile_with_stats_and_metrics() {
+    let reports = FaultPlan::at_rate(0.0).apply(clean_log(), 0);
+    let mut srv = server();
+    let recorder = Arc::new(RecordingObserver::new());
+    let registry = Arc::new(MetricsRegistry::new());
+    srv.set_observer(Arc::new(FanoutObserver::new(vec![
+        Arc::clone(&recorder) as Arc<dyn Observer>,
+        Arc::new(MetricsObserver::new(Arc::clone(&registry))) as Arc<dyn Observer>,
+    ])));
+    let mut session = srv.session(WindowConfig::last_reports(256));
+
+    // Fix after every chunk: fix 1 serves the legacy path (engage
+    // threshold), fix 2 anchors the incremental state, later fixes apply
+    // deltas against the count window.
+    for chunk in reports.chunks(reports.len() / 4) {
+        for report in chunk {
+            session.ingest(report);
+        }
+        let _ = session.fix_2d();
+    }
+
+    let stats = session.stats();
+    assert!(
+        stats.incremental.reanchors >= 2,
+        "2D slots never anchored: {:?}",
+        stats.incremental
+    );
+    assert!(
+        stats.incremental.applied > 0,
+        "no accumulator updates applied"
+    );
+    assert_eq!(
+        stats.incremental.fallbacks, 0,
+        "clean stream must not fall back"
+    );
+
+    let totals = fold(&recorder.take());
+    assert_eq!(totals.incremental, stats.incremental);
+
+    let snap = registry.snapshot();
+    let counter = |name: &str| snap.counters.get(name).copied().unwrap_or(0);
+    assert_eq!(
+        counter("session.incremental.applied"),
+        stats.incremental.applied
+    );
+    assert_eq!(
+        counter("session.incremental.downdated"),
+        stats.incremental.downdated
+    );
+    assert_eq!(
+        counter("session.incremental.reanchors"),
+        stats.incremental.reanchors
+    );
+    assert_eq!(
+        counter("session.incremental.fallbacks"),
+        stats.incremental.fallbacks
+    );
 }
 
 /// The quality gate's withholdings are visible, not folded into other

@@ -26,6 +26,11 @@ fn pipeline_config() -> PipelineConfig {
             references: 8,
             ..SpectrumConfig::default()
         },
+        // These tests pin the legacy bit-equality contract. The incremental
+        // path serves a full-grid peak that may legitimately differ from the
+        // default coarse-to-fine search within one grid step, so it gets its
+        // own scoped tests below.
+        incremental: IncrementalPolicy::disabled(),
         ..PipelineConfig::default()
     }
 }
@@ -290,6 +295,78 @@ fn session_stats_reflect_the_stream() {
         assert!(t.age_s.expect("ages known") >= 0.0);
         assert!(t.dirty, "no fix queried yet");
     }
+}
+
+/// With the incremental accumulators engaged (the default policy), a
+/// session queried mid-stream converges to the same answer as the batch
+/// pipeline. The incremental full-grid peak may differ from the default
+/// coarse-to-fine search within one grid step, so the fix is pinned by
+/// position tolerance rather than bit-equality.
+#[test]
+fn incremental_session_tracks_batch_within_tolerance() {
+    let truth = Vec3::new(0.4, 1.8, 0.0);
+    let (mut server, log) = deploy(&two_disks(), truth, 42);
+    server.config.incremental = IncrementalPolicy::default();
+    let batch = server.locate_2d(&log).expect("batch fix");
+
+    let mut session = server.session(WindowConfig::unbounded());
+    for (i, report) in log.stream().enumerate() {
+        session.ingest(report);
+        if i % 97 == 0 {
+            let _ = session.fix_2d();
+        }
+    }
+    let streamed = session.fix_2d().expect("streaming fix");
+    assert!(
+        (streamed.position - batch.position).norm() < 0.1,
+        "incremental fix {:?} drifted from batch {:?}",
+        streamed.position,
+        batch.position
+    );
+    assert!((streamed.position - truth.xy()).norm() < 0.2);
+    let stats = session.stats();
+    assert!(
+        stats.incremental.applied > 0,
+        "incremental path never engaged: {:?}",
+        stats.incremental
+    );
+    assert_eq!(stats.incremental.fallbacks, 0);
+}
+
+/// Forcing a re-anchor on every sync (`reanchor_after_ops = 1`) under the
+/// exhaustive engine makes the incremental path bit-identical to batch:
+/// every refresh replays the reference fold order exactly, so even
+/// interleaved mid-stream fixes cannot introduce drift.
+#[test]
+fn incremental_reanchor_every_sync_is_bit_identical_to_batch() {
+    let (mut server, log) = deploy(&two_disks(), Vec3::new(-0.2, 1.6, 0.0), 23);
+    server.config.engine = SpectrumEngineConfig {
+        exhaustive: true,
+        ..SpectrumEngineConfig::default()
+    };
+    server.config.incremental = IncrementalPolicy {
+        reanchor_after_ops: 1,
+        engage_after_recomputes: 0,
+        ..IncrementalPolicy::default()
+    };
+    let batch_2d = server.locate_2d(&log).expect("batch 2d fix");
+    let batch_3d = server.locate_3d(&log).expect("batch 3d fix");
+
+    let mut session = server.session(WindowConfig::unbounded());
+    for (i, report) in log.stream().enumerate() {
+        session.ingest(report);
+        if i % 61 == 0 {
+            let _ = session.fix_2d();
+        }
+    }
+    assert_eq!(batch_2d, session.fix_2d().expect("streaming 2d fix"));
+    assert_eq!(batch_3d, session.fix_3d().expect("streaming 3d fix"));
+    let stats = session.stats();
+    assert!(stats.incremental.reanchors > 0);
+    assert_eq!(
+        stats.incremental.downdated, 0,
+        "anchors rebuild, never downdate"
+    );
 }
 
 proptest! {
