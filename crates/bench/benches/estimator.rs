@@ -1,0 +1,26 @@
+//! Estimator shootout runner: 2D accuracy and fix latency of the
+//! spectrum, ML, and hybrid backends across the fault matrix.
+//!
+//! Like the robustness bench this measures *accuracy* (plus per-arm fix
+//! latency), so there is no criterion loop — each rate point runs seeded
+//! trials over the same corrupted stream with only the estimator backend
+//! flipped, emitted as `BENCH_estimator.json` (schema
+//! `tagspin-bench-estimator/v1`). Set `TAGSPIN_BENCH_ESTIMATOR_JSON` to
+//! move the artifact, `TAGSPIN_BENCH_QUICK=1` to shrink per-rate trial
+//! counts (CI).
+
+use tagspin_bench::estimator_bench;
+
+fn main() {
+    let quick = std::env::var_os("TAGSPIN_BENCH_QUICK").is_some_and(|v| v == "1");
+    let results = estimator_bench::run(quick);
+    println!("estimator shootout (2D accuracy vs fault rate, spectrum/ml/hybrid):");
+    println!("{}", estimator_bench::report(&results));
+    let path = std::env::var_os("TAGSPIN_BENCH_ESTIMATOR_JSON")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| std::path::PathBuf::from("BENCH_estimator.json"));
+    match estimator_bench::write_json(&path, &results) {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+    }
+}

@@ -15,6 +15,8 @@
 //!                                     # sweep (default BENCH_robustness.json)
 //! reproduce --bench-obs [path]       # only the observability-overhead bench,
 //!                                    # JSON to path (default BENCH_obs.json)
+//! reproduce --bench-estimator [path] # only the estimator shootout sweep
+//!                                    # (default BENCH_estimator.json)
 //! reproduce --metrics-out <path>     # with --bench-obs: also export the
 //!                                    # metrics arm's registry as
 //!                                    # tagspin-metrics/v1 JSON
@@ -84,6 +86,24 @@ fn main() {
         println!("robustness (2D accuracy vs fault rate, quarantine on/off):");
         println!("{}", tagspin_bench::robustness_bench::report(&results));
         if let Err(e) = tagspin_bench::robustness_bench::write_json(&path, &results) {
+            eprintln!("error: could not write {}: {e}", path.display());
+            std::process::exit(1);
+        }
+        println!("wrote {}", path.display());
+        return;
+    }
+    if let Some(i) = args.iter().position(|a| a == "--bench-estimator") {
+        let path = args
+            .get(i + 1)
+            .filter(|a| !a.starts_with("--"))
+            .map_or_else(
+                || std::path::PathBuf::from("BENCH_estimator.json"),
+                std::path::PathBuf::from,
+            );
+        let results = tagspin_bench::estimator_bench::run(quick);
+        println!("estimator shootout (2D accuracy vs fault rate, spectrum/ml/hybrid):");
+        println!("{}", tagspin_bench::estimator_bench::report(&results));
+        if let Err(e) = tagspin_bench::estimator_bench::write_json(&path, &results) {
             eprintln!("error: could not write {}: {e}", path.display());
             std::process::exit(1);
         }

@@ -65,6 +65,7 @@ pub fn bench_inventory(rotations: f64, seed: u64) -> (InventoryLog, DiskConfig) 
     (log, disk)
 }
 
+pub mod estimator_bench;
 pub mod ingest_bench;
 pub mod obs_bench;
 pub mod robustness_bench;

@@ -63,6 +63,7 @@
 
 pub mod calib;
 pub mod diagnostics;
+pub mod estimator;
 pub mod locate;
 pub mod obs;
 pub mod registry;
@@ -76,6 +77,10 @@ pub mod spinning;
 pub mod prelude {
     pub use crate::calib::orientation::OrientationCalibration;
     pub use crate::diagnostics::CaptureQuality;
+    pub use crate::estimator::{
+        ConfidenceError, Estimate2D, Estimate3D, EstimateAided, Estimator, EstimatorBackend,
+        EstimatorConfig, FixConfidence, MlConfig, MlReport, TagObservation,
+    };
     pub use crate::locate::plane::{Bearing2D, Fix2D};
     pub use crate::locate::space::{Bearing3D, Fix3D};
     pub use crate::obs::{

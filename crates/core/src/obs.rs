@@ -59,6 +59,9 @@ pub enum Stage {
     Recompute,
     /// One whole multi-tag fix attempt.
     Fix,
+    /// One estimator-backend position refinement (the ml/hybrid damped
+    /// Gauss–Newton search) inside a fix attempt.
+    Refine,
 }
 
 impl Stage {
@@ -70,6 +73,7 @@ impl Stage {
             Stage::Fine => "fine",
             Stage::Recompute => "recompute",
             Stage::Fix => "fix",
+            Stage::Refine => "refine",
         }
     }
 }
@@ -202,6 +206,23 @@ pub enum Event {
         skipped: usize,
         /// Whether the fix succeeded.
         ok: bool,
+    },
+    /// One estimator dispatch served a fix (emitted alongside the
+    /// [`Event::FixAttempt`] of every successful fix, tagged with the
+    /// backend that produced it).
+    EstimatorFix {
+        /// Which fix family.
+        kind: FixKind,
+        /// The backend that served the fix.
+        backend: crate::estimator::EstimatorBackend,
+        /// Gauss–Newton iterations spent (0 on the spectrum backend).
+        iterations: u32,
+        /// Whether the ML refinement converged (false on spectrum).
+        converged: bool,
+        /// Whether the served position is the refined one (spectrum fixes
+        /// are trivially "accepted"; an ml/hybrid fix that fell back to
+        /// its spectrum seed is not).
+        accepted: bool,
     },
 }
 

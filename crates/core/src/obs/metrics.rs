@@ -379,6 +379,9 @@ const NS_BOUNDS: [f64; 6] = [1e3, 1e4, 1e5, 1e6, 1e7, 1e8];
 /// Bounds for the peak-to-sidelobe detection margin (profile power units).
 const MARGIN_BOUNDS: [f64; 6] = [0.5, 1.0, 2.0, 5.0, 10.0, 20.0];
 
+/// Bounds for Gauss–Newton iteration counts per ML refinement.
+const ITERATION_BOUNDS: [f64; 6] = [1.0, 2.0, 4.0, 8.0, 16.0, 32.0];
+
 /// An observer that folds every [`Event`] into a shared
 /// [`MetricsRegistry`], one metric per decision point (the name inventory
 /// is [`super::names`], documented in `docs/OBSERVABILITY.md`). All
@@ -417,7 +420,13 @@ pub struct MetricsObserver {
     fix_attempts: Counter,
     fix_ok: Counter,
     fix_skipped: Counter,
-    stage_ns: [(Stage, Histogram); 5],
+    est_spectrum: Counter,
+    est_ml: Counter,
+    est_hybrid: Counter,
+    est_converged: Counter,
+    est_rejected: Counter,
+    est_iterations: Histogram,
+    stage_ns: [(Stage, Histogram); 6],
 }
 
 /// Per-batch counter deltas for [`MetricsObserver::on_batch`], folded in
@@ -449,6 +458,11 @@ struct Tally {
     fix_attempts: u64,
     fix_ok: u64,
     fix_skipped: u64,
+    est_spectrum: u64,
+    est_ml: u64,
+    est_hybrid: u64,
+    est_converged: u64,
+    est_rejected: u64,
 }
 
 impl MetricsObserver {
@@ -483,12 +497,19 @@ impl MetricsObserver {
             fix_attempts: r.counter(names::FIX_ATTEMPTS),
             fix_ok: r.counter(names::FIX_OK),
             fix_skipped: r.counter(names::FIX_SKIPPED_TAGS),
+            est_spectrum: r.counter(names::ESTIMATOR_FIX_SPECTRUM),
+            est_ml: r.counter(names::ESTIMATOR_FIX_ML),
+            est_hybrid: r.counter(names::ESTIMATOR_FIX_HYBRID),
+            est_converged: r.counter(names::ESTIMATOR_ML_CONVERGED),
+            est_rejected: r.counter(names::ESTIMATOR_ML_REJECTED),
+            est_iterations: r.histogram(names::ESTIMATOR_ML_ITERATIONS, &ITERATION_BOUNDS),
             stage_ns: [
                 (Stage::Ingest, stage_hist(Stage::Ingest)),
                 (Stage::Coarse, stage_hist(Stage::Coarse)),
                 (Stage::Fine, stage_hist(Stage::Fine)),
                 (Stage::Recompute, stage_hist(Stage::Recompute)),
                 (Stage::Fix, stage_hist(Stage::Fix)),
+                (Stage::Refine, stage_hist(Stage::Refine)),
             ],
             registry,
         }
@@ -583,6 +604,29 @@ impl MetricsObserver {
                 }
                 t.fix_skipped += skipped as u64;
             }
+            Event::EstimatorFix {
+                backend,
+                iterations,
+                converged,
+                accepted,
+                ..
+            } => {
+                use crate::estimator::EstimatorBackend;
+                match backend {
+                    EstimatorBackend::Spectrum => t.est_spectrum += 1,
+                    EstimatorBackend::Ml => t.est_ml += 1,
+                    EstimatorBackend::Hybrid => t.est_hybrid += 1,
+                }
+                if backend != EstimatorBackend::Spectrum {
+                    if converged {
+                        t.est_converged += 1;
+                    }
+                    if !accepted {
+                        t.est_rejected += 1;
+                    }
+                    self.est_iterations.record(f64::from(iterations));
+                }
+            }
         }
     }
 
@@ -613,6 +657,11 @@ impl MetricsObserver {
             (&self.fix_attempts, t.fix_attempts),
             (&self.fix_ok, t.fix_ok),
             (&self.fix_skipped, t.fix_skipped),
+            (&self.est_spectrum, t.est_spectrum),
+            (&self.est_ml, t.est_ml),
+            (&self.est_hybrid, t.est_hybrid),
+            (&self.est_converged, t.est_converged),
+            (&self.est_rejected, t.est_rejected),
         ];
         for (counter, delta) in adds {
             if delta > 0 {
@@ -761,6 +810,13 @@ mod tests {
                 skipped: 1,
                 ok: true,
             },
+            Event::EstimatorFix {
+                kind: FixKind::Fix2D,
+                backend: crate::estimator::EstimatorBackend::Ml,
+                iterations: 6,
+                converged: true,
+                accepted: false,
+            },
         ]
     }
 
@@ -789,6 +845,11 @@ mod tests {
         assert_eq!(snap.counters["fix.attempts"], 1);
         assert_eq!(snap.counters["fix.ok"], 1);
         assert_eq!(snap.counters["fix.skipped_tags"], 1);
+        assert_eq!(snap.counters["estimator.fix.ml"], 1);
+        assert_eq!(snap.counters["estimator.fix.spectrum"], 0);
+        assert_eq!(snap.counters["estimator.ml.converged"], 1);
+        assert_eq!(snap.counters["estimator.ml.rejected"], 1);
+        assert_eq!(snap.histograms["estimator.ml.iterations"].count, 1);
         assert_eq!(snap.histograms["engine.peak_margin"].count, 1);
         assert_eq!(snap.histograms["stage.coarse_ns"].count, 1);
         assert!((snap.gauges["ingest.last_buffered"] - 10.0).abs() < 1e-12);

@@ -65,6 +65,18 @@ pub const FIX_ATTEMPTS: &str = "fix.attempts";
 pub const FIX_OK: &str = "fix.ok";
 /// Tags skipped inside fix attempts for degenerate input.
 pub const FIX_SKIPPED_TAGS: &str = "fix.skipped_tags";
+/// Fixes served by the spectrum estimator backend.
+pub const ESTIMATOR_FIX_SPECTRUM: &str = "estimator.fix.spectrum";
+/// Fixes served by the maximum-likelihood estimator backend.
+pub const ESTIMATOR_FIX_ML: &str = "estimator.fix.ml";
+/// Fixes served by the hybrid estimator backend.
+pub const ESTIMATOR_FIX_HYBRID: &str = "estimator.fix.hybrid";
+/// ML refinements that converged below the step tolerance.
+pub const ESTIMATOR_ML_CONVERGED: &str = "estimator.ml.converged";
+/// ML refinements rejected back to their spectrum seed.
+pub const ESTIMATOR_ML_REJECTED: &str = "estimator.ml.rejected";
+/// Gauss–Newton iterations per ML refinement (histogram).
+pub const ESTIMATOR_ML_ITERATIONS: &str = "estimator.ml.iterations";
 /// Ingest stage wall-clock (histogram, nanoseconds).
 pub const STAGE_INGEST_NS: &str = "stage.ingest_ns";
 /// Coarse-pass wall-clock (histogram, nanoseconds).
@@ -75,6 +87,8 @@ pub const STAGE_FINE_NS: &str = "stage.fine_ns";
 pub const STAGE_RECOMPUTE_NS: &str = "stage.recompute_ns";
 /// Whole fix-attempt wall-clock (histogram, nanoseconds).
 pub const STAGE_FIX_NS: &str = "stage.fix_ns";
+/// Estimator-refinement wall-clock (histogram, nanoseconds).
+pub const STAGE_REFINE_NS: &str = "stage.refine_ns";
 
 /// The stage-timer histogram name for `stage`.
 pub fn stage_ns_name(stage: Stage) -> &'static str {
@@ -84,6 +98,7 @@ pub fn stage_ns_name(stage: Stage) -> &'static str {
         Stage::Fine => STAGE_FINE_NS,
         Stage::Recompute => STAGE_RECOMPUTE_NS,
         Stage::Fix => STAGE_FIX_NS,
+        Stage::Refine => STAGE_REFINE_NS,
     }
 }
 
@@ -99,6 +114,7 @@ mod tests {
             Stage::Fine,
             Stage::Recompute,
             Stage::Fix,
+            Stage::Refine,
         ] {
             assert_eq!(
                 stage_ns_name(stage),

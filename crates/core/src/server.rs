@@ -23,6 +23,7 @@
 //! antennas at once.
 
 use crate::calib::orientation::OrientationCalibration;
+use crate::estimator::{Estimate2D, Estimate3D, EstimateAided, EstimatorConfig};
 use crate::locate::aided::ResolvedFix;
 use crate::locate::plane::{Bearing2D, Fix2D};
 use crate::locate::space::{Bearing3D, Fix3D};
@@ -71,6 +72,10 @@ pub struct PipelineConfig {
     /// window. One-shot batch paths (`locate_*`) never re-fix a stream, so
     /// they stay on the reference path bit-for-bit.
     pub incremental: IncrementalPolicy,
+    /// Which fix estimator backend resolves multi-tag fixes (and the ML
+    /// refinement knobs). The default spectrum backend keeps the fix path
+    /// bit-identical to the historical pipeline.
+    pub estimator: EstimatorConfig,
 }
 
 impl Default for PipelineConfig {
@@ -84,6 +89,7 @@ impl Default for PipelineConfig {
             ingest: IngestPolicy::default(),
             quality_gate: QualityGate::default(),
             incremental: IncrementalPolicy::default(),
+            estimator: EstimatorConfig::default(),
         }
     }
 }
@@ -376,6 +382,47 @@ impl LocalizationServer {
         let mut session = self.session(WindowConfig::unbounded());
         session.ingest_log(log);
         session.fix_3d_aided()
+    }
+
+    /// End-to-end 2D localization through the configured estimator
+    /// backend, returning the fix together with its typed
+    /// [`crate::estimator::FixConfidence`] and backend provenance. With the
+    /// default spectrum backend the served fix equals
+    /// [`LocalizationServer::locate_2d`] bit-for-bit.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`LocalizationServer::locate_2d`].
+    pub fn locate_2d_estimate(&self, log: &InventoryLog) -> Result<Estimate2D, ServerError> {
+        let mut session = self.session(WindowConfig::unbounded());
+        session.ingest_log(log);
+        session.fix_2d_estimate()
+    }
+
+    /// End-to-end 3D localization through the configured estimator backend.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`LocalizationServer::locate_3d`].
+    pub fn locate_3d_estimate(&self, log: &InventoryLog) -> Result<Estimate3D, ServerError> {
+        let mut session = self.session(WindowConfig::unbounded());
+        session.ingest_log(log);
+        session.fix_3d_estimate()
+    }
+
+    /// Ambiguity-resolving 3D localization through the configured
+    /// estimator backend.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`LocalizationServer::locate_3d_aided`].
+    pub fn locate_3d_aided_estimate(
+        &self,
+        log: &InventoryLog,
+    ) -> Result<EstimateAided, ServerError> {
+        let mut session = self.session(WindowConfig::unbounded());
+        session.ingest_log(log);
+        session.fix_3d_aided_estimate()
     }
 
     /// Localize every reader antenna present in the log simultaneously

@@ -32,9 +32,12 @@ pub mod stats;
 pub mod window;
 
 use crate::diagnostics::CaptureQuality;
-use crate::locate::aided::{locate_3d_resolved, AmbiguousBearing, ResolvedFix};
-use crate::locate::plane::{locate_2d, Bearing2D, Fix2D};
-use crate::locate::space::{locate_3d, Bearing3D, Fix3D};
+use crate::estimator::{
+    backend_impl, Estimate2D, Estimate3D, EstimateAided, EstimatorBackend, MlReport, TagObservation,
+};
+use crate::locate::aided::{AmbiguousBearing, ResolvedFix};
+use crate::locate::plane::{Bearing2D, Fix2D};
+use crate::locate::space::{Bearing3D, Fix3D};
 use crate::obs::{Event, FixKind, ObsHandle, Observer, Stage};
 use crate::registry::{RegisteredTag, TagRegistry};
 use crate::server::{PipelineConfig, ServerError};
@@ -90,6 +93,12 @@ struct TagStream {
     cached_2d: Option<Result<Bearing2D, ServerError>>,
     cached_3d: Option<Result<Bearing3D, ServerError>>,
     cached_aided: Option<Result<AmbiguousBearing, ServerError>>,
+    /// Backend-aware slot: the calibrated window view served to
+    /// phase-consuming estimator backends (ml/hybrid) and confidence
+    /// reporting. Dirty-tracked exactly like the bearing caches, so
+    /// repeated fixes on an unchanged window reuse one clone. Never
+    /// populated on the default spectrum fast path.
+    cached_obs: Option<TagObservation>,
     incr_2d: IncrSlot,
     incr_3d: IncrSlot,
     incr_aided: IncrSlot,
@@ -100,6 +109,7 @@ impl TagStream {
         self.cached_2d = None;
         self.cached_3d = None;
         self.cached_aided = None;
+        self.cached_obs = None;
     }
 
     /// Drop the incremental accumulator states (the tag's calibration
@@ -197,6 +207,7 @@ pub struct ReaderSession {
     ingest_ns: u64,
     recompute_ns: u64,
     fix_ns: u64,
+    refine_ns: u64,
 }
 
 impl ReaderSession {
@@ -234,6 +245,7 @@ impl ReaderSession {
             ingest_ns: 0,
             recompute_ns: 0,
             fix_ns: 0,
+            refine_ns: 0,
         }
     }
 
@@ -765,20 +777,50 @@ impl ReaderSession {
     /// [`ServerError::NotEnoughBearings`] / [`ServerError::Locate`], plus
     /// non-skippable per-tag errors (e.g. a bad disk config).
     pub fn fix_2d(&mut self) -> Result<Fix2D, ServerError> {
+        self.fix_2d_dispatch(false).map(|e| e.fix)
+    }
+
+    /// Like [`ReaderSession::fix_2d`], but returns the full
+    /// [`Estimate2D`]: the fix plus its typed
+    /// [`crate::estimator::FixConfidence`], backend provenance, and (on
+    /// the ml/hybrid backends) the refinement report. Unlike the plain
+    /// fix, this entry point always materializes the per-tag observations
+    /// confidence needs.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ReaderSession::fix_2d`].
+    pub fn fix_2d_estimate(&mut self) -> Result<Estimate2D, ServerError> {
+        self.fix_2d_dispatch(true)
+    }
+
+    fn fix_2d_dispatch(&mut self, want_confidence: bool) -> Result<Estimate2D, ServerError> {
         let t0 = self.obs.clock_start();
-        let (result, usable, skipped) = self.fix_2d_inner();
+        let (result, usable, skipped) = self.fix_2d_inner(want_confidence);
         self.note_fix(FixKind::Fix2D, t0, usable, skipped, result.is_ok());
         result
     }
 
-    fn fix_2d_inner(&mut self) -> (Result<Fix2D, ServerError>, usize, usize) {
+    fn fix_2d_inner(
+        &mut self,
+        want_confidence: bool,
+    ) -> (Result<Estimate2D, ServerError>, usize, usize) {
         self.evict_all();
         let registry = Arc::clone(&self.registry);
+        let want_obs = self.want_observations(want_confidence);
         let mut bearings = Vec::new();
+        let mut observations = Vec::new();
         let mut skipped = 0usize;
         for tag in registry.tags() {
             match self.bearing_2d_cached(tag) {
-                Ok(b) => bearings.push(b),
+                Ok(b) => {
+                    if want_obs {
+                        if let Some(obs) = self.observation_for(tag) {
+                            observations.push(obs);
+                        }
+                    }
+                    bearings.push(b);
+                }
                 Err(e) if pipeline::skippable(&e) => {
                     self.skips.record(&e);
                     skipped += 1;
@@ -794,11 +836,17 @@ impl ReaderSession {
                 skipped,
             );
         }
-        (
-            locate_2d(&bearings).map_err(ServerError::from),
-            usable,
-            skipped,
-        )
+        let backend = self.config.estimator.backend;
+        let t0 = self.refine_start();
+        let result = backend_impl(backend).estimate_2d(&bearings, &observations, &self.config);
+        self.note_estimate(
+            FixKind::Fix2D,
+            backend,
+            t0,
+            result.as_ref().ok().map(|e| e.ml).unwrap_or_default(),
+            result.is_ok(),
+        );
+        (result, usable, skipped)
     }
 
     /// Book-keep one completed fix attempt: the attempt counter always
@@ -834,20 +882,46 @@ impl ReaderSession {
     ///
     /// Same as [`ReaderSession::fix_2d`].
     pub fn fix_3d(&mut self) -> Result<Fix3D, ServerError> {
+        self.fix_3d_dispatch(false).map(|e| e.fix)
+    }
+
+    /// Like [`ReaderSession::fix_3d`], but returns the full [`Estimate3D`]
+    /// (fix + typed confidence + backend provenance).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ReaderSession::fix_2d`].
+    pub fn fix_3d_estimate(&mut self) -> Result<Estimate3D, ServerError> {
+        self.fix_3d_dispatch(true)
+    }
+
+    fn fix_3d_dispatch(&mut self, want_confidence: bool) -> Result<Estimate3D, ServerError> {
         let t0 = self.obs.clock_start();
-        let (result, usable, skipped) = self.fix_3d_inner();
+        let (result, usable, skipped) = self.fix_3d_inner(want_confidence);
         self.note_fix(FixKind::Fix3D, t0, usable, skipped, result.is_ok());
         result
     }
 
-    fn fix_3d_inner(&mut self) -> (Result<Fix3D, ServerError>, usize, usize) {
+    fn fix_3d_inner(
+        &mut self,
+        want_confidence: bool,
+    ) -> (Result<Estimate3D, ServerError>, usize, usize) {
         self.evict_all();
         let registry = Arc::clone(&self.registry);
+        let want_obs = self.want_observations(want_confidence);
         let mut bearings = Vec::new();
+        let mut observations = Vec::new();
         let mut skipped = 0usize;
         for tag in registry.tags() {
             match self.bearing_3d_cached(tag) {
-                Ok(b) => bearings.push(b),
+                Ok(b) => {
+                    if want_obs {
+                        if let Some(obs) = self.observation_for(tag) {
+                            observations.push(obs);
+                        }
+                    }
+                    bearings.push(b);
+                }
                 Err(e) if pipeline::skippable(&e) => {
                     self.skips.record(&e);
                     skipped += 1;
@@ -863,11 +937,17 @@ impl ReaderSession {
                 skipped,
             );
         }
-        (
-            locate_3d(&bearings).map_err(ServerError::from),
-            usable,
-            skipped,
-        )
+        let backend = self.config.estimator.backend;
+        let t0 = self.refine_start();
+        let result = backend_impl(backend).estimate_3d(&bearings, &observations, &self.config);
+        self.note_estimate(
+            FixKind::Fix3D,
+            backend,
+            t0,
+            result.as_ref().ok().map(|e| e.ml).unwrap_or_default(),
+            result.is_ok(),
+        );
+        (result, usable, skipped)
     }
 
     /// Ambiguity-resolving 3D fix using each disk's own orientation (the
@@ -878,20 +958,49 @@ impl ReaderSession {
     ///
     /// Same as [`ReaderSession::fix_2d`].
     pub fn fix_3d_aided(&mut self) -> Result<ResolvedFix, ServerError> {
+        self.fix_3d_aided_dispatch(false).map(|e| e.fix)
+    }
+
+    /// Like [`ReaderSession::fix_3d_aided`], but returns the full
+    /// [`EstimateAided`] (fix + typed confidence + backend provenance).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ReaderSession::fix_2d`].
+    pub fn fix_3d_aided_estimate(&mut self) -> Result<EstimateAided, ServerError> {
+        self.fix_3d_aided_dispatch(true)
+    }
+
+    fn fix_3d_aided_dispatch(
+        &mut self,
+        want_confidence: bool,
+    ) -> Result<EstimateAided, ServerError> {
         let t0 = self.obs.clock_start();
-        let (result, usable, skipped) = self.fix_3d_aided_inner();
+        let (result, usable, skipped) = self.fix_3d_aided_inner(want_confidence);
         self.note_fix(FixKind::Fix3DAided, t0, usable, skipped, result.is_ok());
         result
     }
 
-    fn fix_3d_aided_inner(&mut self) -> (Result<ResolvedFix, ServerError>, usize, usize) {
+    fn fix_3d_aided_inner(
+        &mut self,
+        want_confidence: bool,
+    ) -> (Result<EstimateAided, ServerError>, usize, usize) {
         self.evict_all();
         let registry = Arc::clone(&self.registry);
+        let want_obs = self.want_observations(want_confidence);
         let mut bearings = Vec::new();
+        let mut observations = Vec::new();
         let mut skipped = 0usize;
         for tag in registry.tags() {
             match self.bearing_aided_cached(tag) {
-                Ok(b) => bearings.push(b),
+                Ok(b) => {
+                    if want_obs {
+                        if let Some(obs) = self.observation_for(tag) {
+                            observations.push(obs);
+                        }
+                    }
+                    bearings.push(b);
+                }
                 Err(e) if pipeline::skippable(&e) => {
                     self.skips.record(&e);
                     skipped += 1;
@@ -907,11 +1016,88 @@ impl ReaderSession {
                 skipped,
             );
         }
-        (
-            locate_3d_resolved(&bearings).map_err(ServerError::from),
-            usable,
-            skipped,
-        )
+        let backend = self.config.estimator.backend;
+        let t0 = self.refine_start();
+        let result =
+            backend_impl(backend).estimate_3d_aided(&bearings, &observations, &self.config);
+        self.note_estimate(
+            FixKind::Fix3DAided,
+            backend,
+            t0,
+            result.as_ref().ok().map(|e| e.ml).unwrap_or_default(),
+            result.is_ok(),
+        );
+        (result, usable, skipped)
+    }
+
+    /// Whether this fix must materialize per-tag snapshot observations:
+    /// always for phase-consuming backends, and on the `*_estimate` entry
+    /// points for confidence. The default spectrum fast path
+    /// ([`ReaderSession::fix_2d`] with `EstimatorConfig::default()`) never
+    /// does, keeping it allocation- and cost-identical to the historical
+    /// pipeline.
+    fn want_observations(&self, want_confidence: bool) -> bool {
+        want_confidence || self.config.estimator.backend != EstimatorBackend::Spectrum
+    }
+
+    /// The calibrated window view of one tag, through the stream's
+    /// backend-aware cache slot (invalidated whenever the bearing caches
+    /// are).
+    fn observation_for(&mut self, tag: &RegisteredTag) -> Option<TagObservation> {
+        let stream = self.streams.get_mut(&tag.epc)?;
+        if let Some(obs) = &stream.cached_obs {
+            if obs.epc == tag.epc {
+                return Some(obs.clone());
+            }
+        }
+        let set = pipeline::checked_calibrated(tag, &stream.buf, &self.config).ok()?;
+        let obs = TagObservation {
+            epc: tag.epc,
+            disk: tag.disk,
+            set: set.into_owned(),
+        };
+        stream.cached_obs = Some(obs.clone());
+        Some(obs)
+    }
+
+    /// Start the refine-stage clock — only when a non-spectrum backend
+    /// will actually run a refinement, and an observer is attached.
+    fn refine_start(&self) -> Option<Instant> {
+        if self.config.estimator.backend == EstimatorBackend::Spectrum {
+            None
+        } else {
+            self.obs.clock_start()
+        }
+    }
+
+    /// Book-keep one estimator dispatch: refine-stage time (ml/hybrid with
+    /// an observer only) plus, for served fixes, the backend-tagged
+    /// [`Event::EstimatorFix`] record.
+    fn note_estimate(
+        &mut self,
+        kind: FixKind,
+        backend: EstimatorBackend,
+        t0: Option<Instant>,
+        ml: Option<MlReport>,
+        ok: bool,
+    ) {
+        if let Some(t0) = t0 {
+            let nanos = elapsed_ns(t0);
+            self.refine_ns += nanos;
+            self.obs.emit(|| Event::StageTime {
+                stage: Stage::Refine,
+                nanos,
+            });
+        }
+        if ok {
+            self.obs.emit(|| Event::EstimatorFix {
+                kind,
+                backend,
+                iterations: ml.map_or(0, |r| r.iterations),
+                converged: ml.is_some_and(|r| r.converged),
+                accepted: ml.map_or(backend == EstimatorBackend::Spectrum, |r| r.accepted),
+            });
+        }
     }
 
     /// Session-wide ingestion counters and freshness figures.
@@ -946,6 +1132,7 @@ impl ReaderSession {
                 fine_ns,
                 recompute_ns: self.recompute_ns,
                 fix_ns: self.fix_ns,
+                refine_ns: self.refine_ns,
             },
         }
     }
@@ -1156,10 +1343,7 @@ impl SessionManager {
     ///
     /// Same as [`ReaderSession::fix_2d`].
     pub fn fix_2d(&mut self, antenna_id: u8) -> Result<Fix2D, ServerError> {
-        match self.sessions.get_mut(&antenna_id) {
-            Some(s) => s.fix_2d(),
-            None => Err(ServerError::NotEnoughBearings { usable: 0 }),
-        }
+        self.with_session(antenna_id, ReaderSession::fix_2d)
     }
 
     /// 3D fix for one antenna.
@@ -1168,10 +1352,7 @@ impl SessionManager {
     ///
     /// Same as [`SessionManager::fix_2d`].
     pub fn fix_3d(&mut self, antenna_id: u8) -> Result<Fix3D, ServerError> {
-        match self.sessions.get_mut(&antenna_id) {
-            Some(s) => s.fix_3d(),
-            None => Err(ServerError::NotEnoughBearings { usable: 0 }),
-        }
+        self.with_session(antenna_id, ReaderSession::fix_3d)
     }
 
     /// Ambiguity-resolving 3D fix for one antenna.
@@ -1180,8 +1361,47 @@ impl SessionManager {
     ///
     /// Same as [`SessionManager::fix_2d`].
     pub fn fix_3d_aided(&mut self, antenna_id: u8) -> Result<ResolvedFix, ServerError> {
+        self.with_session(antenna_id, ReaderSession::fix_3d_aided)
+    }
+
+    /// 2D estimate (fix + confidence + backend provenance) for one
+    /// antenna.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`SessionManager::fix_2d`].
+    pub fn fix_2d_estimate(&mut self, antenna_id: u8) -> Result<Estimate2D, ServerError> {
+        self.with_session(antenna_id, ReaderSession::fix_2d_estimate)
+    }
+
+    /// 3D estimate for one antenna.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`SessionManager::fix_2d`].
+    pub fn fix_3d_estimate(&mut self, antenna_id: u8) -> Result<Estimate3D, ServerError> {
+        self.with_session(antenna_id, ReaderSession::fix_3d_estimate)
+    }
+
+    /// Ambiguity-resolving 3D estimate for one antenna.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`SessionManager::fix_2d`].
+    pub fn fix_3d_aided_estimate(&mut self, antenna_id: u8) -> Result<EstimateAided, ServerError> {
+        self.with_session(antenna_id, ReaderSession::fix_3d_aided_estimate)
+    }
+
+    /// The shared fix dispatch: route to the antenna's session, or report
+    /// zero usable bearings for an antenna that never produced one — the
+    /// same outcome as an empty log.
+    fn with_session<T>(
+        &mut self,
+        antenna_id: u8,
+        fix: impl FnOnce(&mut ReaderSession) -> Result<T, ServerError>,
+    ) -> Result<T, ServerError> {
         match self.sessions.get_mut(&antenna_id) {
-            Some(s) => s.fix_3d_aided(),
+            Some(s) => fix(s),
             None => Err(ServerError::NotEnoughBearings { usable: 0 }),
         }
     }

@@ -188,6 +188,40 @@ impl QualityGate {
         }
     }
 
+    /// The read-count floor: at least [`QualityGate::min_reads`] snapshots
+    /// inside the window.
+    pub fn has_enough_reads(&self, q: &crate::diagnostics::CaptureQuality) -> bool {
+        q.reads >= self.min_reads
+    }
+
+    /// The coverage floor: at least [`QualityGate::min_coverage`] of the
+    /// disk circle occupied.
+    ///
+    /// This is the tested promotion of the incremental spectrum's
+    /// sliver-window lobe-hop caveat (`docs/INCREMENTAL_SPECTRUM.md`): a
+    /// window covering only a sliver of the rotation has a shallow,
+    /// multi-lobed spectrum whose near-tied lobes can legitimately rank in
+    /// the opposite order between equivalent evaluation orders, hopping the
+    /// bearing by a lobe spacing. Such captures are gated out — skipped
+    /// per-tag — instead of being served as wild bearings.
+    pub fn covers_enough_disk(&self, q: &crate::diagnostics::CaptureQuality) -> bool {
+        q.coverage >= self.min_coverage
+    }
+
+    /// The gap bound: no angular hole between consecutive disk angles
+    /// wider than [`QualityGate::max_gap_rad`].
+    pub fn gap_is_tolerable(&self, q: &crate::diagnostics::CaptureQuality) -> bool {
+        q.max_gap <= self.max_gap_rad
+    }
+
+    /// The information bound: the worst-case CRLB bearing deviation of the
+    /// capture stays within [`QualityGate::max_crlb_rad`] (an infinite
+    /// bound disables the check).
+    pub fn crlb_is_bounded(&self, set: &SnapshotSet, radius: f64, sigma: f64) -> bool {
+        self.max_crlb_rad.is_infinite()
+            || crate::diagnostics::bearing_crlb_worst(set, radius, sigma) <= self.max_crlb_rad
+    }
+
     /// Whether a windowed capture passes the gate. A disabled gate passes
     /// everything; an empty capture passes too (the pipeline's own
     /// `NoReads` handling covers it with a more specific error).
@@ -198,14 +232,10 @@ impl QualityGate {
         let Some(q) = crate::diagnostics::CaptureQuality::of(set) else {
             return true;
         };
-        if q.reads < self.min_reads
-            || q.coverage < self.min_coverage
-            || q.max_gap > self.max_gap_rad
-        {
-            return false;
-        }
-        self.max_crlb_rad.is_infinite()
-            || crate::diagnostics::bearing_crlb_worst(set, radius, sigma) <= self.max_crlb_rad
+        self.has_enough_reads(&q)
+            && self.covers_enough_disk(&q)
+            && self.gap_is_tolerable(&q)
+            && self.crlb_is_bounded(set, radius, sigma)
     }
 }
 
@@ -285,6 +315,60 @@ mod tests {
         assert!(!gate.passes(&half, 0.1, 0.1));
         // Empty set is left to the NoReads path.
         assert!(gate.passes(&SnapshotSet::default(), 0.1, 0.1));
+    }
+
+    /// A sliver window: many reads, but all inside `arc_rad` of the circle.
+    fn sliver_set(n: usize, arc_rad: f64) -> SnapshotSet {
+        SnapshotSet::from_snapshots(
+            (0..n)
+                .map(|i| Snapshot {
+                    t_s: i as f64 * 0.01,
+                    phase: 0.0,
+                    disk_angle: i as f64 * arc_rad / n as f64,
+                    lambda: 0.325,
+                    rssi_dbm: -60.0,
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn coverage_floor_gates_sliver_windows() {
+        // The lobe-hop regime from docs/INCREMENTAL_SPECTRUM.md: a dense
+        // sliver has plenty of reads but a shallow multi-lobed spectrum.
+        // The coverage floor — not the read floor — must be what fails it.
+        let gate = QualityGate::paper_default();
+        let sliver = sliver_set(120, 0.3);
+        let q = crate::diagnostics::CaptureQuality::of(&sliver).expect("non-empty");
+        assert!(gate.has_enough_reads(&q));
+        assert!(!gate.covers_enough_disk(&q));
+        assert!(!gate.passes(&sliver, 0.1, 0.1));
+        // Widen the sliver past the floor and the capture is served again
+        // (the gap bound also clears once the arc exceeds the wrap gap).
+        let wide = sliver_set(360, TAU * 0.95);
+        let q = crate::diagnostics::CaptureQuality::of(&wide).expect("non-empty");
+        assert!(gate.covers_enough_disk(&q));
+        assert!(gate.passes(&wide, 0.1, 0.1));
+    }
+
+    #[test]
+    fn per_check_methods_compose_to_passes() {
+        // `passes` must be exactly the conjunction of the named checks on
+        // every regime the individual tests exercise.
+        let gate = QualityGate::paper_default();
+        for set in [
+            uniform_set(360),
+            uniform_set(10),
+            sliver_set(120, 0.3),
+            sliver_set(360, TAU * 0.95),
+        ] {
+            let q = crate::diagnostics::CaptureQuality::of(&set).expect("non-empty");
+            let conjunction = gate.has_enough_reads(&q)
+                && gate.covers_enough_disk(&q)
+                && gate.gap_is_tolerable(&q)
+                && gate.crlb_is_bounded(&set, 0.1, 0.1);
+            assert_eq!(gate.passes(&set, 0.1, 0.1), conjunction);
+        }
     }
 
     #[test]

@@ -90,6 +90,9 @@ pub struct StageTimes {
     pub recompute_ns: u64,
     /// Whole multi-tag fix attempts (includes their recomputes).
     pub fix_ns: u64,
+    /// Estimator-backend position refinements (the ml/hybrid damped
+    /// Gauss–Newton search; zero on the default spectrum backend).
+    pub refine_ns: u64,
 }
 
 /// Session-wide ingestion counters and freshness figures.

@@ -18,6 +18,7 @@
 
 pub mod baseline_adapters;
 pub mod config;
+pub mod estimator_ab;
 pub mod experiments;
 pub mod fault;
 pub mod metrics;
@@ -26,6 +27,7 @@ pub mod sweep;
 pub mod trial;
 
 pub use config::Deployment;
+pub use estimator_ab::{run_trial_2d_estimators, EstimatorAbOutcome};
 pub use fault::{run_trial_2d_ab, FaultPlan};
 pub use metrics::{ErrorStats, TrialError};
 pub use scenario::Scenario;

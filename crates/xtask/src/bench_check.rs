@@ -5,7 +5,7 @@
 //! lower-is-better metric regresses past the configured tolerance
 //! (default 25%, sized for quick-mode jitter on shared CI runners).
 //!
-//! Four artifacts are checked, one per bench schema:
+//! Five artifacts are checked, one per bench schema:
 //!
 //! | artifact               | schema                        | gated metrics |
 //! |------------------------|-------------------------------|---------------|
@@ -13,6 +13,7 @@
 //! | `BENCH_ingest.json`    | `tagspin-bench-ingest/v1`     | `mean_ingest_ns`, `mean_fix_refresh_ns` |
 //! | `BENCH_robustness.json`| `tagspin-bench-robustness/v1` | `median_err_on_m` |
 //! | `BENCH_obs.json`       | `tagspin-bench-obs/v1`        | `mean_ingest_ns`, `min_fix_refresh_ns` |
+//! | `BENCH_estimator.json` | `tagspin-bench-estimator/v1`  | `median_err_spectrum_m`, `median_err_ml_m`, `median_err_hybrid_m` |
 //!
 //! The obs artifact measures the same streaming fixture under three
 //! observer arms (disabled `NullObserver`, `MetricsObserver`,
@@ -27,6 +28,13 @@
 //! hardened (quarantine-on) arm must not lose to the permissive arm on
 //! median 2D error. That is the paper-level claim the fault-injection
 //! subsystem exists to defend; a tolerance cannot excuse breaking it.
+//!
+//! The estimator artifact carries its own hard invariants, defending the
+//! claims the ML backend shipped under: on the clean canonical scenario
+//! (fault rate 0) the ML and hybrid arms must match or beat the spectrum
+//! arm's median 2D error within a small quick-median jitter slack, and at
+//! every fault rate of at least 10% they must degrade no worse than the
+//! hardened spectrum arm within a slightly wider slack.
 //!
 //! `--bless` copies the current artifacts over the baselines instead of
 //! comparing, after validating that each parses with the expected schema.
@@ -50,8 +58,8 @@ pub struct ArtifactSpec {
     pub metrics: &'static [&'static str],
 }
 
-/// The four gated artifacts.
-pub const ARTIFACTS: [ArtifactSpec; 4] = [
+/// The five gated artifacts.
+pub const ARTIFACTS: [ArtifactSpec; 5] = [
     ArtifactSpec {
         file: "BENCH_spectrum.json",
         schema: "tagspin-bench-spectrum/v1",
@@ -71,6 +79,15 @@ pub const ARTIFACTS: [ArtifactSpec; 4] = [
         file: "BENCH_obs.json",
         schema: "tagspin-bench-obs/v1",
         metrics: &["mean_ingest_ns", "min_fix_refresh_ns"],
+    },
+    ArtifactSpec {
+        file: "BENCH_estimator.json",
+        schema: "tagspin-bench-estimator/v1",
+        metrics: &[
+            "median_err_spectrum_m",
+            "median_err_ml_m",
+            "median_err_hybrid_m",
+        ],
     },
 ];
 
@@ -328,6 +345,56 @@ fn robustness_invariant(doc: &BenchDoc, problems: &mut Vec<String>) {
     }
 }
 
+/// Estimator invariant slack on the clean (fault rate 0) scenario:
+/// absorbs quick-mode median jitter while still meaning "matches".
+const ESTIMATOR_CLEAN_SLACK_M: f64 = 0.002;
+
+/// Estimator invariant slack at fault rates of at least
+/// [`INVARIANT_MIN_RATE`]: ML/hybrid must degrade no worse than the
+/// hardened spectrum arm within this margin.
+const ESTIMATOR_FAULT_SLACK_M: f64 = 0.005;
+
+fn estimator_invariant(doc: &BenchDoc, problems: &mut Vec<String>) {
+    for case in &doc.cases {
+        let (Some(rate), Some(spectrum), Some(ml), Some(hybrid)) = (
+            case.metric("fault_rate"),
+            case.metric("median_err_spectrum_m"),
+            case.metric("median_err_ml_m"),
+            case.metric("median_err_hybrid_m"),
+        ) else {
+            problems.push(format!(
+                "estimator case `{}` lacks fault_rate/median fields",
+                case.name
+            ));
+            continue;
+        };
+        let (slack, claim) = if rate <= 0.0 {
+            (
+                ESTIMATOR_CLEAN_SLACK_M,
+                "match or beat spectrum on the clean scenario",
+            )
+        } else if rate >= INVARIANT_MIN_RATE {
+            (
+                ESTIMATOR_FAULT_SLACK_M,
+                "degrade no worse than hardened spectrum",
+            )
+        } else {
+            continue;
+        };
+        for (arm, err) in [("ml", ml), ("hybrid", hybrid)] {
+            if err > spectrum + slack {
+                problems.push(format!(
+                    "estimator invariant broken at fault rate {:.0}%: {arm} median \
+                     {err:.4} m must {claim} ({spectrum:.4} m + {slack:.3} m slack, \
+                     case `{}`)",
+                    rate * 100.0,
+                    case.name
+                ));
+            }
+        }
+    }
+}
+
 /// Compare the current artifacts against the baselines.
 ///
 /// # Errors
@@ -376,6 +443,9 @@ pub fn check(opts: &CheckOptions) -> Result<CheckReport, BenchCheckError> {
         }
         if spec.schema == "tagspin-bench-robustness/v1" {
             robustness_invariant(&cur, &mut report.problems);
+        }
+        if spec.schema == "tagspin-bench-estimator/v1" {
+            estimator_invariant(&cur, &mut report.problems);
         }
     }
     Ok(report)
@@ -500,6 +570,52 @@ mod tests {
         robustness_invariant(&doc, &mut problems);
         assert_eq!(problems.len(), 1, "{problems:?}");
         assert!(problems[0].contains("rate_020"));
+    }
+
+    #[test]
+    fn estimator_invariant_flags_ml_losing_clean_row() {
+        let doc = parse_doc(
+            r#"{"schema": "tagspin-bench-estimator/v1", "cases": [
+                {"name": "rate_000", "fault_rate": 0.00, "median_err_spectrum_m": 0.006, "median_err_ml_m": 0.020, "median_err_hybrid_m": 0.007},
+                {"name": "rate_030", "fault_rate": 0.30, "median_err_spectrum_m": 0.021, "median_err_ml_m": 0.015, "median_err_hybrid_m": 0.050}
+            ]}"#,
+        )
+        .expect("parse");
+        let mut problems = Vec::new();
+        estimator_invariant(&doc, &mut problems);
+        // Clean-row ml loses by 14 mm; 30%-row hybrid degrades 29 mm worse.
+        assert_eq!(problems.len(), 2, "{problems:?}");
+        assert!(problems[0].contains("rate_000") && problems[0].contains("ml"));
+        assert!(problems[1].contains("rate_030") && problems[1].contains("hybrid"));
+    }
+
+    #[test]
+    fn estimator_invariant_allows_slack_and_skips_low_rates() {
+        let doc = parse_doc(
+            r#"{"schema": "tagspin-bench-estimator/v1", "cases": [
+                {"name": "rate_000", "fault_rate": 0.00, "median_err_spectrum_m": 0.006, "median_err_ml_m": 0.007, "median_err_hybrid_m": 0.007},
+                {"name": "rate_005", "fault_rate": 0.05, "median_err_spectrum_m": 0.014, "median_err_ml_m": 0.090, "median_err_hybrid_m": 0.090},
+                {"name": "rate_030", "fault_rate": 0.30, "median_err_spectrum_m": 0.021, "median_err_ml_m": 0.025, "median_err_hybrid_m": 0.025}
+            ]}"#,
+        )
+        .expect("parse");
+        let mut problems = Vec::new();
+        estimator_invariant(&doc, &mut problems);
+        assert!(problems.is_empty(), "{problems:?}");
+    }
+
+    #[test]
+    fn estimator_invariant_flags_missing_fields() {
+        let doc = parse_doc(
+            r#"{"schema": "tagspin-bench-estimator/v1", "cases": [
+                {"name": "rate_000", "fault_rate": 0.00, "median_err_spectrum_m": 0.006}
+            ]}"#,
+        )
+        .expect("parse");
+        let mut problems = Vec::new();
+        estimator_invariant(&doc, &mut problems);
+        assert_eq!(problems.len(), 1, "{problems:?}");
+        assert!(problems[0].contains("lacks"));
     }
 
     #[test]

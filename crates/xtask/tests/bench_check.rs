@@ -12,11 +12,13 @@ const BASELINE_SPECTRUM: &str = include_str!("../fixtures/bench/baseline/BENCH_s
 const BASELINE_INGEST: &str = include_str!("../fixtures/bench/baseline/BENCH_ingest.json");
 const BASELINE_ROBUSTNESS: &str = include_str!("../fixtures/bench/baseline/BENCH_robustness.json");
 const BASELINE_OBS: &str = include_str!("../fixtures/bench/baseline/BENCH_obs.json");
+const BASELINE_ESTIMATOR: &str = include_str!("../fixtures/bench/baseline/BENCH_estimator.json");
 const SLOW_SPECTRUM: &str = include_str!("../fixtures/bench/slow/BENCH_spectrum.json");
 const INVERTED_ROBUSTNESS: &str = include_str!("../fixtures/bench/inverted/BENCH_robustness.json");
 
-/// Stage a directory holding the four artifacts with the given contents
-/// (the obs artifact is never the one under test, so it stays baseline).
+/// Stage a directory holding the five artifacts with the given contents
+/// (the obs and estimator artifacts are never the ones under test, so
+/// they stay baseline).
 fn stage(tag: &str, spectrum: &str, ingest: &str, robustness: &str) -> PathBuf {
     let dir = std::env::temp_dir().join(format!("xtask-benchcheck-{tag}-{}", std::process::id()));
     std::fs::create_dir_all(&dir).expect("create staging dir");
@@ -24,6 +26,7 @@ fn stage(tag: &str, spectrum: &str, ingest: &str, robustness: &str) -> PathBuf {
     std::fs::write(dir.join("BENCH_ingest.json"), ingest).expect("write ingest");
     std::fs::write(dir.join("BENCH_robustness.json"), robustness).expect("write robustness");
     std::fs::write(dir.join("BENCH_obs.json"), BASELINE_OBS).expect("write obs");
+    std::fs::write(dir.join("BENCH_estimator.json"), BASELINE_ESTIMATOR).expect("write estimator");
     dir
 }
 
@@ -57,8 +60,8 @@ fn identical_artifacts_pass() {
         "identical artifacts must pass:\n{report:?}"
     );
     // One row per gated metric per case:
-    // 2 spectrum + 4 ingest + 2 robustness + 6 obs.
-    assert_eq!(report.rows.len(), 14);
+    // 2 spectrum + 4 ingest + 2 robustness + 6 obs + 6 estimator.
+    assert_eq!(report.rows.len(), 20);
 }
 
 #[test]

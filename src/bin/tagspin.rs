@@ -3,6 +3,7 @@
 //! ```text
 //! tagspin simulate --config dep.conf --reader X,Y[,Z] --out log.llrp [--seed N]
 //! tagspin locate   --config dep.conf --log log.llrp [--3d] [--aided]
+//!                  [--estimator spectrum|ml|hybrid]
 //!                  [--metrics-out metrics.json] [-v]
 //! tagspin quality  --config dep.conf --log log.llrp
 //! tagspin example-config
@@ -13,12 +14,20 @@
 //! `tagspin-metrics/v1` JSON after the fix; `-v` streams each event to
 //! stderr. Both default off, leaving the zero-cost `NullObserver` path.
 //!
+//! `--estimator` selects the fix backend (`spectrum` is the default
+//! spectrum-peak path; `ml` refines it with the wrapped-phase
+//! maximum-likelihood search; `hybrid` serves the ML refinement only when
+//! its robust weights clear the trust floor). Passing the flag — any
+//! value — also reports the serving backend and the position-covariance
+//! confidence alongside the fix.
+//!
 //! Logs use the LLRP-subset binary format (`tagspin::epc::llrp`) — the same
 //! bytes a capture of the reader's report stream would contain. Deployment
 //! configs use the line format documented in `tagspin::sim::config`.
 
 use std::fs;
 use std::process::ExitCode;
+use tagspin::core::locate::aided::ResolvedFix;
 use tagspin::core::prelude::*;
 use tagspin::core::snapshot::SnapshotSet;
 use tagspin::epc::inventory::{run_inventory, ReaderConfig, Transponder};
@@ -110,6 +119,7 @@ impl Args {
             "seed",
             "rotations",
             "metrics-out",
+            "estimator",
         ];
         while let Some(arg) = iter.next() {
             if arg == "-v" {
@@ -144,7 +154,7 @@ fn usage() -> CliError {
         "usage:\n  \
          tagspin simulate --config <file> --reader X,Y[,Z] --out <log> [--seed N] [--rotations F]\n  \
          tagspin locate   --config <file> --log <file> [--3d] [--aided] \
-         [--metrics-out <file>] [-v]\n  \
+         [--estimator spectrum|ml|hybrid] [--metrics-out <file>] [-v]\n  \
          tagspin quality  --config <file> --log <file>\n  \
          tagspin example-config",
     )
@@ -278,6 +288,17 @@ fn locate(args: &Args) -> Result<(), CliError> {
     let log = load_log(args)?;
     let mut server = dep.build_server();
 
+    // `--estimator` selects the fix backend; the session dispatch reads it
+    // from the pipeline config, so plain `locate_*` calls pick it up too.
+    if args.has("estimator") {
+        let spec = args
+            .flag("estimator")
+            .ok_or_else(|| CliError::usage("--estimator expects spectrum|ml|hybrid"))?;
+        server.config.estimator.backend = spec
+            .parse::<EstimatorBackend>()
+            .map_err(|e| CliError::usage(format!("--estimator: {e}")))?;
+    }
+
     // Optional observability: `-v` streams events to stderr,
     // `--metrics-out` folds them into a registry exported after the fix.
     // With neither flag the server keeps its zero-cost NullObserver.
@@ -316,21 +337,34 @@ fn locate_fix(
     server: &LocalizationServer,
     log: &tagspin::epc::InventoryLog,
 ) -> Result<(), CliError> {
+    // With `--estimator` the richer estimate APIs run (backend report +
+    // covariance confidence); without it the plain fix path is untouched.
+    let with_estimate = args.has("estimator");
     if args.has("aided") {
-        let fix = server
-            .locate_3d_aided(log)
-            .map_err(|e| CliError::lib("locating (3D aided)", e))?;
-        println!("position: {}", fix.position);
-        println!("residual: {:.2} cm", to_cm(fix.residual_m));
-        println!(
-            "ambiguity margin: {:.1}× (runner-up residual / best)",
-            fix.runner_up_residual_m / fix.residual_m.max(1e-9)
-        );
-        println!("chosen candidates: {:?}", fix.chosen);
+        if with_estimate {
+            let est = server
+                .locate_3d_aided_estimate(log)
+                .map_err(|e| CliError::lib("locating (3D aided)", e))?;
+            print_backend(est.backend, est.ml.as_ref(), &est.confidence);
+            print_aided(&est.fix);
+        } else {
+            let fix = server
+                .locate_3d_aided(log)
+                .map_err(|e| CliError::lib("locating (3D aided)", e))?;
+            print_aided(&fix);
+        }
     } else if args.has("3d") {
-        let fix = server
-            .locate_3d(log)
-            .map_err(|e| CliError::lib("locating (3D)", e))?;
+        let fix = if with_estimate {
+            let est = server
+                .locate_3d_estimate(log)
+                .map_err(|e| CliError::lib("locating (3D)", e))?;
+            print_backend(est.backend, est.ml.as_ref(), &est.confidence);
+            est.fix
+        } else {
+            server
+                .locate_3d(log)
+                .map_err(|e| CliError::lib("locating (3D)", e))?
+        };
         let (lo, hi) = dep.z_feasible;
         match fix.resolve(|p| p.z >= lo && p.z <= hi) {
             Some(p) => println!("position: {p}"),
@@ -343,13 +377,64 @@ fn locate_fix(
         println!("z spread between tags: {:.2} cm", to_cm(fix.z_spread_m));
         println!("horizontal residual: {:.2} cm", to_cm(fix.residual_m));
     } else {
-        let fix = server
-            .locate_2d(log)
-            .map_err(|e| CliError::lib("locating (2D)", e))?;
+        let fix = if with_estimate {
+            let est = server
+                .locate_2d_estimate(log)
+                .map_err(|e| CliError::lib("locating (2D)", e))?;
+            print_backend(est.backend, est.ml.as_ref(), &est.confidence);
+            est.fix
+        } else {
+            server
+                .locate_2d(log)
+                .map_err(|e| CliError::lib("locating (2D)", e))?
+        };
         println!("position: {}", fix.position);
         println!("residual: {:.2} cm", to_cm(fix.residual_m));
     }
     Ok(())
+}
+
+/// Report which backend served the fix, the ML refinement outcome, and the
+/// covariance confidence (or the typed reason it was refused).
+fn print_backend(
+    backend: EstimatorBackend,
+    ml: Option<&MlReport>,
+    confidence: &Result<FixConfidence, ConfidenceError>,
+) {
+    match ml {
+        Some(r) if r.accepted => println!(
+            "backend: {} (ML refinement accepted: {} iterations, converged: {}, mean weight {:.2})",
+            backend.name(),
+            r.iterations,
+            r.converged,
+            r.mean_weight
+        ),
+        Some(r) => println!(
+            "backend: {} (ML refinement rejected after {} iterations; serving spectrum seed)",
+            backend.name(),
+            r.iterations
+        ),
+        None => println!("backend: {}", backend.name()),
+    }
+    match confidence {
+        Ok(c) => println!(
+            "confidence: σ {:.2} × {:.2} cm ({} bearings)",
+            to_cm(c.sigma_major_m),
+            to_cm(c.sigma_minor_m),
+            c.bearings
+        ),
+        Err(e) => println!("confidence: unavailable ({e})"),
+    }
+}
+
+fn print_aided(fix: &ResolvedFix) {
+    println!("position: {}", fix.position);
+    println!("residual: {:.2} cm", to_cm(fix.residual_m));
+    println!(
+        "ambiguity margin: {:.1}× (runner-up residual / best)",
+        fix.runner_up_residual_m / fix.residual_m.max(1e-9)
+    );
+    println!("chosen candidates: {:?}", fix.chosen);
 }
 
 fn quality(args: &Args) -> Result<(), CliError> {

@@ -84,7 +84,9 @@ struct EventTotals {
     cached: u64,
     gate_withheld: u64,
     fixes: u64,
+    fix_ok: u64,
     skipped: u64,
+    estimator_fixes: u64,
     stage: StageTimes,
     cache_lookups: u64,
     peak_searches: u64,
@@ -106,16 +108,19 @@ fn fold(events: &[Event]) -> EventTotals {
                 }
             }
             Event::GateWithheld { .. } => t.gate_withheld += 1,
-            Event::FixAttempt { skipped, .. } => {
+            Event::FixAttempt { skipped, ok, .. } => {
                 t.fixes += 1;
+                t.fix_ok += u64::from(*ok);
                 t.skipped += *skipped as u64;
             }
+            Event::EstimatorFix { .. } => t.estimator_fixes += 1,
             Event::StageTime { stage, nanos } => match stage {
                 Stage::Ingest => t.stage.ingest_ns += nanos,
                 Stage::Coarse => t.stage.coarse_ns += nanos,
                 Stage::Fine => t.stage.fine_ns += nanos,
                 Stage::Recompute => t.stage.recompute_ns += nanos,
                 Stage::Fix => t.stage.fix_ns += nanos,
+                Stage::Refine => t.stage.refine_ns += nanos,
             },
             Event::CacheLookup { .. } => t.cache_lookups += 1,
             Event::PeakSearch { .. } => t.peak_searches += 1,
@@ -192,6 +197,11 @@ proptest! {
         prop_assert_eq!(totals.gate_withheld, rec_stats.gate_withheld);
         prop_assert_eq!(totals.fixes, rec_stats.fixes);
         prop_assert_eq!(totals.skipped, rec_stats.skips.total());
+        // Every successful fix is served through the estimator dispatch —
+        // exactly one EstimatorFix event per FixAttempt { ok: true }.
+        prop_assert_eq!(totals.estimator_fixes, totals.fix_ok);
+        // The default spectrum backend never runs a refinement.
+        prop_assert_eq!(rec_stats.stage.refine_ns, 0);
         prop_assert_eq!(totals.stage, rec_stats.stage);
         prop_assert_eq!(totals.incremental, rec_stats.incremental);
         // Conservation: every buffered report is still buffered or evicted.
@@ -247,6 +257,8 @@ proptest! {
         prop_assert_eq!(counter("session.gate_withheld"), totals.gate_withheld);
         prop_assert_eq!(counter("fix.attempts"), totals.fixes);
         prop_assert_eq!(counter("fix.skipped_tags"), totals.skipped);
+        prop_assert_eq!(counter("estimator.fix.spectrum"), totals.estimator_fixes);
+        prop_assert_eq!(counter("estimator.fix.ml") + counter("estimator.fix.hybrid"), 0);
         prop_assert_eq!(counter("engine.cache.hit") + counter("engine.cache.miss"),
             totals.cache_lookups);
         prop_assert_eq!(counter("engine.peak_searches"), totals.peak_searches);
