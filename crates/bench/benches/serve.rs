@@ -1,0 +1,26 @@
+//! Load benchmark for the `tagspin-serve` fleet daemon.
+//!
+//! Unlike the sibling benches this one has no criterion micro-timings:
+//! the workload is a multi-threaded closed-loop drive over real loopback
+//! TCP, so the suite in `serve_bench` *is* the measurement. It emits the
+//! machine-readable `BENCH_serve.json` artifact (schema
+//! `tagspin-bench-serve/v1`): sustained reports/s, fix-latency
+//! percentiles, and shed rate for the `peak` / `rated` / `overload_2x`
+//! cases. Set `TAGSPIN_BENCH_SERVE_JSON` to move the artifact,
+//! `TAGSPIN_BENCH_QUICK=1` to shrink the fleet and capture (CI).
+
+use tagspin_bench::serve_bench;
+
+fn main() {
+    let quick = std::env::var_os("TAGSPIN_BENCH_QUICK").is_some_and(|v| v == "1");
+    let results = serve_bench::run(quick);
+    println!("serve fleet load (closed loop over loopback TCP):");
+    println!("{}", serve_bench::report(&results));
+    let path = std::env::var_os("TAGSPIN_BENCH_SERVE_JSON")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| std::path::PathBuf::from("BENCH_serve.json"));
+    match serve_bench::write_json(&path, &results) {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+    }
+}

@@ -17,6 +17,8 @@
 //!                                    # JSON to path (default BENCH_obs.json)
 //! reproduce --bench-estimator [path] # only the estimator shootout sweep
 //!                                    # (default BENCH_estimator.json)
+//! reproduce --bench-serve [path]     # only the serve fleet load bench,
+//!                                    # JSON to path (default BENCH_serve.json)
 //! reproduce --metrics-out <path>     # with --bench-obs: also export the
 //!                                    # metrics arm's registry as
 //!                                    # tagspin-metrics/v1 JSON
@@ -104,6 +106,24 @@ fn main() {
         println!("estimator shootout (2D accuracy vs fault rate, spectrum/ml/hybrid):");
         println!("{}", tagspin_bench::estimator_bench::report(&results));
         if let Err(e) = tagspin_bench::estimator_bench::write_json(&path, &results) {
+            eprintln!("error: could not write {}: {e}", path.display());
+            std::process::exit(1);
+        }
+        println!("wrote {}", path.display());
+        return;
+    }
+    if let Some(i) = args.iter().position(|a| a == "--bench-serve") {
+        let path = args
+            .get(i + 1)
+            .filter(|a| !a.starts_with("--"))
+            .map_or_else(
+                || std::path::PathBuf::from("BENCH_serve.json"),
+                std::path::PathBuf::from,
+            );
+        let results = tagspin_bench::serve_bench::run(quick);
+        println!("serve fleet load (closed loop over loopback TCP):");
+        println!("{}", tagspin_bench::serve_bench::report(&results));
+        if let Err(e) = tagspin_bench::serve_bench::write_json(&path, &results) {
             eprintln!("error: could not write {}: {e}", path.display());
             std::process::exit(1);
         }

@@ -1,0 +1,223 @@
+//! `serve_load` — closed-loop smoke driver for an *external* `tagspin
+//! serve` daemon (the CI `serve-smoke` job's load generator).
+//!
+//! ```text
+//! serve_load --ingest ADDR --http ADDR [--quick] [--out summary.json]
+//! ```
+//!
+//! Unlike the `serve` bench (which boots its own in-process daemon), this
+//! binary drives a daemon it does not own — the same fleet fixture
+//! streamed over real TCP, settled via `/stats`, drained via `/drain`,
+//! and scraped via `/metrics`. It asserts the clean-load contract and
+//! exits non-zero on any violation:
+//!
+//! * every frame decodes (`frame_errors == 0`, `frames == sent`);
+//! * nothing is shed at the daemon's default queue depth
+//!   (`reports_shed == 0`, `reports_enqueued == reports sent`);
+//! * the drain leaves no queued batches;
+//! * the `/metrics` scrape parses as `tagspin-metrics/v1` and its
+//!   `serve.frames` counter agrees with `/stats`;
+//! * every streamed antenna's `/fix/2d` query gets a well-formed answer
+//!   (a fix or a typed error — liveness, not accuracy).
+//!
+//! The daemon must be configured with the two example-config tags (EPCs
+//! 1 and 2, the paper-default disks at ±30 cm) — the fixture's captures
+//! observe exactly that rig. A `tagspin-serve-smoke/v1` JSON summary is
+//! written for artifact upload.
+
+// Like the rest of the bench crate, wall-clock reads here are the
+// product (settle timeouts), not pipeline overhead.
+#![allow(clippy::disallowed_methods)]
+
+use std::time::{Duration, Instant};
+use tagspin_bench::serve_bench::fleet_fixture;
+use tagspin_serve::{http_get, ReaderClient};
+use xtask::json::{self, Value};
+
+/// How long the drive may take to settle before the smoke fails.
+const SETTLE_TIMEOUT: Duration = Duration::from_secs(60);
+
+fn fail(msg: &str) -> ! {
+    eprintln!("serve_load: FAIL: {msg}");
+    std::process::exit(1);
+}
+
+fn get_json(http: &str, path: &str) -> Value {
+    let (status, body) = http_get(http, path).unwrap_or_else(|e| fail(&format!("GET {path}: {e}")));
+    if status != 200 {
+        fail(&format!("GET {path}: status {status}, body {body}"));
+    }
+    json::parse(&body).unwrap_or_else(|e| fail(&format!("GET {path}: bad JSON: {e}")))
+}
+
+fn counter(doc: &Value, name: &str) -> f64 {
+    doc.get("counters")
+        .and_then(|c| c.get(name))
+        .and_then(Value::as_num)
+        .unwrap_or_else(|| fail(&format!("scrape lacks counter `{name}`")))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let value_of = |flag: &str| {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let Some(ingest) = value_of("--ingest") else {
+        fail("--ingest <addr> required (the daemon's reader port)");
+    };
+    let Some(http) = value_of("--http") else {
+        fail("--http <addr> required (the daemon's query port)");
+    };
+    let quick = args.iter().any(|a| a == "--quick");
+    let out = value_of("--out");
+
+    let (readers, rotations) = if quick { (4u8, 0.25) } else { (8u8, 1.0) };
+    let (_server, streams) = fleet_fixture(readers, rotations);
+    let frames_sent: u64 = streams.iter().map(|f| f.len() as u64).sum();
+    let reports_sent: u64 = streams.iter().flatten().map(|f| f.len() as u64).sum();
+    println!(
+        "serve_load: driving {readers} readers, {frames_sent} frames, \
+         {reports_sent} reports at {ingest}"
+    );
+
+    let t0 = Instant::now();
+    std::thread::scope(|scope| {
+        for frames in &streams {
+            let ingest = ingest.as_str();
+            scope.spawn(move || {
+                let mut client = ReaderClient::connect(ingest)
+                    .unwrap_or_else(|e| fail(&format!("connect {ingest}: {e}")));
+                for frame in frames {
+                    client
+                        .send_log(frame)
+                        .unwrap_or_else(|e| fail(&format!("send frame: {e}")));
+                }
+                let _ = client.finish();
+            });
+        }
+    });
+
+    // Settle: the daemon may still be decoding buffered bytes after the
+    // sockets close; the loop is closed over its own books.
+    loop {
+        let stats = get_json(&http, "/stats");
+        let frames = stats.get("frames").and_then(Value::as_num).unwrap_or(0.0);
+        let errors = stats
+            .get("frame_errors")
+            .and_then(Value::as_num)
+            .unwrap_or(0.0);
+        // lint:allow(lossy-cast) frame counts are far below 2^53
+        if (frames + errors) as u64 >= frames_sent {
+            break;
+        }
+        if t0.elapsed() > SETTLE_TIMEOUT {
+            fail(&format!(
+                "settle timeout: {frames:.0} frames + {errors:.0} errors \
+                 after {}s, sent {frames_sent}",
+                SETTLE_TIMEOUT.as_secs()
+            ));
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    let drain = get_json(&http, "/drain");
+    if drain.get("drained").is_none() {
+        fail("/drain returned no `drained` field");
+    }
+    let elapsed_s = t0.elapsed().as_secs_f64();
+
+    // The clean-load contract, from the daemon's own accounting — read
+    // after the drain, so the queue view is settled.
+    let stats = get_json(&http, "/stats");
+    let stat = |name: &str| {
+        stats
+            .get(name)
+            .and_then(Value::as_num)
+            .unwrap_or_else(|| fail(&format!("/stats lacks `{name}`")))
+    };
+    // lint:allow(float-eq) counters are exact integers in f64
+    if stat("frame_errors") != 0.0 {
+        fail(&format!(
+            "{:.0} frame errors on a clean stream",
+            stat("frame_errors")
+        ));
+    }
+    // lint:allow(lossy-cast) frame counts are far below 2^53
+    if stat("frames") as u64 != frames_sent {
+        fail(&format!(
+            "frames {:.0} != sent {frames_sent}",
+            stat("frames")
+        ));
+    }
+    // lint:allow(float-eq) counters are exact integers in f64
+    if stat("reports_shed") != 0.0 {
+        fail(&format!(
+            "{:.0} reports shed under plain load — queues must absorb the smoke drive",
+            stat("reports_shed")
+        ));
+    }
+    // lint:allow(lossy-cast) report counts are far below 2^53
+    if stat("reports_enqueued") as u64 != reports_sent {
+        fail(&format!(
+            "reports_enqueued {:.0} != sent {reports_sent}",
+            stat("reports_enqueued")
+        ));
+    }
+    // lint:allow(float-eq) counters are exact integers in f64
+    if stat("queued_batches") != 0.0 {
+        fail(&format!(
+            "{:.0} batches still queued after /drain",
+            stat("queued_batches")
+        ));
+    }
+
+    // Scrape: schema-tagged and in agreement with the books.
+    let (status, scrape_text) =
+        http_get(&http, "/metrics").unwrap_or_else(|e| fail(&format!("GET /metrics: {e}")));
+    if status != 200 {
+        fail(&format!("GET /metrics: status {status}"));
+    }
+    let scrape = json::parse(&scrape_text)
+        .unwrap_or_else(|e| fail(&format!("scrape is not valid JSON: {e}")));
+    if scrape.get("schema").and_then(Value::as_str) != Some("tagspin-metrics/v1") {
+        fail("scrape lacks the tagspin-metrics/v1 schema tag");
+    }
+    // lint:allow(lossy-cast) frame counts are far below 2^53
+    if counter(&scrape, "serve.frames") as u64 != frames_sent {
+        fail("scrape counter serve.frames disagrees with /stats");
+    }
+
+    // Liveness of the query plane: every streamed antenna answers.
+    for antenna in 1..=readers {
+        let (status, body) = http_get(&http, &format!("/fix/2d?antenna={antenna}"))
+            .unwrap_or_else(|e| fail(&format!("GET /fix/2d?antenna={antenna}: {e}")));
+        if status != 200 && status != 409 {
+            fail(&format!("fix query for antenna {antenna}: status {status}"));
+        }
+        if json::parse(&body).is_err() {
+            fail(&format!(
+                "fix query for antenna {antenna}: non-JSON body {body}"
+            ));
+        }
+    }
+
+    println!(
+        "serve_load: OK — {reports_sent} reports in {frames_sent} frames over \
+         {elapsed_s:.2}s, zero shed, clean drain, scrape consistent"
+    );
+    if let Some(path) = out {
+        let summary = format!(
+            "{{\n  \"schema\": \"tagspin-serve-smoke/v1\",\n  \
+             \"readers\": {readers},\n  \"frames_sent\": {frames_sent},\n  \
+             \"reports_sent\": {reports_sent},\n  \"elapsed_s\": {elapsed_s:.3},\n  \
+             \"shed\": 0,\n  \"frame_errors\": 0\n}}\n"
+        );
+        if let Err(e) = std::fs::write(&path, summary) {
+            fail(&format!("could not write {path}: {e}"));
+        }
+        println!("serve_load: wrote {path}");
+    }
+}

@@ -69,6 +69,7 @@ pub mod estimator_bench;
 pub mod ingest_bench;
 pub mod obs_bench;
 pub mod robustness_bench;
+pub mod serve_bench;
 pub mod spectrum_bench;
 
 #[cfg(test)]

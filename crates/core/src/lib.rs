@@ -85,7 +85,7 @@ pub mod prelude {
     pub use crate::locate::space::{Bearing3D, Fix3D};
     pub use crate::obs::{
         Event, FanoutObserver, FixKind, LogObserver, MetricsObserver, MetricsRegistry,
-        MetricsSnapshot, NullObserver, ObsHandle, Observer, RecordingObserver, Stage,
+        MetricsSnapshot, NullObserver, ObsHandle, Observer, RecordingObserver, ServeMetrics, Stage,
     };
     pub use crate::registry::{RegisteredTag, TagRegistry};
     pub use crate::server::{LocalizationServer, PipelineConfig, ServerError};

@@ -37,7 +37,7 @@ pub mod names;
 
 pub use metrics::{
     Counter, Gauge, Histogram, HistogramCell, HistogramSnapshot, MetricsObserver, MetricsRegistry,
-    MetricsSnapshot, METRICS_SCHEMA,
+    MetricsSnapshot, ServeMetrics, METRICS_SCHEMA,
 };
 
 use crate::session::quarantine::RejectReason;
@@ -62,6 +62,10 @@ pub enum Stage {
     /// One estimator-backend position refinement (the ml/hybrid damped
     /// Gauss–Newton search) inside a fix attempt.
     Refine,
+    /// One wire frame decoded (framing + LLRP parse) by the serve daemon.
+    Decode,
+    /// One decoded batch routed to its shard queues by the serve daemon.
+    Route,
 }
 
 impl Stage {
@@ -74,6 +78,8 @@ impl Stage {
             Stage::Recompute => "recompute",
             Stage::Fix => "fix",
             Stage::Refine => "refine",
+            Stage::Decode => "decode",
+            Stage::Route => "route",
         }
     }
 }

@@ -408,6 +408,7 @@ pub struct MetricsObserver {
     rej_range_phase: Counter,
     rej_rssi: Counter,
     rej_null_epc: Counter,
+    rej_overload: Counter,
     evicted: Counter,
     last_buffered: Gauge,
     recompute_fresh: Counter,
@@ -426,7 +427,7 @@ pub struct MetricsObserver {
     est_converged: Counter,
     est_rejected: Counter,
     est_iterations: Histogram,
-    stage_ns: [(Stage, Histogram); 6],
+    stage_ns: [(Stage, Histogram); 8],
 }
 
 /// Per-batch counter deltas for [`MetricsObserver::on_batch`], folded in
@@ -446,6 +447,7 @@ struct Tally {
     rej_range_phase: u64,
     rej_rssi: u64,
     rej_null_epc: u64,
+    rej_overload: u64,
     evicted: u64,
     last_buffered: Option<f64>,
     recompute_fresh: u64,
@@ -485,6 +487,7 @@ impl MetricsObserver {
             rej_range_phase: r.counter(names::INGEST_REJECTED_PHASE_OUT_OF_RANGE),
             rej_rssi: r.counter(names::INGEST_REJECTED_BAD_RSSI),
             rej_null_epc: r.counter(names::INGEST_REJECTED_NULL_EPC),
+            rej_overload: r.counter(names::INGEST_REJECTED_OVERLOAD),
             evicted: r.counter(names::SESSION_EVICTED),
             last_buffered: r.gauge(names::INGEST_LAST_BUFFERED),
             recompute_fresh: r.counter(names::SESSION_RECOMPUTE_FRESH),
@@ -510,6 +513,8 @@ impl MetricsObserver {
                 (Stage::Recompute, stage_hist(Stage::Recompute)),
                 (Stage::Fix, stage_hist(Stage::Fix)),
                 (Stage::Refine, stage_hist(Stage::Refine)),
+                (Stage::Decode, stage_hist(Stage::Decode)),
+                (Stage::Route, stage_hist(Stage::Route)),
             ],
             registry,
         }
@@ -571,6 +576,7 @@ impl MetricsObserver {
                         ReportDefect::NullEpc => t.rej_null_epc += 1,
                     }
                 }
+                RejectReason::Overload => t.rej_overload += 1,
             },
             Event::Evicted { count, .. } => t.evicted += count,
             Event::BearingServed { recomputed, .. } => {
@@ -646,6 +652,7 @@ impl MetricsObserver {
             (&self.rej_range_phase, t.rej_range_phase),
             (&self.rej_rssi, t.rej_rssi),
             (&self.rej_null_epc, t.rej_null_epc),
+            (&self.rej_overload, t.rej_overload),
             (&self.evicted, t.evicted),
             (&self.recompute_fresh, t.recompute_fresh),
             (&self.recompute_cached, t.recompute_cached),
@@ -671,6 +678,60 @@ impl MetricsObserver {
         if let Some(level) = t.last_buffered {
             self.last_buffered.set(level);
         }
+    }
+}
+
+/// Counter and gauge handles for the serve daemon's `serve.*` inventory.
+///
+/// Lives here rather than in the serve crate so every `serve.*`
+/// registration site goes through [`super::names`] consts in this file,
+/// keeping the L8 name-hygiene lint a single-file cross-check. Handles
+/// are resolved once at daemon start; the hot path is lock-free adds.
+#[derive(Debug, Clone)]
+pub struct ServeMetrics {
+    registry: Arc<MetricsRegistry>,
+    /// TCP reader connections accepted.
+    pub connections: Counter,
+    /// Wire frames decoded into report batches.
+    pub frames: Counter,
+    /// Wire frames rejected with a typed protocol error.
+    pub frame_errors: Counter,
+    /// Reports enqueued onto a shard channel.
+    pub reports_enqueued: Counter,
+    /// Reports shed at a full shard channel.
+    pub reports_shed: Counter,
+    /// Fix queries answered over HTTP.
+    pub queries: Counter,
+    /// Metrics scrapes answered over HTTP.
+    pub scrapes: Counter,
+}
+
+impl ServeMetrics {
+    /// Resolve every serve counter against `registry`.
+    pub fn new(registry: Arc<MetricsRegistry>) -> Self {
+        let r = &registry;
+        ServeMetrics {
+            connections: r.counter(names::SERVE_CONNECTIONS),
+            frames: r.counter(names::SERVE_FRAMES),
+            frame_errors: r.counter(names::SERVE_FRAME_ERRORS),
+            reports_enqueued: r.counter(names::SERVE_REPORTS_ENQUEUED),
+            reports_shed: r.counter(names::SERVE_REPORTS_SHED),
+            queries: r.counter(names::SERVE_QUERIES),
+            scrapes: r.counter(names::SERVE_SCRAPES),
+            registry,
+        }
+    }
+
+    /// The queue-depth gauge for shard `shard`
+    /// (`serve.shard_queue_depth.<shard>`).
+    pub fn shard_queue_depth(&self, shard: usize) -> Gauge {
+        self.registry
+            .gauge(&format!("{}.{shard}", names::SERVE_SHARD_QUEUE_DEPTH))
+    }
+
+    /// The registry the handles fold into.
+    pub fn registry(&self) -> &Arc<MetricsRegistry> {
+        &self.registry
     }
 }
 

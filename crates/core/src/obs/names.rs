@@ -40,6 +40,8 @@ pub const INGEST_REJECTED_PHASE_OUT_OF_RANGE: &str = "ingest.rejected.phase_out_
 pub const INGEST_REJECTED_BAD_RSSI: &str = "ingest.rejected.bad_rssi";
 /// Reports quarantined: the all-zero null EPC.
 pub const INGEST_REJECTED_NULL_EPC: &str = "ingest.rejected.null_epc";
+/// Reports shed by the serve daemon: a shard queue was at capacity.
+pub const INGEST_REJECTED_OVERLOAD: &str = "ingest.rejected.overload";
 /// Buffer depth of the most recently accepted stream (gauge).
 pub const INGEST_LAST_BUFFERED: &str = "ingest.last_buffered";
 /// Snapshots aged out of sliding windows.
@@ -89,6 +91,27 @@ pub const STAGE_RECOMPUTE_NS: &str = "stage.recompute_ns";
 pub const STAGE_FIX_NS: &str = "stage.fix_ns";
 /// Estimator-refinement wall-clock (histogram, nanoseconds).
 pub const STAGE_REFINE_NS: &str = "stage.refine_ns";
+/// Serve frame decode wall-clock (histogram, nanoseconds).
+pub const STAGE_DECODE_NS: &str = "stage.decode_ns";
+/// Serve batch routing wall-clock (histogram, nanoseconds).
+pub const STAGE_ROUTE_NS: &str = "stage.route_ns";
+/// TCP reader connections accepted by the serve daemon.
+pub const SERVE_CONNECTIONS: &str = "serve.connections";
+/// Wire frames decoded into report batches by the serve daemon.
+pub const SERVE_FRAMES: &str = "serve.frames";
+/// Wire frames rejected with a typed protocol error.
+pub const SERVE_FRAME_ERRORS: &str = "serve.frame_errors";
+/// Reports enqueued onto a shard channel.
+pub const SERVE_REPORTS_ENQUEUED: &str = "serve.reports.enqueued";
+/// Reports shed at the shard channel (queue full).
+pub const SERVE_REPORTS_SHED: &str = "serve.reports.shed";
+/// Fix queries answered over the HTTP endpoint.
+pub const SERVE_QUERIES: &str = "serve.queries";
+/// Metrics scrapes answered over the HTTP endpoint.
+pub const SERVE_SCRAPES: &str = "serve.scrapes";
+/// Per-shard queue depth gauge family; one `serve.shard_queue_depth.<n>`
+/// gauge per shard.
+pub const SERVE_SHARD_QUEUE_DEPTH: &str = "serve.shard_queue_depth";
 
 /// The stage-timer histogram name for `stage`.
 pub fn stage_ns_name(stage: Stage) -> &'static str {
@@ -99,6 +122,8 @@ pub fn stage_ns_name(stage: Stage) -> &'static str {
         Stage::Recompute => STAGE_RECOMPUTE_NS,
         Stage::Fix => STAGE_FIX_NS,
         Stage::Refine => STAGE_REFINE_NS,
+        Stage::Decode => STAGE_DECODE_NS,
+        Stage::Route => STAGE_ROUTE_NS,
     }
 }
 
@@ -115,6 +140,8 @@ mod tests {
             Stage::Recompute,
             Stage::Fix,
             Stage::Refine,
+            Stage::Decode,
+            Stage::Route,
         ] {
             assert_eq!(
                 stage_ns_name(stage),

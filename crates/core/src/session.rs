@@ -24,7 +24,7 @@
 //!
 //! With an unbounded window, a session fed a log report-by-report produces
 //! **bit-identical** fixes to the batch pipeline fed the same log whole:
-//! both funnel into the one shared per-tag path in [`pipeline`].
+//! both funnel into the one shared per-tag path in `pipeline`.
 
 pub(crate) mod pipeline;
 pub mod quarantine;

@@ -38,6 +38,9 @@ pub enum RejectReason {
     Duplicate,
     /// The report's values failed [`tagspin_epc::TagReport::validate`].
     Malformed(ReportDefect),
+    /// The serve tier shed the report before ingest: its shard queue was
+    /// at capacity (load-shed backpressure, not a data defect).
+    Overload,
 }
 
 impl std::fmt::Display for RejectReason {
@@ -47,6 +50,7 @@ impl std::fmt::Display for RejectReason {
             RejectReason::OutOfOrder => write!(f, "timestamp behind the stream"),
             RejectReason::Duplicate => write!(f, "duplicate of the newest report"),
             RejectReason::Malformed(d) => write!(f, "malformed report: {d}"),
+            RejectReason::Overload => write!(f, "shed under overload"),
         }
     }
 }
@@ -72,6 +76,8 @@ pub struct RejectCounts {
     pub bad_rssi: u64,
     /// All-zero (ghost) EPCs.
     pub null_epc: u64,
+    /// Reports shed by the serve tier before ingest (shard queue full).
+    pub overload: u64,
 }
 
 impl RejectCounts {
@@ -86,6 +92,7 @@ impl RejectCounts {
             RejectReason::Malformed(ReportDefect::NonFiniteRssi)
             | RejectReason::Malformed(ReportDefect::RssiOutOfRange) => self.bad_rssi += 1,
             RejectReason::Malformed(ReportDefect::NullEpc) => self.null_epc += 1,
+            RejectReason::Overload => self.overload += 1,
         }
     }
 
@@ -98,6 +105,7 @@ impl RejectCounts {
             + self.phase_out_of_range
             + self.bad_rssi
             + self.null_epc
+            + self.overload
     }
 }
 

@@ -3,7 +3,7 @@
 //! The reference evaluators in [`crate::spectrum`] re-derive every steering
 //! term `cᵢ(φ, γ)` for every (candidate × snapshot) pair on the full grid —
 //! simple, exact, and the hot path of every localization trial. This module
-//! wraps the same profile kernel ([`super::profile_power`]) in three
+//! wraps the same profile kernel (`profile_power`) in three
 //! orthogonal accelerations:
 //!
 //! 1. **Steering-table cache.** The candidate-grid trigonometry

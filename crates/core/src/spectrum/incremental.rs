@@ -13,8 +13,8 @@
 //!   on (reference, snapshot, cell), so freezing the reference set at
 //!   anchor time makes the per-(reference, cell) weighted sums linear too.
 //!
-//! [`IncrementalState`] keeps those running sums per candidate cell in
-//! flat columnar (SoA) arrays, plus one [`Column`] of per-snapshot terms
+//! `IncrementalState` keeps those running sums per candidate cell in
+//! flat columnar (SoA) arrays, plus one `Column` of per-snapshot terms
 //! per buffered snapshot so evicted contributions can be subtracted after
 //! the snapshot itself is gone from the window. A fix refresh then reduces
 //! the accumulators in O(grid) — `abs()` + divide per cell — without
@@ -104,7 +104,7 @@ impl IncrementalPolicy {
     }
 }
 
-/// What one [`IncrementalState::sync`] call did, for observability.
+/// What one `IncrementalState::sync` call did, for observability.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct SyncOutcome {
     /// Snapshot contributions folded in (new columns, or the whole

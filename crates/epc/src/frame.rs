@@ -1,0 +1,371 @@
+//! Length-prefixed framing for LLRP report messages on a byte stream.
+//!
+//! TCP delivers a byte stream, not messages; the serve daemon needs
+//! message boundaries before it can hand bytes to
+//! [`crate::llrp::decode_report`]. Each frame is a 4-byte big-endian
+//! payload length followed by exactly that many payload bytes (one LLRP
+//! message). The decoder is a pure incremental state machine — push bytes
+//! as they arrive, pull complete frames — so it is testable without
+//! sockets and usable under any IO model.
+//!
+//! Error discipline: framing-level corruption (an oversized or absurd
+//! declared length) is *unrecoverable* — the decoder cannot know where the
+//! next frame starts, so it poisons itself and every later call returns
+//! the same typed error; the transport should drop the connection.
+//! Payload-level corruption (a delivered frame that fails LLRP decoding)
+//! is *recoverable*: the frame boundary was still sound, so the stream
+//! stays synchronized and the next frame decodes independently.
+
+use crate::llrp::{self, LlrpError};
+use crate::report::InventoryLog;
+use bytes::Bytes;
+use std::fmt;
+
+/// Bytes of length prefix before each frame payload.
+pub const FRAME_HEADER_LEN: usize = 4;
+
+/// Default cap on a single frame's payload (1 MiB ≈ 16k tag reports —
+/// far above any real report batch, far below a memory-exhaustion vector).
+pub const DEFAULT_MAX_FRAME_LEN: usize = 1 << 20;
+
+/// Errors from the framing layer itself.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameError {
+    /// A frame declared a payload longer than the configured cap. The
+    /// stream cannot be resynchronized past it.
+    Oversized {
+        /// The declared payload length.
+        len: usize,
+        /// The configured cap.
+        max: usize,
+    },
+    /// The stream ended (or was cut) in the middle of a frame.
+    Truncated {
+        /// Bytes buffered when the stream ended.
+        buffered: usize,
+    },
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::Oversized { len, max } => {
+                write!(f, "frame declares {len} payload bytes, cap is {max}")
+            }
+            FrameError::Truncated { buffered } => {
+                write!(f, "stream ended mid-frame with {buffered} bytes buffered")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// Errors from the combined frame + LLRP report decode path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProtocolError {
+    /// The framing layer failed (unrecoverable; drop the connection).
+    Frame(FrameError),
+    /// A complete frame's payload failed LLRP decoding (recoverable; the
+    /// stream is still frame-synchronized).
+    Llrp(LlrpError),
+}
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtocolError::Frame(e) => write!(f, "framing: {e}"),
+            ProtocolError::Llrp(e) => write!(f, "llrp: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+impl From<FrameError> for ProtocolError {
+    fn from(e: FrameError) -> Self {
+        ProtocolError::Frame(e)
+    }
+}
+
+impl From<LlrpError> for ProtocolError {
+    fn from(e: LlrpError) -> Self {
+        ProtocolError::Llrp(e)
+    }
+}
+
+/// Wrap `payload` in a length-prefixed frame.
+///
+/// # Errors
+///
+/// [`FrameError::Oversized`] when the payload exceeds `max` (so a sender
+/// can never emit a frame its peer is configured to reject).
+pub fn encode_frame(payload: &[u8], max: usize) -> Result<Vec<u8>, FrameError> {
+    let max = max.min(u32::MAX as usize);
+    if payload.len() > max {
+        return Err(FrameError::Oversized {
+            len: payload.len(),
+            max,
+        });
+    }
+    let mut out = Vec::with_capacity(FRAME_HEADER_LEN + payload.len());
+    out.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+    out.extend_from_slice(payload);
+    Ok(out)
+}
+
+/// Encode an [`InventoryLog`] as one framed RO_ACCESS_REPORT message —
+/// the bytes a simulated reader writes to its serve connection.
+///
+/// # Errors
+///
+/// [`FrameError::Oversized`] when the encoded message exceeds `max`.
+pub fn encode_report_frame(
+    log: &InventoryLog,
+    message_id: u32,
+    max: usize,
+) -> Result<Vec<u8>, FrameError> {
+    let msg = llrp::encode_report(log, message_id);
+    encode_frame(&msg[..], max)
+}
+
+/// Incremental frame decoder: push bytes, pull frames.
+///
+/// Once a framing error is returned the decoder is poisoned and repeats
+/// that error forever — after a bad length prefix there is no trustworthy
+/// frame boundary left, and pretending otherwise would silently desync
+/// every later message.
+#[derive(Debug)]
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+    /// Consumed prefix of `buf`; compacted opportunistically.
+    read: usize,
+    max_len: usize,
+    poisoned: Option<FrameError>,
+}
+
+impl Default for FrameDecoder {
+    fn default() -> Self {
+        FrameDecoder::new()
+    }
+}
+
+impl FrameDecoder {
+    /// A decoder with the [`DEFAULT_MAX_FRAME_LEN`] payload cap.
+    pub fn new() -> Self {
+        FrameDecoder::with_max_len(DEFAULT_MAX_FRAME_LEN)
+    }
+
+    /// A decoder capping payloads at `max_len` bytes (clamped to `u32`
+    /// range, since the wire length field is 32 bits).
+    pub fn with_max_len(max_len: usize) -> Self {
+        FrameDecoder {
+            buf: Vec::new(),
+            read: 0,
+            max_len: max_len.min(u32::MAX as usize),
+            poisoned: None,
+        }
+    }
+
+    /// Feed bytes received from the transport.
+    pub fn push(&mut self, bytes: &[u8]) {
+        // Compact before growing: drop the consumed prefix once it
+        // dominates the buffer, keeping memory proportional to one frame.
+        if self.read > 0 && self.read >= self.buf.len() / 2 {
+            self.buf.drain(..self.read);
+            self.read = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet consumed as complete frames.
+    pub fn pending(&self) -> usize {
+        self.buf.len() - self.read
+    }
+
+    /// Pull the next complete frame payload, if one is buffered.
+    ///
+    /// `Ok(None)` means "need more bytes", never an error: a partial
+    /// frame is the normal steady state of a live stream.
+    ///
+    /// # Errors
+    ///
+    /// [`FrameError::Oversized`] on a hostile length prefix; the decoder
+    /// is then poisoned (see the type-level docs).
+    pub fn try_frame(&mut self) -> Result<Option<Bytes>, FrameError> {
+        if let Some(e) = self.poisoned {
+            return Err(e);
+        }
+        if self.pending() < FRAME_HEADER_LEN {
+            return Ok(None);
+        }
+        let header: [u8; FRAME_HEADER_LEN] = [
+            self.buf[self.read],
+            self.buf[self.read + 1],
+            self.buf[self.read + 2],
+            self.buf[self.read + 3],
+        ];
+        let len = u32::from_be_bytes(header) as usize;
+        if len > self.max_len {
+            let e = FrameError::Oversized {
+                len,
+                max: self.max_len,
+            };
+            self.poisoned = Some(e);
+            return Err(e);
+        }
+        if self.pending() < FRAME_HEADER_LEN + len {
+            return Ok(None);
+        }
+        let start = self.read + FRAME_HEADER_LEN;
+        let payload = Bytes::from(&self.buf[start..start + len]);
+        self.read = start + len;
+        Ok(Some(payload))
+    }
+
+    /// Pull and LLRP-decode the next complete report frame.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError::Frame`] poisons the stream;
+    /// [`ProtocolError::Llrp`] consumes only the offending frame, leaving
+    /// the stream synchronized for the next one.
+    pub fn try_report(&mut self) -> Result<Option<(InventoryLog, u32)>, ProtocolError> {
+        match self.try_frame()? {
+            None => Ok(None),
+            Some(payload) => Ok(Some(llrp::decode_report(payload)?)),
+        }
+    }
+
+    /// Declare end-of-stream: leftover bytes mean the peer died mid-frame.
+    ///
+    /// # Errors
+    ///
+    /// [`FrameError::Truncated`] when a partial frame was buffered, or the
+    /// poisoning error if one already occurred.
+    pub fn finish(&self) -> Result<(), FrameError> {
+        if let Some(e) = self.poisoned {
+            return Err(e);
+        }
+        match self.pending() {
+            0 => Ok(()),
+            buffered => Err(FrameError::Truncated { buffered }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::TagReport;
+
+    fn sample_log(n: usize) -> InventoryLog {
+        (0..n)
+            .map(|i| TagReport {
+                epc: 0xE200_0000_0000_0000_u128 + i as u128,
+                timestamp_us: 100 * i as u64,
+                phase: (i as f64 * 0.3) % std::f64::consts::TAU,
+                rssi_dbm: -60.0,
+                channel_index: (i % 16) as u8,
+                antenna_id: 1,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn roundtrip_across_arbitrary_splits() {
+        let frame = encode_report_frame(&sample_log(7), 42, DEFAULT_MAX_FRAME_LEN).unwrap();
+        // Deliver the same frame byte-by-byte, in halves, and whole.
+        for chunk in [1, frame.len() / 2, frame.len()] {
+            let mut dec = FrameDecoder::new();
+            let mut got = Vec::new();
+            for piece in frame.chunks(chunk) {
+                dec.push(piece);
+                while let Some(report) = dec.try_report().unwrap() {
+                    got.push(report);
+                }
+            }
+            assert_eq!(got.len(), 1, "chunk size {chunk}");
+            assert_eq!(got[0].1, 42);
+            assert_eq!(got[0].0.len(), 7);
+            assert!(dec.finish().is_ok());
+        }
+    }
+
+    #[test]
+    fn back_to_back_frames_stay_synchronized() {
+        let mut wire = Vec::new();
+        for id in 0..5u32 {
+            wire.extend_from_slice(
+                &encode_report_frame(&sample_log(id as usize + 1), id, DEFAULT_MAX_FRAME_LEN)
+                    .unwrap(),
+            );
+        }
+        let mut dec = FrameDecoder::new();
+        dec.push(&wire);
+        for id in 0..5u32 {
+            let (log, got_id) = dec.try_report().unwrap().expect("frame buffered");
+            assert_eq!(got_id, id);
+            assert_eq!(log.len(), id as usize + 1);
+        }
+        assert!(dec.try_report().unwrap().is_none());
+    }
+
+    #[test]
+    fn oversized_poisons_the_decoder() {
+        let mut dec = FrameDecoder::with_max_len(64);
+        dec.push(&1000u32.to_be_bytes());
+        let e = dec.try_frame().unwrap_err();
+        assert_eq!(e, FrameError::Oversized { len: 1000, max: 64 });
+        // Poisoned: more bytes cannot resync it.
+        dec.push(&[0u8; 32]);
+        assert_eq!(dec.try_frame().unwrap_err(), e);
+        assert_eq!(dec.finish().unwrap_err(), e);
+        assert!(!e.to_string().is_empty());
+    }
+
+    #[test]
+    fn encoder_refuses_what_the_peer_would_drop() {
+        let log = sample_log(64);
+        let err = encode_report_frame(&log, 0, 16).unwrap_err();
+        assert!(matches!(err, FrameError::Oversized { .. }));
+    }
+
+    #[test]
+    fn llrp_garbage_consumes_one_frame_only() {
+        let mut wire = encode_frame(&[0xFF; 12], DEFAULT_MAX_FRAME_LEN).unwrap();
+        wire.extend_from_slice(&encode_report_frame(&sample_log(3), 9, 1 << 16).unwrap());
+        let mut dec = FrameDecoder::new();
+        dec.push(&wire);
+        assert!(matches!(dec.try_report(), Err(ProtocolError::Llrp(_))));
+        // The bad payload cost exactly one frame; the next decodes fine.
+        let (log, id) = dec.try_report().unwrap().expect("second frame intact");
+        assert_eq!((log.len(), id), (3, 9));
+        assert!(dec.finish().is_ok());
+    }
+
+    #[test]
+    fn eof_mid_frame_is_truncated() {
+        let frame = encode_report_frame(&sample_log(2), 1, DEFAULT_MAX_FRAME_LEN).unwrap();
+        let mut dec = FrameDecoder::new();
+        dec.push(&frame[..frame.len() - 1]);
+        assert!(dec.try_report().unwrap().is_none());
+        assert!(matches!(
+            dec.finish(),
+            Err(FrameError::Truncated { buffered }) if buffered == frame.len() - 1
+        ));
+    }
+
+    #[test]
+    fn compaction_keeps_memory_bounded() {
+        let frame = encode_report_frame(&sample_log(1), 0, DEFAULT_MAX_FRAME_LEN).unwrap();
+        let mut dec = FrameDecoder::new();
+        for _ in 0..1000 {
+            dec.push(&frame);
+            assert!(dec.try_frame().unwrap().is_some());
+        }
+        assert_eq!(dec.pending(), 0);
+        // The consumed prefix must not grow without bound.
+        assert!(dec.buf.len() < 4 * frame.len());
+    }
+}

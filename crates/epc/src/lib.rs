@@ -38,6 +38,7 @@
 
 pub mod coding;
 pub mod crc;
+pub mod frame;
 pub mod gen2;
 pub mod inventory;
 pub mod llrp;
@@ -46,6 +47,7 @@ pub mod report;
 pub mod select;
 pub mod timing;
 
+pub use frame::{FrameDecoder, FrameError, ProtocolError};
 pub use inventory::{run_inventory, HopSchedule, ReaderConfig, StaticTag, Transponder};
 pub use qalgo::{QAlgorithm, SlotOutcome};
 pub use report::{InventoryLog, ReportDefect, TagReport};

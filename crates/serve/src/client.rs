@@ -1,0 +1,97 @@
+//! Client helpers for driving a daemon: the simulated reader's TCP
+//! sender and a dependency-free HTTP/1.1 `GET`.
+//!
+//! These exist so the end-to-end tests, the load bench and the CI smoke
+//! job all speak the daemon's real wire protocols — no test-only side
+//! doors into the routing plane.
+
+use std::io::{self, Read, Write};
+use std::net::{Shutdown, TcpStream, ToSocketAddrs};
+use tagspin_epc::frame::{encode_report_frame, FrameError, DEFAULT_MAX_FRAME_LEN};
+use tagspin_epc::InventoryLog;
+
+/// One simulated reader's connection to the daemon's ingest port.
+#[derive(Debug)]
+pub struct ReaderClient {
+    stream: TcpStream,
+    next_message_id: u32,
+    max_frame_len: usize,
+}
+
+impl ReaderClient {
+    /// Connect to the daemon's ingest address.
+    ///
+    /// # Errors
+    ///
+    /// Connection failures from [`TcpStream::connect`].
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<ReaderClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(ReaderClient {
+            stream,
+            next_message_id: 1,
+            max_frame_len: DEFAULT_MAX_FRAME_LEN,
+        })
+    }
+
+    /// Send one report batch as a framed RO_ACCESS_REPORT message.
+    ///
+    /// # Errors
+    ///
+    /// An [`io::ErrorKind::InvalidInput`] error if the encoded message
+    /// exceeds the frame cap, or the underlying socket write error.
+    pub fn send_log(&mut self, log: &InventoryLog) -> io::Result<()> {
+        let id = self.next_message_id;
+        self.next_message_id = self.next_message_id.wrapping_add(1);
+        let frame = encode_report_frame(log, id, self.max_frame_len)
+            .map_err(|e: FrameError| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))?;
+        self.stream.write_all(&frame)
+    }
+
+    /// Send pre-encoded raw bytes (the fault-injection path for protocol
+    /// tests: garbage, truncations, oversized prefixes).
+    ///
+    /// # Errors
+    ///
+    /// The underlying socket write error.
+    pub fn send_raw(&mut self, bytes: &[u8]) -> io::Result<()> {
+        self.stream.write_all(bytes)
+    }
+
+    /// Flush and half-close the write side, signalling a clean EOF to
+    /// the daemon while leaving the socket readable.
+    ///
+    /// # Errors
+    ///
+    /// The underlying flush/shutdown error.
+    pub fn finish(mut self) -> io::Result<()> {
+        self.stream.flush()?;
+        self.stream.shutdown(Shutdown::Write)
+    }
+}
+
+/// A one-shot HTTP/1.1 `GET`, returning `(status_code, body)`.
+///
+/// # Errors
+///
+/// Socket errors, or [`io::ErrorKind::InvalidData`] on a malformed
+/// response head.
+pub fn http_get(addr: impl ToSocketAddrs, path: &str) -> io::Result<(u16, String)> {
+    let mut stream = TcpStream::connect(addr)?;
+    let request = format!("GET {path} HTTP/1.1\r\nHost: tagspin\r\nConnection: close\r\n\r\n");
+    stream.write_all(request.as_bytes())?;
+    let mut response = Vec::new();
+    stream.read_to_end(&mut response)?;
+    let text = String::from_utf8(response)
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-UTF-8 response"))?;
+    let (head, body) = text
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "missing header terminator"))?;
+    let status = head
+        .lines()
+        .next()
+        .and_then(|line| line.split_whitespace().nth(1))
+        .and_then(|code| code.parse().ok())
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "malformed status line"))?;
+    Ok((status, body.to_string()))
+}

@@ -5,7 +5,7 @@
 //! lower-is-better metric regresses past the configured tolerance
 //! (default 25%, sized for quick-mode jitter on shared CI runners).
 //!
-//! Five artifacts are checked, one per bench schema:
+//! Six artifacts are checked, one per bench schema:
 //!
 //! | artifact               | schema                        | gated metrics |
 //! |------------------------|-------------------------------|---------------|
@@ -14,6 +14,7 @@
 //! | `BENCH_robustness.json`| `tagspin-bench-robustness/v1` | `median_err_on_m` |
 //! | `BENCH_obs.json`       | `tagspin-bench-obs/v1`        | `mean_ingest_ns`, `min_fix_refresh_ns` |
 //! | `BENCH_estimator.json` | `tagspin-bench-estimator/v1`  | `median_err_spectrum_m`, `median_err_ml_m`, `median_err_hybrid_m` |
+//! | `BENCH_serve.json`     | `tagspin-bench-serve/v1`      | `shed_rate` |
 //!
 //! The obs artifact measures the same streaming fixture under three
 //! observer arms (disabled `NullObserver`, `MetricsObserver`,
@@ -35,6 +36,15 @@
 //! arm's median 2D error within a small quick-median jitter slack, and at
 //! every fault rate of at least 10% they must degrade no worse than the
 //! hardened spectrum arm within a slightly wider slack.
+//!
+//! The serve artifact's hard invariants defend the fleet daemon's
+//! backpressure contract: every case must conserve its accounting
+//! (`reports_accepted + reports_shed == reports_sent`); the `rated` case
+//! (paced below the pinned service capacity) must shed nothing; the
+//! `overload_2x` case must actually shed (proof the drive really
+//! overloaded the queues instead of blocking) while its p99 fix latency
+//! stays under a generous absolute bound — a full shard queue may delay
+//! a query, never starve it.
 //!
 //! `--bless` copies the current artifacts over the baselines instead of
 //! comparing, after validating that each parses with the expected schema.
@@ -58,8 +68,8 @@ pub struct ArtifactSpec {
     pub metrics: &'static [&'static str],
 }
 
-/// The five gated artifacts.
-pub const ARTIFACTS: [ArtifactSpec; 5] = [
+/// The six gated artifacts.
+pub const ARTIFACTS: [ArtifactSpec; 6] = [
     ArtifactSpec {
         file: "BENCH_spectrum.json",
         schema: "tagspin-bench-spectrum/v1",
@@ -88,6 +98,11 @@ pub const ARTIFACTS: [ArtifactSpec; 5] = [
             "median_err_ml_m",
             "median_err_hybrid_m",
         ],
+    },
+    ArtifactSpec {
+        file: "BENCH_serve.json",
+        schema: "tagspin-bench-serve/v1",
+        metrics: &["shed_rate"],
     },
 ];
 
@@ -395,6 +410,70 @@ fn estimator_invariant(doc: &BenchDoc, problems: &mut Vec<String>) {
     }
 }
 
+/// Absolute ceiling on the `overload_2x` p99 fix-latency, nanoseconds.
+/// Generous (2 s) on purpose: the claim is "bounded, never starved", not
+/// a micro-latency target, and it must hold on loaded CI runners.
+const SERVE_P99_BOUND_NS: f64 = 2e9;
+
+fn serve_invariant(doc: &BenchDoc, problems: &mut Vec<String>) {
+    for case in &doc.cases {
+        let (Some(sent), Some(accepted), Some(shed)) = (
+            case.metric("reports_sent"),
+            case.metric("reports_accepted"),
+            case.metric("reports_shed"),
+        ) else {
+            problems.push(format!(
+                "serve case `{}` lacks reports_sent/accepted/shed fields",
+                case.name
+            ));
+            continue;
+        };
+        if (accepted + shed - sent).abs() > 0.5 {
+            problems.push(format!(
+                "serve accounting broken in case `{}`: accepted {accepted:.0} + \
+                 shed {shed:.0} != sent {sent:.0} — a report went missing untyped",
+                case.name
+            ));
+        }
+        match case.name.as_str() {
+            "rated" if shed > 0.0 => {
+                problems.push(format!(
+                    "serve invariant broken: `rated` shed {shed:.0} of {sent:.0} \
+                     reports — below rated load the queues must absorb everything"
+                ));
+            }
+            "overload_2x" => {
+                if shed <= 0.0 {
+                    problems.push(
+                        "serve invariant broken: `overload_2x` shed nothing — the \
+                         drive did not overload the queues (or the daemon blocked \
+                         instead of shedding)"
+                            .to_string(),
+                    );
+                }
+                match case.metric("p99_fix_latency_ns") {
+                    Some(p99) if p99 > SERVE_P99_BOUND_NS => problems.push(format!(
+                        "serve invariant broken: `overload_2x` p99 fix latency \
+                         {:.0} ms exceeds the {:.0} ms bound — queries must stay \
+                         answerable under overload",
+                        p99 / 1e6,
+                        SERVE_P99_BOUND_NS / 1e6
+                    )),
+                    Some(_) => {}
+                    None => problems
+                        .push("serve case `overload_2x` lacks p99_fix_latency_ns".to_string()),
+                }
+            }
+            _ => {}
+        }
+    }
+    for required in ["rated", "overload_2x"] {
+        if !doc.cases.iter().any(|c| c.name == required) {
+            problems.push(format!("serve artifact lacks required case `{required}`"));
+        }
+    }
+}
+
 /// Compare the current artifacts against the baselines.
 ///
 /// # Errors
@@ -446,6 +525,9 @@ pub fn check(opts: &CheckOptions) -> Result<CheckReport, BenchCheckError> {
         }
         if spec.schema == "tagspin-bench-estimator/v1" {
             estimator_invariant(&cur, &mut report.problems);
+        }
+        if spec.schema == "tagspin-bench-serve/v1" {
+            serve_invariant(&cur, &mut report.problems);
         }
     }
     Ok(report)
@@ -616,6 +698,117 @@ mod tests {
         estimator_invariant(&doc, &mut problems);
         assert_eq!(problems.len(), 1, "{problems:?}");
         assert!(problems[0].contains("lacks"));
+    }
+
+    /// A serve artifact satisfying every hard invariant.
+    const SERVE_OK: &str = r#"{"schema": "tagspin-bench-serve/v1", "cases": [
+        {"name": "peak", "reports_sent": 20000, "reports_accepted": 20000, "reports_shed": 0, "shed_rate": 0.0, "p99_fix_latency_ns": 150000000},
+        {"name": "rated", "reports_sent": 20000, "reports_accepted": 20000, "reports_shed": 0, "shed_rate": 0.0, "p99_fix_latency_ns": 250000000},
+        {"name": "overload_2x", "reports_sent": 20000, "reports_accepted": 11000, "reports_shed": 9000, "shed_rate": 0.45, "p99_fix_latency_ns": 200000000}
+    ]}"#;
+
+    fn serve_problems(json: &str) -> Vec<String> {
+        let doc = parse_doc(json).expect("parse");
+        let mut problems = Vec::new();
+        serve_invariant(&doc, &mut problems);
+        problems
+    }
+
+    #[test]
+    fn serve_invariant_passes_a_conforming_artifact() {
+        let problems = serve_problems(SERVE_OK);
+        assert!(problems.is_empty(), "{problems:?}");
+    }
+
+    #[test]
+    fn serve_invariant_flags_broken_accounting() {
+        // 500 reports vanish untyped from the rated case.
+        let problems = serve_problems(&SERVE_OK.replace(
+            r#""rated", "reports_sent": 20000, "reports_accepted": 20000, "reports_shed": 0"#,
+            r#""rated", "reports_sent": 20000, "reports_accepted": 19500, "reports_shed": 0"#,
+        ));
+        // The missing 500 both break conservation and (being absorbed
+        // silently, not shed) keep `rated` at zero shed, so exactly the
+        // accounting problem fires.
+        assert_eq!(problems.len(), 1, "{problems:?}");
+        assert!(problems[0].contains("accounting"), "{problems:?}");
+    }
+
+    #[test]
+    fn serve_invariant_flags_shedding_below_rated_load() {
+        let problems = serve_problems(&SERVE_OK.replace(
+            r#""rated", "reports_sent": 20000, "reports_accepted": 20000, "reports_shed": 0"#,
+            r#""rated", "reports_sent": 20000, "reports_accepted": 19000, "reports_shed": 1000"#,
+        ));
+        assert_eq!(problems.len(), 1, "{problems:?}");
+        assert!(problems[0].contains("`rated` shed"), "{problems:?}");
+    }
+
+    #[test]
+    fn serve_invariant_flags_overload_that_never_shed() {
+        let problems = serve_problems(&SERVE_OK.replace(
+            r#""overload_2x", "reports_sent": 20000, "reports_accepted": 11000, "reports_shed": 9000"#,
+            r#""overload_2x", "reports_sent": 20000, "reports_accepted": 20000, "reports_shed": 0"#,
+        ));
+        assert_eq!(problems.len(), 1, "{problems:?}");
+        assert!(
+            problems[0].contains("`overload_2x` shed nothing"),
+            "{problems:?}"
+        );
+    }
+
+    #[test]
+    fn serve_invariant_bounds_overload_fix_latency() {
+        // 3 s p99 breaches the 2 s never-starved bound.
+        let problems = serve_problems(&SERVE_OK.replace(
+            "\"p99_fix_latency_ns\": 200000000",
+            "\"p99_fix_latency_ns\": 3000000000",
+        ));
+        assert_eq!(problems.len(), 1, "{problems:?}");
+        assert!(problems[0].contains("p99 fix latency"), "{problems:?}");
+        // And the field must exist at all on the overload case.
+        let problems = serve_problems(&SERVE_OK.replace(
+            "\"p99_fix_latency_ns\": 200000000",
+            "\"p99_fix_latency_ns\": null",
+        ));
+        assert_eq!(problems.len(), 1, "{problems:?}");
+        assert!(
+            problems[0].contains("lacks p99_fix_latency_ns"),
+            "{problems:?}"
+        );
+    }
+
+    #[test]
+    fn serve_invariant_requires_the_load_cases() {
+        let problems = serve_problems(
+            r#"{"schema": "tagspin-bench-serve/v1", "cases": [
+                {"name": "peak", "reports_sent": 100, "reports_accepted": 100, "reports_shed": 0}
+            ]}"#,
+        );
+        assert_eq!(problems.len(), 2, "{problems:?}");
+        assert!(
+            problems.iter().any(|p| p.contains("`rated`")),
+            "{problems:?}"
+        );
+        assert!(
+            problems.iter().any(|p| p.contains("`overload_2x`")),
+            "{problems:?}"
+        );
+    }
+
+    #[test]
+    fn serve_invariant_flags_missing_accounting_fields() {
+        let problems = serve_problems(
+            r#"{"schema": "tagspin-bench-serve/v1", "cases": [
+                {"name": "rated", "reports_sent": 100},
+                {"name": "overload_2x", "reports_sent": 100, "reports_accepted": 80, "reports_shed": 20, "p99_fix_latency_ns": 100}
+            ]}"#,
+        );
+        assert_eq!(problems.len(), 1, "{problems:?}");
+        assert!(
+            problems[0].contains("lacks reports_sent/accepted/shed"),
+            "{problems:?}"
+        );
     }
 
     #[test]

@@ -1,8 +1,8 @@
 //! Self-test for the bench regression gate: identical artifacts must
 //! pass, an injected 2x slowdown must fail with a delta table, a broken
-//! hardened-vs-permissive invariant must fail even when every baseline
-//! metric is within tolerance, and `--bless` must record baselines that a
-//! subsequent check accepts.
+//! hardened-vs-permissive (or serve backpressure) invariant must fail
+//! even when every baseline metric is within tolerance, and `--bless`
+//! must record baselines that a subsequent check accepts.
 
 use std::path::{Path, PathBuf};
 use std::process::Command;
@@ -13,12 +13,14 @@ const BASELINE_INGEST: &str = include_str!("../fixtures/bench/baseline/BENCH_ing
 const BASELINE_ROBUSTNESS: &str = include_str!("../fixtures/bench/baseline/BENCH_robustness.json");
 const BASELINE_OBS: &str = include_str!("../fixtures/bench/baseline/BENCH_obs.json");
 const BASELINE_ESTIMATOR: &str = include_str!("../fixtures/bench/baseline/BENCH_estimator.json");
+const BASELINE_SERVE: &str = include_str!("../fixtures/bench/baseline/BENCH_serve.json");
 const SLOW_SPECTRUM: &str = include_str!("../fixtures/bench/slow/BENCH_spectrum.json");
 const INVERTED_ROBUSTNESS: &str = include_str!("../fixtures/bench/inverted/BENCH_robustness.json");
+const INVERTED_SERVE: &str = include_str!("../fixtures/bench/inverted/BENCH_serve.json");
 
-/// Stage a directory holding the five artifacts with the given contents
-/// (the obs and estimator artifacts are never the ones under test, so
-/// they stay baseline).
+/// Stage a directory holding the six artifacts with the given contents
+/// (the obs, estimator, and serve artifacts are never the ones under
+/// test, so they stay baseline).
 fn stage(tag: &str, spectrum: &str, ingest: &str, robustness: &str) -> PathBuf {
     let dir = std::env::temp_dir().join(format!("xtask-benchcheck-{tag}-{}", std::process::id()));
     std::fs::create_dir_all(&dir).expect("create staging dir");
@@ -27,6 +29,7 @@ fn stage(tag: &str, spectrum: &str, ingest: &str, robustness: &str) -> PathBuf {
     std::fs::write(dir.join("BENCH_robustness.json"), robustness).expect("write robustness");
     std::fs::write(dir.join("BENCH_obs.json"), BASELINE_OBS).expect("write obs");
     std::fs::write(dir.join("BENCH_estimator.json"), BASELINE_ESTIMATOR).expect("write estimator");
+    std::fs::write(dir.join("BENCH_serve.json"), BASELINE_SERVE).expect("write serve");
     dir
 }
 
@@ -60,8 +63,8 @@ fn identical_artifacts_pass() {
         "identical artifacts must pass:\n{report:?}"
     );
     // One row per gated metric per case:
-    // 2 spectrum + 4 ingest + 2 robustness + 6 obs + 6 estimator.
-    assert_eq!(report.rows.len(), 20);
+    // 2 spectrum + 4 ingest + 2 robustness + 6 obs + 6 estimator + 3 serve.
+    assert_eq!(report.rows.len(), 23);
 }
 
 #[test]
@@ -120,6 +123,37 @@ fn broken_invariant_fails_despite_matching_baseline() {
     assert!(!report.passed(), "invariant break must fail the gate");
     assert!(
         report.problems.iter().any(|p| p.contains("invariant")),
+        "{report:?}"
+    );
+}
+
+#[test]
+fn broken_serve_invariant_fails_despite_matching_baseline() {
+    // Same trick as the robustness test: the inverted serve artifact is
+    // its own baseline, so every `shed_rate` row matches — only the hard
+    // backpressure invariants (rated must shed nothing, overload_2x must
+    // actually shed) can trip the gate.
+    let stage_serve = |tag: &str| {
+        let dir = stage(tag, BASELINE_SPECTRUM, BASELINE_INGEST, BASELINE_ROBUSTNESS);
+        std::fs::write(dir.join("BENCH_serve.json"), INVERTED_SERVE).expect("write serve");
+        dir
+    };
+    let base = stage_serve("srvbase");
+    let cur = stage_serve("srvcur");
+    let report = check(&opts(&base, &cur)).expect("check runs");
+    std::fs::remove_dir_all(&base).ok();
+    std::fs::remove_dir_all(&cur).ok();
+    assert!(report.rows.iter().all(|r| !r.regressed));
+    assert!(!report.passed(), "serve invariant break must fail the gate");
+    assert!(
+        report.problems.iter().any(|p| p.contains("`rated` shed")),
+        "{report:?}"
+    );
+    assert!(
+        report
+            .problems
+            .iter()
+            .any(|p| p.contains("`overload_2x` shed nothing")),
         "{report:?}"
     );
 }

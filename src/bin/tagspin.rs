@@ -6,6 +6,8 @@
 //!                  [--estimator spectrum|ml|hybrid]
 //!                  [--metrics-out metrics.json] [-v]
 //! tagspin quality  --config dep.conf --log log.llrp
+//! tagspin serve    --config dep.conf [--listen ADDR] [--http ADDR]
+//!                  [--shards N] [--queue N] [--window N]
 //! tagspin example-config
 //! ```
 //!
@@ -20,6 +22,12 @@
 //! its robust weights clear the trust floor). Passing the flag — any
 //! value — also reports the serving backend and the position-covariance
 //! confidence alongside the fix.
+//!
+//! `serve` boots the long-running fleet daemon (`tagspin::serve`): readers
+//! stream length-prefixed LLRP report frames to the ingest port while fix
+//! queries and `tagspin-metrics/v1` scrapes are answered over HTTP. The
+//! process prints both bound addresses on startup (port 0 picks a free
+//! port) and runs until killed.
 //!
 //! Logs use the LLRP-subset binary format (`tagspin::epc::llrp`) — the same
 //! bytes a capture of the reader's report stream would contain. Deployment
@@ -120,6 +128,11 @@ impl Args {
             "rotations",
             "metrics-out",
             "estimator",
+            "listen",
+            "http",
+            "shards",
+            "queue",
+            "window",
         ];
         while let Some(arg) = iter.next() {
             if arg == "-v" {
@@ -156,6 +169,8 @@ fn usage() -> CliError {
          tagspin locate   --config <file> --log <file> [--3d] [--aided] \
          [--estimator spectrum|ml|hybrid] [--metrics-out <file>] [-v]\n  \
          tagspin quality  --config <file> --log <file>\n  \
+         tagspin serve    --config <file> [--listen ADDR] [--http ADDR] \
+         [--shards N] [--queue N] [--window N]\n  \
          tagspin example-config",
     )
 }
@@ -206,6 +221,7 @@ fn run() -> Result<(), CliError> {
         Some("simulate") => simulate(&args),
         Some("locate") => locate(&args),
         Some("quality") => quality(&args),
+        Some("serve") => serve(&args),
         Some("example-config") => {
             print!("{}", example_config());
             Ok(())
@@ -435,6 +451,73 @@ fn print_aided(fix: &ResolvedFix) {
         fix.runner_up_residual_m / fix.residual_m.max(1e-9)
     );
     println!("chosen candidates: {:?}", fix.chosen);
+}
+
+/// Boot the fleet daemon and run until the process is killed. Prints the
+/// bound ingest/HTTP addresses first (machine-parseable, one per line) so
+/// supervisors — the CI smoke job included — can target ephemeral ports.
+fn serve(args: &Args) -> Result<(), CliError> {
+    use std::io::Write;
+    use tagspin::core::session::window::WindowConfig;
+    use tagspin::serve::{ServeConfig, ServeDaemon};
+
+    let dep = load_deployment(args)?;
+    if dep.tags.is_empty() {
+        return Err(CliError::usage("deployment has no tags"));
+    }
+    let server = dep.build_server();
+
+    let mut config = ServeConfig::default();
+    if let Some(addr) = args.flag("listen") {
+        config.listen = addr.to_string();
+    }
+    if let Some(addr) = args.flag("http") {
+        config.http = addr.to_string();
+    }
+    if let Some(n) = args.flag("shards") {
+        config.shards = n
+            .parse::<usize>()
+            .ok()
+            .filter(|&n| n >= 1)
+            .ok_or_else(|| CliError::usage("bad --shards (want an integer >= 1)"))?;
+    }
+    if let Some(n) = args.flag("queue") {
+        config.queue_capacity = n
+            .parse::<usize>()
+            .ok()
+            .filter(|&n| n >= 1)
+            .ok_or_else(|| CliError::usage("bad --queue (want an integer >= 1)"))?;
+    }
+    if let Some(n) = args.flag("window") {
+        let n: usize = n
+            .parse()
+            .map_err(|_| CliError::usage("bad --window (want an integer; 0 = unbounded)"))?;
+        config.window = if n == 0 {
+            WindowConfig::unbounded()
+        } else {
+            WindowConfig::last_reports(n)
+        };
+    }
+
+    let daemon = ServeDaemon::start(server, &config).map_err(|e| CliError::Io {
+        path: "binding serve listeners".to_string(),
+        source: e,
+    })?;
+    println!("ingest: {}", daemon.ingest_addr());
+    println!("http: {}", daemon.http_addr());
+    println!(
+        "serving {} tags on {} shards (queue {} batches/shard); \
+         routes: /healthz /metrics /stats /drain /fix/2d?antenna=N",
+        dep.tags.len(),
+        config.shards,
+        config.queue_capacity,
+    );
+    let _ = std::io::stdout().flush();
+    // Run until killed: the daemon's own threads do all the work, and a
+    // process supervisor (systemd, the CI smoke job) owns the lifecycle.
+    loop {
+        std::thread::park();
+    }
 }
 
 fn quality(args: &Args) -> Result<(), CliError> {

@@ -50,4 +50,5 @@ pub use tagspin_dsp as dsp;
 pub use tagspin_epc as epc;
 pub use tagspin_geom as geom;
 pub use tagspin_rf as rf;
+pub use tagspin_serve as serve;
 pub use tagspin_sim as sim;

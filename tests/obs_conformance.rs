@@ -121,6 +121,8 @@ fn fold(events: &[Event]) -> EventTotals {
                 Stage::Recompute => t.stage.recompute_ns += nanos,
                 Stage::Fix => t.stage.fix_ns += nanos,
                 Stage::Refine => t.stage.refine_ns += nanos,
+                // Serve-daemon stages; the session pipeline never emits them.
+                Stage::Decode | Stage::Route => {}
             },
             Event::CacheLookup { .. } => t.cache_lookups += 1,
             Event::PeakSearch { .. } => t.peak_searches += 1,

@@ -1,10 +1,13 @@
 //! Offline stand-in for the `crossbeam` crate.
 //!
-//! Tagspin only uses `crossbeam::thread::scope` for its fan-out trial
-//! sweeps. Since Rust 1.63 the standard library ships scoped threads, so
-//! this stub adapts `std::thread::scope` to the crossbeam calling
-//! convention (`scope(|s| ...)` returning a `Result`, spawn closures
-//! receiving the scope as an argument).
+//! Tagspin uses `crossbeam::thread::scope` for its fan-out trial sweeps
+//! and `crossbeam::channel::bounded` for the serve daemon's per-shard
+//! queues. Since Rust 1.63 the standard library ships scoped threads and
+//! has always shipped `mpsc::sync_channel`, so this stub adapts both to
+//! the crossbeam calling convention: `scope(|s| ...)` returning a
+//! `Result` with spawn closures receiving the scope, and
+//! `bounded(cap)` returning cloneable `Sender`s with non-blocking
+//! `try_send` (the backpressure/load-shed primitive).
 
 #![forbid(unsafe_code)]
 
@@ -46,8 +49,210 @@ pub mod thread {
     }
 }
 
+/// Bounded multi-producer channels mirroring `crossbeam::channel`.
+///
+/// Backed by `std::sync::mpsc::sync_channel`: the capacity is a hard
+/// bound, `try_send` on a full queue fails instead of blocking, and the
+/// sender half is cloneable (std's `SyncSender` already is). Only the
+/// subset tagspin's serve daemon needs is provided.
+pub mod channel {
+    use std::fmt;
+    use std::sync::mpsc;
+    use std::time::Duration;
+
+    /// Why [`Sender::try_send`] could not enqueue, carrying the message
+    /// back so the caller can account for the shed without cloning.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TrySendError<T> {
+        /// The queue is at capacity (backpressure: shed or retry).
+        Full(T),
+        /// Every receiver is gone.
+        Disconnected(T),
+    }
+
+    impl<T> TrySendError<T> {
+        /// The message that failed to enqueue.
+        pub fn into_inner(self) -> T {
+            match self {
+                TrySendError::Full(m) | TrySendError::Disconnected(m) => m,
+            }
+        }
+    }
+
+    impl<T> fmt::Display for TrySendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TrySendError::Full(_) => write!(f, "channel full"),
+                TrySendError::Disconnected(_) => write!(f, "channel disconnected"),
+            }
+        }
+    }
+
+    /// Why a blocking [`Sender::send`] failed: receivers are gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "channel disconnected")
+        }
+    }
+
+    /// Why [`Receiver::recv`] returned without a message.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl fmt::Display for RecvError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "channel disconnected and drained")
+        }
+    }
+
+    /// Why [`Receiver::recv_timeout`] returned without a message.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// Nothing arrived within the deadline.
+        Timeout,
+        /// Every sender is gone and the queue is drained.
+        Disconnected,
+    }
+
+    impl fmt::Display for RecvTimeoutError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                RecvTimeoutError::Timeout => write!(f, "recv timed out"),
+                RecvTimeoutError::Disconnected => write!(f, "channel disconnected and drained"),
+            }
+        }
+    }
+
+    /// The sending half of a bounded channel; cloneable.
+    #[derive(Debug)]
+    pub struct Sender<T> {
+        inner: mpsc::SyncSender<T>,
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender {
+                inner: self.inner.clone(),
+            }
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Enqueue without blocking; a full queue is an error (the
+        /// load-shed decision point).
+        pub fn try_send(&self, msg: T) -> Result<(), TrySendError<T>> {
+            self.inner.try_send(msg).map_err(|e| match e {
+                mpsc::TrySendError::Full(m) => TrySendError::Full(m),
+                mpsc::TrySendError::Disconnected(m) => TrySendError::Disconnected(m),
+            })
+        }
+
+        /// Enqueue, blocking while the queue is full (backpressure).
+        pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+            self.inner
+                .send(msg)
+                .map_err(|mpsc::SendError(m)| SendError(m))
+        }
+    }
+
+    /// The receiving half of a bounded channel.
+    #[derive(Debug)]
+    pub struct Receiver<T> {
+        inner: mpsc::Receiver<T>,
+    }
+
+    impl<T> Receiver<T> {
+        /// Block until a message arrives or every sender is gone.
+        ///
+        /// # Errors
+        ///
+        /// [`RecvError`] once the channel is disconnected and drained.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.inner.recv().map_err(|_| RecvError)
+        }
+
+        /// Block up to `timeout` for a message.
+        ///
+        /// # Errors
+        ///
+        /// [`RecvTimeoutError::Timeout`] on deadline,
+        /// [`RecvTimeoutError::Disconnected`] once drained and closed.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            self.inner.recv_timeout(timeout).map_err(|e| match e {
+                mpsc::RecvTimeoutError::Timeout => RecvTimeoutError::Timeout,
+                mpsc::RecvTimeoutError::Disconnected => RecvTimeoutError::Disconnected,
+            })
+        }
+
+        /// Take whatever is queued right now without blocking.
+        pub fn try_iter(&self) -> impl Iterator<Item = T> + '_ {
+            self.inner.try_iter()
+        }
+    }
+
+    /// A bounded channel with room for exactly `cap` queued messages.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(cap);
+        (Sender { inner: tx }, Receiver { inner: rx })
+    }
+}
+
 #[cfg(test)]
 mod tests {
+    use std::time::Duration;
+
+    #[test]
+    fn bounded_sheds_when_full() {
+        let (tx, rx) = super::channel::bounded::<u32>(2);
+        tx.try_send(1).unwrap();
+        tx.try_send(2).unwrap();
+        assert!(matches!(
+            tx.try_send(3),
+            Err(super::channel::TrySendError::Full(3))
+        ));
+        assert_eq!(rx.recv(), Ok(1));
+        tx.try_send(3).unwrap();
+        assert_eq!(rx.recv(), Ok(2));
+        assert_eq!(rx.recv(), Ok(3));
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(1)),
+            Err(super::channel::RecvTimeoutError::Timeout)
+        );
+    }
+
+    #[test]
+    fn disconnect_is_typed_on_both_halves() {
+        let (tx, rx) = super::channel::bounded::<u32>(1);
+        drop(rx);
+        assert!(matches!(
+            tx.try_send(1),
+            Err(super::channel::TrySendError::Disconnected(1))
+        ));
+        assert!(tx.send(2).is_err());
+        let (tx, rx) = super::channel::bounded::<u32>(1);
+        tx.send(7).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv(), Ok(7));
+        assert!(rx.recv().is_err());
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(1)),
+            Err(super::channel::RecvTimeoutError::Disconnected)
+        );
+    }
+
+    #[test]
+    fn senders_clone_and_fan_in() {
+        let (tx, rx) = super::channel::bounded::<u32>(8);
+        let tx2 = tx.clone();
+        tx.send(1).unwrap();
+        tx2.send(2).unwrap();
+        let got: Vec<u32> = rx.try_iter().collect();
+        assert_eq!(got, vec![1, 2]);
+    }
+
     #[test]
     fn fans_out_and_joins() {
         let total = std::sync::atomic::AtomicUsize::new(0);
