@@ -1,0 +1,27 @@
+//! Cold-vs-warm boot benchmark for the calibration store.
+//!
+//! Like the serve bench this one has no criterion micro-timings: each
+//! case is one whole-boot measurement (prewarm a batch of steering
+//! tables through a store-attached engine), so the suite in
+//! `store_bench` *is* the measurement. It emits the machine-readable
+//! `BENCH_store.json` artifact (schema `tagspin-bench-store/v1`):
+//! cold/warm boot time, store hit/persist counters, and the zero-by-
+//! construction fix bit-mismatch count. Set `TAGSPIN_BENCH_STORE_JSON`
+//! to move the artifact, `TAGSPIN_BENCH_QUICK=1` to shrink the grids
+//! (CI).
+
+use tagspin_bench::store_bench;
+
+fn main() {
+    let quick = std::env::var_os("TAGSPIN_BENCH_QUICK").is_some_and(|v| v == "1");
+    let results = store_bench::run(quick);
+    println!("calibration store (cold vs warm boot):");
+    println!("{}", store_bench::report(&results));
+    let path = std::env::var_os("TAGSPIN_BENCH_STORE_JSON")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| std::path::PathBuf::from("BENCH_store.json"));
+    match store_bench::write_json(&path, &results) {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+    }
+}

@@ -19,6 +19,8 @@
 //!                                    # (default BENCH_estimator.json)
 //! reproduce --bench-serve [path]     # only the serve fleet load bench,
 //!                                    # JSON to path (default BENCH_serve.json)
+//! reproduce --bench-store [path]     # only the calibration-store boot bench,
+//!                                    # JSON to path (default BENCH_store.json)
 //! reproduce --metrics-out <path>     # with --bench-obs: also export the
 //!                                    # metrics arm's registry as
 //!                                    # tagspin-metrics/v1 JSON
@@ -124,6 +126,24 @@ fn main() {
         println!("serve fleet load (closed loop over loopback TCP):");
         println!("{}", tagspin_bench::serve_bench::report(&results));
         if let Err(e) = tagspin_bench::serve_bench::write_json(&path, &results) {
+            eprintln!("error: could not write {}: {e}", path.display());
+            std::process::exit(1);
+        }
+        println!("wrote {}", path.display());
+        return;
+    }
+    if let Some(i) = args.iter().position(|a| a == "--bench-store") {
+        let path = args
+            .get(i + 1)
+            .filter(|a| !a.starts_with("--"))
+            .map_or_else(
+                || std::path::PathBuf::from("BENCH_store.json"),
+                std::path::PathBuf::from,
+            );
+        let results = tagspin_bench::store_bench::run(quick);
+        println!("calibration store (cold vs warm boot):");
+        println!("{}", tagspin_bench::store_bench::report(&results));
+        if let Err(e) = tagspin_bench::store_bench::write_json(&path, &results) {
             eprintln!("error: could not write {}: {e}", path.display());
             std::process::exit(1);
         }

@@ -71,6 +71,7 @@ pub mod obs_bench;
 pub mod robustness_bench;
 pub mod serve_bench;
 pub mod spectrum_bench;
+pub mod store_bench;
 
 #[cfg(test)]
 mod tests {

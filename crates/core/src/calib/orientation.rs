@@ -145,6 +145,16 @@ impl OrientationCalibration {
     pub fn series(&self) -> &FourierSeries {
         &self.series
     }
+
+    /// Reassemble a calibration from persisted parts (the
+    /// [`crate::store`] load path). No validation: the store's CRC and
+    /// probe spot-check vouch for the coefficients before this runs.
+    pub fn from_parts(series: FourierSeries, rms_residual: f64) -> Self {
+        OrientationCalibration {
+            series,
+            rms_residual,
+        }
+    }
 }
 
 #[cfg(test)]

@@ -72,6 +72,7 @@ pub mod session;
 pub mod snapshot;
 pub mod spectrum;
 pub mod spinning;
+pub mod store;
 
 /// One-stop imports for typical users.
 pub mod prelude {
@@ -86,6 +87,7 @@ pub mod prelude {
     pub use crate::obs::{
         Event, FanoutObserver, FixKind, LogObserver, MetricsObserver, MetricsRegistry,
         MetricsSnapshot, NullObserver, ObsHandle, Observer, RecordingObserver, ServeMetrics, Stage,
+        StoreMetrics,
     };
     pub use crate::registry::{RegisteredTag, TagRegistry};
     pub use crate::server::{LocalizationServer, PipelineConfig, ServerError};
@@ -96,10 +98,13 @@ pub mod prelude {
     pub use crate::session::window::WindowConfig;
     pub use crate::session::{IngestOutcome, ReaderSession, SessionManager};
     pub use crate::snapshot::{Snapshot, SnapshotSet};
-    pub use crate::spectrum::engine::{SpectrumEngine, SpectrumEngineConfig};
+    pub use crate::spectrum::engine::{
+        SpectrumEngine, SpectrumEngineConfig, SteeringTable, StoreStats,
+    };
     pub use crate::spectrum::incremental::{IncrementalPolicy, SyncOutcome};
     pub use crate::spectrum::{ProfileKind, SpectrumConfig};
     pub use crate::spinning::{CenterSpinTag, DiskConfig, SpinningTag};
+    pub use crate::store::{CalibrationStore, FileStore, StoreError, TableId};
 }
 
 pub use prelude::*;

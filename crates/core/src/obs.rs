@@ -37,7 +37,7 @@ pub mod names;
 
 pub use metrics::{
     Counter, Gauge, Histogram, HistogramCell, HistogramSnapshot, MetricsObserver, MetricsRegistry,
-    MetricsSnapshot, ServeMetrics, METRICS_SCHEMA,
+    MetricsSnapshot, ServeMetrics, StoreMetrics, METRICS_SCHEMA,
 };
 
 use crate::session::quarantine::RejectReason;

@@ -37,7 +37,8 @@ use super::{
 };
 use crate::obs::{Event, ObsHandle, Observer, Stage};
 use crate::snapshot::SnapshotSet;
-use crate::spinning::{DiskConfig, DiskPlane};
+use crate::spinning::DiskConfig;
+use crate::store::{CalibrationStore, StoreError, TableId};
 use serde::{Deserialize, Serialize};
 use std::f64::consts::{FRAC_PI_2, PI, TAU};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -163,58 +164,48 @@ pub struct CacheStats {
     pub entries: usize,
 }
 
-/// Cache key: disk geometry + grid resolution, compared bit-exactly.
-///
-/// Deliberately over-keyed: the trigonometry itself depends only on the
-/// grid (and, through nothing at all, on the disk), but keying on the full
-/// disk geometry keeps the cache semantics aligned with "one table per
-/// (`DiskConfig`, grid)" and costs at most a few duplicate entries (each a
-/// few KiB) inside the bounded LRU.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct TableKey {
-    radius: u64,
-    omega: u64,
-    initial_angle: u64,
-    /// 0 = horizontal / plain-radius call, 1 = vertical.
-    plane: u8,
-    normal_azimuth: u64,
-    azimuth_steps: usize,
-    polar_steps: usize,
+/// Calibration-store counters (see [`SpectrumEngine::store_stats`]).
+/// All zeros unless a store is attached via [`SpectrumEngine::set_store`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StoreStats {
+    /// Steering tables served from the store instead of being rebuilt.
+    pub hits: u64,
+    /// Store lookups that found no record (and fell through to a build).
+    pub misses: u64,
+    /// Freshly built tables persisted to the store.
+    pub persisted: u64,
+    /// Store records rejected as corrupt or stale, recomputed fresh.
+    pub invalid: u64,
 }
 
-impl TableKey {
-    fn for_radius(radius: f64, cfg: &SpectrumConfig) -> Self {
-        TableKey {
-            radius: radius.to_bits(),
-            omega: 0,
-            initial_angle: 0,
-            plane: 0,
-            normal_azimuth: 0,
-            azimuth_steps: cfg.azimuth_steps,
-            polar_steps: cfg.polar_steps,
-        }
-    }
+/// Azimuth grid node `i` of `azimuth_steps` over `[0, 2π)` — the single
+/// authoritative formula, shared by [`SteeringTable::build`] and
+/// [`SteeringTable::spot_check`] so the two are bit-identical by
+/// construction.
+fn phi_at(i: usize, azimuth_steps: usize) -> f64 {
+    // lint:allow(lossy-cast) azimuth index and step count are < 2^32, exact in f64
+    i as f64 * TAU / azimuth_steps as f64
+}
 
-    fn for_disk(disk: &DiskConfig, cfg: &SpectrumConfig) -> Self {
-        let (plane, normal_azimuth) = match disk.plane {
-            DiskPlane::Horizontal => (0, 0),
-            DiskPlane::Vertical { normal_azimuth } => (1, normal_azimuth.to_bits()),
-        };
-        TableKey {
-            radius: disk.radius.to_bits(),
-            omega: disk.omega.to_bits(),
-            initial_angle: disk.initial_angle.to_bits(),
-            plane,
-            normal_azimuth,
-            azimuth_steps: cfg.azimuth_steps,
-            polar_steps: cfg.polar_steps,
-        }
-    }
+/// Polar grid node `j` of `polar_steps` over `[-π/2, π/2]` (see
+/// [`phi_at`] for why this is a shared helper).
+fn gamma_at(j: usize, polar_steps: usize) -> f64 {
+    // lint:allow(lossy-cast) polar index and step count are < 2^32, exact in f64
+    -FRAC_PI_2 + j as f64 * PI / (polar_steps - 1) as f64
+}
+
+/// Sample indices for a spot-check over an axis of `n` nodes: the ends
+/// plus two interior points.
+fn spot_indices(n: usize) -> [usize; 4] {
+    [0, n / 3, n / 2, n - 1]
 }
 
 /// Precomputed candidate-grid trigonometry.
+///
+/// Public because the calibration store ([`crate::store`]) persists and
+/// reloads tables; the engine itself still owns construction and caching.
 #[derive(Debug)]
-struct SteeringTable {
+pub struct SteeringTable {
     cos_phi: Vec<f64>,
     sin_phi: Vec<f64>,
     cos_gamma: Vec<f64>,
@@ -222,20 +213,19 @@ struct SteeringTable {
 }
 
 impl SteeringTable {
-    fn build(azimuth_steps: usize, polar_steps: usize) -> Self {
+    /// Build the table for a grid from first principles.
+    pub fn build(azimuth_steps: usize, polar_steps: usize) -> Self {
         let mut cos_phi = Vec::with_capacity(azimuth_steps);
         let mut sin_phi = Vec::with_capacity(azimuth_steps);
         for i in 0..azimuth_steps {
-            // lint:allow(lossy-cast) azimuth index and step count are < 2^32, exact in f64
-            let phi = i as f64 * TAU / azimuth_steps as f64;
+            let phi = phi_at(i, azimuth_steps);
             cos_phi.push(phi.cos());
             sin_phi.push(phi.sin());
         }
         let mut cos_gamma = Vec::with_capacity(polar_steps);
         let mut sin_gamma = Vec::with_capacity(polar_steps);
         for j in 0..polar_steps {
-            // lint:allow(lossy-cast) polar index and step count are < 2^32, exact in f64
-            let gamma = -FRAC_PI_2 + j as f64 * PI / (polar_steps - 1) as f64;
+            let gamma = gamma_at(j, polar_steps);
             cos_gamma.push(gamma.cos());
             sin_gamma.push(gamma.sin());
         }
@@ -246,12 +236,70 @@ impl SteeringTable {
             sin_gamma,
         }
     }
+
+    /// Reassemble a table from persisted vectors (no validation — run
+    /// [`SteeringTable::spot_check`] before trusting the result).
+    pub fn from_parts(
+        cos_phi: Vec<f64>,
+        sin_phi: Vec<f64>,
+        cos_gamma: Vec<f64>,
+        sin_gamma: Vec<f64>,
+    ) -> Self {
+        SteeringTable {
+            cos_phi,
+            sin_phi,
+            cos_gamma,
+            sin_gamma,
+        }
+    }
+
+    /// Conformance spot-check: recompute a sample of grid nodes from
+    /// first principles and compare bit-for-bit. A table that fails may
+    /// not be used — the caller must rebuild fresh.
+    pub fn spot_check(&self) -> bool {
+        let az = self.cos_phi.len();
+        let po = self.cos_gamma.len();
+        if az == 0 || po < 2 || self.sin_phi.len() != az || self.sin_gamma.len() != po {
+            return false;
+        }
+        let phi_ok = spot_indices(az).iter().all(|&i| {
+            let phi = phi_at(i, az);
+            self.cos_phi[i].to_bits() == phi.cos().to_bits()
+                && self.sin_phi[i].to_bits() == phi.sin().to_bits()
+        });
+        let gamma_ok = spot_indices(po).iter().all(|&j| {
+            let gamma = gamma_at(j, po);
+            self.cos_gamma[j].to_bits() == gamma.cos().to_bits()
+                && self.sin_gamma[j].to_bits() == gamma.sin().to_bits()
+        });
+        phi_ok && gamma_ok
+    }
+
+    /// Cosines of the azimuth grid (length = azimuth steps).
+    pub fn cos_phi(&self) -> &[f64] {
+        &self.cos_phi
+    }
+
+    /// Sines of the azimuth grid.
+    pub fn sin_phi(&self) -> &[f64] {
+        &self.sin_phi
+    }
+
+    /// Cosines of the polar grid (length = polar steps).
+    pub fn cos_gamma(&self) -> &[f64] {
+        &self.cos_gamma
+    }
+
+    /// Sines of the polar grid.
+    pub fn sin_gamma(&self) -> &[f64] {
+        &self.sin_gamma
+    }
 }
 
 /// Move-to-front LRU of steering tables.
 #[derive(Debug)]
 struct TableCache {
-    entries: Vec<(TableKey, Arc<SteeringTable>)>,
+    entries: Vec<(TableId, Arc<SteeringTable>)>,
     capacity: usize,
 }
 
@@ -418,6 +466,18 @@ pub struct SpectrumEngine {
     cache: Arc<Mutex<TableCache>>,
     hits: Arc<AtomicU64>,
     misses: Arc<AtomicU64>,
+    /// Optional calibration store consulted on LRU misses (tables loaded
+    /// before building) and fed on builds (persist-on-bless). `None` by
+    /// default: the engine computes everything fresh.
+    store: Option<Arc<dyn CalibrationStore>>,
+    /// Tables served from the store instead of being rebuilt.
+    store_hits: Arc<AtomicU64>,
+    /// Store lookups that found no record (cold path).
+    store_misses: Arc<AtomicU64>,
+    /// Tables persisted to the store after a fresh build.
+    store_persisted: Arc<AtomicU64>,
+    /// Store records rejected as corrupt/stale and recomputed fresh.
+    store_invalid: Arc<AtomicU64>,
     /// Observability sink; [`crate::obs::NullObserver`] by default, so the
     /// instrumentation points below cost one predictable branch each.
     obs: ObsHandle,
@@ -448,6 +508,11 @@ impl SpectrumEngine {
             })),
             hits: Arc::new(AtomicU64::new(0)),
             misses: Arc::new(AtomicU64::new(0)),
+            store: None,
+            store_hits: Arc::new(AtomicU64::new(0)),
+            store_misses: Arc::new(AtomicU64::new(0)),
+            store_persisted: Arc::new(AtomicU64::new(0)),
+            store_invalid: Arc::new(AtomicU64::new(0)),
             obs: ObsHandle::null(),
             coarse_ns: Arc::new(AtomicU64::new(0)),
             fine_ns: Arc::new(AtomicU64::new(0)),
@@ -458,6 +523,41 @@ impl SpectrumEngine {
     /// pre-existing clones keep their previous handle.
     pub fn set_observer(&mut self, observer: Arc<dyn Observer>) {
         self.obs = ObsHandle::new(observer);
+    }
+
+    /// Attach a calibration store. Like [`SpectrumEngine::set_observer`],
+    /// clones made *after* this call share it; pre-existing clones keep
+    /// computing fresh. The [`StoreStats`] counters are engine-wide and
+    /// shared by *all* clones regardless of when they were made.
+    pub fn set_store(&mut self, store: Arc<dyn CalibrationStore>) {
+        self.store = Some(store);
+    }
+
+    /// Calibration-store counters since construction, shared across
+    /// clones like [`CacheStats`]. All zeros when no store is attached.
+    pub fn store_stats(&self) -> StoreStats {
+        StoreStats {
+            // ordering: relaxed — approximate counters; no cross-counter consistency needed
+            hits: self.store_hits.load(Ordering::Relaxed),
+            // ordering: relaxed — same as hits above
+            misses: self.store_misses.load(Ordering::Relaxed),
+            // ordering: relaxed — same as hits above
+            persisted: self.store_persisted.load(Ordering::Relaxed),
+            // ordering: relaxed — same as hits above
+            invalid: self.store_invalid.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Warm the LRU (and, transitively, the store) for the plain-radius
+    /// table used by 2D and horizontal-3D evaluations.
+    pub fn prewarm_radius(&self, radius: f64, cfg: &SpectrumConfig) {
+        let _ = self.table(TableId::for_radius(radius, cfg));
+    }
+
+    /// Warm the LRU (and, transitively, the store) for the full-geometry
+    /// table used by `for_disk` evaluations.
+    pub fn prewarm_disk(&self, disk: &DiskConfig, cfg: &SpectrumConfig) {
+        let _ = self.table(TableId::for_disk(disk, cfg));
     }
 
     /// The engine's observer handle (cloned by sessions built from it).
@@ -522,7 +622,7 @@ impl SpectrumEngine {
     /// Cache lookup: under the lock, find `key` and touch it to the LRU
     /// head. Counter updates and observer emission happen in [`Self::table`]
     /// after the guard drops, keeping the critical section free of callouts.
-    fn lookup(&self, key: &TableKey) -> Option<Arc<SteeringTable>> {
+    fn lookup(&self, key: &TableId) -> Option<Arc<SteeringTable>> {
         let mut cache = self.cache.lock().unwrap_or_else(PoisonError::into_inner);
         let pos = cache.entries.iter().position(|(k, _)| *k == *key)?;
         let entry = cache.entries.remove(pos);
@@ -535,7 +635,7 @@ impl SpectrumEngine {
     /// the same key (the first cached table wins, so clones sharing the
     /// cache agree on one instance), then insert at the LRU head and
     /// truncate to capacity.
-    fn insert(&self, key: TableKey, table: Arc<SteeringTable>) -> Arc<SteeringTable> {
+    fn insert(&self, key: TableId, table: Arc<SteeringTable>) -> Arc<SteeringTable> {
         let mut cache = self.cache.lock().unwrap_or_else(PoisonError::into_inner);
         if let Some(pos) = cache.entries.iter().position(|(k, _)| *k == key) {
             let entry = cache.entries.remove(pos);
@@ -553,7 +653,7 @@ impl SpectrumEngine {
     /// lock and inserted. Two racing misses may both build (and both count
     /// a miss); [`Self::insert`] keeps the first table. The table build and
     /// every observer callout run without the guard held.
-    fn table(&self, key: TableKey) -> Arc<SteeringTable> {
+    fn table(&self, key: TableId) -> Arc<SteeringTable> {
         if let Some(table) = self.lookup(&key) {
             // ordering: relaxed — monotonic tally read only via cache_stats snapshots
             self.hits.fetch_add(1, Ordering::Relaxed);
@@ -563,8 +663,34 @@ impl SpectrumEngine {
         // ordering: relaxed — monotonic tally read only via cache_stats snapshots
         self.misses.fetch_add(1, Ordering::Relaxed);
         self.obs.emit(|| Event::CacheLookup { hit: false });
+        if let Some(store) = &self.store {
+            match store.load_table(&key) {
+                Ok(table) => {
+                    // ordering: relaxed — monotonic tally read only via store_stats snapshots
+                    self.store_hits.fetch_add(1, Ordering::Relaxed);
+                    return self.insert(key, Arc::new(table));
+                }
+                Err(StoreError::NotFound) => {
+                    // ordering: relaxed — monotonic tally read only via store_stats snapshots
+                    self.store_misses.fetch_add(1, Ordering::Relaxed);
+                }
+                Err(_) => {
+                    // A corrupt/stale record must never change a fix: count
+                    // it and fall through to a fresh build.
+                    // ordering: relaxed — monotonic tally read only via store_stats snapshots
+                    self.store_invalid.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
         let table = Arc::new(SteeringTable::build(key.azimuth_steps, key.polar_steps));
-        self.insert(key, table)
+        let table = self.insert(key, table);
+        if let Some(store) = &self.store {
+            if store.save_table(&key, &table).is_ok() {
+                // ordering: relaxed — monotonic tally read only via store_stats snapshots
+                self.store_persisted.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        table
     }
 
     fn check(set: &SnapshotSet, cfg: &SpectrumConfig, ecfg: &SpectrumEngineConfig) {
@@ -603,7 +729,7 @@ impl SpectrumEngine {
         Self::check(set, cfg, ecfg);
         let p = prepare(set, radius, cfg);
         let ap = Aperture::horizontal(&p);
-        let table = self.table(TableKey::for_radius(radius, cfg));
+        let table = self.table(TableId::for_radius(radius, cfg));
         let ctx = EvalContext {
             p: &p,
             ap: &ap,
@@ -643,7 +769,7 @@ impl SpectrumEngine {
             set,
             &p,
             ap,
-            TableKey::for_radius(radius, cfg),
+            TableId::for_radius(radius, cfg),
             kind,
             cfg,
             ecfg,
@@ -672,7 +798,7 @@ impl SpectrumEngine {
         disk.validate().expect("invalid disk config");
         let p = prepare(set, disk.radius, cfg);
         let ap = Aperture::for_disk(&p, disk);
-        self.full_3d(set, &p, ap, TableKey::for_disk(disk, cfg), kind, cfg, ecfg)
+        self.full_3d(set, &p, ap, TableId::for_disk(disk, cfg), kind, cfg, ecfg)
     }
 
     #[allow(clippy::too_many_arguments)] // internal plumbing shared by both 3D entry points
@@ -681,7 +807,7 @@ impl SpectrumEngine {
         _set: &SnapshotSet,
         p: &Prepared,
         ap: Aperture,
-        key: TableKey,
+        key: TableId,
         kind: ProfileKind,
         cfg: &SpectrumConfig,
         ecfg: &SpectrumEngineConfig,
@@ -740,7 +866,7 @@ impl SpectrumEngine {
         Self::check(set, cfg, ecfg);
         let p = prepare(set, radius, cfg);
         let ap = Aperture::horizontal(&p);
-        let table = self.table(TableKey::for_radius(radius, cfg));
+        let table = self.table(TableId::for_radius(radius, cfg));
         let ctx = |k| EvalContext {
             p: &p,
             ap: &ap,
@@ -898,7 +1024,7 @@ impl SpectrumEngine {
         Self::check(set, cfg, ecfg);
         let p = prepare(set, radius, cfg);
         let ap = Aperture::horizontal(&p);
-        self.fast_peak_3d(&p, &ap, TableKey::for_radius(radius, cfg), kind, cfg, ecfg)
+        self.fast_peak_3d(&p, &ap, TableId::for_radius(radius, cfg), kind, cfg, ecfg)
     }
 
     /// Peak direction of the oriented-disk 3D spectrum, coarse-to-fine.
@@ -926,7 +1052,7 @@ impl SpectrumEngine {
         disk.validate().expect("invalid disk config");
         let p = prepare(set, disk.radius, cfg);
         let ap = Aperture::for_disk(&p, disk);
-        self.fast_peak_3d(&p, &ap, TableKey::for_disk(disk, cfg), kind, cfg, ecfg)
+        self.fast_peak_3d(&p, &ap, TableId::for_disk(disk, cfg), kind, cfg, ecfg)
     }
 
     /// 3D counterpart of [`SpectrumEngine::exhaustive_peak_2d`].
@@ -954,7 +1080,7 @@ impl SpectrumEngine {
         &self,
         p: &Prepared,
         ap: &Aperture,
-        key: TableKey,
+        key: TableId,
         kind: ProfileKind,
         cfg: &SpectrumConfig,
         ecfg: &SpectrumEngineConfig,
@@ -1407,5 +1533,95 @@ mod tests {
         assert_eq!(coarse_stride(8, 360.0, 5.0), 1);
         // Polar: 90 intervals over 180° at 5° → stride 2 (2°-steps grid).
         assert_eq!(coarse_stride(90, 180.0, 5.0), 2);
+    }
+
+    #[test]
+    fn built_tables_pass_their_own_spot_check() {
+        assert!(SteeringTable::build(360, 31).spot_check());
+        assert!(SteeringTable::build(7, 2).spot_check());
+        let mut tampered = SteeringTable::build(360, 31);
+        tampered.cos_phi[0] = 0.5;
+        assert!(!tampered.spot_check());
+        assert!(!SteeringTable::from_parts(vec![1.0], vec![], vec![], vec![]).spot_check());
+    }
+
+    #[test]
+    fn store_round_trips_tables_through_the_engine() {
+        let dir = std::env::temp_dir().join(format!("tagspin-engine-store-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store: Arc<dyn CalibrationStore> =
+            Arc::new(crate::store::FileStore::open(&dir).expect("open store"));
+        let cfg = cfg_2d();
+        let ecfg = SpectrumEngineConfig::default();
+
+        // Cold engine: miss the store, build, persist.
+        let mut cold = SpectrumEngine::new(&ecfg);
+        cold.set_store(Arc::clone(&store));
+        cold.prewarm_radius(0.1, &cfg);
+        let stats = cold.store_stats();
+        assert_eq!(
+            (stats.hits, stats.misses, stats.persisted, stats.invalid),
+            (0, 1, 1, 0)
+        );
+
+        // Warm engine over the same directory: load, never rebuild.
+        let mut warm = SpectrumEngine::new(&ecfg);
+        warm.set_store(Arc::clone(&store));
+        warm.prewarm_radius(0.1, &cfg);
+        let stats = warm.store_stats();
+        assert_eq!(
+            (stats.hits, stats.misses, stats.persisted, stats.invalid),
+            (1, 0, 0, 0)
+        );
+
+        // The warm engine's spectra are bit-identical to a storeless run.
+        let disk = DiskConfig::paper_default(Vec3::ZERO);
+        let set = synthesize(&disk, Vec3::new(1.3, 0.4, 0.0), 64);
+        let plain = SpectrumEngine::new(&ecfg);
+        let a = warm.spectrum_2d(&set, disk.radius, ProfileKind::Enhanced, &cfg, &ecfg);
+        let b = plain.spectrum_2d(&set, disk.radius, ProfileKind::Enhanced, &cfg, &ecfg);
+        let bits = |s: &Spectrum2D| s.values.iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&a), bits(&b));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_store_records_fall_back_to_fresh_compute() {
+        let dir = std::env::temp_dir().join(format!(
+            "tagspin-engine-store-corrupt-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let file_store = crate::store::FileStore::open(&dir).expect("open store");
+        let cfg = cfg_2d();
+        let ecfg = SpectrumEngineConfig::default();
+        let mut seeder = SpectrumEngine::new(&ecfg);
+        seeder.set_store(Arc::new(crate::store::FileStore::open(&dir).expect("open")));
+        seeder.prewarm_radius(0.1, &cfg);
+        // Corrupt every record in place.
+        for entry in file_store.entries().expect("entries") {
+            let path = dir.join(&entry.file);
+            let mut bytes = std::fs::read(&path).expect("read");
+            let last = bytes.len() - 1;
+            bytes[last] ^= 0xFF;
+            std::fs::write(&path, &bytes).expect("write");
+        }
+        let mut engine = SpectrumEngine::new(&ecfg);
+        engine.set_store(Arc::new(crate::store::FileStore::open(&dir).expect("open")));
+        let disk = DiskConfig::paper_default(Vec3::ZERO);
+        let set = synthesize(&disk, Vec3::new(1.3, 0.4, 0.0), 64);
+        let a = engine.spectrum_2d(&set, disk.radius, ProfileKind::Enhanced, &cfg, &ecfg);
+        let plain = SpectrumEngine::new(&ecfg);
+        let b = plain.spectrum_2d(&set, disk.radius, ProfileKind::Enhanced, &cfg, &ecfg);
+        let bits = |s: &Spectrum2D| s.values.iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+        assert_eq!(
+            bits(&a),
+            bits(&b),
+            "a corrupt store must never change output"
+        );
+        assert_eq!(engine.store_stats().invalid, 1);
+        // The rebuild re-persisted a clean record over the corrupt one.
+        assert_eq!(engine.store_stats().persisted, 1);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -12,9 +12,13 @@ use std::sync::{Arc, Mutex, PoisonError};
 use std::thread::JoinHandle;
 use std::time::Duration;
 use tagspin_core::locate::plane::Fix2D;
-use tagspin_core::obs::{Event, MetricsObserver, MetricsRegistry, ObsHandle, ServeMetrics, Stage};
+use tagspin_core::obs::{
+    Event, MetricsObserver, MetricsRegistry, ObsHandle, ServeMetrics, Stage, StoreMetrics,
+};
 use tagspin_core::server::LocalizationServer;
 use tagspin_core::session::quarantine::{RejectCounts, RejectReason};
+use tagspin_core::spectrum::engine::{SpectrumEngine, StoreStats};
+use tagspin_core::store::{CalibrationStore, FileStore, StoreError};
 use tagspin_epc::frame::FrameDecoder;
 use tagspin_epc::{InventoryLog, TagReport};
 
@@ -40,6 +44,15 @@ pub struct ServeStats {
     /// Serve-tier reject books (today: only `Overload` sheds; per-report
     /// ingest screening stays inside each shard's sessions).
     pub rejects: RejectCounts,
+    /// Steering tables loaded from the calibration store (warm hits).
+    /// Zero when no store is configured.
+    pub store_table_hits: u64,
+    /// Steering-table store lookups that found no record (cold misses).
+    pub store_table_misses: u64,
+    /// Steering tables persisted to the calibration store.
+    pub store_persisted: u64,
+    /// Store records rejected as corrupt or stale, recomputed fresh.
+    pub store_invalid: u64,
 }
 
 /// Why a fix query failed.
@@ -70,7 +83,8 @@ impl ServeStats {
         format!(
             "{{\"connections\": {}, \"frames\": {}, \"frame_errors\": {}, \
              \"reports_enqueued\": {}, \"reports_shed\": {}, \"queued_batches\": {}, \
-             \"rejected_overload\": {}}}",
+             \"rejected_overload\": {}, \"store_table_hits\": {}, \"store_table_misses\": {}, \
+             \"store_persisted\": {}, \"store_invalid\": {}}}",
             self.connections,
             self.frames,
             self.frame_errors,
@@ -78,6 +92,10 @@ impl ServeStats {
             self.reports_shed,
             self.queued_batches,
             self.rejects.overload,
+            self.store_table_hits,
+            self.store_table_misses,
+            self.store_persisted,
+            self.store_invalid,
         )
     }
 }
@@ -93,6 +111,16 @@ pub(crate) struct Shared {
     pub(crate) rejects: Mutex<RejectCounts>,
     pub(crate) stop: AtomicBool,
     pub(crate) max_frame_len: usize,
+    /// A clone of the server's engine, taken after the store was
+    /// attached: its shared counters are where `/stats` and the scrape
+    /// sync read store traffic from.
+    pub(crate) engine: SpectrumEngine,
+    /// Registered `store.*` counter handles (always present, so a
+    /// store-less daemon still exports the inventory at zero).
+    pub(crate) store_metrics: StoreMetrics,
+    /// The engine snapshot already folded into `store_metrics`; guarded
+    /// so concurrent scrapes cannot double-add a delta.
+    pub(crate) store_synced: Mutex<StoreStats>,
 }
 
 impl Shared {
@@ -103,6 +131,7 @@ impl Shared {
 
     /// The accounting summary (counter reads are relaxed snapshots).
     pub(crate) fn stats(&self) -> ServeStats {
+        let store = self.engine.store_stats();
         ServeStats {
             connections: self.metrics.connections.get(),
             frames: self.metrics.frames.get(),
@@ -111,7 +140,35 @@ impl Shared {
             reports_shed: self.metrics.reports_shed.get(),
             queued_batches: self.depths.iter().map(ShardDepth::get).sum(),
             rejects: *self.rejects.lock().unwrap_or_else(PoisonError::into_inner),
+            store_table_hits: store.hits,
+            store_table_misses: store.misses,
+            store_persisted: store.persisted,
+            store_invalid: store.invalid,
         }
+    }
+
+    /// Fold the engine's store counters into the registered `store.*`
+    /// metrics as deltas since the last sync. Called on every `/metrics`
+    /// scrape; the mutex stops concurrent scrapes from double-adding.
+    pub(crate) fn sync_store_metrics(&self) {
+        let mut last = self
+            .store_synced
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        let now = self.engine.store_stats();
+        self.store_metrics
+            .table_hits
+            .add(now.hits.saturating_sub(last.hits));
+        self.store_metrics
+            .table_misses
+            .add(now.misses.saturating_sub(last.misses));
+        self.store_metrics
+            .table_persisted
+            .add(now.persisted.saturating_sub(last.persisted));
+        self.store_metrics
+            .invalid
+            .add(now.invalid.saturating_sub(last.invalid));
+        *last = now;
     }
 
     /// Answer a 2D fix from the shard owning `antenna_id`.
@@ -312,6 +369,51 @@ impl ServeDaemon {
         let mut server = server;
         server.set_observer(observer.clone());
 
+        // Calibration store: always register the `store.*` inventory (a
+        // store-less daemon exports it at zero), and when a directory is
+        // configured, warm-boot from it before any shard exists.
+        let store_metrics = StoreMetrics::new(&registry);
+        if let Some(dir) = &config.store_dir {
+            let store = Arc::new(FileStore::open(dir).map_err(|e| match e {
+                StoreError::Io(io) => io,
+                other => io::Error::other(other.to_string()),
+            })?);
+            // Orientation calibrations flow both ways at boot: tags
+            // registered *with* a calibration persist it; tags without one
+            // adopt the stored fit. A bad record is counted and skipped —
+            // the tag simply boots uncalibrated, exactly as without a store.
+            for tag in server.tags().to_vec() {
+                match &tag.orientation {
+                    Some(cal) => {
+                        if store.save_orientation(tag.epc, cal).is_ok() {
+                            store_metrics.orientation_persisted.inc();
+                        }
+                    }
+                    None => match store.load_orientation(tag.epc) {
+                        Ok(cal) => {
+                            let _ = server.set_orientation_calibration(tag.epc, cal);
+                            store_metrics.orientation_hits.inc();
+                        }
+                        Err(StoreError::NotFound) => {}
+                        Err(_) => store_metrics.invalid.inc(),
+                    },
+                }
+            }
+            server.set_store(store);
+            // Prewarm the steering-table LRU for every registered disk —
+            // both the plain-radius id (2D / horizontal-3D fixes) and the
+            // full-geometry id (for_disk fixes) — loading from the store
+            // when records exist and persisting fresh builds when not.
+            for tag in server.tags().to_vec() {
+                server
+                    .engine()
+                    .prewarm_radius(tag.disk.radius, &server.config.spectrum);
+                server
+                    .engine()
+                    .prewarm_disk(&tag.disk, &server.config.spectrum);
+            }
+        }
+
         let router = ModuloRouter::new(config.shards);
         let shards = router.shards();
         let mut senders = Vec::with_capacity(shards);
@@ -340,6 +442,9 @@ impl ServeDaemon {
             rejects: Mutex::new(RejectCounts::default()),
             stop: AtomicBool::new(false),
             max_frame_len: config.max_frame_len,
+            engine: server.engine().clone(),
+            store_metrics,
+            store_synced: Mutex::new(StoreStats::default()),
         });
 
         let conns = Arc::new(Mutex::new(Vec::new()));

@@ -71,6 +71,14 @@ pub struct ServeConfig {
     /// default and the only sensible production setting) ingests at full
     /// speed.
     pub shard_delay: Option<Duration>,
+    /// Calibration-store directory for warm boots. `Some(dir)` opens (or
+    /// creates) a [`tagspin_core::store::FileStore`] there: persisted
+    /// orientation calibrations are loaded for registered tags, steering
+    /// tables are prewarmed from disk, and fresh builds are persisted
+    /// back. `None` (the default) computes everything fresh. A corrupt
+    /// store never changes a fix — bad records are counted
+    /// (`store.invalid`) and recomputed.
+    pub store_dir: Option<std::path::PathBuf>,
 }
 
 impl Default for ServeConfig {
@@ -83,6 +91,7 @@ impl Default for ServeConfig {
             max_frame_len: DEFAULT_MAX_FRAME_LEN,
             window: WindowConfig::unbounded(),
             shard_delay: None,
+            store_dir: None,
         }
     }
 }

@@ -133,6 +133,7 @@ impl Args {
             "shards",
             "queue",
             "window",
+            "store-dir",
         ];
         while let Some(arg) = iter.next() {
             if arg == "-v" {
@@ -170,7 +171,8 @@ fn usage() -> CliError {
          [--estimator spectrum|ml|hybrid] [--metrics-out <file>] [-v]\n  \
          tagspin quality  --config <file> --log <file>\n  \
          tagspin serve    --config <file> [--listen ADDR] [--http ADDR] \
-         [--shards N] [--queue N] [--window N]\n  \
+         [--shards N] [--queue N] [--window N] [--store-dir DIR]\n  \
+         tagspin store    ls|verify|gc --store-dir DIR\n  \
          tagspin example-config",
     )
 }
@@ -222,6 +224,7 @@ fn run() -> Result<(), CliError> {
         Some("locate") => locate(&args),
         Some("quality") => quality(&args),
         Some("serve") => serve(&args),
+        Some("store") => store_cmd(&args),
         Some("example-config") => {
             print!("{}", example_config());
             Ok(())
@@ -498,6 +501,9 @@ fn serve(args: &Args) -> Result<(), CliError> {
             WindowConfig::last_reports(n)
         };
     }
+    if let Some(dir) = args.flag("store-dir") {
+        config.store_dir = Some(std::path::PathBuf::from(dir));
+    }
 
     let daemon = ServeDaemon::start(server, &config).map_err(|e| CliError::Io {
         path: "binding serve listeners".to_string(),
@@ -517,6 +523,83 @@ fn serve(args: &Args) -> Result<(), CliError> {
     // process supervisor (systemd, the CI smoke job) owns the lifecycle.
     loop {
         std::thread::park();
+    }
+}
+
+/// `verify` found records that fail validation.
+#[derive(Debug)]
+struct StoreVerifyFailed(usize);
+
+impl std::fmt::Display for StoreVerifyFailed {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} record(s) failed verification", self.0)
+    }
+}
+
+impl std::error::Error for StoreVerifyFailed {}
+
+/// `tagspin store ls|verify|gc --store-dir DIR`: inspect, validate, or
+/// clean a calibration store without booting a daemon.
+fn store_cmd(args: &Args) -> Result<(), CliError> {
+    use tagspin::core::store::FileStore;
+
+    let action = args
+        .positional
+        .get(1)
+        .map(String::as_str)
+        .ok_or_else(|| CliError::usage("store needs an action: ls, verify, or gc"))?;
+    let dir = args
+        .flag("store-dir")
+        .ok_or_else(|| CliError::usage("--store-dir <dir> required"))?;
+    let store = FileStore::open(dir).map_err(|e| CliError::lib("opening store", e))?;
+    match action {
+        "ls" => {
+            let entries = store
+                .entries()
+                .map_err(|e| CliError::lib("listing store", e))?;
+            for entry in &entries {
+                let kind = entry
+                    .kind
+                    .map_or_else(|| "unreadable".to_string(), |k| k.to_string());
+                println!(
+                    "{}  {kind:<11}  key {:016x}  {} bytes",
+                    entry.file, entry.key, entry.bytes
+                );
+            }
+            println!("{} record(s) in {dir}", entries.len());
+            Ok(())
+        }
+        "verify" => {
+            let reports = store
+                .verify()
+                .map_err(|e| CliError::lib("verifying store", e))?;
+            let mut bad = 0usize;
+            for report in &reports {
+                match &report.error {
+                    None => println!("{}  ok", report.file),
+                    Some(e) => {
+                        bad += 1;
+                        println!("{}  INVALID: {e}", report.file);
+                    }
+                }
+            }
+            println!("{} record(s), {bad} invalid", reports.len());
+            if bad > 0 {
+                return Err(CliError::lib("store verify", StoreVerifyFailed(bad)));
+            }
+            Ok(())
+        }
+        "gc" => {
+            let removed = store.gc().map_err(|e| CliError::lib("store gc", e))?;
+            for file in &removed {
+                println!("removed {file}");
+            }
+            println!("{} file(s) removed", removed.len());
+            Ok(())
+        }
+        other => Err(CliError::usage(format!(
+            "unknown store action '{other}' (want ls, verify, or gc)"
+        ))),
     }
 }
 

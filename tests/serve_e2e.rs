@@ -316,6 +316,79 @@ fn counted_rejects(doc: &Value) -> u64 {
     .sum()
 }
 
+/// Warm boot through the calibration store: a cold daemon run over a
+/// fresh store directory persists its steering tables; a warm reboot
+/// over the same directory prewarms from disk (`store_table_hits` > 0,
+/// visible in both the daemon books and the `/stats` JSON), replays the
+/// same 8-reader streams, and must answer every fix **byte-identical**
+/// to the cold run — the fix JSON uses shortest-roundtrip `f64`
+/// formatting, so body equality is bit equality.
+#[test]
+fn warm_boot_replays_bit_identical_fixes() {
+    let dir = std::env::temp_dir().join(format!("tagspin-store-e2e-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let per_reader: Vec<Vec<InventoryLog>> = (1..=READERS)
+        .map(|antenna| wire_frames(reader_log(antenna).reports()))
+        .collect();
+    let config = ServeConfig {
+        shards: 3,
+        queue_capacity: 65_536,
+        store_dir: Some(dir.clone()),
+        ..ServeConfig::default()
+    };
+
+    // Cold boot: an empty store — tables are built fresh and persisted.
+    let cold = ServeDaemon::start(make_server(), &config).expect("cold boot");
+    stream_all(&cold, &per_reader);
+    let cold_fixes: Vec<(u16, String)> = (1..=READERS)
+        .map(|antenna| {
+            http_get(cold.http_addr(), &format!("/fix/2d?antenna={antenna}")).expect("cold fix")
+        })
+        .collect();
+    let cold_stats = cold.stats();
+    assert!(
+        cold_stats.store_persisted > 0,
+        "cold boot must populate the store: {cold_stats:?}"
+    );
+    assert_eq!(cold_stats.store_table_hits, 0, "the store started empty");
+    cold.shutdown();
+
+    // Warm boot: same directory — the prewarm must come from disk.
+    let warm = ServeDaemon::start(make_server(), &config).expect("warm boot");
+    let boot_stats = warm.stats();
+    assert!(
+        boot_stats.store_table_hits > 0,
+        "warm boot must load tables from the store: {boot_stats:?}"
+    );
+    assert_eq!(
+        boot_stats.store_invalid, 0,
+        "a clean store has nothing to reject: {boot_stats:?}"
+    );
+    stream_all(&warm, &per_reader);
+    for (antenna, cold_answer) in (1..=READERS).zip(&cold_fixes) {
+        let warm_answer =
+            http_get(warm.http_addr(), &format!("/fix/2d?antenna={antenna}")).expect("warm fix");
+        assert_eq!(
+            &warm_answer, cold_answer,
+            "antenna {antenna}: warm fix diverged from cold"
+        );
+    }
+
+    // The hit counters are part of the operator surface too.
+    let (status, body) = http_get(warm.http_addr(), "/stats").expect("stats");
+    assert_eq!(status, 200);
+    let doc = json::parse(&body).expect("stats parse");
+    let field = |k: &str| {
+        doc.get(k)
+            .and_then(Value::as_num)
+            .unwrap_or_else(|| panic!("missing {k} in {body}"))
+    };
+    assert!(field("store_table_hits") > 0.0, "{body}");
+    assert!(field("store_invalid") < 0.5, "{body}");
+    warm.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// Overload is typed, accounted, and bounded: with a one-slot queue and
 /// an artificially slow shard, sheds must appear, every offered report
 /// must be accounted as enqueued or shed, and the serve-tier books must
